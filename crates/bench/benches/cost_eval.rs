@@ -1,0 +1,69 @@
+//! Bench: per-context cost `c(Θ, I)` and exact expected cost `C[Θ]`.
+//!
+//! Covers E1's evaluation primitives at paper scale (G_A, G_B) and at
+//! larger random-tree scales, showing the exact expected-cost recursion
+//! stays polynomial while Monte-Carlo alternatives would need thousands
+//! of samples per evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpl_graph::context::{cost, Context};
+use qpl_graph::expected::ContextDistribution;
+use qpl_graph::Strategy;
+use qpl_workload::generator::{random_retrieval_model, random_tree_with_retrievals, TreeParams};
+use qpl_workload::{figure2, university};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_context_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("context_cost");
+    let u = university();
+    let g_a = u.graph().clone();
+    let ctx = Context::with_blocked(&g_a, &[u.d_p()]);
+    group.bench_function("g_a", |b| {
+        b.iter(|| cost(&g_a, &u.prof_first, std::hint::black_box(&ctx)))
+    });
+
+    let (g_b, theta) = figure2();
+    let ctx_b = Context::with_blocked(
+        &g_b,
+        &[g_b.arc_by_label("D_a").unwrap(), g_b.arc_by_label("D_b").unwrap()],
+    );
+    group.bench_function("g_b", |b| {
+        b.iter(|| cost(&g_b, &theta, std::hint::black_box(&ctx_b)))
+    });
+
+    for retrievals in [16usize, 64, 256] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let params = TreeParams { max_depth: 6, max_branch: 4, ..Default::default() };
+        let g = random_tree_with_retrievals(&mut rng, &params, retrievals, retrievals * 2);
+        let model = random_retrieval_model(&mut rng, &g, (0.05, 0.5));
+        let s = Strategy::left_to_right(&g);
+        let ctx = model.sample(&mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("random_tree", retrievals),
+            &retrievals,
+            |b, _| b.iter(|| cost(&g, &s, std::hint::black_box(&ctx))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_expected_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expected_cost_exact");
+    for retrievals in [8usize, 16, 32] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let params = TreeParams { max_depth: 5, max_branch: 3, ..Default::default() };
+        let g = random_tree_with_retrievals(&mut rng, &params, retrievals, retrievals * 2);
+        let model = random_retrieval_model(&mut rng, &g, (0.05, 0.95));
+        let s = Strategy::left_to_right(&g);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(retrievals),
+            &retrievals,
+            |b, _| b.iter(|| model.expected_cost(&g, std::hint::black_box(&s))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_context_cost, bench_expected_cost);
+criterion_main!(benches);

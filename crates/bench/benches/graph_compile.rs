@@ -1,0 +1,61 @@
+//! Bench: rule base + query form → inference graph compilation.
+//!
+//! The compiler runs once per query form, so it is not hot — but it must
+//! scale to realistic rule bases. Benchmarked on the paper's KB and on
+//! layered KBs of growing depth/branching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpl_datalog::parser::{parse_program, parse_query_form};
+use qpl_datalog::SymbolTable;
+use qpl_graph::compile::{compile, CompileOptions};
+use qpl_workload::generator::{random_layered_kb, KbParams};
+use qpl_workload::paper::UNIVERSITY_KB;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_university(c: &mut Criterion) {
+    let mut table = SymbolTable::new();
+    let program = parse_program(UNIVERSITY_KB, &mut table).expect("parses");
+    let form = parse_query_form("instructor(b)", &mut table).expect("parses");
+    c.bench_function("compile_university", |b| {
+        b.iter(|| {
+            compile(
+                std::hint::black_box(&program.rules),
+                &form,
+                &table,
+                &CompileOptions::default(),
+            )
+            .expect("compiles")
+        })
+    });
+}
+
+fn bench_layered(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_layered");
+    for (layers, width) in [(3usize, 2usize), (5, 2), (4, 3)] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let params = KbParams { layers, rules_per_layer: width, ..Default::default() };
+        let (mut table, rules, _, root) = random_layered_kb(&mut rng, &params);
+        let form = parse_query_form(&format!("{root}(b)"), &mut table).expect("parses");
+        // The unfolded tree has width^layers leaves.
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{layers}x{width}")),
+            &layers,
+            |b, _| {
+                b.iter(|| {
+                    compile(
+                        std::hint::black_box(&rules),
+                        &form,
+                        &table,
+                        &CompileOptions::default(),
+                    )
+                    .expect("compiles")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_university, bench_layered);
+criterion_main!(benches);

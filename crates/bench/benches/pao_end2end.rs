@@ -1,0 +1,56 @@
+//! Bench: full PAO runs (sampling phase + Υ) vs ε (E7).
+//!
+//! Tighter ε means quadratically more samples; the bench shows the wall
+//! clock of the whole learn-then-optimize pipeline at several accuracy
+//! targets (sample counts capped to keep the bench bounded — the cap
+//! scales the same way the exact Equation-7 counts do).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpl_core::{Pao, PaoConfig};
+use qpl_graph::expected::ContextDistribution;
+use qpl_workload::generator::{random_retrieval_model, random_tree_with_retrievals, TreeParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_pao(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pao_end2end");
+    group.sample_size(10);
+    let mut gen_rng = StdRng::seed_from_u64(3);
+    let g = random_tree_with_retrievals(&mut gen_rng, &TreeParams::default(), 4, 6);
+    let truth = random_retrieval_model(&mut gen_rng, &g, (0.05, 0.6));
+    for (eps, cap) in [(2.0, 250u64), (1.0, 1000), (0.5, 4000)] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, _| {
+            b.iter(|| {
+                let mut pao = Pao::new(&g, PaoConfig::theorem2(eps, 0.1).with_sample_cap(cap))
+                    .expect("tree");
+                let mut rng = StdRng::seed_from_u64(99);
+                while !pao.done() {
+                    let ctx = truth.sample(&mut rng);
+                    pao.observe(&g, &ctx);
+                }
+                pao.finish(&g).expect("sampling done")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_adaptive_sampling_only(c: &mut Criterion) {
+    let mut gen_rng = StdRng::seed_from_u64(4);
+    let g = random_tree_with_retrievals(&mut gen_rng, &TreeParams::default(), 4, 6);
+    let truth = random_retrieval_model(&mut gen_rng, &g, (0.05, 0.6));
+    let contexts: Vec<_> = (0..1024).map(|_| truth.sample(&mut gen_rng)).collect();
+    c.bench_function("adaptive_qp_observe", |b| {
+        let needed: Vec<u64> = g.retrievals().map(|_| u64::MAX).collect();
+        let mut qp = qpl_engine::AdaptiveQp::for_retrievals(&g, &needed);
+        let mut i = 0;
+        b.iter(|| {
+            let ctx = &contexts[i % contexts.len()];
+            i += 1;
+            qp.observe(&g, std::hint::black_box(ctx))
+        })
+    });
+}
+
+criterion_group!(benches, bench_pao, bench_adaptive_sampling_only);
+criterion_main!(benches);

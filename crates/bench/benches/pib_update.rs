@@ -1,0 +1,72 @@
+//! Bench: PIB's per-sample monitoring overhead (E14, Section 5.1).
+//!
+//! Compares bare strategy execution against execution + PIB statistics
+//! (Δ̃ replay per candidate + the Equation-6 test), at several graph
+//! sizes and test frequencies — quantifying the "unobtrusive" claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpl_core::{Pib, PibConfig};
+use qpl_graph::expected::ContextDistribution;
+use qpl_graph::Strategy;
+use qpl_workload::generator::{random_retrieval_model, random_tree_with_retrievals, TreeParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup(retrievals: usize) -> (qpl_graph::InferenceGraph, Vec<qpl_graph::Context>) {
+    let mut rng = StdRng::seed_from_u64(retrievals as u64);
+    let g = random_tree_with_retrievals(&mut rng, &TreeParams::default(), retrievals, retrievals * 2);
+    // Low success probabilities: statistics keep flowing without climbs.
+    let model = random_retrieval_model(&mut rng, &g, (0.01, 0.1));
+    let contexts: Vec<_> = (0..4096).map(|_| model.sample(&mut rng)).collect();
+    (g, contexts)
+}
+
+fn bench_pib_observe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pib_observe");
+    for retrievals in [4usize, 8, 16] {
+        let (g, contexts) = setup(retrievals);
+        let theta = Strategy::left_to_right(&g);
+
+        group.bench_with_input(BenchmarkId::new("bare", retrievals), &retrievals, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let ctx = &contexts[i % contexts.len()];
+                i += 1;
+                qpl_graph::context::execute(&g, &theta, std::hint::black_box(ctx))
+            })
+        });
+
+        group.bench_with_input(
+            BenchmarkId::new("pib_test_every_1", retrievals),
+            &retrievals,
+            |b, _| {
+                let mut pib = Pib::new(&g, theta.clone(), PibConfig::new(1e-6));
+                let mut i = 0;
+                b.iter(|| {
+                    let ctx = &contexts[i % contexts.len()];
+                    i += 1;
+                    pib.observe(&g, std::hint::black_box(ctx))
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("pib_test_every_100", retrievals),
+            &retrievals,
+            |b, _| {
+                let mut pib =
+                    Pib::new(&g, theta.clone(), PibConfig::new(1e-6).with_test_every(100));
+                let mut i = 0;
+                b.iter(|| {
+                    let ctx = &contexts[i % contexts.len()];
+                    i += 1;
+                    pib.observe(&g, std::hint::black_box(ctx))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pib_observe);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Bench: `Υ_AOT` runtime scaling vs brute-force enumeration (E10).
+//!
+//! The block-merge algorithm stays near-linear in the number of arcs;
+//! enumerating all path-form strategies is factorial. The crossover is
+//! immediate: brute force is only benchmarked on tiny graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpl_core::{brute_force_optimal, upsilon_aot};
+use qpl_workload::generator::{random_retrieval_model, random_tree_with_retrievals, TreeParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_upsilon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("upsilon_aot");
+    for retrievals in [8usize, 32, 128, 512] {
+        let mut rng = StdRng::seed_from_u64(retrievals as u64);
+        let params = TreeParams { max_depth: 8, max_branch: 4, ..Default::default() };
+        let g = random_tree_with_retrievals(&mut rng, &params, retrievals, retrievals * 2);
+        let m = random_retrieval_model(&mut rng, &g, (0.05, 0.95));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(retrievals),
+            &retrievals,
+            |b, _| b.iter(|| upsilon_aot(&g, std::hint::black_box(&m)).expect("tree")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_brute_force(c: &mut Criterion) {
+    let mut group = c.benchmark_group("brute_force_optimal");
+    group.sample_size(10);
+    for retrievals in [3usize, 4] {
+        let mut rng = StdRng::seed_from_u64(retrievals as u64 + 100);
+        let g = random_tree_with_retrievals(&mut rng, &TreeParams::default(), retrievals, retrievals);
+        let m = random_retrieval_model(&mut rng, &g, (0.05, 0.95));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(retrievals),
+            &retrievals,
+            |b, _| {
+                b.iter(|| {
+                    brute_force_optimal(&g, std::hint::black_box(&m), 10_000_000)
+                        .expect("within cap")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_upsilon, bench_brute_force);
+criterion_main!(benches);

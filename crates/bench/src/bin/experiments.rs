@@ -1,0 +1,52 @@
+//! CLI for the paper-reproduction experiment suite.
+//!
+//! ```text
+//! experiments               # run everything
+//! experiments e1 e4 e7      # run selected experiments
+//! experiments --seed 99 e5  # override the base seed
+//! ```
+
+use qpl_bench::experiments::{run_one, ALL};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 20260707u64;
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        if pos + 1 < args.len() {
+            seed = args[pos + 1].parse().unwrap_or_else(|_| {
+                eprintln!("invalid seed `{}`", args[pos + 1]);
+                std::process::exit(2);
+            });
+            args.drain(pos..=pos + 1);
+        } else {
+            eprintln!("--seed requires a value");
+            std::process::exit(2);
+        }
+    }
+    let ids: Vec<String> = if args.is_empty() {
+        ALL.iter().map(|s| s.to_string()).collect()
+    } else {
+        args.iter().map(|s| s.to_lowercase()).collect()
+    };
+    println!("qpl experiment suite — Greiner, PODS'92 (seed {seed})\n");
+    let mut failures = 0;
+    for id in &ids {
+        match run_one(id, seed) {
+            Some(report) => {
+                println!("{report}");
+                if !report.verdict.starts_with("REPRODUCED") {
+                    failures += 1;
+                }
+            }
+            None => {
+                eprintln!("unknown experiment `{id}`; known: {}", ALL.join(", "));
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) did not reproduce");
+        std::process::exit(1);
+    }
+    println!("all {} experiment(s) reproduced", ids.len());
+}

@@ -1,0 +1,105 @@
+//! E1 — Section 2 / Figure 1: the worked expected-cost example.
+//!
+//! Paper claims (with the erratum documented in DESIGN.md):
+//! * `c(Θ₁, I₁) = 4`, `c(Θ₂, I₁) = 2`, `c(Θ₁, I₂) = 2`, `c(Θ₂, I₂) = 4`;
+//! * under the 60/15/25 query mix the expected costs are 2.8 and 3.7 —
+//!   the paper attaches 3.7 to Θ₁ and 2.8 to Θ₂ but its own later
+//!   statements (the PAO example) pin Θ₁ = prof-first, whose cost under
+//!   this mix is 2.8.
+
+use crate::report::{fm, Report};
+use qpl_engine::QueryProcessor;
+use qpl_graph::context::cost;
+use qpl_graph::expected::ContextDistribution;
+use qpl_graph::Context;
+use qpl_workload::university;
+
+/// Runs E1 and returns the report.
+pub fn run() -> Report {
+    let mut u = university();
+    let g = u.graph().clone();
+    let (dp, dg) = (u.d_p(), u.d_g());
+    let i1 = Context::with_blocked(&g, &[dp]); // instructor(manolis)
+    let i2 = Context::with_blocked(&g, &[dg]); // instructor(russ)
+
+    let mut r = Report::new("E1: Figure 1 / Section 2 — per-context and expected costs");
+    r.note("Θ₁ = ⟨R_p D_p R_g D_g⟩ (prof-first), Θ₂ = ⟨R_g D_g R_p D_p⟩ (grad-first)");
+    r.note("I₁ = ⟨instructor(manolis), DB₁⟩, I₂ = ⟨instructor(russ), DB₁⟩, unit arc costs");
+
+    let rows = vec![
+        vec![
+            "c(Θ₁, I₁)".into(),
+            "4".into(),
+            fm(cost(&g, &u.prof_first, &i1), 0),
+        ],
+        vec![
+            "c(Θ₂, I₁)".into(),
+            "2".into(),
+            fm(cost(&g, &u.grad_first, &i1), 0),
+        ],
+        vec![
+            "c(Θ₁, I₂)".into(),
+            "2".into(),
+            fm(cost(&g, &u.prof_first, &i2), 0),
+        ],
+        vec![
+            "c(Θ₂, I₂)".into(),
+            "4".into(),
+            fm(cost(&g, &u.grad_first, &i2), 0),
+        ],
+    ];
+    r.table("per-context costs (Section 2.1)", &["quantity", "paper", "measured"], rows);
+
+    let dist = u.section2_distribution();
+    let c1 = dist.expected_cost(&g, &u.prof_first);
+    let c2 = dist.expected_cost(&g, &u.grad_first);
+    r.table(
+        "expected costs under 60% russ / 15% manolis / 25% fred",
+        &["strategy", "paper (erratum-corrected)", "measured (exact)"],
+        vec![
+            vec!["Θ₁ prof-first".into(), "2.8".into(), fm(c1, 4)],
+            vec!["Θ₂ grad-first".into(), "3.7".into(), fm(c2, 4)],
+        ],
+    );
+
+    // Same numbers through the real Datalog engine (Note 2 equivalence).
+    let queries = u.section2_queries();
+    let qp1 = QueryProcessor::new(&u.compiled, u.prof_first.clone());
+    let qp2 = QueryProcessor::new(&u.compiled, u.grad_first.clone());
+    let engine_cost = |qp: &QueryProcessor<'_>| -> f64 {
+        queries
+            .iter()
+            .map(|(q, w)| w * qp.run(q, &u.db1).expect("paper queries valid").trace.cost)
+            .sum()
+    };
+    let e1 = engine_cost(&qp1);
+    let e2 = engine_cost(&qp2);
+    r.table(
+        "same, via the Datalog-backed query processor",
+        &["strategy", "graph-level", "engine-level"],
+        vec![
+            vec!["Θ₁ prof-first".into(), fm(c1, 4), fm(e1, 4)],
+            vec!["Θ₂ grad-first".into(), fm(c2, 4), fm(e2, 4)],
+        ],
+    );
+
+    let ok = (c1 - 2.8).abs() < 1e-9
+        && (c2 - 3.7).abs() < 1e-9
+        && (e1 - c1).abs() < 1e-9
+        && (e2 - c2).abs() < 1e-9;
+    r.set_verdict(if ok {
+        "REPRODUCED (values 2.8/3.7 as in the paper; strategy labels per the erratum in DESIGN.md)"
+    } else {
+        "MISMATCH"
+    });
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e1_reproduces() {
+        let r = super::run();
+        assert!(r.verdict.starts_with("REPRODUCED"), "{r}");
+    }
+}

@@ -1,0 +1,91 @@
+//! E11 — the PALO variant (\[CG91\], end of Section 3.2).
+//!
+//! Paper claims: PALO behaves like PIB but *stops* once it certifies an
+//! ε-local optimum (`∀Θ ∈ T(Θ_m): C[Θ] ≥ C[Θ_m] − ε`). We verify the
+//! certificate's soundness across random instances, and contrast with
+//! PIB, which keeps sampling forever.
+
+use crate::report::{fm, Report};
+use qpl_core::{Palo, PaloConfig, TransformationSet};
+use qpl_graph::expected::ContextDistribution;
+use qpl_graph::Strategy;
+use qpl_workload::generator::{random_retrieval_model, random_tree_with_retrievals, TreeParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs E11 and returns the report.
+pub fn run(seed: u64) -> Report {
+    let mut r = Report::new("E11: PALO — certified ε-local optima");
+    r.note("60 random instances per ε; certificate checked against exact expected costs");
+
+    let mut rows = Vec::new();
+    let mut all_sound = true;
+    for eps in [1.5, 0.75] {
+        let runs = 60u64;
+        let mut sound = 0u64;
+        let mut climbed = 0u64;
+        let mut sample_counts = Vec::new();
+        for t in 0..runs {
+            let mut gen_rng = StdRng::seed_from_u64(seed + t);
+            let g = random_tree_with_retrievals(&mut gen_rng, &TreeParams::default(), 2, 5);
+            let truth = random_retrieval_model(&mut gen_rng, &g, (0.05, 0.95));
+            let mut palo =
+                Palo::new(&g, Strategy::left_to_right(&g), PaloConfig::new(eps, 0.05));
+            let mut rng = StdRng::seed_from_u64(seed + 40_000 + t);
+            let mut n = 0u64;
+            while palo.observe(&g, &truth.sample(&mut rng)) {
+                n += 1;
+                if n > 2_000_000 {
+                    break;
+                }
+            }
+            sample_counts.push(n);
+            climbed += palo.climbs().len() as u64;
+            // Soundness: every neighbour within ε of the final strategy.
+            let set = TransformationSet::all_sibling_swaps(&g);
+            let c_final = truth.expected_cost(&g, palo.strategy());
+            let is_sound = set
+                .neighbors(&g, palo.strategy())
+                .iter()
+                .all(|(_, s)| truth.expected_cost(&g, s) >= c_final - eps - 1e-9);
+            if is_sound {
+                sound += 1;
+            }
+        }
+        sample_counts.sort_unstable();
+        let sound_rate = sound as f64 / runs as f64;
+        if sound_rate < 0.95 {
+            all_sound = false;
+        }
+        rows.push(vec![
+            fm(eps, 2),
+            runs.to_string(),
+            format!("{} ({}%)", sound, fm(100.0 * sound_rate, 1)),
+            climbed.to_string(),
+            sample_counts[sample_counts.len() / 2].to_string(),
+            sample_counts.last().expect("non-empty").to_string(),
+        ]);
+    }
+    r.table(
+        "PALO certificates (δ = 0.05 → ≥ 95% sound expected)",
+        &["ε", "runs", "sound certificates", "total climbs", "median samples", "max samples"],
+        rows,
+    );
+    r.note("PIB, by contrast, never terminates: its anytime guarantee is monotone improvement");
+
+    r.set_verdict(if all_sound {
+        "REPRODUCED (certificates sound at the 1−δ level; cost of termination is exact replay)"
+    } else {
+        "MISMATCH (certificate soundness below 1−δ)"
+    });
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e11_reproduces() {
+        let r = super::run(1111);
+        assert!(r.verdict.starts_with("REPRODUCED"), "{r}");
+    }
+}

@@ -1,0 +1,187 @@
+//! E16 — dependent success probabilities (Section 5.1's assumption list
+//! and Section 5.3's closing comparison).
+//!
+//! Paper claims: PIB "can be used efficiently with arbitrary inference
+//! graphs, and does not require that the success probabilities of the
+//! retrievals be independent", whereas PAO/Υ assume independence
+//! (footnote 8). We construct a correlated context distribution under
+//! which the independence-fitted Υ provably picks a sub-optimal
+//! strategy, and show PIB recovers the true optimum from samples.
+//!
+//! Construction: root has a direct retrieval `D₀` (cost 1, p = 0.17) and
+//! a reduction `R` (cost 1) over two unit retrievals `D₁`, `D₂` whose
+//! statuses are *perfectly correlated* (both open w.p. q = 0.3, both
+//! blocked otherwise). Marginal fitting sees p̂ = ⟨0.17, 0.3, 0.3⟩ and
+//! credits the subtree with success 1 − 0.7² = 0.51 (ratio 0.189 >
+//! 0.17), so Υ orders the subtree first; the *true* subtree success is
+//! only 0.3, making D₀-first optimal:
+//!
+//! ```text
+//! C[D₀ first]      = 1 + 0.83·2.7        = 3.241
+//! C[subtree first] = 2.7 + 0.7·1         = 3.400
+//! ```
+//!
+//! The parameters are chosen so PIB's conservative Δ̃ still has positive
+//! mean for the corrective swap (E[Δ̃] = 3·0.7·0.17 − 0.3 = +0.057), so
+//! PIB certifies the fix — slowly, which the experiment also shows.
+
+use crate::report::{fm, Report};
+use qpl_core::{brute_force_optimal, upsilon_aot, Pib, PibConfig};
+use qpl_graph::expected::{ContextDistribution, FiniteDistribution, IndependentModel};
+use qpl_graph::graph::GraphBuilder;
+use qpl_graph::Context;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs E16 and returns the report.
+pub fn run(seed: u64) -> Report {
+    let mut r = Report::new("E16: correlated retrievals — Υ's independence assumption vs PIB");
+
+    let mut b = GraphBuilder::new("q");
+    let root = b.root();
+    let d0 = b.retrieval(root, "D_0", 1.0);
+    let (_, sub) = b.reduction(root, "R", 1.0, "sub");
+    let d1 = b.retrieval(sub, "D_1", 1.0);
+    let d2 = b.retrieval(sub, "D_2", 1.0);
+    let g = b.finish().expect("valid graph");
+
+    // The correlated truth: D₀ independent (p = .17); D₁ = D₂ (q = .3).
+    let (p0, q) = (0.17, 0.3);
+    let truth = FiniteDistribution::new(vec![
+        (Context::with_blocked(&g, &[]), p0 * q),
+        (Context::with_blocked(&g, &[d1, d2]), p0 * (1.0 - q)),
+        (Context::with_blocked(&g, &[d0]), (1.0 - p0) * q),
+        (Context::with_blocked(&g, &[d0, d1, d2]), (1.0 - p0) * (1.0 - q)),
+    ])
+    .expect("valid weights");
+
+    // Marginals (what PAO's counters would estimate in the limit).
+    let marginals: Vec<f64> = [d0, d1, d2]
+        .iter()
+        .map(|&a| {
+            truth
+                .items()
+                .iter()
+                .filter(|(ctx, _)| !ctx.is_blocked(a))
+                .map(|(_, w)| w)
+                .sum::<f64>()
+        })
+        .collect();
+    r.table(
+        "marginal success probabilities (what independence fitting sees)",
+        &["retrieval", "marginal p̂", "implied subtree success", "true subtree success"],
+        vec![
+            vec!["D_0".into(), fm(marginals[0], 3), "—".into(), "—".into()],
+            vec!["D_1".into(), fm(marginals[1], 3), "".into(), "".into()],
+            vec![
+                "D_2".into(),
+                fm(marginals[2], 3),
+                fm(1.0 - (1.0 - q) * (1.0 - q), 3),
+                fm(q, 3),
+            ],
+        ],
+    );
+
+    let fitted = IndependentModel::from_retrieval_probs(&g, &marginals).expect("valid");
+    let theta_upsilon = upsilon_aot(&g, &fitted).expect("tree");
+    let (theta_opt, c_opt) = brute_force_optimal(&g, &truth, 10_000).expect("tiny graph");
+    let c_upsilon = truth.expected_cost(&g, &theta_upsilon);
+
+    // PIB from the Υ-fitted strategy on the correlated stream. The
+    // certifiable edge is thin (E[Δ̃] ≈ +0.057 per sample), so give it a
+    // long horizon.
+    let mut pib = Pib::new(&g, theta_upsilon.clone(), PibConfig::new(0.05));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut climbed_at = None;
+    for i in 0..400_000u64 {
+        pib.observe(&g, &truth.sample(&mut rng));
+        if climbed_at.is_none() && !pib.history().is_empty() {
+            climbed_at = Some(i + 1);
+            break;
+        }
+    }
+    let c_pib = truth.expected_cost(&g, pib.strategy());
+
+    r.table(
+        "true expected costs under the correlated distribution",
+        &["strategy", "analytic", "C[Θ] (exact)", "note"],
+        vec![
+            vec![
+                format!("Υ on marginals: {}", theta_upsilon.display(&g)),
+                "3.400".into(),
+                fm(c_upsilon, 4),
+                "subtree success overestimated (0.51 vs 0.30)".into(),
+            ],
+            vec![
+                format!("true optimum:   {}", theta_opt.display(&g)),
+                "3.241".into(),
+                fm(c_opt, 4),
+                "tries D_0 first".into(),
+            ],
+            vec![
+                format!("PIB learned:    {}", pib.strategy().display(&g)),
+                "".into(),
+                fm(c_pib, 4),
+                match climbed_at {
+                    Some(n) => format!("certified the swap after {n} samples"),
+                    None => "did not climb within the horizon".into(),
+                },
+            ],
+        ],
+    );
+    r.note("PIB's statistics are distribution-free (Δ̃ depends only on observed traces);");
+    r.note("Υ's product-form cost model cannot represent the D₁ = D₂ coupling.");
+    r.note("Caveat (also why the paper keeps PAO around): Δ̃'s conservatism means PIB only");
+    r.note("certifies swaps with positive *observable* evidence — here E[Δ̃] ≈ +0.057/sample.");
+
+    let upsilon_suboptimal = c_upsilon > c_opt + 1e-9;
+    let pib_recovers = (c_pib - c_opt).abs() < 1e-9;
+    r.set_verdict(if upsilon_suboptimal && pib_recovers {
+        "REPRODUCED (independence-fitted Υ sub-optimal; PIB reaches the true optimum)"
+    } else {
+        "MISMATCH"
+    });
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e16_reproduces() {
+        let r = super::run(1616);
+        assert!(r.verdict.starts_with("REPRODUCED"), "{r}");
+    }
+
+    /// Pin the analytic values backing the construction.
+    #[test]
+    fn analytic_costs() {
+        use qpl_graph::expected::ContextDistribution;
+        let mut b = qpl_graph::GraphBuilder::new("q");
+        let root = b.root();
+        let d0 = b.retrieval(root, "D_0", 1.0);
+        let (_, sub) = b.reduction(root, "R", 1.0, "sub");
+        let d1 = b.retrieval(sub, "D_1", 1.0);
+        let d2 = b.retrieval(sub, "D_2", 1.0);
+        let g = b.finish().unwrap();
+        let (p0, q) = (0.17, 0.3);
+        let truth = qpl_graph::FiniteDistribution::new(vec![
+            (qpl_graph::Context::with_blocked(&g, &[]), p0 * q),
+            (qpl_graph::Context::with_blocked(&g, &[d1, d2]), p0 * (1.0 - q)),
+            (qpl_graph::Context::with_blocked(&g, &[d0]), (1.0 - p0) * q),
+            (qpl_graph::Context::with_blocked(&g, &[d0, d1, d2]), (1.0 - p0) * (1.0 - q)),
+        ])
+        .unwrap();
+        let by = |labels: &[&str]| {
+            qpl_graph::Strategy::from_arcs(
+                &g,
+                labels.iter().map(|l| g.arc_by_label(l).unwrap()).collect(),
+            )
+            .unwrap()
+        };
+        let d0_first = by(&["D_0", "R", "D_1", "D_2"]);
+        let sub_first = by(&["R", "D_1", "D_2", "D_0"]);
+        // C[D0 first] = 1 + (1−p0)(3−q); C[sub first] = (3−q) + (1−q)·1.
+        assert!((truth.expected_cost(&g, &d0_first) - (1.0 + 0.83 * 2.7)).abs() < 1e-12);
+        assert!((truth.expected_cost(&g, &sub_first) - (2.7 + 0.7)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,52 @@
+//! One module per reproduced paper artifact (see DESIGN.md's
+//! per-experiment index). Each `run` returns a [`crate::report::Report`]
+//! whose verdict line states whether the paper's claim reproduced.
+
+pub mod e01_figure1;
+pub mod e02_smith;
+pub mod e03_pib1;
+pub mod e04_figure2;
+pub mod e05_theorem1;
+pub mod e06_pao_example;
+pub mod e07_theorem2;
+pub mod e08_theorem3;
+pub mod e09_lemma1;
+pub mod e10_upsilon;
+pub mod e11_palo;
+pub mod e12_applications;
+pub mod e13_sequential;
+pub mod e14_overhead;
+pub mod e15_ablation;
+pub mod e16_dependence;
+pub mod e17_conjunctive;
+
+use crate::report::Report;
+
+/// Experiment ids accepted by the harness.
+pub const ALL: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17",
+];
+
+/// Runs one experiment by id with the given base seed.
+pub fn run_one(id: &str, seed: u64) -> Option<Report> {
+    Some(match id {
+        "e1" => e01_figure1::run(),
+        "e2" => e02_smith::run(),
+        "e3" => e03_pib1::run(seed),
+        "e4" => e04_figure2::run(seed),
+        "e5" => e05_theorem1::run(seed),
+        "e6" => e06_pao_example::run(),
+        "e7" => e07_theorem2::run(seed),
+        "e8" => e08_theorem3::run(seed),
+        "e9" => e09_lemma1::run(seed),
+        "e10" => e10_upsilon::run(seed),
+        "e11" => e11_palo::run(seed),
+        "e12" => e12_applications::run(seed),
+        "e13" => e13_sequential::run(seed),
+        "e14" => e14_overhead::run(seed),
+        "e15" => e15_ablation::run(seed),
+        "e16" => e16_dependence::run(seed),
+        "e17" => e17_conjunctive::run(seed),
+        _ => return None,
+    })
+}

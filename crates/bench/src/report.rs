@@ -1,0 +1,140 @@
+//! Plain-text report formatting for the experiment harness.
+
+use std::fmt;
+
+/// A formatted experiment report: a title, prose lines describing the
+/// paper's claim, and one or more aligned tables of paper-vs-measured
+/// values.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Experiment id and title, e.g. `E1: Figure 1 expected costs`.
+    pub title: String,
+    /// Prose lines (the paper's claim, our setup).
+    pub notes: Vec<String>,
+    /// Tables: `(caption, headers, rows)`.
+    pub tables: Vec<(String, Vec<String>, Vec<Vec<String>>)>,
+    /// One-line verdict, e.g. `REPRODUCED` / `REPRODUCED (with erratum)`.
+    pub verdict: String,
+}
+
+impl Report {
+    /// Creates an empty report with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self { title: title.into(), ..Default::default() }
+    }
+
+    /// Adds a prose line.
+    pub fn note(&mut self, line: impl Into<String>) -> &mut Self {
+        self.notes.push(line.into());
+        self
+    }
+
+    /// Adds a table.
+    pub fn table(
+        &mut self,
+        caption: impl Into<String>,
+        headers: &[&str],
+        rows: Vec<Vec<String>>,
+    ) -> &mut Self {
+        self.tables.push((
+            caption.into(),
+            headers.iter().map(|s| s.to_string()).collect(),
+            rows,
+        ));
+        self
+    }
+
+    /// Sets the verdict line.
+    pub fn set_verdict(&mut self, v: impl Into<String>) -> &mut Self {
+        self.verdict = v.into();
+        self
+    }
+}
+
+fn render_table(headers: &[String], rows: &[Vec<String>], out: &mut String) {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let line = |out: &mut String, cells: &[String]| {
+        out.push_str("  ");
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            out.push_str(cell);
+            for _ in cell.chars().count()..widths[i] + 2 {
+                out.push(' ');
+            }
+        }
+        out.push('\n');
+    };
+    line(out, headers);
+    out.push_str("  ");
+    for w in &widths {
+        out.push_str(&"-".repeat(*w));
+        out.push_str("  ");
+    }
+    out.push('\n');
+    for row in rows {
+        line(out, row);
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        for n in &self.notes {
+            out.push_str(&format!("  {n}\n"));
+        }
+        for (caption, headers, rows) in &self.tables {
+            out.push('\n');
+            if !caption.is_empty() {
+                out.push_str(&format!("  [{caption}]\n"));
+            }
+            render_table(headers, rows, &mut out);
+        }
+        if !self.verdict.is_empty() {
+            out.push_str(&format!("\n  verdict: {}\n", self.verdict));
+        }
+        write!(f, "{out}")
+    }
+}
+
+/// Formats a float to a fixed number of decimals.
+pub fn fm(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut r = Report::new("E0: smoke");
+        r.note("a note");
+        r.table(
+            "cap",
+            &["strategy", "paper", "measured"],
+            vec![
+                vec!["Θ₁".into(), "2.8".into(), "2.800".into()],
+                vec!["Θ₂ (grad-first)".into(), "3.7".into(), "3.700".into()],
+            ],
+        );
+        r.set_verdict("REPRODUCED");
+        let s = r.to_string();
+        assert!(s.contains("== E0: smoke =="));
+        assert!(s.contains("[cap]"));
+        assert!(s.contains("verdict: REPRODUCED"));
+        // Header separator present.
+        assert!(s.contains("--"));
+    }
+
+    #[test]
+    fn fm_rounds() {
+        assert_eq!(fm(2.7999999, 2), "2.80");
+        assert_eq!(fm(1.0, 0), "1");
+    }
+}

@@ -1,0 +1,42 @@
+//! # qpl-core — the learning algorithms of Greiner (PODS'92)
+//!
+//! The paper's contribution: two statistical methods for improving a
+//! satisficing query processor's *strategy*.
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`transform`] | the transformation sets `T = {τⱼ}` (sibling swaps) of Section 3.2 |
+//! | [`delta`] | the paired differences `Δ` and observable under-estimates `Δ̃` |
+//! | [`pib1`] | **PIB₁**, the one-shot filter (Section 3.1, Equations 2–3) |
+//! | [`pib`] | **PIB**, the anytime hill-climber (Figure 3, Equation 6, Theorem 1) |
+//! | [`pib_andor`] | PIB for conjunctive (Note 4) and-or strategies |
+//! | [`palo`] | **PALO**, the ε-local-optimum variant (\[CG91\]) |
+//! | [`upsilon`] | **Υ_AOT**, the optimal-strategy algorithm for trees (\[Smi89\]/\[SK75\]) |
+//! | [`pao`] | **PAO**, probably-approximately-optimal learning (Theorems 2–3) |
+//! | [`smith`] | the fact-count baseline the paper critiques (Section 2) |
+//!
+//! The learners operate at the graph level (contexts are blocked-arc
+//! classes); `qpl-engine` supplies contexts from real `⟨query, DB⟩`
+//! pairs, and `qpl-workload` supplies the paper's worked examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delta;
+pub mod palo;
+pub mod pao;
+pub mod pib;
+pub mod pib1;
+pub mod pib_andor;
+pub mod smith;
+pub mod transform;
+pub mod upsilon;
+
+pub use palo::{Palo, PaloConfig};
+pub use pao::{Pao, PaoConfig, PaoMode};
+pub use pib::{ClimbRecord, Pib, PibConfig};
+pub use pib1::{Pib1, Pib1Decision, Pib1Posteriori};
+pub use pib_andor::{AndOrPib, AndOrSwap};
+pub use smith::SmithHeuristic;
+pub use transform::{SiblingSwap, TransformationSet};
+pub use upsilon::{brute_force_optimal, optimal_strategy, upsilon_aot};

@@ -1,0 +1,299 @@
+//! PALO — probably approximately locally optimal hill-climbing (\[CG91\],
+//! discussed at the end of Section 3.2).
+//!
+//! "Like PIB, PALO uses a set of possible transformations to hill-climb
+//! in a situation where the worth of each strategy can only be estimated
+//! by sampling. While PIB will continue collecting samples and
+//! potentially moving to new strategies indefinitely, PALO will stop
+//! when it reaches an ε-local optimum — i.e., when it reaches a `Θ_m`
+//! with the property that ∀Θ ∈ T(Θ_m): C\[Θ\] ≥ C\[Θ_m\] − ε."
+//!
+//! Unlike PIB, PALO here evaluates the *exact* paired difference
+//! `Δ = c(Θ, I) − c(Θ', I)` per sampled context (it replays both
+//! strategies on the full context), which gives it two-sided evidence:
+//! a lower confidence bound to justify climbing, and an upper confidence
+//! bound to certify `D[Θ, Θ'] ≤ ε` for every neighbour and *stop*. This
+//! is more intrusive than PIB's trace-only Δ̃ statistics — the price of
+//! a termination guarantee.
+
+use crate::delta::delta_exact;
+use crate::transform::{SiblingSwap, TransformationSet};
+use qpl_graph::context::Context;
+use qpl_graph::graph::InferenceGraph;
+use qpl_graph::strategy::Strategy;
+use qpl_stats::{chernoff, SequentialSchedule};
+
+/// Configuration for a PALO run.
+#[derive(Debug, Clone, Copy)]
+pub struct PaloConfig {
+    /// Local-optimality slack `ε`.
+    pub epsilon: f64,
+    /// Total error budget `δ`.
+    pub delta: f64,
+}
+
+impl PaloConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    /// Panics unless `ε > 0` and `δ ∈ (0, 1)`.
+    pub fn new(epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        Self { epsilon, delta }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Candidate {
+    swap: SiblingSwap,
+    strategy: Strategy,
+    lambda: f64,
+    sum: f64,
+    count: u64,
+}
+
+impl Candidate {
+    fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    fn radius(&self, delta: f64) -> f64 {
+        if self.count == 0 {
+            f64::INFINITY
+        } else {
+            chernoff::confidence_radius(self.count, delta, self.lambda)
+        }
+    }
+}
+
+/// The PALO learner: hill-climbs like PIB, stops at an ε-local optimum.
+#[derive(Debug, Clone)]
+pub struct Palo {
+    config: PaloConfig,
+    transforms: TransformationSet,
+    current: Strategy,
+    candidates: Vec<Candidate>,
+    schedule: SequentialSchedule,
+    climbs: Vec<SiblingSwap>,
+    stopped: bool,
+}
+
+impl Palo {
+    /// Creates a PALO learner over all sibling swaps of `g`.
+    pub fn new(g: &InferenceGraph, initial: Strategy, config: PaloConfig) -> Self {
+        let transforms = TransformationSet::all_sibling_swaps(g);
+        let schedule = SequentialSchedule::new(config.delta);
+        let mut palo = Self {
+            config,
+            transforms,
+            current: initial,
+            candidates: Vec::new(),
+            schedule,
+            climbs: Vec::new(),
+            stopped: false,
+        };
+        palo.rebuild(g);
+        palo
+    }
+
+    fn rebuild(&mut self, g: &InferenceGraph) {
+        self.candidates = self
+            .transforms
+            .neighbors(g, &self.current)
+            .into_iter()
+            .map(|(swap, strategy)| Candidate {
+                swap,
+                lambda: swap.lambda(g),
+                strategy,
+                sum: 0.0,
+                count: 0,
+            })
+            .collect();
+        if self.candidates.is_empty() {
+            self.stopped = true; // no neighbours: trivially locally optimal
+        }
+    }
+
+    /// The current strategy.
+    pub fn strategy(&self) -> &Strategy {
+        &self.current
+    }
+
+    /// Whether PALO has certified an ε-local optimum and stopped.
+    pub fn stopped(&self) -> bool {
+        self.stopped
+    }
+
+    /// Transformations taken so far.
+    pub fn climbs(&self) -> &[SiblingSwap] {
+        &self.climbs
+    }
+
+    /// Observes one full context (PALO replays every neighbour on it).
+    /// Returns `true` if the learner is still running.
+    pub fn observe(&mut self, g: &InferenceGraph, ctx: &Context) -> bool {
+        if self.stopped {
+            return false;
+        }
+        for cand in &mut self.candidates {
+            cand.sum += delta_exact(g, &self.current, &cand.strategy, ctx);
+            cand.count += 1;
+        }
+        // Charge one test per candidate (each gets a two-sided look).
+        let delta_i = self.schedule.advance(self.candidates.len() as u64);
+        let per_side = delta_i / 2.0;
+
+        // Climb if some neighbour's LCB is positive.
+        let climber = self
+            .candidates
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.mean() - c.radius(per_side) > 0.0)
+            .max_by(|(_, a), (_, b)| {
+                (a.mean() - a.radius(per_side))
+                    .partial_cmp(&(b.mean() - b.radius(per_side)))
+                    .expect("finite statistics")
+            })
+            .map(|(i, _)| i);
+        if let Some(idx) = climber {
+            let cand = self.candidates[idx].clone();
+            self.climbs.push(cand.swap);
+            self.current = cand.strategy;
+            self.rebuild(g);
+            return !self.stopped;
+        }
+
+        // Stop if every neighbour's UCB is below ε.
+        let all_within = self
+            .candidates
+            .iter()
+            .all(|c| c.count > 0 && c.mean() + c.radius(per_side) < self.config.epsilon);
+        if all_within {
+            self.stopped = true;
+        }
+        !self.stopped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpl_graph::expected::{ContextDistribution, IndependentModel};
+    use qpl_graph::graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn g_a() -> InferenceGraph {
+        let mut b = GraphBuilder::new("instructor(κ)");
+        let root = b.root();
+        let (_, prof) = b.reduction(root, "R_p", 1.0, "prof(κ)");
+        b.retrieval(prof, "D_p", 1.0);
+        let (_, grad) = b.reduction(root, "R_g", 1.0, "grad(κ)");
+        b.retrieval(grad, "D_g", 1.0);
+        b.finish().unwrap()
+    }
+
+    fn g_b() -> InferenceGraph {
+        let mut b = GraphBuilder::new("G(κ)");
+        let root = b.root();
+        let (_, a) = b.reduction(root, "R_ga", 1.0, "A(κ)");
+        b.retrieval(a, "D_a", 1.0);
+        let (_, s) = b.reduction(root, "R_gs", 1.0, "S(κ)");
+        let (_, bb) = b.reduction(s, "R_sb", 1.0, "B(κ)");
+        b.retrieval(bb, "D_b", 1.0);
+        let (_, t) = b.reduction(s, "R_st", 1.0, "T(κ)");
+        let (_, c) = b.reduction(t, "R_tc", 1.0, "C(κ)");
+        b.retrieval(c, "D_c", 1.0);
+        let (_, d) = b.reduction(t, "R_td", 1.0, "D(κ)");
+        b.retrieval(d, "D_d", 1.0);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn stops_at_epsilon_local_optimum() {
+        let g = g_a();
+        let model = IndependentModel::from_retrieval_probs(&g, &[0.05, 0.8]).unwrap();
+        let mut palo = Palo::new(&g, Strategy::left_to_right(&g), PaloConfig::new(0.5, 0.05));
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut steps = 0u32;
+        while palo.observe(&g, &model.sample(&mut rng)) {
+            steps += 1;
+            assert!(steps < 200_000, "PALO failed to terminate");
+        }
+        assert!(palo.stopped());
+        assert_eq!(palo.climbs().len(), 1, "one climb then certify");
+        // Final strategy is ε-locally optimal: every neighbour within ε.
+        let set = TransformationSet::all_sibling_swaps(&g);
+        let c_final = model.expected_cost(&g, palo.strategy());
+        for (_, n) in set.neighbors(&g, palo.strategy()) {
+            let c_n = model.expected_cost(&g, &n);
+            assert!(c_n >= c_final - 0.5 - 1e-9, "neighbour {c_n} beats {c_final} by > ε");
+        }
+    }
+
+    #[test]
+    fn stops_quickly_when_start_is_optimal() {
+        let g = g_a();
+        let model = IndependentModel::from_retrieval_probs(&g, &[0.9, 0.05]).unwrap();
+        let mut palo = Palo::new(&g, Strategy::left_to_right(&g), PaloConfig::new(1.0, 0.05));
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut steps = 0u32;
+        while palo.observe(&g, &model.sample(&mut rng)) {
+            steps += 1;
+            assert!(steps < 100_000);
+        }
+        assert!(palo.climbs().is_empty());
+    }
+
+    #[test]
+    fn certificate_is_sound_on_g_b() {
+        // Whatever PALO certifies must actually be ε-locally optimal.
+        let g = g_b();
+        let model =
+            IndependentModel::from_retrieval_probs(&g, &[0.1, 0.3, 0.6, 0.2]).unwrap();
+        let eps = 0.75;
+        let mut palo =
+            Palo::new(&g, Strategy::left_to_right(&g), PaloConfig::new(eps, 0.05));
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut steps = 0u32;
+        while palo.observe(&g, &model.sample(&mut rng)) {
+            steps += 1;
+            assert!(steps < 500_000, "PALO failed to terminate");
+        }
+        let set = TransformationSet::all_sibling_swaps(&g);
+        let c_final = model.expected_cost(&g, palo.strategy());
+        for (_, n) in set.neighbors(&g, palo.strategy()) {
+            assert!(model.expected_cost(&g, &n) >= c_final - eps - 1e-9);
+        }
+    }
+
+    #[test]
+    fn tighter_epsilon_takes_more_samples() {
+        let g = g_a();
+        let model = IndependentModel::from_retrieval_probs(&g, &[0.5, 0.5]).unwrap();
+        let mut samples = Vec::new();
+        for eps in [1.0, 0.25] {
+            let mut palo =
+                Palo::new(&g, Strategy::left_to_right(&g), PaloConfig::new(eps, 0.05));
+            let mut rng = StdRng::seed_from_u64(34);
+            let mut n = 0u64;
+            while palo.observe(&g, &model.sample(&mut rng)) {
+                n += 1;
+                assert!(n < 1_000_000);
+            }
+            samples.push(n);
+        }
+        assert!(samples[1] > samples[0], "ε=0.25 needs more than ε=1.0: {samples:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn bad_epsilon_rejected() {
+        PaloConfig::new(0.0, 0.05);
+    }
+}

@@ -1,0 +1,410 @@
+//! PIB — the anytime hill-climbing learner (Section 3.2, Figure 3).
+//!
+//! PIB generalizes PIB₁ in two ways: it considers a whole *set* of
+//! transformations `T(Θ)` simultaneously (splitting the error budget
+//! over the `k = |T(Θ)|` candidates, Equation 5), and it tests
+//! *sequentially* — after every context — shrinking the per-test budget
+//! as `δᵢ = 6δ/(π²·i²)` so the total false-positive probability over the
+//! unbounded run stays below `δ` (Theorem 1).
+//!
+//! The acceptance test is the paper's Equation 6: climb from `Θⱼ` to
+//! `Θ' ∈ T(Θⱼ)` as soon as
+//!
+//! ```text
+//! Δ̃[Θⱼ, Θ', S]  ≥  Λ[Θⱼ, Θ'] · sqrt((|S|/2) · ln(i²π²/(6δ)))
+//! ```
+//!
+//! where `i` counts every test performed so far (incremented by
+//! `|T(Θⱼ)|` per observed context) and `S` resets after each climb.
+
+use crate::delta::delta_tilde;
+use crate::transform::{SiblingSwap, TransformationSet};
+use qpl_graph::context::{Context, Trace};
+use qpl_graph::graph::InferenceGraph;
+use qpl_graph::strategy::Strategy;
+use qpl_stats::{PairedDifference, SequentialSchedule};
+
+/// Configuration for a PIB run.
+#[derive(Debug, Clone)]
+pub struct PibConfig {
+    /// Total mistake budget `δ` (Theorem 1).
+    pub delta: f64,
+    /// Perform the Equation 6 test only every `test_every` contexts
+    /// (the paper notes Theorem 1 "continues to hold if we … perform
+    /// this test less frequently"). Default 1.
+    pub test_every: u64,
+}
+
+impl PibConfig {
+    /// Standard configuration testing after every context.
+    pub fn new(delta: f64) -> Self {
+        Self { delta, test_every: 1 }
+    }
+
+    /// Test after every `n` contexts instead.
+    pub fn with_test_every(mut self, n: u64) -> Self {
+        self.test_every = n.max(1);
+        self
+    }
+}
+
+/// One candidate neighbour's accumulator.
+#[derive(Debug, Clone)]
+struct Candidate {
+    swap: SiblingSwap,
+    strategy: Strategy,
+    acc: PairedDifference,
+}
+
+/// A record of one hill-climbing step.
+#[derive(Debug, Clone)]
+pub struct ClimbRecord {
+    /// The transformation taken.
+    pub swap: SiblingSwap,
+    /// Samples observed at the current strategy before climbing.
+    pub samples: u64,
+    /// Accumulated evidence `Δ̃[Θⱼ, Θ', S]` at the moment of the climb.
+    pub evidence: f64,
+    /// Global test counter `i` at the climb.
+    pub test_index: u64,
+}
+
+/// The anytime PIB learner.
+#[derive(Debug, Clone)]
+pub struct Pib {
+    config: PibConfig,
+    transforms: TransformationSet,
+    current: Strategy,
+    candidates: Vec<Candidate>,
+    schedule: SequentialSchedule,
+    samples_here: u64,
+    contexts_seen: u64,
+    history: Vec<ClimbRecord>,
+}
+
+impl Pib {
+    /// Creates a PIB learner over all sibling swaps of `g`.
+    ///
+    /// # Panics
+    /// Panics if `δ ∉ (0, 1)` (via the schedule).
+    pub fn new(g: &InferenceGraph, initial: Strategy, config: PibConfig) -> Self {
+        Self::with_transforms(g, initial, TransformationSet::all_sibling_swaps(g), config)
+    }
+
+    /// Creates a PIB learner with an explicit transformation vocabulary.
+    pub fn with_transforms(
+        g: &InferenceGraph,
+        initial: Strategy,
+        transforms: TransformationSet,
+        config: PibConfig,
+    ) -> Self {
+        let schedule = SequentialSchedule::new(config.delta);
+        let mut pib = Self {
+            config,
+            transforms,
+            current: initial,
+            candidates: Vec::new(),
+            schedule,
+            samples_here: 0,
+            contexts_seen: 0,
+            history: Vec::new(),
+        };
+        pib.rebuild_candidates(g);
+        pib
+    }
+
+    fn rebuild_candidates(&mut self, g: &InferenceGraph) {
+        self.candidates = self
+            .transforms
+            .neighbors(g, &self.current)
+            .into_iter()
+            .map(|(swap, strategy)| Candidate {
+                swap,
+                strategy,
+                acc: PairedDifference::new(swap.lambda(g)),
+            })
+            .collect();
+        self.samples_here = 0;
+    }
+
+    /// The strategy currently in use — valid to read at *any* time
+    /// (PIB is an anytime algorithm).
+    pub fn strategy(&self) -> &Strategy {
+        &self.current
+    }
+
+    /// Strategies climbed through so far.
+    pub fn history(&self) -> &[ClimbRecord] {
+        &self.history
+    }
+
+    /// Contexts observed in total.
+    pub fn contexts_seen(&self) -> u64 {
+        self.contexts_seen
+    }
+
+    /// Samples accumulated at the current strategy (`|S|`).
+    pub fn samples_at_current(&self) -> u64 {
+        self.samples_here
+    }
+
+    /// Global test counter `i`.
+    pub fn tests_performed(&self) -> u64 {
+        self.schedule.tests_used()
+    }
+
+    /// Observes one context: runs the current strategy, updates every
+    /// candidate's statistics, and climbs if Equation 6 fires. Returns
+    /// the trace of the executed query.
+    pub fn observe(&mut self, g: &InferenceGraph, ctx: &Context) -> Trace {
+        let trace = qpl_graph::context::execute(g, &self.current, ctx);
+        self.absorb(g, &trace);
+        trace
+    }
+
+    /// Ingests an externally produced trace of the current strategy
+    /// (e.g. from the Datalog-backed engine), updating statistics and
+    /// possibly climbing.
+    pub fn absorb(&mut self, g: &InferenceGraph, trace: &Trace) {
+        self.contexts_seen += 1;
+        self.samples_here += 1;
+        for cand in &mut self.candidates {
+            cand.acc.record(delta_tilde(g, trace, &cand.strategy));
+        }
+        if self.contexts_seen.is_multiple_of(self.config.test_every) {
+            self.test_and_climb(g);
+        }
+    }
+
+    /// Figure 3's acceptance test: `i ← i + |T(Θⱼ)|`, then climb to the
+    /// first candidate satisfying Equation 6.
+    fn test_and_climb(&mut self, g: &InferenceGraph) {
+        if self.candidates.is_empty() {
+            return;
+        }
+        let delta_i = self.schedule.advance(self.candidates.len() as u64);
+        let winner = self
+            .candidates
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.acc.certifies_improvement(delta_i))
+            .max_by(|(_, a), (_, b)| {
+                let ra = a.acc.sum() - a.acc.threshold(delta_i);
+                let rb = b.acc.sum() - b.acc.threshold(delta_i);
+                ra.partial_cmp(&rb).expect("finite statistics")
+            })
+            .map(|(i, _)| i);
+        if let Some(idx) = winner {
+            let cand = self.candidates[idx].clone();
+            self.history.push(ClimbRecord {
+                swap: cand.swap,
+                samples: self.samples_here,
+                evidence: cand.acc.sum(),
+                test_index: self.schedule.tests_used(),
+            });
+            self.current = cand.strategy;
+            self.rebuild_candidates(g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpl_graph::expected::{ContextDistribution, IndependentModel};
+    use qpl_graph::graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn g_a() -> InferenceGraph {
+        let mut b = GraphBuilder::new("instructor(κ)");
+        let root = b.root();
+        let (_, prof) = b.reduction(root, "R_p", 1.0, "prof(κ)");
+        b.retrieval(prof, "D_p", 1.0);
+        let (_, grad) = b.reduction(root, "R_g", 1.0, "grad(κ)");
+        b.retrieval(grad, "D_g", 1.0);
+        b.finish().unwrap()
+    }
+
+    fn g_b() -> InferenceGraph {
+        let mut b = GraphBuilder::new("G(κ)");
+        let root = b.root();
+        let (_, a) = b.reduction(root, "R_ga", 1.0, "A(κ)");
+        b.retrieval(a, "D_a", 1.0);
+        let (_, s) = b.reduction(root, "R_gs", 1.0, "S(κ)");
+        let (_, bb) = b.reduction(s, "R_sb", 1.0, "B(κ)");
+        b.retrieval(bb, "D_b", 1.0);
+        let (_, t) = b.reduction(s, "R_st", 1.0, "T(κ)");
+        let (_, c) = b.reduction(t, "R_tc", 1.0, "C(κ)");
+        b.retrieval(c, "D_c", 1.0);
+        let (_, d) = b.reduction(t, "R_td", 1.0, "D(κ)");
+        b.retrieval(d, "D_d", 1.0);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn climbs_to_better_strategy_on_g_a() {
+        let g = g_a();
+        let model = IndependentModel::from_retrieval_probs(&g, &[0.05, 0.8]).unwrap();
+        let mut pib = Pib::new(&g, Strategy::left_to_right(&g), PibConfig::new(0.05));
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..4000 {
+            pib.observe(&g, &model.sample(&mut rng));
+        }
+        assert_eq!(pib.history().len(), 1, "exactly one climb available");
+        let c_now = model.expected_cost(&g, pib.strategy());
+        let c_init = model.expected_cost(&g, &Strategy::left_to_right(&g));
+        assert!(c_now < c_init, "{c_now} < {c_init}");
+    }
+
+    #[test]
+    fn every_climb_is_an_improvement_on_g_b() {
+        // Random-ish probabilities where the left-to-right strategy is
+        // far from optimal; every recorded climb must strictly lower the
+        // true expected cost (this is Theorem 1 in action — with δ=0.05
+        // a mistake is possible but this seed must be mistake-free).
+        let g = g_b();
+        let model =
+            IndependentModel::from_retrieval_probs(&g, &[0.02, 0.05, 0.1, 0.9]).unwrap();
+        let mut pib = Pib::new(&g, Strategy::left_to_right(&g), PibConfig::new(0.05));
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut costs = vec![model.expected_cost(&g, pib.strategy())];
+        let mut climbs_seen = 0;
+        for _ in 0..30_000 {
+            pib.observe(&g, &model.sample(&mut rng));
+            if pib.history().len() > climbs_seen {
+                climbs_seen = pib.history().len();
+                costs.push(model.expected_cost(&g, pib.strategy()));
+            }
+        }
+        assert!(climbs_seen >= 1, "no climbs happened");
+        for w in costs.windows(2) {
+            assert!(w[1] < w[0] + 1e-12, "climb raised cost: {costs:?}");
+        }
+    }
+
+    #[test]
+    fn anytime_property_strategy_always_valid() {
+        let g = g_b();
+        let model = IndependentModel::from_retrieval_probs(&g, &[0.3, 0.3, 0.3, 0.3]).unwrap();
+        let mut pib = Pib::new(&g, Strategy::left_to_right(&g), PibConfig::new(0.1));
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..500 {
+            pib.observe(&g, &model.sample(&mut rng));
+            // The current strategy must always be executable.
+            let ctx = model.sample(&mut rng);
+            let _ = qpl_graph::context::execute(&g, pib.strategy(), &ctx);
+        }
+    }
+
+    #[test]
+    fn statistics_reset_after_climb() {
+        let g = g_a();
+        let model = IndependentModel::from_retrieval_probs(&g, &[0.05, 0.9]).unwrap();
+        let mut pib = Pib::new(&g, Strategy::left_to_right(&g), PibConfig::new(0.1));
+        let mut rng = StdRng::seed_from_u64(7);
+        while pib.history().is_empty() {
+            pib.observe(&g, &model.sample(&mut rng));
+            assert!(pib.contexts_seen() < 10_000, "never climbed");
+        }
+        assert!(pib.samples_at_current() < pib.contexts_seen());
+    }
+
+    #[test]
+    fn test_counter_charges_per_candidate() {
+        let g = g_b(); // 3 sibling swaps
+        let model = IndependentModel::from_retrieval_probs(&g, &[0.5; 4]).unwrap();
+        let mut pib = Pib::new(&g, Strategy::left_to_right(&g), PibConfig::new(0.1));
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..10 {
+            pib.observe(&g, &model.sample(&mut rng));
+        }
+        assert_eq!(pib.tests_performed(), 30, "10 contexts × 3 candidates");
+    }
+
+    #[test]
+    fn batched_testing_also_works() {
+        let g = g_a();
+        let model = IndependentModel::from_retrieval_probs(&g, &[0.05, 0.9]).unwrap();
+        let mut pib = Pib::new(
+            &g,
+            Strategy::left_to_right(&g),
+            PibConfig::new(0.05).with_test_every(25),
+        );
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..4000 {
+            pib.observe(&g, &model.sample(&mut rng));
+        }
+        assert_eq!(pib.history().len(), 1);
+        // Far fewer tests were charged.
+        assert!(pib.tests_performed() < 4000);
+    }
+
+    #[test]
+    fn no_climb_when_already_optimal() {
+        let g = g_a();
+        // prof-first already optimal.
+        let model = IndependentModel::from_retrieval_probs(&g, &[0.9, 0.05]).unwrap();
+        let mut pib = Pib::new(&g, Strategy::left_to_right(&g), PibConfig::new(0.05));
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..5000 {
+            pib.observe(&g, &model.sample(&mut rng));
+        }
+        assert!(pib.history().is_empty());
+    }
+
+    #[test]
+    fn theorem1_mistake_rate_bounded() {
+        // Equal-cost neighbourhood: any climb is (marginally) a mistake.
+        // Over many independent runs the climb frequency must stay ≤ δ.
+        let g = g_a();
+        let model = IndependentModel::from_retrieval_probs(&g, &[0.4, 0.4]).unwrap();
+        let delta = 0.1;
+        let runs = 300;
+        let mut mistakes = 0;
+        for t in 0..runs {
+            let mut pib = Pib::new(&g, Strategy::left_to_right(&g), PibConfig::new(delta));
+            let mut rng = StdRng::seed_from_u64(5000 + t);
+            for _ in 0..400 {
+                pib.observe(&g, &model.sample(&mut rng));
+                if !pib.history().is_empty() {
+                    mistakes += 1;
+                    break;
+                }
+            }
+        }
+        let rate = mistakes as f64 / runs as f64;
+        assert!(rate <= delta, "mistake rate {rate} exceeds δ={delta}");
+    }
+
+    #[test]
+    fn multi_climb_trajectory_reaches_good_strategy() {
+        // Strongly skewed probabilities: the optimal DFS strategy needs
+        // several swaps from left-to-right. PIB should get close.
+        let g = g_b();
+        let model =
+            IndependentModel::from_retrieval_probs(&g, &[0.01, 0.02, 0.03, 0.95]).unwrap();
+        let mut pib = Pib::new(&g, Strategy::left_to_right(&g), PibConfig::new(0.05));
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..60_000 {
+            pib.observe(&g, &model.sample(&mut rng));
+        }
+        assert!(pib.history().len() >= 2, "expected several climbs, got {:?}", pib.history().len());
+        // Compare against the best DFS strategy.
+        let best = qpl_graph::strategy::enumerate_dfs(&g, 1000)
+            .unwrap()
+            .into_iter()
+            .map(|s| {
+                let c = model.expected_cost(&g, &s);
+                (s, c)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .unwrap();
+        let c_pib = model.expected_cost(&g, pib.strategy());
+        assert!(
+            c_pib <= best.1 + 0.5,
+            "PIB ended at {c_pib}, best DFS is {}",
+            best.1
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! The \[Smi89\]-style fact-count baseline (Section 2's critique target).
+//!
+//! "\[Smi89\] presents one way of approximating their values, based on the
+//! (questionable) assumption that these probabilities are correlated
+//! with the distribution of facts in the database. For example, assume
+//! that the DB₂ database includes 2,000 facts of the form `prof^(b)` and
+//! 500 facts of the form `grad^(b)` … that approach assumes that we are
+//! 2000/500 = 4 times more likely to find the corresponding prof fact."
+//!
+//! [`SmithHeuristic`] estimates each retrieval's success probability
+//! proportionally to its predicate's fact count and runs `Υ` on the
+//! result. Experiment E2 reproduces the paper's critique: on the
+//! adversarial "minors" query distribution the heuristic picks the wrong
+//! strategy, while PIB/PAO — which observe the *queries* — do not.
+
+use crate::upsilon::optimal_strategy;
+use qpl_datalog::Database;
+use qpl_graph::compile::{ArcBinding, CompiledGraph};
+use qpl_graph::strategy::Strategy;
+use qpl_graph::{GraphError, IndependentModel};
+
+/// The fact-count probability estimator and the strategy it induces.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SmithHeuristic;
+
+impl SmithHeuristic {
+    /// Estimates retrieval success probabilities from fact counts:
+    /// `p̂(d) = count(pred(d)) / Σ count(pred(d'))`, normalized over the
+    /// graph's retrievals (0.5 everywhere when the database is empty).
+    /// Reductions are assumed never blocked.
+    pub fn model(compiled: &CompiledGraph, db: &Database) -> IndependentModel {
+        let g = &compiled.graph;
+        let counts: Vec<(qpl_graph::ArcId, f64)> = g
+            .retrievals()
+            .map(|a| {
+                let c = match compiled.binding(a) {
+                    ArcBinding::Retrieval { predicate, .. } => db.fact_count(*predicate) as f64,
+                    ArcBinding::Reduction { .. } => {
+                        unreachable!("retrieval arc has a retrieval binding")
+                    }
+                };
+                (a, c)
+            })
+            .collect();
+        let total: f64 = counts.iter().map(|(_, c)| *c).sum();
+        let mut model = IndependentModel::uniform(g, 1.0).expect("1.0 is valid");
+        for (a, c) in counts {
+            let p = if total > 0.0 { c / total } else { 0.5 };
+            model.set_prob(a, p).expect("normalized counts are probabilities");
+        }
+        model
+    }
+
+    /// The strategy `Υ_AOT(G, p̂_counts)` the heuristic recommends.
+    ///
+    /// # Errors
+    /// Optimizer errors (non-tree graph).
+    pub fn strategy(compiled: &CompiledGraph, db: &Database) -> Result<Strategy, GraphError> {
+        let model = Self::model(compiled, db);
+        optimal_strategy(&compiled.graph, &model, 1_000_000).map(|(s, _)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpl_datalog::parser::{parse_program, parse_query_form};
+    use qpl_datalog::{Fact, SymbolTable};
+    use qpl_graph::compile::{compile, CompileOptions};
+    use qpl_graph::expected::{ContextDistribution, FiniteDistribution};
+    use qpl_graph::Context;
+
+    /// Figure-1 rules with the DB₂ statistics: 2000 prof, 500 grad facts.
+    fn setup_db2() -> (SymbolTable, CompiledGraph, Database) {
+        let mut t = SymbolTable::new();
+        let p = parse_program(
+            "instructor(X) :- prof(X). instructor(X) :- grad(X).",
+            &mut t,
+        )
+        .unwrap();
+        let qf = parse_query_form("instructor(b)", &mut t).unwrap();
+        let cg = compile(&p.rules, &qf, &t, &CompileOptions::default()).unwrap();
+        let mut db = Database::new();
+        let (prof, grad) = (t.lookup("prof").unwrap(), t.lookup("grad").unwrap());
+        for i in 0..2000 {
+            let c = t.intern(&format!("p{i}"));
+            db.insert(Fact::new(prof, vec![c])).unwrap();
+        }
+        for i in 0..500 {
+            let c = t.intern(&format!("g{i}"));
+            db.insert(Fact::new(grad, vec![c])).unwrap();
+        }
+        (t, cg, db)
+    }
+
+    #[test]
+    fn db2_statistics_give_prof_first() {
+        // "that approach … would claim that Θ₁ is the optimal strategy."
+        let (_, cg, db) = setup_db2();
+        let model = SmithHeuristic::model(&cg, &db);
+        let probs = model.retrieval_probs(&cg.graph);
+        assert!((probs[0] - 0.8).abs() < 1e-12, "prof: 2000/2500");
+        assert!((probs[1] - 0.2).abs() < 1e-12, "grad: 500/2500");
+        let s = SmithHeuristic::strategy(&cg, &db).unwrap();
+        // First arc must be the prof reduction.
+        let first = cg.graph.arc(s.arcs()[0]).label.clone();
+        assert!(first.contains("instructor"), "reduction from the root: {first}");
+        let first_retrieval = s
+            .arcs()
+            .iter()
+            .find(|&&a| cg.graph.arc(a).kind == qpl_graph::ArcKind::Retrieval)
+            .copied()
+            .unwrap();
+        assert!(cg.graph.arc(first_retrieval).label.contains("prof"));
+    }
+
+    #[test]
+    fn minors_distribution_defeats_the_heuristic() {
+        // "The user may, for example, only ask questions that deal with
+        // minors — here, none of the κᵢs … will be professors, meaning
+        // Θ₂ is clearly the superior strategy."
+        let (_, cg, db) = setup_db2();
+        let g = &cg.graph;
+        let smith = SmithHeuristic::strategy(&cg, &db).unwrap();
+        // Minors: prof never holds; grad holds 40% of the time.
+        let dp = g.retrievals().find(|&a| g.arc(a).label.contains("prof")).unwrap();
+        let dg = g.retrievals().find(|&a| g.arc(a).label.contains("grad")).unwrap();
+        let minors = FiniteDistribution::new(vec![
+            (Context::with_blocked(g, &[dp]), 0.4),
+            (Context::with_blocked(g, &[dp, dg]), 0.6),
+        ])
+        .unwrap();
+        let c_smith = minors.expected_cost(g, &smith);
+        // The true optimum under the minors distribution:
+        let (_, c_opt) = crate::upsilon::brute_force_optimal(g, &minors, 1000).unwrap();
+        assert!(
+            c_smith > c_opt + 0.5,
+            "heuristic cost {c_smith} should be clearly worse than optimal {c_opt}"
+        );
+    }
+
+    #[test]
+    fn empty_database_defaults_to_half() {
+        let (_, cg, _) = setup_db2();
+        let empty = Database::new();
+        let model = SmithHeuristic::model(&cg, &empty);
+        for p in model.retrieval_probs(&cg.graph) {
+            assert!((p - 0.5).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,451 @@
+//! Strategy transformations (Section 3.2).
+//!
+//! "The general PIB system is parameterized by a set of transformations
+//! `T = {τⱼ}`, where each `τⱼ` maps one strategy to another, perhaps by
+//! re-ordering a particular pair of arcs that descend from a common
+//! node." The workhorse is [`SiblingSwap`]: interchange arc `r₁` (and its
+//! descendants) with its sibling `r₂` (and its descendants).
+//!
+//! [`TransformationSet`] materializes `T(Θ) = {τ(Θ) | τ ∈ T}` — the
+//! neighbourhood PIB hill-climbs over — and supplies each
+//! transformation's range `Λ[Θ, τ(Θ)]`, "never more than the sum of the
+//! costs of the arcs under the node where Θ deviates from τ(Θ)".
+
+use qpl_graph::graph::{ArcId, InferenceGraph};
+use qpl_graph::strategy::Strategy;
+use qpl_graph::GraphError;
+
+/// Interchange two sibling arcs (and their subtrees) in a strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SiblingSwap {
+    /// First sibling arc.
+    pub r1: ArcId,
+    /// Second sibling arc.
+    pub r2: ArcId,
+}
+
+impl SiblingSwap {
+    /// Creates a swap, validating that the arcs are distinct siblings.
+    ///
+    /// # Errors
+    /// [`GraphError::InapplicableTransform`] otherwise.
+    pub fn new(g: &InferenceGraph, r1: ArcId, r2: ArcId) -> Result<Self, GraphError> {
+        if r1 == r2 {
+            return Err(GraphError::InapplicableTransform("arcs must be distinct".into()));
+        }
+        if g.arc(r1).from != g.arc(r2).from {
+            return Err(GraphError::InapplicableTransform(format!(
+                "`{}` and `{}` do not descend from a common node",
+                g.arc(r1).label,
+                g.arc(r2).label
+            )));
+        }
+        Ok(Self { r1, r2 })
+    }
+
+    /// The paper's range bound on `Δ[Θ, τ(Θ), I]`: "never more than the
+    /// sum of the costs of the arcs under the node where Θ deviates from
+    /// Θⱼ". With exactly two siblings this is `f*(r₁) + f*(r₂)` (e.g.
+    /// `Λ[Θ_ABCD, Θ_ABDC] = f*(R_tc) + f*(R_td)`); with more siblings the
+    /// blocks *between* `r₁` and `r₂` also shift, so all children of the
+    /// deviation node are counted.
+    pub fn lambda(&self, g: &InferenceGraph) -> f64 {
+        g.children(g.arc(self.r1).from).iter().map(|&c| g.f_star(c)).sum()
+    }
+
+    /// Applies the swap: the contiguous block of `subtree(r1)` arcs and
+    /// the contiguous block of `subtree(r2)` arcs exchange positions.
+    ///
+    /// # Errors
+    /// [`GraphError::InapplicableTransform`] if either subtree is not
+    /// contiguous in `s` (the swap is well-defined on depth-first
+    /// strategies, which are closed under it), if arcs from *outside*
+    /// the common node's subtree sit between the two blocks (the
+    /// permuted segment must stay inside that subtree, or the
+    /// [`lambda`](Self::lambda) range bound — and with it Theorem 1's
+    /// Hoeffding argument — would not cover the cost difference), or if
+    /// the result fails strategy validation.
+    pub fn apply(&self, g: &InferenceGraph, s: &Strategy) -> Result<Strategy, GraphError> {
+        if !g.is_tree() {
+            // The block/Λ analysis (and `subtree_arcs`/`parent_arc`)
+            // assume unique root paths; on redundant graphs the swap is
+            // not well-defined.
+            return Err(GraphError::NotTree(
+                "sibling swaps are defined on tree-shaped graphs only".into(),
+            ));
+        }
+        let b1 = contiguous_block(g, s, self.r1)?;
+        let b2 = contiguous_block(g, s, self.r2)?;
+        let (first, second) = if b1.start < b2.start { (b1, b2) } else { (b2, b1) };
+        if first.end > second.start {
+            return Err(GraphError::InapplicableTransform(
+                "subtree blocks overlap; strategy is not in swap-normal form".into(),
+            ));
+        }
+        let common = g.arc(self.r1).from;
+        for &x in &s.arcs()[first.end..second.start] {
+            if !descends_from(g, x, common) {
+                return Err(GraphError::InapplicableTransform(format!(
+                    "arc `{}` between the swapped blocks lies outside the common node's \
+                     subtree; Λ would not bound the cost difference",
+                    g.arc(x).label
+                )));
+            }
+        }
+        let arcs = s.arcs();
+        let mut out = Vec::with_capacity(arcs.len());
+        out.extend_from_slice(&arcs[..first.start]);
+        out.extend_from_slice(&arcs[second.clone()]);
+        out.extend_from_slice(&arcs[first.end..second.start]);
+        out.extend_from_slice(&arcs[first.clone()]);
+        out.extend_from_slice(&arcs[second.end..]);
+        Strategy::from_arcs(g, out)
+    }
+}
+
+/// Whether the source of `x` lies at or below node `v` (tree walk).
+fn descends_from(g: &InferenceGraph, x: ArcId, v: qpl_graph::NodeId) -> bool {
+    let mut n = g.arc(x).from;
+    loop {
+        if n == v {
+            return true;
+        }
+        match g.parent_arc(n) {
+            Some(p) => n = g.arc(p).from,
+            None => return false,
+        }
+    }
+}
+
+/// The index range the subtree of `a` occupies in `s`, if contiguous.
+fn contiguous_block(
+    g: &InferenceGraph,
+    s: &Strategy,
+    a: ArcId,
+) -> Result<std::ops::Range<usize>, GraphError> {
+    let subtree = g.subtree_arcs(a);
+    let mut positions: Vec<usize> = subtree
+        .iter()
+        .map(|&x| {
+            s.position(x).ok_or_else(|| {
+                GraphError::InapplicableTransform(format!("arc {x} missing from strategy"))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    positions.sort_unstable();
+    let start = positions[0];
+    let end = positions[positions.len() - 1] + 1;
+    if end - start != subtree.len() {
+        return Err(GraphError::InapplicableTransform(format!(
+            "subtree of `{}` is not contiguous in the strategy",
+            g.arc(a).label
+        )));
+    }
+    Ok(start..end)
+}
+
+/// A set of candidate transformations and the neighbourhood they induce.
+#[derive(Debug, Clone)]
+pub struct TransformationSet {
+    swaps: Vec<SiblingSwap>,
+}
+
+impl TransformationSet {
+    /// Every unordered pair of sibling arcs in the graph — the paper's
+    /// default transformation vocabulary.
+    pub fn all_sibling_swaps(g: &InferenceGraph) -> Self {
+        let mut swaps = Vec::new();
+        for n in g.node_ids() {
+            let ch = g.children(n);
+            for i in 0..ch.len() {
+                for j in (i + 1)..ch.len() {
+                    swaps.push(SiblingSwap { r1: ch[i], r2: ch[j] });
+                }
+            }
+        }
+        Self { swaps }
+    }
+
+    /// Only swaps of *adjacent* siblings (a smaller vocabulary; still
+    /// connects the whole depth-first strategy space).
+    pub fn adjacent_sibling_swaps(g: &InferenceGraph) -> Self {
+        let mut swaps = Vec::new();
+        for n in g.node_ids() {
+            let ch = g.children(n);
+            for w in ch.windows(2) {
+                swaps.push(SiblingSwap { r1: w[0], r2: w[1] });
+            }
+        }
+        Self { swaps }
+    }
+
+    /// An explicit vocabulary.
+    pub fn from_swaps(swaps: Vec<SiblingSwap>) -> Self {
+        Self { swaps }
+    }
+
+    /// The transformations.
+    pub fn swaps(&self) -> &[SiblingSwap] {
+        &self.swaps
+    }
+
+    /// Number of transformations `|T|`.
+    pub fn len(&self) -> usize {
+        self.swaps.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.swaps.is_empty()
+    }
+
+    /// `T(Θ)`: the applicable transformations with their results.
+    /// Transformations inapplicable to this particular strategy (e.g.
+    /// non-contiguous subtrees) are skipped — they are not neighbours.
+    pub fn neighbors(&self, g: &InferenceGraph, s: &Strategy) -> Vec<(SiblingSwap, Strategy)> {
+        self.swaps
+            .iter()
+            .filter_map(|&swap| swap.apply(g, s).ok().map(|t| (swap, t)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpl_graph::graph::GraphBuilder;
+
+    fn g_b() -> InferenceGraph {
+        let mut b = GraphBuilder::new("G(κ)");
+        let root = b.root();
+        let (_, a) = b.reduction(root, "R_ga", 1.0, "A(κ)");
+        b.retrieval(a, "D_a", 1.0);
+        let (_, s) = b.reduction(root, "R_gs", 1.0, "S(κ)");
+        let (_, bb) = b.reduction(s, "R_sb", 1.0, "B(κ)");
+        b.retrieval(bb, "D_b", 1.0);
+        let (_, t) = b.reduction(s, "R_st", 1.0, "T(κ)");
+        let (_, c) = b.reduction(t, "R_tc", 1.0, "C(κ)");
+        b.retrieval(c, "D_c", 1.0);
+        let (_, d) = b.reduction(t, "R_td", 1.0, "D(κ)");
+        b.retrieval(d, "D_d", 1.0);
+        b.finish().unwrap()
+    }
+
+    fn labels(g: &InferenceGraph, s: &Strategy) -> Vec<String> {
+        s.arcs().iter().map(|&a| g.arc(a).label.clone()).collect()
+    }
+
+    #[test]
+    fn tau_dc_produces_theta_abdc() {
+        // "τ_{d,c} would rearrange the order of the R_td and R_tc arcs …
+        //  τ_{d,c}(Θ_ABCD) = Θ_ABDC."
+        let g = g_b();
+        let theta = Strategy::left_to_right(&g);
+        let swap = SiblingSwap::new(
+            &g,
+            g.arc_by_label("R_td").unwrap(),
+            g.arc_by_label("R_tc").unwrap(),
+        )
+        .unwrap();
+        let out = swap.apply(&g, &theta).unwrap();
+        assert_eq!(
+            labels(&g, &out),
+            ["R_ga", "D_a", "R_gs", "R_sb", "D_b", "R_st", "R_td", "D_d", "R_tc", "D_c"],
+            "Θ_ABDC"
+        );
+    }
+
+    #[test]
+    fn swapping_sb_st_produces_theta_acdb() {
+        // "move everything below R_st to be before R_sb, leading to Θ_ACDB"
+        let g = g_b();
+        let theta = Strategy::left_to_right(&g);
+        let swap = SiblingSwap::new(
+            &g,
+            g.arc_by_label("R_sb").unwrap(),
+            g.arc_by_label("R_st").unwrap(),
+        )
+        .unwrap();
+        let out = swap.apply(&g, &theta).unwrap();
+        assert_eq!(
+            labels(&g, &out),
+            ["R_ga", "D_a", "R_gs", "R_st", "R_tc", "D_c", "R_td", "D_d", "R_sb", "D_b"],
+            "Θ_ACDB"
+        );
+    }
+
+    #[test]
+    fn lambda_matches_paper_values() {
+        // Λ[Θ_ABCD, Θ_ABDC] = f*(R_tc) + f*(R_td) = 2 + 2;
+        // Λ[Θ_ABCD, Θ_ACDB] = f*(R_sb) + f*(R_st) = 2 + 5.
+        let g = g_b();
+        let s1 = SiblingSwap::new(&g, g.arc_by_label("R_tc").unwrap(), g.arc_by_label("R_td").unwrap()).unwrap();
+        assert_eq!(s1.lambda(&g), 4.0);
+        let s2 = SiblingSwap::new(&g, g.arc_by_label("R_sb").unwrap(), g.arc_by_label("R_st").unwrap()).unwrap();
+        assert_eq!(s2.lambda(&g), 7.0);
+    }
+
+    #[test]
+    fn swap_is_involutive() {
+        let g = g_b();
+        let theta = Strategy::left_to_right(&g);
+        let set = TransformationSet::all_sibling_swaps(&g);
+        for (swap, neighbor) in set.neighbors(&g, &theta) {
+            let back = swap.apply(&g, &neighbor).unwrap();
+            assert_eq!(back.arcs(), theta.arcs(), "swap twice = identity for {swap:?}");
+        }
+    }
+
+    #[test]
+    fn non_siblings_rejected() {
+        let g = g_b();
+        let err = SiblingSwap::new(&g, g.arc_by_label("R_ga").unwrap(), g.arc_by_label("R_sb").unwrap());
+        assert!(matches!(err, Err(GraphError::InapplicableTransform(_))));
+        let err = SiblingSwap::new(&g, g.arc_by_label("R_ga").unwrap(), g.arc_by_label("R_ga").unwrap());
+        assert!(matches!(err, Err(GraphError::InapplicableTransform(_))));
+    }
+
+    #[test]
+    fn all_sibling_swaps_counts() {
+        // G_B: root{2 children}→1 pair, S{2}→1, T{2}→1; total 3.
+        let g = g_b();
+        assert_eq!(TransformationSet::all_sibling_swaps(&g).len(), 3);
+        assert_eq!(TransformationSet::adjacent_sibling_swaps(&g).len(), 3);
+    }
+
+    #[test]
+    fn neighbors_of_dfs_strategy_are_dfs() {
+        let g = g_b();
+        let theta = Strategy::left_to_right(&g);
+        let set = TransformationSet::all_sibling_swaps(&g);
+        let ns = set.neighbors(&g, &theta);
+        assert_eq!(ns.len(), 3);
+        for (_, n) in &ns {
+            assert!(n.is_depth_first(&g));
+        }
+    }
+
+    #[test]
+    fn dfs_space_connected_by_swaps() {
+        // Repeatedly applying swaps reaches all 8 DFS strategies of G_B.
+        let g = g_b();
+        let set = TransformationSet::all_sibling_swaps(&g);
+        let mut seen: Vec<Vec<ArcId>> = vec![Strategy::left_to_right(&g).arcs().to_vec()];
+        let mut frontier = vec![Strategy::left_to_right(&g)];
+        while let Some(s) = frontier.pop() {
+            for (_, n) in set.neighbors(&g, &s) {
+                if !seen.contains(&n.arcs().to_vec()) {
+                    seen.push(n.arcs().to_vec());
+                    frontier.push(n);
+                }
+            }
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn non_contiguous_strategy_skipped_not_error() {
+        // An interleaved (non-DFS) strategy: R_gs's subtree is split, so
+        // the root swap is inapplicable (non-contiguous block), and the
+        // S-children swap is inapplicable too (the foreign R_ga block
+        // sits between them). Only the T-children swap survives;
+        // neighbors() skips the rest without erroring.
+        let g = g_b();
+        let by = |l: &str| g.arc_by_label(l).unwrap();
+        let s = Strategy::from_arcs(
+            &g,
+            vec![
+                by("R_gs"), by("R_sb"), by("D_b"),
+                by("R_ga"), by("D_a"),
+                by("R_st"), by("R_tc"), by("D_c"), by("R_td"), by("D_d"),
+            ],
+        )
+        .unwrap();
+        let root_swap = SiblingSwap::new(&g, by("R_ga"), by("R_gs")).unwrap();
+        assert!(root_swap.apply(&g, &s).is_err());
+        let s_swap = SiblingSwap::new(&g, by("R_sb"), by("R_st")).unwrap();
+        assert!(s_swap.apply(&g, &s).is_err(), "foreign block between the siblings");
+        let set = TransformationSet::all_sibling_swaps(&g);
+        let ns = set.neighbors(&g, &s);
+        assert_eq!(ns.len(), 1, "only the T-children swap remains applicable");
+        assert_eq!(ns[0].0.r1, by("R_tc"));
+    }
+
+    #[test]
+    fn foreign_gap_rejected_keeps_lambda_sound() {
+        // The unsound shape: a pair of siblings deep in the tree with an
+        // expensive *root-level* block interleaved between their blocks.
+        // Swapping them would also shift that foreign block relative to
+        // the pair, so the cost difference can exceed the siblings' Λ.
+        let mut b = GraphBuilder::new("root");
+        let root = b.root();
+        let (_, s) = b.reduction(root, "R_s", 1.0, "S");
+        let (_, p) = b.reduction(s, "R_p", 1.0, "P");
+        b.retrieval(p, "D_p", 1.0);
+        let (_, q) = b.reduction(s, "R_q", 1.0, "Q");
+        b.retrieval(q, "D_q", 1.0);
+        let (_, big) = b.reduction(root, "R_big", 10.0, "BIG");
+        b.retrieval(big, "D_big", 10.0);
+        let g = b.finish().unwrap();
+        let by = |l: &str| g.arc_by_label(l).unwrap();
+        // Interleave the expensive root-level block between S's children.
+        let theta = Strategy::from_arcs(
+            &g,
+            vec![
+                by("R_s"), by("R_p"), by("D_p"),
+                by("R_big"), by("D_big"),
+                by("R_q"), by("D_q"),
+            ],
+        )
+        .unwrap();
+        let swap = SiblingSwap::new(&g, by("R_p"), by("R_q")).unwrap();
+        // Λ = f*(R_p) + f*(R_q) = 4, but a success in R_p's block would
+        // shift the 20-cost R_big block: |Δ| could reach 22 ≫ Λ. The
+        // transform must therefore refuse.
+        assert!(matches!(
+            swap.apply(&g, &theta),
+            Err(GraphError::InapplicableTransform(_))
+        ));
+    }
+
+    #[test]
+    fn dag_graphs_rejected_instead_of_panicking() {
+        // On a redundant (non-tree) graph the swap machinery's
+        // unique-parent walks would panic; `apply` must refuse cleanly.
+        let mut b = GraphBuilder::new("A").allow_dag();
+        let root = b.root();
+        let (r_ab, nb) = b.reduction(root, "R_ab", 1.0, "B");
+        let (_, nc) = b.reduction(nb, "R_bc", 1.0, "C");
+        b.retrieval(nc, "D_c", 1.0);
+        let r_ac = b.reduction_to(root, nc, "R_ac", 1.0);
+        let g = b.finish().unwrap();
+        let s = Strategy::from_arcs_relaxed(
+            &g,
+            vec![r_ac, r_ab, g.arc_by_label("R_bc").unwrap(), g.arc_by_label("D_c").unwrap()],
+        )
+        .unwrap();
+        let swap = SiblingSwap::new(&g, r_ab, r_ac).unwrap();
+        assert!(matches!(swap.apply(&g, &s), Err(GraphError::NotTree(_))));
+    }
+
+    #[test]
+    fn sibling_gap_of_same_parent_allowed() {
+        // A node with three children: swapping the outer two with the
+        // middle sibling between them is fine — the whole permuted
+        // segment stays under the common node, so Λ (sum of all three
+        // f*) still bounds Δ.
+        let mut b = GraphBuilder::new("root");
+        let root = b.root();
+        for (label, cost) in [("D_x", 1.0), ("D_y", 5.0), ("D_z", 2.0)] {
+            b.retrieval(root, label, cost);
+        }
+        let g = b.finish().unwrap();
+        let by = |l: &str| g.arc_by_label(l).unwrap();
+        let theta = Strategy::left_to_right(&g);
+        let swap = SiblingSwap::new(&g, by("D_x"), by("D_z")).unwrap();
+        let out = swap.apply(&g, &theta).unwrap();
+        let labels: Vec<&str> = out.arcs().iter().map(|&a| g.arc(a).label.as_str()).collect();
+        assert_eq!(labels, ["D_z", "D_y", "D_x"]);
+        assert_eq!(swap.lambda(&g), 8.0, "all three children counted");
+    }
+}

@@ -1,0 +1,352 @@
+//! `Υ_AOT` — the optimal-strategy algorithm for tree-shaped inference
+//! graphs (Section 4).
+//!
+//! "There are algorithms `Υ_G(G, p)` that take a graph `G` in the class
+//! `G` … and a vector of the success probabilities of the relevant
+//! retrievals `p` … and produce the optimal strategy for that graph."
+//! The paper cites \[Smi89\]'s efficient algorithm for simple disjunctive
+//! tree-shaped graphs; the underlying theory is Simon & Kadane's
+//! satisficing-search result \[SK75\]: order the root-to-retrieval paths
+//! by success-probability-to-cost ratio, merging blocks upward through
+//! the tree's precedence constraints (Horn's series-parallel scheduling
+//! algorithm).
+//!
+//! [`upsilon_aot`] implements the `O(n log n)`-style block-merge;
+//! [`brute_force_optimal`] enumerates *all* path-form strategies as the
+//! optimality oracle (property-tested agreement); and
+//! [`optimal_strategy`] dispatches — block-merge when only retrievals
+//! are probabilistic, enumeration otherwise (the paper notes the general
+//! problem is NP-hard \[Gre91\]).
+
+use qpl_graph::expected::{ContextDistribution, IndependentModel};
+use qpl_graph::graph::{ArcId, ArcKind, InferenceGraph, NodeId};
+use qpl_graph::strategy::{enumerate_all, Strategy};
+use qpl_graph::GraphError;
+
+/// A scheduled block: a run of arcs executed consecutively, with its
+/// aggregate expected cost and success probability.
+#[derive(Debug, Clone)]
+struct Block {
+    arcs: Vec<ArcId>,
+    /// Expected cost of running the block (conditional on starting it).
+    cost: f64,
+    /// Probability the block ends the satisficing search.
+    prob: f64,
+}
+
+impl Block {
+    fn ratio(&self) -> f64 {
+        self.prob / self.cost
+    }
+
+    /// Sequential composition: run `self`; if it fails, run `next`.
+    fn compose(mut self, next: Block) -> Block {
+        self.cost += (1.0 - self.prob) * next.cost;
+        self.prob += (1.0 - self.prob) * next.prob;
+        self.arcs.extend(next.arcs);
+        self
+    }
+}
+
+/// Merges ratio-descending block sequences into one (stable merge).
+fn merge_sequences(mut seqs: Vec<Vec<Block>>) -> Vec<Block> {
+    let mut out = Vec::new();
+    loop {
+        let best = seqs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_empty())
+            .max_by(|(_, a), (_, b)| {
+                a[0].ratio().partial_cmp(&b[0].ratio()).expect("finite ratios")
+            })
+            .map(|(i, _)| i);
+        match best {
+            Some(i) => out.push(seqs[i].remove(0)),
+            None => return out,
+        }
+    }
+}
+
+/// The ratio-descending block sequence for the subtree under `a`.
+fn sequence_for(g: &InferenceGraph, a: ArcId, model: &IndependentModel) -> Vec<Block> {
+    match g.arc(a).kind {
+        ArcKind::Retrieval => {
+            vec![Block { arcs: vec![a], cost: g.arc(a).cost, prob: model.prob(a) }]
+        }
+        ArcKind::Reduction => {
+            let children: Vec<Vec<Block>> = g
+                .children(g.arc(a).to)
+                .iter()
+                .map(|&c| sequence_for(g, c, model))
+                .collect();
+            let mut rest = merge_sequences(children);
+            let mut head = Block { arcs: vec![a], cost: g.arc(a).cost, prob: 0.0 };
+            // Absorb following blocks while they have a higher ratio than
+            // the head: the head must come first (precedence), so
+            // high-ratio work is fused to it.
+            while let Some(first) = rest.first() {
+                if first.ratio() > head.ratio() {
+                    head = head.compose(rest.remove(0));
+                } else {
+                    break;
+                }
+            }
+            let mut out = vec![head];
+            out.append(&mut rest);
+            out
+        }
+    }
+}
+
+/// `Υ_AOT(G, p)`: the optimal strategy for a tree-shaped inference graph
+/// under independent retrieval success probabilities.
+///
+/// # Errors
+/// [`GraphError::NotTree`] if `g` is not a tree, or
+/// [`GraphError::BadProbability`] if some *reduction* arc is
+/// probabilistic (`p < 1`): the classic algorithm covers retrieval-only
+/// blocking; use [`optimal_strategy`] for the general case.
+pub fn upsilon_aot(g: &InferenceGraph, model: &IndependentModel) -> Result<Strategy, GraphError> {
+    if !g.is_tree() {
+        return Err(GraphError::NotTree("Υ_AOT requires a tree-shaped graph".into()));
+    }
+    for a in g.arc_ids() {
+        if g.arc(a).kind == ArcKind::Reduction && model.prob(a) < 1.0 {
+            return Err(GraphError::BadProbability(model.prob(a)));
+        }
+    }
+    let root: NodeId = g.root();
+    let seqs: Vec<Vec<Block>> =
+        g.children(root).iter().map(|&c| sequence_for(g, c, model)).collect();
+    let blocks = merge_sequences(seqs);
+    let arcs: Vec<ArcId> = blocks.into_iter().flat_map(|b| b.arcs).collect();
+    Strategy::from_arcs(g, arcs)
+}
+
+/// Exhaustive optimum over **all** path-form strategies under any
+/// context distribution. Returns `None` if the strategy space exceeds
+/// `limit` (graph too large for brute force).
+pub fn brute_force_optimal(
+    g: &InferenceGraph,
+    dist: &impl ContextDistribution,
+    limit: usize,
+) -> Option<(Strategy, f64)> {
+    let all = enumerate_all(g, limit)?;
+    all.into_iter()
+        .map(|s| {
+            let c = dist.expected_cost(g, &s);
+            (s, c)
+        })
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
+}
+
+/// Dispatching optimizer: block-merge `Υ_AOT` when admissible, otherwise
+/// exhaustive enumeration up to `fallback_limit` strategies.
+///
+/// # Errors
+/// [`GraphError::Compile`] when neither method applies (probabilistic
+/// reductions *and* a strategy space larger than the limit — the
+/// NP-hard territory of \[Gre91\]).
+pub fn optimal_strategy(
+    g: &InferenceGraph,
+    model: &IndependentModel,
+    fallback_limit: usize,
+) -> Result<(Strategy, f64), GraphError> {
+    match upsilon_aot(g, model) {
+        Ok(s) => {
+            let c = model.expected_cost(g, &s);
+            Ok((s, c))
+        }
+        Err(GraphError::BadProbability(_)) => brute_force_optimal(g, model, fallback_limit)
+            .ok_or_else(|| {
+                GraphError::Compile(format!(
+                    "probabilistic reductions and > {fallback_limit} strategies: \
+                     exact optimization is intractable here"
+                ))
+            }),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpl_graph::graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn g_a() -> InferenceGraph {
+        let mut b = GraphBuilder::new("instructor(κ)");
+        let root = b.root();
+        let (_, prof) = b.reduction(root, "R_p", 1.0, "prof(κ)");
+        b.retrieval(prof, "D_p", 1.0);
+        let (_, grad) = b.reduction(root, "R_g", 1.0, "grad(κ)");
+        b.retrieval(grad, "D_g", 1.0);
+        b.finish().unwrap()
+    }
+
+    fn g_b() -> InferenceGraph {
+        let mut b = GraphBuilder::new("G(κ)");
+        let root = b.root();
+        let (_, a) = b.reduction(root, "R_ga", 1.0, "A(κ)");
+        b.retrieval(a, "D_a", 1.0);
+        let (_, s) = b.reduction(root, "R_gs", 1.0, "S(κ)");
+        let (_, bb) = b.reduction(s, "R_sb", 1.0, "B(κ)");
+        b.retrieval(bb, "D_b", 1.0);
+        let (_, t) = b.reduction(s, "R_st", 1.0, "T(κ)");
+        let (_, c) = b.reduction(t, "R_tc", 1.0, "C(κ)");
+        b.retrieval(c, "D_c", 1.0);
+        let (_, d) = b.reduction(t, "R_td", 1.0, "D(κ)");
+        b.retrieval(d, "D_d", 1.0);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn paper_pao_examples() {
+        let g = g_a();
+        // p = ⟨0.2, 0.6⟩ → Θ₂ (grad-first) optimal.
+        let m = IndependentModel::from_retrieval_probs(&g, &[0.2, 0.6]).unwrap();
+        let s = upsilon_aot(&g, &m).unwrap();
+        assert_eq!(s.display(&g).to_string(), "⟨R_g D_g R_p D_p⟩");
+        // p̂ = ⟨18/30, 10/20⟩ → Θ₁ (prof-first) optimal.
+        let m = IndependentModel::from_retrieval_probs(&g, &[0.6, 0.5]).unwrap();
+        let s = upsilon_aot(&g, &m).unwrap();
+        assert_eq!(s.display(&g).to_string(), "⟨R_p D_p R_g D_g⟩");
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_g_b() {
+        let g = g_b();
+        let m = IndependentModel::from_retrieval_probs(&g, &[0.3, 0.5, 0.2, 0.7]).unwrap();
+        let s = upsilon_aot(&g, &m).unwrap();
+        let (_, best) = brute_force_optimal(&g, &m, 1_000_000).unwrap();
+        let c = m.expected_cost(&g, &s);
+        assert!((c - best).abs() < 1e-9, "Υ gave {c}, brute force {best}");
+    }
+
+    #[test]
+    fn optimal_can_be_non_depth_first() {
+        // Make D_b's ratio sandwiched between D_c's and D_d's so the
+        // optimal strategy interleaves the S subtree.
+        let g = g_b();
+        let m = IndependentModel::from_retrieval_probs(&g, &[0.05, 0.35, 0.9, 0.1]).unwrap();
+        let s = upsilon_aot(&g, &m).unwrap();
+        let (_, best) = brute_force_optimal(&g, &m, 1_000_000).unwrap();
+        assert!((m.expected_cost(&g, &s) - best).abs() < 1e-9);
+        // And the best DFS strategy is strictly worse.
+        let best_dfs = qpl_graph::strategy::enumerate_dfs(&g, 1000)
+            .unwrap()
+            .into_iter()
+            .map(|s| m.expected_cost(&g, &s))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            best < best_dfs - 1e-9,
+            "optimal {best} should beat best DFS {best_dfs}"
+        );
+        assert!(!s.is_depth_first(&g));
+    }
+
+    #[test]
+    fn deterministic_success_goes_first() {
+        let g = g_b();
+        let m = IndependentModel::from_retrieval_probs(&g, &[0.0, 0.0, 0.0, 1.0]).unwrap();
+        let s = upsilon_aot(&g, &m).unwrap();
+        let labels: Vec<&str> = s.arcs().iter().map(|&a| g.arc(a).label.as_str()).collect();
+        assert_eq!(&labels[..3], ["R_gs", "R_st", "R_td"], "straight to the sure thing");
+        assert_eq!(labels[3], "D_d");
+    }
+
+    #[test]
+    fn rejects_probabilistic_reductions() {
+        let g = g_a();
+        let mut m = IndependentModel::from_retrieval_probs(&g, &[0.5, 0.5]).unwrap();
+        m.set_prob(g.arc_by_label("R_p").unwrap(), 0.7).unwrap();
+        assert!(matches!(upsilon_aot(&g, &m), Err(GraphError::BadProbability(_))));
+        // optimal_strategy falls back to enumeration and still succeeds.
+        let (s, c) = optimal_strategy(&g, &m, 100_000).unwrap();
+        let (_, best) = brute_force_optimal(&g, &m, 100_000).unwrap();
+        assert!((c - best).abs() < 1e-12);
+        let _ = s;
+    }
+
+    #[test]
+    fn zero_probabilities_handled() {
+        let g = g_a();
+        let m = IndependentModel::from_retrieval_probs(&g, &[0.0, 0.0]).unwrap();
+        let s = upsilon_aot(&g, &m).unwrap();
+        // Everything fails; any order is optimal, but the strategy must
+        // still be valid and complete.
+        assert_eq!(s.arcs().len(), 4);
+    }
+
+    /// Random tree generator for the optimality property test.
+    fn random_tree(rng: &mut StdRng, max_depth: usize) -> (InferenceGraph, Vec<f64>) {
+        fn grow(
+            b: &mut GraphBuilder,
+            node: qpl_graph::NodeId,
+            rng: &mut StdRng,
+            depth: usize,
+            max_depth: usize,
+            probs: &mut Vec<f64>,
+            label: &mut u32,
+        ) {
+            let kids = if depth >= max_depth { 0 } else { rng.gen_range(0..=2) };
+            if kids == 0 {
+                b.retrieval(node, &format!("D{}", *label), rng.gen_range(1..=4) as f64);
+                probs.push(rng.gen_range(0.0..1.0));
+                *label += 1;
+                return;
+            }
+            for _ in 0..kids {
+                let (_, child) = b.reduction(
+                    node,
+                    &format!("R{}", *label),
+                    rng.gen_range(1..=4) as f64,
+                    "goal",
+                );
+                *label += 1;
+                grow(b, child, rng, depth + 1, max_depth, probs, label);
+            }
+        }
+        loop {
+            let mut b = GraphBuilder::new("root");
+            let root = b.root();
+            let mut probs = Vec::new();
+            let mut label = 0;
+            // Root: 1-3 children.
+            let kids = rng.gen_range(1..=3);
+            for _ in 0..kids {
+                let (_, child) =
+                    b.reduction(root, &format!("R{label}"), rng.gen_range(1..=4) as f64, "goal");
+                label += 1;
+                grow(&mut b, child, rng, 1, max_depth, &mut probs, &mut label);
+            }
+            let g = b.finish().expect("generated tree is valid");
+            if g.retrievals().count() >= 2 && g.retrievals().count() <= 5 {
+                return (g, probs);
+            }
+        }
+    }
+
+    #[test]
+    fn upsilon_optimal_on_random_trees() {
+        // The decisive check: block-merge equals brute force over ALL
+        // path-form strategies, across many random trees, costs, and
+        // probabilities.
+        let mut rng = StdRng::seed_from_u64(123);
+        for case in 0..60 {
+            let (g, probs) = random_tree(&mut rng, 3);
+            let m = IndependentModel::from_retrieval_probs(&g, &probs).unwrap();
+            let s = upsilon_aot(&g, &m).unwrap();
+            let c = m.expected_cost(&g, &s);
+            let Some((_, best)) = brute_force_optimal(&g, &m, 2_000_000) else {
+                continue; // too many strategies; skip this case
+            };
+            assert!(
+                (c - best).abs() < 1e-9,
+                "case {case}: Υ={c} vs brute={best}\n{}",
+                g.outline()
+            );
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Query forms `q^α` with bound/free adornments (Section 2).
+//!
+//! A query form is "an expression of the form `q^α` where `q` denotes an
+//! n-ary relation and `α` is an n-tuple from `{b, f}ⁿ`": the `i`-th
+//! element is `b` if the query's `i`-th argument is bound and `f` if it
+//! is free. The inference-graph compiler builds one graph per query form;
+//! the learned strategy is specific to that form.
+
+use crate::symbol::{Symbol, SymbolTable};
+use crate::term::{Atom, Term};
+use std::fmt;
+
+/// One argument position's binding status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Binding {
+    /// Bound: the incoming query supplies a constant here.
+    Bound,
+    /// Free: the query asks for bindings of this argument.
+    Free,
+}
+
+impl Binding {
+    /// One-letter form used in the paper (`b`/`f`).
+    pub fn letter(self) -> char {
+        match self {
+            Binding::Bound => 'b',
+            Binding::Free => 'f',
+        }
+    }
+}
+
+/// An adornment string, e.g. `⟨b, f⟩` for `path(b, f)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Adornment(pub Vec<Binding>);
+
+impl Adornment {
+    /// All-bound adornment of the given arity (ground queries).
+    pub fn all_bound(arity: usize) -> Self {
+        Self(vec![Binding::Bound; arity])
+    }
+
+    /// Adornment matching an atom: constants are bound, variables free.
+    pub fn of_atom(atom: &Atom) -> Self {
+        Self(
+            atom.args
+                .iter()
+                .map(|t| if t.is_const() { Binding::Bound } else { Binding::Free })
+                .collect(),
+        )
+    }
+
+    /// Arity.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether every position is bound.
+    pub fn is_all_bound(&self) -> bool {
+        self.0.iter().all(|b| *b == Binding::Bound)
+    }
+}
+
+impl fmt::Display for Adornment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{}", b.letter())?;
+        }
+        Ok(())
+    }
+}
+
+/// A query form `q^α`: the unit over which strategies are learned.
+///
+/// # Examples
+/// ```
+/// use qpl_datalog::{Binding, QueryForm, SymbolTable};
+/// let mut t = SymbolTable::new();
+/// let instr = t.intern("instructor");
+/// let qf = QueryForm::new(instr, vec![Binding::Bound]);
+/// assert_eq!(qf.display(&t).to_string(), "instructor(b)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryForm {
+    /// Queried predicate.
+    pub predicate: Symbol,
+    /// Bound/free pattern.
+    pub adornment: Adornment,
+}
+
+impl QueryForm {
+    /// Constructs a query form.
+    pub fn new(predicate: Symbol, pattern: Vec<Binding>) -> Self {
+        Self { predicate, adornment: Adornment(pattern) }
+    }
+
+    /// Whether a concrete query atom matches this form (same predicate,
+    /// same arity, constants exactly at the bound positions).
+    pub fn matches(&self, query: &Atom) -> bool {
+        query.predicate == self.predicate
+            && query.arity() == self.adornment.arity()
+            && query.args.iter().zip(&self.adornment.0).all(|(t, b)| match b {
+                Binding::Bound => t.is_const(),
+                Binding::Free => t.is_var(),
+            })
+    }
+
+    /// The constants at the bound positions of `query`, in order.
+    ///
+    /// # Panics
+    /// Panics if `query` does not match this form.
+    pub fn bound_constants(&self, query: &Atom) -> Vec<Symbol> {
+        assert!(self.matches(query), "query does not match form");
+        query
+            .args
+            .iter()
+            .zip(&self.adornment.0)
+            .filter_map(|(t, b)| match b {
+                Binding::Bound => Some(t.as_const().expect("bound position is const")),
+                Binding::Free => None,
+            })
+            .collect()
+    }
+
+    /// Renders the form, e.g. `instructor(b)` or `path(b,f)`.
+    pub fn display<'a>(&'a self, table: &'a SymbolTable) -> impl fmt::Display + 'a {
+        DisplayForm { form: self, table }
+    }
+}
+
+struct DisplayForm<'a> {
+    form: &'a QueryForm,
+    table: &'a SymbolTable,
+}
+
+impl fmt::Display for DisplayForm<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.table.name(self.form.predicate))?;
+        for (i, b) in self.form.adornment.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", b.letter())?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Instantiates a query form into a concrete atom using `constants` for
+/// the bound positions and fresh variables `V0, V1, …` for the free ones.
+///
+/// # Panics
+/// Panics if the number of constants differs from the number of bound
+/// positions.
+pub fn instantiate(form: &QueryForm, constants: &[Symbol]) -> Atom {
+    let bound = form.adornment.0.iter().filter(|b| **b == Binding::Bound).count();
+    assert_eq!(constants.len(), bound, "need exactly one constant per bound position");
+    let mut ci = 0usize;
+    let mut vi = 0u32;
+    let args = form
+        .adornment
+        .0
+        .iter()
+        .map(|b| match b {
+            Binding::Bound => {
+                let c = constants[ci];
+                ci += 1;
+                Term::Const(c)
+            }
+            Binding::Free => {
+                let v = Term::Var(crate::term::Var(vi));
+                vi += 1;
+                v
+            }
+        })
+        .collect();
+    Atom::new(form.predicate, args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Var;
+
+    #[test]
+    fn matches_checks_positions() {
+        let mut t = SymbolTable::new();
+        let p = t.intern("path");
+        let a = t.intern("a");
+        let qf = QueryForm::new(p, vec![Binding::Bound, Binding::Free]);
+        assert!(qf.matches(&Atom::new(p, vec![Term::Const(a), Term::Var(Var(0))])));
+        assert!(!qf.matches(&Atom::new(p, vec![Term::Var(Var(0)), Term::Const(a)])));
+        assert!(!qf.matches(&Atom::new(p, vec![Term::Const(a)])));
+    }
+
+    #[test]
+    fn bound_constants_extracts_in_order() {
+        let mut t = SymbolTable::new();
+        let p = t.intern("r");
+        let (a, b) = (t.intern("a"), t.intern("b"));
+        let qf = QueryForm::new(p, vec![Binding::Bound, Binding::Free, Binding::Bound]);
+        let q = Atom::new(p, vec![Term::Const(a), Term::Var(Var(0)), Term::Const(b)]);
+        assert_eq!(qf.bound_constants(&q), vec![a, b]);
+    }
+
+    #[test]
+    fn instantiate_round_trips() {
+        let mut t = SymbolTable::new();
+        let p = t.intern("r");
+        let (a, b) = (t.intern("a"), t.intern("b"));
+        let qf = QueryForm::new(p, vec![Binding::Bound, Binding::Free, Binding::Bound]);
+        let q = instantiate(&qf, &[a, b]);
+        assert!(qf.matches(&q));
+        assert_eq!(qf.bound_constants(&q), vec![a, b]);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let mut t = SymbolTable::new();
+        let p = t.intern("path");
+        let qf = QueryForm::new(p, vec![Binding::Bound, Binding::Free]);
+        assert_eq!(qf.display(&t).to_string(), "path(b,f)");
+        assert_eq!(qf.adornment.to_string(), "bf");
+    }
+
+    #[test]
+    fn adornment_of_atom() {
+        let mut t = SymbolTable::new();
+        let p = t.intern("p");
+        let a = t.intern("a");
+        let atom = Atom::new(p, vec![Term::Const(a), Term::Var(Var(0))]);
+        let ad = Adornment::of_atom(&atom);
+        assert_eq!(ad.0, vec![Binding::Bound, Binding::Free]);
+        assert!(!ad.is_all_bound());
+        assert!(Adornment::all_bound(2).is_all_bound());
+    }
+
+    #[test]
+    #[should_panic(expected = "constant per bound position")]
+    fn instantiate_arity_checked() {
+        let mut t = SymbolTable::new();
+        let p = t.intern("p");
+        let qf = QueryForm::new(p, vec![Binding::Bound]);
+        instantiate(&qf, &[]);
+    }
+}

@@ -1,0 +1,327 @@
+//! The extensional database: per-predicate relations of ground facts.
+//!
+//! The paper's cost model charges one "attempted retrieval" per database
+//! probe; the probe itself is the ground-membership test
+//! [`Database::contains`]. Pattern matching (for free-argument query
+//! forms and for the bottom-up oracle) uses per-column hash indexes.
+
+use crate::error::DatalogError;
+use crate::symbol::{Symbol, SymbolTable};
+use crate::term::{Atom, Fact, Term};
+use crate::unify::Substitution;
+use std::collections::{HashMap, HashSet};
+
+/// A single predicate's stored rows plus per-column indexes.
+#[derive(Debug, Clone, Default)]
+struct Relation {
+    arity: usize,
+    rows: Vec<Box<[Symbol]>>,
+    /// Hash of every row for O(1) membership.
+    set: HashSet<Box<[Symbol]>>,
+    /// `index[col][symbol]` = row ids having `symbol` at `col`.
+    index: Vec<HashMap<Symbol, Vec<usize>>>,
+}
+
+impl Relation {
+    fn new(arity: usize) -> Self {
+        Self { arity, rows: Vec::new(), set: HashSet::new(), index: vec![HashMap::new(); arity] }
+    }
+
+    fn insert(&mut self, row: Box<[Symbol]>) -> bool {
+        if self.set.contains(&row) {
+            return false;
+        }
+        let id = self.rows.len();
+        for (col, &s) in row.iter().enumerate() {
+            self.index[col].entry(s).or_default().push(id);
+        }
+        self.set.insert(row.clone());
+        self.rows.push(row);
+        true
+    }
+
+    fn contains(&self, row: &[Symbol]) -> bool {
+        self.set.contains(row)
+    }
+
+    /// Row ids matching a pattern (Some = must equal, None = free),
+    /// using the most selective available column index.
+    fn matching_rows<'a>(&'a self, pattern: &[Option<Symbol>]) -> Box<dyn Iterator<Item = &'a [Symbol]> + 'a> {
+        debug_assert_eq!(pattern.len(), self.arity);
+        // Pick the bound column with the fewest candidate rows.
+        let mut best: Option<&[usize]> = None;
+        for (col, p) in pattern.iter().enumerate() {
+            if let Some(sym) = p {
+                let ids: &[usize] = self.index[col].get(sym).map(Vec::as_slice).unwrap_or(&[]);
+                if best.is_none_or(|b| ids.len() < b.len()) {
+                    best = Some(ids);
+                }
+            }
+        }
+        let pattern: Vec<Option<Symbol>> = pattern.to_vec();
+        match best {
+            Some(ids) => Box::new(ids.iter().map(|&i| &*self.rows[i]).filter(move |row| {
+                row.iter().zip(&pattern).all(|(s, p)| p.is_none_or(|q| q == *s))
+            })),
+            None => Box::new(self.rows.iter().map(|r| &**r)),
+        }
+    }
+}
+
+/// A database of ground atomic facts (the paper's `DB`).
+///
+/// # Examples
+/// ```
+/// use qpl_datalog::{Database, Fact, SymbolTable};
+/// let mut t = SymbolTable::new();
+/// let mut db = Database::new();
+/// let prof = t.intern("prof");
+/// let russ = t.intern("russ");
+/// db.insert(Fact::new(prof, vec![russ])).unwrap();
+/// assert!(db.contains(prof, &[russ]));
+/// assert_eq!(db.fact_count(prof), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    relations: HashMap<Symbol, Relation>,
+    total: usize,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a fact; returns `Ok(true)` if it was new.
+    ///
+    /// # Errors
+    /// Returns [`DatalogError::ArityMismatch`] if the predicate was
+    /// previously stored with a different arity.
+    pub fn insert(&mut self, fact: Fact) -> Result<bool, DatalogError> {
+        let rel =
+            self.relations.entry(fact.predicate).or_insert_with(|| Relation::new(fact.arity()));
+        if rel.arity != fact.arity() {
+            return Err(DatalogError::ArityMismatch {
+                predicate: format!("{}", fact.predicate),
+                expected: rel.arity,
+                found: fact.arity(),
+            });
+        }
+        let added = rel.insert(fact.args.into_boxed_slice());
+        if added {
+            self.total += 1;
+        }
+        Ok(added)
+    }
+
+    /// Ground membership probe — the paper's attempted retrieval.
+    pub fn contains(&self, predicate: Symbol, args: &[Symbol]) -> bool {
+        self.relations.get(&predicate).is_some_and(|r| r.arity == args.len() && r.contains(args))
+    }
+
+    /// Ground membership probe on an atom; `false` if non-ground.
+    pub fn contains_atom(&self, atom: &Atom) -> bool {
+        match atom.to_fact() {
+            Some(f) => self.contains(f.predicate, &f.args),
+            None => false,
+        }
+    }
+
+    /// Number of stored facts for `predicate` (the statistic used by the
+    /// \[Smi89\]-style baseline of Section 2).
+    pub fn fact_count(&self, predicate: Symbol) -> usize {
+        self.relations.get(&predicate).map_or(0, |r| r.rows.len())
+    }
+
+    /// Total stored facts.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Declared arity of `predicate`, if it has any facts.
+    pub fn arity(&self, predicate: Symbol) -> Option<usize> {
+        self.relations.get(&predicate).map(|r| r.arity)
+    }
+
+    /// All substitutions `σ` (extending `base`) such that `σ(atom)` is a
+    /// stored fact. The workhorse of the bottom-up oracle and of
+    /// free-argument retrievals.
+    pub fn matches(&self, atom: &Atom, base: &Substitution) -> Vec<Substitution> {
+        let Some(rel) = self.relations.get(&atom.predicate) else {
+            return Vec::new();
+        };
+        if rel.arity != atom.arity() {
+            return Vec::new();
+        }
+        // Resolve the atom under the base substitution into a pattern.
+        let resolved: Vec<Term> = atom.args.iter().map(|&t| base.resolve(t)).collect();
+        let pattern: Vec<Option<Symbol>> = resolved.iter().map(|t| t.as_const()).collect();
+        let mut out = Vec::new();
+        'rows: for row in rel.matching_rows(&pattern) {
+            let mut sub = base.clone();
+            for (&term, &sym) in resolved.iter().zip(row.iter()) {
+                match term {
+                    Term::Const(c) => {
+                        if c != sym {
+                            continue 'rows;
+                        }
+                    }
+                    Term::Var(v) => {
+                        // Repeated variables must bind consistently.
+                        match sub.resolve(Term::Var(v)) {
+                            Term::Const(c) if c != sym => continue 'rows,
+                            Term::Const(_) => {}
+                            Term::Var(w) => sub.bind(w, Term::Const(sym)),
+                        }
+                    }
+                }
+            }
+            out.push(sub);
+        }
+        out
+    }
+
+    /// Iterates over all facts (for display/serialization).
+    pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.relations.iter().flat_map(|(&p, rel)| {
+            rel.rows.iter().map(move |row| Fact::new(p, row.to_vec()))
+        })
+    }
+
+    /// Renders all facts, sorted, for test snapshots.
+    pub fn dump(&self, table: &SymbolTable) -> Vec<String> {
+        let mut out: Vec<String> = self.facts().map(|f| f.display(table).to_string()).collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Var;
+
+    fn setup() -> (SymbolTable, Database) {
+        (SymbolTable::new(), Database::new())
+    }
+
+    #[test]
+    fn insert_and_probe() {
+        let (mut t, mut db) = setup();
+        let p = t.intern("prof");
+        let (r, m) = (t.intern("russ"), t.intern("manolis"));
+        assert!(db.insert(Fact::new(p, vec![r])).unwrap());
+        assert!(!db.insert(Fact::new(p, vec![r])).unwrap(), "duplicate insert is a no-op");
+        assert!(db.contains(p, &[r]));
+        assert!(!db.contains(p, &[m]));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let (mut t, mut db) = setup();
+        let p = t.intern("p");
+        let a = t.intern("a");
+        db.insert(Fact::new(p, vec![a])).unwrap();
+        let err = db.insert(Fact::new(p, vec![a, a])).unwrap_err();
+        assert!(matches!(err, DatalogError::ArityMismatch { expected: 1, found: 2, .. }));
+    }
+
+    #[test]
+    fn probe_with_wrong_arity_is_false() {
+        let (mut t, mut db) = setup();
+        let p = t.intern("p");
+        let a = t.intern("a");
+        db.insert(Fact::new(p, vec![a])).unwrap();
+        assert!(!db.contains(p, &[a, a]));
+        assert!(!db.contains(p, &[]));
+    }
+
+    #[test]
+    fn matches_binds_free_variables() {
+        let (mut t, mut db) = setup();
+        let e = t.intern("edge");
+        let (a, b, c) = (t.intern("a"), t.intern("b"), t.intern("c"));
+        db.insert(Fact::new(e, vec![a, b])).unwrap();
+        db.insert(Fact::new(e, vec![a, c])).unwrap();
+        db.insert(Fact::new(e, vec![b, c])).unwrap();
+        // edge(a, X)?
+        let atom = Atom::new(e, vec![Term::Const(a), Term::Var(Var(0))]);
+        let subs = db.matches(&atom, &Substitution::new());
+        let mut bound: Vec<Symbol> =
+            subs.iter().map(|s| s.resolve(Term::Var(Var(0))).as_const().unwrap()).collect();
+        bound.sort();
+        assert_eq!(bound, vec![b, c]);
+    }
+
+    #[test]
+    fn matches_respects_repeated_variables() {
+        let (mut t, mut db) = setup();
+        let e = t.intern("edge");
+        let (a, b) = (t.intern("a"), t.intern("b"));
+        db.insert(Fact::new(e, vec![a, a])).unwrap();
+        db.insert(Fact::new(e, vec![a, b])).unwrap();
+        // edge(X, X)?
+        let atom = Atom::new(e, vec![Term::Var(Var(0)), Term::Var(Var(0))]);
+        let subs = db.matches(&atom, &Substitution::new());
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].resolve(Term::Var(Var(0))), Term::Const(a));
+    }
+
+    #[test]
+    fn matches_respects_base_substitution() {
+        let (mut t, mut db) = setup();
+        let e = t.intern("edge");
+        let (a, b) = (t.intern("a"), t.intern("b"));
+        db.insert(Fact::new(e, vec![a, b])).unwrap();
+        db.insert(Fact::new(e, vec![b, a])).unwrap();
+        let mut base = Substitution::new();
+        base.bind(Var(0), Term::Const(a));
+        let atom = Atom::new(e, vec![Term::Var(Var(0)), Term::Var(Var(1))]);
+        let subs = db.matches(&atom, &base);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].resolve(Term::Var(Var(1))), Term::Const(b));
+    }
+
+    #[test]
+    fn fact_count_matches_paper_db2_statistics() {
+        // DB₂ of Section 2: 2000 prof facts, 500 grad facts.
+        let (mut t, mut db) = setup();
+        let (prof, grad) = (t.intern("prof"), t.intern("grad"));
+        for i in 0..2000 {
+            let c = t.intern(&format!("p{i}"));
+            db.insert(Fact::new(prof, vec![c])).unwrap();
+        }
+        for i in 0..500 {
+            let c = t.intern(&format!("g{i}"));
+            db.insert(Fact::new(grad, vec![c])).unwrap();
+        }
+        assert_eq!(db.fact_count(prof), 2000);
+        assert_eq!(db.fact_count(grad), 500);
+        assert_eq!(db.len(), 2500);
+    }
+
+    #[test]
+    fn matches_unknown_predicate_is_empty() {
+        let (mut t, db) = setup();
+        let p = t.intern("nothing");
+        let atom = Atom::new(p, vec![Term::Var(Var(0))]);
+        assert!(db.matches(&atom, &Substitution::new()).is_empty());
+    }
+
+    #[test]
+    fn dump_is_sorted_and_readable() {
+        let (mut t, mut db) = setup();
+        let p = t.intern("p");
+        let (b, a) = (t.intern("b"), t.intern("a"));
+        db.insert(Fact::new(p, vec![b])).unwrap();
+        db.insert(Fact::new(p, vec![a])).unwrap();
+        assert_eq!(db.dump(&t), vec!["p(a)", "p(b)"]);
+    }
+}

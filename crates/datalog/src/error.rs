@@ -1,0 +1,61 @@
+//! Error type for the Datalog substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or evaluating Datalog programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatalogError {
+    /// A predicate was used with two different arities.
+    ArityMismatch {
+        /// Predicate name.
+        predicate: String,
+        /// Arity seen first.
+        expected: usize,
+        /// Conflicting arity.
+        found: usize,
+    },
+    /// A fact contained a variable.
+    NonGroundFact(String),
+    /// A rule head contains a variable that does not occur in the body
+    /// (violates range restriction / safety).
+    UnsafeRule {
+        /// Rendered rule text.
+        rule: String,
+        /// The offending variable name.
+        variable: String,
+    },
+    /// Parse error with a 1-based line number and message.
+    Parse {
+        /// Line of the offending input.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Top-down evaluation exceeded its depth bound (likely recursion).
+    DepthExceeded(usize),
+    /// A query form referred to an unknown predicate.
+    UnknownPredicate(String),
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ArityMismatch { predicate, expected, found } => write!(
+                f,
+                "predicate `{predicate}` used with arity {found}, but was declared with arity {expected}"
+            ),
+            Self::NonGroundFact(s) => write!(f, "fact `{s}` contains variables"),
+            Self::UnsafeRule { rule, variable } => write!(
+                f,
+                "rule `{rule}` is unsafe: head variable `{variable}` does not occur in the body"
+            ),
+            Self::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            Self::DepthExceeded(d) => {
+                write!(f, "top-down evaluation exceeded depth bound {d} (recursive rule base?)")
+            }
+            Self::UnknownPredicate(p) => write!(f, "unknown predicate `{p}`"),
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}

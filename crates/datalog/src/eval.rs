@@ -1,0 +1,261 @@
+//! Bottom-up evaluation: naive and semi-naive fixpoint computation.
+//!
+//! The strategy-driven query processor in `qpl-engine` is top-down and
+//! satisficing; these bottom-up evaluators compute the *full* minimal
+//! model and serve as ground-truth oracles in tests ("does a derivation
+//! exist for this query in this context?") — exactly the yes/no question
+//! whose *cost*, not answer, the paper's strategies change.
+
+use crate::database::Database;
+use crate::rule::{Rule, RuleBase};
+use crate::symbol::Symbol;
+use crate::term::{Atom, Fact};
+use crate::unify::Substitution;
+use std::collections::HashSet;
+
+/// Computes the minimal model by naive iteration: applies every rule to
+/// the whole database until no new fact appears. Quadratic in rounds but
+/// obviously correct; used to validate [`seminaive`].
+pub fn naive(rules: &RuleBase, edb: &Database) -> Database {
+    let mut db = edb.clone();
+    loop {
+        let mut new_facts = Vec::new();
+        for (_, rule) in rules.iter() {
+            derive(rule, &db, None, &mut new_facts);
+        }
+        let mut changed = false;
+        for f in new_facts {
+            if db.insert(f).expect("derived fact arity is consistent") {
+                changed = true;
+            }
+        }
+        if !changed {
+            return db;
+        }
+    }
+}
+
+/// Computes the minimal model by semi-naive iteration: each round only
+/// joins rule bodies against at least one *delta* (newly derived) fact.
+pub fn seminaive(rules: &RuleBase, edb: &Database) -> Database {
+    let mut db = edb.clone();
+    // Round 0: fire every rule once against the EDB.
+    let mut delta: HashSet<Fact> = HashSet::new();
+    {
+        let mut first = Vec::new();
+        for (_, rule) in rules.iter() {
+            derive(rule, &db, None, &mut first);
+        }
+        for f in first {
+            if db.insert(f.clone()).expect("consistent arity") {
+                delta.insert(f);
+            }
+        }
+    }
+    while !delta.is_empty() {
+        let delta_preds: HashSet<Symbol> = delta.iter().map(|f| f.predicate).collect();
+        let mut new_facts = Vec::new();
+        for (_, rule) in rules.iter() {
+            // Only rules whose body mentions a delta predicate can fire anew.
+            if rule.body.iter().any(|b| delta_preds.contains(&b.predicate)) {
+                derive(rule, &db, Some(&delta), &mut new_facts);
+            }
+        }
+        let mut next_delta = HashSet::new();
+        for f in new_facts {
+            if db.insert(f.clone()).expect("consistent arity") {
+                next_delta.insert(f);
+            }
+        }
+        delta = next_delta;
+    }
+    db
+}
+
+/// Fires one rule against `db`, pushing derived ground head instances.
+/// When `delta` is given, only derivations using at least one delta fact
+/// in the body are produced (the semi-naive restriction).
+fn derive(rule: &Rule, db: &Database, delta: Option<&HashSet<Fact>>, out: &mut Vec<Fact>) {
+    // Depth-first join over body literals, tracking whether a delta fact
+    // participated so far.
+    #[allow(clippy::too_many_arguments)]
+    fn join(
+        body: &[Atom],
+        idx: usize,
+        sub: Substitution,
+        used_delta: bool,
+        rule: &Rule,
+        db: &Database,
+        delta: Option<&HashSet<Fact>>,
+        out: &mut Vec<Fact>,
+    ) {
+        if idx == body.len() {
+            if delta.is_some() && !used_delta {
+                return;
+            }
+            let head = sub.apply(&rule.head);
+            if let Some(f) = head.to_fact() {
+                out.push(f);
+            }
+            return;
+        }
+        for next in db.matches(&body[idx], &sub) {
+            let used = used_delta
+                || delta.is_some_and(|d| {
+                    let ground = next.apply(&body[idx]);
+                    ground.to_fact().is_some_and(|f| d.contains(&f))
+                });
+            join(body, idx + 1, next, used, rule, db, delta, out);
+        }
+    }
+    join(&rule.body, 0, Substitution::new(), false, rule, db, delta, out);
+}
+
+/// Whether `query` (possibly non-ground) holds in the minimal model of
+/// `rules ∪ edb` — the oracle's yes/no answer.
+pub fn holds(rules: &RuleBase, edb: &Database, query: &Atom) -> bool {
+    let model = seminaive(rules, edb);
+    if let Some(f) = query.to_fact() {
+        model.contains(f.predicate, &f.args)
+    } else {
+        !model.matches(query, &Substitution::new()).is_empty()
+    }
+}
+
+/// All ground instances of `query` in the minimal model.
+pub fn answers(rules: &RuleBase, edb: &Database, query: &Atom) -> Vec<Atom> {
+    let model = seminaive(rules, edb);
+    let mut out: Vec<Atom> =
+        model.matches(query, &Substitution::new()).iter().map(|s| s.apply(query)).collect();
+    out.sort_by_key(|a| a.args.iter().map(|t| t.as_const().map(|s| s.index())).collect::<Vec<_>>());
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::symbol::SymbolTable;
+    use crate::term::{Term, Var};
+
+    fn model_dump(src: &str, semi: bool) -> Vec<String> {
+        let mut t = SymbolTable::new();
+        let p = parse_program(src, &mut t).unwrap();
+        let m = if semi { seminaive(&p.rules, &p.facts) } else { naive(&p.rules, &p.facts) };
+        m.dump(&t)
+    }
+
+    #[test]
+    fn university_kb_derives_instructors() {
+        let src = "instructor(X) :- prof(X).\n\
+                   instructor(X) :- grad(X).\n\
+                   prof(russ). grad(manolis).";
+        let m = model_dump(src, true);
+        assert!(m.contains(&"instructor(russ)".to_string()));
+        assert!(m.contains(&"instructor(manolis)".to_string()));
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn naive_and_seminaive_agree_on_transitive_closure() {
+        let src = "path(X, Y) :- edge(X, Y).\n\
+                   path(X, Z) :- path(X, Y), edge(Y, Z).\n\
+                   edge(a, b). edge(b, c). edge(c, d).";
+        assert_eq!(model_dump(src, false), model_dump(src, true));
+        let m = model_dump(src, true);
+        assert!(m.contains(&"path(a, d)".to_string()));
+        // 3 edges + 6 paths = 9 facts.
+        assert_eq!(m.len(), 9);
+    }
+
+    #[test]
+    fn conjunctive_join() {
+        let src = "gp(X, Z) :- parent(X, Y), parent(Y, Z).\n\
+                   parent(ann, bob). parent(bob, cal). parent(bob, dan).";
+        let m = model_dump(src, true);
+        assert!(m.contains(&"gp(ann, cal)".to_string()));
+        assert!(m.contains(&"gp(ann, dan)".to_string()));
+        assert_eq!(m.iter().filter(|f| f.starts_with("gp")).count(), 2);
+    }
+
+    #[test]
+    fn cyclic_edges_terminate() {
+        let src = "path(X, Y) :- edge(X, Y).\n\
+                   path(X, Z) :- path(X, Y), edge(Y, Z).\n\
+                   edge(a, b). edge(b, a).";
+        let m = model_dump(src, true);
+        // {a,b}² = 4 paths.
+        assert_eq!(m.iter().filter(|f| f.starts_with("path")).count(), 4);
+    }
+
+    #[test]
+    fn holds_ground_and_open_queries() {
+        let mut t = SymbolTable::new();
+        let p = parse_program(
+            "instructor(X) :- prof(X). prof(russ).",
+            &mut t,
+        )
+        .unwrap();
+        let instr = t.lookup("instructor").unwrap();
+        let russ = t.lookup("russ").unwrap();
+        let fred = t.intern("fred");
+        assert!(holds(&p.rules, &p.facts, &Atom::new(instr, vec![Term::Const(russ)])));
+        assert!(!holds(&p.rules, &p.facts, &Atom::new(instr, vec![Term::Const(fred)])));
+        assert!(holds(&p.rules, &p.facts, &Atom::new(instr, vec![Term::Var(Var(0))])));
+    }
+
+    #[test]
+    fn answers_enumerates_bindings() {
+        let mut t = SymbolTable::new();
+        let p = parse_program(
+            "instructor(X) :- prof(X). instructor(X) :- grad(X).\n\
+             prof(russ). grad(manolis).",
+            &mut t,
+        )
+        .unwrap();
+        let instr = t.lookup("instructor").unwrap();
+        let q = Atom::new(instr, vec![Term::Var(Var(0))]);
+        let ans = answers(&p.rules, &p.facts, &q);
+        assert_eq!(ans.len(), 2);
+    }
+
+    #[test]
+    fn empty_rule_base_returns_edb() {
+        let src = "p(a). q(b).";
+        let m = model_dump(src, true);
+        assert_eq!(m, vec!["p(a)", "q(b)"]);
+    }
+
+    #[test]
+    fn partially_ground_rule_head() {
+        // The Section-4.1 rule: grad(fred) :- admitted(fred, X).
+        let src = "grad(fred) :- admitted(fred, X).\n\
+                   admitted(fred, toronto).";
+        let m = model_dump(src, true);
+        assert!(m.contains(&"grad(fred)".to_string()));
+    }
+
+    #[test]
+    fn seminaive_matches_naive_on_diamond() {
+        // Diamond dependency: a :- b. a :- c. b :- d. c :- d. d.
+        let src = "a(X) :- b(X). a(X) :- c(X). b(X) :- d(X). c(X) :- d(X). d(k).";
+        assert_eq!(model_dump(src, false), model_dump(src, true));
+    }
+
+    proptest::proptest! {
+        /// Random edge sets: semi-naive and naive compute identical
+        /// transitive closures.
+        #[test]
+        fn closure_equivalence(edges in proptest::collection::vec((0u8..5, 0u8..5), 0..12)) {
+            let mut src = String::from(
+                "path(X, Y) :- edge(X, Y).\npath(X, Z) :- path(X, Y), edge(Y, Z).\n");
+            for (a, b) in &edges {
+                src.push_str(&format!("edge(n{a}, n{b}).\n"));
+            }
+            let n = model_dump(&src, false);
+            let s = model_dump(&src, true);
+            proptest::prop_assert_eq!(n, s);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # qpl-datalog — a from-scratch Datalog substrate
+//!
+//! Greiner's PODS'92 paper assumes a *knowledge base* consisting of a
+//! database of ground atomic facts plus a rule base of function-free
+//! definite clauses (Datalog), and a query processor that reduces a query
+//! to a series of attempted retrievals. This crate provides that
+//! substrate:
+//!
+//! * [`SymbolTable`] / [`Symbol`] — interned constant and predicate names.
+//! * [`Term`], [`Atom`], [`Fact`] — terms (constants or variables),
+//!   possibly-non-ground atoms, and ground facts.
+//! * [`Database`] — the extensional store: per-predicate relations with
+//!   hash membership (the paper's "attempted retrieval" primitive) and
+//!   per-column indexes for pattern matching.
+//! * [`Rule`] / [`RuleBase`] — validated definite clauses with a
+//!   by-head-predicate index.
+//! * [`unify`] — substitutions and syntactic unification.
+//! * [`parser`] — a small concrete syntax
+//!   (`prof(russ).`, `instructor(X) :- prof(X).`, query forms
+//!   `instructor(b)`).
+//! * [`eval`] — bottom-up naive and semi-naive evaluation (used as the
+//!   ground-truth oracle for the strategy-driven engine).
+//! * [`topdown`] — a satisficing SLD resolution solver (the second
+//!   oracle, and the reference semantics for "blocked" arcs).
+//! * [`adornment`] — query forms `q^α` with bound/free adornments
+//!   (Section 2 of the paper).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adornment;
+pub mod database;
+pub mod error;
+pub mod eval;
+pub mod parser;
+pub mod rule;
+pub mod symbol;
+pub mod term;
+pub mod topdown;
+pub mod unify;
+
+pub use adornment::{Adornment, Binding, QueryForm};
+pub use database::Database;
+pub use error::DatalogError;
+pub use rule::{Rule, RuleBase, RuleId};
+pub use symbol::{Symbol, SymbolTable};
+pub use term::{Atom, Fact, Term, Var};
+pub use unify::Substitution;

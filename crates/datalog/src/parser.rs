@@ -1,0 +1,448 @@
+//! A small concrete syntax for knowledge bases.
+//!
+//! ```text
+//! % comment
+//! prof(russ).                      % ground fact → Database
+//! instructor(X) :- prof(X).        % rule → RuleBase
+//! grad(fred) :- admitted(fred, Y). % partially ground rule
+//! ```
+//!
+//! Identifiers starting with a lowercase letter are constants/predicates;
+//! identifiers starting with an uppercase letter or `_` are variables
+//! (scoped to their clause). Separate entry points parse query atoms
+//! (`instructor(manolis)`) and query forms (`instructor(b)`,
+//! `path(b,f)`).
+
+use crate::database::Database;
+use crate::error::DatalogError;
+use crate::rule::{Rule, RuleBase};
+use crate::symbol::SymbolTable;
+use crate::term::{Atom, Term, Var};
+use crate::adornment::{Binding, QueryForm};
+use std::collections::HashMap;
+
+/// A parsed knowledge base: rules and ground facts.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Intensional part.
+    pub rules: RuleBase,
+    /// Extensional part.
+    pub facts: Database,
+}
+
+/// Parses a whole program (facts and rules, one clause per `.`).
+///
+/// # Errors
+/// Returns the first [`DatalogError`] encountered (parse error, unsafe
+/// rule, or arity mismatch).
+///
+/// # Examples
+/// ```
+/// use qpl_datalog::{parser, SymbolTable};
+/// let mut t = SymbolTable::new();
+/// let p = parser::parse_program(
+///     "instructor(X) :- prof(X).\n\
+///      instructor(X) :- grad(X).\n\
+///      prof(russ). grad(manolis).",
+///     &mut t,
+/// ).unwrap();
+/// assert_eq!(p.rules.len(), 2);
+/// assert_eq!(p.facts.len(), 2);
+/// ```
+pub fn parse_program(src: &str, table: &mut SymbolTable) -> Result<Program, DatalogError> {
+    let mut prog = Program::default();
+    for clause in ClauseIter::new(src) {
+        let (text, line) = clause?;
+        let mut p = Parser::new(&text, line, table);
+        let (head, body) = p.clause()?;
+        if body.is_empty() {
+            let fact = head.to_fact().ok_or_else(|| {
+                DatalogError::NonGroundFact(head.display(table).to_string())
+            })?;
+            prog.facts.insert(fact)?;
+        } else {
+            prog.rules.add(Rule::new(head, body)?);
+        }
+    }
+    Ok(prog)
+}
+
+/// Parses a single query atom, e.g. `instructor(manolis)` or
+/// `path(a, X)`. A trailing `?` or `.` is accepted and ignored.
+pub fn parse_query(src: &str, table: &mut SymbolTable) -> Result<Atom, DatalogError> {
+    let trimmed = src.trim().trim_end_matches(['?', '.']);
+    let mut p = Parser::new(trimmed, 1, table);
+    let atom = p.atom()?;
+    p.expect_end()?;
+    Ok(atom)
+}
+
+/// Parses a query form, e.g. `instructor(b)` or `path(b,f)`.
+pub fn parse_query_form(src: &str, table: &mut SymbolTable) -> Result<QueryForm, DatalogError> {
+    let trimmed = src.trim();
+    let mut p = Parser::new(trimmed, 1, table);
+    let name = p.identifier()?;
+    p.consume('(')?;
+    let mut pattern = Vec::new();
+    if !p.peek_is(')') {
+        loop {
+            let tok = p.identifier()?;
+            let b = match tok.as_str() {
+                "b" => Binding::Bound,
+                "f" => Binding::Free,
+                other => {
+                    return Err(p.error(format!("expected `b` or `f` in adornment, found `{other}`")))
+                }
+            };
+            pattern.push(b);
+            if p.peek_is(',') {
+                p.consume(',')?;
+            } else {
+                break;
+            }
+        }
+    }
+    p.consume(')')?;
+    p.expect_end()?;
+    let predicate = table.intern(&name);
+    Ok(QueryForm::new(predicate, pattern))
+}
+
+/// Iterator over `.`-terminated clauses, tracking line numbers and
+/// stripping `%` comments.
+struct ClauseIter<'a> {
+    rest: &'a str,
+    line: usize,
+}
+
+impl<'a> ClauseIter<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { rest: src, line: 1 }
+    }
+}
+
+impl Iterator for ClauseIter<'_> {
+    type Item = Result<(String, usize), DatalogError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut clause = String::new();
+        let mut start_line = self.line;
+        let mut seen_content = false;
+        let mut chars = self.rest.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '%' => {
+                    // Skip to end of line.
+                    for (j, d) in chars.by_ref() {
+                        if d == '\n' {
+                            self.line += 1;
+                            let _ = j;
+                            break;
+                        }
+                    }
+                }
+                '\n' => {
+                    self.line += 1;
+                    clause.push(' ');
+                }
+                '.' => {
+                    self.rest = &self.rest[i + 1..];
+                    if clause.trim().is_empty() {
+                        return Some(Err(DatalogError::Parse {
+                            line: self.line,
+                            message: "empty clause before `.`".into(),
+                        }));
+                    }
+                    return Some(Ok((clause, start_line)));
+                }
+                _ => {
+                    if !seen_content && !c.is_whitespace() {
+                        seen_content = true;
+                        start_line = self.line;
+                    }
+                    clause.push(c);
+                }
+            }
+        }
+        self.rest = "";
+        if clause.trim().is_empty() {
+            None
+        } else {
+            Some(Err(DatalogError::Parse {
+                line: start_line,
+                message: "clause not terminated with `.`".into(),
+            }))
+        }
+    }
+}
+
+/// Recursive-descent parser over a single clause.
+struct Parser<'a, 't> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    table: &'t mut SymbolTable,
+    vars: HashMap<String, Var>,
+    _src: &'a str,
+}
+
+impl<'a, 't> Parser<'a, 't> {
+    fn new(src: &'a str, line: usize, table: &'t mut SymbolTable) -> Self {
+        Self { chars: src.chars().collect(), pos: 0, line, table, vars: HashMap::new(), _src: src }
+    }
+
+    fn error(&self, message: String) -> DatalogError {
+        DatalogError::Parse { line: self.line, message }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_is(&mut self, c: char) -> bool {
+        self.peek() == Some(c)
+    }
+
+    fn consume(&mut self, c: char) -> Result<(), DatalogError> {
+        match self.peek() {
+            Some(d) if d == c => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(d) => Err(self.error(format!("expected `{c}`, found `{d}`"))),
+            None => Err(self.error(format!("expected `{c}`, found end of input"))),
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), DatalogError> {
+        match self.peek() {
+            None => Ok(()),
+            Some(c) => Err(self.error(format!("unexpected trailing `{c}`"))),
+        }
+    }
+
+    fn identifier(&mut self) -> Result<String, DatalogError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.chars.len() {
+            let c = self.chars[self.pos];
+            if c.is_alphanumeric() || c == '_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            let found = self.chars.get(self.pos).map_or("end of input".to_string(), |c| format!("`{c}`"));
+            return Err(self.error(format!("expected identifier, found {found}")));
+        }
+        Ok(self.chars[start..self.pos].iter().collect())
+    }
+
+    fn term(&mut self) -> Result<Term, DatalogError> {
+        let id = self.identifier()?;
+        let first = id.chars().next().expect("identifier is non-empty");
+        if first.is_uppercase() || first == '_' {
+            let next_idx = self.vars.len() as u32;
+            // `_` alone is an anonymous variable: always fresh.
+            let v = if id == "_" {
+                let v = Var(next_idx);
+                self.vars.insert(format!("_anon{next_idx}"), v);
+                v
+            } else {
+                *self.vars.entry(id).or_insert(Var(next_idx))
+            };
+            Ok(Term::Var(v))
+        } else {
+            Ok(Term::Const(self.table.intern(&id)))
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, DatalogError> {
+        let name = self.identifier()?;
+        let first = name.chars().next().expect("identifier is non-empty");
+        if first.is_uppercase() {
+            return Err(self.error(format!("predicate `{name}` must start lowercase")));
+        }
+        let predicate = self.table.intern(&name);
+        let mut args = Vec::new();
+        if self.peek_is('(') {
+            self.consume('(')?;
+            if !self.peek_is(')') {
+                loop {
+                    args.push(self.term()?);
+                    if self.peek_is(',') {
+                        self.consume(',')?;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.consume(')')?;
+        }
+        Ok(Atom::new(predicate, args))
+    }
+
+    /// `head` or `head :- b1, …, bn` (no trailing `.` — the clause
+    /// splitter removed it).
+    fn clause(&mut self) -> Result<(Atom, Vec<Atom>), DatalogError> {
+        let head = self.atom()?;
+        let mut body = Vec::new();
+        if self.peek_is(':') {
+            self.consume(':')?;
+            self.consume('-')?;
+            loop {
+                body.push(self.atom()?);
+                if self.peek_is(',') {
+                    self.consume(',')?;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_end()?;
+        Ok((head, body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_facts_and_rules() {
+        let mut t = SymbolTable::new();
+        let p = parse_program(
+            "% the paper's Figure-1 knowledge base\n\
+             instructor(X) :- prof(X).\n\
+             instructor(X) :- grad(X).\n\
+             prof(russ).\n\
+             grad(manolis).",
+            &mut t,
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.facts.len(), 2);
+        let prof = t.lookup("prof").unwrap();
+        let russ = t.lookup("russ").unwrap();
+        assert!(p.facts.contains(prof, &[russ]));
+    }
+
+    #[test]
+    fn variables_scoped_per_clause() {
+        let mut t = SymbolTable::new();
+        let p = parse_program("a(X) :- b(X). c(X) :- d(X).", &mut t).unwrap();
+        // Both clauses reuse Var(0); they must not interfere.
+        for (_, r) in p.rules.iter() {
+            assert_eq!(r.head.variables(), vec![Var(0)]);
+        }
+    }
+
+    #[test]
+    fn conjunctive_bodies() {
+        let mut t = SymbolTable::new();
+        let p = parse_program("gp(X, Z) :- parent(X, Y), parent(Y, Z).", &mut t).unwrap();
+        let (_, r) = p.rules.iter().next().unwrap();
+        assert_eq!(r.body.len(), 2);
+        assert!(!r.is_disjunctive());
+    }
+
+    #[test]
+    fn anonymous_variables_are_fresh() {
+        let mut t = SymbolTable::new();
+        // p(X) :- q(X, _), r(X, _).  — the two `_` must be distinct vars.
+        let p = parse_program("p(X) :- q(X, _), r(X, _).", &mut t).unwrap();
+        let (_, rule) = p.rules.iter().next().unwrap();
+        let u = rule.body[0].args[1];
+        let v = rule.body[1].args[1];
+        assert_ne!(u, v);
+    }
+
+    #[test]
+    fn non_ground_fact_rejected() {
+        let mut t = SymbolTable::new();
+        let err = parse_program("p(X).", &mut t).unwrap_err();
+        assert!(matches!(err, DatalogError::NonGroundFact(_)));
+    }
+
+    #[test]
+    fn unsafe_rule_rejected() {
+        let mut t = SymbolTable::new();
+        let err = parse_program("p(X) :- q(a).", &mut t).unwrap_err();
+        assert!(matches!(err, DatalogError::UnsafeRule { .. }));
+    }
+
+    #[test]
+    fn missing_period_reported_with_line() {
+        let mut t = SymbolTable::new();
+        let err = parse_program("p(a)", &mut t).unwrap_err();
+        assert!(matches!(err, DatalogError::Parse { .. }));
+    }
+
+    #[test]
+    fn garbage_reports_line_number() {
+        let mut t = SymbolTable::new();
+        let err = parse_program("p(a).\n\nq(((.", &mut t).unwrap_err();
+        match err {
+            DatalogError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parse_query_accepts_question_mark() {
+        let mut t = SymbolTable::new();
+        let q = parse_query("instructor(manolis)?", &mut t).unwrap();
+        assert!(q.is_ground());
+        assert_eq!(q.display(&t).to_string(), "instructor(manolis)");
+    }
+
+    #[test]
+    fn parse_query_with_variables() {
+        let mut t = SymbolTable::new();
+        let q = parse_query("age(russ, X)", &mut t).unwrap();
+        assert!(!q.is_ground());
+        assert_eq!(q.args[1], Term::Var(Var(0)));
+    }
+
+    #[test]
+    fn parse_query_form_patterns() {
+        let mut t = SymbolTable::new();
+        let qf = parse_query_form("instructor(b)", &mut t).unwrap();
+        assert_eq!(qf.adornment.0, vec![Binding::Bound]);
+        let qf2 = parse_query_form("path(b,f)", &mut t).unwrap();
+        assert_eq!(qf2.adornment.0, vec![Binding::Bound, Binding::Free]);
+    }
+
+    #[test]
+    fn parse_query_form_rejects_other_letters() {
+        let mut t = SymbolTable::new();
+        assert!(parse_query_form("p(x)", &mut t).is_err());
+    }
+
+    #[test]
+    fn zero_arity_atoms_parse() {
+        let mut t = SymbolTable::new();
+        let p = parse_program("halt.\nspin :- halt.", &mut t).unwrap();
+        assert_eq!(p.facts.len(), 1);
+        assert_eq!(p.rules.len(), 1);
+    }
+
+    #[test]
+    fn comments_stripped_everywhere() {
+        let mut t = SymbolTable::new();
+        let p = parse_program(
+            "p(a). % trailing comment\n% full-line comment\nq(b).",
+            &mut t,
+        )
+        .unwrap();
+        assert_eq!(p.facts.len(), 2);
+    }
+}

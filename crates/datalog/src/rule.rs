@@ -1,0 +1,329 @@
+//! Rules (definite clauses) and the rule base.
+//!
+//! A rule `h :- b₁, …, bₙ` is a function-free definite clause. The paper
+//! mostly works with *disjunctive* rule bases (every body has exactly one
+//! literal, Note 4); general conjunctive bodies are accepted here and
+//! compile to hyper-arcs in `qpl-graph`.
+
+use crate::error::DatalogError;
+use crate::symbol::{Symbol, SymbolTable};
+use crate::term::{Atom, Var};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a rule within its [`RuleBase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RuleId(pub u32);
+
+impl RuleId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A definite clause `head :- body₁, …, bodyₙ` (facts have empty bodies
+/// but are normally stored in the [`Database`](crate::Database) instead).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Consequent.
+    pub head: Atom,
+    /// Antecedents (conjunction).
+    pub body: Vec<Atom>,
+}
+
+impl Rule {
+    /// Constructs and validates a rule.
+    ///
+    /// # Errors
+    /// Returns [`DatalogError::UnsafeRule`] if a head variable does not
+    /// occur in the body (range restriction), which would allow deriving
+    /// non-ground facts.
+    pub fn new(head: Atom, body: Vec<Atom>) -> Result<Self, DatalogError> {
+        let rule = Self { head, body };
+        rule.validate()?;
+        Ok(rule)
+    }
+
+    fn validate(&self) -> Result<(), DatalogError> {
+        let body_vars: Vec<Var> = self.body.iter().flat_map(|a| a.variables()).collect();
+        for v in self.head.variables() {
+            if !body_vars.contains(&v) {
+                return Err(DatalogError::UnsafeRule {
+                    rule: format!("{:?}", self),
+                    variable: format!("V{}", v.0),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the body has exactly one literal (the paper's "simple
+    /// disjunctive" rule shape, Note 4).
+    pub fn is_disjunctive(&self) -> bool {
+        self.body.len() == 1
+    }
+
+    /// Highest variable index used, plus one (for renaming apart).
+    pub fn var_span(&self) -> u32 {
+        std::iter::once(&self.head)
+            .chain(self.body.iter())
+            .flat_map(|a| a.variables())
+            .map(|v| v.0 + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders the rule using `table`.
+    pub fn display<'a>(&'a self, table: &'a SymbolTable) -> impl fmt::Display + 'a {
+        DisplayRule { rule: self, table }
+    }
+}
+
+struct DisplayRule<'a> {
+    rule: &'a Rule,
+    table: &'a SymbolTable,
+}
+
+impl fmt::Display for DisplayRule<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.rule.head.display(self.table))?;
+        if !self.rule.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, b) in self.rule.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", b.display(self.table))?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// An indexed collection of rules (the paper's static rule base).
+///
+/// # Examples
+/// ```
+/// use qpl_datalog::{Atom, Rule, RuleBase, SymbolTable, Term, Var};
+/// let mut t = SymbolTable::new();
+/// let (instr, prof) = (t.intern("instructor"), t.intern("prof"));
+/// let x = Term::Var(Var(0));
+/// let mut rb = RuleBase::new();
+/// rb.add(Rule::new(Atom::new(instr, vec![x]), vec![Atom::new(prof, vec![x])]).unwrap());
+/// assert_eq!(rb.rules_for(instr).count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RuleBase {
+    rules: Vec<Rule>,
+    by_head: HashMap<Symbol, Vec<RuleId>>,
+}
+
+impl RuleBase {
+    /// Creates an empty rule base.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a rule, returning its id.
+    pub fn add(&mut self, rule: Rule) -> RuleId {
+        let id = RuleId(u32::try_from(self.rules.len()).expect("rule base overflow"));
+        self.by_head.entry(rule.head.predicate).or_default().push(id);
+        self.rules.push(rule);
+        id
+    }
+
+    /// The rule with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn rule(&self, id: RuleId) -> &Rule {
+        &self.rules[id.index()]
+    }
+
+    /// Rules whose head predicate is `p`, in insertion order.
+    pub fn rules_for(&self, p: Symbol) -> impl Iterator<Item = (RuleId, &Rule)> {
+        self.by_head
+            .get(&p)
+            .into_iter()
+            .flatten()
+            .map(move |&id| (id, &self.rules[id.index()]))
+    }
+
+    /// All rules.
+    pub fn iter(&self) -> impl Iterator<Item = (RuleId, &Rule)> {
+        self.rules.iter().enumerate().map(|(i, r)| (RuleId(i as u32), r))
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether there are no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Predicates that have at least one rule (intensional predicates).
+    pub fn intensional_predicates(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.by_head.keys().copied()
+    }
+
+    /// Whether the rule-head dependency graph is recursive (some
+    /// predicate can reach itself through rule bodies). The inference
+    /// graph compiler rejects recursive rule bases (the paper's
+    /// tractability results assume non-recursive graphs, Section 4).
+    pub fn is_recursive(&self) -> bool {
+        // DFS with colors over the predicate dependency graph.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut deps: HashMap<Symbol, Vec<Symbol>> = HashMap::new();
+        for r in &self.rules {
+            let entry = deps.entry(r.head.predicate).or_default();
+            for b in &r.body {
+                entry.push(b.predicate);
+            }
+        }
+        let mut color: HashMap<Symbol, Color> = HashMap::new();
+        fn visit(
+            p: Symbol,
+            deps: &HashMap<Symbol, Vec<Symbol>>,
+            color: &mut HashMap<Symbol, Color>,
+        ) -> bool {
+            match color.get(&p).copied().unwrap_or(Color::White) {
+                Color::Gray => return true,
+                Color::Black => return false,
+                Color::White => {}
+            }
+            color.insert(p, Color::Gray);
+            if let Some(children) = deps.get(&p) {
+                for &c in children {
+                    if visit(c, deps, color) {
+                        return true;
+                    }
+                }
+            }
+            color.insert(p, Color::Black);
+            false
+        }
+        let preds: Vec<Symbol> = deps.keys().copied().collect();
+        preds.into_iter().any(|p| visit(p, &deps, &mut color))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn t() -> SymbolTable {
+        SymbolTable::new()
+    }
+
+    #[test]
+    fn safe_rule_accepted() {
+        let mut s = t();
+        let (p, q) = (s.intern("p"), s.intern("q"));
+        let x = Term::Var(Var(0));
+        assert!(Rule::new(Atom::new(p, vec![x]), vec![Atom::new(q, vec![x])]).is_ok());
+    }
+
+    #[test]
+    fn unsafe_rule_rejected() {
+        let mut s = t();
+        let (p, q) = (s.intern("p"), s.intern("q"));
+        let err = Rule::new(
+            Atom::new(p, vec![Term::Var(Var(0))]),
+            vec![Atom::new(q, vec![Term::Var(Var(1))])],
+        )
+        .unwrap_err();
+        assert!(matches!(err, DatalogError::UnsafeRule { .. }));
+    }
+
+    #[test]
+    fn ground_head_rule_is_safe() {
+        // grad(fred) :- admitted(fred, X).   (the paper's Section 4.1 rule)
+        let mut s = t();
+        let (grad, admitted, fred) = (s.intern("grad"), s.intern("admitted"), s.intern("fred"));
+        let rule = Rule::new(
+            Atom::new(grad, vec![Term::Const(fred)]),
+            vec![Atom::new(admitted, vec![Term::Const(fred), Term::Var(Var(0))])],
+        );
+        assert!(rule.is_ok());
+    }
+
+    #[test]
+    fn rules_for_indexes_by_head() {
+        let mut s = t();
+        let (instr, prof, grad) = (s.intern("instructor"), s.intern("prof"), s.intern("grad"));
+        let x = Term::Var(Var(0));
+        let mut rb = RuleBase::new();
+        let r1 = rb.add(Rule::new(Atom::new(instr, vec![x]), vec![Atom::new(prof, vec![x])]).unwrap());
+        let r2 = rb.add(Rule::new(Atom::new(instr, vec![x]), vec![Atom::new(grad, vec![x])]).unwrap());
+        let ids: Vec<RuleId> = rb.rules_for(instr).map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![r1, r2]);
+        assert_eq!(rb.rules_for(prof).count(), 0);
+    }
+
+    #[test]
+    fn recursion_detected() {
+        // a :- b.  b :- c.  c :- a.
+        let mut s = t();
+        let (a, b, c) = (s.intern("a"), s.intern("b"), s.intern("c"));
+        let x = Term::Var(Var(0));
+        let mut rb = RuleBase::new();
+        rb.add(Rule::new(Atom::new(a, vec![x]), vec![Atom::new(b, vec![x])]).unwrap());
+        rb.add(Rule::new(Atom::new(b, vec![x]), vec![Atom::new(c, vec![x])]).unwrap());
+        rb.add(Rule::new(Atom::new(c, vec![x]), vec![Atom::new(a, vec![x])]).unwrap());
+        assert!(rb.is_recursive());
+    }
+
+    #[test]
+    fn dag_rule_base_not_recursive() {
+        // The "A :- B. B :- C. A :- C." base of Note 5 is a DAG, not recursive.
+        let mut s = t();
+        let (a, b, c) = (s.intern("a"), s.intern("b"), s.intern("c"));
+        let x = Term::Var(Var(0));
+        let mut rb = RuleBase::new();
+        rb.add(Rule::new(Atom::new(a, vec![x]), vec![Atom::new(b, vec![x])]).unwrap());
+        rb.add(Rule::new(Atom::new(b, vec![x]), vec![Atom::new(c, vec![x])]).unwrap());
+        rb.add(Rule::new(Atom::new(a, vec![x]), vec![Atom::new(c, vec![x])]).unwrap());
+        assert!(!rb.is_recursive());
+    }
+
+    #[test]
+    fn self_recursion_detected() {
+        let mut s = t();
+        let p = s.intern("p");
+        let x = Term::Var(Var(0));
+        let mut rb = RuleBase::new();
+        rb.add(Rule::new(Atom::new(p, vec![x]), vec![Atom::new(p, vec![x])]).unwrap());
+        assert!(rb.is_recursive());
+    }
+
+    #[test]
+    fn display_renders_clauses() {
+        let mut s = t();
+        let (p, q) = (s.intern("p"), s.intern("q"));
+        let x = Term::Var(Var(0));
+        let r = Rule::new(Atom::new(p, vec![x]), vec![Atom::new(q, vec![x])]).unwrap();
+        assert_eq!(r.display(&s).to_string(), "p(V0) :- q(V0).");
+    }
+
+    #[test]
+    fn var_span_counts_head_and_body() {
+        let mut s = t();
+        let (p, q) = (s.intern("p"), s.intern("q"));
+        let r = Rule::new(
+            Atom::new(p, vec![Term::Var(Var(1))]),
+            vec![Atom::new(q, vec![Term::Var(Var(1)), Term::Var(Var(4))])],
+        )
+        .unwrap();
+        assert_eq!(r.var_span(), 5);
+    }
+}

@@ -1,0 +1,138 @@
+//! Interned symbols for predicate and constant names.
+//!
+//! All names in a knowledge base are interned once into a [`SymbolTable`]
+//! and referred to by a 4-byte [`Symbol`] thereafter; facts are then plain
+//! `Vec<Symbol>` rows, comparisons are integer compares, and the database
+//! never touches string hashing on the hot retrieval path.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned name (predicate or constant). Cheap to copy and compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub(crate) u32);
+
+impl Symbol {
+    /// The raw index into the owning [`SymbolTable`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Bidirectional interner: `&str → Symbol` and `Symbol → &str`.
+///
+/// # Examples
+/// ```
+/// use qpl_datalog::SymbolTable;
+/// let mut t = SymbolTable::new();
+/// let a = t.intern("prof");
+/// let b = t.intern("prof");
+/// assert_eq!(a, b);
+/// assert_eq!(t.name(a), "prof");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    by_name: HashMap<String, Symbol>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing symbol if already present.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&s) = self.by_name.get(name) {
+            return s;
+        }
+        let s = Symbol(u32::try_from(self.names.len()).expect("symbol table overflow"));
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), s);
+        s
+    }
+
+    /// Looks up a symbol without interning.
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The string for `s`.
+    ///
+    /// # Panics
+    /// Panics if `s` belongs to a different table.
+    pub fn name(&self, s: Symbol) -> &str {
+        &self.names[s.index()]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(Symbol, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (Symbol(i as u32), n.as_str()))
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("x");
+        let b = t.intern("x");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_distinct_symbols() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("x");
+        let b = t.intern("y");
+        assert_ne!(a, b);
+        assert_eq!(t.name(a), "x");
+        assert_eq!(t.name(b), "y");
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.lookup("missing"), None);
+        let s = t.intern("present");
+        assert_eq!(t.lookup("present"), Some(s));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut t = SymbolTable::new();
+        t.intern("a");
+        t.intern("b");
+        let names: Vec<_> = t.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = SymbolTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

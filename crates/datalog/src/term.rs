@@ -1,0 +1,247 @@
+//! Terms, atoms, and ground facts.
+//!
+//! The paper's knowledge bases are function-free (footnote 3: "a
+//! conjunction of function-free clauses"), so a [`Term`] is either an
+//! interned constant or a rule-scoped variable; an [`Atom`] is a predicate
+//! applied to terms, and a [`Fact`] is an all-constant atom stored in the
+//! [`Database`](crate::Database).
+
+use crate::symbol::{Symbol, SymbolTable};
+use std::fmt;
+
+/// A rule- or query-scoped variable, identified by index.
+///
+/// Variables are meaningful only within a single rule or query; the
+/// engine renames them apart before unification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A function-free term: a constant or a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// An interned constant.
+    Const(Symbol),
+    /// A variable (scoped to its rule or query).
+    Var(Var),
+}
+
+impl Term {
+    /// Whether this term is a constant.
+    pub fn is_const(self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+
+    /// Whether this term is a variable.
+    pub fn is_var(self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// The constant symbol, if any.
+    pub fn as_const(self) -> Option<Symbol> {
+        match self {
+            Term::Const(s) => Some(s),
+            Term::Var(_) => None,
+        }
+    }
+
+    /// The variable, if any.
+    pub fn as_var(self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+/// A (possibly non-ground) atomic formula `p(t₁, …, tₙ)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Predicate symbol.
+    pub predicate: Symbol,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Constructs an atom.
+    pub fn new(predicate: Symbol, args: Vec<Term>) -> Self {
+        Self { predicate, args }
+    }
+
+    /// Number of arguments.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Whether every argument is a constant.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(|t| t.is_const())
+    }
+
+    /// Converts to a [`Fact`] if ground.
+    pub fn to_fact(&self) -> Option<Fact> {
+        let mut args = Vec::with_capacity(self.args.len());
+        for t in &self.args {
+            args.push(t.as_const()?);
+        }
+        Some(Fact { predicate: self.predicate, args })
+    }
+
+    /// All variables occurring in the atom, in first-occurrence order
+    /// (duplicates removed).
+    pub fn variables(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        for t in &self.args {
+            if let Term::Var(v) = *t {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the atom using `table` for names and `V{i}` for variables.
+    pub fn display<'a>(&'a self, table: &'a SymbolTable) -> impl fmt::Display + 'a {
+        DisplayAtom { atom: self, table }
+    }
+}
+
+struct DisplayAtom<'a> {
+    atom: &'a Atom,
+    table: &'a SymbolTable,
+}
+
+impl fmt::Display for DisplayAtom<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.table.name(self.atom.predicate))?;
+        for (i, t) in self.atom.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match t {
+                Term::Const(s) => write!(f, "{}", self.table.name(*s))?,
+                Term::Var(v) => write!(f, "V{}", v.0)?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// A ground atomic fact `p(c₁, …, cₙ)` — the unit of database storage and
+/// of the paper's "attempted retrieval".
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fact {
+    /// Predicate symbol.
+    pub predicate: Symbol,
+    /// Constant arguments.
+    pub args: Vec<Symbol>,
+}
+
+impl Fact {
+    /// Constructs a fact.
+    pub fn new(predicate: Symbol, args: Vec<Symbol>) -> Self {
+        Self { predicate, args }
+    }
+
+    /// Number of arguments.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// The equivalent (ground) atom.
+    pub fn to_atom(&self) -> Atom {
+        Atom::new(self.predicate, self.args.iter().map(|&s| Term::Const(s)).collect())
+    }
+
+    /// Renders the fact using `table`.
+    pub fn display<'a>(&'a self, table: &'a SymbolTable) -> impl fmt::Display + 'a {
+        DisplayFact { fact: self, table }
+    }
+}
+
+struct DisplayFact<'a> {
+    fact: &'a Fact,
+    table: &'a SymbolTable,
+}
+
+impl fmt::Display for DisplayFact<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.table.name(self.fact.predicate))?;
+        for (i, s) in self.fact.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.table.name(*s))?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> SymbolTable {
+        SymbolTable::new()
+    }
+
+    #[test]
+    fn ground_atom_round_trips_to_fact() {
+        let mut t = table();
+        let p = t.intern("p");
+        let a = t.intern("a");
+        let atom = Atom::new(p, vec![Term::Const(a)]);
+        assert!(atom.is_ground());
+        let fact = atom.to_fact().unwrap();
+        assert_eq!(fact.to_atom(), atom);
+    }
+
+    #[test]
+    fn non_ground_atom_has_no_fact() {
+        let mut t = table();
+        let p = t.intern("p");
+        let atom = Atom::new(p, vec![Term::Var(Var(0))]);
+        assert!(!atom.is_ground());
+        assert_eq!(atom.to_fact(), None);
+    }
+
+    #[test]
+    fn variables_deduplicated_in_order() {
+        let mut t = table();
+        let p = t.intern("p");
+        let a = t.intern("a");
+        let atom = Atom::new(
+            p,
+            vec![Term::Var(Var(2)), Term::Const(a), Term::Var(Var(0)), Term::Var(Var(2))],
+        );
+        assert_eq!(atom.variables(), vec![Var(2), Var(0)]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut t = table();
+        let p = t.intern("edge");
+        let a = t.intern("a");
+        let atom = Atom::new(p, vec![Term::Const(a), Term::Var(Var(1))]);
+        assert_eq!(atom.display(&t).to_string(), "edge(a, V1)");
+        let fact = Fact::new(p, vec![a, a]);
+        assert_eq!(fact.display(&t).to_string(), "edge(a, a)");
+    }
+
+    #[test]
+    fn zero_arity_atoms() {
+        let mut t = table();
+        let p = t.intern("halt");
+        let atom = Atom::new(p, vec![]);
+        assert!(atom.is_ground());
+        assert_eq!(atom.display(&t).to_string(), "halt()");
+    }
+}

@@ -1,0 +1,264 @@
+//! Substitutions and syntactic unification for function-free terms.
+//!
+//! Because the language is function-free, unification is simple: a
+//! binding maps a variable to a constant or to another variable, and
+//! resolution walks variable chains. No occurs check is needed (there are
+//! no compound terms to create cycles through), but variable→variable
+//! chains are followed iteratively.
+
+use crate::term::{Atom, Term, Var};
+use std::collections::HashMap;
+
+/// A triangular substitution: variable → term, resolved by walking.
+///
+/// # Examples
+/// ```
+/// use qpl_datalog::{Substitution, Term, Var};
+/// let mut s = Substitution::new();
+/// s.bind(Var(0), Term::Var(Var(1)));
+/// // Var(0) resolves through Var(1); binding Var(1) resolves both.
+/// assert_eq!(s.resolve(Term::Var(Var(0))), Term::Var(Var(1)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Substitution {
+    bindings: HashMap<Var, Term>,
+}
+
+impl Substitution {
+    /// The empty substitution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Whether no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Binds `v` to `t`.
+    ///
+    /// # Panics
+    /// In debug builds, panics on the self-binding `v ↦ v`, which would
+    /// make [`resolve`](Self::resolve) loop.
+    pub fn bind(&mut self, v: Var, t: Term) {
+        debug_assert!(t != Term::Var(v), "self-binding {v:?}");
+        self.bindings.insert(v, t);
+    }
+
+    /// Follows variable chains until a constant or unbound variable.
+    pub fn resolve(&self, mut t: Term) -> Term {
+        loop {
+            match t {
+                Term::Const(_) => return t,
+                Term::Var(v) => match self.bindings.get(&v) {
+                    Some(&next) => t = next,
+                    None => return t,
+                },
+            }
+        }
+    }
+
+    /// Applies the substitution to every argument of `atom`.
+    pub fn apply(&self, atom: &Atom) -> Atom {
+        Atom::new(atom.predicate, atom.args.iter().map(|&t| self.resolve(t)).collect())
+    }
+
+    /// Raw binding for `v` (unwalked), if any.
+    pub fn get(&self, v: Var) -> Option<Term> {
+        self.bindings.get(&v).copied()
+    }
+}
+
+/// Unifies two terms under `sub`, extending it in place on success.
+/// Returns `false` (leaving `sub` possibly partially extended — callers
+/// clone first, as [`unify_atoms`] does) when the terms clash.
+pub fn unify_terms(sub: &mut Substitution, a: Term, b: Term) -> bool {
+    let a = sub.resolve(a);
+    let b = sub.resolve(b);
+    match (a, b) {
+        (Term::Const(x), Term::Const(y)) => x == y,
+        (Term::Var(v), t) | (t, Term::Var(v)) => {
+            if t == Term::Var(v) {
+                true // already identical variables
+            } else {
+                sub.bind(v, t);
+                true
+            }
+        }
+    }
+}
+
+/// Unifies two atoms, returning the extended substitution on success.
+///
+/// The input substitution is taken by reference and never mutated; the
+/// returned substitution extends it.
+///
+/// # Examples
+/// ```
+/// use qpl_datalog::{unify::unify_atoms, Atom, Substitution, SymbolTable, Term, Var};
+/// let mut t = SymbolTable::new();
+/// let p = t.intern("p");
+/// let a = t.intern("a");
+/// let goal = Atom::new(p, vec![Term::Const(a), Term::Var(Var(0))]);
+/// let head = Atom::new(p, vec![Term::Var(Var(1)), Term::Var(Var(2))]);
+/// let sub = unify_atoms(&goal, &head, &Substitution::new()).unwrap();
+/// assert_eq!(sub.resolve(Term::Var(Var(1))), Term::Const(a));
+/// ```
+pub fn unify_atoms(a: &Atom, b: &Atom, base: &Substitution) -> Option<Substitution> {
+    if a.predicate != b.predicate || a.arity() != b.arity() {
+        return None;
+    }
+    let mut sub = base.clone();
+    for (&ta, &tb) in a.args.iter().zip(b.args.iter()) {
+        if !unify_terms(&mut sub, ta, tb) {
+            return None;
+        }
+    }
+    Some(sub)
+}
+
+/// Renames the variables of `atom` by offsetting their indices, producing
+/// a variant disjoint from any variable below `offset`.
+pub fn rename_apart(atom: &Atom, offset: u32) -> Atom {
+    Atom::new(
+        atom.predicate,
+        atom.args
+            .iter()
+            .map(|&t| match t {
+                Term::Var(v) => Term::Var(Var(v.0 + offset)),
+                c => c,
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolTable;
+
+    fn syms() -> (SymbolTable, crate::symbol::Symbol, crate::symbol::Symbol, crate::symbol::Symbol)
+    {
+        let mut t = SymbolTable::new();
+        let p = t.intern("p");
+        let a = t.intern("a");
+        let b = t.intern("b");
+        (t, p, a, b)
+    }
+
+    #[test]
+    fn unify_const_const() {
+        let (_, _, a, b) = syms();
+        let mut s = Substitution::new();
+        assert!(unify_terms(&mut s, Term::Const(a), Term::Const(a)));
+        assert!(!unify_terms(&mut s, Term::Const(a), Term::Const(b)));
+    }
+
+    #[test]
+    fn unify_var_const_binds() {
+        let (_, _, a, _) = syms();
+        let mut s = Substitution::new();
+        assert!(unify_terms(&mut s, Term::Var(Var(0)), Term::Const(a)));
+        assert_eq!(s.resolve(Term::Var(Var(0))), Term::Const(a));
+    }
+
+    #[test]
+    fn unify_var_var_then_const_propagates() {
+        let (_, _, a, _) = syms();
+        let mut s = Substitution::new();
+        assert!(unify_terms(&mut s, Term::Var(Var(0)), Term::Var(Var(1))));
+        assert!(unify_terms(&mut s, Term::Var(Var(1)), Term::Const(a)));
+        assert_eq!(s.resolve(Term::Var(Var(0))), Term::Const(a));
+    }
+
+    #[test]
+    fn unify_same_var_is_noop() {
+        let mut s = Substitution::new();
+        assert!(unify_terms(&mut s, Term::Var(Var(3)), Term::Var(Var(3))));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn unify_atoms_clashing_predicates() {
+        let (mut t, p, a, _) = syms();
+        let q = t.intern("q");
+        let x = Atom::new(p, vec![Term::Const(a)]);
+        let y = Atom::new(q, vec![Term::Const(a)]);
+        assert!(unify_atoms(&x, &y, &Substitution::new()).is_none());
+    }
+
+    #[test]
+    fn unify_atoms_arity_mismatch() {
+        let (_, p, a, _) = syms();
+        let x = Atom::new(p, vec![Term::Const(a)]);
+        let y = Atom::new(p, vec![Term::Const(a), Term::Const(a)]);
+        assert!(unify_atoms(&x, &y, &Substitution::new()).is_none());
+    }
+
+    #[test]
+    fn unify_atoms_does_not_mutate_base() {
+        let (_, p, a, _) = syms();
+        let base = Substitution::new();
+        let x = Atom::new(p, vec![Term::Var(Var(0))]);
+        let y = Atom::new(p, vec![Term::Const(a)]);
+        let sub = unify_atoms(&x, &y, &base).unwrap();
+        assert!(base.is_empty());
+        assert_eq!(sub.resolve(Term::Var(Var(0))), Term::Const(a));
+    }
+
+    #[test]
+    fn unify_atoms_failure_on_clash_after_partial_binding() {
+        let (_, p, a, b) = syms();
+        // p(X, X) vs p(a, b) must fail.
+        let x = Atom::new(p, vec![Term::Var(Var(0)), Term::Var(Var(0))]);
+        let y = Atom::new(p, vec![Term::Const(a), Term::Const(b)]);
+        assert!(unify_atoms(&x, &y, &Substitution::new()).is_none());
+    }
+
+    #[test]
+    fn apply_resolves_all_args() {
+        let (_, p, a, _) = syms();
+        let mut s = Substitution::new();
+        s.bind(Var(0), Term::Const(a));
+        let atom = Atom::new(p, vec![Term::Var(Var(0)), Term::Var(Var(1))]);
+        let applied = s.apply(&atom);
+        assert_eq!(applied.args, vec![Term::Const(a), Term::Var(Var(1))]);
+    }
+
+    #[test]
+    fn rename_apart_offsets_vars_only() {
+        let (_, p, a, _) = syms();
+        let atom = Atom::new(p, vec![Term::Var(Var(0)), Term::Const(a)]);
+        let renamed = rename_apart(&atom, 10);
+        assert_eq!(renamed.args, vec![Term::Var(Var(10)), Term::Const(a)]);
+    }
+
+    proptest::proptest! {
+        /// Unification is symmetric: unify(a,b) succeeds iff unify(b,a)
+        /// does, and the resulting substitutions agree on resolution of
+        /// both atoms.
+        #[test]
+        fn unification_symmetric(args1 in proptest::collection::vec(0u8..6, 0..4),
+                                 args2 in proptest::collection::vec(0u8..6, 0..4)) {
+            let mut t = SymbolTable::new();
+            let p = t.intern("p");
+            let consts: Vec<_> = (0..3).map(|i| t.intern(&format!("c{i}"))).collect();
+            let mk = |xs: &[u8]| Atom::new(p, xs.iter().map(|&x| {
+                if x < 3 { Term::Const(consts[x as usize]) } else { Term::Var(Var(x as u32 - 3)) }
+            }).collect());
+            let (a, b) = (mk(&args1), mk(&args2));
+            let ab = unify_atoms(&a, &b, &Substitution::new());
+            let ba = unify_atoms(&b, &a, &Substitution::new());
+            proptest::prop_assert_eq!(ab.is_some(), ba.is_some());
+            if let (Some(s1), Some(s2)) = (ab, ba) {
+                proptest::prop_assert_eq!(s1.apply(&a), s1.apply(&b));
+                proptest::prop_assert_eq!(s2.apply(&a), s2.apply(&b));
+            }
+        }
+    }
+}

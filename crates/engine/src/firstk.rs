@@ -1,0 +1,177 @@
+//! The first-`k`-answers variant (Section 5.2).
+//!
+//! "There are obvious variants of these algorithms that can be used in
+//! related situations. For example, one set of variants seek the first
+//! `k` answers to a query, for some fixed `k > 1`. This can be useful in
+//! situations where we know that there can be only `k` answers to some
+//! query; e.g., `parent(x, Y)` will only yield two bindings for `Y`."
+//!
+//! [`execute_first_k`] generalizes the satisficing executor: the run
+//! stops after the `k`-th success node instead of the first, and its cost
+//! is the variant's `c_k(Θ, I)`. With `k = 1` it coincides exactly with
+//! [`qpl_graph::context::execute`]. The PIB/PAO statistics carry over:
+//! the same trace/counter machinery estimates how often each retrieval
+//! contributes one of the first `k` answers.
+
+use qpl_graph::context::{ArcOutcome, Context, Trace};
+use qpl_graph::graph::{ArcId, InferenceGraph};
+use qpl_graph::strategy::Strategy;
+
+/// Outcome of a first-`k` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FirstKRun {
+    /// Retrieval arcs that produced the collected answers, in order.
+    pub answers: Vec<ArcId>,
+    /// Whether `k` answers were found before exhaustion.
+    pub satisfied: bool,
+    /// The execution trace (`events` includes every attempted arc).
+    pub trace: Trace,
+}
+
+/// Executes `strategy` in `context`, stopping after `k` successes.
+///
+/// # Panics
+/// Panics if `k == 0` or the context belongs to a different graph.
+pub fn execute_first_k(
+    g: &InferenceGraph,
+    strategy: &Strategy,
+    context: &Context,
+    k: usize,
+) -> FirstKRun {
+    assert!(k >= 1, "k must be at least 1");
+    assert_eq!(context.arc_count(), g.arc_count(), "context built for a different graph");
+    let mut reached = vec![false; g.node_count()];
+    reached[g.root().index()] = true;
+    let mut events = Vec::new();
+    let mut cost = 0.0;
+    let mut answers = Vec::new();
+    for &a in strategy.arcs() {
+        let arc = g.arc(a);
+        if !reached[arc.from.index()] {
+            continue;
+        }
+        cost += arc.cost;
+        if context.is_blocked(a) {
+            events.push((a, ArcOutcome::Blocked));
+            continue;
+        }
+        events.push((a, ArcOutcome::Traversed));
+        reached[arc.to.index()] = true;
+        if g.node(arc.to).is_success {
+            answers.push(a);
+            if answers.len() == k {
+                let outcome = qpl_graph::context::RunOutcome::Succeeded(a);
+                return FirstKRun { answers, satisfied: true, trace: Trace { events, cost, outcome } };
+            }
+        }
+    }
+    let outcome = match answers.last() {
+        Some(&a) => qpl_graph::context::RunOutcome::Succeeded(a),
+        None => qpl_graph::context::RunOutcome::Exhausted,
+    };
+    FirstKRun { answers: answers.clone(), satisfied: false, trace: Trace { events, cost, outcome } }
+}
+
+/// Exact expected cost of the first-`k` variant under a finite context
+/// distribution.
+pub fn expected_cost_first_k(
+    g: &InferenceGraph,
+    strategy: &Strategy,
+    dist: &qpl_graph::expected::FiniteDistribution,
+    k: usize,
+) -> f64 {
+    dist.items()
+        .iter()
+        .map(|(ctx, w)| w * execute_first_k(g, strategy, ctx, k).trace.cost)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpl_graph::expected::FiniteDistribution;
+    use qpl_graph::graph::GraphBuilder;
+
+    /// parent(x, Y): four candidate sources, at most two can hold.
+    fn parents_graph() -> InferenceGraph {
+        let mut b = GraphBuilder::new("parent(x,Y)");
+        let root = b.root();
+        for name in ["D_mother", "D_father", "D_guardian", "D_step"] {
+            b.retrieval(root, name, 1.0);
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn k1_matches_plain_execute() {
+        let g = parents_graph();
+        let s = Strategy::left_to_right(&g);
+        for blocked in [vec![], vec![0u32], vec![0, 1], vec![0, 1, 2, 3]] {
+            let arcs: Vec<ArcId> = blocked.iter().map(|&i| ArcId(i)).collect();
+            let ctx = Context::with_blocked(&g, &arcs);
+            let k1 = execute_first_k(&g, &s, &ctx, 1);
+            let plain = qpl_graph::context::execute(&g, &s, &ctx);
+            assert_eq!(k1.trace, plain, "blocked={blocked:?}");
+        }
+    }
+
+    #[test]
+    fn first_two_parents_found() {
+        let g = parents_graph();
+        let s = Strategy::left_to_right(&g);
+        // mother and guardian known; father and step unknown.
+        let ctx = Context::with_blocked(&g, &[ArcId(1), ArcId(3)]);
+        let run = execute_first_k(&g, &s, &ctx, 2);
+        assert!(run.satisfied);
+        assert_eq!(run.answers, vec![ArcId(0), ArcId(2)]);
+        // mother (1) + father probe (1) + guardian (1) = 3; step skipped.
+        assert_eq!(run.trace.cost, 3.0);
+    }
+
+    #[test]
+    fn unsatisfied_when_fewer_answers_exist() {
+        let g = parents_graph();
+        let s = Strategy::left_to_right(&g);
+        let ctx = Context::with_blocked(&g, &[ArcId(1), ArcId(2), ArcId(3)]);
+        let run = execute_first_k(&g, &s, &ctx, 2);
+        assert!(!run.satisfied);
+        assert_eq!(run.answers, vec![ArcId(0)]);
+        assert_eq!(run.trace.cost, 4.0, "exhausted the whole graph looking for #2");
+    }
+
+    #[test]
+    fn order_matters_more_with_larger_k() {
+        // With k=2 and the two open sources last, cost is maximal; with
+        // them first, minimal. The strategy learner has signal to use.
+        let g = parents_graph();
+        let open_last = Strategy::left_to_right(&g); // open are 2,3
+        let ctx = Context::with_blocked(&g, &[ArcId(0), ArcId(1)]);
+        let run = execute_first_k(&g, &open_last, &ctx, 2);
+        assert_eq!(run.trace.cost, 4.0);
+        let open_first =
+            Strategy::from_arcs(&g, vec![ArcId(2), ArcId(3), ArcId(0), ArcId(1)]).unwrap();
+        let run = execute_first_k(&g, &open_first, &ctx, 2);
+        assert_eq!(run.trace.cost, 2.0);
+    }
+
+    #[test]
+    fn expected_cost_weighted_sum() {
+        let g = parents_graph();
+        let s = Strategy::left_to_right(&g);
+        let dist = FiniteDistribution::new(vec![
+            (Context::with_blocked(&g, &[ArcId(1), ArcId(3)]), 0.5), // cost 3 at k=2
+            (Context::with_blocked(&g, &[ArcId(2), ArcId(3)]), 0.5), // cost 2 at k=2
+        ])
+        .unwrap();
+        let c = expected_cost_first_k(&g, &s, &dist, 2);
+        assert!((c - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_rejected() {
+        let g = parents_graph();
+        let s = Strategy::left_to_right(&g);
+        execute_first_k(&g, &s, &Context::all_open(&g), 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # qpl-engine — strategy-driven query processors
+//!
+//! A query processor `QP = ⟨G, Θ⟩` (Section 2.1) executes concrete
+//! contexts `I = ⟨q, DB⟩` by walking the inference graph in strategy
+//! order, paying arc costs and discovering which arcs are blocked. This
+//! crate binds the abstract machinery of `qpl-graph` to the Datalog
+//! substrate of `qpl-datalog`:
+//!
+//! * [`qp`] — the fixed-strategy processor and the `⟨query, DB⟩ →`
+//!   blocked-arc-set classification of Note 2;
+//! * [`adaptive`] — the adaptive `QP^A` of Section 4.1 that re-aims its
+//!   strategy per sample so every experiment gets enough trials;
+//! * [`oracle`] — i.i.d. context sources (finite query mixes over a
+//!   database, independent-arc synthetic models);
+//! * [`naf`] — negation-as-failure queries (Section 5.2's `pauper`
+//!   example);
+//! * [`segmented`] — horizontally segmented distributed databases as a
+//!   flat satisficing-scan graph (Section 5.2);
+//! * [`firstk`] — the first-`k`-answers variant (Section 5.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod firstk;
+pub mod naf;
+pub mod oracle;
+pub mod qp;
+pub mod segmented;
+
+pub use adaptive::{AdaptiveQp, SamplingMode};
+pub use oracle::{ContextOracle, QueryMixOracle};
+pub use qp::{classify_context, QueryAnswer, QueryProcessor};

@@ -1,0 +1,144 @@
+//! Negation as failure (Section 5.2).
+//!
+//! "Consider the rule `pauper(X) :- ¬owns(X, Y).` and observe that we can
+//! determine whether some individual is, or is not, a pauper by finding a
+//! *single* item that he owns; n.b., we do not have to find each of his
+//! multitude of possessions."
+//!
+//! A negated query is therefore *exactly* a satisficing search on the
+//! positive sub-goal — the answer is inverted, but the cost profile (and
+//! hence everything PIB/PAO learn) is identical. [`NafProcessor`] wraps a
+//! positive [`QueryProcessor`] accordingly.
+
+use qpl_datalog::{Atom, Database};
+use qpl_graph::context::Trace;
+use qpl_graph::strategy::Strategy;
+use qpl_graph::GraphError;
+
+use crate::qp::{QueryAnswer, QueryProcessor};
+
+/// Result of a negation-as-failure query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NafRun {
+    /// Whether the *negated* goal holds (i.e. the positive search failed).
+    pub holds: bool,
+    /// If the positive goal succeeded, its witness (the disqualifying
+    /// fact — e.g. the one item the non-pauper owns).
+    pub counterexample: Option<Atom>,
+    /// The positive search's trace (costs are identical either way).
+    pub trace: Trace,
+}
+
+/// Answers `¬goal` by satisficing search on `goal`.
+#[derive(Debug, Clone)]
+pub struct NafProcessor<'g> {
+    inner: QueryProcessor<'g>,
+}
+
+impl<'g> NafProcessor<'g> {
+    /// Wraps a positive-goal processor.
+    pub fn new(inner: QueryProcessor<'g>) -> Self {
+        Self { inner }
+    }
+
+    /// The positive-goal processor (strategy updates go through here).
+    pub fn inner(&self) -> &QueryProcessor<'g> {
+        &self.inner
+    }
+
+    /// Replaces the search strategy.
+    pub fn set_strategy(&mut self, strategy: Strategy) {
+        self.inner.set_strategy(strategy);
+    }
+
+    /// Evaluates `¬query` against `db`.
+    ///
+    /// # Errors
+    /// Any error from the positive query (form mismatch).
+    pub fn run(&self, query: &Atom, db: &Database) -> Result<NafRun, GraphError> {
+        let run = self.inner.run(query, db)?;
+        let (holds, counterexample) = match run.answer {
+            QueryAnswer::Yes(witness) => (false, Some(witness)),
+            QueryAnswer::No => (true, None),
+        };
+        Ok(NafRun { holds, counterexample, trace: run.trace })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpl_datalog::parser::{parse_program, parse_query, parse_query_form};
+    use qpl_datalog::SymbolTable;
+    use qpl_graph::compile::{compile, CompileOptions};
+
+    /// The pauper knowledge base: ownership is scattered across several
+    /// asset classes, each its own retrieval.
+    const PAUPER_KB: &str = "owns(X, Y) :- owns_home(X, Y).\n\
+                             owns(X, Y) :- owns_car(X, Y).\n\
+                             owns(X, Y) :- owns_stock(X, Y).\n\
+                             owns_car(midas, chariot).\n\
+                             owns_stock(midas, goldco).\n\
+                             owns_home(croesus, palace).";
+
+    fn setup() -> (SymbolTable, qpl_graph::compile::CompiledGraph, Database) {
+        let mut t = SymbolTable::new();
+        let p = parse_program(PAUPER_KB, &mut t).unwrap();
+        let qf = parse_query_form("owns(b,f)", &mut t).unwrap();
+        let cg = compile(&p.rules, &qf, &t, &CompileOptions::default()).unwrap();
+        (t, cg, p.facts)
+    }
+
+    #[test]
+    fn pauper_decided_by_single_possession() {
+        let (mut t, cg, db) = setup();
+        let naf = NafProcessor::new(QueryProcessor::left_to_right(&cg));
+        // midas owns things → not a pauper; one possession suffices.
+        let run = naf.run(&parse_query("owns(midas, Y)", &mut t).unwrap(), &db).unwrap();
+        assert!(!run.holds);
+        let witness = run.counterexample.unwrap();
+        assert!(witness.display(&t).to_string().contains("midas"));
+    }
+
+    #[test]
+    fn true_pauper_searches_everything() {
+        let (mut t, cg, db) = setup();
+        let naf = NafProcessor::new(QueryProcessor::left_to_right(&cg));
+        let run = naf.run(&parse_query("owns(diogenes, Y)", &mut t).unwrap(), &db).unwrap();
+        assert!(run.holds, "no possessions found → pauper");
+        assert!(run.counterexample.is_none());
+        // Exhaustive search: all six arcs attempted.
+        assert_eq!(run.trace.cost, 6.0);
+    }
+
+    #[test]
+    fn strategy_order_changes_non_pauper_cost() {
+        let (mut t, cg, db) = setup();
+        let g = &cg.graph;
+        let q = parse_query("owns(midas, Y)", &mut t).unwrap();
+        // Home-first pays for the failed home lookup before finding the
+        // car; car-first finds it immediately.
+        let home_first = NafProcessor::new(QueryProcessor::left_to_right(&cg));
+        let cost_home_first = home_first.run(&q, &db).unwrap().trace.cost;
+        let mut orders: Vec<Vec<qpl_graph::ArcId>> =
+            g.node_ids().map(|n| g.children(n).to_vec()).collect();
+        orders[g.root().index()].swap(0, 1); // car rule first
+        let mut car_first = NafProcessor::new(QueryProcessor::left_to_right(&cg));
+        car_first.set_strategy(Strategy::dfs_from_orders(g, &orders).unwrap());
+        let cost_car_first = car_first.run(&q, &db).unwrap().trace.cost;
+        assert!(cost_car_first < cost_home_first, "{cost_car_first} < {cost_home_first}");
+    }
+
+    #[test]
+    fn costs_match_positive_query() {
+        // The NAF wrapper adds no cost: it is the same satisficing search.
+        let (mut t, cg, db) = setup();
+        let q = parse_query("owns(croesus, Y)", &mut t).unwrap();
+        let qp = QueryProcessor::left_to_right(&cg);
+        let naf = NafProcessor::new(qp.clone());
+        let pos = qp.run(&q, &db).unwrap();
+        let neg = naf.run(&q, &db).unwrap();
+        assert_eq!(pos.trace.cost, neg.trace.cost);
+        assert_eq!(pos.answer.is_yes(), !neg.holds);
+    }
+}

@@ -1,0 +1,225 @@
+//! Context oracles: i.i.d. sources of query-processing contexts.
+//!
+//! "PIB₁ … uses an oracle that produces contexts drawn randomly from the
+//! distribution. (This oracle could simply be the system's user, who is
+//! posing queries to the query processor …)" — Section 3.1. Here the
+//! oracle is synthetic and seeded, so the probabilistic guarantees can be
+//! *measured* over thousands of independent replays.
+//!
+//! Any [`ContextDistribution`] (finite mixes, independent-arc models) is
+//! an oracle via the blanket impl. [`QueryMixOracle`] is the realistic
+//! one: a weighted mix of concrete query atoms executed against a fixed
+//! Datalog database, classified into blocked-arc contexts per Note 2 —
+//! exactly "a user posing queries relevant to his application".
+
+use qpl_datalog::{Atom, Database};
+use qpl_graph::compile::CompiledGraph;
+use qpl_graph::context::Context;
+use qpl_graph::expected::{ContextDistribution, FiniteDistribution};
+use qpl_graph::GraphError;
+use rand::Rng;
+
+use crate::qp::classify_context;
+
+/// A stream of i.i.d. contexts.
+pub trait ContextOracle {
+    /// Draws the next context.
+    fn draw(&mut self, rng: &mut dyn rand::RngCore) -> Context;
+}
+
+impl<D: ContextDistribution> ContextOracle for D {
+    fn draw(&mut self, rng: &mut dyn rand::RngCore) -> Context {
+        self.sample(rng)
+    }
+}
+
+/// A weighted mix of concrete queries over a fixed database.
+#[derive(Debug, Clone)]
+pub struct QueryMixOracle<'g> {
+    compiled: &'g CompiledGraph,
+    db: Database,
+    queries: Vec<(Atom, f64)>,
+    /// Note-2 classification of each query, precomputed once — drawing
+    /// then costs O(1) instead of one database probe per retrieval arc.
+    contexts: Vec<Context>,
+    cumulative: Vec<f64>,
+}
+
+impl<'g> QueryMixOracle<'g> {
+    /// Builds the oracle; weights are normalized.
+    ///
+    /// # Errors
+    /// [`GraphError::BadProbability`] for bad weights, or
+    /// [`GraphError::InvalidStrategy`] if a query does not match the
+    /// compiled form.
+    pub fn new(
+        compiled: &'g CompiledGraph,
+        db: Database,
+        queries: Vec<(Atom, f64)>,
+    ) -> Result<Self, GraphError> {
+        let total: f64 = queries.iter().map(|(_, w)| *w).sum();
+        if total <= 0.0 || total.is_nan() || !total.is_finite() {
+            return Err(GraphError::BadProbability(total));
+        }
+        for (q, w) in &queries {
+            if *w < 0.0 || !w.is_finite() {
+                return Err(GraphError::BadProbability(*w));
+            }
+            if !compiled.form.matches(q) {
+                return Err(GraphError::InvalidStrategy(
+                    "query in mix does not match the compiled form".into(),
+                ));
+            }
+        }
+        let queries: Vec<(Atom, f64)> =
+            queries.into_iter().map(|(q, w)| (q, w / total)).collect();
+        let contexts: Vec<Context> = queries
+            .iter()
+            .map(|(q, _)| classify_context(compiled, q, &db))
+            .collect::<Result<_, _>>()?;
+        let mut cumulative = Vec::with_capacity(queries.len());
+        let mut acc = 0.0;
+        for (_, w) in &queries {
+            acc += w;
+            cumulative.push(acc);
+        }
+        Ok(Self { compiled, db, queries, contexts, cumulative })
+    }
+
+    /// The database queries run against.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Draws a query (not yet classified).
+    pub fn draw_query(&self, rng: &mut dyn rand::RngCore) -> &Atom {
+        let u: f64 = rng.gen();
+        let idx = self.cumulative.partition_point(|&c| c < u).min(self.queries.len() - 1);
+        &self.queries[idx].0
+    }
+
+    /// The exact context distribution this oracle induces (Note 2), for
+    /// ground-truth expected costs.
+    pub fn to_distribution(&self) -> FiniteDistribution {
+        let items: Vec<(Context, f64)> = self
+            .contexts
+            .iter()
+            .cloned()
+            .zip(self.queries.iter().map(|(_, w)| *w))
+            .collect();
+        FiniteDistribution::new(items).expect("weights validated at construction")
+    }
+}
+
+impl ContextOracle for QueryMixOracle<'_> {
+    fn draw(&mut self, rng: &mut dyn rand::RngCore) -> Context {
+        let u: f64 = rng.gen();
+        let idx = self.cumulative.partition_point(|&c| c < u).min(self.queries.len() - 1);
+        self.contexts[idx].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpl_datalog::parser::{parse_program, parse_query, parse_query_form};
+    use qpl_datalog::SymbolTable;
+    use qpl_graph::compile::{compile, CompileOptions};
+    use qpl_graph::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const FIGURE1: &str = "instructor(X) :- prof(X).\n\
+                           instructor(X) :- grad(X).\n\
+                           prof(russ). grad(manolis).";
+
+    fn mix<'g>(
+        t: &mut SymbolTable,
+        cg: &'g CompiledGraph,
+        db: Database,
+    ) -> QueryMixOracle<'g> {
+        let qs = vec![
+            (parse_query("instructor(russ)", t).unwrap(), 0.60),
+            (parse_query("instructor(manolis)", t).unwrap(), 0.15),
+            (parse_query("instructor(fred)", t).unwrap(), 0.25),
+        ];
+        QueryMixOracle::new(cg, db, qs).unwrap()
+    }
+
+    #[test]
+    fn query_mix_reproduces_section2_costs() {
+        let mut t = SymbolTable::new();
+        let p = parse_program(FIGURE1, &mut t).unwrap();
+        let qf = parse_query_form("instructor(b)", &mut t).unwrap();
+        let cg = compile(&p.rules, &qf, &t, &CompileOptions::default()).unwrap();
+        let oracle = mix(&mut t, &cg, p.facts.clone());
+        let dist = oracle.to_distribution();
+        let prof_first = Strategy::left_to_right(&cg.graph);
+        let mut orders: Vec<Vec<qpl_graph::ArcId>> =
+            cg.graph.node_ids().map(|n| cg.graph.children(n).to_vec()).collect();
+        orders[cg.graph.root().index()].reverse();
+        let grad_first = Strategy::dfs_from_orders(&cg.graph, &orders).unwrap();
+        assert!((dist.expected_cost(&cg.graph, &prof_first) - 2.8).abs() < 1e-12);
+        assert!((dist.expected_cost(&cg.graph, &grad_first) - 3.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_weights() {
+        let mut t = SymbolTable::new();
+        let p = parse_program(FIGURE1, &mut t).unwrap();
+        let qf = parse_query_form("instructor(b)", &mut t).unwrap();
+        let cg = compile(&p.rules, &qf, &t, &CompileOptions::default()).unwrap();
+        let mut oracle = mix(&mut t, &cg, p.facts.clone());
+        let prof_retrieval = cg
+            .graph
+            .arc_ids()
+            .find(|&a| cg.graph.arc(a).label.contains("prof"))
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let open = (0..n).filter(|_| !oracle.draw(&mut rng).is_blocked(prof_retrieval)).count();
+        let freq = open as f64 / n as f64;
+        assert!((freq - 0.6).abs() < 0.02, "prof retrieval open with frequency {freq}");
+    }
+
+    #[test]
+    fn blanket_impl_for_distributions() {
+        let mut t = SymbolTable::new();
+        let p = parse_program(FIGURE1, &mut t).unwrap();
+        let qf = parse_query_form("instructor(b)", &mut t).unwrap();
+        let cg = compile(&p.rules, &qf, &t, &CompileOptions::default()).unwrap();
+        let mut model =
+            qpl_graph::IndependentModel::from_retrieval_probs(&cg.graph, &[0.5, 0.5]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let ctx = ContextOracle::draw(&mut model, &mut rng);
+        assert_eq!(ctx.arc_count(), cg.graph.arc_count());
+    }
+
+    #[test]
+    fn invalid_mix_rejected() {
+        let mut t = SymbolTable::new();
+        let p = parse_program(FIGURE1, &mut t).unwrap();
+        let qf = parse_query_form("instructor(b)", &mut t).unwrap();
+        let cg = compile(&p.rules, &qf, &t, &CompileOptions::default()).unwrap();
+        // Wrong predicate.
+        let bad = vec![(parse_query("prof(russ)", &mut t).unwrap(), 1.0)];
+        assert!(QueryMixOracle::new(&cg, p.facts.clone(), bad).is_err());
+        // Zero total weight.
+        let bad = vec![(parse_query("instructor(russ)", &mut t).unwrap(), 0.0)];
+        assert!(QueryMixOracle::new(&cg, p.facts.clone(), bad).is_err());
+    }
+
+    #[test]
+    fn draw_query_returns_mix_members() {
+        let mut t = SymbolTable::new();
+        let p = parse_program(FIGURE1, &mut t).unwrap();
+        let qf = parse_query_form("instructor(b)", &mut t).unwrap();
+        let cg = compile(&p.rules, &qf, &t, &CompileOptions::default()).unwrap();
+        let oracle = mix(&mut t, &cg, p.facts.clone());
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let q = oracle.draw_query(&mut rng);
+            assert!(cg.form.matches(q));
+        }
+    }
+}

@@ -1,0 +1,473 @@
+//! The fixed-strategy query processor `QP = ⟨G, Θ⟩`.
+//!
+//! [`classify_context`] realizes Note 2: a concrete `⟨query, DB⟩` pair is
+//! mapped to its blocked-arc equivalence class by evaluating every arc's
+//! binding — a reduction is blocked iff one of its unification guards
+//! fails for this query's constants; a retrieval is blocked iff its
+//! instantiated pattern matches no stored fact. [`QueryProcessor`] then
+//! executes the graph-level strategy in that class and reports the
+//! answer, cost, and trace.
+
+use qpl_datalog::{Atom, Database, Substitution, Symbol, Term, Var};
+use qpl_graph::compile::{ArcBinding, CompiledGraph, Guard, PatternTerm};
+use qpl_graph::context::{execute, Context, RunOutcome, Trace};
+use qpl_graph::strategy::Strategy;
+use qpl_graph::{ArcId, GraphError};
+
+/// The satisficing answer to a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryAnswer {
+    /// A derivation was found; for query forms with free positions, the
+    /// witnessing ground atom.
+    Yes(Atom),
+    /// No derivation exists under this graph.
+    No,
+}
+
+impl QueryAnswer {
+    /// Whether the answer is affirmative.
+    pub fn is_yes(&self) -> bool {
+        matches!(self, QueryAnswer::Yes(_))
+    }
+}
+
+/// Evaluates the guards of an arc for the given bound constants.
+fn guards_hold(guards: &[Guard], constants: &[Symbol]) -> bool {
+    guards.iter().all(|g| match *g {
+        Guard::ArgEqConst(i, c) => constants[i] == c,
+        Guard::ArgEqArg(i, j) => constants[i] == constants[j],
+    })
+}
+
+/// Instantiates a retrieval pattern with the query's bound constants,
+/// using fresh variables for free positions.
+fn instantiate_pattern(predicate: Symbol, pattern: &[PatternTerm], constants: &[Symbol]) -> Atom {
+    let mut fresh = 0u32;
+    let args = pattern
+        .iter()
+        .map(|p| match *p {
+            PatternTerm::QueryArg(i) => Term::Const(constants[i]),
+            PatternTerm::Const(c) => Term::Const(c),
+            PatternTerm::Free => {
+                let v = Term::Var(Var(fresh));
+                fresh += 1;
+                v
+            }
+        })
+        .collect();
+    Atom::new(predicate, args)
+}
+
+/// Note 2: maps `⟨query, DB⟩` to its blocked-arc context class.
+///
+/// # Errors
+/// [`GraphError::InvalidStrategy`] if the query does not match the
+/// compiled query form.
+pub fn classify_context(
+    compiled: &CompiledGraph,
+    query: &Atom,
+    db: &Database,
+) -> Result<Context, GraphError> {
+    if !compiled.form.matches(query) {
+        return Err(GraphError::InvalidStrategy("query does not match compiled form (predicate/arity/binding mismatch)".to_string()));
+    }
+    let constants = compiled.form.bound_constants(query);
+    Ok(Context::from_fn(&compiled.graph, |a| {
+        arc_blocked(compiled.binding(a), &constants, db)
+    }))
+}
+
+/// Whether one arc is blocked for the given query constants and database.
+fn arc_blocked(binding: &ArcBinding, constants: &[Symbol], db: &Database) -> bool {
+    match binding {
+        ArcBinding::Reduction { guards, .. } => !guards_hold(guards, constants),
+        ArcBinding::Retrieval { predicate, pattern, guards } => {
+            if !guards_hold(guards, constants) {
+                return true;
+            }
+            let atom = instantiate_pattern(*predicate, pattern, constants);
+            if atom.is_ground() {
+                !db.contains_atom(&atom)
+            } else {
+                db.matches(&atom, &Substitution::new()).is_empty()
+            }
+        }
+    }
+}
+
+/// Result of processing one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRun {
+    /// The satisficing answer.
+    pub answer: QueryAnswer,
+    /// The graph-level execution trace (arc outcomes and cost).
+    pub trace: Trace,
+    /// The context class the query fell into.
+    pub context: Context,
+}
+
+/// A query processor `⟨G, Θ⟩` bound to a compiled graph.
+///
+/// The processor owns its strategy (PIB mutates it between queries) but
+/// borrows the compiled graph, which is immutable and shared.
+#[derive(Debug, Clone)]
+pub struct QueryProcessor<'g> {
+    compiled: &'g CompiledGraph,
+    strategy: Strategy,
+}
+
+impl<'g> QueryProcessor<'g> {
+    /// Creates a processor with the given strategy.
+    pub fn new(compiled: &'g CompiledGraph, strategy: Strategy) -> Self {
+        Self { compiled, strategy }
+    }
+
+    /// Creates a processor with the depth-first left-to-right strategy.
+    pub fn left_to_right(compiled: &'g CompiledGraph) -> Self {
+        Self::new(compiled, Strategy::left_to_right(&compiled.graph))
+    }
+
+    /// The current strategy.
+    pub fn strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+
+    /// Replaces the strategy (PIB's hill-climbing step).
+    pub fn set_strategy(&mut self, strategy: Strategy) {
+        self.strategy = strategy;
+    }
+
+    /// The compiled graph.
+    pub fn compiled(&self) -> &'g CompiledGraph {
+        self.compiled
+    }
+
+    /// Processes one query against `db`.
+    ///
+    /// # Errors
+    /// [`GraphError::InvalidStrategy`] if the query does not match the
+    /// compiled form.
+    pub fn run(&self, query: &Atom, db: &Database) -> Result<QueryRun, GraphError> {
+        let context = classify_context(self.compiled, query, db)?;
+        let trace = execute(&self.compiled.graph, &self.strategy, &context);
+        let answer = match trace.outcome {
+            RunOutcome::Succeeded(arc) => QueryAnswer::Yes(self.witness(arc, query, db)),
+            RunOutcome::Exhausted => QueryAnswer::No,
+        };
+        Ok(QueryRun { answer, trace, context })
+    }
+
+    /// Processes one query against `db` *lazily*: arc statuses are
+    /// evaluated only when the strategy actually attempts the arc, so a
+    /// query answered on the first path touches exactly one database
+    /// probe — the way a real deployment would run. Produces a trace
+    /// identical to [`run`](Self::run) (property-tested), but the
+    /// returned [`QueryRun::context`] contains statuses only for
+    /// attempted arcs (unattempted arcs read as open).
+    ///
+    /// # Errors
+    /// [`GraphError::InvalidStrategy`] if the query does not match the
+    /// compiled form.
+    pub fn run_lazy(&self, query: &Atom, db: &Database) -> Result<QueryRun, GraphError> {
+        if !self.compiled.form.matches(query) {
+            return Err(GraphError::InvalidStrategy(
+                "query does not match compiled form (predicate/arity/binding mismatch)"
+                    .to_string(),
+            ));
+        }
+        let g = &self.compiled.graph;
+        let constants = self.compiled.form.bound_constants(query);
+        let mut reached = vec![false; g.node_count()];
+        reached[g.root().index()] = true;
+        let mut partial = Context::all_open(g);
+        let mut events = Vec::new();
+        let mut cost = 0.0;
+        let mut outcome = RunOutcome::Exhausted;
+        for &a in self.strategy.arcs() {
+            let arc = g.arc(a);
+            if !reached[arc.from.index()] {
+                continue;
+            }
+            cost += arc.cost;
+            let blocked = arc_blocked(self.compiled.binding(a), &constants, db);
+            partial.set_blocked(a, blocked);
+            if blocked {
+                events.push((a, qpl_graph::ArcOutcome::Blocked));
+                continue;
+            }
+            events.push((a, qpl_graph::ArcOutcome::Traversed));
+            reached[arc.to.index()] = true;
+            if g.node(arc.to).is_success {
+                outcome = RunOutcome::Succeeded(a);
+                break;
+            }
+        }
+        let trace = Trace { events, cost, outcome };
+        let answer = match trace.outcome {
+            RunOutcome::Succeeded(arc) => QueryAnswer::Yes(self.witness(arc, query, db)),
+            RunOutcome::Exhausted => QueryAnswer::No,
+        };
+        Ok(QueryRun { answer, trace, context: partial })
+    }
+
+    /// Reconstructs the witnessing ground atom for a successful retrieval.
+    fn witness(&self, arc: ArcId, query: &Atom, db: &Database) -> Atom {
+        let constants = self.compiled.form.bound_constants(query);
+        match self.compiled.binding(arc) {
+            ArcBinding::Retrieval { predicate, pattern, .. } => {
+                let atom = instantiate_pattern(*predicate, pattern, &constants);
+                if atom.is_ground() {
+                    atom
+                } else {
+                    let sub = db
+                        .matches(&atom, &Substitution::new())
+                        .into_iter()
+                        .next()
+                        .expect("retrieval succeeded, so a match exists");
+                    sub.apply(&atom)
+                }
+            }
+            ArcBinding::Reduction { .. } => {
+                unreachable!("success nodes are reached via retrieval arcs")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpl_datalog::parser::{parse_program, parse_query, parse_query_form};
+    use qpl_datalog::topdown::TopDown;
+    use qpl_datalog::SymbolTable;
+    use qpl_graph::compile::{compile, CompileOptions};
+
+    const FIGURE1: &str = "instructor(X) :- prof(X).\n\
+                           instructor(X) :- grad(X).\n\
+                           prof(russ). grad(manolis).";
+
+    fn setup(kb: &str, form: &str) -> (SymbolTable, CompiledGraph, Database) {
+        let mut t = SymbolTable::new();
+        let p = parse_program(kb, &mut t).unwrap();
+        let qf = parse_query_form(form, &mut t).unwrap();
+        let cg = compile(&p.rules, &qf, &t, &CompileOptions::default()).unwrap();
+        (t, cg, p.facts)
+    }
+
+    #[test]
+    fn figure1_answers_and_costs() {
+        let (mut t, cg, db) = setup(FIGURE1, "instructor(b)");
+        let qp = QueryProcessor::left_to_right(&cg);
+
+        // instructor(russ): prof-first finds it on the first path, cost 2.
+        let run = qp.run(&parse_query("instructor(russ)", &mut t).unwrap(), &db).unwrap();
+        assert!(run.answer.is_yes());
+        assert_eq!(run.trace.cost, 2.0);
+
+        // instructor(manolis): prof fails first, cost 4 (the paper's c(Θ₁,I₁)).
+        let run = qp.run(&parse_query("instructor(manolis)", &mut t).unwrap(), &db).unwrap();
+        assert!(run.answer.is_yes());
+        assert_eq!(run.trace.cost, 4.0);
+
+        // instructor(fred): both fail, answer no, cost 4.
+        let run = qp.run(&parse_query("instructor(fred)", &mut t).unwrap(), &db).unwrap();
+        assert_eq!(run.answer, QueryAnswer::No);
+        assert_eq!(run.trace.cost, 4.0);
+    }
+
+    #[test]
+    fn alternative_strategy_changes_cost_not_answer() {
+        let (mut t, cg, db) = setup(FIGURE1, "instructor(b)");
+        let g = &cg.graph;
+        // Build grad-first: reverse the root's child order.
+        let mut orders: Vec<Vec<ArcId>> = g.node_ids().map(|n| g.children(n).to_vec()).collect();
+        orders[g.root().index()].reverse();
+        let grad_first = Strategy::dfs_from_orders(g, &orders).unwrap();
+        let qp = QueryProcessor::new(&cg, grad_first);
+
+        let run = qp.run(&parse_query("instructor(manolis)", &mut t).unwrap(), &db).unwrap();
+        assert!(run.answer.is_yes());
+        assert_eq!(run.trace.cost, 2.0, "the paper's c(Θ₂, I₁) = 2");
+
+        let run = qp.run(&parse_query("instructor(russ)", &mut t).unwrap(), &db).unwrap();
+        assert!(run.answer.is_yes());
+        assert_eq!(run.trace.cost, 4.0, "the paper's c(Θ₂, I₂) = 4");
+    }
+
+    #[test]
+    fn witness_has_bindings_for_free_positions() {
+        let kb = "reaches(X, Y) :- direct(X, Y). direct(hub, spoke1). direct(hub, spoke2).";
+        let (mut t, cg, db) = setup(kb, "reaches(b,f)");
+        let qp = QueryProcessor::left_to_right(&cg);
+        let run = qp.run(&parse_query("reaches(hub, Z)", &mut t).unwrap(), &db).unwrap();
+        match run.answer {
+            QueryAnswer::Yes(atom) => {
+                assert!(atom.is_ground());
+                let s = atom.display(&t).to_string();
+                assert!(s == "direct(hub, spoke1)" || s == "direct(hub, spoke2)", "{s}");
+            }
+            QueryAnswer::No => panic!("expected a witness"),
+        }
+    }
+
+    #[test]
+    fn guarded_rule_blocks_other_constants() {
+        let kb = "instructor(X) :- grad(X).\n\
+                  grad(X) :- enrolled(X).\n\
+                  grad(fred) :- admitted(fred, Y).\n\
+                  enrolled(manolis). admitted(fred, toronto).";
+        let (mut t, cg, db) = setup(kb, "instructor(b)");
+        // For a non-fred query, the guarded reduction must be blocked.
+        let ctx =
+            classify_context(&cg, &parse_query("instructor(manolis)", &mut t).unwrap(), &db)
+                .unwrap();
+        let guarded_arc = cg
+            .graph
+            .arc_ids()
+            .find(|&a| matches!(cg.binding(a), ArcBinding::Reduction { guards, .. } if !guards.is_empty()))
+            .unwrap();
+        assert!(ctx.is_blocked(guarded_arc));
+        // For fred, it is open and the admitted(fred, _) retrieval succeeds.
+        let qp = QueryProcessor::left_to_right(&cg);
+        let run = qp.run(&parse_query("instructor(fred)", &mut t).unwrap(), &db).unwrap();
+        assert!(run.answer.is_yes());
+    }
+
+    #[test]
+    fn mismatched_query_rejected() {
+        let (mut t, cg, db) = setup(FIGURE1, "instructor(b)");
+        let qp = QueryProcessor::left_to_right(&cg);
+        let err = qp.run(&parse_query("prof(russ)", &mut t).unwrap(), &db);
+        assert!(err.is_err());
+        let err = qp.run(&parse_query("instructor(X)", &mut t).unwrap(), &db);
+        assert!(err.is_err(), "free variable where the form demands bound");
+    }
+
+    #[test]
+    fn agreement_with_sld_oracle_on_figure1() {
+        let (mut t, cg, db) = setup(FIGURE1, "instructor(b)");
+        let mut prog_table = SymbolTable::new();
+        let p = parse_program(FIGURE1, &mut prog_table).unwrap();
+        let qp = QueryProcessor::left_to_right(&cg);
+        for name in ["russ", "manolis", "fred", "ghost"] {
+            let q = parse_query(&format!("instructor({name})"), &mut t).unwrap();
+            let graph_answer = qp.run(&q, &db).unwrap().answer.is_yes();
+            let q2 = parse_query(&format!("instructor({name})"), &mut prog_table).unwrap();
+            let oracle = TopDown::new(&p.rules, &p.facts).provable(&q2).unwrap();
+            assert_eq!(graph_answer, oracle, "disagreement on {name}");
+        }
+    }
+
+    #[test]
+    fn agreement_with_sld_oracle_on_layered_kb() {
+        // Deeper chain with a guarded constant rule and a free-position
+        // retrieval.
+        let kb = "top(X) :- mid(X).\n\
+                  top(X) :- alt(X).\n\
+                  mid(X) :- base(X).\n\
+                  mid(zed) :- special(zed, W).\n\
+                  base(a). base(b). alt(c). special(zed, k1).";
+        let (mut t, cg, db) = setup(kb, "top(b)");
+        let mut pt = SymbolTable::new();
+        let p = parse_program(kb, &mut pt).unwrap();
+        let qp = QueryProcessor::left_to_right(&cg);
+        for name in ["a", "b", "c", "zed", "nobody"] {
+            let q = parse_query(&format!("top({name})"), &mut t).unwrap();
+            let got = qp.run(&q, &db).unwrap().answer.is_yes();
+            let q2 = parse_query(&format!("top({name})"), &mut pt).unwrap();
+            let want = TopDown::new(&p.rules, &p.facts).provable(&q2).unwrap();
+            assert_eq!(got, want, "disagreement on {name}");
+        }
+    }
+
+    #[test]
+    fn every_strategy_gives_same_answer() {
+        let (mut t, cg, db) = setup(FIGURE1, "instructor(b)");
+        let strategies = qpl_graph::strategy::enumerate_all(&cg.graph, 100).unwrap();
+        for name in ["russ", "manolis", "fred"] {
+            let q = parse_query(&format!("instructor({name})"), &mut t).unwrap();
+            let answers: Vec<bool> = strategies
+                .iter()
+                .map(|s| {
+                    QueryProcessor::new(&cg, s.clone()).run(&q, &db).unwrap().answer.is_yes()
+                })
+                .collect();
+            assert!(
+                answers.windows(2).all(|w| w[0] == w[1]),
+                "strategies disagree on {name}: {answers:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_head_variable_answers_match_oracle() {
+        // Regression for the Free-then-QueryArg merge in the compiler:
+        // p(Y, c) must be NO when q(c) is absent, even though q(a) holds.
+        let kb = "p(X, X) :- q(X). q(a).";
+        let (mut t, cg, db) = setup(kb, "p(f,b)");
+        let mut pt = SymbolTable::new();
+        let prog = parse_program(kb, &mut pt).unwrap();
+        let qp = QueryProcessor::left_to_right(&cg);
+        for (name, want) in [("a", true), ("c", false)] {
+            let q = parse_query(&format!("p(Y, {name})"), &mut t).unwrap();
+            let got = qp.run(&q, &db).unwrap().answer.is_yes();
+            assert_eq!(got, want, "engine answer for p(Y, {name})");
+            let q2 = parse_query(&format!("p(Y, {name})"), &mut pt).unwrap();
+            let oracle = TopDown::new(&prog.rules, &prog.facts).provable(&q2).unwrap();
+            assert_eq!(got, oracle, "oracle agreement for {name}");
+        }
+    }
+
+    #[test]
+    fn lazy_run_matches_eager_run() {
+        // Identical traces (events, cost, outcome) and answers on every
+        // Figure-1 query, for every enumerable strategy.
+        let (mut t, cg, db) = setup(FIGURE1, "instructor(b)");
+        let strategies = qpl_graph::strategy::enumerate_all(&cg.graph, 100).unwrap();
+        for name in ["russ", "manolis", "fred"] {
+            let q = parse_query(&format!("instructor({name})"), &mut t).unwrap();
+            for s in &strategies {
+                let qp = QueryProcessor::new(&cg, s.clone());
+                let eager = qp.run(&q, &db).unwrap();
+                let lazy = qp.run_lazy(&q, &db).unwrap();
+                assert_eq!(eager.trace, lazy.trace, "{name} via {}", s.display(&cg.graph));
+                assert_eq!(eager.answer, lazy.answer);
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_run_touches_only_attempted_arcs() {
+        // instructor(russ) with prof-first: success on the first path —
+        // the lazy context must not have probed the grad retrieval (it
+        // reads as open regardless of the database).
+        let (mut t, cg, db) = setup(FIGURE1, "instructor(b)");
+        let qp = QueryProcessor::left_to_right(&cg);
+        let q = parse_query("instructor(russ)", &mut t).unwrap();
+        let lazy = qp.run_lazy(&q, &db).unwrap();
+        assert_eq!(lazy.trace.events.len(), 2);
+        let grad_retrieval = cg
+            .graph
+            .retrievals()
+            .find(|&a| cg.graph.arc(a).label.contains("grad"))
+            .unwrap();
+        assert!(!lazy.context.is_blocked(grad_retrieval), "never probed → left open");
+        // The eager run, by contrast, classifies everything: grad(russ)
+        // is absent so the arc is blocked there.
+        let eager = qp.run(&q, &db).unwrap();
+        assert!(eager.context.is_blocked(grad_retrieval));
+    }
+
+    #[test]
+    fn set_strategy_swaps_behavior() {
+        let (mut t, cg, db) = setup(FIGURE1, "instructor(b)");
+        let mut qp = QueryProcessor::left_to_right(&cg);
+        let q = parse_query("instructor(manolis)", &mut t).unwrap();
+        assert_eq!(qp.run(&q, &db).unwrap().trace.cost, 4.0);
+        let g = &cg.graph;
+        let mut orders: Vec<Vec<ArcId>> = g.node_ids().map(|n| g.children(n).to_vec()).collect();
+        orders[g.root().index()].reverse();
+        qp.set_strategy(Strategy::dfs_from_orders(g, &orders).unwrap());
+        assert_eq!(qp.run(&q, &db).unwrap().trace.cost, 2.0);
+    }
+}

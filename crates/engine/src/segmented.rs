@@ -1,0 +1,194 @@
+//! Horizontally segmented distributed databases (Section 5.2).
+//!
+//! "One obvious additional database application is deciding on the order
+//! in which to scan a set of horizontally segmented distributed
+//! databases … Given a query like `age(russ, X)`, we would like to scan
+//! these files in the appropriate order — hoping to find the file dealing
+//! with russ facts as early as possible."
+//!
+//! [`SegmentedDb`] holds one [`Database`] per physical segment and
+//! exposes the scan problem as a *flat* inference graph: the root goal
+//! has one retrieval arc per segment (with per-segment probe costs —
+//! remote segments can cost more), and a segment's arc is blocked in a
+//! context iff the query matches nothing stored there. All of PIB/PAO
+//! then applies verbatim: learning a scan order *is* learning a strategy.
+
+use qpl_datalog::{Atom, Database, Substitution};
+use qpl_graph::context::{execute, Context, RunOutcome, Trace};
+use qpl_graph::graph::{GraphBuilder, InferenceGraph};
+use qpl_graph::strategy::Strategy;
+use qpl_graph::{ArcId, GraphError};
+
+/// A horizontally segmented database: the same schema in every segment,
+/// rows scattered across them.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentedDb {
+    segments: Vec<(String, Database)>,
+}
+
+impl SegmentedDb {
+    /// Creates an empty segmented store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a named segment, returning its index.
+    pub fn add_segment(&mut self, name: &str, db: Database) -> usize {
+        self.segments.push((name.to_owned(), db));
+        self.segments.len() - 1
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// A segment by index.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn segment(&self, i: usize) -> &Database {
+        &self.segments[i].1
+    }
+
+    /// Builds the flat scan graph: one retrieval arc per segment, with
+    /// `probe_cost(i)` as the cost of scanning segment `i`.
+    ///
+    /// # Errors
+    /// Graph validation errors (e.g. non-positive costs).
+    pub fn scan_graph(
+        &self,
+        goal_label: &str,
+        mut probe_cost: impl FnMut(usize) -> f64,
+    ) -> Result<InferenceGraph, GraphError> {
+        let mut b = GraphBuilder::new(goal_label);
+        let root = b.root();
+        for (i, (name, _)) in self.segments.iter().enumerate() {
+            b.retrieval(root, name, probe_cost(i));
+        }
+        b.finish()
+    }
+
+    /// Classifies a query into a scan context: segment arc `i` is blocked
+    /// iff segment `i` holds no match for the query.
+    ///
+    /// # Panics
+    /// Panics if `graph` was not built by [`scan_graph`](Self::scan_graph)
+    /// over this store (arc count mismatch).
+    pub fn classify(&self, graph: &InferenceGraph, query: &Atom) -> Context {
+        assert_eq!(graph.arc_count(), self.segments.len(), "graph/segment mismatch");
+        Context::from_fn(graph, |a| {
+            let (_, db) = &self.segments[a.index()];
+            if query.is_ground() {
+                !db.contains_atom(query)
+            } else {
+                db.matches(query, &Substitution::new()).is_empty()
+            }
+        })
+    }
+
+    /// Scans segments in strategy order, returning the serving segment
+    /// (by index) and the trace.
+    pub fn scan(
+        &self,
+        graph: &InferenceGraph,
+        strategy: &Strategy,
+        query: &Atom,
+    ) -> (Option<usize>, Trace) {
+        let ctx = self.classify(graph, query);
+        let trace = execute(graph, strategy, &ctx);
+        let hit = match trace.outcome {
+            RunOutcome::Succeeded(arc) => Some(arc.index()),
+            RunOutcome::Exhausted => None,
+        };
+        (hit, trace)
+    }
+
+    /// The segment arc ids in index order (flat graph: arc i = segment i).
+    pub fn segment_arcs(&self, graph: &InferenceGraph) -> Vec<ArcId> {
+        graph.arc_ids().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpl_datalog::parser::parse_query;
+    use qpl_datalog::{Fact, SymbolTable};
+
+    /// Three "files" of person facts, split by region.
+    fn setup() -> (SymbolTable, SegmentedDb) {
+        let mut t = SymbolTable::new();
+        let age = t.intern("age");
+        let mut s = SegmentedDb::new();
+        let mut east = Database::new();
+        east.insert(Fact::new(age, vec![t.intern("russ"), t.intern("a40")])).unwrap();
+        let mut west = Database::new();
+        west.insert(Fact::new(age, vec![t.intern("manolis"), t.intern("a30")])).unwrap();
+        let north = Database::new();
+        s.add_segment("east", east);
+        s.add_segment("west", west);
+        s.add_segment("north", north);
+        (t, s)
+    }
+
+    #[test]
+    fn scan_finds_the_right_segment() {
+        let (mut t, s) = setup();
+        let g = s.scan_graph("age(b,f)", |_| 1.0).unwrap();
+        let strat = Strategy::left_to_right(&g);
+        let (hit, trace) = s.scan(&g, &strat, &parse_query("age(russ, X)", &mut t).unwrap());
+        assert_eq!(hit, Some(0));
+        assert_eq!(trace.cost, 1.0, "east first → immediate hit");
+        let (hit, trace) = s.scan(&g, &strat, &parse_query("age(manolis, X)", &mut t).unwrap());
+        assert_eq!(hit, Some(1));
+        assert_eq!(trace.cost, 2.0, "east misses, west hits");
+    }
+
+    #[test]
+    fn missing_person_scans_all_segments() {
+        let (mut t, s) = setup();
+        let g = s.scan_graph("age(b,f)", |_| 1.0).unwrap();
+        let strat = Strategy::left_to_right(&g);
+        let (hit, trace) = s.scan(&g, &strat, &parse_query("age(ghost, X)", &mut t).unwrap());
+        assert_eq!(hit, None);
+        assert_eq!(trace.cost, 3.0);
+    }
+
+    #[test]
+    fn per_segment_costs_model_remote_files() {
+        let (mut t, s) = setup();
+        // west is remote: 10× the probe cost.
+        let g = s.scan_graph("age(b,f)", |i| if i == 1 { 10.0 } else { 1.0 }).unwrap();
+        let strat = Strategy::left_to_right(&g);
+        let (_, trace) = s.scan(&g, &strat, &parse_query("age(manolis, X)", &mut t).unwrap());
+        assert_eq!(trace.cost, 11.0);
+    }
+
+    #[test]
+    fn scan_order_is_a_strategy() {
+        // Reordering the scan changes cost exactly as strategy theory
+        // predicts; the learning stack can optimize it.
+        let (mut t, s) = setup();
+        let g = s.scan_graph("age(b,f)", |_| 1.0).unwrap();
+        let q = parse_query("age(manolis, X)", &mut t).unwrap();
+        let west_first = Strategy::from_arcs(
+            &g,
+            vec![ArcId(1), ArcId(0), ArcId(2)],
+        )
+        .unwrap();
+        let (hit, trace) = s.scan(&g, &west_first, &q);
+        assert_eq!(hit, Some(1));
+        assert_eq!(trace.cost, 1.0);
+    }
+
+    #[test]
+    fn classify_matches_open_segments() {
+        let (mut t, s) = setup();
+        let g = s.scan_graph("age(b,f)", |_| 1.0).unwrap();
+        let ctx = s.classify(&g, &parse_query("age(russ, X)", &mut t).unwrap());
+        assert!(!ctx.is_blocked(ArcId(0)), "east has russ");
+        assert!(ctx.is_blocked(ArcId(1)));
+        assert!(ctx.is_blocked(ArcId(2)));
+    }
+}

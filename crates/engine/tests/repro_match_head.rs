@@ -1,0 +1,22 @@
+use qpl_datalog::parser::{parse_program, parse_query, parse_query_form};
+use qpl_datalog::SymbolTable;
+use qpl_graph::compile::{compile, CompileOptions};
+use qpl_engine::qp::QueryProcessor;
+
+#[test]
+fn repeated_head_var_free_then_bound() {
+    let kb = "r(X, X) :- s(X).\n s(d).";
+    let mut t = SymbolTable::new();
+    let p = parse_program(kb, &mut t).unwrap();
+    let qf = parse_query_form("r(f,b)", &mut t).unwrap();
+    let cg = compile(&p.rules, &qf, &t, &CompileOptions::default()).unwrap();
+    println!("{}", cg.graph.outline());
+    for (i, b) in cg.bindings.iter().enumerate() {
+        println!("arc {i}: {b:?}");
+    }
+    let qp = QueryProcessor::left_to_right(&cg);
+    let q = parse_query("r(Z, c)", &mut t).unwrap();
+    let run = qp.run(&q, &p.facts).unwrap();
+    println!("answer: {:?}", run.answer);
+    assert!(!run.answer.is_yes(), "engine wrongly proved r(Z,c)");
+}

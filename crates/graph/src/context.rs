@@ -1,0 +1,333 @@
+//! Query-processing contexts and strategy execution.
+//!
+//! Note 2 of the paper observes that contexts `⟨q, DB⟩` partition into
+//! equivalence classes determined solely by *which arcs are blocked*; a
+//! [`Context`] here is exactly that equivalence class — a blocked-status
+//! bit per arc. The engine crate maps real `⟨query, Database⟩` pairs into
+//! these classes.
+//!
+//! [`execute`] runs a strategy in a context and produces a [`Trace`]:
+//! per-arc outcomes, the total cost `c(Θ, I)`, and whether a success node
+//! was reached. The cost semantics follow the paper's examples exactly:
+//!
+//! * attempting an arc costs `f(a)` whether or not it is blocked
+//!   (e.g. `c(Θ₁, I₁) = 4` includes the *failed* `D_p` probe);
+//! * an arc can only be attempted once its source node has been reached;
+//!   arcs below a blocked arc are skipped at no cost;
+//! * the first success node reached ends the run (satisficing search) —
+//!   the remaining subsequence is ignored.
+
+use crate::graph::{ArcId, InferenceGraph};
+
+/// A context equivalence class: the set of blocked arcs (Note 2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Context {
+    blocked: Vec<bool>,
+}
+
+impl Context {
+    /// Internal constructor from a raw blocked vector.
+    pub(crate) fn from_parts(blocked: Vec<bool>) -> Self {
+        Self { blocked }
+    }
+
+    /// A context in which every arc is traversable.
+    pub fn all_open(g: &InferenceGraph) -> Self {
+        Self { blocked: vec![false; g.arc_count()] }
+    }
+
+    /// A context in which every arc is blocked.
+    pub fn all_blocked(g: &InferenceGraph) -> Self {
+        Self { blocked: vec![true; g.arc_count()] }
+    }
+
+    /// A context blocking exactly the given arcs.
+    pub fn with_blocked(g: &InferenceGraph, blocked: &[ArcId]) -> Self {
+        let mut ctx = Self::all_open(g);
+        for &a in blocked {
+            ctx.blocked[a.index()] = true;
+        }
+        ctx
+    }
+
+    /// Builds a context from a per-arc predicate.
+    pub fn from_fn(g: &InferenceGraph, mut f: impl FnMut(ArcId) -> bool) -> Self {
+        Self { blocked: g.arc_ids().map(&mut f).collect() }
+    }
+
+    /// Whether `a` is blocked.
+    pub fn is_blocked(&self, a: ArcId) -> bool {
+        self.blocked[a.index()]
+    }
+
+    /// Sets the blocked status of `a`.
+    pub fn set_blocked(&mut self, a: ArcId, blocked: bool) {
+        self.blocked[a.index()] = blocked;
+    }
+
+    /// Number of arcs this context covers.
+    pub fn arc_count(&self) -> usize {
+        self.blocked.len()
+    }
+
+    /// The blocked arcs.
+    pub fn blocked_arcs(&self) -> impl Iterator<Item = ArcId> + '_ {
+        self.blocked
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| ArcId(i as u32))
+    }
+
+    /// The arc-set identification of Note 2: the *unblocked* arcs (the
+    /// paper identifies `I₁` with `{R_p, R_g, D_g}` — its open arcs).
+    pub fn open_arcs(&self) -> impl Iterator<Item = ArcId> + '_ {
+        self.blocked
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| !b)
+            .map(|(i, _)| ArcId(i as u32))
+    }
+}
+
+/// Outcome of attempting one arc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArcOutcome {
+    /// The arc was traversable; its target node was reached.
+    Traversed,
+    /// The arc was blocked; its cost was paid but the target not reached.
+    Blocked,
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// A success node was reached via the given retrieval arc ("yes").
+    Succeeded(ArcId),
+    /// Every reachable arc was exhausted without success ("no").
+    Exhausted,
+}
+
+impl RunOutcome {
+    /// Whether the derivation succeeded.
+    pub fn is_success(self) -> bool {
+        matches!(self, RunOutcome::Succeeded(_))
+    }
+}
+
+/// Full record of one strategy execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Arcs actually attempted, in order, with their outcomes.
+    pub events: Vec<(ArcId, ArcOutcome)>,
+    /// Total cost `c(Θ, I)`.
+    pub cost: f64,
+    /// Terminal outcome.
+    pub outcome: RunOutcome,
+}
+
+impl Trace {
+    /// Outcome of `a` if it was attempted during this run.
+    pub fn outcome_of(&self, a: ArcId) -> Option<ArcOutcome> {
+        self.events.iter().find(|(x, _)| *x == a).map(|(_, o)| *o)
+    }
+
+    /// Whether `a` was attempted.
+    pub fn attempted(&self, a: ArcId) -> bool {
+        self.outcome_of(a).is_some()
+    }
+}
+
+/// Executes `strategy` in `context`, returning the full [`Trace`].
+///
+/// # Panics
+/// Panics if `context` was built for a different graph (arc-count
+/// mismatch).
+pub fn execute(g: &InferenceGraph, strategy: &crate::strategy::Strategy, context: &Context) -> Trace {
+    assert_eq!(
+        context.arc_count(),
+        g.arc_count(),
+        "context built for a different graph"
+    );
+    let mut reached = vec![false; g.node_count()];
+    reached[g.root().index()] = true;
+    let mut events = Vec::new();
+    let mut cost = 0.0;
+    for &a in strategy.arcs() {
+        let arc = g.arc(a);
+        if !reached[arc.from.index()] {
+            continue; // below a blocked arc: skipped at no cost
+        }
+        cost += arc.cost;
+        if context.is_blocked(a) {
+            events.push((a, ArcOutcome::Blocked));
+            continue;
+        }
+        events.push((a, ArcOutcome::Traversed));
+        reached[arc.to.index()] = true;
+        if g.node(arc.to).is_success {
+            return Trace { events, cost, outcome: RunOutcome::Succeeded(a) };
+        }
+    }
+    Trace { events, cost, outcome: RunOutcome::Exhausted }
+}
+
+/// Convenience: just the cost `c(Θ, I)`.
+pub fn cost(g: &InferenceGraph, strategy: &crate::strategy::Strategy, context: &Context) -> f64 {
+    execute(g, strategy, context).cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::strategy::Strategy;
+
+    fn g_a() -> InferenceGraph {
+        let mut b = GraphBuilder::new("instructor(κ)");
+        let root = b.root();
+        let (_, prof) = b.reduction(root, "R_p", 1.0, "prof(κ)");
+        b.retrieval(prof, "D_p", 1.0);
+        let (_, grad) = b.reduction(root, "R_g", 1.0, "grad(κ)");
+        b.retrieval(grad, "D_g", 1.0);
+        b.finish().unwrap()
+    }
+
+    fn strat(g: &InferenceGraph, labels: &[&str]) -> Strategy {
+        Strategy::from_arcs(g, labels.iter().map(|l| g.arc_by_label(l).unwrap()).collect())
+            .unwrap()
+    }
+
+    /// `I₁ = ⟨instructor(manolis), DB₁⟩`: `D_p` blocked, `D_g` open.
+    fn i1(g: &InferenceGraph) -> Context {
+        Context::with_blocked(g, &[g.arc_by_label("D_p").unwrap()])
+    }
+
+    /// `I₂ = ⟨instructor(russ), DB₁⟩`: `D_g` blocked, `D_p` open.
+    fn i2(g: &InferenceGraph) -> Context {
+        Context::with_blocked(g, &[g.arc_by_label("D_g").unwrap()])
+    }
+
+    #[test]
+    fn paper_costs_for_i1() {
+        // "assuming each arc costs 1, then c(Θ₁, I₁) = 4 and c(Θ₂, I₁) = 2"
+        let g = g_a();
+        let t1 = strat(&g, &["R_p", "D_p", "R_g", "D_g"]);
+        let t2 = strat(&g, &["R_g", "D_g", "R_p", "D_p"]);
+        assert_eq!(cost(&g, &t1, &i1(&g)), 4.0);
+        assert_eq!(cost(&g, &t2, &i1(&g)), 2.0);
+    }
+
+    #[test]
+    fn paper_costs_for_i2() {
+        // "Using I₂ = ⟨instructor(russ), DB₁⟩, c(Θ₁, I₂) = 2 and c(Θ₂, I₂) = 4."
+        let g = g_a();
+        let t1 = strat(&g, &["R_p", "D_p", "R_g", "D_g"]);
+        let t2 = strat(&g, &["R_g", "D_g", "R_p", "D_p"]);
+        assert_eq!(cost(&g, &t1, &i2(&g)), 2.0);
+        assert_eq!(cost(&g, &t2, &i2(&g)), 4.0);
+    }
+
+    #[test]
+    fn success_stops_the_run() {
+        let g = g_a();
+        let t1 = strat(&g, &["R_p", "D_p", "R_g", "D_g"]);
+        let trace = execute(&g, &t1, &i2(&g));
+        assert!(trace.outcome.is_success());
+        assert_eq!(trace.events.len(), 2, "R_g and D_g never attempted");
+        assert!(!trace.attempted(g.arc_by_label("R_g").unwrap()));
+    }
+
+    #[test]
+    fn exhaustion_visits_everything() {
+        let g = g_a();
+        let t1 = strat(&g, &["R_p", "D_p", "R_g", "D_g"]);
+        let none = Context::all_blocked(&g);
+        let trace = execute(&g, &t1, &none);
+        assert_eq!(trace.outcome, RunOutcome::Exhausted);
+        // Both reductions blocked: retrievals below never attempted.
+        assert_eq!(trace.cost, 2.0);
+        assert_eq!(trace.events.len(), 2);
+    }
+
+    #[test]
+    fn blocked_reduction_skips_subtree_at_no_cost() {
+        let g = g_a();
+        let t1 = strat(&g, &["R_p", "D_p", "R_g", "D_g"]);
+        let ctx = Context::with_blocked(
+            &g,
+            &[g.arc_by_label("R_p").unwrap(), g.arc_by_label("D_g").unwrap()],
+        );
+        let trace = execute(&g, &t1, &ctx);
+        // R_p blocked (cost 1), D_p skipped, R_g traversed (1), D_g blocked (1).
+        assert_eq!(trace.cost, 3.0);
+        assert_eq!(trace.outcome, RunOutcome::Exhausted);
+        assert!(!trace.attempted(g.arc_by_label("D_p").unwrap()));
+    }
+
+    #[test]
+    fn blocked_retrieval_cost_still_paid() {
+        let g = g_a();
+        let t1 = strat(&g, &["R_p", "D_p", "R_g", "D_g"]);
+        let trace = execute(&g, &t1, &i1(&g));
+        assert_eq!(trace.outcome_of(g.arc_by_label("D_p").unwrap()), Some(ArcOutcome::Blocked));
+        assert_eq!(trace.cost, 4.0);
+    }
+
+    #[test]
+    fn succeeded_arc_identified() {
+        let g = g_a();
+        let t2 = strat(&g, &["R_g", "D_g", "R_p", "D_p"]);
+        let trace = execute(&g, &t2, &i1(&g));
+        assert_eq!(trace.outcome, RunOutcome::Succeeded(g.arc_by_label("D_g").unwrap()));
+    }
+
+    #[test]
+    fn context_identification_matches_note_2() {
+        // "we can identify the context I₁ with the arc-set {R_p, R_g, D_g}"
+        let g = g_a();
+        let open: Vec<String> =
+            i1(&g).open_arcs().map(|a| g.arc(a).label.clone()).collect();
+        assert_eq!(open, ["R_p", "D_p", "R_g", "D_g"]
+            .iter()
+            .filter(|l| **l != "D_p")
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn non_uniform_costs_accumulate() {
+        let mut b = GraphBuilder::new("q");
+        let root = b.root();
+        let (_, n1) = b.reduction(root, "R1", 2.5, "g1");
+        b.retrieval(n1, "D1", 0.5);
+        let (_, n2) = b.reduction(root, "R2", 1.5, "g2");
+        b.retrieval(n2, "D2", 3.0);
+        let g = b.finish().unwrap();
+        let s = Strategy::left_to_right(&g);
+        let ctx = Context::with_blocked(&g, &[g.arc_by_label("D1").unwrap()]);
+        // R1 (2.5) + D1 blocked (0.5) + R2 (1.5) + D2 success (3.0) = 7.5
+        assert!((cost(&g, &s, &ctx) - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_events_in_strategy_order() {
+        let g = g_a();
+        let t2 = strat(&g, &["R_g", "D_g", "R_p", "D_p"]);
+        let trace = execute(&g, &t2, &i2(&g));
+        let labels: Vec<&str> =
+            trace.events.iter().map(|(a, _)| g.arc(*a).label.as_str()).collect();
+        assert_eq!(labels, ["R_g", "D_g", "R_p", "D_p"]);
+    }
+
+    #[test]
+    fn context_setters_and_accessors() {
+        let g = g_a();
+        let mut ctx = Context::all_open(&g);
+        let dp = g.arc_by_label("D_p").unwrap();
+        assert!(!ctx.is_blocked(dp));
+        ctx.set_blocked(dp, true);
+        assert!(ctx.is_blocked(dp));
+        assert_eq!(ctx.blocked_arcs().collect::<Vec<_>>(), vec![dp]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Error type for inference-graph construction and strategy handling.
+
+use std::fmt;
+
+/// Errors from graph construction, strategy validation, or compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An arc referenced a node id that does not exist.
+    BadNode(u32),
+    /// An arc id was out of range.
+    BadArc(u32),
+    /// Arc cost must be positive (`f : A → ℝ⁺`).
+    NonPositiveCost(String),
+    /// The graph is not tree shaped where a tree was required
+    /// (the paper's `AOT` class).
+    NotTree(String),
+    /// A leaf node is not reachable-by-retrieval (dead subtree).
+    DeadLeaf(String),
+    /// A strategy failed validation.
+    InvalidStrategy(String),
+    /// A transformation could not be applied to this strategy.
+    InapplicableTransform(String),
+    /// The rule base cannot be compiled to a (finite, simple) graph.
+    Compile(String),
+    /// A probability was outside `[0, 1]`.
+    BadProbability(f64),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadNode(n) => write!(f, "unknown node id {n}"),
+            Self::BadArc(a) => write!(f, "unknown arc id {a}"),
+            Self::NonPositiveCost(a) => write!(f, "arc `{a}` must have positive cost"),
+            Self::NotTree(m) => write!(f, "graph is not tree shaped: {m}"),
+            Self::DeadLeaf(m) => write!(f, "dead leaf: {m}"),
+            Self::InvalidStrategy(m) => write!(f, "invalid strategy: {m}"),
+            Self::InapplicableTransform(m) => write!(f, "inapplicable transformation: {m}"),
+            Self::Compile(m) => write!(f, "cannot compile rule base: {m}"),
+            Self::BadProbability(p) => write!(f, "probability {p} outside [0, 1]"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

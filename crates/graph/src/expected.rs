@@ -1,0 +1,560 @@
+//! Context distributions and exact expected cost `C[Θ] = E[c(Θ, I)]`.
+//!
+//! Two distribution families cover everything the paper needs:
+//!
+//! * [`FiniteDistribution`] — an explicit weighted set of contexts (the
+//!   paper's Section-2 example is "60% instructor(russ), 15%
+//!   instructor(manolis), 25% instructor(fred)", i.e. three context
+//!   classes with weights 0.6/0.15/0.25). Expected cost is an exact
+//!   weighted sum.
+//! * [`IndependentModel`] — each arc is blocked independently with its
+//!   own probability (the assumption under which `Υ_AOT` is defined,
+//!   footnote 8). Expected cost is computed *exactly* on trees by a
+//!   per-arc reachability recursion (no Monte-Carlo error), with an
+//!   exhaustive enumerator as a cross-check.
+//!
+//! Both implement [`ContextDistribution`], the oracle interface PIB and
+//! PAO sample from.
+
+use crate::context::{cost, Context};
+use crate::error::GraphError;
+use crate::graph::{ArcId, ArcKind, InferenceGraph, NodeId};
+use crate::strategy::Strategy;
+use rand::Rng;
+
+/// A source of i.i.d. contexts with a computable expected cost — the
+/// paper's "stationary distribution" of query-processing contexts.
+pub trait ContextDistribution {
+    /// Draws one context.
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> Context;
+
+    /// Exact expected cost `C[Θ]` of a strategy under this distribution.
+    fn expected_cost(&self, g: &InferenceGraph, s: &Strategy) -> f64;
+
+    /// `ρ(e)`: the probability, maximized over strategies, of reaching
+    /// experiment `e` (Definition 2). Since any strategy reaches `e` only
+    /// when every arc of `Π(e)` is open, and the strategy that aims
+    /// straight at `e` reaches it exactly then, this equals
+    /// `Pr[Π(e) all open]`.
+    fn rho(&self, g: &InferenceGraph, e: ArcId) -> f64;
+}
+
+/// An explicit weighted set of context classes.
+#[derive(Debug, Clone)]
+pub struct FiniteDistribution {
+    items: Vec<(Context, f64)>,
+    cumulative: Vec<f64>,
+}
+
+impl FiniteDistribution {
+    /// Builds a distribution from `(context, weight)` pairs; weights are
+    /// normalized.
+    ///
+    /// # Errors
+    /// [`GraphError::BadProbability`] if any weight is negative or the
+    /// total is zero/non-finite.
+    pub fn new(items: Vec<(Context, f64)>) -> Result<Self, GraphError> {
+        let total: f64 = items.iter().map(|(_, w)| *w).sum();
+        if total <= 0.0 || total.is_nan() || !total.is_finite() {
+            return Err(GraphError::BadProbability(total));
+        }
+        if let Some(&(_, w)) = items.iter().find(|(_, w)| *w < 0.0 || !w.is_finite()) {
+            return Err(GraphError::BadProbability(w));
+        }
+        let items: Vec<(Context, f64)> =
+            items.into_iter().map(|(c, w)| (c, w / total)).collect();
+        let mut cumulative = Vec::with_capacity(items.len());
+        let mut acc = 0.0;
+        for (_, w) in &items {
+            acc += w;
+            cumulative.push(acc);
+        }
+        Ok(Self { items, cumulative })
+    }
+
+    /// The normalized `(context, weight)` pairs.
+    pub fn items(&self) -> &[(Context, f64)] {
+        &self.items
+    }
+}
+
+impl ContextDistribution for FiniteDistribution {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> Context {
+        let u: f64 = rng.gen();
+        let idx = self.cumulative.partition_point(|&c| c < u).min(self.items.len() - 1);
+        self.items[idx].0.clone()
+    }
+
+    fn expected_cost(&self, g: &InferenceGraph, s: &Strategy) -> f64 {
+        self.items.iter().map(|(ctx, w)| w * cost(g, s, ctx)).sum()
+    }
+
+    fn rho(&self, g: &InferenceGraph, e: ArcId) -> f64 {
+        let path = g.root_path(e);
+        self.items
+            .iter()
+            .filter(|(ctx, _)| path.iter().all(|&a| !ctx.is_blocked(a)))
+            .map(|(_, w)| *w)
+            .sum()
+    }
+}
+
+/// Independent per-arc blocking: arc `a` is open (traversable) with
+/// probability `probs[a]`, independently of all other arcs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndependentModel {
+    probs: Vec<f64>,
+}
+
+impl IndependentModel {
+    /// Every arc open with probability `p` (reductions included).
+    ///
+    /// # Errors
+    /// [`GraphError::BadProbability`] unless `p ∈ [0, 1]`.
+    pub fn uniform(g: &InferenceGraph, p: f64) -> Result<Self, GraphError> {
+        check_prob(p)?;
+        Ok(Self { probs: vec![p; g.arc_count()] })
+    }
+
+    /// Reductions always open; retrieval `i` (in [`InferenceGraph::retrievals`]
+    /// order) succeeds with probability `retrieval_probs[i]` — the
+    /// paper's success-probability vector `p = ⟨p₁, …, pₙ⟩`.
+    ///
+    /// # Errors
+    /// [`GraphError::BadProbability`] on out-of-range probabilities, or
+    /// [`GraphError::InvalidStrategy`] if the count does not match the
+    /// number of retrievals.
+    pub fn from_retrieval_probs(
+        g: &InferenceGraph,
+        retrieval_probs: &[f64],
+    ) -> Result<Self, GraphError> {
+        let retrievals: Vec<ArcId> = g.retrievals().collect();
+        if retrievals.len() != retrieval_probs.len() {
+            return Err(GraphError::InvalidStrategy(format!(
+                "{} retrieval probabilities for {} retrievals",
+                retrieval_probs.len(),
+                retrievals.len()
+            )));
+        }
+        let mut probs = vec![1.0; g.arc_count()];
+        for (&a, &p) in retrievals.iter().zip(retrieval_probs) {
+            check_prob(p)?;
+            probs[a.index()] = p;
+        }
+        Ok(Self { probs })
+    }
+
+    /// Builds from a per-arc function.
+    ///
+    /// # Errors
+    /// [`GraphError::BadProbability`] on out-of-range values.
+    pub fn from_fn(
+        g: &InferenceGraph,
+        mut f: impl FnMut(ArcId) -> f64,
+    ) -> Result<Self, GraphError> {
+        let probs: Vec<f64> = g.arc_ids().map(&mut f).collect();
+        for &p in &probs {
+            check_prob(p)?;
+        }
+        Ok(Self { probs })
+    }
+
+    /// Open probability of `a`.
+    pub fn prob(&self, a: ArcId) -> f64 {
+        self.probs[a.index()]
+    }
+
+    /// Updates the open probability of `a`.
+    ///
+    /// # Errors
+    /// [`GraphError::BadProbability`] unless `p ∈ [0, 1]`.
+    pub fn set_prob(&mut self, a: ArcId, p: f64) -> Result<(), GraphError> {
+        check_prob(p)?;
+        self.probs[a.index()] = p;
+        Ok(())
+    }
+
+    /// The success probabilities of the retrievals, in
+    /// [`InferenceGraph::retrievals`] order (the vector handed to `Υ`).
+    pub fn retrieval_probs(&self, g: &InferenceGraph) -> Vec<f64> {
+        g.retrievals().map(|a| self.prob(a)).collect()
+    }
+
+    /// Arcs with genuinely probabilistic status (`0 < p < 1`) — the
+    /// paper's "probabilistic experiments" of Theorem 3.
+    pub fn experiments(&self, g: &InferenceGraph) -> Vec<ArcId> {
+        g.arc_ids().filter(|&a| self.prob(a) > 0.0 && self.prob(a) < 1.0).collect()
+    }
+
+    /// Exact expected cost by exhaustive enumeration over the blocked
+    /// status of every probabilistic arc. Exponential; used as the
+    /// cross-check oracle and for non-tree graphs.
+    ///
+    /// # Panics
+    /// Panics if more than 24 arcs are probabilistic.
+    pub fn expected_cost_exhaustive(&self, g: &InferenceGraph, s: &Strategy) -> f64 {
+        let vars = self.experiments(g);
+        assert!(vars.len() <= 24, "too many probabilistic arcs for exhaustive enumeration");
+        let mut total = 0.0;
+        for mask in 0u32..(1 << vars.len()) {
+            let mut ctx = Context::from_fn(g, |a| self.prob(a) == 0.0);
+            let mut w = 1.0;
+            for (bit, &a) in vars.iter().enumerate() {
+                let open = mask & (1 << bit) != 0;
+                ctx.set_blocked(a, !open);
+                w *= if open { self.prob(a) } else { 1.0 - self.prob(a) };
+            }
+            if w > 0.0 {
+                total += w * cost(g, s, &ctx);
+            }
+        }
+        total
+    }
+}
+
+fn check_prob(p: f64) -> Result<(), GraphError> {
+    if (0.0..=1.0).contains(&p) {
+        Ok(())
+    } else {
+        Err(GraphError::BadProbability(p))
+    }
+}
+
+impl ContextDistribution for IndependentModel {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> Context {
+        let blocked: Vec<ArcId> = self
+            .probs
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| rng.gen::<f64>() >= p)
+            .map(|(i, _)| ArcId(i as u32))
+            .collect();
+        // Build directly (cannot use Context::with_blocked without &graph).
+        let mut ctx = Context::from_raw(self.probs.len());
+        for a in blocked {
+            ctx.set_blocked(a, true);
+        }
+        ctx
+    }
+
+    /// Exact expected cost on a tree:
+    /// `C[Θ] = Σ_k f(a_k) · Pr[a_k is attempted]`, where
+    /// `Pr[attempted] = Pr[Π(a_k) all open] · Pr[no earlier retrieval
+    /// succeeds | Π(a_k) open]`, and the conditional no-success
+    /// probability is computed by a product recursion over the tree with
+    /// the ancestor arcs forced open.
+    ///
+    /// # Panics
+    /// Panics if the graph is not a tree (use
+    /// [`IndependentModel::expected_cost_exhaustive`] for DAGs).
+    fn expected_cost(&self, g: &InferenceGraph, s: &Strategy) -> f64 {
+        assert!(g.is_tree(), "exact expected cost requires a tree; use the exhaustive method");
+        // earlier[a] = true once a retrieval arc has been passed in Θ-order.
+        let mut earlier = vec![false; g.arc_count()];
+        let mut forced = vec![false; g.arc_count()];
+        let mut total = 0.0;
+        for &a in s.arcs() {
+            // Probability the root path of `a` is fully open.
+            let path = g.root_path(a);
+            let p_path: f64 = path.iter().map(|&b| self.prob(b)).product();
+            if p_path > 0.0 {
+                for &b in &path {
+                    forced[b.index()] = true;
+                }
+                let q = no_success_below(g, g.root(), &forced, &earlier, &self.probs);
+                for &b in &path {
+                    forced[b.index()] = false;
+                }
+                total += g.arc(a).cost * p_path * q;
+            }
+            if g.arc(a).kind == ArcKind::Retrieval {
+                earlier[a.index()] = true;
+            }
+        }
+        total
+    }
+
+    fn rho(&self, g: &InferenceGraph, e: ArcId) -> f64 {
+        g.root_path(e).iter().map(|&b| self.prob(b)).product()
+    }
+}
+
+/// `Pr[no retrieval marked `earlier` in the subtree under `node`
+/// succeeds]`, with arcs in `forced` conditioned open.
+fn no_success_below(
+    g: &InferenceGraph,
+    node: NodeId,
+    forced: &[bool],
+    earlier: &[bool],
+    probs: &[f64],
+) -> f64 {
+    let mut acc = 1.0;
+    for &c in g.children(node) {
+        let p = if forced[c.index()] { 1.0 } else { probs[c.index()] };
+        match g.arc(c).kind {
+            ArcKind::Retrieval => {
+                if earlier[c.index()] {
+                    acc *= 1.0 - p;
+                }
+            }
+            ArcKind::Reduction => {
+                let sub = no_success_below(g, g.arc(c).to, forced, earlier, probs);
+                acc *= (1.0 - p) + p * sub;
+            }
+        }
+        if acc == 0.0 {
+            return 0.0;
+        }
+    }
+    acc
+}
+
+impl Context {
+    /// Internal: an all-open context over `n` arcs (used by samplers that
+    /// hold no graph reference).
+    pub(crate) fn from_raw(n: usize) -> Self {
+        Self::from_parts(vec![false; n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn g_a() -> InferenceGraph {
+        let mut b = GraphBuilder::new("instructor(κ)");
+        let root = b.root();
+        let (_, prof) = b.reduction(root, "R_p", 1.0, "prof(κ)");
+        b.retrieval(prof, "D_p", 1.0);
+        let (_, grad) = b.reduction(root, "R_g", 1.0, "grad(κ)");
+        b.retrieval(grad, "D_g", 1.0);
+        b.finish().unwrap()
+    }
+
+    fn g_b() -> InferenceGraph {
+        let mut b = GraphBuilder::new("G(κ)");
+        let root = b.root();
+        let (_, a) = b.reduction(root, "R_ga", 1.0, "A(κ)");
+        b.retrieval(a, "D_a", 1.0);
+        let (_, s) = b.reduction(root, "R_gs", 1.0, "S(κ)");
+        let (_, bb) = b.reduction(s, "R_sb", 1.0, "B(κ)");
+        b.retrieval(bb, "D_b", 1.0);
+        let (_, t) = b.reduction(s, "R_st", 1.0, "T(κ)");
+        let (_, c) = b.reduction(t, "R_tc", 1.0, "C(κ)");
+        b.retrieval(c, "D_c", 1.0);
+        let (_, d) = b.reduction(t, "R_td", 1.0, "D(κ)");
+        b.retrieval(d, "D_d", 1.0);
+        b.finish().unwrap()
+    }
+
+    fn strat(g: &InferenceGraph, labels: &[&str]) -> Strategy {
+        Strategy::from_arcs(g, labels.iter().map(|l| g.arc_by_label(l).unwrap()).collect())
+            .unwrap()
+    }
+
+    /// The Section-2 query mix as a finite distribution over blocked-arc
+    /// classes: 60% russ (prof succeeds), 15% manolis (grad succeeds),
+    /// 25% fred (neither).
+    fn section2(g: &InferenceGraph) -> FiniteDistribution {
+        let dp = g.arc_by_label("D_p").unwrap();
+        let dg = g.arc_by_label("D_g").unwrap();
+        FiniteDistribution::new(vec![
+            (Context::with_blocked(g, &[dg]), 0.60),
+            (Context::with_blocked(g, &[dp]), 0.15),
+            (Context::with_blocked(g, &[dp, dg]), 0.25),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn section2_expected_costs() {
+        // Corrected Section-2 arithmetic (see DESIGN.md erratum):
+        // prof-first = 2 + (1-0.6)·2 = 2.8, grad-first = 2 + (1-0.15)·2 = 3.7.
+        let g = g_a();
+        let dist = section2(&g);
+        let prof_first = strat(&g, &["R_p", "D_p", "R_g", "D_g"]);
+        let grad_first = strat(&g, &["R_g", "D_g", "R_p", "D_p"]);
+        assert!((dist.expected_cost(&g, &prof_first) - 2.8).abs() < 1e-12);
+        assert!((dist.expected_cost(&g, &grad_first) - 3.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_model_matches_finite_on_g_a() {
+        // With independent retrieval successes p_p=0.6, p_g=0.15, the
+        // expected cost of prof-first is 2 + (1-0.6)·2 = 2.8 (since grad
+        // path cost is paid exactly when prof fails).
+        let g = g_a();
+        let m = IndependentModel::from_retrieval_probs(&g, &[0.6, 0.15]).unwrap();
+        let prof_first = strat(&g, &["R_p", "D_p", "R_g", "D_g"]);
+        let grad_first = strat(&g, &["R_g", "D_g", "R_p", "D_p"]);
+        assert!((m.expected_cost(&g, &prof_first) - 2.8).abs() < 1e-12);
+        assert!((m.expected_cost(&g, &grad_first) - 3.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pao_example_probabilities() {
+        // Section 4: "p = ⟨p_p, p_g⟩ = ⟨0.2, 0.6⟩ … the optimal strategy
+        // for that graph (here, Θ₂)" — grad-first must be cheaper.
+        let g = g_a();
+        let m = IndependentModel::from_retrieval_probs(&g, &[0.2, 0.6]).unwrap();
+        let prof_first = strat(&g, &["R_p", "D_p", "R_g", "D_g"]);
+        let grad_first = strat(&g, &["R_g", "D_g", "R_p", "D_p"]);
+        assert!(m.expected_cost(&g, &grad_first) < m.expected_cost(&g, &prof_first));
+    }
+
+    #[test]
+    fn exact_matches_exhaustive_on_g_b() {
+        let g = g_b();
+        let m = IndependentModel::from_retrieval_probs(&g, &[0.3, 0.5, 0.2, 0.7]).unwrap();
+        for s in crate::strategy::enumerate_dfs(&g, 100).unwrap() {
+            let exact = m.expected_cost(&g, &s);
+            let brute = m.expected_cost_exhaustive(&g, &s);
+            assert!(
+                (exact - brute).abs() < 1e-9,
+                "strategy {}: exact {exact} vs exhaustive {brute}",
+                s.display(&g)
+            );
+        }
+    }
+
+    #[test]
+    fn exact_handles_blockable_reductions() {
+        let g = g_b();
+        // Make two reductions probabilistic too (Theorem 3 setting).
+        let mut m = IndependentModel::uniform(&g, 1.0).unwrap();
+        for (label, p) in
+            [("D_a", 0.3), ("D_b", 0.5), ("D_c", 0.2), ("D_d", 0.7), ("R_gs", 0.8), ("R_tc", 0.6)]
+        {
+            m.set_prob(g.arc_by_label(label).unwrap(), p).unwrap();
+        }
+        for s in crate::strategy::enumerate_dfs(&g, 100).unwrap() {
+            let exact = m.expected_cost(&g, &s);
+            let brute = m.expected_cost_exhaustive(&g, &s);
+            assert!(
+                (exact - brute).abs() < 1e-9,
+                "strategy {}: exact {exact} vs exhaustive {brute}",
+                s.display(&g)
+            );
+        }
+    }
+
+    #[test]
+    fn exact_handles_interleaved_strategies() {
+        let g = g_b();
+        let m = IndependentModel::from_retrieval_probs(&g, &[0.3, 0.5, 0.2, 0.7]).unwrap();
+        let s = strat(
+            &g,
+            &["R_gs", "R_st", "R_tc", "D_c", "R_ga", "D_a", "R_td", "D_d", "R_sb", "D_b"],
+        );
+        let exact = m.expected_cost(&g, &s);
+        let brute = m.expected_cost_exhaustive(&g, &s);
+        assert!((exact - brute).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_agrees_with_exact_cost() {
+        let g = g_a();
+        let m = IndependentModel::from_retrieval_probs(&g, &[0.6, 0.15]).unwrap();
+        let s = strat(&g, &["R_p", "D_p", "R_g", "D_g"]);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let mc: f64 = (0..n).map(|_| cost(&g, &s, &m.sample(&mut rng))).sum::<f64>() / n as f64;
+        assert!((mc - 2.8).abs() < 0.02, "Monte Carlo {mc} vs exact 2.8");
+    }
+
+    #[test]
+    fn finite_sampling_respects_weights() {
+        let g = g_a();
+        let dist = section2(&g);
+        let dp = g.arc_by_label("D_p").unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut dp_open = 0u32;
+        for _ in 0..n {
+            if !dist.sample(&mut rng).is_blocked(dp) {
+                dp_open += 1;
+            }
+        }
+        let freq = f64::from(dp_open) / n as f64;
+        assert!((freq - 0.6).abs() < 0.01, "D_p open frequency {freq} ≈ 0.6");
+    }
+
+    #[test]
+    fn rho_is_ancestor_product() {
+        let g = g_b();
+        let mut m = IndependentModel::uniform(&g, 1.0).unwrap();
+        m.set_prob(g.arc_by_label("R_gs").unwrap(), 0.8).unwrap();
+        m.set_prob(g.arc_by_label("R_st").unwrap(), 0.5).unwrap();
+        let dc = g.arc_by_label("D_c").unwrap();
+        // Π(D_c) = {R_gs, R_st, R_tc}; ρ = 0.8 · 0.5 · 1.0
+        assert!((m.rho(&g, dc) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rho_finite_distribution() {
+        let g = g_a();
+        let dist = section2(&g);
+        let dp = g.arc_by_label("D_p").unwrap();
+        // R_p never blocked in any class → ρ(D_p) = 1.
+        assert!((dist.rho(&g, dp) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_probability_paths_cost_nothing_beyond_block() {
+        let g = g_a();
+        let mut m = IndependentModel::from_retrieval_probs(&g, &[0.5, 0.5]).unwrap();
+        m.set_prob(g.arc_by_label("R_p").unwrap(), 0.0).unwrap();
+        let s = strat(&g, &["R_p", "D_p", "R_g", "D_g"]);
+        // R_p always blocked: pay 1, skip D_p, then R_g + D_g (2) always.
+        // = 1 + 2 = 3.
+        let c = m.expected_cost(&g, &s);
+        assert!((c - 3.0).abs() < 1e-12, "got {c}");
+    }
+
+    #[test]
+    fn bad_probability_rejected() {
+        let g = g_a();
+        assert!(matches!(
+            IndependentModel::uniform(&g, 1.5),
+            Err(GraphError::BadProbability(_))
+        ));
+        assert!(matches!(
+            IndependentModel::from_retrieval_probs(&g, &[0.5, -0.1]),
+            Err(GraphError::BadProbability(_))
+        ));
+        assert!(matches!(
+            IndependentModel::from_retrieval_probs(&g, &[0.5]),
+            Err(GraphError::InvalidStrategy(_))
+        ));
+    }
+
+    #[test]
+    fn finite_distribution_normalizes() {
+        let g = g_a();
+        let dist = FiniteDistribution::new(vec![
+            (Context::all_open(&g), 3.0),
+            (Context::all_blocked(&g), 1.0),
+        ])
+        .unwrap();
+        assert!((dist.items()[0].1 - 0.75).abs() < 1e-12);
+        assert!(FiniteDistribution::new(vec![]).is_err());
+        assert!(FiniteDistribution::new(vec![(Context::all_open(&g), -1.0)]).is_err());
+    }
+
+    proptest::proptest! {
+        /// The exact tree recursion equals exhaustive enumeration for
+        /// random probability assignments on G_B.
+        #[test]
+        fn exact_equals_exhaustive(probs in proptest::collection::vec(0.0f64..=1.0, 10)) {
+            let g = g_b();
+            let m = IndependentModel::from_fn(&g, |a| probs[a.index()]).unwrap();
+            let s = Strategy::left_to_right(&g);
+            let exact = m.expected_cost(&g, &s);
+            let brute = m.expected_cost_exhaustive(&g, &s);
+            proptest::prop_assert!((exact - brute).abs() < 1e-9, "{} vs {}", exact, brute);
+        }
+    }
+}

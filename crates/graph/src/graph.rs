@@ -1,0 +1,572 @@
+//! Inference graphs `G = ⟨N, A, S, f⟩` (Section 2.1).
+//!
+//! Nodes correspond to atomic goals, directed arcs to rule reductions or
+//! database retrievals, `S ⊆ N` are success nodes, and `f : A → ℝ⁺`
+//! assigns each arc a positive cost. The paper works chiefly with
+//! *tree-shaped* graphs (`AOT`: a unique arc path from the root to every
+//! retrieval); this module represents general simple graphs and
+//! classifies them.
+
+use crate::error::GraphError;
+use std::fmt;
+
+/// Identifier of a node within its [`InferenceGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of an arc within its [`InferenceGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArcId(pub u32);
+
+impl ArcId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ArcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// What traversing an arc means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArcKind {
+    /// A rule reduction: replaces the goal at `from` with the subgoal at
+    /// `to` (the paper's `R` arcs).
+    Reduction,
+    /// An attempted database retrieval (the paper's `D` arcs); its target
+    /// is a success node.
+    Retrieval,
+}
+
+/// Per-node payload.
+#[derive(Debug, Clone)]
+pub struct NodeData {
+    /// Human-readable goal label (e.g. `instructor(κ)`).
+    pub label: String,
+    /// Whether reaching this node means the derivation has succeeded
+    /// (membership in the paper's `S`).
+    pub is_success: bool,
+}
+
+/// Per-arc payload.
+#[derive(Debug, Clone)]
+pub struct ArcData {
+    /// Source node.
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+    /// Reduction or retrieval.
+    pub kind: ArcKind,
+    /// Human-readable label (e.g. `R_p`, `D_g`).
+    pub label: String,
+    /// Traversal/attempt cost `f(a) > 0`. Paid whether or not the arc
+    /// turns out to be blocked (an attempted retrieval costs the probe).
+    pub cost: f64,
+}
+
+/// An inference graph with a designated root (the query-form goal).
+///
+/// Built via [`GraphBuilder`]; immutable afterwards, so derived tables
+/// (parents, subtree costs) are computed once.
+#[derive(Debug, Clone)]
+pub struct InferenceGraph {
+    nodes: Vec<NodeData>,
+    arcs: Vec<ArcData>,
+    root: NodeId,
+    /// Outgoing arcs per node, in construction (left-to-right) order.
+    children: Vec<Vec<ArcId>>,
+    /// Incoming arcs per node.
+    parents: Vec<Vec<ArcId>>,
+}
+
+impl InferenceGraph {
+    /// The root node (the queried goal).
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of arcs.
+    pub fn arc_count(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Node payload.
+    ///
+    /// # Panics
+    /// Panics on a foreign id.
+    pub fn node(&self, n: NodeId) -> &NodeData {
+        &self.nodes[n.index()]
+    }
+
+    /// Arc payload.
+    ///
+    /// # Panics
+    /// Panics on a foreign id.
+    pub fn arc(&self, a: ArcId) -> &ArcData {
+        &self.arcs[a.index()]
+    }
+
+    /// All arc ids.
+    pub fn arc_ids(&self) -> impl Iterator<Item = ArcId> {
+        (0..self.arcs.len() as u32).map(ArcId)
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Outgoing arcs of `n` in left-to-right construction order.
+    pub fn children(&self, n: NodeId) -> &[ArcId] {
+        &self.children[n.index()]
+    }
+
+    /// Incoming arcs of `n`.
+    pub fn parents(&self, n: NodeId) -> &[ArcId] {
+        &self.parents[n.index()]
+    }
+
+    /// The unique incoming arc of `n` in a tree; `None` for the root.
+    ///
+    /// # Panics
+    /// Panics if `n` has several parents (non-tree graph).
+    pub fn parent_arc(&self, n: NodeId) -> Option<ArcId> {
+        match self.parents[n.index()].as_slice() {
+            [] => None,
+            [a] => Some(*a),
+            _ => panic!("node {n:?} has multiple parents; graph is not a tree"),
+        }
+    }
+
+    /// Retrieval arcs in id order.
+    pub fn retrievals(&self) -> impl Iterator<Item = ArcId> + '_ {
+        self.arc_ids().filter(|&a| self.arc(a).kind == ArcKind::Retrieval)
+    }
+
+    /// Looks an arc up by label (test/diagnostic convenience).
+    pub fn arc_by_label(&self, label: &str) -> Option<ArcId> {
+        self.arc_ids().find(|&a| self.arc(a).label == label)
+    }
+
+    /// Whether the graph is tree shaped (the paper's `AOT` class):
+    /// every node except the root has exactly one incoming arc, the root
+    /// has none, and every node is reachable from the root.
+    pub fn is_tree(&self) -> bool {
+        if !self.parents[self.root.index()].is_empty() {
+            return false;
+        }
+        for n in self.node_ids() {
+            if n != self.root && self.parents[n.index()].len() != 1 {
+                return false;
+            }
+        }
+        // Reachability: |arcs| == |nodes| - 1 plus single-parent property
+        // implies a tree rooted at `root` when all nodes are reachable.
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![self.root];
+        seen[self.root.index()] = true;
+        while let Some(v) = stack.pop() {
+            for &a in self.children(v) {
+                let t = self.arc(a).to;
+                if !seen[t.index()] {
+                    seen[t.index()] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+
+    /// Arcs of the subtree rooted at (and including) `a`, preorder.
+    ///
+    /// Only meaningful on trees.
+    pub fn subtree_arcs(&self, a: ArcId) -> Vec<ArcId> {
+        let mut out = Vec::new();
+        let mut stack = vec![a];
+        while let Some(x) = stack.pop() {
+            out.push(x);
+            let to = self.arc(x).to;
+            // Reverse so preorder matches left-to-right child order.
+            for &c in self.children(to).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// `f*(a)`: the summed cost of `a` and every arc below it (Note 5).
+    pub fn f_star(&self, a: ArcId) -> f64 {
+        self.subtree_arcs(a).iter().map(|&x| self.arc(x).cost).sum()
+    }
+
+    /// Total cost of all arcs.
+    pub fn total_cost(&self) -> f64 {
+        self.arcs.iter().map(|a| a.cost).sum()
+    }
+
+    /// `Π(e)`: the arcs from the root down to, but not including, `e`
+    /// (Definition 1). Only meaningful on trees.
+    pub fn root_path(&self, e: ArcId) -> Vec<ArcId> {
+        let mut rev = Vec::new();
+        let mut node = self.arc(e).from;
+        while let Some(p) = self.parent_arc(node) {
+            rev.push(p);
+            node = self.arc(p).from;
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// `F¬(a)`: the total cost of the arcs on paths *other than* the
+    /// paths through `a` (Note 5) — i.e. everything outside
+    /// `Π(a) ∪ subtree(a)`. Only meaningful on trees.
+    pub fn f_not(&self, a: ArcId) -> f64 {
+        let own: f64 = self.root_path(a).iter().map(|&x| self.arc(x).cost).sum::<f64>()
+            + self.f_star(a);
+        self.total_cost() - own
+    }
+
+    /// Depth of an arc (number of arcs above it; root children have 0).
+    pub fn depth(&self, a: ArcId) -> usize {
+        self.root_path(a).len()
+    }
+
+    /// Sibling arcs of `a` (sharing `a`'s source node), excluding `a`.
+    pub fn siblings(&self, a: ArcId) -> Vec<ArcId> {
+        self.children(self.arc(a).from).iter().copied().filter(|&x| x != a).collect()
+    }
+
+    /// Validates structural invariants (positive costs, retrieval arcs
+    /// point at success leaves, every leaf is a success node, tree shape
+    /// if `require_tree`).
+    pub fn validate(&self, require_tree: bool) -> Result<(), GraphError> {
+        for (i, a) in self.arcs.iter().enumerate() {
+            if a.cost.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !a.cost.is_finite() {
+                return Err(GraphError::NonPositiveCost(a.label.clone()));
+            }
+            if a.kind == ArcKind::Retrieval {
+                let target = &self.nodes[a.to.index()];
+                if !target.is_success {
+                    return Err(GraphError::DeadLeaf(format!(
+                        "retrieval `{}` (arc {i}) does not reach a success node",
+                        a.label
+                    )));
+                }
+            }
+        }
+        for n in self.node_ids() {
+            let data = self.node(n);
+            if self.children(n).is_empty() && !data.is_success {
+                return Err(GraphError::DeadLeaf(format!(
+                    "leaf `{}` is not a success node; its subtree can never succeed",
+                    data.label
+                )));
+            }
+        }
+        if require_tree && !self.is_tree() {
+            return Err(GraphError::NotTree("a node has several parents or is unreachable".into()));
+        }
+        Ok(())
+    }
+
+    /// Renders the tree as an indented outline (diagnostics).
+    pub fn outline(&self) -> String {
+        let mut out = String::new();
+        fn rec(g: &InferenceGraph, n: NodeId, depth: usize, out: &mut String) {
+            for &a in g.children(n) {
+                let arc = g.arc(a);
+                let kind = match arc.kind {
+                    ArcKind::Reduction => "R",
+                    ArcKind::Retrieval => "D",
+                };
+                out.push_str(&"  ".repeat(depth));
+                out.push_str(&format!(
+                    "{} [{}] cost={} -> {}\n",
+                    arc.label,
+                    kind,
+                    arc.cost,
+                    g.node(arc.to).label
+                ));
+                rec(g, arc.to, depth + 1, out);
+            }
+        }
+        out.push_str(&format!("{}\n", self.node(self.root).label));
+        rec(self, self.root, 1, &mut out);
+        out
+    }
+}
+
+/// Incremental builder for [`InferenceGraph`].
+///
+/// # Examples
+/// ```
+/// use qpl_graph::{GraphBuilder, ArcKind};
+/// // Figure 1's G_A: instructor --R_p--> prof --D_p--> ⊞
+/// //                            --R_g--> grad --D_g--> ⊞
+/// let mut b = GraphBuilder::new("instructor(κ)");
+/// let root = b.root();
+/// let (_, prof) = b.reduction(root, "R_p", 1.0, "prof(κ)");
+/// b.retrieval(prof, "D_p", 1.0);
+/// let (_, grad) = b.reduction(root, "R_g", 1.0, "grad(κ)");
+/// b.retrieval(grad, "D_g", 1.0);
+/// let g = b.finish().unwrap();
+/// assert_eq!(g.arc_count(), 4);
+/// assert!(g.is_tree());
+/// assert_eq!(g.f_star(g.arc_by_label("R_p").unwrap()), 2.0);
+/// assert_eq!(g.f_not(g.arc_by_label("D_g").unwrap()), 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    nodes: Vec<NodeData>,
+    arcs: Vec<ArcData>,
+    children: Vec<Vec<ArcId>>,
+    parents: Vec<Vec<ArcId>>,
+    require_tree: bool,
+}
+
+impl GraphBuilder {
+    /// Starts a graph whose root goal is labelled `root_label`.
+    pub fn new(root_label: &str) -> Self {
+        Self {
+            nodes: vec![NodeData { label: root_label.into(), is_success: false }],
+            arcs: Vec::new(),
+            children: vec![Vec::new()],
+            parents: vec![Vec::new()],
+            require_tree: true,
+        }
+    }
+
+    /// Allows non-tree (DAG) graphs; [`finish`](Self::finish) will then
+    /// skip the tree check. Used for the NP-hardness demonstration.
+    pub fn allow_dag(mut self) -> Self {
+        self.require_tree = false;
+        self
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    fn add_node(&mut self, label: &str, is_success: bool) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("node overflow"));
+        self.nodes.push(NodeData { label: label.into(), is_success });
+        self.children.push(Vec::new());
+        self.parents.push(Vec::new());
+        id
+    }
+
+    fn add_arc(&mut self, from: NodeId, to: NodeId, kind: ArcKind, label: &str, cost: f64) -> ArcId {
+        let id = ArcId(u32::try_from(self.arcs.len()).expect("arc overflow"));
+        self.arcs.push(ArcData { from, to, kind, label: label.into(), cost });
+        self.children[from.index()].push(id);
+        self.parents[to.index()].push(id);
+        id
+    }
+
+    /// Adds a rule-reduction arc from `from` to a fresh subgoal node.
+    /// Returns `(arc, subgoal node)`.
+    pub fn reduction(&mut self, from: NodeId, label: &str, cost: f64, goal_label: &str) -> (ArcId, NodeId) {
+        let node = self.add_node(goal_label, false);
+        let arc = self.add_arc(from, node, ArcKind::Reduction, label, cost);
+        (arc, node)
+    }
+
+    /// Adds a reduction arc to an *existing* node (requires
+    /// [`allow_dag`](Self::allow_dag) to pass validation if this creates
+    /// a second parent).
+    pub fn reduction_to(&mut self, from: NodeId, to: NodeId, label: &str, cost: f64) -> ArcId {
+        self.add_arc(from, to, ArcKind::Reduction, label, cost)
+    }
+
+    /// Adds a retrieval arc from `from` to a fresh success node.
+    pub fn retrieval(&mut self, from: NodeId, label: &str, cost: f64) -> ArcId {
+        let node = self.add_node(&format!("⊞{label}"), true);
+        self.add_arc(from, node, ArcKind::Retrieval, label, cost)
+    }
+
+    /// Finalizes and validates the graph.
+    ///
+    /// # Errors
+    /// Any [`GraphError`] from [`InferenceGraph::validate`].
+    pub fn finish(self) -> Result<InferenceGraph, GraphError> {
+        let g = InferenceGraph {
+            nodes: self.nodes,
+            arcs: self.arcs,
+            root: NodeId(0),
+            children: self.children,
+            parents: self.parents,
+        };
+        g.validate(self.require_tree)?;
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 1's G_A with unit costs.
+    pub(crate) fn g_a() -> InferenceGraph {
+        let mut b = GraphBuilder::new("instructor(κ)");
+        let root = b.root();
+        let (_, prof) = b.reduction(root, "R_p", 1.0, "prof(κ)");
+        b.retrieval(prof, "D_p", 1.0);
+        let (_, grad) = b.reduction(root, "R_g", 1.0, "grad(κ)");
+        b.retrieval(grad, "D_g", 1.0);
+        b.finish().unwrap()
+    }
+
+    /// Figure 2's G_B with unit costs.
+    pub(crate) fn g_b() -> InferenceGraph {
+        let mut b = GraphBuilder::new("G(κ)");
+        let root = b.root();
+        let (_, a) = b.reduction(root, "R_ga", 1.0, "A(κ)");
+        b.retrieval(a, "D_a", 1.0);
+        let (_, s) = b.reduction(root, "R_gs", 1.0, "S(κ)");
+        let (_, bb) = b.reduction(s, "R_sb", 1.0, "B(κ)");
+        b.retrieval(bb, "D_b", 1.0);
+        let (_, t) = b.reduction(s, "R_st", 1.0, "T(κ)");
+        let (_, c) = b.reduction(t, "R_tc", 1.0, "C(κ)");
+        b.retrieval(c, "D_c", 1.0);
+        let (_, d) = b.reduction(t, "R_td", 1.0, "D(κ)");
+        b.retrieval(d, "D_d", 1.0);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn g_a_structure() {
+        let g = g_a();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.arc_count(), 4);
+        assert!(g.is_tree());
+        assert_eq!(g.retrievals().count(), 2);
+    }
+
+    #[test]
+    fn f_star_matches_note_5() {
+        let g = g_a();
+        let rp = g.arc_by_label("R_p").unwrap();
+        let rg = g.arc_by_label("R_g").unwrap();
+        let dp = g.arc_by_label("D_p").unwrap();
+        assert_eq!(g.f_star(rp), 2.0, "f*(R_p) = f(R_p) + f(D_p)");
+        assert_eq!(g.f_star(rg), 2.0);
+        assert_eq!(g.f_star(dp), 1.0);
+    }
+
+    #[test]
+    fn f_not_matches_note_5() {
+        let g = g_a();
+        let dg = g.arc_by_label("D_g").unwrap();
+        let dp = g.arc_by_label("D_p").unwrap();
+        assert_eq!(g.f_not(dg), 2.0, "F¬[D_g] = f(R_p) + f(D_p)");
+        assert_eq!(g.f_not(dp), 2.0);
+    }
+
+    #[test]
+    fn g_b_structure_and_costs() {
+        let g = g_b();
+        assert_eq!(g.arc_count(), 10);
+        assert!(g.is_tree());
+        let rst = g.arc_by_label("R_st").unwrap();
+        assert_eq!(g.f_star(rst), 5.0, "R_st + R_tc + D_c + R_td + D_d");
+        let rtc = g.arc_by_label("R_tc").unwrap();
+        // F¬[R_tc]: everything outside Π(R_tc)={R_gs,R_st} and subtree {R_tc,D_c}:
+        // R_ga, D_a, R_sb, D_b, R_td, D_d = 6.
+        assert_eq!(g.f_not(rtc), 6.0);
+    }
+
+    #[test]
+    fn root_path_is_ordered_from_root() {
+        let g = g_b();
+        let dc = g.arc_by_label("D_c").unwrap();
+        let labels: Vec<&str> =
+            g.root_path(dc).iter().map(|&a| g.arc(a).label.as_str()).collect();
+        assert_eq!(labels, ["R_gs", "R_st", "R_tc"]);
+        assert_eq!(g.depth(dc), 3);
+    }
+
+    #[test]
+    fn siblings_exclude_self() {
+        let g = g_b();
+        let rsb = g.arc_by_label("R_sb").unwrap();
+        let sib = g.siblings(rsb);
+        assert_eq!(sib.len(), 1);
+        assert_eq!(g.arc(sib[0]).label, "R_st");
+    }
+
+    #[test]
+    fn subtree_arcs_preorder() {
+        let g = g_b();
+        let rgs = g.arc_by_label("R_gs").unwrap();
+        let labels: Vec<&str> =
+            g.subtree_arcs(rgs).iter().map(|&a| g.arc(a).label.as_str()).collect();
+        assert_eq!(labels, ["R_gs", "R_sb", "D_b", "R_st", "R_tc", "D_c", "R_td", "D_d"]);
+    }
+
+    #[test]
+    fn dead_leaf_rejected() {
+        let mut b = GraphBuilder::new("root");
+        let root = b.root();
+        b.reduction(root, "R", 1.0, "dangling");
+        assert!(matches!(b.finish(), Err(GraphError::DeadLeaf(_))));
+    }
+
+    #[test]
+    fn non_positive_cost_rejected() {
+        let mut b = GraphBuilder::new("root");
+        let root = b.root();
+        b.retrieval(root, "D", 0.0);
+        assert!(matches!(b.finish(), Err(GraphError::NonPositiveCost(_))));
+    }
+
+    #[test]
+    fn dag_rejected_unless_allowed() {
+        // The Note 5 non-tree example: { A :- B. B :- C. A :- C. }
+        let build = |allow: bool| {
+            let mut b = GraphBuilder::new("A");
+            if allow {
+                b = b.allow_dag();
+            }
+            let root = b.root();
+            let (_, nb) = b.reduction(root, "R_ab", 1.0, "B");
+            let (_, nc) = b.reduction(nb, "R_bc", 1.0, "C");
+            b.retrieval(nc, "D_c", 1.0);
+            b.reduction_to(root, nc, "R_ac", 1.0);
+            b.finish()
+        };
+        assert!(matches!(build(false), Err(GraphError::NotTree(_))));
+        let g = build(true).unwrap();
+        assert!(!g.is_tree());
+    }
+
+    #[test]
+    fn outline_is_readable() {
+        let g = g_a();
+        let o = g.outline();
+        assert!(o.contains("R_p"));
+        assert!(o.contains("D_g"));
+        assert!(o.starts_with("instructor"));
+    }
+
+    #[test]
+    fn total_cost_sums_arcs() {
+        assert_eq!(g_b().total_cost(), 10.0);
+    }
+}

@@ -1,0 +1,578 @@
+//! Note 4: conjunctive rule bodies as directed hypergraphs (and-or trees).
+//!
+//! "To deal with more general rules, whose antecedents are conjunctions of
+//! more than one literal (e.g. `A :- B, C.`), we must use directed
+//! hypergraphs, where each hyper-arc descends from one node to a *set* of
+//! children nodes, where the conjunction of these nodes logically imply
+//! their common parent."
+//!
+//! This module implements that extension for and-or **trees**:
+//!
+//! * [`AndOrGraph`] — goals with outgoing [`HyperArc`]s; a reduction
+//!   hyper-arc has one child goal per body literal, a retrieval hyper-arc
+//!   has none (it is its own success test);
+//! * [`AndOrStrategy`] — a per-node ordering of hyper-arcs (the paper
+//!   defers the full interleaved strategy space to \[GO91, Appendix A\];
+//!   depth-first per-node orderings are the subspace implemented here,
+//!   which is complete for purely disjunctive graphs and well-defined for
+//!   conjunctions);
+//! * [`execute`] — satisficing and-or search: a goal is proved by its
+//!   first hyper-arc that is open and whose children *all* prove; costs
+//!   accumulate for every attempt, including partial conjunction
+//!   failures;
+//! * exact expected cost by exhaustive enumeration and a brute-force
+//!   optimal ordering, mirroring the simple-graph facilities.
+
+use crate::error::GraphError;
+use rand::Rng;
+
+/// Node (goal) identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GoalId(pub u32);
+
+impl GoalId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Hyper-arc identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HyperArcId(pub u32);
+
+impl HyperArcId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A hyper-arc: a retrieval (no children) or a conjunctive reduction.
+#[derive(Debug, Clone)]
+pub struct HyperArc {
+    /// Goal this arc helps prove.
+    pub from: GoalId,
+    /// Conjunctive subgoals (empty for retrievals).
+    pub children: Vec<GoalId>,
+    /// Attempt cost.
+    pub cost: f64,
+    /// Label for diagnostics.
+    pub label: String,
+}
+
+impl HyperArc {
+    /// Whether this is a retrieval (leaf test).
+    pub fn is_retrieval(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// An and-or tree of goals.
+#[derive(Debug, Clone)]
+pub struct AndOrGraph {
+    labels: Vec<String>,
+    arcs: Vec<HyperArc>,
+    outgoing: Vec<Vec<HyperArcId>>,
+    root: GoalId,
+}
+
+impl AndOrGraph {
+    /// The root goal.
+    pub fn root(&self) -> GoalId {
+        self.root
+    }
+
+    /// All hyper-arc ids.
+    pub fn arc_ids(&self) -> impl Iterator<Item = HyperArcId> {
+        (0..self.arcs.len() as u32).map(HyperArcId)
+    }
+
+    /// A hyper-arc.
+    ///
+    /// # Panics
+    /// Panics on a foreign id.
+    pub fn arc(&self, a: HyperArcId) -> &HyperArc {
+        &self.arcs[a.index()]
+    }
+
+    /// Number of hyper-arcs.
+    pub fn arc_count(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Number of goals.
+    pub fn goal_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Label of a goal.
+    pub fn goal_label(&self, g: GoalId) -> &str {
+        &self.labels[g.index()]
+    }
+
+    /// Outgoing hyper-arcs of a goal, construction order.
+    pub fn outgoing(&self, g: GoalId) -> &[HyperArcId] {
+        &self.outgoing[g.index()]
+    }
+
+    /// Retrieval hyper-arcs in id order.
+    pub fn retrievals(&self) -> impl Iterator<Item = HyperArcId> + '_ {
+        self.arc_ids().filter(|&a| self.arc(a).is_retrieval())
+    }
+
+    /// Looks up an arc by label.
+    pub fn arc_by_label(&self, label: &str) -> Option<HyperArcId> {
+        self.arc_ids().find(|&a| self.arc(a).label == label)
+    }
+}
+
+/// Builder for [`AndOrGraph`].
+#[derive(Debug, Clone)]
+pub struct AndOrBuilder {
+    labels: Vec<String>,
+    arcs: Vec<HyperArc>,
+    outgoing: Vec<Vec<HyperArcId>>,
+}
+
+impl AndOrBuilder {
+    /// Starts a graph with a root goal.
+    pub fn new(root_label: &str) -> Self {
+        Self { labels: vec![root_label.into()], arcs: Vec::new(), outgoing: vec![Vec::new()] }
+    }
+
+    /// The root goal id.
+    pub fn root(&self) -> GoalId {
+        GoalId(0)
+    }
+
+    /// Adds a goal node.
+    pub fn goal(&mut self, label: &str) -> GoalId {
+        let id = GoalId(u32::try_from(self.labels.len()).expect("goal overflow"));
+        self.labels.push(label.into());
+        self.outgoing.push(Vec::new());
+        id
+    }
+
+    /// Adds a conjunctive reduction from `from` to `children`.
+    pub fn reduction(&mut self, from: GoalId, children: Vec<GoalId>, label: &str, cost: f64) -> HyperArcId {
+        self.push(HyperArc { from, children, cost, label: label.into() })
+    }
+
+    /// Adds a retrieval arc at `from`.
+    pub fn retrieval(&mut self, from: GoalId, label: &str, cost: f64) -> HyperArcId {
+        self.push(HyperArc { from, children: Vec::new(), cost, label: label.into() })
+    }
+
+    fn push(&mut self, arc: HyperArc) -> HyperArcId {
+        let id = HyperArcId(u32::try_from(self.arcs.len()).expect("arc overflow"));
+        self.outgoing[arc.from.index()].push(id);
+        self.arcs.push(arc);
+        id
+    }
+
+    /// Finalizes, validating positive costs and that every goal has at
+    /// least one way to be proved.
+    ///
+    /// # Errors
+    /// [`GraphError::NonPositiveCost`] or [`GraphError::DeadLeaf`].
+    pub fn finish(self) -> Result<AndOrGraph, GraphError> {
+        for a in &self.arcs {
+            if a.cost.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !a.cost.is_finite() {
+                return Err(GraphError::NonPositiveCost(a.label.clone()));
+            }
+        }
+        for (i, out) in self.outgoing.iter().enumerate() {
+            if out.is_empty() {
+                return Err(GraphError::DeadLeaf(format!(
+                    "goal `{}` has no hyper-arcs",
+                    self.labels[i]
+                )));
+            }
+        }
+        Ok(AndOrGraph { labels: self.labels, arcs: self.arcs, outgoing: self.outgoing, root: GoalId(0) })
+    }
+}
+
+/// Blocked status per hyper-arc (the context class, as in Note 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AndOrContext {
+    blocked: Vec<bool>,
+}
+
+impl AndOrContext {
+    /// All arcs open.
+    pub fn all_open(g: &AndOrGraph) -> Self {
+        Self { blocked: vec![false; g.arc_count()] }
+    }
+
+    /// Blocks exactly the given arcs.
+    pub fn with_blocked(g: &AndOrGraph, blocked: &[HyperArcId]) -> Self {
+        let mut ctx = Self::all_open(g);
+        for &a in blocked {
+            ctx.blocked[a.index()] = true;
+        }
+        ctx
+    }
+
+    /// Whether `a` is blocked.
+    pub fn is_blocked(&self, a: HyperArcId) -> bool {
+        self.blocked[a.index()]
+    }
+
+    /// Sets blocked status.
+    pub fn set_blocked(&mut self, a: HyperArcId, blocked: bool) {
+        self.blocked[a.index()] = blocked;
+    }
+}
+
+/// A per-goal ordering of outgoing hyper-arcs (depth-first and-or
+/// strategy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AndOrStrategy {
+    orders: Vec<Vec<HyperArcId>>,
+}
+
+impl AndOrStrategy {
+    /// The construction-order (left-to-right) strategy.
+    pub fn left_to_right(g: &AndOrGraph) -> Self {
+        Self { orders: (0..g.goal_count()).map(|i| g.outgoing(GoalId(i as u32)).to_vec()).collect() }
+    }
+
+    /// From explicit per-goal orders.
+    ///
+    /// # Errors
+    /// [`GraphError::InvalidStrategy`] if some order is not a permutation
+    /// of the goal's outgoing arcs.
+    pub fn from_orders(g: &AndOrGraph, orders: Vec<Vec<HyperArcId>>) -> Result<Self, GraphError> {
+        if orders.len() != g.goal_count() {
+            return Err(GraphError::InvalidStrategy("order count != goal count".into()));
+        }
+        for (i, ord) in orders.iter().enumerate() {
+            let mut a = ord.clone();
+            let mut b = g.outgoing(GoalId(i as u32)).to_vec();
+            a.sort();
+            b.sort();
+            if a != b {
+                return Err(GraphError::InvalidStrategy(format!(
+                    "orders[{i}] is not a permutation of the goal's arcs"
+                )));
+            }
+        }
+        Ok(Self { orders })
+    }
+
+    /// Order at `goal`.
+    pub fn order(&self, goal: GoalId) -> &[HyperArcId] {
+        &self.orders[goal.index()]
+    }
+}
+
+/// Result of one and-or execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AndOrRun {
+    /// Whether the root goal was proved.
+    pub proved: bool,
+    /// Total cost paid.
+    pub cost: f64,
+}
+
+/// Executes a depth-first and-or search: each goal tries its hyper-arcs
+/// in strategy order; a reduction proves the goal iff it is open and
+/// every child goal proves (children attempted left to right, aborting
+/// the conjunction on the first failure — costs already paid stay paid).
+pub fn execute(g: &AndOrGraph, s: &AndOrStrategy, ctx: &AndOrContext) -> AndOrRun {
+    fn prove(
+        g: &AndOrGraph,
+        s: &AndOrStrategy,
+        ctx: &AndOrContext,
+        goal: GoalId,
+        cost: &mut f64,
+    ) -> bool {
+        for &a in s.order(goal) {
+            let arc = g.arc(a);
+            *cost += arc.cost;
+            if ctx.is_blocked(a) {
+                continue;
+            }
+            if arc.children.iter().all(|&c| prove(g, s, ctx, c, cost)) {
+                return true;
+            }
+        }
+        false
+    }
+    let mut cost = 0.0;
+    let proved = prove(g, s, ctx, g.root(), &mut cost);
+    AndOrRun { proved, cost }
+}
+
+/// Independent per-arc open probabilities for and-or graphs.
+#[derive(Debug, Clone)]
+pub struct AndOrModel {
+    probs: Vec<f64>,
+}
+
+impl AndOrModel {
+    /// Per-arc probabilities in arc-id order.
+    ///
+    /// # Errors
+    /// [`GraphError::BadProbability`] on out-of-range values or a count
+    /// mismatch.
+    pub fn new(g: &AndOrGraph, probs: Vec<f64>) -> Result<Self, GraphError> {
+        if probs.len() != g.arc_count() {
+            return Err(GraphError::BadProbability(-1.0));
+        }
+        for &p in &probs {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(GraphError::BadProbability(p));
+            }
+        }
+        Ok(Self { probs })
+    }
+
+    /// Samples a context.
+    pub fn sample(&self, rng: &mut dyn rand::RngCore) -> AndOrContext {
+        AndOrContext { blocked: self.probs.iter().map(|&p| rng.gen::<f64>() >= p).collect() }
+    }
+
+    /// Exact expected cost by exhaustive enumeration over probabilistic
+    /// arcs.
+    ///
+    /// # Panics
+    /// Panics with more than 24 probabilistic arcs.
+    pub fn expected_cost(&self, g: &AndOrGraph, s: &AndOrStrategy) -> f64 {
+        let vars: Vec<usize> =
+            (0..self.probs.len()).filter(|&i| self.probs[i] > 0.0 && self.probs[i] < 1.0).collect();
+        assert!(vars.len() <= 24, "too many probabilistic arcs");
+        let mut total = 0.0;
+        for mask in 0u32..(1 << vars.len()) {
+            let mut ctx =
+                AndOrContext { blocked: self.probs.iter().map(|&p| p == 0.0).collect() };
+            let mut w = 1.0;
+            for (bit, &i) in vars.iter().enumerate() {
+                let open = mask & (1 << bit) != 0;
+                ctx.blocked[i] = !open;
+                w *= if open { self.probs[i] } else { 1.0 - self.probs[i] };
+            }
+            if w > 0.0 {
+                total += w * execute(g, s, &ctx).cost;
+            }
+        }
+        total
+    }
+}
+
+/// Brute-force optimal depth-first and-or strategy under `model`.
+///
+/// # Panics
+/// Panics if the order space exceeds `limit`.
+pub fn brute_force_optimal(
+    g: &AndOrGraph,
+    model: &AndOrModel,
+    limit: usize,
+) -> (AndOrStrategy, f64) {
+    fn permutations(items: &[HyperArcId]) -> Vec<Vec<HyperArcId>> {
+        if items.is_empty() {
+            return vec![Vec::new()];
+        }
+        let mut out = Vec::new();
+        for (i, &x) in items.iter().enumerate() {
+            let mut rest = items.to_vec();
+            rest.remove(i);
+            for mut p in permutations(&rest) {
+                p.insert(0, x);
+                out.push(p);
+            }
+        }
+        out
+    }
+    let per_goal: Vec<Vec<Vec<HyperArcId>>> =
+        (0..g.goal_count()).map(|i| permutations(g.outgoing(GoalId(i as u32)))).collect();
+    let space: usize = per_goal.iter().map(Vec::len).product();
+    assert!(space <= limit, "strategy space {space} exceeds limit {limit}");
+    let mut best: Option<(AndOrStrategy, f64)> = None;
+    let mut idx = vec![0usize; per_goal.len()];
+    loop {
+        let orders: Vec<Vec<HyperArcId>> =
+            idx.iter().enumerate().map(|(i, &j)| per_goal[i][j].clone()).collect();
+        let s = AndOrStrategy::from_orders(g, orders).expect("permutation orders are valid");
+        let c = model.expected_cost(g, &s);
+        if best.as_ref().is_none_or(|(_, b)| c < *b) {
+            best = Some((s, c));
+        }
+        // Odometer increment.
+        let mut carry = true;
+        for i in 0..idx.len() {
+            if carry {
+                idx[i] += 1;
+                if idx[i] == per_goal[i].len() {
+                    idx[i] = 0;
+                } else {
+                    carry = false;
+                }
+            }
+        }
+        if carry {
+            break;
+        }
+    }
+    best.expect("at least one strategy exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// `A :- B, C.` plus a direct retrieval for A:
+    ///    A —r1→ {B, C};  A —dA→ ∅;  B —dB→ ∅;  C —dC→ ∅.
+    fn conj() -> AndOrGraph {
+        let mut b = AndOrBuilder::new("A");
+        let root = b.root();
+        let gb = b.goal("B");
+        let gc = b.goal("C");
+        b.reduction(root, vec![gb, gc], "r1", 1.0);
+        b.retrieval(root, "dA", 1.0);
+        b.retrieval(gb, "dB", 1.0);
+        b.retrieval(gc, "dC", 1.0);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn conjunction_requires_all_children() {
+        let g = conj();
+        let s = AndOrStrategy::left_to_right(&g);
+        // dB open, dC blocked, dA blocked: r1 is attempted but fails at C.
+        let ctx = AndOrContext::with_blocked(
+            &g,
+            &[g.arc_by_label("dC").unwrap(), g.arc_by_label("dA").unwrap()],
+        );
+        let run = execute(&g, &s, &ctx);
+        assert!(!run.proved);
+        // r1 (1) + dB (1) + dC (1) + dA (1) = 4.
+        assert_eq!(run.cost, 4.0);
+    }
+
+    #[test]
+    fn conjunction_succeeds_when_all_open() {
+        let g = conj();
+        let s = AndOrStrategy::left_to_right(&g);
+        let run = execute(&g, &s, &AndOrContext::all_open(&g));
+        assert!(run.proved);
+        // r1 + dB + dC = 3 (dA never attempted).
+        assert_eq!(run.cost, 3.0);
+    }
+
+    #[test]
+    fn conjunction_aborts_on_first_failed_child() {
+        let g = conj();
+        let s = AndOrStrategy::left_to_right(&g);
+        // dB blocked: C never attempted under r1; falls through to dA.
+        let ctx = AndOrContext::with_blocked(&g, &[g.arc_by_label("dB").unwrap()]);
+        let run = execute(&g, &s, &ctx);
+        assert!(run.proved);
+        // r1 (1) + dB (1) + dA (1) = 3; dC skipped.
+        assert_eq!(run.cost, 3.0);
+    }
+
+    #[test]
+    fn blocked_reduction_skips_children() {
+        let g = conj();
+        let s = AndOrStrategy::left_to_right(&g);
+        let ctx = AndOrContext::with_blocked(&g, &[g.arc_by_label("r1").unwrap()]);
+        let run = execute(&g, &s, &ctx);
+        assert!(run.proved);
+        // r1 blocked (1), dA (1) = 2.
+        assert_eq!(run.cost, 2.0);
+    }
+
+    #[test]
+    fn reordering_changes_expected_cost() {
+        let g = conj();
+        // dA succeeds often and is cheap relative to the conjunction.
+        let probs: Vec<f64> = g
+            .arc_ids()
+            .map(|a| match g.arc(a).label.as_str() {
+                "r1" => 1.0,
+                "dA" => 0.9,
+                "dB" => 0.5,
+                "dC" => 0.5,
+                _ => unreachable!(),
+            })
+            .collect();
+        let m = AndOrModel::new(&g, probs).unwrap();
+        let ltr = AndOrStrategy::left_to_right(&g); // r1 before dA
+        let (opt, c_opt) = brute_force_optimal(&g, &m, 10_000);
+        let c_ltr = m.expected_cost(&g, &ltr);
+        assert!(c_opt < c_ltr, "optimal {c_opt} must beat conjunction-first {c_ltr}");
+        // Optimal tries dA first at the root.
+        assert_eq!(opt.order(g.root())[0], g.arc_by_label("dA").unwrap());
+    }
+
+    #[test]
+    fn expected_cost_matches_monte_carlo() {
+        let g = conj();
+        let probs: Vec<f64> = g
+            .arc_ids()
+            .map(|a| match g.arc(a).label.as_str() {
+                "r1" => 0.8,
+                "dA" => 0.3,
+                "dB" => 0.6,
+                "dC" => 0.4,
+                _ => unreachable!(),
+            })
+            .collect();
+        let m = AndOrModel::new(&g, probs).unwrap();
+        let s = AndOrStrategy::left_to_right(&g);
+        let exact = m.expected_cost(&g, &s);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let mc: f64 =
+            (0..n).map(|_| execute(&g, &s, &m.sample(&mut rng)).cost).sum::<f64>() / n as f64;
+        assert!((exact - mc).abs() < 0.02, "exact {exact} vs MC {mc}");
+    }
+
+    #[test]
+    fn disjunctive_and_or_matches_simple_graph_semantics() {
+        // A purely disjunctive and-or tree is the same model as the
+        // simple graph: reproduce G_A's c(Θ, I) values.
+        let mut b = AndOrBuilder::new("instructor");
+        let root = b.root();
+        let prof = b.goal("prof");
+        let grad = b.goal("grad");
+        b.reduction(root, vec![prof], "R_p", 1.0);
+        b.reduction(root, vec![grad], "R_g", 1.0);
+        b.retrieval(prof, "D_p", 1.0);
+        b.retrieval(grad, "D_g", 1.0);
+        let g = b.finish().unwrap();
+        let s = AndOrStrategy::left_to_right(&g);
+        // I₁: D_p blocked. Θ₁-equivalent order: cost 4, proved.
+        let ctx = AndOrContext::with_blocked(&g, &[g.arc_by_label("D_p").unwrap()]);
+        let run = execute(&g, &s, &ctx);
+        assert!(run.proved);
+        assert_eq!(run.cost, 4.0);
+    }
+
+    #[test]
+    fn invalid_orders_rejected() {
+        let g = conj();
+        let bad = vec![Vec::new(); g.goal_count()];
+        assert!(matches!(
+            AndOrStrategy::from_orders(&g, bad),
+            Err(GraphError::InvalidStrategy(_))
+        ));
+    }
+
+    #[test]
+    fn builder_validations() {
+        let mut b = AndOrBuilder::new("A");
+        let root = b.root();
+        b.retrieval(root, "d", -1.0);
+        assert!(matches!(b.finish(), Err(GraphError::NonPositiveCost(_))));
+
+        let mut b2 = AndOrBuilder::new("A");
+        let root = b2.root();
+        let orphan = b2.goal("B");
+        b2.reduction(root, vec![orphan], "r", 1.0);
+        assert!(matches!(b2.finish(), Err(GraphError::DeadLeaf(_))));
+    }
+}

@@ -1,0 +1,45 @@
+//! # qpl-graph — inference graphs, strategies, contexts, and costs
+//!
+//! The cost model of Greiner (PODS'92), Section 2: an inference graph
+//! `G = ⟨N, A, S, f⟩` describes how a query reduces through rules to
+//! attempted database retrievals; a *strategy* `Θ` orders the arcs; a
+//! *context* `I` determines which arcs are blocked; and the expected cost
+//! `C[Θ] = E_I[c(Θ, I)]` is what the learning algorithms in `qpl-core`
+//! minimize.
+//!
+//! * [`graph`] — the graph arena, the derived cost functions `f*`, `F¬`,
+//!   `Π(e)` (Note 5), and tree-shape (`AOT`) classification.
+//! * [`strategy`] — path-form strategies (Note 3), depth-first
+//!   construction, exhaustive enumeration.
+//! * [`context`] — blocked-arc context classes (Note 2) and the
+//!   satisficing execution semantics `c(Θ, I)` with full traces.
+//! * [`expected`] — finite and independent-arc context distributions with
+//!   *exact* expected-cost computation.
+//! * [`pessimistic`] — the "assume unexplored arcs are blocked"
+//!   completion underlying PIB's `Δ̃` under-estimates.
+//! * [`compile`] — compilation of a Datalog rule base + query form into
+//!   an inference graph, with the per-arc bindings the engine needs to
+//!   decide blocked-status against a real database.
+//! * [`hypergraph`] — the Note 4 extension to conjunctive rule bodies
+//!   (and-or trees), with [`andor_compile`] turning conjunctive Datalog
+//!   rules into bound and-or graphs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod andor_compile;
+pub mod compile;
+pub mod context;
+pub mod error;
+pub mod expected;
+pub mod graph;
+pub mod hypergraph;
+pub mod pessimistic;
+pub mod strategy;
+
+pub use context::{ArcOutcome, Context, RunOutcome, Trace};
+pub use error::GraphError;
+pub use expected::{ContextDistribution, FiniteDistribution, IndependentModel};
+pub use graph::{ArcData, ArcId, ArcKind, GraphBuilder, InferenceGraph, NodeData, NodeId};
+pub use pessimistic::pessimistic_completion;
+pub use strategy::Strategy;

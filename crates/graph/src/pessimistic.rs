@@ -1,0 +1,135 @@
+//! Pessimistic trace completion — the heart of PIB's Δ̃ under-estimates.
+//!
+//! After running `Θ` in context `I`, only the attempted arcs' statuses
+//! are known. To bound the cost an *unbuilt* alternative `Θ'` would have
+//! paid, Section 3.2 evaluates `Θ'` "under the assumption that all of the
+//! arcs in the unexplored part of the inference graph will be blocked".
+//!
+//! [`pessimistic_completion`] materializes that assumption as a concrete
+//! [`Context`]:
+//!
+//! * attempted arcs keep their observed status;
+//! * unattempted **retrievals** are assumed blocked (no hidden successes,
+//!   so `Θ'` never stops early in unexplored territory);
+//! * unattempted **reductions** are assumed open (so `Θ'` pays the full
+//!   cost of descending into unexplored subtrees).
+//!
+//! Evaluating any `Θ'` against this completed context *over-estimates*
+//! `c(Θ', I)` — hence `Δ̃ = c(Θ, I) − c(Θ', I⁻) ≤ Δ` — while evaluating
+//! the observed `Θ` against it reproduces `c(Θ, I)` exactly (satisficing
+//! runs never look past what they observed). Property tests in
+//! `qpl-core` verify both facts on random graphs.
+
+use crate::context::{ArcOutcome, Context, Trace};
+use crate::graph::{ArcKind, InferenceGraph};
+
+/// Builds the pessimistic completion `I⁻` of a trace: observed statuses
+/// preserved, unobserved retrievals blocked, unobserved reductions open.
+pub fn pessimistic_completion(g: &InferenceGraph, trace: &Trace) -> Context {
+    let mut ctx = Context::from_fn(g, |a| match g.arc(a).kind {
+        ArcKind::Retrieval => true, // assume blocked
+        ArcKind::Reduction => false, // assume open
+    });
+    for &(a, outcome) in &trace.events {
+        ctx.set_blocked(a, outcome == ArcOutcome::Blocked);
+    }
+    ctx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{execute, RunOutcome};
+    use crate::graph::{GraphBuilder, InferenceGraph};
+    use crate::strategy::Strategy;
+
+    fn g_b() -> InferenceGraph {
+        let mut b = GraphBuilder::new("G(κ)");
+        let root = b.root();
+        let (_, a) = b.reduction(root, "R_ga", 1.0, "A(κ)");
+        b.retrieval(a, "D_a", 1.0);
+        let (_, s) = b.reduction(root, "R_gs", 1.0, "S(κ)");
+        let (_, bb) = b.reduction(s, "R_sb", 1.0, "B(κ)");
+        b.retrieval(bb, "D_b", 1.0);
+        let (_, t) = b.reduction(s, "R_st", 1.0, "T(κ)");
+        let (_, c) = b.reduction(t, "R_tc", 1.0, "C(κ)");
+        b.retrieval(c, "D_c", 1.0);
+        let (_, d) = b.reduction(t, "R_td", 1.0, "D(κ)");
+        b.retrieval(d, "D_d", 1.0);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn observed_statuses_preserved() {
+        let g = g_b();
+        let theta = Strategy::left_to_right(&g);
+        // I_c of Section 3.2: D_a, D_b blocked, D_c open (first success),
+        // D_d unknown to the run.
+        let ctx = Context::with_blocked(
+            &g,
+            &[g.arc_by_label("D_a").unwrap(), g.arc_by_label("D_b").unwrap()],
+        );
+        let trace = execute(&g, &theta, &ctx);
+        assert!(matches!(trace.outcome, RunOutcome::Succeeded(_)));
+        let completed = pessimistic_completion(&g, &trace);
+        assert!(completed.is_blocked(g.arc_by_label("D_a").unwrap()));
+        assert!(completed.is_blocked(g.arc_by_label("D_b").unwrap()));
+        assert!(!completed.is_blocked(g.arc_by_label("D_c").unwrap()), "observed success kept");
+    }
+
+    #[test]
+    fn unobserved_retrieval_assumed_blocked() {
+        let g = g_b();
+        let theta = Strategy::left_to_right(&g);
+        let ctx = Context::with_blocked(
+            &g,
+            &[g.arc_by_label("D_a").unwrap(), g.arc_by_label("D_b").unwrap()],
+        );
+        let trace = execute(&g, &theta, &ctx);
+        let completed = pessimistic_completion(&g, &trace);
+        // D_d was never attempted (run stopped at D_c) — assumed blocked
+        // even though the true context had it open.
+        assert!(!trace.attempted(g.arc_by_label("D_d").unwrap()));
+        assert!(completed.is_blocked(g.arc_by_label("D_d").unwrap()));
+    }
+
+    #[test]
+    fn unobserved_reduction_assumed_open() {
+        let g = g_b();
+        let theta = Strategy::left_to_right(&g);
+        // Success at D_a: nothing under R_gs observed.
+        let ctx = Context::all_open(&g);
+        let trace = execute(&g, &theta, &ctx);
+        assert_eq!(trace.events.len(), 2);
+        let completed = pessimistic_completion(&g, &trace);
+        for label in ["R_gs", "R_sb", "R_st", "R_tc", "R_td"] {
+            assert!(!completed.is_blocked(g.arc_by_label(label).unwrap()), "{label} open");
+        }
+        for label in ["D_b", "D_c", "D_d"] {
+            assert!(completed.is_blocked(g.arc_by_label(label).unwrap()), "{label} blocked");
+        }
+    }
+
+    #[test]
+    fn replaying_observed_strategy_reproduces_cost() {
+        let g = g_b();
+        let theta = Strategy::left_to_right(&g);
+        for blocked_set in [
+            vec![],
+            vec!["D_a"],
+            vec!["D_a", "D_b"],
+            vec!["D_a", "D_b", "D_c"],
+            vec!["D_a", "D_b", "D_c", "D_d"],
+            vec!["R_gs", "D_a"],
+        ] {
+            let arcs: Vec<_> =
+                blocked_set.iter().map(|l| g.arc_by_label(l).unwrap()).collect();
+            let ctx = Context::with_blocked(&g, &arcs);
+            let trace = execute(&g, &theta, &ctx);
+            let completed = pessimistic_completion(&g, &trace);
+            let replay = execute(&g, &theta, &completed);
+            assert_eq!(replay.cost, trace.cost, "blocked={blocked_set:?}");
+            assert_eq!(replay.outcome.is_success(), trace.outcome.is_success());
+        }
+    }
+}

@@ -1,0 +1,649 @@
+//! Query-processing strategies (Section 2.1, Note 3).
+//!
+//! A strategy `Θ` is written as a sequence of all of the graph's arcs,
+//! "with the understanding that the remaining subsequence will be ignored
+//! after reaching a solution". Note 3 refines this: a valid strategy is a
+//! sequence of *paths*, each of which descends from an already-visited
+//! node down to a retrieval. This module provides:
+//!
+//! * [`Strategy`] — the validated arc sequence, with path decomposition;
+//! * depth-first construction helpers ([`Strategy::left_to_right`],
+//!   [`Strategy::dfs_from_orders`]) — the subspace PIB hill-climbs over;
+//! * exhaustive enumeration of all path-form strategies
+//!   ([`enumerate_all`]) and of all depth-first strategies
+//!   ([`enumerate_dfs`]), used by the brute-force optimum.
+
+use crate::error::GraphError;
+use crate::graph::{ArcId, ArcKind, InferenceGraph, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A validated query-processing strategy: a path-form ordering of every
+/// arc in the graph.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Strategy {
+    arcs: Vec<ArcId>,
+}
+
+impl Strategy {
+    /// Validates an arc sequence as a path-form strategy.
+    ///
+    /// Requirements (Note 3):
+    /// 1. the sequence is a permutation of all arcs;
+    /// 2. it decomposes into consecutive *paths*, each starting at an
+    ///    already-visited node, descending arc-to-arc, and ending at the
+    ///    first retrieval arc it meets.
+    ///
+    /// # Errors
+    /// [`GraphError::InvalidStrategy`] describing the first violation.
+    pub fn from_arcs(g: &InferenceGraph, arcs: Vec<ArcId>) -> Result<Self, GraphError> {
+        if arcs.len() != g.arc_count() {
+            return Err(GraphError::InvalidStrategy(format!(
+                "strategy has {} arcs, graph has {}",
+                arcs.len(),
+                g.arc_count()
+            )));
+        }
+        let mut seen = vec![false; g.arc_count()];
+        for &a in &arcs {
+            if a.index() >= g.arc_count() {
+                return Err(GraphError::BadArc(a.0));
+            }
+            if seen[a.index()] {
+                return Err(GraphError::InvalidStrategy(format!("arc {a} appears twice")));
+            }
+            seen[a.index()] = true;
+        }
+        let s = Self { arcs };
+        s.decompose(g)?;
+        Ok(s)
+    }
+
+    /// The canonical depth-first left-to-right strategy (e.g. the paper's
+    /// `Θ_ABCD` on `G_B`).
+    pub fn left_to_right(g: &InferenceGraph) -> Self {
+        let orders: Vec<Vec<ArcId>> =
+            g.node_ids().map(|n| g.children(n).to_vec()).collect();
+        Self::dfs_from_orders(g, &orders).expect("left-to-right DFS is always valid")
+    }
+
+    /// Builds the depth-first strategy induced by a child ordering at
+    /// each node (`orders[node.index()]` is a permutation of
+    /// `g.children(node)`).
+    ///
+    /// # Errors
+    /// [`GraphError::InvalidStrategy`] if some order is not a permutation
+    /// of the node's children.
+    pub fn dfs_from_orders(g: &InferenceGraph, orders: &[Vec<ArcId>]) -> Result<Self, GraphError> {
+        if orders.len() != g.node_count() {
+            return Err(GraphError::InvalidStrategy(format!(
+                "need orders for {} nodes, got {}",
+                g.node_count(),
+                orders.len()
+            )));
+        }
+        for n in g.node_ids() {
+            let mut want = g.children(n).to_vec();
+            let mut have = orders[n.index()].clone();
+            want.sort();
+            have.sort();
+            if want != have {
+                return Err(GraphError::InvalidStrategy(format!(
+                    "orders[{}] is not a permutation of that node's children",
+                    n.index()
+                )));
+            }
+        }
+        let mut arcs = Vec::with_capacity(g.arc_count());
+        fn rec(g: &InferenceGraph, n: NodeId, orders: &[Vec<ArcId>], out: &mut Vec<ArcId>) {
+            for &a in &orders[n.index()] {
+                out.push(a);
+                rec(g, g.arc(a).to, orders, out);
+            }
+        }
+        rec(g, g.root(), orders, &mut arcs);
+        Self::from_arcs(g, arcs)
+    }
+
+    /// Relaxed validation for general (possibly non-tree) graphs: each
+    /// arc must be *reachable-in-order* (its source is the root or the
+    /// target of an earlier arc) and appear at most once, but the
+    /// sequence need not cover every arc nor decompose into
+    /// retrieval-terminated paths. On redundant graphs (the paper's
+    /// Note-5 `{A :- B. B :- C. A :- C.}` example) a correct strategy may
+    /// attempt *all* reductions into a shared node before its single
+    /// retrieval — a shape the tree-only path form cannot express.
+    ///
+    /// Relaxed strategies execute normally ([`crate::context::execute`]
+    /// skips arcs whose source was never reached) but are rejected by the
+    /// tree-specific analyses ([`Strategy::paths`], `Υ_AOT`).
+    ///
+    /// # Errors
+    /// [`GraphError::InvalidStrategy`] on duplicates or an arc whose
+    /// source can never have been reached.
+    pub fn from_arcs_relaxed(g: &InferenceGraph, arcs: Vec<ArcId>) -> Result<Self, GraphError> {
+        let mut seen = vec![false; g.arc_count()];
+        let mut targeted = vec![false; g.node_count()];
+        targeted[g.root().index()] = true;
+        for &a in &arcs {
+            if a.index() >= g.arc_count() {
+                return Err(GraphError::BadArc(a.0));
+            }
+            if seen[a.index()] {
+                return Err(GraphError::InvalidStrategy(format!("arc {a} appears twice")));
+            }
+            seen[a.index()] = true;
+            if !targeted[g.arc(a).from.index()] {
+                return Err(GraphError::InvalidStrategy(format!(
+                    "arc {a} can never be attempted: no earlier arc reaches its source"
+                )));
+            }
+            targeted[g.arc(a).to.index()] = true;
+        }
+        Ok(Self { arcs })
+    }
+
+    /// The arc sequence.
+    pub fn arcs(&self) -> &[ArcId] {
+        &self.arcs
+    }
+
+    /// Position of `a` in the sequence, if present.
+    pub fn position(&self, a: ArcId) -> Option<usize> {
+        self.arcs.iter().position(|&x| x == a)
+    }
+
+    /// Note 3's path decomposition: each path is a maximal descending run
+    /// ending at a retrieval. Returns index ranges into
+    /// [`arcs`](Self::arcs).
+    ///
+    /// # Errors
+    /// [`GraphError::InvalidStrategy`] if the sequence is not path-form.
+    pub fn decompose(&self, g: &InferenceGraph) -> Result<Vec<std::ops::Range<usize>>, GraphError> {
+        let mut visited = vec![false; g.node_count()];
+        visited[g.root().index()] = true;
+        let mut paths = Vec::new();
+        let mut i = 0;
+        while i < self.arcs.len() {
+            let start = i;
+            let first = g.arc(self.arcs[i]);
+            if !visited[first.from.index()] {
+                return Err(GraphError::InvalidStrategy(format!(
+                    "path at position {i} starts from unvisited node `{}`",
+                    g.node(first.from).label
+                )));
+            }
+            // Descend until a retrieval.
+            loop {
+                let arc = g.arc(self.arcs[i]);
+                visited[arc.to.index()] = true;
+                i += 1;
+                match arc.kind {
+                    ArcKind::Retrieval => break,
+                    ArcKind::Reduction => {
+                        if i >= self.arcs.len() {
+                            return Err(GraphError::InvalidStrategy(
+                                "strategy ends mid-path (no terminating retrieval)".into(),
+                            ));
+                        }
+                        let next = g.arc(self.arcs[i]);
+                        if next.from != arc.to {
+                            return Err(GraphError::InvalidStrategy(format!(
+                                "path broken at position {i}: `{}` does not descend from `{}`",
+                                next.label, arc.label
+                            )));
+                        }
+                    }
+                }
+            }
+            paths.push(start..i);
+        }
+        Ok(paths)
+    }
+
+    /// The paths as arc-id vectors (convenience over
+    /// [`decompose`](Self::decompose)).
+    pub fn paths(&self, g: &InferenceGraph) -> Vec<Vec<ArcId>> {
+        self.decompose(g)
+            .expect("constructed strategies are path-form")
+            .into_iter()
+            .map(|r| self.arcs[r].to_vec())
+            .collect()
+    }
+
+    /// Whether this strategy is depth-first: every arc's subtree occupies
+    /// a contiguous run of the sequence.
+    pub fn is_depth_first(&self, g: &InferenceGraph) -> bool {
+        for a in g.arc_ids() {
+            let subtree = g.subtree_arcs(a);
+            let positions: Vec<usize> = subtree
+                .iter()
+                .map(|&x| self.position(x).expect("strategy covers all arcs"))
+                .collect();
+            let min = *positions.iter().min().expect("subtree non-empty");
+            let max = *positions.iter().max().expect("subtree non-empty");
+            if max - min + 1 != subtree.len() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Renders labels, e.g. `⟨R_p D_p R_g D_g⟩`.
+    pub fn display<'a>(&'a self, g: &'a InferenceGraph) -> impl fmt::Display + 'a {
+        DisplayStrategy { s: self, g }
+    }
+
+    /// The per-node child ordering this strategy induces (first
+    /// appearance order of each node's children).
+    pub fn child_orders(&self, g: &InferenceGraph) -> Vec<Vec<ArcId>> {
+        let mut orders: Vec<Vec<ArcId>> = vec![Vec::new(); g.node_count()];
+        for &a in &self.arcs {
+            orders[g.arc(a).from.index()].push(a);
+        }
+        orders
+    }
+}
+
+struct DisplayStrategy<'a> {
+    s: &'a Strategy,
+    g: &'a InferenceGraph,
+}
+
+impl fmt::Display for DisplayStrategy<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, &a) in self.s.arcs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", self.g.arc(a).label)?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// Enumerates **all** path-form strategies of a tree-shaped graph.
+///
+/// The count grows super-exponentially; `limit` caps the number of
+/// strategies produced (`None` in the result signals truncation at the
+/// cap — callers treat that as "graph too big for brute force").
+pub fn enumerate_all(g: &InferenceGraph, limit: usize) -> Option<Vec<Strategy>> {
+    let mut out = Vec::new();
+    let mut visited = vec![false; g.node_count()];
+    visited[g.root().index()] = true;
+    let mut used = vec![false; g.arc_count()];
+    let mut seq: Vec<ArcId> = Vec::with_capacity(g.arc_count());
+
+    // One "move" = a full path: from a visited node, descend through
+    // unused arcs to the first retrieval. Enumerate all such paths.
+    fn paths_from(
+        g: &InferenceGraph,
+        visited: &[bool],
+        used: &[bool],
+    ) -> Vec<Vec<ArcId>> {
+        let mut all = Vec::new();
+        for n in g.node_ids() {
+            if !visited[n.index()] {
+                continue;
+            }
+            // DFS over descending arc choices.
+            let mut stack: Vec<Vec<ArcId>> = g
+                .children(n)
+                .iter()
+                .filter(|a| !used[a.index()])
+                .map(|&a| vec![a])
+                .collect();
+            while let Some(path) = stack.pop() {
+                let last = *path.last().expect("paths are non-empty");
+                match g.arc(last).kind {
+                    ArcKind::Retrieval => all.push(path),
+                    ArcKind::Reduction => {
+                        for &c in g.children(g.arc(last).to) {
+                            if !used[c.index()] {
+                                let mut p = path.clone();
+                                p.push(c);
+                                stack.push(p);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        all
+    }
+
+    fn rec(
+        g: &InferenceGraph,
+        visited: &mut Vec<bool>,
+        used: &mut Vec<bool>,
+        seq: &mut Vec<ArcId>,
+        out: &mut Vec<Strategy>,
+        limit: usize,
+    ) -> bool {
+        if seq.len() == g.arc_count() {
+            if out.len() >= limit {
+                return false;
+            }
+            out.push(Strategy { arcs: seq.clone() });
+            return true;
+        }
+        for path in paths_from(g, visited, used) {
+            let marks: Vec<NodeId> = path.iter().map(|&a| g.arc(a).to).collect();
+            for &a in &path {
+                used[a.index()] = true;
+                seq.push(a);
+            }
+            let undo: Vec<bool> = marks.iter().map(|m| visited[m.index()]).collect();
+            for m in &marks {
+                visited[m.index()] = true;
+            }
+            let ok = rec(g, visited, used, seq, out, limit);
+            for (m, was) in marks.iter().zip(undo) {
+                visited[m.index()] = was;
+            }
+            for &a in &path {
+                used[a.index()] = false;
+                seq.pop();
+            }
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    let complete = rec(g, &mut visited, &mut used, &mut seq, &mut out, limit);
+    complete.then_some(out)
+}
+
+/// Enumerates all **depth-first** strategies (one per combination of
+/// child orderings), capped at `limit`.
+pub fn enumerate_dfs(g: &InferenceGraph, limit: usize) -> Option<Vec<Strategy>> {
+    fn permutations(items: &[ArcId]) -> Vec<Vec<ArcId>> {
+        if items.is_empty() {
+            return vec![Vec::new()];
+        }
+        let mut out = Vec::new();
+        for (i, &x) in items.iter().enumerate() {
+            let mut rest = items.to_vec();
+            rest.remove(i);
+            for mut p in permutations(&rest) {
+                p.insert(0, x);
+                out.push(p);
+            }
+        }
+        out
+    }
+    let per_node: Vec<Vec<Vec<ArcId>>> =
+        g.node_ids().map(|n| permutations(g.children(n))).collect();
+    let mut out = Vec::new();
+    let mut current: Vec<Vec<ArcId>> = vec![Vec::new(); g.node_count()];
+    fn rec(
+        g: &InferenceGraph,
+        per_node: &[Vec<Vec<ArcId>>],
+        idx: usize,
+        current: &mut Vec<Vec<ArcId>>,
+        out: &mut Vec<Strategy>,
+        limit: usize,
+    ) -> bool {
+        if idx == per_node.len() {
+            if out.len() >= limit {
+                return false;
+            }
+            out.push(
+                Strategy::dfs_from_orders(g, current).expect("permuted child orders are valid"),
+            );
+            return true;
+        }
+        for perm in &per_node[idx] {
+            current[idx] = perm.clone();
+            if !rec(g, per_node, idx + 1, current, out, limit) {
+                return false;
+            }
+        }
+        true
+    }
+    let complete = rec(g, &per_node, 0, &mut current, &mut out, limit);
+    complete.then_some(out)
+}
+
+/// Counts the depth-first strategies of `g` (`Π_nodes (#children)!`)
+/// without enumerating them.
+pub fn count_dfs(g: &InferenceGraph) -> f64 {
+    fn factorial(k: usize) -> f64 {
+        (1..=k).map(|x| x as f64).product()
+    }
+    g.node_ids().map(|n| factorial(g.children(n).len())).product()
+}
+
+/// A map from child-order signatures to avoid duplicate strategies in
+/// randomized search; exposed for the learning crate's tests.
+pub fn signature(s: &Strategy) -> Vec<u32> {
+    s.arcs.iter().map(|a| a.0).collect()
+}
+
+/// Convenience: per-node child orders as a `HashMap` keyed by node.
+pub fn orders_by_node(g: &InferenceGraph, s: &Strategy) -> HashMap<NodeId, Vec<ArcId>> {
+    s.child_orders(g)
+        .into_iter()
+        .enumerate()
+        .filter(|(_, v)| !v.is_empty())
+        .map(|(i, v)| (NodeId(i as u32), v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn g_a() -> InferenceGraph {
+        let mut b = GraphBuilder::new("instructor(κ)");
+        let root = b.root();
+        let (_, prof) = b.reduction(root, "R_p", 1.0, "prof(κ)");
+        b.retrieval(prof, "D_p", 1.0);
+        let (_, grad) = b.reduction(root, "R_g", 1.0, "grad(κ)");
+        b.retrieval(grad, "D_g", 1.0);
+        b.finish().unwrap()
+    }
+
+    fn g_b() -> InferenceGraph {
+        let mut b = GraphBuilder::new("G(κ)");
+        let root = b.root();
+        let (_, a) = b.reduction(root, "R_ga", 1.0, "A(κ)");
+        b.retrieval(a, "D_a", 1.0);
+        let (_, s) = b.reduction(root, "R_gs", 1.0, "S(κ)");
+        let (_, bb) = b.reduction(s, "R_sb", 1.0, "B(κ)");
+        b.retrieval(bb, "D_b", 1.0);
+        let (_, t) = b.reduction(s, "R_st", 1.0, "T(κ)");
+        let (_, c) = b.reduction(t, "R_tc", 1.0, "C(κ)");
+        b.retrieval(c, "D_c", 1.0);
+        let (_, d) = b.reduction(t, "R_td", 1.0, "D(κ)");
+        b.retrieval(d, "D_d", 1.0);
+        b.finish().unwrap()
+    }
+
+    fn by_labels(g: &InferenceGraph, labels: &[&str]) -> Vec<ArcId> {
+        labels.iter().map(|l| g.arc_by_label(l).unwrap()).collect()
+    }
+
+    #[test]
+    fn left_to_right_matches_theta_abcd() {
+        let g = g_b();
+        let s = Strategy::left_to_right(&g);
+        let labels: Vec<&str> = s.arcs().iter().map(|&a| g.arc(a).label.as_str()).collect();
+        assert_eq!(
+            labels,
+            ["R_ga", "D_a", "R_gs", "R_sb", "D_b", "R_st", "R_tc", "D_c", "R_td", "D_d"],
+            "Equation 4's Θ_ABCD"
+        );
+    }
+
+    #[test]
+    fn theta_abcd_paths_match_note_3() {
+        let g = g_b();
+        let s = Strategy::left_to_right(&g);
+        let paths: Vec<Vec<String>> = s
+            .paths(&g)
+            .into_iter()
+            .map(|p| p.iter().map(|&a| g.arc(a).label.clone()).collect())
+            .collect();
+        assert_eq!(
+            paths,
+            vec![
+                vec!["R_ga", "D_a"],
+                vec!["R_gs", "R_sb", "D_b"],
+                vec!["R_st", "R_tc", "D_c"],
+                vec!["R_td", "D_d"],
+            ]
+        );
+    }
+
+    #[test]
+    fn both_g_a_strategies_valid() {
+        let g = g_a();
+        let t1 = Strategy::from_arcs(&g, by_labels(&g, &["R_p", "D_p", "R_g", "D_g"])).unwrap();
+        let t2 = Strategy::from_arcs(&g, by_labels(&g, &["R_g", "D_g", "R_p", "D_p"])).unwrap();
+        assert_eq!(t1.paths(&g).len(), 2);
+        assert_eq!(t2.paths(&g).len(), 2);
+    }
+
+    #[test]
+    fn interleaved_prefix_rejected() {
+        // ⟨R_p R_g D_p D_g⟩ breaks the path ⟨R_p …⟩ before its retrieval.
+        let g = g_a();
+        let err = Strategy::from_arcs(&g, by_labels(&g, &["R_p", "R_g", "D_p", "D_g"]));
+        assert!(matches!(err, Err(GraphError::InvalidStrategy(_))));
+    }
+
+    #[test]
+    fn orphan_path_rejected() {
+        // Starting at D_p before R_p: source node not yet visited.
+        let g = g_a();
+        let err = Strategy::from_arcs(&g, by_labels(&g, &["D_p", "R_p", "R_g", "D_g"]));
+        assert!(matches!(err, Err(GraphError::InvalidStrategy(_))));
+    }
+
+    #[test]
+    fn incomplete_strategy_rejected() {
+        let g = g_a();
+        let err = Strategy::from_arcs(&g, by_labels(&g, &["R_p", "D_p"]));
+        assert!(matches!(err, Err(GraphError::InvalidStrategy(_))));
+    }
+
+    #[test]
+    fn duplicate_arc_rejected() {
+        let g = g_a();
+        let err = Strategy::from_arcs(&g, by_labels(&g, &["R_p", "D_p", "R_p", "D_g"]));
+        assert!(matches!(err, Err(GraphError::InvalidStrategy(_))));
+    }
+
+    #[test]
+    fn non_dfs_path_form_strategy_is_valid() {
+        // On G_B: visit ⟨R_gs R_sb D_b⟩, then ⟨R_ga D_a⟩, then the rest —
+        // the R_gs subtree is interrupted, so not depth-first, but each
+        // segment is a legal path.
+        let g = g_b();
+        let s = Strategy::from_arcs(
+            &g,
+            by_labels(&g, &["R_gs", "R_sb", "D_b", "R_ga", "D_a", "R_st", "R_tc", "D_c", "R_td", "D_d"]),
+        )
+        .unwrap();
+        assert!(!s.is_depth_first(&g));
+        assert!(Strategy::left_to_right(&g).is_depth_first(&g));
+        assert_eq!(s.paths(&g).len(), 4);
+    }
+
+    #[test]
+    fn enumerate_all_g_a() {
+        let g = g_a();
+        let all = enumerate_all(&g, 1000).unwrap();
+        // Only two orders: prof-first and grad-first.
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn enumerate_dfs_g_b_count() {
+        let g = g_b();
+        // Nodes with >1 child: root (2), S (2), T (2) → 2·2·2 = 8.
+        assert_eq!(count_dfs(&g), 8.0);
+        let all = enumerate_dfs(&g, 1000).unwrap();
+        assert_eq!(all.len(), 8);
+        // All distinct.
+        let mut sigs: Vec<Vec<u32>> = all.iter().map(signature).collect();
+        sigs.sort();
+        sigs.dedup();
+        assert_eq!(sigs.len(), 8);
+    }
+
+    #[test]
+    fn enumerate_all_supersedes_dfs() {
+        let g = g_b();
+        let all = enumerate_all(&g, 100_000).unwrap();
+        let dfs = enumerate_dfs(&g, 1000).unwrap();
+        assert!(all.len() > dfs.len(), "path-form space strictly larger: {} vs {}", all.len(), dfs.len());
+        for s in &dfs {
+            assert!(all.iter().any(|t| t.arcs() == s.arcs()), "every DFS strategy is path-form");
+        }
+    }
+
+    #[test]
+    fn enumeration_cap_reports_truncation() {
+        let g = g_b();
+        assert!(enumerate_all(&g, 3).is_none());
+    }
+
+    #[test]
+    fn child_orders_round_trip() {
+        let g = g_b();
+        for s in enumerate_dfs(&g, 1000).unwrap() {
+            let orders = s.child_orders(&g);
+            let rebuilt = Strategy::dfs_from_orders(&g, &orders).unwrap();
+            assert_eq!(rebuilt.arcs(), s.arcs());
+        }
+    }
+
+    #[test]
+    fn display_renders_labels() {
+        let g = g_a();
+        let s = Strategy::left_to_right(&g);
+        assert_eq!(s.display(&g).to_string(), "⟨R_p D_p R_g D_g⟩");
+    }
+
+    #[test]
+    fn relaxed_allows_partial_and_non_path_sequences() {
+        let g = g_b();
+        let by = |l: &str| g.arc_by_label(l).unwrap();
+        // A prefix that stops mid-path: fine under relaxed rules.
+        let s = Strategy::from_arcs_relaxed(&g, vec![by("R_gs"), by("R_st")]).unwrap();
+        assert_eq!(s.arcs().len(), 2);
+        // Still rejects unreachable and duplicate arcs.
+        assert!(Strategy::from_arcs_relaxed(&g, vec![by("R_st")]).is_err());
+        assert!(
+            Strategy::from_arcs_relaxed(&g, vec![by("R_gs"), by("R_gs")]).is_err()
+        );
+    }
+
+    #[test]
+    fn relaxed_strategies_execute() {
+        let g = g_b();
+        let by = |l: &str| g.arc_by_label(l).unwrap();
+        let s = Strategy::from_arcs_relaxed(&g, vec![by("R_ga"), by("D_a")]).unwrap();
+        let ctx = crate::context::Context::all_open(&g);
+        let trace = crate::context::execute(&g, &s, &ctx);
+        assert!(trace.outcome.is_success());
+        assert_eq!(trace.cost, 2.0);
+    }
+
+    #[test]
+    fn dfs_orders_validated() {
+        let g = g_a();
+        let mut orders: Vec<Vec<ArcId>> = g.node_ids().map(|n| g.children(n).to_vec()).collect();
+        orders[0].pop(); // break the permutation
+        assert!(matches!(
+            Strategy::dfs_from_orders(&g, &orders),
+            Err(GraphError::InvalidStrategy(_))
+        ));
+    }
+}

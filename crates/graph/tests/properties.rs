@@ -1,0 +1,223 @@
+//! Property tests over randomly generated tree-shaped inference graphs:
+//! the structural identities of Note 5, strategy-space invariants, the
+//! execution cost model, and the pessimistic-completion soundness that
+//! Theorem 1 leans on.
+
+use proptest::prelude::*;
+use qpl_graph::context::{cost, execute, Context, RunOutcome};
+use qpl_graph::expected::{ContextDistribution, IndependentModel};
+use qpl_graph::graph::{ArcKind, GraphBuilder, InferenceGraph, NodeId};
+use qpl_graph::pessimistic::pessimistic_completion;
+use qpl_graph::strategy::{count_dfs, enumerate_dfs, Strategy};
+
+/// Deterministically builds a random-ish tree from a shape seed.
+fn build_tree(seed: u64, max_depth: usize) -> InferenceGraph {
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+    fn grow(
+        b: &mut GraphBuilder,
+        node: NodeId,
+        depth: usize,
+        max_depth: usize,
+        state: &mut u64,
+        label: &mut u32,
+    ) {
+        let r = lcg(state) % 100;
+        let branch = depth < max_depth && r < 55;
+        if !branch {
+            let c = 1.0 + (lcg(state) % 4) as f64;
+            b.retrieval(node, &format!("D{}", *label), c);
+            *label += 1;
+            return;
+        }
+        let kids = 1 + (lcg(state) % 3) as usize;
+        for _ in 0..kids {
+            let c = 1.0 + (lcg(state) % 4) as f64;
+            let (_, child) = b.reduction(node, &format!("R{}", *label), c, "goal");
+            *label += 1;
+            grow(b, child, depth + 1, max_depth, state, label);
+        }
+    }
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut b = GraphBuilder::new("root");
+    let root = b.root();
+    let mut label = 0;
+    let kids = 1 + (lcg(&mut state) % 3) as usize;
+    for _ in 0..kids {
+        let c = 1.0 + (lcg(&mut state) % 4) as f64;
+        let (_, child) = b.reduction(root, &format!("R{label}"), c, "goal");
+        label += 1;
+        grow(&mut b, child, 1, max_depth, &mut state, &mut label);
+    }
+    b.finish().expect("generated trees are valid")
+}
+
+fn context_from_mask(g: &InferenceGraph, mask: u64) -> Context {
+    Context::from_fn(g, |a| mask & (1 << (a.index() % 64)) != 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Note-5 identity: for every arc, Π(a) + f*(a) + F¬(a) covers the
+    /// whole graph's cost exactly once.
+    #[test]
+    fn cost_function_identity(seed in 0u64..10_000) {
+        let g = build_tree(seed, 3);
+        let total = g.total_cost();
+        for a in g.arc_ids() {
+            let path: f64 = g.root_path(a).iter().map(|&x| g.arc(x).cost).sum();
+            let covered = path + g.f_star(a) + g.f_not(a);
+            prop_assert!((covered - total).abs() < 1e-9);
+        }
+    }
+
+    /// The left-to-right strategy is depth-first and decomposes into
+    /// retrieval-terminated paths partitioning the arcs.
+    #[test]
+    fn left_to_right_invariants(seed in 0u64..10_000) {
+        let g = build_tree(seed, 3);
+        let s = Strategy::left_to_right(&g);
+        prop_assert!(s.is_depth_first(&g));
+        let paths = s.paths(&g);
+        let covered: usize = paths.iter().map(Vec::len).sum();
+        prop_assert_eq!(covered, g.arc_count());
+        prop_assert_eq!(paths.len(), g.retrievals().count());
+        for p in &paths {
+            let last = *p.last().unwrap();
+            prop_assert_eq!(g.arc(last).kind, ArcKind::Retrieval);
+        }
+    }
+
+    /// Execution cost is bounded by [0, total]; an all-open context
+    /// succeeds at the very first path; all-blocked pays exactly the
+    /// root's children.
+    #[test]
+    fn execution_cost_bounds(seed in 0u64..10_000, mask in proptest::num::u64::ANY) {
+        let g = build_tree(seed, 3);
+        let s = Strategy::left_to_right(&g);
+        let ctx = context_from_mask(&g, mask);
+        let c = cost(&g, &s, &ctx);
+        prop_assert!(c >= 0.0 && c <= g.total_cost() + 1e-9);
+
+        let open = execute(&g, &s, &Context::all_open(&g));
+        prop_assert!(open.outcome.is_success());
+        let first_path = &s.paths(&g)[0];
+        let first_cost: f64 = first_path.iter().map(|&a| g.arc(a).cost).sum();
+        prop_assert!((open.cost - first_cost).abs() < 1e-9);
+
+        let blocked = execute(&g, &s, &Context::all_blocked(&g));
+        prop_assert_eq!(blocked.outcome, RunOutcome::Exhausted);
+        let root_children: f64 =
+            g.children(g.root()).iter().map(|&a| g.arc(a).cost).sum();
+        prop_assert!((blocked.cost - root_children).abs() < 1e-9);
+    }
+
+    /// Pessimistic completion replays the observed run exactly, for any
+    /// strategy and context.
+    #[test]
+    fn pessimistic_replay_identity(seed in 0u64..10_000, mask in proptest::num::u64::ANY) {
+        let g = build_tree(seed, 3);
+        let s = Strategy::left_to_right(&g);
+        let ctx = context_from_mask(&g, mask);
+        let trace = execute(&g, &s, &ctx);
+        let completed = pessimistic_completion(&g, &trace);
+        let replay = execute(&g, &s, &completed);
+        prop_assert_eq!(replay.cost, trace.cost);
+        prop_assert_eq!(replay.outcome.is_success(), trace.outcome.is_success());
+        prop_assert_eq!(replay.events, trace.events);
+    }
+
+    /// Exact expected cost is monotone in retrieval probabilities:
+    /// raising any single retrieval's success probability never
+    /// increases C[Θ] (satisficing runs only get shorter).
+    #[test]
+    fn expected_cost_monotone_in_probabilities(seed in 0u64..5_000, bump in 0usize..8) {
+        let g = build_tree(seed, 3);
+        let retrievals: Vec<_> = g.retrievals().collect();
+        let probs: Vec<f64> =
+            (0..retrievals.len()).map(|i| 0.2 + 0.1 * ((seed as usize + i) % 5) as f64).collect();
+        let m = IndependentModel::from_retrieval_probs(&g, &probs).unwrap();
+        let s = Strategy::left_to_right(&g);
+        let base = m.expected_cost(&g, &s);
+        let idx = bump % retrievals.len();
+        let mut probs2 = probs.clone();
+        probs2[idx] = (probs2[idx] + 0.3).min(1.0);
+        let m2 = IndependentModel::from_retrieval_probs(&g, &probs2).unwrap();
+        prop_assert!(m2.expected_cost(&g, &s) <= base + 1e-9);
+    }
+
+    /// Exact expected cost agrees with exhaustive enumeration on small
+    /// graphs (the cross-check that the tree recursion is right).
+    #[test]
+    fn exact_matches_exhaustive(seed in 0u64..5_000) {
+        let g = build_tree(seed, 2);
+        if g.retrievals().count() > 10 {
+            return Ok(()); // keep enumeration cheap
+        }
+        let probs: Vec<f64> =
+            g.retrievals().enumerate().map(|(i, _)| 0.15 + 0.1 * (i % 7) as f64).collect();
+        let m = IndependentModel::from_retrieval_probs(&g, &probs).unwrap();
+        let s = Strategy::left_to_right(&g);
+        let exact = m.expected_cost(&g, &s);
+        let brute = m.expected_cost_exhaustive(&g, &s);
+        prop_assert!((exact - brute).abs() < 1e-9, "{} vs {}", exact, brute);
+    }
+
+    /// enumerate_dfs agrees with the count_dfs formula and yields
+    /// pairwise-distinct, individually valid strategies.
+    #[test]
+    fn dfs_enumeration_count(seed in 0u64..5_000) {
+        let g = build_tree(seed, 2);
+        let expected = count_dfs(&g);
+        if expected > 500.0 {
+            return Ok(());
+        }
+        let all = enumerate_dfs(&g, 501).unwrap();
+        prop_assert_eq!(all.len() as f64, expected);
+        let mut sigs: Vec<Vec<u32>> =
+            all.iter().map(|s| s.arcs().iter().map(|a| a.0).collect()).collect();
+        sigs.sort();
+        sigs.dedup();
+        prop_assert_eq!(sigs.len(), all.len());
+    }
+
+    /// ρ(e) coincides between the independent model and the equivalent
+    /// finite distribution induced by sampling it exhaustively.
+    #[test]
+    fn rho_definition_consistency(seed in 0u64..5_000) {
+        let g = build_tree(seed, 2);
+        if g.arc_count() > 12 {
+            return Ok(());
+        }
+        // Make some reductions probabilistic too.
+        let m = IndependentModel::from_fn(&g, |a| {
+            match g.arc(a).kind {
+                ArcKind::Retrieval => 0.4,
+                ArcKind::Reduction => if a.index() % 2 == 0 { 0.7 } else { 1.0 },
+            }
+        })
+        .unwrap();
+        // Enumerate the full finite distribution.
+        let vars: Vec<_> = m.experiments(&g);
+        let mut items = Vec::new();
+        for mask in 0u32..(1 << vars.len()) {
+            let mut ctx = Context::all_open(&g);
+            let mut w = 1.0;
+            for (bit, &a) in vars.iter().enumerate() {
+                let open = mask & (1 << bit) != 0;
+                if !open {
+                    ctx.set_blocked(a, true);
+                }
+                w *= if open { m.prob(a) } else { 1.0 - m.prob(a) };
+            }
+            items.push((ctx, w));
+        }
+        let fd = qpl_graph::FiniteDistribution::new(items).unwrap();
+        for e in g.arc_ids() {
+            prop_assert!((m.rho(&g, e) - fd.rho(&g, e)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Hoeffding/Chernoff tail bounds (the paper's Equation 1) and inversions.
+//!
+//! For i.i.d. random variables `Δ₁, …, Δₙ` with common mean `μ`, each
+//! confined to an interval of width `Λ`, the sample mean `Yₙ` satisfies
+//!
+//! ```text
+//! Pr[ Yₙ > μ + β ] ≤ exp(−2·n·(β/Λ)²)
+//! Pr[ Yₙ < μ − β ] ≤ exp(−2·n·(β/Λ)²)
+//! ```
+//!
+//! The paper cites this as "Chernoff bounds" (\[Che52\], via \[Bol85 p.12\]);
+//! in modern terminology it is Hoeffding's inequality. The functions
+//! below expose the bound and its three inversions: given any two of
+//! `(n, β, δ)` (with `Λ`), solve for the third.
+
+/// One-sided tail probability bound: `Pr[Yₙ − μ > β] ≤ exp(−2n(β/Λ)²)`.
+///
+/// Returns 1.0 when the bound is vacuous (`β ≤ 0` or `n == 0` or the range
+/// is degenerate), so the result is always a valid probability bound.
+///
+/// # Examples
+/// ```
+/// let p = qpl_stats::chernoff::hoeffding_tail(100, 0.1, 1.0);
+/// assert!((p - (-2.0f64).exp()).abs() < 1e-12);
+/// ```
+pub fn hoeffding_tail(n: u64, beta: f64, range: f64) -> f64 {
+    if n == 0 || beta <= 0.0 || range <= 0.0 {
+        return 1.0;
+    }
+    let r = beta / range;
+    (-2.0 * n as f64 * r * r).exp().min(1.0)
+}
+
+/// Two-sided tail bound: `Pr[|Yₙ − μ| > β] ≤ 2·exp(−2n(β/Λ)²)`.
+pub fn two_sided_tail(n: u64, beta: f64, range: f64) -> f64 {
+    (2.0 * hoeffding_tail(n, beta, range)).min(1.0)
+}
+
+/// Deviation radius `β` such that `Pr[Yₙ − μ > β] ≤ δ` (one-sided):
+/// `β = Λ·sqrt(ln(1/δ) / (2n))`.
+///
+/// This is the `Λ·sqrt((1/(2n))·ln(1/δ))` term of the paper's Equation 2
+/// divided through by `n` (Equation 2 states the bound on the *sum*
+/// `Δ[Θ,Θ',S]`, i.e. `n` times this radius; see [`sum_threshold`]).
+///
+/// # Panics
+/// Panics if `δ` is not in `(0, 1]` or `n == 0` or `range < 0`.
+pub fn confidence_radius(n: u64, delta: f64, range: f64) -> f64 {
+    assert!(n > 0, "confidence_radius requires n > 0");
+    assert!(delta > 0.0 && delta <= 1.0, "delta must be in (0,1]");
+    assert!(range >= 0.0, "range must be non-negative");
+    range * ((1.0 / delta).ln() / (2.0 * n as f64)).sqrt()
+}
+
+/// The paper's Equation 2 threshold on the **sum** of `n` paired
+/// differences: `Λ·sqrt((n/2)·ln(1/δ))`.
+///
+/// If the observed total `Δ[Θ,Θ',S] = Σᵢ Δᵢ` exceeds this value, then with
+/// confidence at least `1 − δ` the true mean difference `D[Θ,Θ']` is
+/// positive, i.e. `Θ'` is strictly better than `Θ`.
+///
+/// # Examples
+/// ```
+/// // n·confidence_radius == sum_threshold
+/// let n = 500u64;
+/// let (d, lam) = (0.05, 4.0);
+/// let a = qpl_stats::chernoff::sum_threshold(n, d, lam);
+/// let b = n as f64 * qpl_stats::chernoff::confidence_radius(n, d, lam);
+/// assert!((a - b).abs() < 1e-9);
+/// ```
+pub fn sum_threshold(n: u64, delta: f64, range: f64) -> f64 {
+    assert!(delta > 0.0 && delta <= 1.0, "delta must be in (0,1]");
+    assert!(range >= 0.0, "range must be non-negative");
+    range * ((n as f64 / 2.0) * (1.0 / delta).ln()).sqrt()
+}
+
+/// Number of samples needed so that the one-sided deviation radius is at
+/// most `β` at confidence `1 − δ`: `n = ⌈(Λ/β)²·ln(1/δ)/2⌉`.
+///
+/// # Panics
+/// Panics if `β ≤ 0`, `δ ∉ (0,1]`, or `range ≤ 0`.
+pub fn samples_for_radius(beta: f64, delta: f64, range: f64) -> u64 {
+    assert!(beta > 0.0, "beta must be positive");
+    assert!(delta > 0.0 && delta <= 1.0, "delta must be in (0,1]");
+    assert!(range > 0.0, "range must be positive");
+    let r = range / beta;
+    ((r * r) * (1.0 / delta).ln() / 2.0).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_decreases_in_n() {
+        let mut prev = 1.0;
+        for n in [1u64, 10, 100, 1000, 10_000] {
+            let p = hoeffding_tail(n, 0.05, 1.0);
+            assert!(p < prev, "tail must strictly decrease with n");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn tail_decreases_in_beta() {
+        let mut prev = 1.0 + 1e-12;
+        for k in 1..20 {
+            let p = hoeffding_tail(100, k as f64 * 0.01, 1.0);
+            assert!(p < prev, "tail must strictly decrease with beta");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn vacuous_cases_return_one() {
+        assert_eq!(hoeffding_tail(0, 0.5, 1.0), 1.0);
+        assert_eq!(hoeffding_tail(10, 0.0, 1.0), 1.0);
+        assert_eq!(hoeffding_tail(10, -1.0, 1.0), 1.0);
+        assert_eq!(hoeffding_tail(10, 0.5, 0.0), 1.0);
+    }
+
+    #[test]
+    fn two_sided_is_clamped() {
+        assert!(two_sided_tail(1, 1e-9, 1.0) <= 1.0);
+    }
+
+    #[test]
+    fn radius_round_trips_through_tail() {
+        // hoeffding_tail(n, confidence_radius(n, δ, Λ), Λ) == δ exactly.
+        for &(n, delta, range) in &[(10u64, 0.1, 1.0), (500, 0.01, 3.5), (7, 0.5, 10.0)] {
+            let beta = confidence_radius(n, delta, range);
+            let p = hoeffding_tail(n, beta, range);
+            assert!((p - delta).abs() < 1e-10, "n={n} delta={delta}: got {p}");
+        }
+    }
+
+    #[test]
+    fn samples_for_radius_achieves_target() {
+        for &(beta, delta, range) in &[(0.05, 0.05, 1.0), (0.5, 0.01, 4.0), (0.01, 0.2, 2.0)] {
+            let n = samples_for_radius(beta, delta, range);
+            assert!(hoeffding_tail(n, beta, range) <= delta + 1e-12);
+            // One fewer sample must not suffice (ceiling is tight).
+            if n > 1 {
+                assert!(hoeffding_tail(n - 1, beta, range) > delta - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn sum_threshold_matches_equation_2() {
+        // Equation 2: Δ[Θ,Θ',S] > Λ·sqrt((n/2)·ln(1/δ)).
+        let t = sum_threshold(200, 0.05, 4.0);
+        let expected = 4.0 * (100.0f64 * (1.0f64 / 0.05).ln()).sqrt();
+        assert!((t - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn radius_rejects_bad_delta() {
+        confidence_radius(10, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 0")]
+    fn radius_rejects_zero_n() {
+        confidence_radius(0, 0.5, 1.0);
+    }
+
+    /// Empirical check: for Bernoulli(p) samples, the measured frequency
+    /// of `Yₙ > μ + β` stays below the Hoeffding bound.
+    #[test]
+    fn bound_holds_empirically_for_bernoulli() {
+        // Deterministic LCG so the test is reproducible without rand.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let (p, n, beta) = (0.3f64, 50u64, 0.15f64);
+        let trials = 20_000;
+        let mut exceed = 0u32;
+        for _ in 0..trials {
+            let mut sum = 0.0;
+            for _ in 0..n {
+                if next() < p {
+                    sum += 1.0;
+                }
+            }
+            if sum / n as f64 > p + beta {
+                exceed += 1;
+            }
+        }
+        let freq = exceed as f64 / trials as f64;
+        let bound = hoeffding_tail(n, beta, 1.0);
+        assert!(
+            freq <= bound,
+            "empirical {freq} exceeded Hoeffding bound {bound}"
+        );
+    }
+}

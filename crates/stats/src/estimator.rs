@@ -1,0 +1,326 @@
+//! Counter-based estimators.
+//!
+//! Section 5.1 of the paper stresses that PIB and PAO are "unobtrusive":
+//! the only state they maintain is "one or two counters per retrieval".
+//! These types are those counters.
+//!
+//! * [`BernoulliEstimator`] — attempts/successes of a single retrieval or
+//!   probabilistic experiment; yields the frequency estimate `p̂ᵢ`
+//!   (defaulting to the paper's `0.5` when no trials were reached,
+//!   per Theorem 3).
+//! * [`PairedDifference`] — the running sum `Δ̃[Θ, Θ', S]` of
+//!   (under-estimated) paired cost differences, with the range `Λ` needed
+//!   by Equation 5/6.
+//! * [`RangedMean`] — a generic bounded-range mean estimator with
+//!   Hoeffding confidence radii.
+
+use crate::chernoff;
+
+/// Success-frequency counter for one probabilistic experiment.
+///
+/// # Examples
+/// ```
+/// use qpl_stats::BernoulliEstimator;
+/// let mut e = BernoulliEstimator::new();
+/// for _ in 0..18 { e.record(true); }
+/// for _ in 0..12 { e.record(false); }
+/// assert_eq!(e.trials(), 30);
+/// assert!((e.estimate() - 0.6).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BernoulliEstimator {
+    trials: u64,
+    successes: u64,
+}
+
+impl BernoulliEstimator {
+    /// Fresh counter with no observations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counter pre-loaded with `successes` out of `trials`.
+    ///
+    /// # Panics
+    /// Panics if `successes > trials`.
+    pub fn from_counts(trials: u64, successes: u64) -> Self {
+        assert!(successes <= trials, "successes cannot exceed trials");
+        Self { trials, successes }
+    }
+
+    /// Records one trial.
+    pub fn record(&mut self, success: bool) {
+        self.trials += 1;
+        if success {
+            self.successes += 1;
+        }
+    }
+
+    /// Total trials observed (`k(eᵢ)` in Theorem 3).
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Total successes observed (`n(eᵢ)` in Theorem 3).
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// Frequency estimate `p̂ = successes/trials`, or the paper's default
+    /// `0.5` when no trial has been observed (Theorem 3: "`p̂ᵢ = 0.5` if
+    /// `k(eᵢ) = 0`").
+    pub fn estimate(&self) -> f64 {
+        if self.trials == 0 {
+            0.5
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// One-sided Hoeffding radius at confidence `1 − δ`:
+    /// `|p̂ − p| ≤ radius` with probability `≥ 1 − 2δ` (two-sided by
+    /// union bound). Returns `1.0` (vacuous) when no trials exist.
+    pub fn radius(&self, delta: f64) -> f64 {
+        if self.trials == 0 {
+            1.0
+        } else {
+            chernoff::confidence_radius(self.trials, delta, 1.0).min(1.0)
+        }
+    }
+
+    /// Merges another counter into this one (used when parallel oracles
+    /// shard the sample stream).
+    pub fn merge(&mut self, other: &Self) {
+        self.trials += other.trials;
+        self.successes += other.successes;
+    }
+}
+
+/// Running total of paired cost differences `Σᵢ Δ̃ᵢ` for one candidate
+/// transformation, together with the per-sample range `Λ`.
+///
+/// PIB's Equation 6 accepts the candidate when
+/// `sum ≥ Λ·sqrt((|S|/2)·ln(1/δᵢ))`.
+#[derive(Debug, Clone, Copy)]
+pub struct PairedDifference {
+    sum: f64,
+    count: u64,
+    range: f64,
+}
+
+impl PairedDifference {
+    /// Creates an accumulator whose per-sample differences lie in an
+    /// interval of width `range` (= the paper's `Λ[Θ,Θ']`).
+    ///
+    /// # Panics
+    /// Panics if `range` is not positive and finite.
+    pub fn new(range: f64) -> Self {
+        assert!(range > 0.0 && range.is_finite(), "range must be positive and finite");
+        Self { sum: 0.0, count: 0, range }
+    }
+
+    /// Adds one paired difference observation.
+    ///
+    /// # Panics
+    /// In debug builds, panics if `|d|` exceeds the declared range (the
+    /// Hoeffding bound would be invalid).
+    pub fn record(&mut self, d: f64) {
+        debug_assert!(
+            d.abs() <= self.range + 1e-9,
+            "difference {d} exceeds declared range {}",
+            self.range
+        );
+        self.sum += d;
+        self.count += 1;
+    }
+
+    /// Running sum `Δ̃[Θ, Θ', S]`.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Number of samples `|S|`.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Declared range `Λ`.
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// The paper's Equation 2/5/6 acceptance threshold at per-test budget
+    /// `δ`: `Λ·sqrt((|S|/2)·ln(1/δ))`. Infinite when no samples exist, so
+    /// an empty accumulator never accepts.
+    pub fn threshold(&self, delta: f64) -> f64 {
+        if self.count == 0 {
+            f64::INFINITY
+        } else {
+            chernoff::sum_threshold(self.count, delta, self.range)
+        }
+    }
+
+    /// Whether the accumulated evidence certifies (at budget `δ`) that the
+    /// true mean difference is positive.
+    pub fn certifies_improvement(&self, delta: f64) -> bool {
+        self.sum > self.threshold(delta)
+    }
+
+    /// Resets the accumulator (PIB restarts statistics after each climb;
+    /// Figure 3's `S ← {}` at label L1).
+    pub fn reset(&mut self) {
+        self.sum = 0.0;
+        self.count = 0;
+    }
+}
+
+/// Generic mean estimator for observations confined to `[lo, hi]`.
+#[derive(Debug, Clone, Copy)]
+pub struct RangedMean {
+    sum: f64,
+    count: u64,
+    lo: f64,
+    hi: f64,
+}
+
+impl RangedMean {
+    /// Creates an estimator for values in `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics unless `lo < hi` and both are finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "need finite lo < hi");
+        Self { sum: 0.0, count: 0, lo, hi }
+    }
+
+    /// Records an observation, clamping tiny numeric overshoot.
+    ///
+    /// # Panics
+    /// In debug builds, panics if the value is far outside the range.
+    pub fn record(&mut self, v: f64) {
+        debug_assert!(
+            v >= self.lo - 1e-9 && v <= self.hi + 1e-9,
+            "value {v} outside [{}, {}]",
+            self.lo,
+            self.hi
+        );
+        self.sum += v.clamp(self.lo, self.hi);
+        self.count += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; `None` before any observation.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Hoeffding radius at one-sided confidence `1 − δ`.
+    pub fn radius(&self, delta: f64) -> f64 {
+        if self.count == 0 {
+            f64::INFINITY
+        } else {
+            chernoff::confidence_radius(self.count, delta, self.hi - self.lo)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bernoulli_default_is_half() {
+        assert_eq!(BernoulliEstimator::new().estimate(), 0.5);
+    }
+
+    #[test]
+    fn bernoulli_counts() {
+        let mut e = BernoulliEstimator::new();
+        e.record(true);
+        e.record(false);
+        e.record(true);
+        assert_eq!(e.trials(), 3);
+        assert_eq!(e.successes(), 2);
+        assert!((e.estimate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bernoulli_merge_adds() {
+        let mut a = BernoulliEstimator::from_counts(10, 4);
+        let b = BernoulliEstimator::from_counts(20, 16);
+        a.merge(&b);
+        assert_eq!(a.trials(), 30);
+        assert_eq!(a.successes(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "successes")]
+    fn bernoulli_rejects_inconsistent_counts() {
+        BernoulliEstimator::from_counts(3, 5);
+    }
+
+    #[test]
+    fn bernoulli_radius_shrinks() {
+        let small = BernoulliEstimator::from_counts(10, 5).radius(0.05);
+        let large = BernoulliEstimator::from_counts(1000, 500).radius(0.05);
+        assert!(large < small);
+        assert_eq!(BernoulliEstimator::new().radius(0.05), 1.0);
+    }
+
+    #[test]
+    fn paired_difference_threshold_matches_eq2() {
+        let mut pd = PairedDifference::new(4.0);
+        for _ in 0..100 {
+            pd.record(1.0);
+        }
+        let t = pd.threshold(0.05);
+        assert!((t - chernoff::sum_threshold(100, 0.05, 4.0)).abs() < 1e-12);
+        assert!(pd.certifies_improvement(0.05), "sum 100 ≫ threshold {t}");
+    }
+
+    #[test]
+    fn paired_difference_empty_never_certifies() {
+        let pd = PairedDifference::new(1.0);
+        assert!(!pd.certifies_improvement(0.5));
+        assert_eq!(pd.threshold(0.5), f64::INFINITY);
+    }
+
+    #[test]
+    fn paired_difference_reset_clears() {
+        let mut pd = PairedDifference::new(2.0);
+        pd.record(1.5);
+        pd.reset();
+        assert_eq!(pd.count(), 0);
+        assert_eq!(pd.sum(), 0.0);
+    }
+
+    #[test]
+    fn negative_evidence_never_certifies() {
+        let mut pd = PairedDifference::new(1.0);
+        for _ in 0..10_000 {
+            pd.record(-0.5);
+        }
+        assert!(!pd.certifies_improvement(0.5));
+    }
+
+    #[test]
+    fn ranged_mean_basic() {
+        let mut m = RangedMean::new(0.0, 10.0);
+        assert_eq!(m.mean(), None);
+        m.record(2.0);
+        m.record(4.0);
+        assert_eq!(m.mean(), Some(3.0));
+        assert!(m.radius(0.1).is_finite());
+    }
+
+    #[test]
+    fn ranged_mean_clamps_overshoot() {
+        let mut m = RangedMean::new(0.0, 1.0);
+        m.record(1.0 + 1e-12);
+        assert!(m.mean().unwrap() <= 1.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # qpl-stats — statistical machinery for strategy learning
+//!
+//! The PIB and PAO algorithms of Greiner (PODS'92) rest on a small set of
+//! concentration-of-measure tools, collected here:
+//!
+//! * [`chernoff`] — the Hoeffding/Chernoff tail bounds of the paper's
+//!   Equation 1, together with their inversions (solve for the deviation
+//!   `β`, the sample count `n`, or the confidence `δ`).
+//! * [`sequential`] — the sequential-test schedule `δᵢ = δ·6/(π²·i²)`
+//!   used by PIB so that an *unbounded* series of hypothesis tests still
+//!   has total false-positive probability at most `δ` (Section 3.2).
+//! * [`sample`] — the sample-size formulas of Theorem 2 (Equation 7) and
+//!   Theorem 3 (Equation 8), plus the footnote-11 asymptotic.
+//! * [`estimator`] — the tiny counter-based estimators the paper insists
+//!   on ("one or two counters per retrieval", Section 5.1): Bernoulli
+//!   success frequencies and paired cost-difference accumulators.
+//!
+//! Everything here is deterministic pure math; randomness lives with the
+//! callers (workload generators and oracles), which pass seeded RNGs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chernoff;
+pub mod estimator;
+pub mod sample;
+pub mod sequential;
+
+pub use chernoff::{confidence_radius, hoeffding_tail, samples_for_radius, two_sided_tail};
+pub use estimator::{BernoulliEstimator, PairedDifference, RangedMean};
+pub use sequential::SequentialSchedule;

@@ -1,0 +1,146 @@
+//! Sample-complexity formulas for PAO (Theorems 2 and 3).
+//!
+//! * Equation 7 — for a tree-shaped graph with `n` retrievals, retrieval
+//!   `dᵢ` must be sampled
+//!   `m(dᵢ) = ⌈2·(n·F¬[dᵢ]/ε)²·ln(2n/δ)⌉` times so that
+//!   `Υ_AOT(G, p̂)` is `ε`-optimal with probability `≥ 1 − δ`.
+//! * Equation 8 — when some experiments may be unreachable, it suffices to
+//!   *attempt to reach* experiment `eᵢ` on
+//!   `m'(eᵢ) = ⌈2·(sqrt(2ε/(n·F¬[eᵢ]) + 1) − 1)⁻²·ln(4n/δ)⌉`
+//!   contexts (Theorem 3); footnote 11 notes the asymptotic expansion of
+//!   this expression matches Equation 7 up to the `ln(4n/δ)` factor.
+
+/// Equation 7: trials required for retrieval `d` with exclusion cost
+/// `F¬[d]` (total cost of the arcs on *other* paths), target accuracy `ε`,
+/// confidence `δ`, in a graph with `n` retrievals.
+///
+/// Returns `0` when `F¬ = 0` (a retrieval whose paths are the whole graph
+/// needs no exclusion budget — its estimate cannot change any other
+/// path's relative order).
+///
+/// # Panics
+/// Panics unless `ε > 0`, `δ ∈ (0,1)`, `n ≥ 1`, and `F¬ ≥ 0`.
+///
+/// # Examples
+/// ```
+/// // Loose but concrete: 2 retrievals, F¬ = 2, ε = 1, δ = 0.1
+/// let m = qpl_stats::sample::theorem2_samples(2.0, 1.0, 0.1, 2);
+/// assert_eq!(m, (2.0f64 * 16.0 * (40.0f64).ln()).ceil() as u64);
+/// ```
+pub fn theorem2_samples(f_not: f64, epsilon: f64, delta: f64, n: usize) -> u64 {
+    validate(f_not, epsilon, delta, n);
+    if f_not == 0.0 {
+        return 0;
+    }
+    let ratio = n as f64 * f_not / epsilon;
+    (2.0 * ratio * ratio * (2.0 * n as f64 / delta).ln()).ceil() as u64
+}
+
+/// Equation 8: contexts on which the adaptive query processor must
+/// *attempt to reach* experiment `e` (Definition 1), accounting for the
+/// possibility that `e` is rarely or never reachable.
+///
+/// Returns `0` when `F¬ = 0`.
+///
+/// # Panics
+/// Panics unless `ε > 0`, `δ ∈ (0,1)`, `n ≥ 1`, and `F¬ ≥ 0`.
+pub fn theorem3_attempts(f_not: f64, epsilon: f64, delta: f64, n: usize) -> u64 {
+    validate(f_not, epsilon, delta, n);
+    if f_not == 0.0 {
+        return 0;
+    }
+    let inner = (2.0 * epsilon / (n as f64 * f_not) + 1.0).sqrt() - 1.0;
+    (2.0 / (inner * inner) * (4.0 * n as f64 / delta).ln()).ceil() as u64
+}
+
+/// Footnote 11's leading asymptotic term for Equation 8:
+/// `2·(n·F¬/ε)²·ln(4n/δ)`. As `n → ∞` (equivalently as `ε/(n·F¬) → 0`)
+/// the exact Equation 8 approaches this value; experiment E8 verifies the
+/// convergence numerically.
+pub fn theorem3_asymptotic(f_not: f64, epsilon: f64, delta: f64, n: usize) -> f64 {
+    validate(f_not, epsilon, delta, n);
+    if f_not == 0.0 {
+        return 0.0;
+    }
+    let ratio = n as f64 * f_not / epsilon;
+    2.0 * ratio * ratio * (4.0 * n as f64 / delta).ln()
+}
+
+fn validate(f_not: f64, epsilon: f64, delta: f64, n: usize) {
+    assert!(f_not >= 0.0, "F_not must be non-negative");
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    assert!(n >= 1, "need at least one experiment");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation7_monotone_in_parameters() {
+        let base = theorem2_samples(2.0, 0.5, 0.1, 4);
+        assert!(theorem2_samples(4.0, 0.5, 0.1, 4) > base, "more F_not, more samples");
+        assert!(theorem2_samples(2.0, 0.25, 0.1, 4) > base, "tighter eps, more samples");
+        assert!(theorem2_samples(2.0, 0.5, 0.01, 4) > base, "tighter delta, more samples");
+        assert!(theorem2_samples(2.0, 0.5, 0.1, 8) > base, "more retrievals, more samples");
+    }
+
+    #[test]
+    fn equation7_zero_exclusion_cost_needs_no_samples() {
+        assert_eq!(theorem2_samples(0.0, 0.5, 0.1, 4), 0);
+    }
+
+    #[test]
+    fn equation7_paper_scale_example() {
+        // For the G_A graph: n = 2 retrievals, F¬[D_p] = f(R_g)+f(D_g) = 2.
+        // With ε = 0.5, δ = 0.05: m = ⌈2·(2·2/0.5)²·ln(4/0.05)⌉ = ⌈128·ln 80⌉.
+        let m = theorem2_samples(2.0, 0.5, 0.05, 2);
+        assert_eq!(m, (128.0 * 80.0f64.ln()).ceil() as u64);
+    }
+
+    #[test]
+    fn equation8_exceeds_equation7_scale_factor() {
+        // Equation 8 uses ln(4n/δ) vs Equation 7's ln(2n/δ); for small
+        // ε/(nF¬) the sqrt-expansion makes m' slightly larger than the
+        // asymptotic term, which itself exceeds Equation 7.
+        let (f, e, d, n) = (3.0, 0.01, 0.05, 6);
+        let m7 = theorem2_samples(f, e, d, n);
+        let m8 = theorem3_attempts(f, e, d, n);
+        assert!(m8 > m7, "m'={m8} should exceed m={m7}");
+    }
+
+    #[test]
+    fn footnote11_asymptotic_converges() {
+        // As ε/(n·F¬) → 0, exact/asymptotic → 1.
+        let (f, d) = (2.0, 0.1);
+        let mut prev_ratio_err = f64::INFINITY;
+        for &eps in &[1.0, 0.1, 0.01, 0.001] {
+            let exact = theorem3_attempts(f, eps, d, 4) as f64;
+            let asym = theorem3_asymptotic(f, eps, d, 4);
+            let err = (exact / asym - 1.0).abs();
+            assert!(err < prev_ratio_err + 1e-9, "convergence must improve");
+            prev_ratio_err = err;
+        }
+        assert!(prev_ratio_err < 0.01, "final relative error {prev_ratio_err}");
+    }
+
+    #[test]
+    fn equation8_monotone_in_f_not() {
+        let a = theorem3_attempts(1.0, 0.5, 0.1, 4);
+        let b = theorem3_attempts(2.0, 0.5, 0.1, 4);
+        assert!(b > a);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_zero_epsilon() {
+        theorem2_samples(1.0, 0.0, 0.1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn rejects_bad_delta() {
+        theorem3_attempts(1.0, 0.5, 1.5, 2);
+    }
+}

@@ -1,0 +1,165 @@
+//! Sequential hypothesis-testing schedules (Section 3.2).
+//!
+//! PIB performs an unbounded series of statistical tests — one per
+//! candidate transformation per batch of samples — yet must keep the
+//! *total* probability of ever accepting a bad move below `δ` (Theorem 1).
+//! A fixed per-test confidence cannot achieve this: `k` tests at level `δ`
+//! only bound the error by `k·δ`. The paper's fix is to spend the error
+//! budget as a convergent series: the `i`-th test runs at level
+//!
+//! ```text
+//! δᵢ = δ · 6 / (π² · i²)        so that    Σᵢ δᵢ = δ
+//! ```
+//!
+//! (using `Σ 1/i² = π²/6`). [`SequentialSchedule`] tracks the global test
+//! counter `i` and hands out the per-test budgets; it also supports the
+//! union-bound split over `k` simultaneous neighbours used in Equation 5
+//! (`ln(k/δ)` instead of `ln(1/δ)`).
+
+/// The error-budget schedule `δᵢ = 6δ/(π²·i²)` with a running test counter.
+///
+/// PIB (Figure 3 of the paper) increments the counter by
+/// `|T(Θⱼ)|` per observed context — one test per candidate neighbour —
+/// and uses the *current* counter value in Equation 6's
+/// `ln(i²π²/(6δ))` term. This type reproduces exactly that bookkeeping.
+///
+/// # Examples
+/// ```
+/// use qpl_stats::SequentialSchedule;
+/// let mut s = SequentialSchedule::new(0.1);
+/// let d1 = s.next_budget();      // 6·0.1/π² ≈ 0.0608
+/// let d2 = s.next_budget();      // d1 / 4
+/// assert!((d2 - d1 / 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SequentialSchedule {
+    delta: f64,
+    tests_used: u64,
+}
+
+impl SequentialSchedule {
+    /// Creates a schedule with total error budget `δ`.
+    ///
+    /// # Panics
+    /// Panics unless `δ ∈ (0, 1)`.
+    pub fn new(delta: f64) -> Self {
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        Self { delta, tests_used: 0 }
+    }
+
+    /// Total error budget `δ`.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Number of test budgets handed out so far.
+    pub fn tests_used(&self) -> u64 {
+        self.tests_used
+    }
+
+    /// The budget that *would* be used for test index `i` (1-based):
+    /// `δᵢ = 6δ/(π²·i²)`.
+    pub fn budget_for(&self, i: u64) -> f64 {
+        assert!(i >= 1, "test indices are 1-based");
+        6.0 * self.delta / (std::f64::consts::PI.powi(2) * (i as f64) * (i as f64))
+    }
+
+    /// Consumes the next test index and returns its budget `δᵢ`.
+    pub fn next_budget(&mut self) -> f64 {
+        self.tests_used += 1;
+        self.budget_for(self.tests_used)
+    }
+
+    /// Advances the counter by `k` tests at once (PIB charges one test per
+    /// candidate neighbour per context) and returns the budget at the new
+    /// counter value — the `δᵢ` that Equation 6 plugs into
+    /// `ln(i²π²/(6δ))`.
+    pub fn advance(&mut self, k: u64) -> f64 {
+        self.tests_used += k;
+        self.budget_for(self.tests_used.max(1))
+    }
+
+    /// Sum of all budgets handed out so far; never exceeds `δ`.
+    pub fn spent(&self) -> f64 {
+        (1..=self.tests_used).map(|i| self.budget_for(i)).sum()
+    }
+}
+
+/// Splits an error budget across `k` simultaneous hypotheses by union
+/// bound: each hypothesis is tested at level `δ/k`, which appears in the
+/// paper's Equation 5 as the `ln(k/δ)` term.
+///
+/// # Panics
+/// Panics if `k == 0` or `δ ∉ (0,1)`.
+pub fn union_split(delta: f64, k: usize) -> f64 {
+    assert!(k > 0, "need at least one hypothesis");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    delta / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_sum_to_delta_in_the_limit() {
+        let s = SequentialSchedule::new(0.25);
+        let partial: f64 = (1..=200_000u64).map(|i| s.budget_for(i)).sum();
+        assert!(partial < 0.25, "partial sums must stay below delta");
+        assert!(
+            partial > 0.25 * 0.99999,
+            "partial sum {partial} should approach 0.25"
+        );
+    }
+
+    #[test]
+    fn first_budget_is_six_over_pi_squared() {
+        let mut s = SequentialSchedule::new(1e-2);
+        let d1 = s.next_budget();
+        assert!((d1 - 6.0 * 1e-2 / std::f64::consts::PI.powi(2)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn budgets_strictly_decrease() {
+        let mut s = SequentialSchedule::new(0.5);
+        let mut prev = f64::INFINITY;
+        for _ in 0..50 {
+            let b = s.next_budget();
+            assert!(b < prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn advance_matches_manual_stepping() {
+        let mut a = SequentialSchedule::new(0.1);
+        let mut b = SequentialSchedule::new(0.1);
+        let x = a.advance(5);
+        let mut y = 0.0;
+        for _ in 0..5 {
+            y = b.next_budget();
+        }
+        assert_eq!(a.tests_used(), b.tests_used());
+        assert!((x - y).abs() < 1e-15);
+    }
+
+    #[test]
+    fn spent_is_below_delta() {
+        let mut s = SequentialSchedule::new(0.05);
+        for _ in 0..1000 {
+            s.next_budget();
+        }
+        assert!(s.spent() < 0.05);
+    }
+
+    #[test]
+    fn union_split_divides_evenly() {
+        assert!((union_split(0.1, 4) - 0.025).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn rejects_bad_delta() {
+        SequentialSchedule::new(1.0);
+    }
+}

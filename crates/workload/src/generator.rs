@@ -1,0 +1,294 @@
+//! Random workload generators: tree-shaped inference graphs, probability
+//! assignments, context distributions, and layered Datalog knowledge
+//! bases.
+//!
+//! Every generator takes an explicit seeded RNG so experiments are
+//! reproducible bit-for-bit.
+
+use qpl_datalog::parser::parse_program;
+use qpl_datalog::{Database, RuleBase, SymbolTable};
+use qpl_graph::expected::{FiniteDistribution, IndependentModel};
+use qpl_graph::graph::{GraphBuilder, InferenceGraph, NodeId};
+use qpl_graph::Context;
+use rand::Rng;
+
+/// Shape parameters for random tree-shaped inference graphs.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeParams {
+    /// Maximum depth of reductions below the root.
+    pub max_depth: usize,
+    /// Maximum children per internal node (min 1 at the root).
+    pub max_branch: usize,
+    /// Probability an internal node keeps branching rather than
+    /// terminating in a retrieval.
+    pub branch_prob: f64,
+    /// Arc costs drawn uniformly from this range.
+    pub cost_range: (f64, f64),
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self { max_depth: 4, max_branch: 3, branch_prob: 0.6, cost_range: (1.0, 5.0) }
+    }
+}
+
+/// Generates a random tree-shaped inference graph. Every leaf is a
+/// retrieval, so the graph always validates.
+pub fn random_tree(rng: &mut impl Rng, params: &TreeParams) -> InferenceGraph {
+    fn grow(
+        b: &mut GraphBuilder,
+        node: NodeId,
+        depth: usize,
+        rng: &mut impl Rng,
+        params: &TreeParams,
+        counter: &mut u32,
+    ) {
+        let branch =
+            depth < params.max_depth && rng.gen::<f64>() < params.branch_prob;
+        if !branch {
+            let cost = rng.gen_range(params.cost_range.0..=params.cost_range.1);
+            b.retrieval(node, &format!("D{}", *counter), cost);
+            *counter += 1;
+            return;
+        }
+        let kids = rng.gen_range(1..=params.max_branch);
+        for _ in 0..kids {
+            let cost = rng.gen_range(params.cost_range.0..=params.cost_range.1);
+            let (_, child) = b.reduction(node, &format!("R{}", *counter), cost, "goal");
+            *counter += 1;
+            grow(b, child, depth + 1, rng, params, counter);
+        }
+    }
+    let mut b = GraphBuilder::new("q(κ)");
+    let root = b.root();
+    let mut counter = 0;
+    let kids = rng.gen_range(1..=params.max_branch.max(1));
+    for _ in 0..kids {
+        let cost = rng.gen_range(params.cost_range.0..=params.cost_range.1);
+        let (_, child) = b.reduction(root, &format!("R{counter}"), cost, "goal");
+        counter += 1;
+        grow(&mut b, child, 1, rng, params, &mut counter);
+    }
+    b.finish().expect("generated trees are structurally valid")
+}
+
+/// Generates a random tree whose retrieval count lies in `[lo, hi]`
+/// (rejection sampling over [`random_tree`]).
+pub fn random_tree_with_retrievals(
+    rng: &mut impl Rng,
+    params: &TreeParams,
+    lo: usize,
+    hi: usize,
+) -> InferenceGraph {
+    loop {
+        let g = random_tree(rng, params);
+        let n = g.retrievals().count();
+        if (lo..=hi).contains(&n) {
+            return g;
+        }
+    }
+}
+
+/// A random independent model: retrievals get probabilities uniform in
+/// `p_range`; reductions stay deterministic.
+pub fn random_retrieval_model(
+    rng: &mut impl Rng,
+    g: &InferenceGraph,
+    p_range: (f64, f64),
+) -> IndependentModel {
+    let probs: Vec<f64> =
+        g.retrievals().map(|_| rng.gen_range(p_range.0..=p_range.1)).collect();
+    IndependentModel::from_retrieval_probs(g, &probs).expect("generated probabilities valid")
+}
+
+/// A random independent model in which reductions may block too
+/// (Theorem-3 territory): each reduction is made probabilistic with
+/// probability `reduction_rate`.
+pub fn random_experiment_model(
+    rng: &mut impl Rng,
+    g: &InferenceGraph,
+    p_range: (f64, f64),
+    reduction_rate: f64,
+) -> IndependentModel {
+    IndependentModel::from_fn(g, |a| match g.arc(a).kind {
+        qpl_graph::ArcKind::Retrieval => rng.gen_range(p_range.0..=p_range.1),
+        qpl_graph::ArcKind::Reduction => {
+            if rng.gen::<f64>() < reduction_rate {
+                rng.gen_range(p_range.0.max(0.05)..=1.0)
+            } else {
+                1.0
+            }
+        }
+    })
+    .expect("generated probabilities valid")
+}
+
+/// A random finite context distribution with `classes` equivalence
+/// classes, each blocking every arc independently with probability
+/// `block_rate`. Unlike independent models, the resulting per-arc
+/// statuses are *correlated* across arcs — the setting where PIB shines
+/// and Υ's independence assumption breaks (footnote 8).
+pub fn random_finite_distribution(
+    rng: &mut impl Rng,
+    g: &InferenceGraph,
+    classes: usize,
+    block_rate: f64,
+) -> FiniteDistribution {
+    assert!(classes >= 1, "need at least one context class");
+    let items: Vec<(Context, f64)> = (0..classes)
+        .map(|_| {
+            let ctx = Context::from_fn(g, |_| rng.gen::<f64>() < block_rate);
+            (ctx, rng.gen_range(0.1..1.0))
+        })
+        .collect();
+    FiniteDistribution::new(items).expect("weights positive")
+}
+
+/// Parameters for layered random Datalog knowledge bases.
+#[derive(Debug, Clone, Copy)]
+pub struct KbParams {
+    /// Number of rule layers between the root predicate and the EDB.
+    pub layers: usize,
+    /// Alternative rules per derived predicate (branching factor).
+    pub rules_per_layer: usize,
+    /// Constants in the domain.
+    pub constants: usize,
+    /// Facts per extensional predicate.
+    pub facts_per_predicate: usize,
+}
+
+impl Default for KbParams {
+    fn default() -> Self {
+        Self { layers: 3, rules_per_layer: 2, constants: 20, facts_per_predicate: 6 }
+    }
+}
+
+/// Generates a layered, non-recursive Datalog program: the root
+/// predicate `q0` is defined by alternative rule chains bottoming out in
+/// extensional predicates with random unary facts. Returns the symbol
+/// table, rules, database, and the root predicate name.
+pub fn random_layered_kb(
+    rng: &mut impl Rng,
+    params: &KbParams,
+) -> (SymbolTable, RuleBase, Database, String) {
+    let mut src = String::new();
+    // Layer l predicate i is `p{l}_{i}`; layer 0 is just `q0`.
+    let widths: Vec<usize> =
+        std::iter::once(1).chain((1..=params.layers).map(|_| params.rules_per_layer)).collect();
+    for l in 0..params.layers {
+        for i in 0..widths[l] {
+            let head = if l == 0 { "q0".to_string() } else { format!("p{l}_{i}") };
+            for j in 0..params.rules_per_layer {
+                let child = if l + 1 == params.layers {
+                    format!("e{}_{}", l + 1, (i * params.rules_per_layer + j) % widths[l + 1].max(1))
+                } else {
+                    format!("p{}_{}", l + 1, j)
+                };
+                src.push_str(&format!("{head}(X) :- {child}(X).\n"));
+            }
+        }
+    }
+    // Facts for the extensional predicates.
+    for i in 0..params.rules_per_layer {
+        let pred = format!("e{}_{}", params.layers, i);
+        for _ in 0..params.facts_per_predicate {
+            let c = rng.gen_range(0..params.constants);
+            src.push_str(&format!("{pred}(c{c}).\n"));
+        }
+    }
+    let mut table = SymbolTable::new();
+    let program = parse_program(&src, &mut table).expect("generated program parses");
+    (table, program.rules, program.facts, "q0".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpl_graph::expected::ContextDistribution;
+    use qpl_graph::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_trees_are_valid_and_varied() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sizes = Vec::new();
+        for _ in 0..50 {
+            let g = random_tree(&mut rng, &TreeParams::default());
+            assert!(g.is_tree());
+            assert!(g.validate(true).is_ok());
+            sizes.push(g.arc_count());
+        }
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max > min, "generator should vary sizes: {sizes:?}");
+    }
+
+    #[test]
+    fn retrieval_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let g = random_tree_with_retrievals(&mut rng, &TreeParams::default(), 3, 6);
+            let n = g.retrievals().count();
+            assert!((3..=6).contains(&n));
+        }
+    }
+
+    #[test]
+    fn models_are_executable() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = random_tree_with_retrievals(&mut rng, &TreeParams::default(), 2, 8);
+        let m = random_retrieval_model(&mut rng, &g, (0.1, 0.9));
+        let s = Strategy::left_to_right(&g);
+        let c = m.expected_cost(&g, &s);
+        assert!(c.is_finite() && c > 0.0);
+        let m2 = random_experiment_model(&mut rng, &g, (0.1, 0.9), 0.5);
+        let ctx = m2.sample(&mut rng);
+        assert_eq!(ctx.arc_count(), g.arc_count());
+    }
+
+    #[test]
+    fn finite_distributions_are_normalized() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = random_tree(&mut rng, &TreeParams::default());
+        let d = random_finite_distribution(&mut rng, &g, 5, 0.4);
+        let total: f64 = d.items().iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn layered_kb_compiles_and_answers() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (mut table, rules, db, root) = random_layered_kb(&mut rng, &KbParams::default());
+        assert!(!rules.is_recursive());
+        let form =
+            qpl_datalog::parser::parse_query_form(&format!("{root}(b)"), &mut table).unwrap();
+        let cg = qpl_graph::compile::compile(
+            &rules,
+            &form,
+            &table,
+            &qpl_graph::compile::CompileOptions::default(),
+        )
+        .unwrap();
+        assert!(cg.graph.retrievals().count() >= 1);
+        // Answers agree with the bottom-up oracle for a few constants.
+        let qp = qpl_engine::qp::QueryProcessor::left_to_right(&cg);
+        for c in 0..10 {
+            let q = qpl_datalog::parser::parse_query(&format!("{root}(c{c})"), &mut table)
+                .unwrap();
+            let got = qp.run(&q, &db).unwrap().answer.is_yes();
+            let want = qpl_datalog::eval::holds(&rules, &db, &q);
+            assert_eq!(got, want, "disagreement on c{c}");
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let g1 = random_tree(&mut StdRng::seed_from_u64(9), &TreeParams::default());
+        let g2 = random_tree(&mut StdRng::seed_from_u64(9), &TreeParams::default());
+        assert_eq!(g1.arc_count(), g2.arc_count());
+        let a: Vec<String> = g1.arc_ids().map(|a| g1.arc(a).label.clone()).collect();
+        let b: Vec<String> = g2.arc_ids().map(|a| g2.arc(a).label.clone()).collect();
+        assert_eq!(a, b);
+    }
+}

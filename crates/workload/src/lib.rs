@@ -1,0 +1,22 @@
+//! # qpl-workload — the paper's examples and random workload generators
+//!
+//! * [`paper`] — executable versions of every worked example in Greiner
+//!   (PODS'92): the Figure-1 university knowledge base with its query
+//!   mixes and the `DB₂` statistics, the Figure-2 graph `G_B`, the
+//!   Section-4.1 reachability case, and the Section-5.2 pauper scenario.
+//! * [`generator`] — seeded random generators for tree-shaped inference
+//!   graphs, probability models (independent and correlated), and
+//!   layered Datalog knowledge bases, used by the property tests and the
+//!   experiment harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod paper;
+
+pub use generator::{
+    random_finite_distribution, random_layered_kb, random_retrieval_model, random_tree,
+    random_tree_with_retrievals, KbParams, TreeParams,
+};
+pub use paper::{figure2, pauper, reachability, university, University};

@@ -1,0 +1,267 @@
+//! The paper's own examples, as executable workloads.
+//!
+//! * [`university`] — Figure 1: the `instructor/prof/grad` knowledge
+//!   base `DB₁`, the inference graph `G_A`, the strategies `Θ₁`
+//!   (prof-first) and `Θ₂` (grad-first), the Section-2 query mix
+//!   (60% russ / 15% manolis / 25% fred), the adversarial "minors"
+//!   distribution, and the `DB₂` statistics (2000 prof / 500 grad).
+//! * [`figure2`] — the `G_B` graph of Figure 2 with `Θ_ABCD`.
+//! * [`reachability`] — the Section-4.1 knowledge base whose
+//!   `grad(fred) :- admitted(fred, X)` rule makes an arc unreachable for
+//!   non-fred queries (Theorem 3's motivating case).
+//! * [`pauper`] — the Section-5.2 negation-as-failure scenario.
+
+use qpl_datalog::parser::{parse_program, parse_query, parse_query_form};
+use qpl_datalog::{Atom, Database, Fact, SymbolTable};
+use qpl_graph::compile::{compile, CompileOptions, CompiledGraph};
+use qpl_graph::expected::FiniteDistribution;
+use qpl_graph::graph::{ArcId, GraphBuilder, InferenceGraph};
+use qpl_graph::strategy::Strategy;
+use qpl_graph::Context;
+
+/// The Figure-1 workload bundle.
+#[derive(Debug, Clone)]
+pub struct University {
+    /// Symbol table shared by everything below.
+    pub table: SymbolTable,
+    /// Compiled inference graph (G_A) with engine bindings.
+    pub compiled: CompiledGraph,
+    /// `DB₁`: `prof(russ)`, `grad(manolis)`.
+    pub db1: Database,
+    /// `Θ₁ = ⟨R_p D_p R_g D_g⟩` (prof-first).
+    pub prof_first: Strategy,
+    /// `Θ₂ = ⟨R_g D_g R_p D_p⟩` (grad-first).
+    pub grad_first: Strategy,
+}
+
+/// The Figure-1 rule base source.
+pub const UNIVERSITY_KB: &str = "instructor(X) :- prof(X).\n\
+                                 instructor(X) :- grad(X).\n\
+                                 prof(russ). grad(manolis).";
+
+/// Builds the Figure-1 workload.
+pub fn university() -> University {
+    let mut table = SymbolTable::new();
+    let program = parse_program(UNIVERSITY_KB, &mut table).expect("paper KB parses");
+    let form = parse_query_form("instructor(b)", &mut table).expect("paper form parses");
+    let compiled = compile(&program.rules, &form, &table, &CompileOptions::default())
+        .expect("paper KB compiles");
+    let g = &compiled.graph;
+    // The compiler adds rules in source order: child 0 of the root is
+    // the prof reduction, child 1 the grad reduction.
+    let prof_first = Strategy::left_to_right(g);
+    let mut orders: Vec<Vec<ArcId>> = g.node_ids().map(|n| g.children(n).to_vec()).collect();
+    orders[g.root().index()].reverse();
+    let grad_first = Strategy::dfs_from_orders(g, &orders).expect("reversed order is valid");
+    University { table, compiled, db1: program.facts, prof_first, grad_first }
+}
+
+impl University {
+    /// The inference graph `G_A`.
+    pub fn graph(&self) -> &InferenceGraph {
+        &self.compiled.graph
+    }
+
+    /// The `D_p` (prof) retrieval arc.
+    pub fn d_p(&self) -> ArcId {
+        self.retrieval_containing("prof")
+    }
+
+    /// The `D_g` (grad) retrieval arc.
+    pub fn d_g(&self) -> ArcId {
+        self.retrieval_containing("grad")
+    }
+
+    fn retrieval_containing(&self, what: &str) -> ArcId {
+        let g = self.graph();
+        g.retrievals()
+            .find(|&a| g.arc(a).label.contains(what))
+            .expect("paper graph has both retrievals")
+    }
+
+    /// The Section-2 query atoms with their probabilities:
+    /// 60% `instructor(russ)`, 15% `instructor(manolis)`,
+    /// 25% `instructor(fred)`.
+    pub fn section2_queries(&mut self) -> Vec<(Atom, f64)> {
+        let t = &mut self.table;
+        vec![
+            (parse_query("instructor(russ)", t).expect("query parses"), 0.60),
+            (parse_query("instructor(manolis)", t).expect("query parses"), 0.15),
+            (parse_query("instructor(fred)", t).expect("query parses"), 0.25),
+        ]
+    }
+
+    /// The Section-2 mix as an exact context distribution over `G_A`
+    /// (russ → `D_p` open; manolis → `D_g` open; fred → neither).
+    pub fn section2_distribution(&self) -> FiniteDistribution {
+        let g = self.graph();
+        let (dp, dg) = (self.d_p(), self.d_g());
+        FiniteDistribution::new(vec![
+            (Context::with_blocked(g, &[dg]), 0.60),
+            (Context::with_blocked(g, &[dp]), 0.15),
+            (Context::with_blocked(g, &[dp, dg]), 0.25),
+        ])
+        .expect("weights are valid")
+    }
+
+    /// The adversarial "minors" distribution of Section 2: the queried
+    /// individuals are never professors; `grad` holds with the given
+    /// probability (the paper just says Θ₂ is "clearly superior").
+    pub fn minors_distribution(&self, grad_rate: f64) -> FiniteDistribution {
+        let g = self.graph();
+        let (dp, dg) = (self.d_p(), self.d_g());
+        FiniteDistribution::new(vec![
+            (Context::with_blocked(g, &[dp]), grad_rate),
+            (Context::with_blocked(g, &[dp, dg]), 1.0 - grad_rate),
+        ])
+        .expect("weights are valid")
+    }
+
+    /// `DB₂`: 2000 `prof` facts and 500 `grad` facts (the fact-count
+    /// statistics behind the Smith-heuristic critique).
+    pub fn db2(&mut self) -> Database {
+        let mut db = Database::new();
+        let prof = self.table.lookup("prof").expect("prof interned");
+        let grad = self.table.lookup("grad").expect("grad interned");
+        for i in 0..2000 {
+            let c = self.table.intern(&format!("prof_{i}"));
+            db.insert(Fact::new(prof, vec![c])).expect("consistent arity");
+        }
+        for i in 0..500 {
+            let c = self.table.intern(&format!("grad_{i}"));
+            db.insert(Fact::new(grad, vec![c])).expect("consistent arity");
+        }
+        db
+    }
+}
+
+/// Figure 2's `G_B` (hand-built, labels exactly as in the paper) and the
+/// depth-first left-to-right `Θ_ABCD` of Equation 4.
+pub fn figure2() -> (InferenceGraph, Strategy) {
+    let mut b = GraphBuilder::new("G(κ)");
+    let root = b.root();
+    let (_, a) = b.reduction(root, "R_ga", 1.0, "A(κ)");
+    b.retrieval(a, "D_a", 1.0);
+    let (_, s) = b.reduction(root, "R_gs", 1.0, "S(κ)");
+    let (_, bb) = b.reduction(s, "R_sb", 1.0, "B(κ)");
+    b.retrieval(bb, "D_b", 1.0);
+    let (_, t) = b.reduction(s, "R_st", 1.0, "T(κ)");
+    let (_, c) = b.reduction(t, "R_tc", 1.0, "C(κ)");
+    b.retrieval(c, "D_c", 1.0);
+    let (_, d) = b.reduction(t, "R_td", 1.0, "D(κ)");
+    b.retrieval(d, "D_d", 1.0);
+    let g = b.finish().expect("paper graph is valid");
+    let theta = Strategy::left_to_right(&g);
+    (g, theta)
+}
+
+/// The Section-4.1 knowledge base with the guarded rule
+/// `grad(fred) :- admitted(fred, X)` — its reduction arc is blocked for
+/// every query but `instructor(fred)`, so the `admitted` retrieval is
+/// hard to sample (Theorem 3's motivation).
+pub const REACHABILITY_KB: &str = "instructor(X) :- prof(X).\n\
+                                   instructor(X) :- grad(X).\n\
+                                   grad(X) :- enrolled(X).\n\
+                                   grad(fred) :- admitted(fred, Y).\n\
+                                   prof(russ). enrolled(manolis). admitted(fred, toronto).";
+
+/// Compiles the reachability workload: `(table, compiled, db)`.
+pub fn reachability() -> (SymbolTable, CompiledGraph, Database) {
+    let mut table = SymbolTable::new();
+    let program = parse_program(REACHABILITY_KB, &mut table).expect("KB parses");
+    let form = parse_query_form("instructor(b)", &mut table).expect("form parses");
+    let compiled =
+        compile(&program.rules, &form, &table, &CompileOptions::default()).expect("KB compiles");
+    (table, compiled, program.facts)
+}
+
+/// The Section-5.2 pauper knowledge base (ownership split over asset
+/// classes; `pauper(x) ≡ ¬∃y. owns(x, y)`).
+pub const PAUPER_KB: &str = "owns(X, Y) :- owns_home(X, Y).\n\
+                             owns(X, Y) :- owns_car(X, Y).\n\
+                             owns(X, Y) :- owns_stock(X, Y).\n\
+                             owns(X, Y) :- owns_boat(X, Y).\n\
+                             owns_car(midas, chariot).\n\
+                             owns_stock(midas, goldco).\n\
+                             owns_home(croesus, palace).\n\
+                             owns_boat(onassis, yacht).";
+
+/// Compiles the pauper workload: `(table, compiled, db)`.
+pub fn pauper() -> (SymbolTable, CompiledGraph, Database) {
+    let mut table = SymbolTable::new();
+    let program = parse_program(PAUPER_KB, &mut table).expect("KB parses");
+    let form = parse_query_form("owns(b,f)", &mut table).expect("form parses");
+    let compiled =
+        compile(&program.rules, &form, &table, &CompileOptions::default()).expect("KB compiles");
+    (table, compiled, program.facts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpl_graph::expected::ContextDistribution;
+
+    #[test]
+    fn university_reproduces_section2_costs() {
+        let u = university();
+        let dist = u.section2_distribution();
+        let c1 = dist.expected_cost(u.graph(), &u.prof_first);
+        let c2 = dist.expected_cost(u.graph(), &u.grad_first);
+        assert!((c1 - 2.8).abs() < 1e-12, "C[Θ₁ prof-first] = 2.8 (paper erratum: see DESIGN.md)");
+        assert!((c2 - 3.7).abs() < 1e-12, "C[Θ₂ grad-first] = 3.7");
+    }
+
+    #[test]
+    fn query_mix_matches_context_distribution() {
+        let mut u = university();
+        let queries = u.section2_queries();
+        let oracle =
+            qpl_engine::oracle::QueryMixOracle::new(&u.compiled, u.db1.clone(), queries).unwrap();
+        let from_queries = oracle.to_distribution();
+        let direct = u.section2_distribution();
+        let c_a = from_queries.expected_cost(u.graph(), &u.prof_first);
+        let c_b = direct.expected_cost(u.graph(), &u.prof_first);
+        assert!((c_a - c_b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minors_prefers_grad_first() {
+        let u = university();
+        let minors = u.minors_distribution(0.5);
+        let c1 = minors.expected_cost(u.graph(), &u.prof_first);
+        let c2 = minors.expected_cost(u.graph(), &u.grad_first);
+        assert!(c2 < c1, "grad-first {c2} beats prof-first {c1} on minors");
+    }
+
+    #[test]
+    fn db2_counts() {
+        let mut u = university();
+        let db2 = u.db2();
+        let prof = u.table.lookup("prof").unwrap();
+        let grad = u.table.lookup("grad").unwrap();
+        assert_eq!(db2.fact_count(prof), 2000);
+        assert_eq!(db2.fact_count(grad), 500);
+    }
+
+    #[test]
+    fn figure2_shape() {
+        let (g, theta) = figure2();
+        assert_eq!(g.arc_count(), 10);
+        assert_eq!(theta.paths(&g).len(), 4);
+    }
+
+    #[test]
+    fn reachability_has_guarded_arc() {
+        let (_, cg, _) = reachability();
+        let guarded = cg.bindings.iter().any(|b| {
+            matches!(b, qpl_graph::compile::ArcBinding::Reduction { guards, .. } if !guards.is_empty())
+        });
+        assert!(guarded);
+    }
+
+    #[test]
+    fn pauper_compiles_flatly() {
+        let (_, cg, _) = pauper();
+        assert_eq!(cg.graph.retrievals().count(), 4);
+    }
+}

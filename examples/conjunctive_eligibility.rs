@@ -1,0 +1,85 @@
+//! Note 4 in practice: a knowledge base with *conjunctive* rule bodies
+//! compiles to an and-or graph, real queries classify into hyper-arc
+//! contexts, and the and-or hill-climber learns which alternative to try
+//! first.
+//!
+//! ```text
+//! cargo run --example conjunctive_eligibility
+//! ```
+
+use qpl::core::pib_andor::AndOrPib;
+use qpl::graph::andor_compile::compile_andor;
+use qpl::graph::hypergraph::{execute, AndOrStrategy};
+use qpl::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const KB: &str = "
+    % Students are eligible if enrolled AND paid up, or on scholarship.
+    eligible(X) :- enrolled(X, Course), paid(X, Term).
+    eligible(X) :- scholarship(X).
+    enrolled(ann, cs). paid(ann, fall).
+    enrolled(bob, math).               % bob never paid
+    scholarship(carol). scholarship(dan). scholarship(eve).
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut table = SymbolTable::new();
+    let program = parser::parse_program(KB, &mut table)?;
+    let form = parser::parse_query_form("eligible(b)", &mut table)?;
+    let compiled = compile_andor(&program.rules, &form, &table, 32)?;
+    let g = compiled.graph.clone();
+    println!(
+        "and-or graph: {} goals, {} hyper-arcs (conjunction + disjunct)",
+        g.goal_count(),
+        g.arc_count()
+    );
+
+    // Answer some queries with the default order (conjunction first).
+    let s0 = AndOrStrategy::left_to_right(&g);
+    for name in ["ann", "bob", "carol", "zack"] {
+        let q = parser::parse_query(&format!("eligible({name})"), &mut table)?;
+        let ctx = compiled.classify(&q, &program.facts)?;
+        let run = execute(&g, &s0, &ctx);
+        println!("eligible({name})? {:5}  probes = {}", run.proved, run.cost);
+    }
+
+    // The population is scholarship-heavy; learn to check the
+    // scholarship disjunct first.
+    let people = [("ann", 0.1), ("bob", 0.1), ("carol", 0.25), ("dan", 0.25), ("eve", 0.25), ("zack", 0.05)];
+    let contexts: Vec<_> = people
+        .iter()
+        .map(|(p, w)| -> Result<_, Box<dyn std::error::Error>> {
+            let q = parser::parse_query(&format!("eligible({p})"), &mut table)?;
+            Ok((compiled.classify(&q, &program.facts)?, *w))
+        })
+        .collect::<Result<_, _>>()?;
+    let expected = |s: &AndOrStrategy| -> f64 {
+        contexts.iter().map(|(c, w)| w * execute(&g, s, c).cost).sum()
+    };
+
+    let mut pib = AndOrPib::new(&g, s0.clone(), 0.05);
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..20_000 {
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        let mut pick = 0;
+        for (i, (_, w)) in people.iter().enumerate() {
+            acc += w;
+            if u < acc {
+                pick = i;
+                break;
+            }
+        }
+        pib.observe(&g, &contexts[pick].0);
+    }
+    println!(
+        "\nlearned order after 20k queries: expected probes {:.3} → {:.3} ({} climb(s))",
+        expected(&s0),
+        expected(pib.strategy()),
+        pib.climbs().len()
+    );
+    let first = pib.strategy().order(g.root())[0];
+    println!("first alternative tried at the root: {}", g.arc(first).label);
+    Ok(())
+}

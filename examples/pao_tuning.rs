@@ -1,0 +1,60 @@
+//! PAO end to end: pick (ε, δ), let the adaptive query processor gather
+//! exactly the required samples of every retrieval, and hand the
+//! frequency estimates to Υ_AOT. Shows the sample-complexity / accuracy
+//! trade and the Section-4.1 "free samples" effect.
+//!
+//! ```text
+//! cargo run --release --example pao_tuning
+//! ```
+
+use qpl::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A deeper random tree than the paper's examples.
+    let mut gen_rng = StdRng::seed_from_u64(11);
+    let g = qpl::workload::random_tree_with_retrievals(
+        &mut gen_rng,
+        &qpl::workload::TreeParams::default(),
+        4,
+        6,
+    );
+    println!("random inference graph:\n{}", g.outline());
+
+    // Hidden truth the learner must discover.
+    let truth = qpl::workload::random_retrieval_model(&mut gen_rng, &g, (0.05, 0.9));
+    let (theta_opt, c_opt) = optimal_strategy(&g, &truth, 1_000_000)?;
+    println!("hidden optimum: {} (cost {:.3})\n", theta_opt.display(&g), c_opt);
+
+    for (eps, cap) in [(2.0, 500u64), (1.0, 2000), (0.5, 8000)] {
+        let mut pao = Pao::new(&g, PaoConfig::theorem2(eps, 0.1).with_sample_cap(cap))?;
+        let needed: Vec<String> = pao
+            .required_samples()
+            .iter()
+            .map(|(a, m)| format!("{}:{}", g.arc(*a).label, m))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(12);
+        while !pao.done() {
+            let ctx = truth.sample(&mut rng);
+            pao.observe(&g, &ctx);
+        }
+        let (theta, model) = pao.finish(&g)?;
+        let c = truth.expected_cost(&g, &theta);
+        println!("ε = {eps} (counts capped at {cap}):");
+        println!("  required samples: {}", needed.join("  "));
+        println!("  contexts consumed: {}", pao.runs());
+        let probs: Vec<String> = g
+            .retrievals()
+            .map(|a| format!("{:.2}/{:.2}", model.prob(a), truth.prob(a)))
+            .collect();
+        println!("  p̂/p per retrieval: {}", probs.join("  "));
+        println!(
+            "  Θ_pao = {} → cost {:.3} (regret {:.3}, budget ε = {eps})\n",
+            theta.display(&g),
+            c,
+            c - c_opt
+        );
+    }
+    Ok(())
+}

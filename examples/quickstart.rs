@@ -1,0 +1,71 @@
+//! Quickstart: build a knowledge base, compile it to an inference graph,
+//! and let PIB learn a better query-processing strategy from the query
+//! stream.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use qpl::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A Datalog knowledge base: rules + ground facts.
+    let mut table = SymbolTable::new();
+    let program = parser::parse_program(
+        "instructor(X) :- prof(X).\n\
+         instructor(X) :- grad(X).\n\
+         prof(russ). grad(manolis).",
+        &mut table,
+    )?;
+
+    // 2. Compile the rule base for the query form `instructor(b)`.
+    let form = parser::parse_query_form("instructor(b)", &mut table)?;
+    let compiled = compile(&program.rules, &form, &table, &CompileOptions::default())?;
+    let g = &compiled.graph;
+    println!("inference graph:\n{}", g.outline());
+
+    // 3. Run some queries with the default (left-to-right) strategy.
+    let qp = QueryProcessor::left_to_right(&compiled);
+    for name in ["russ", "manolis", "fred"] {
+        let q = parser::parse_query(&format!("instructor({name})"), &mut table)?;
+        let run = qp.run(&q, &program.facts)?;
+        println!(
+            "instructor({name})? {:5}  cost = {}",
+            run.answer.is_yes(),
+            run.trace.cost
+        );
+    }
+
+    // 4. The anticipated query mix: mostly grad students. Let PIB watch.
+    let queries = vec![
+        (parser::parse_query("instructor(manolis)", &mut table)?, 0.7),
+        (parser::parse_query("instructor(fred)", &mut table)?, 0.3),
+    ];
+    let mut oracle = QueryMixOracle::new(&compiled, program.facts.clone(), queries)?;
+    let truth = oracle.to_distribution();
+
+    let mut pib = Pib::new(g, qp.strategy().clone(), PibConfig::new(0.05));
+    let mut rng = StdRng::seed_from_u64(1);
+    println!("\ninitial strategy: {}", pib.strategy().display(g));
+    println!("initial expected cost: {:.3}", truth.expected_cost(g, pib.strategy()));
+    for i in 0..10_000u32 {
+        let ctx = oracle.draw(&mut rng);
+        pib.observe(g, &ctx);
+        if let Some(record) = pib.history().last() {
+            if pib.history().len() == 1 {
+                println!(
+                    "climbed after {} queries (evidence {:.1}, test #{})",
+                    i + 1,
+                    record.evidence,
+                    record.test_index
+                );
+                break;
+            }
+        }
+    }
+    println!("learned strategy: {}", pib.strategy().display(g));
+    println!("learned expected cost: {:.3}", truth.expected_cost(g, pib.strategy()));
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! # qpl — Learning Efficient Query Processing Strategies
+//!
+//! A Rust reproduction of Russell Greiner's PODS'92 paper
+//! *"Learning Efficient Query Processing Strategies"*, which introduced
+//! two statistical algorithms for improving the strategy of a
+//! satisficing top-down query processor:
+//!
+//! * **PIB** ("Probably Incrementally Better") — an anytime hill-climber
+//!   that accepts a strategy transformation only when sampled evidence
+//!   makes it an improvement with probability `≥ 1 − δ`
+//!   ([`qpl_core::pib`]).
+//! * **PAO** ("Probably Approximately Optimal") — draws enough samples
+//!   of each retrieval's success probability to hand an estimated
+//!   probability vector to the optimal-strategy algorithm `Υ_AOT`,
+//!   yielding a strategy within `ε` of optimal with probability
+//!   `≥ 1 − δ` ([`qpl_core::pao`]).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`datalog`] | ground-fact database, Datalog rules, unification, oracle evaluators |
+//! | [`graph`] | inference graphs, strategies, contexts, cost model |
+//! | [`stats`] | Chernoff/Hoeffding bounds, sequential tests, sample-size formulas |
+//! | [`engine`] | fixed-strategy and adaptive query processors, context oracles |
+//! | [`core`] | PIB₁, PIB, PALO, PAO, Υ_AOT, transformations, baselines |
+//! | [`workload`] | the paper's examples (G_A, G_B, DB₁, DB₂, …) and random generators |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qpl::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // The paper's Figure-1 knowledge base and query distribution.
+//! let paper = qpl::workload::university();
+//! let g = paper.graph();
+//!
+//! // Exact expected costs of the two strategies of Section 2.
+//! let dist = paper.section2_distribution();
+//! assert!((dist.expected_cost(g, &paper.prof_first) - 2.8).abs() < 1e-9);
+//! assert!((dist.expected_cost(g, &paper.grad_first) - 3.7).abs() < 1e-9);
+//!
+//! // Learn the better strategy from samples with PIB: start grad-first,
+//! // and with probability ≥ 0.95 end up prof-first.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut pib = Pib::new(g, paper.grad_first.clone(), PibConfig::new(0.05));
+//! for _ in 0..20_000 {
+//!     let ctx = dist.sample(&mut rng);
+//!     pib.observe(g, &ctx);
+//! }
+//! assert_eq!(pib.strategy().arcs(), paper.prof_first.arcs());
+//! ```
+
+pub use qpl_core as core;
+pub use qpl_datalog as datalog;
+pub use qpl_engine as engine;
+pub use qpl_graph as graph;
+pub use qpl_stats as stats;
+pub use qpl_workload as workload;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use qpl_core::{
+        brute_force_optimal, optimal_strategy, upsilon_aot, Palo, PaloConfig, Pao, PaoConfig,
+        PaoMode, Pib, Pib1, Pib1Decision, Pib1Posteriori, PibConfig, SiblingSwap, SmithHeuristic,
+        TransformationSet,
+    };
+    pub use qpl_datalog::{
+        parser, Atom, Database, DatalogError, Fact, QueryForm, Rule, RuleBase, SymbolTable, Term,
+    };
+    pub use qpl_engine::{
+        adaptive::AdaptiveQp, classify_context, oracle::QueryMixOracle, ContextOracle,
+        QueryAnswer, QueryProcessor, SamplingMode,
+    };
+    pub use qpl_graph::{
+        compile::{compile, CompileOptions, CompiledGraph},
+        expected::{ContextDistribution, FiniteDistribution, IndependentModel},
+        ArcId, ArcKind, Context, GraphBuilder, GraphError, InferenceGraph, NodeId, RunOutcome,
+        Strategy, Trace,
+    };
+    pub use qpl_stats::{chernoff, BernoulliEstimator, PairedDifference, SequentialSchedule};
+}

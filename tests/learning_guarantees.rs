@@ -1,0 +1,162 @@
+//! End-to-end statistical guarantees, exercised through the facade on
+//! randomized instances (heavier, seed-pinned versions live in the
+//! `qpl-bench` experiment suite).
+
+use qpl::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_instance(seed: u64) -> (InferenceGraph, IndependentModel) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = qpl::workload::random_tree_with_retrievals(
+        &mut rng,
+        &qpl::workload::TreeParams::default(),
+        3,
+        6,
+    );
+    let m = qpl::workload::random_retrieval_model(&mut rng, &g, (0.05, 0.95));
+    (g, m)
+}
+
+#[test]
+fn pib_never_worsens_across_seeds() {
+    // 40 instances: every climb must not raise the exact expected cost
+    // (δ = 0.02 total, so the chance of any mistake in the whole test is
+    // well under 40·0.02 — this test is seed-pinned and deterministic).
+    for seed in 0..40u64 {
+        let (g, truth) = random_instance(seed);
+        let mut pib = Pib::new(&g, Strategy::left_to_right(&g), PibConfig::new(0.02));
+        let mut prev = truth.expected_cost(&g, pib.strategy());
+        let mut rng = StdRng::seed_from_u64(seed + 10_000);
+        let mut climbs = 0;
+        for _ in 0..4000 {
+            pib.observe(&g, &truth.sample(&mut rng));
+            if pib.history().len() > climbs {
+                climbs = pib.history().len();
+                let now = truth.expected_cost(&g, pib.strategy());
+                assert!(
+                    now <= prev + 1e-12,
+                    "seed {seed}: climb raised cost {prev} → {now}"
+                );
+                prev = now;
+            }
+        }
+    }
+}
+
+#[test]
+fn pib_converges_to_certifiable_local_optimum() {
+    // PIB's Δ̃ statistics are deliberately conservative (E[Δ̃] ≤ D:
+    // unexplored arcs are assumed blocked), so the honest convergence
+    // property is: after many samples, no neighbour remains with a
+    // *positive expected under-estimate* — i.e. nothing PIB could ever
+    // certify is left on the table. (A neighbour with better true cost
+    // but non-positive E[Δ̃] is invisible to trace-only statistics; the
+    // paper's PAO exists precisely for that gap.)
+    let (g, truth) = random_instance(7);
+    let mut pib = Pib::new(&g, Strategy::left_to_right(&g), PibConfig::new(0.05));
+    let mut rng = StdRng::seed_from_u64(77);
+    for _ in 0..60_000 {
+        pib.observe(&g, &truth.sample(&mut rng));
+    }
+    let set = TransformationSet::all_sibling_swaps(&g);
+    for (swap, n) in set.neighbors(&g, pib.strategy()) {
+        // Estimate E[Δ̃] for this neighbour under the truth.
+        let samples = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..samples {
+            let ctx = truth.sample(&mut rng);
+            let trace = qpl::graph::context::execute(&g, pib.strategy(), &ctx);
+            sum += qpl::core::delta::delta_tilde(&g, &trace, &n);
+        }
+        let mean = sum / f64::from(samples);
+        assert!(
+            mean <= 0.03 * swap.lambda(&g),
+            "neighbour via {swap:?} has E[Δ̃] ≈ {mean} > 0: PIB should have climbed"
+        );
+    }
+}
+
+#[test]
+fn pao_beats_smith_on_anticorrelated_workload() {
+    // A database stuffed with facts the queries never ask about: the
+    // fact-count heuristic misorders; PAO (which samples queries) wins.
+    let mut u = qpl::workload::university();
+    let db2 = u.db2();
+    let g = u.graph().clone();
+    let smith = SmithHeuristic::strategy(&u.compiled, &db2).unwrap();
+    let minors_model = IndependentModel::from_retrieval_probs(&g, &[0.0, 0.5]).unwrap();
+    let mut pao = Pao::new(&g, PaoConfig::theorem2(0.5, 0.1).with_sample_cap(2000)).unwrap();
+    let mut rng = StdRng::seed_from_u64(12);
+    while !pao.done() {
+        let ctx = minors_model.sample(&mut rng);
+        pao.observe(&g, &ctx);
+    }
+    let (theta_pao, _) = pao.finish(&g).unwrap();
+    let c_pao = minors_model.expected_cost(&g, &theta_pao);
+    let c_smith = minors_model.expected_cost(&g, &smith);
+    assert!(c_pao < c_smith, "PAO {c_pao} must beat Smith {c_smith}");
+}
+
+#[test]
+fn pao_epsilon_guarantee_sampled() {
+    for seed in 0..15u64 {
+        let (g, truth) = random_instance(seed + 500);
+        let (_, c_opt) = optimal_strategy(&g, &truth, 2_000_000).unwrap();
+        let mut pao =
+            Pao::new(&g, PaoConfig::theorem2(1.0, 0.1).with_sample_cap(2500)).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed + 900);
+        while !pao.done() {
+            let ctx = truth.sample(&mut rng);
+            pao.observe(&g, &ctx);
+        }
+        let (theta, _) = pao.finish(&g).unwrap();
+        let c = truth.expected_cost(&g, &theta);
+        assert!(c <= c_opt + 1.0 + 1e-9, "seed {seed}: regret {} > ε", c - c_opt);
+    }
+}
+
+#[test]
+fn palo_certificate_sound_on_sample() {
+    for seed in 0..10u64 {
+        let (g, truth) = random_instance(seed + 2000);
+        let eps = 1.0;
+        let mut palo = Palo::new(&g, Strategy::left_to_right(&g), PaloConfig::new(eps, 0.05));
+        let mut rng = StdRng::seed_from_u64(seed + 3000);
+        let mut n = 0u64;
+        while palo.observe(&g, &truth.sample(&mut rng)) {
+            n += 1;
+            assert!(n < 3_000_000, "seed {seed}: PALO failed to stop");
+        }
+        let set = TransformationSet::all_sibling_swaps(&g);
+        let c_final = truth.expected_cost(&g, palo.strategy());
+        for (_, nb) in set.neighbors(&g, palo.strategy()) {
+            assert!(
+                truth.expected_cost(&g, &nb) >= c_final - eps - 1e-9,
+                "seed {seed}: certificate unsound"
+            );
+        }
+    }
+}
+
+#[test]
+fn upsilon_oracle_and_pib_agree_on_flat_graphs() {
+    // On flat graphs the DFS space is the whole strategy space, so a
+    // well-fed PIB and Υ should land on strategies of equal cost.
+    let mut b = GraphBuilder::new("flat");
+    let root = b.root();
+    for (i, cost) in [1.0, 2.0, 1.5, 3.0].iter().enumerate() {
+        b.retrieval(root, &format!("D{i}"), *cost);
+    }
+    let g = b.finish().unwrap();
+    let truth = IndependentModel::from_retrieval_probs(&g, &[0.1, 0.8, 0.3, 0.6]).unwrap();
+    let upsilon = upsilon_aot(&g, &truth).unwrap();
+    let mut pib = Pib::new(&g, Strategy::left_to_right(&g), PibConfig::new(0.05));
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..80_000 {
+        pib.observe(&g, &truth.sample(&mut rng));
+    }
+    let c_u = truth.expected_cost(&g, &upsilon);
+    let c_p = truth.expected_cost(&g, pib.strategy());
+    assert!((c_u - c_p).abs() < 0.15, "Υ {c_u} vs PIB {c_p}");
+}

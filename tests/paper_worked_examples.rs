@@ -1,0 +1,127 @@
+//! Integration tests pinning every worked number in the paper, driven
+//! through the public facade (`qpl::prelude`).
+
+use qpl::prelude::*;
+
+#[test]
+fn figure1_costs_and_note2_classes() {
+    let u = qpl::workload::university();
+    let g = u.graph();
+    let (dp, dg) = (u.d_p(), u.d_g());
+
+    // c(Θ, I) for the two contexts of Section 2.1.
+    let i1 = Context::with_blocked(g, &[dp]);
+    let i2 = Context::with_blocked(g, &[dg]);
+    assert_eq!(qpl::graph::context::cost(g, &u.prof_first, &i1), 4.0);
+    assert_eq!(qpl::graph::context::cost(g, &u.grad_first, &i1), 2.0);
+    assert_eq!(qpl::graph::context::cost(g, &u.prof_first, &i2), 2.0);
+    assert_eq!(qpl::graph::context::cost(g, &u.grad_first, &i2), 4.0);
+
+    // Note 2: I₁'s open-arc identification {R_p, R_g, D_g}.
+    let open: Vec<_> = i1.open_arcs().collect();
+    assert_eq!(open.len(), 3);
+    assert!(!open.contains(&dp));
+}
+
+#[test]
+fn section2_expected_costs_with_erratum() {
+    let u = qpl::workload::university();
+    let dist = u.section2_distribution();
+    let c1 = dist.expected_cost(u.graph(), &u.prof_first);
+    let c2 = dist.expected_cost(u.graph(), &u.grad_first);
+    // The paper prints 3.7 for Θ₁ and 2.8 for Θ₂ but swaps the failure
+    // factors in its own arithmetic; the values {2.8, 3.7} are right,
+    // attached per the consistent reading (see DESIGN.md).
+    assert!((c1 - 2.8).abs() < 1e-12);
+    assert!((c2 - 3.7).abs() < 1e-12);
+}
+
+#[test]
+fn note5_cost_functions_on_g_a_and_g_b() {
+    let u = qpl::workload::university();
+    let g = u.graph();
+    // f*(R_p) = f(R_p) + f(D_p) = 2; F¬[D_g] = f(R_p)+f(D_p) = 2.
+    let r_p = g.children(g.root())[0];
+    assert_eq!(g.f_star(r_p), 2.0);
+    assert_eq!(g.f_not(u.d_g()), 2.0);
+
+    let (g_b, theta) = qpl::workload::figure2();
+    assert_eq!(theta.paths(&g_b).len(), 4, "Note 3's four paths");
+    let rst = g_b.arc_by_label("R_st").unwrap();
+    assert_eq!(g_b.f_star(rst), 5.0);
+}
+
+#[test]
+fn equation4_theta_abcd() {
+    let (g, theta) = qpl::workload::figure2();
+    let labels: Vec<&str> = theta.arcs().iter().map(|&a| g.arc(a).label.as_str()).collect();
+    assert_eq!(
+        labels,
+        ["R_ga", "D_a", "R_gs", "R_sb", "D_b", "R_st", "R_tc", "D_c", "R_td", "D_d"]
+    );
+}
+
+#[test]
+fn pao_example_upsilon_decisions() {
+    let u = qpl::workload::university();
+    let g = u.graph();
+    let truth = IndependentModel::from_retrieval_probs(g, &[0.2, 0.6]).unwrap();
+    assert_eq!(upsilon_aot(g, &truth).unwrap().arcs(), u.grad_first.arcs(), "Θ₂");
+    let estimate = IndependentModel::from_retrieval_probs(g, &[0.6, 0.5]).unwrap();
+    assert_eq!(upsilon_aot(g, &estimate).unwrap().arcs(), u.prof_first.arcs(), "Θ₁");
+}
+
+#[test]
+fn smith_heuristic_critique() {
+    let mut u = qpl::workload::university();
+    let db2 = u.db2();
+    let smith = SmithHeuristic::strategy(&u.compiled, &db2).unwrap();
+    assert_eq!(smith.arcs(), u.prof_first.arcs(), "the heuristic claims Θ₁ is optimal");
+    let minors = u.minors_distribution(0.5);
+    assert!(
+        minors.expected_cost(u.graph(), &u.grad_first)
+            < minors.expected_cost(u.graph(), &smith),
+        "on minors queries Θ₂ is clearly superior"
+    );
+}
+
+#[test]
+fn engine_and_oracle_agree_on_db1() {
+    // The graph-driven engine, the SLD solver, and bottom-up evaluation
+    // agree on every Figure-1 query.
+    let mut table = SymbolTable::new();
+    let program =
+        parser::parse_program(qpl::workload::paper::UNIVERSITY_KB, &mut table).unwrap();
+    let form = parser::parse_query_form("instructor(b)", &mut table).unwrap();
+    let compiled = compile(&program.rules, &form, &table, &CompileOptions::default()).unwrap();
+    let qp = QueryProcessor::left_to_right(&compiled);
+    for name in ["russ", "manolis", "fred"] {
+        let q = parser::parse_query(&format!("instructor({name})"), &mut table).unwrap();
+        let via_graph = qp.run(&q, &program.facts).unwrap().answer.is_yes();
+        let via_sld = qpl::datalog::topdown::TopDown::new(&program.rules, &program.facts)
+            .provable(&q)
+            .unwrap();
+        let via_bottom_up = qpl::datalog::eval::holds(&program.rules, &program.facts, &q);
+        assert_eq!(via_graph, via_sld);
+        assert_eq!(via_graph, via_bottom_up);
+    }
+}
+
+#[test]
+fn theorem3_guarded_rule_blocks_for_non_fred() {
+    let (mut table, cg, db) = qpl::workload::reachability();
+    let fred = parser::parse_query("instructor(fred)", &mut table).unwrap();
+    let russ = parser::parse_query("instructor(russ)", &mut table).unwrap();
+    let guarded = cg
+        .graph
+        .arc_ids()
+        .find(|&a| matches!(cg.binding(a),
+            qpl::graph::compile::ArcBinding::Reduction { guards, .. } if !guards.is_empty()))
+        .unwrap();
+    assert!(!classify_context(&cg, &fred, &db).unwrap().is_blocked(guarded));
+    assert!(classify_context(&cg, &russ, &db).unwrap().is_blocked(guarded));
+    // And the answers are right either way.
+    let qp = QueryProcessor::left_to_right(&cg);
+    assert!(qp.run(&fred, &db).unwrap().answer.is_yes(), "admitted(fred, toronto) holds");
+    assert!(qp.run(&russ, &db).unwrap().answer.is_yes(), "prof(russ) holds");
+}
