@@ -28,9 +28,7 @@ fn bench_context_cost(c: &mut Criterion) {
         &g_b,
         &[g_b.arc_by_label("D_a").unwrap(), g_b.arc_by_label("D_b").unwrap()],
     );
-    group.bench_function("g_b", |b| {
-        b.iter(|| cost(&g_b, &theta, std::hint::black_box(&ctx_b)))
-    });
+    group.bench_function("g_b", |b| b.iter(|| cost(&g_b, &theta, std::hint::black_box(&ctx_b))));
 
     for retrievals in [16usize, 64, 256] {
         let mut rng = StdRng::seed_from_u64(1);
@@ -39,11 +37,9 @@ fn bench_context_cost(c: &mut Criterion) {
         let model = random_retrieval_model(&mut rng, &g, (0.05, 0.5));
         let s = Strategy::left_to_right(&g);
         let ctx = model.sample(&mut rng);
-        group.bench_with_input(
-            BenchmarkId::new("random_tree", retrievals),
-            &retrievals,
-            |b, _| b.iter(|| cost(&g, &s, std::hint::black_box(&ctx))),
-        );
+        group.bench_with_input(BenchmarkId::new("random_tree", retrievals), &retrievals, |b, _| {
+            b.iter(|| cost(&g, &s, std::hint::black_box(&ctx)))
+        });
     }
     group.finish();
 }
@@ -56,11 +52,9 @@ fn bench_expected_cost(c: &mut Criterion) {
         let g = random_tree_with_retrievals(&mut rng, &params, retrievals, retrievals * 2);
         let model = random_retrieval_model(&mut rng, &g, (0.05, 0.95));
         let s = Strategy::left_to_right(&g);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(retrievals),
-            &retrievals,
-            |b, _| b.iter(|| model.expected_cost(&g, std::hint::black_box(&s))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(retrievals), &retrievals, |b, _| {
+            b.iter(|| model.expected_cost(&g, std::hint::black_box(&s)))
+        });
     }
     group.finish();
 }

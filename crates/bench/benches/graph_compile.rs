@@ -19,13 +19,8 @@ fn bench_university(c: &mut Criterion) {
     let form = parse_query_form("instructor(b)", &mut table).expect("parses");
     c.bench_function("compile_university", |b| {
         b.iter(|| {
-            compile(
-                std::hint::black_box(&program.rules),
-                &form,
-                &table,
-                &CompileOptions::default(),
-            )
-            .expect("compiles")
+            compile(std::hint::black_box(&program.rules), &form, &table, &CompileOptions::default())
+                .expect("compiles")
         })
     });
 }
@@ -43,13 +38,8 @@ fn bench_layered(c: &mut Criterion) {
             &layers,
             |b, _| {
                 b.iter(|| {
-                    compile(
-                        std::hint::black_box(&rules),
-                        &form,
-                        &table,
-                        &CompileOptions::default(),
-                    )
-                    .expect("compiles")
+                    compile(std::hint::black_box(&rules), &form, &table, &CompileOptions::default())
+                        .expect("compiles")
                 })
             },
         );

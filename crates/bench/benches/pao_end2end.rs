@@ -21,8 +21,8 @@ fn bench_pao(c: &mut Criterion) {
     for (eps, cap) in [(2.0, 250u64), (1.0, 1000), (0.5, 4000)] {
         group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, _| {
             b.iter(|| {
-                let mut pao = Pao::new(&g, PaoConfig::theorem2(eps, 0.1).with_sample_cap(cap))
-                    .expect("tree");
+                let mut pao =
+                    Pao::new(&g, PaoConfig::theorem2(eps, 0.1).with_sample_cap(cap)).expect("tree");
                 let mut rng = StdRng::seed_from_u64(99);
                 while !pao.done() {
                     let ctx = truth.sample(&mut rng);
@@ -48,6 +48,17 @@ fn bench_adaptive_sampling_only(c: &mut Criterion) {
             let ctx = &contexts[i % contexts.len()];
             i += 1;
             qp.observe(&g, std::hint::black_box(ctx))
+        })
+    });
+    c.bench_function("adaptive_qp_observe_into", |b| {
+        let needed: Vec<u64> = g.retrievals().map(|_| u64::MAX).collect();
+        let mut qp = qpl_engine::AdaptiveQp::for_retrievals(&g, &needed);
+        let mut scratch = qpl_graph::RunScratch::new(&g);
+        let mut i = 0;
+        b.iter(|| {
+            let ctx = &contexts[i % contexts.len()];
+            i += 1;
+            qp.observe_into(&g, std::hint::black_box(ctx), &mut scratch)
         })
     });
 }

@@ -1,0 +1,95 @@
+//! Bench: the deterministic parallel sampling harness and the
+//! incremental expected-cost evaluator.
+//!
+//! Two independent axes of the same optimization story:
+//!
+//! * `batch_fold_mc_cost` — Monte-Carlo cost estimation fanned out over
+//!   1/2/4/8 workers via `qpl_engine::par::batch_fold` (results are
+//!   bit-identical across worker counts; only wall clock changes).
+//! * `per_candidate_cost` — scoring one member of `T(Θ)`: full `C[Θ']`
+//!   recomputation vs `CostEvaluator::expected_cost_after_swap`'s
+//!   O(depth · branching) ancestor repair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpl_core::TransformationSet;
+use qpl_engine::par::{batch_fold, sample_rng, ParConfig};
+use qpl_graph::context::cost;
+use qpl_graph::expected::ContextDistribution;
+use qpl_graph::{CostEvaluator, Strategy};
+use qpl_workload::generator::{random_retrieval_model, random_tree_with_retrievals, TreeParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_batch_fold(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let params = TreeParams { max_depth: 6, max_branch: 4, ..Default::default() };
+    let g = random_tree_with_retrievals(&mut rng, &params, 32, 64);
+    let model = random_retrieval_model(&mut rng, &g, (0.05, 0.6));
+    let theta = Strategy::left_to_right(&g);
+    let n = 4096usize;
+    let mut group = c.benchmark_group("batch_fold_mc_cost");
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            let cfg = ParConfig { workers: w, block: ParConfig::DEFAULT_BLOCK };
+            b.iter(|| {
+                batch_fold(
+                    n,
+                    &cfg,
+                    || (0.0f64, 0u64),
+                    |acc, i| {
+                        let mut r = sample_rng(7, i as u64);
+                        let ctx = model.sample(&mut r);
+                        acc.0 += cost(&g, &theta, std::hint::black_box(&ctx));
+                        acc.1 += 1;
+                    },
+                    |a, p| {
+                        a.0 += p.0;
+                        a.1 += p.1;
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_per_candidate_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_candidate_cost");
+    for retrievals in [16usize, 64] {
+        let mut rng = StdRng::seed_from_u64(12);
+        let params = TreeParams { max_depth: 7, max_branch: 3, ..Default::default() };
+        let g = random_tree_with_retrievals(&mut rng, &params, retrievals, retrievals * 2);
+        let model = random_retrieval_model(&mut rng, &g, (0.05, 0.6));
+        let theta = Strategy::left_to_right(&g);
+        let neighbors = TransformationSet::all_sibling_swaps(&g).neighbors(&g, &theta);
+        assert!(!neighbors.is_empty());
+        let ev = CostEvaluator::new(&g, &model, &theta).expect("depth-first tree strategy");
+
+        group.bench_with_input(
+            BenchmarkId::new("full_recompute", retrievals),
+            &retrievals,
+            |b, _| {
+                let mut i = 0;
+                b.iter(|| {
+                    let (_, cand) = &neighbors[i % neighbors.len()];
+                    i += 1;
+                    model.expected_cost(&g, std::hint::black_box(cand))
+                })
+            },
+        );
+
+        group.bench_with_input(BenchmarkId::new("after_swap", retrievals), &retrievals, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let (swap, _) = &neighbors[i % neighbors.len()];
+                i += 1;
+                ev.expected_cost_after_swap(swap.r1, std::hint::black_box(swap.r2))
+                    .expect("sibling swap")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_fold, bench_per_candidate_cost);
+criterion_main!(benches);

@@ -14,7 +14,8 @@ use rand::SeedableRng;
 
 fn setup(retrievals: usize) -> (qpl_graph::InferenceGraph, Vec<qpl_graph::Context>) {
     let mut rng = StdRng::seed_from_u64(retrievals as u64);
-    let g = random_tree_with_retrievals(&mut rng, &TreeParams::default(), retrievals, retrievals * 2);
+    let g =
+        random_tree_with_retrievals(&mut rng, &TreeParams::default(), retrievals, retrievals * 2);
     // Low success probabilities: statistics keep flowing without climbs.
     let model = random_retrieval_model(&mut rng, &g, (0.01, 0.1));
     let contexts: Vec<_> = (0..4096).map(|_| model.sample(&mut rng)).collect();
@@ -37,6 +38,25 @@ fn bench_pib_observe(c: &mut Criterion) {
         });
 
         group.bench_with_input(
+            BenchmarkId::new("bare_scratch", retrievals),
+            &retrievals,
+            |b, _| {
+                let mut scratch = qpl_graph::RunScratch::new(&g);
+                let mut i = 0;
+                b.iter(|| {
+                    let ctx = &contexts[i % contexts.len()];
+                    i += 1;
+                    qpl_graph::context::execute_into(
+                        &g,
+                        &theta,
+                        std::hint::black_box(ctx),
+                        &mut scratch,
+                    )
+                })
+            },
+        );
+
+        group.bench_with_input(
             BenchmarkId::new("pib_test_every_1", retrievals),
             &retrievals,
             |b, _| {
@@ -46,6 +66,22 @@ fn bench_pib_observe(c: &mut Criterion) {
                     let ctx = &contexts[i % contexts.len()];
                     i += 1;
                     pib.observe(&g, std::hint::black_box(ctx))
+                })
+            },
+        );
+
+        // observe_quiet skips the Trace materialization — the pure
+        // monitoring overhead with zero per-sample allocation.
+        group.bench_with_input(
+            BenchmarkId::new("pib_quiet_test_every_1", retrievals),
+            &retrievals,
+            |b, _| {
+                let mut pib = Pib::new(&g, theta.clone(), PibConfig::new(1e-6));
+                let mut i = 0;
+                b.iter(|| {
+                    let ctx = &contexts[i % contexts.len()];
+                    i += 1;
+                    pib.observe_quiet(&g, std::hint::black_box(ctx))
                 })
             },
         );

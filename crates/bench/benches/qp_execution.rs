@@ -98,5 +98,11 @@ fn bench_classification_only(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_university, bench_layered, bench_lazy_vs_eager, bench_classification_only);
+criterion_group!(
+    benches,
+    bench_university,
+    bench_layered,
+    bench_lazy_vs_eager,
+    bench_classification_only
+);
 criterion_main!(benches);

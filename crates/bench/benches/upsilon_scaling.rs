@@ -17,11 +17,9 @@ fn bench_upsilon(c: &mut Criterion) {
         let params = TreeParams { max_depth: 8, max_branch: 4, ..Default::default() };
         let g = random_tree_with_retrievals(&mut rng, &params, retrievals, retrievals * 2);
         let m = random_retrieval_model(&mut rng, &g, (0.05, 0.95));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(retrievals),
-            &retrievals,
-            |b, _| b.iter(|| upsilon_aot(&g, std::hint::black_box(&m)).expect("tree")),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(retrievals), &retrievals, |b, _| {
+            b.iter(|| upsilon_aot(&g, std::hint::black_box(&m)).expect("tree"))
+        });
     }
     group.finish();
 }
@@ -31,18 +29,14 @@ fn bench_brute_force(c: &mut Criterion) {
     group.sample_size(10);
     for retrievals in [3usize, 4] {
         let mut rng = StdRng::seed_from_u64(retrievals as u64 + 100);
-        let g = random_tree_with_retrievals(&mut rng, &TreeParams::default(), retrievals, retrievals);
+        let g =
+            random_tree_with_retrievals(&mut rng, &TreeParams::default(), retrievals, retrievals);
         let m = random_retrieval_model(&mut rng, &g, (0.05, 0.95));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(retrievals),
-            &retrievals,
-            |b, _| {
-                b.iter(|| {
-                    brute_force_optimal(&g, std::hint::black_box(&m), 10_000_000)
-                        .expect("within cap")
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(retrievals), &retrievals, |b, _| {
+            b.iter(|| {
+                brute_force_optimal(&g, std::hint::black_box(&m), 10_000_000).expect("within cap")
+            })
+        });
     }
     group.finish();
 }

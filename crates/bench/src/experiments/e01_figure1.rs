@@ -27,26 +27,10 @@ pub fn run() -> Report {
     r.note("I₁ = ⟨instructor(manolis), DB₁⟩, I₂ = ⟨instructor(russ), DB₁⟩, unit arc costs");
 
     let rows = vec![
-        vec![
-            "c(Θ₁, I₁)".into(),
-            "4".into(),
-            fm(cost(&g, &u.prof_first, &i1), 0),
-        ],
-        vec![
-            "c(Θ₂, I₁)".into(),
-            "2".into(),
-            fm(cost(&g, &u.grad_first, &i1), 0),
-        ],
-        vec![
-            "c(Θ₁, I₂)".into(),
-            "2".into(),
-            fm(cost(&g, &u.prof_first, &i2), 0),
-        ],
-        vec![
-            "c(Θ₂, I₂)".into(),
-            "4".into(),
-            fm(cost(&g, &u.grad_first, &i2), 0),
-        ],
+        vec!["c(Θ₁, I₁)".into(), "4".into(), fm(cost(&g, &u.prof_first, &i1), 0)],
+        vec!["c(Θ₂, I₁)".into(), "2".into(), fm(cost(&g, &u.grad_first, &i1), 0)],
+        vec!["c(Θ₁, I₂)".into(), "2".into(), fm(cost(&g, &u.prof_first, &i2), 0)],
+        vec!["c(Θ₂, I₂)".into(), "4".into(), fm(cost(&g, &u.grad_first, &i2), 0)],
     ];
     r.table("per-context costs (Section 2.1)", &["quantity", "paper", "measured"], rows);
 

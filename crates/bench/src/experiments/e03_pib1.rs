@@ -18,12 +18,8 @@ use rand::SeedableRng;
 pub fn run(seed: u64) -> Report {
     let u = university();
     let g = u.graph().clone();
-    let swap = SiblingSwap::new(
-        &g,
-        g.children(g.root())[0],
-        g.children(g.root())[1],
-    )
-    .expect("root children are siblings");
+    let swap = SiblingSwap::new(&g, g.children(g.root())[0], g.children(g.root())[1])
+        .expect("root children are siblings");
 
     let mut r = Report::new("E3: PIB₁ one-shot filter (Equation 3)");
     r.note("monitored: Θ₁ prof-first; proposed: Θ₂ grad-first; truth: p = ⟨0.05, 0.8⟩");
@@ -52,17 +48,9 @@ pub fn run(seed: u64) -> Report {
         latencies.sort_unstable();
         let median = latencies[latencies.len() / 2];
         let max = *latencies.last().expect("non-empty");
-        rows.push(vec![
-            fm(delta, 2),
-            median.to_string(),
-            max.to_string(),
-        ]);
+        rows.push(vec![fm(delta, 2), median.to_string(), max.to_string()]);
     }
-    r.table(
-        "samples until the (correct) switch is approved",
-        &["δ", "median m", "max m"],
-        rows,
-    );
+    r.table("samples until the (correct) switch is approved", &["δ", "median m", "max m"], rows);
 
     // False positives under an exactly-neutral distribution.
     let neutral = IndependentModel::from_retrieval_probs(&g, &[0.4, 0.4]).expect("valid probs");
@@ -73,8 +61,8 @@ pub fn run(seed: u64) -> Report {
         let horizon = 250;
         let mut wrong = 0u64;
         for t in 0..trials {
-            let mut pib1 = Pib1::new(&g, Strategy::left_to_right(&g), swap, delta)
-                .expect("swap applies");
+            let mut pib1 =
+                Pib1::new(&g, Strategy::left_to_right(&g), swap, delta).expect("swap applies");
             let mut rng = StdRng::seed_from_u64(seed + 7_000 + (i as u64) * 10_000 + t);
             for _ in 0..horizon {
                 pib1.observe(&g, &neutral.sample(&mut rng));

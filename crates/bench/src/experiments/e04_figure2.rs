@@ -77,9 +77,7 @@ pub fn run(seed: u64) -> Report {
     let rows: Vec<Vec<String>> = trajectory
         .iter()
         .enumerate()
-        .map(|(j, (n, c))| {
-            vec![format!("Θ_{j}"), n.to_string(), fm(*c, 4)]
-        })
+        .map(|(j, (n, c))| vec![format!("Θ_{j}"), n.to_string(), fm(*c, 4)])
         .collect();
     r.table(
         "PIB trajectory under p = ⟨0.05, 0.05, 0.05, 0.85⟩ (D_d usually succeeds)",

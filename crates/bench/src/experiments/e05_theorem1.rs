@@ -8,6 +8,7 @@
 
 use crate::report::{fm, Report};
 use qpl_core::{Pib, PibConfig};
+use qpl_engine::{par_map_indexed, ParConfig};
 use qpl_graph::expected::ContextDistribution;
 use qpl_graph::Strategy;
 use qpl_workload::generator::{random_retrieval_model, random_tree_with_retrievals, TreeParams};
@@ -22,26 +23,29 @@ pub fn run(seed: u64) -> Report {
 
     let mut rows = Vec::new();
     let mut all_ok = true;
+    let cfg = ParConfig::auto();
     for (di, delta) in [0.2, 0.1, 0.05].into_iter().enumerate() {
         let runs = 150u64;
         let horizon = 3_000;
-        let mut mistake_runs = 0u64;
-        let mut total_climbs = 0u64;
-        for t in 0..runs {
+        // Each trial is a pure function of its index t (per-trial seeds),
+        // so the runs fan out across workers; aggregation stays in t
+        // order, making the report identical to the old serial loop.
+        let per_run: Vec<(bool, u64)> = par_map_indexed(runs as usize, &cfg, |ti| {
+            let t = ti as u64;
             let mut gen_rng = StdRng::seed_from_u64(seed + 100 * (di as u64) + t);
-            let g =
-                random_tree_with_retrievals(&mut gen_rng, &TreeParams::default(), 3, 6);
+            let g = random_tree_with_retrievals(&mut gen_rng, &TreeParams::default(), 3, 6);
             let truth = random_retrieval_model(&mut gen_rng, &g, (0.05, 0.95));
             let mut pib = Pib::new(&g, Strategy::left_to_right(&g), PibConfig::new(delta));
             let mut prev_cost = truth.expected_cost(&g, pib.strategy());
             let mut climbs = pib.history().len();
+            let mut run_climbs = 0u64;
             let mut made_mistake = false;
             let mut rng = StdRng::seed_from_u64(seed + 55_000 + 100 * (di as u64) + t);
             for _ in 0..horizon {
                 pib.observe(&g, &truth.sample(&mut rng));
                 if pib.history().len() > climbs {
                     climbs = pib.history().len();
-                    total_climbs += 1;
+                    run_climbs += 1;
                     let c = truth.expected_cost(&g, pib.strategy());
                     if c > prev_cost + 1e-12 {
                         made_mistake = true;
@@ -49,10 +53,10 @@ pub fn run(seed: u64) -> Report {
                     prev_cost = c;
                 }
             }
-            if made_mistake {
-                mistake_runs += 1;
-            }
-        }
+            (made_mistake, run_climbs)
+        });
+        let mistake_runs = per_run.iter().filter(|(m, _)| *m).count() as u64;
+        let total_climbs: u64 = per_run.iter().map(|(_, c)| *c).sum();
         let rate = mistake_runs as f64 / runs as f64;
         if rate > delta {
             all_ok = false;

@@ -26,8 +26,8 @@ pub fn run() -> Report {
     // Υ on the true and estimated probability vectors.
     let truth = IndependentModel::from_retrieval_probs(&g, &[0.2, 0.6]).expect("valid");
     let opt_truth = upsilon_aot(&g, &truth).expect("tree");
-    let est = IndependentModel::from_retrieval_probs(&g, &[18.0 / 30.0, 10.0 / 20.0])
-        .expect("valid");
+    let est =
+        IndependentModel::from_retrieval_probs(&g, &[18.0 / 30.0, 10.0 / 20.0]).expect("valid");
     let opt_est = upsilon_aot(&g, &est).expect("tree");
     r.table(
         "Υ_AOT on the paper's probability vectors",
@@ -78,10 +78,16 @@ pub fn run() -> Report {
         "Section 4.1 sample sharing (M = ⟨30, 20⟩)",
         &["quantity", "paper", "measured"],
         vec![
-            vec!["D_p trials / successes".into(), "30 / 18".into(),
-                 format!("{} / {}", 30, sp.successes)],
-            vec!["free D_g samples from failed D_p probes".into(), "12".into(),
-                 free_dg.to_string()],
+            vec![
+                "D_p trials / successes".into(),
+                "30 / 18".into(),
+                format!("{} / {}", 30, sp.successes),
+            ],
+            vec![
+                "free D_g samples from failed D_p probes".into(),
+                "12".into(),
+                free_dg.to_string(),
+            ],
             vec!["extra contexts needed for D_g".into(), "8".into(), extra.to_string()],
             vec!["total contexts".into(), "38".into(), qp.runs().to_string()],
             vec!["p̂_g".into(), "10/20 = 0.5".into(), fm(sg.p_hat(), 2)],

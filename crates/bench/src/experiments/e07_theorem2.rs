@@ -9,6 +9,7 @@
 
 use crate::report::{fm, Report};
 use qpl_core::{optimal_strategy, Pao, PaoConfig};
+use qpl_engine::{par_map_indexed, ParConfig};
 use qpl_graph::expected::ContextDistribution;
 use qpl_stats::sample::theorem2_samples;
 use qpl_workload::generator::{random_retrieval_model, random_tree_with_retrievals, TreeParams};
@@ -30,25 +31,23 @@ pub fn run(seed: u64) -> Report {
             rows.push(vec![fm(eps, 2), fm(delta, 2), m.to_string()]);
         }
     }
-    r.table(
-        "Equation 7 on G_A: m(d) per retrieval (F¬ = 2, n = 2)",
-        &["ε", "δ", "m(d)"],
-        rows,
-    );
+    r.table("Equation 7 on G_A: m(d) per retrieval (F¬ = 2, n = 2)", &["ε", "δ", "m(d)"], rows);
 
     // Empirical guarantee on random trees.
     let (eps, delta) = (1.0f64, 0.1f64);
     let runs = 60u64;
     let cap = 1500u64;
-    let mut achieved = 0u64;
-    let mut regrets = Vec::new();
-    for t in 0..runs {
+    // Trials are pure functions of t (per-trial seeds), so they fan out
+    // across workers; collecting in t order keeps the report identical
+    // to the old serial loop.
+    let regrets: Vec<f64> = par_map_indexed(runs as usize, &ParConfig::auto(), |ti| {
+        let t = ti as u64;
         let mut gen_rng = StdRng::seed_from_u64(seed + t);
         let g = random_tree_with_retrievals(&mut gen_rng, &TreeParams::default(), 2, 5);
         let truth = random_retrieval_model(&mut gen_rng, &g, (0.05, 0.95));
         let (_, c_opt) = optimal_strategy(&g, &truth, 2_000_000).expect("small trees");
-        let mut pao = Pao::new(&g, PaoConfig::theorem2(eps, delta).with_sample_cap(cap))
-            .expect("tree graph");
+        let mut pao =
+            Pao::new(&g, PaoConfig::theorem2(eps, delta).with_sample_cap(cap)).expect("tree graph");
         let mut rng = StdRng::seed_from_u64(seed + 90_000 + t);
         while !pao.done() {
             let ctx = truth.sample(&mut rng);
@@ -56,12 +55,10 @@ pub fn run(seed: u64) -> Report {
         }
         let (strategy, _) = pao.finish(&g).expect("sampling done");
         let c_pao = truth.expected_cost(&g, &strategy);
-        let regret = c_pao - c_opt;
-        regrets.push(regret);
-        if regret <= eps + 1e-9 {
-            achieved += 1;
-        }
-    }
+        c_pao - c_opt
+    });
+    let achieved = regrets.iter().filter(|&&r| r <= eps + 1e-9).count() as u64;
+    let mut regrets = regrets;
     regrets.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let rate = achieved as f64 / runs as f64;
     r.table(
@@ -70,7 +67,10 @@ pub fn run(seed: u64) -> Report {
         &["quantity", "value"],
         vec![
             vec!["runs".into(), runs.to_string()],
-            vec!["achieved C[Θ_pao] ≤ C[Θ_opt] + ε".into(), format!("{} ({}%)", achieved, fm(100.0 * rate, 1))],
+            vec![
+                "achieved C[Θ_pao] ≤ C[Θ_opt] + ε".into(),
+                format!("{} ({}%)", achieved, fm(100.0 * rate, 1)),
+            ],
             vec!["required rate (1 − δ)".into(), fm(1.0 - delta, 2)],
             vec!["median regret".into(), fm(regrets[regrets.len() / 2], 4)],
             vec!["max regret".into(), fm(*regrets.last().expect("non-empty"), 4)],

@@ -43,8 +43,11 @@ pub fn run(seed: u64) -> Report {
         .iter()
         .zip(weights)
         .map(|(n, w)| {
-            (qpl_datalog::parser::parse_query(&format!("instructor({n})"), &mut table)
-                .expect("query parses"), w)
+            (
+                qpl_datalog::parser::parse_query(&format!("instructor({n})"), &mut table)
+                    .expect("query parses"),
+                w,
+            )
         })
         .collect();
 
@@ -103,12 +106,7 @@ pub fn run(seed: u64) -> Report {
     for &eps in &[1.0, 0.1, 0.01, 0.001] {
         let exact = theorem3_attempts(f_not, eps, delta_p, 4) as f64;
         let asym = theorem3_asymptotic(f_not, eps, delta_p, 4);
-        rows.push(vec![
-            format!("{eps}"),
-            fm(exact, 0),
-            fm(asym, 0),
-            fm(exact / asym, 4),
-        ]);
+        rows.push(vec![format!("{eps}"), fm(exact, 0), fm(asym, 0), fm(exact / asym, 4)]);
     }
     r.table(
         "footnote 11: Equation 8 vs its asymptotic (F¬ = 2, δ = 0.1, n = 4)",

@@ -43,11 +43,7 @@ pub fn run(seed: u64) -> Report {
             let regret = truth.expected_cost(&g, &theta_phat) - truth.expected_cost(&g, &theta_p);
             let bound: f64 = g
                 .retrievals()
-                .map(|a| {
-                    2.0 * g.f_not(a)
-                        * truth.rho(&g, a)
-                        * (truth.prob(a) - est.prob(a)).abs()
-                })
+                .map(|a| 2.0 * g.f_not(a) * truth.rho(&g, a) * (truth.prob(a) - est.prob(a)).abs())
                 .sum();
             if regret > bound + 1e-9 {
                 violations += 1;

@@ -32,10 +32,7 @@ pub fn run(seed: u64) -> Report {
         let s = upsilon_aot(&g, &m).expect("tree");
         let Some(all) = enumerate_all(&g, 1_000_000) else { continue };
         strategy_space.push(all.len());
-        let best = all
-            .iter()
-            .map(|t| m.expected_cost(&g, t))
-            .fold(f64::INFINITY, f64::min);
+        let best = all.iter().map(|t| m.expected_cost(&g, t)).fold(f64::INFINITY, f64::min);
         checked += 1;
         if (m.expected_cost(&g, &s) - best).abs() < 1e-9 {
             exact_matches += 1;
@@ -137,9 +134,15 @@ pub fn run(seed: u64) -> Report {
             let w: f64 = arcs
                 .iter()
                 .enumerate()
-                .map(|(i, &a)| {
-                    if mask & (1 << i) != 0 { 1.0 - model.prob(a) } else { model.prob(a) }
-                })
+                .map(
+                    |(i, &a)| {
+                        if mask & (1 << i) != 0 {
+                            1.0 - model.prob(a)
+                        } else {
+                            model.prob(a)
+                        }
+                    },
+                )
                 .product();
             let trace = qpl_graph::context::execute(&dag, s, &ctx);
             cost += w * trace.cost;

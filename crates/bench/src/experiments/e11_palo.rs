@@ -7,6 +7,7 @@
 
 use crate::report::{fm, Report};
 use qpl_core::{Palo, PaloConfig, TransformationSet};
+use qpl_engine::{par_map_indexed, ParConfig};
 use qpl_graph::expected::ContextDistribution;
 use qpl_graph::Strategy;
 use qpl_workload::generator::{random_retrieval_model, random_tree_with_retrievals, TreeParams};
@@ -20,17 +21,18 @@ pub fn run(seed: u64) -> Report {
 
     let mut rows = Vec::new();
     let mut all_sound = true;
+    let cfg = ParConfig::auto();
     for eps in [1.5, 0.75] {
         let runs = 60u64;
-        let mut sound = 0u64;
-        let mut climbed = 0u64;
-        let mut sample_counts = Vec::new();
-        for t in 0..runs {
+        // Each trial depends only on its index t via per-trial seeds, so
+        // the instances run in parallel; per-trial results come back in t
+        // order and the aggregation below matches the old serial loop.
+        let per_run: Vec<(u64, u64, bool)> = par_map_indexed(runs as usize, &cfg, |ti| {
+            let t = ti as u64;
             let mut gen_rng = StdRng::seed_from_u64(seed + t);
             let g = random_tree_with_retrievals(&mut gen_rng, &TreeParams::default(), 2, 5);
             let truth = random_retrieval_model(&mut gen_rng, &g, (0.05, 0.95));
-            let mut palo =
-                Palo::new(&g, Strategy::left_to_right(&g), PaloConfig::new(eps, 0.05));
+            let mut palo = Palo::new(&g, Strategy::left_to_right(&g), PaloConfig::new(eps, 0.05));
             let mut rng = StdRng::seed_from_u64(seed + 40_000 + t);
             let mut n = 0u64;
             while palo.observe(&g, &truth.sample(&mut rng)) {
@@ -39,8 +41,6 @@ pub fn run(seed: u64) -> Report {
                     break;
                 }
             }
-            sample_counts.push(n);
-            climbed += palo.climbs().len() as u64;
             // Soundness: every neighbour within ε of the final strategy.
             let set = TransformationSet::all_sibling_swaps(&g);
             let c_final = truth.expected_cost(&g, palo.strategy());
@@ -48,10 +48,11 @@ pub fn run(seed: u64) -> Report {
                 .neighbors(&g, palo.strategy())
                 .iter()
                 .all(|(_, s)| truth.expected_cost(&g, s) >= c_final - eps - 1e-9);
-            if is_sound {
-                sound += 1;
-            }
-        }
+            (n, palo.climbs().len() as u64, is_sound)
+        });
+        let sound = per_run.iter().filter(|(_, _, s)| *s).count() as u64;
+        let climbed: u64 = per_run.iter().map(|(_, c, _)| *c).sum();
+        let mut sample_counts: Vec<u64> = per_run.iter().map(|(n, _, _)| *n).collect();
         sample_counts.sort_unstable();
         let sound_rate = sound as f64 / runs as f64;
         if sound_rate < 0.95 {

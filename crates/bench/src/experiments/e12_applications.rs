@@ -63,10 +63,7 @@ pub fn run(seed: u64) -> Report {
     east.insert(Fact::new(age, vec![table2.intern("erik"), table2.intern("a50")]))
         .expect("consistent");
     let mut west = Database::new();
-    for (i, name) in ["russ", "manolis", "vinay", "igor", "alberto", "john"]
-        .iter()
-        .enumerate()
-    {
+    for (i, name) in ["russ", "manolis", "vinay", "igor", "alberto", "john"].iter().enumerate() {
         west.insert(Fact::new(age, vec![table2.intern(name), table2.intern(&format!("a{i}"))]))
             .expect("consistent");
     }
@@ -90,7 +87,10 @@ pub fn run(seed: u64) -> Report {
     let mut pib = Pib::new(&g, naive.clone(), PibConfig::new(0.05));
     let mut rng = StdRng::seed_from_u64(seed);
     for _ in 0..5_000 {
-        pib.observe(&g, &dist.sample(&mut rng));
+        // sample_index + context borrows the drawn class instead of
+        // cloning it per observation (same rng consumption as sample).
+        let idx = dist.sample_index(&mut rng);
+        pib.observe(&g, dist.context(idx));
     }
     let c_learned = dist.expected_cost(&g, pib.strategy());
     r.table(
@@ -98,10 +98,7 @@ pub fn run(seed: u64) -> Report {
         &["scan order", "expected probes"],
         vec![
             vec!["east → west → north (naive)".into(), fm(c_naive, 3)],
-            vec![
-                format!("learned: {}", pib.strategy().display(&g)),
-                fm(c_learned, 3),
-            ],
+            vec![format!("learned: {}", pib.strategy().display(&g)), fm(c_learned, 3)],
         ],
     );
     let scan_ok = c_learned < c_naive;
@@ -124,8 +121,18 @@ pub fn run(seed: u64) -> Report {
         "first-k answers on parent(x, Y) (mother & guardian known)",
         &["k", "answers found", "cost", "satisfied?"],
         vec![
-            vec!["1".into(), k1.answers.len().to_string(), fm(k1.trace.cost, 0), k1.satisfied.to_string()],
-            vec!["2".into(), k2.answers.len().to_string(), fm(k2.trace.cost, 0), k2.satisfied.to_string()],
+            vec![
+                "1".into(),
+                k1.answers.len().to_string(),
+                fm(k1.trace.cost, 0),
+                k1.satisfied.to_string(),
+            ],
+            vec![
+                "2".into(),
+                k2.answers.len().to_string(),
+                fm(k2.trace.cost, 0),
+                k2.satisfied.to_string(),
+            ],
         ],
     );
     let firstk_ok = k1.satisfied && k2.satisfied && k2.trace.cost > k1.trace.cost;

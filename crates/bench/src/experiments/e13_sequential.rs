@@ -23,11 +23,7 @@ pub fn run(seed: u64) -> Report {
         let partial: f64 = (1..=k).map(|i| s.budget_for(i)).sum();
         rows.push(vec![k.to_string(), format!("{:.6}", s.budget_for(k)), fm(partial, 6)]);
     }
-    r.table(
-        "budget schedule at δ = 0.1 (Σᵢ δᵢ → δ)",
-        &["test i", "δᵢ", "Σ₁..ᵢ δⱼ"],
-        rows,
-    );
+    r.table("budget schedule at δ = 0.1 (Σᵢ δᵢ → δ)", &["test i", "δᵢ", "Σ₁..ᵢ δⱼ"], rows);
 
     // Empirical: repeated testing of a true-null (zero-mean ±1 stream).
     // Fixed-δ per test accumulates false positives; the schedule stays

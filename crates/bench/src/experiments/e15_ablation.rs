@@ -8,6 +8,7 @@
 
 use crate::report::{fm, Report};
 use qpl_core::{Pib, PibConfig, TransformationSet};
+use qpl_engine::{par_map_indexed, ParConfig};
 use qpl_graph::expected::ContextDistribution;
 use qpl_graph::Strategy;
 use qpl_workload::generator::{random_retrieval_model, random_tree_with_retrievals, TreeParams};
@@ -21,13 +22,7 @@ struct Outcome {
     last_climb_at: u64,
 }
 
-fn run_pib(
-    seed: u64,
-    vocab: &str,
-    test_every: u64,
-    delta: f64,
-    horizon: u64,
-) -> Outcome {
+fn run_pib(seed: u64, vocab: &str, test_every: u64, delta: f64, horizon: u64) -> Outcome {
     let mut gen_rng = StdRng::seed_from_u64(seed);
     let g = random_tree_with_retrievals(&mut gen_rng, &TreeParams::default(), 4, 8);
     let truth = random_retrieval_model(&mut gen_rng, &g, (0.02, 0.6));
@@ -75,23 +70,24 @@ pub fn run(seed: u64) -> Report {
     r.note("30 random instances (4–8 retrievals) per configuration, 20k contexts each");
     let instances = 30u64;
     let horizon = 20_000u64;
+    // `run_pib` is a pure function of its seed, so each configuration's
+    // 30 instances fan out across workers; par_map_indexed returns them
+    // in t order, so the means match the old serial loops exactly.
+    let cfg = ParConfig::auto();
+    let run_batch = |vocab: &str, every: u64, delta: f64| -> Vec<Outcome> {
+        par_map_indexed(instances as usize, &cfg, |t| {
+            run_pib(seed + t as u64, vocab, every, delta, horizon)
+        })
+    };
 
     // Vocabulary ablation.
     let mut rows = Vec::new();
     let mut costs = Vec::new();
     for vocab in ["all-pairs", "adjacent"] {
-        let outs: Vec<Outcome> = (0..instances)
-            .map(|t| run_pib(seed + t, vocab, 1, 0.05, horizon))
-            .collect();
+        let outs = run_batch(vocab, 1, 0.05);
         let (cost, climbs, tests, last) = aggregate(&outs);
         costs.push(cost);
-        rows.push(vec![
-            vocab.into(),
-            fm(cost, 3),
-            fm(climbs, 2),
-            fm(tests, 0),
-            fm(last, 0),
-        ]);
+        rows.push(vec![vocab.into(), fm(cost, 3), fm(climbs, 2), fm(tests, 0), fm(last, 0)]);
     }
     r.table(
         "transformation vocabulary (δ = 0.05, test every context)",
@@ -99,41 +95,35 @@ pub fn run(seed: u64) -> Report {
         rows,
     );
     let vocab_close = (costs[0] - costs[1]).abs() < 0.35;
-    r.note("adjacent swaps connect the same DFS space, so final costs are close; \
-            all-pairs can jump further per climb");
+    r.note(
+        "adjacent swaps connect the same DFS space, so final costs are close; \
+            all-pairs can jump further per climb",
+    );
 
     // Test-frequency ablation.
     let mut rows = Vec::new();
     let mut freq_costs = Vec::new();
     for every in [1u64, 10, 100] {
-        let outs: Vec<Outcome> = (0..instances)
-            .map(|t| run_pib(seed + t, "all-pairs", every, 0.05, horizon))
-            .collect();
+        let outs = run_batch("all-pairs", every, 0.05);
         let (cost, climbs, tests, last) = aggregate(&outs);
         freq_costs.push(cost);
-        rows.push(vec![
-            every.to_string(),
-            fm(cost, 3),
-            fm(climbs, 2),
-            fm(tests, 0),
-            fm(last, 0),
-        ]);
+        rows.push(vec![every.to_string(), fm(cost, 3), fm(climbs, 2), fm(tests, 0), fm(last, 0)]);
     }
     r.table(
         "Equation-6 test frequency (all-pairs, δ = 0.05)",
         &["test every", "mean final C[Θ]", "mean climbs", "mean tests", "mean last-climb sample"],
         rows,
     );
-    r.note("testing rarely charges fewer δᵢ budgets (larger per-test budget) but reacts later; \
-            final costs are statistically indistinguishable here");
+    r.note(
+        "testing rarely charges fewer δᵢ budgets (larger per-test budget) but reacts later; \
+            final costs are statistically indistinguishable here",
+    );
 
     // δ ablation.
     let mut rows = Vec::new();
     let mut delta_lastclimb = Vec::new();
     for delta in [0.2, 0.05, 0.005] {
-        let outs: Vec<Outcome> = (0..instances)
-            .map(|t| run_pib(seed + t, "all-pairs", 1, delta, horizon))
-            .collect();
+        let outs = run_batch("all-pairs", 1, delta);
         let (cost, climbs, _, last) = aggregate(&outs);
         delta_lastclimb.push(last);
         rows.push(vec![fm(delta, 3), fm(cost, 3), fm(climbs, 2), fm(last, 0)]);
@@ -143,8 +133,10 @@ pub fn run(seed: u64) -> Report {
         &["δ", "mean final C[Θ]", "mean climbs", "mean last-climb sample"],
         rows,
     );
-    r.note("smaller δ demands more evidence per climb, delaying convergence — \
-            the anytime cost of a stronger lifetime guarantee");
+    r.note(
+        "smaller δ demands more evidence per climb, delaying convergence — \
+            the anytime cost of a stronger lifetime guarantee",
+    );
 
     let delta_monotone = delta_lastclimb.windows(2).all(|w| w[1] >= w[0] * 0.8);
     let ok = vocab_close && (freq_costs[0] - freq_costs[2]).abs() < 0.35 && delta_monotone;

@@ -59,12 +59,7 @@ pub fn run(seed: u64) -> Report {
     let marginals: Vec<f64> = [d0, d1, d2]
         .iter()
         .map(|&a| {
-            truth
-                .items()
-                .iter()
-                .filter(|(ctx, _)| !ctx.is_blocked(a))
-                .map(|(_, w)| w)
-                .sum::<f64>()
+            truth.items().iter().filter(|(ctx, _)| !ctx.is_blocked(a)).map(|(_, w)| w).sum::<f64>()
         })
         .collect();
     r.table(
@@ -73,12 +68,7 @@ pub fn run(seed: u64) -> Report {
         vec![
             vec!["D_0".into(), fm(marginals[0], 3), "—".into(), "—".into()],
             vec!["D_1".into(), fm(marginals[1], 3), "".into(), "".into()],
-            vec![
-                "D_2".into(),
-                fm(marginals[2], 3),
-                fm(1.0 - (1.0 - q) * (1.0 - q), 3),
-                fm(q, 3),
-            ],
+            vec!["D_2".into(), fm(marginals[2], 3), fm(1.0 - (1.0 - q) * (1.0 - q), 3), fm(q, 3)],
         ],
     );
 

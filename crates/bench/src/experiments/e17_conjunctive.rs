@@ -104,10 +104,7 @@ pub fn run(seed: u64) -> Report {
         &["strategy", "E[cost]"],
         vec![
             vec!["conjunction first (left-to-right)".into(), fm(c_init, 3)],
-            vec![
-                format!("learned ({} climb(s))", pib.climbs().len()),
-                fm(c_learned, 3),
-            ],
+            vec![format!("learned ({} climb(s))", pib.climbs().len()), fm(c_learned, 3)],
             vec!["brute-force optimum".into(), fm(best, 3)],
         ],
     );

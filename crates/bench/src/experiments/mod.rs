@@ -24,7 +24,8 @@ use crate::report::Report;
 
 /// Experiment ids accepted by the harness.
 pub const ALL: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16", "e17",
 ];
 
 /// Runs one experiment by id with the given base seed.

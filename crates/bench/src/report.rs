@@ -36,11 +36,7 @@ impl Report {
         headers: &[&str],
         rows: Vec<Vec<String>>,
     ) -> &mut Self {
-        self.tables.push((
-            caption.into(),
-            headers.iter().map(|s| s.to_string()).collect(),
-            rows,
-        ));
+        self.tables.push((caption.into(), headers.iter().map(|s| s.to_string()).collect(), rows));
         self
     }
 

@@ -15,10 +15,27 @@
 //! on random contexts, and that Δ̃ is *exact* whenever the trace explored
 //! everything `Θ'` needs.
 
-use qpl_graph::context::{cost, Context, Trace};
-use qpl_graph::graph::InferenceGraph;
-use qpl_graph::pessimistic::pessimistic_completion;
+use qpl_graph::context::{cost, cost_into, ArcOutcome, Context, RunScratch, Trace};
+use qpl_graph::graph::{ArcId, InferenceGraph};
+use qpl_graph::pessimistic::{pessimistic_completion, pessimistic_completion_into};
 use qpl_graph::strategy::Strategy;
+
+/// Reusable buffers for the Δ/Δ̃ hot path: one pessimistic-completion
+/// context plus one execution scratch. PIB evaluates every candidate
+/// against every observed context; with this scratch held across the
+/// loop those probes allocate nothing.
+#[derive(Debug, Clone)]
+pub struct DeltaScratch {
+    completed: Context,
+    run: RunScratch,
+}
+
+impl DeltaScratch {
+    /// Buffers sized for `g`.
+    pub fn new(g: &InferenceGraph) -> Self {
+        Self { completed: Context::all_open(g), run: RunScratch::new(g) }
+    }
+}
 
 /// The exact paired difference `Δ[Θ, Θ', I] = c(Θ, I) − c(Θ', I)`.
 /// Requires full knowledge of the context (used by oracles and tests;
@@ -27,11 +44,37 @@ pub fn delta_exact(g: &InferenceGraph, theta: &Strategy, theta2: &Strategy, ctx:
     cost(g, theta, ctx) - cost(g, theta2, ctx)
 }
 
+/// [`delta_exact`] through reusable buffers — identical value, no
+/// allocation per probe.
+pub fn delta_exact_with(
+    g: &InferenceGraph,
+    theta: &Strategy,
+    theta2: &Strategy,
+    ctx: &Context,
+    scratch: &mut DeltaScratch,
+) -> f64 {
+    cost_into(g, theta, ctx, &mut scratch.run) - cost_into(g, theta2, ctx, &mut scratch.run)
+}
+
 /// The observable under-estimate `Δ̃[Θ, Θ', I]`, computed from `Θ`'s
 /// trace alone.
 pub fn delta_tilde(g: &InferenceGraph, trace: &Trace, theta2: &Strategy) -> f64 {
     let completed = pessimistic_completion(g, trace);
     trace.cost - cost(g, theta2, &completed)
+}
+
+/// [`delta_tilde`] from raw run results (cost + events, e.g. read off a
+/// [`RunScratch`]) through reusable buffers — identical value, no
+/// allocation per probe.
+pub fn delta_tilde_with(
+    g: &InferenceGraph,
+    observed_cost: f64,
+    events: &[(ArcId, ArcOutcome)],
+    theta2: &Strategy,
+    scratch: &mut DeltaScratch,
+) -> f64 {
+    pessimistic_completion_into(g, events, &mut scratch.completed);
+    observed_cost - cost_into(g, theta2, &scratch.completed, &mut scratch.run)
 }
 
 #[cfg(test)]
@@ -75,12 +118,9 @@ mod tests {
     fn section31_case_analysis() {
         let g = g_a();
         let theta1 = Strategy::left_to_right(&g);
-        let swap = SiblingSwap::new(
-            &g,
-            g.arc_by_label("R_p").unwrap(),
-            g.arc_by_label("R_g").unwrap(),
-        )
-        .unwrap();
+        let swap =
+            SiblingSwap::new(&g, g.arc_by_label("R_p").unwrap(), g.arc_by_label("R_g").unwrap())
+                .unwrap();
         let theta2 = swap.apply(&g, &theta1).unwrap();
         let dp = g.arc_by_label("D_p").unwrap();
         let dg = g.arc_by_label("D_g").unwrap();
@@ -97,10 +137,7 @@ mod tests {
         let trace = execute(&g, &theta1, &Context::with_blocked(&g, &[dg]));
         assert_eq!(delta_tilde(&g, &trace, &theta2), -2.0, "Δ̃ = −f*(R_g)");
         // The true Δ in this context is also −2 (D_g really is blocked)…
-        assert_eq!(
-            delta_exact(&g, &theta1, &theta2, &Context::with_blocked(&g, &[dg])),
-            -2.0
-        );
+        assert_eq!(delta_exact(&g, &theta1, &theta2, &Context::with_blocked(&g, &[dg])), -2.0);
         // …but if D_g were actually open, Δ = 0 > Δ̃ = −2: strictly
         // conservative.
         let trace = execute(&g, &theta1, &Context::all_open(&g));
@@ -114,12 +151,9 @@ mod tests {
     fn section32_ic_analysis() {
         let g = g_b();
         let theta = Strategy::left_to_right(&g);
-        let swap = SiblingSwap::new(
-            &g,
-            g.arc_by_label("R_tc").unwrap(),
-            g.arc_by_label("R_td").unwrap(),
-        )
-        .unwrap();
+        let swap =
+            SiblingSwap::new(&g, g.arc_by_label("R_tc").unwrap(), g.arc_by_label("R_td").unwrap())
+                .unwrap();
         let theta_abdc = swap.apply(&g, &theta).unwrap();
         let i_c = Context::with_blocked(
             &g,
@@ -147,18 +181,13 @@ mod tests {
         // completion is the truth, so Δ̃ = Δ.
         let g = g_b();
         let theta = Strategy::left_to_right(&g);
-        let all_blocked: Vec<_> = ["D_a", "D_b", "D_c", "D_d"]
-            .iter()
-            .map(|l| g.arc_by_label(l).unwrap())
-            .collect();
+        let all_blocked: Vec<_> =
+            ["D_a", "D_b", "D_c", "D_d"].iter().map(|l| g.arc_by_label(l).unwrap()).collect();
         let ctx = Context::with_blocked(&g, &all_blocked);
         let trace = execute(&g, &theta, &ctx);
         let set = TransformationSet::all_sibling_swaps(&g);
         for (_, theta2) in set.neighbors(&g, &theta) {
-            assert_eq!(
-                delta_tilde(&g, &trace, &theta2),
-                delta_exact(&g, &theta, &theta2, &ctx)
-            );
+            assert_eq!(delta_tilde(&g, &trace, &theta2), delta_exact(&g, &theta, &theta2, &ctx));
         }
     }
 
@@ -188,6 +217,27 @@ mod tests {
 
         /// The same soundness property for a random *non-DFS* base
         /// strategy: Δ̃ is trace-based, so it works for any path-form Θ.
+        #[test]
+        fn scratch_variants_bitwise_match_allocating(blocked_mask in 0u32..1024) {
+            // delta_tilde_with / delta_exact_with over ONE reused scratch
+            // must reproduce the allocating functions bit-for-bit across
+            // every neighbour and context.
+            let g = g_b();
+            let theta = Strategy::left_to_right(&g);
+            let ctx = Context::from_fn(&g, |a| blocked_mask & (1 << a.index()) != 0);
+            let trace = execute(&g, &theta, &ctx);
+            let set = TransformationSet::all_sibling_swaps(&g);
+            let mut scratch = DeltaScratch::new(&g);
+            for (_, theta2) in set.neighbors(&g, &theta) {
+                let tilde = delta_tilde(&g, &trace, &theta2);
+                let tilde_s = delta_tilde_with(&g, trace.cost, &trace.events, &theta2, &mut scratch);
+                proptest::prop_assert_eq!(tilde.to_bits(), tilde_s.to_bits());
+                let exact = delta_exact(&g, &theta, &theta2, &ctx);
+                let exact_s = delta_exact_with(&g, &theta, &theta2, &ctx, &mut scratch);
+                proptest::prop_assert_eq!(exact.to_bits(), exact_s.to_bits());
+            }
+        }
+
         #[test]
         fn tilde_sound_for_interleaved_base(blocked_mask in 0u32..1024) {
             let g = g_b();

@@ -32,6 +32,7 @@ pub mod smith;
 pub mod transform;
 pub mod upsilon;
 
+pub use delta::DeltaScratch;
 pub use palo::{Palo, PaloConfig};
 pub use pao::{Pao, PaoConfig, PaoMode};
 pub use pib::{ClimbRecord, Pib, PibConfig};

@@ -16,7 +16,7 @@
 //! is more intrusive than PIB's trace-only Δ̃ statistics — the price of
 //! a termination guarantee.
 
-use crate::delta::delta_exact;
+use crate::delta::{delta_exact_with, DeltaScratch};
 use crate::transform::{SiblingSwap, TransformationSet};
 use qpl_graph::context::Context;
 use qpl_graph::graph::InferenceGraph;
@@ -81,6 +81,9 @@ pub struct Palo {
     schedule: SequentialSchedule,
     climbs: Vec<SiblingSwap>,
     stopped: bool,
+    /// Reusable Δ buffers: PALO replays two strategies per candidate per
+    /// context, so the scratch keeps that loop allocation-free.
+    scratch: DeltaScratch,
 }
 
 impl Palo {
@@ -96,6 +99,7 @@ impl Palo {
             schedule,
             climbs: Vec::new(),
             stopped: false,
+            scratch: DeltaScratch::new(g),
         };
         palo.rebuild(g);
         palo
@@ -141,7 +145,7 @@ impl Palo {
             return false;
         }
         for cand in &mut self.candidates {
-            cand.sum += delta_exact(g, &self.current, &cand.strategy, ctx);
+            cand.sum += delta_exact_with(g, &self.current, &cand.strategy, ctx, &mut self.scratch);
             cand.count += 1;
         }
         // Charge one test per candidate (each gets a two-sided look).
@@ -161,7 +165,9 @@ impl Palo {
             })
             .map(|(i, _)| i);
         if let Some(idx) = climber {
-            let cand = self.candidates[idx].clone();
+            // rebuild replaces the whole candidate vector, so the winner
+            // can be moved out instead of cloning its strategy.
+            let cand = self.candidates.swap_remove(idx);
             self.climbs.push(cand.swap);
             self.current = cand.strategy;
             self.rebuild(g);
@@ -254,11 +260,9 @@ mod tests {
     fn certificate_is_sound_on_g_b() {
         // Whatever PALO certifies must actually be ε-locally optimal.
         let g = g_b();
-        let model =
-            IndependentModel::from_retrieval_probs(&g, &[0.1, 0.3, 0.6, 0.2]).unwrap();
+        let model = IndependentModel::from_retrieval_probs(&g, &[0.1, 0.3, 0.6, 0.2]).unwrap();
         let eps = 0.75;
-        let mut palo =
-            Palo::new(&g, Strategy::left_to_right(&g), PaloConfig::new(eps, 0.05));
+        let mut palo = Palo::new(&g, Strategy::left_to_right(&g), PaloConfig::new(eps, 0.05));
         let mut rng = StdRng::seed_from_u64(33);
         let mut steps = 0u32;
         while palo.observe(&g, &model.sample(&mut rng)) {
@@ -278,8 +282,7 @@ mod tests {
         let model = IndependentModel::from_retrieval_probs(&g, &[0.5, 0.5]).unwrap();
         let mut samples = Vec::new();
         for eps in [1.0, 0.25] {
-            let mut palo =
-                Palo::new(&g, Strategy::left_to_right(&g), PaloConfig::new(eps, 0.05));
+            let mut palo = Palo::new(&g, Strategy::left_to_right(&g), PaloConfig::new(eps, 0.05));
             let mut rng = StdRng::seed_from_u64(34);
             let mut n = 0u64;
             while palo.observe(&g, &model.sample(&mut rng)) {

@@ -106,7 +106,11 @@ impl Pao {
         Self::build(g, config, experiments)
     }
 
-    fn build(g: &InferenceGraph, config: PaoConfig, targets: Vec<ArcId>) -> Result<Self, GraphError> {
+    fn build(
+        g: &InferenceGraph,
+        config: PaoConfig,
+        targets: Vec<ArcId>,
+    ) -> Result<Self, GraphError> {
         if !g.is_tree() {
             return Err(GraphError::NotTree("PAO requires a tree-shaped graph".into()));
         }
@@ -174,9 +178,7 @@ impl Pao {
         for stat in self.qp.stats() {
             // Reductions estimated at exactly 1 stay deterministic so the
             // fast Υ applies; anything else records its estimate.
-            model
-                .set_prob(stat.arc, stat.p_hat())
-                .expect("frequency estimates are in [0,1]");
+            model.set_prob(stat.arc, stat.p_hat()).expect("frequency estimates are in [0,1]");
         }
         model
     }
@@ -253,8 +255,7 @@ mod tests {
         // With the exact Theorem-2 counts the guarantee is near-certain;
         // with a generous ε the capped version still achieves it here.
         let g = g_b();
-        let truth =
-            IndependentModel::from_retrieval_probs(&g, &[0.35, 0.15, 0.55, 0.75]).unwrap();
+        let truth = IndependentModel::from_retrieval_probs(&g, &[0.35, 0.15, 0.55, 0.75]).unwrap();
         let (_, c_opt) = crate::upsilon::optimal_strategy(&g, &truth, 1_000_000).unwrap();
         let mut rng = StdRng::seed_from_u64(42);
         for trial in 0..10 {

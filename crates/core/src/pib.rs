@@ -17,9 +17,9 @@
 //! where `i` counts every test performed so far (incremented by
 //! `|T(Θⱼ)|` per observed context) and `S` resets after each climb.
 
-use crate::delta::delta_tilde;
+use crate::delta::{delta_tilde_with, DeltaScratch};
 use crate::transform::{SiblingSwap, TransformationSet};
-use qpl_graph::context::{Context, Trace};
+use qpl_graph::context::{execute_into, Context, RunScratch, Trace};
 use qpl_graph::graph::InferenceGraph;
 use qpl_graph::strategy::Strategy;
 use qpl_stats::{PairedDifference, SequentialSchedule};
@@ -80,6 +80,11 @@ pub struct Pib {
     samples_here: u64,
     contexts_seen: u64,
     history: Vec<ClimbRecord>,
+    /// Reusable execution + Δ̃ buffers: the per-context path (run the
+    /// current strategy, probe every candidate against the pessimistic
+    /// completion) allocates nothing after warm-up.
+    run_scratch: RunScratch,
+    delta_scratch: DeltaScratch,
 }
 
 impl Pib {
@@ -108,6 +113,8 @@ impl Pib {
             samples_here: 0,
             contexts_seen: 0,
             history: Vec::new(),
+            run_scratch: RunScratch::new(g),
+            delta_scratch: DeltaScratch::new(g),
         };
         pib.rebuild_candidates(g);
         pib
@@ -157,9 +164,30 @@ impl Pib {
     /// candidate's statistics, and climbs if Equation 6 fires. Returns
     /// the trace of the executed query.
     pub fn observe(&mut self, g: &InferenceGraph, ctx: &Context) -> Trace {
-        let trace = qpl_graph::context::execute(g, &self.current, ctx);
-        self.absorb(g, &trace);
-        trace
+        self.observe_quiet(g, ctx);
+        self.run_scratch.to_trace()
+    }
+
+    /// [`observe`](Self::observe) without materializing the trace — the
+    /// fully allocation-free per-context path. The run's results remain
+    /// readable until the next observation.
+    pub fn observe_quiet(&mut self, g: &InferenceGraph, ctx: &Context) {
+        execute_into(g, &self.current, ctx, &mut self.run_scratch);
+        self.contexts_seen += 1;
+        self.samples_here += 1;
+        let cost = self.run_scratch.cost();
+        for cand in &mut self.candidates {
+            cand.acc.record(delta_tilde_with(
+                g,
+                cost,
+                self.run_scratch.events(),
+                &cand.strategy,
+                &mut self.delta_scratch,
+            ));
+        }
+        if self.contexts_seen.is_multiple_of(self.config.test_every) {
+            self.test_and_climb(g);
+        }
     }
 
     /// Ingests an externally produced trace of the current strategy
@@ -169,7 +197,13 @@ impl Pib {
         self.contexts_seen += 1;
         self.samples_here += 1;
         for cand in &mut self.candidates {
-            cand.acc.record(delta_tilde(g, trace, &cand.strategy));
+            cand.acc.record(delta_tilde_with(
+                g,
+                trace.cost,
+                &trace.events,
+                &cand.strategy,
+                &mut self.delta_scratch,
+            ));
         }
         if self.contexts_seen.is_multiple_of(self.config.test_every) {
             self.test_and_climb(g);
@@ -195,7 +229,9 @@ impl Pib {
             })
             .map(|(i, _)| i);
         if let Some(idx) = winner {
-            let cand = self.candidates[idx].clone();
+            // rebuild_candidates replaces the whole vector, so the winner
+            // can be moved out instead of cloning its strategy.
+            let cand = self.candidates.swap_remove(idx);
             self.history.push(ClimbRecord {
                 swap: cand.swap,
                 samples: self.samples_here,
@@ -264,8 +300,7 @@ mod tests {
         // true expected cost (this is Theorem 1 in action — with δ=0.05
         // a mistake is possible but this seed must be mistake-free).
         let g = g_b();
-        let model =
-            IndependentModel::from_retrieval_probs(&g, &[0.02, 0.05, 0.1, 0.9]).unwrap();
+        let model = IndependentModel::from_retrieval_probs(&g, &[0.02, 0.05, 0.1, 0.9]).unwrap();
         let mut pib = Pib::new(&g, Strategy::left_to_right(&g), PibConfig::new(0.05));
         let mut rng = StdRng::seed_from_u64(5);
         let mut costs = vec![model.expected_cost(&g, pib.strategy())];
@@ -326,11 +361,8 @@ mod tests {
     fn batched_testing_also_works() {
         let g = g_a();
         let model = IndependentModel::from_retrieval_probs(&g, &[0.05, 0.9]).unwrap();
-        let mut pib = Pib::new(
-            &g,
-            Strategy::left_to_right(&g),
-            PibConfig::new(0.05).with_test_every(25),
-        );
+        let mut pib =
+            Pib::new(&g, Strategy::left_to_right(&g), PibConfig::new(0.05).with_test_every(25));
         let mut rng = StdRng::seed_from_u64(9);
         for _ in 0..4000 {
             pib.observe(&g, &model.sample(&mut rng));
@@ -382,8 +414,7 @@ mod tests {
         // Strongly skewed probabilities: the optimal DFS strategy needs
         // several swaps from left-to-right. PIB should get close.
         let g = g_b();
-        let model =
-            IndependentModel::from_retrieval_probs(&g, &[0.01, 0.02, 0.03, 0.95]).unwrap();
+        let model = IndependentModel::from_retrieval_probs(&g, &[0.01, 0.02, 0.03, 0.95]).unwrap();
         let mut pib = Pib::new(&g, Strategy::left_to_right(&g), PibConfig::new(0.05));
         let mut rng = StdRng::seed_from_u64(11);
         for _ in 0..60_000 {
@@ -401,10 +432,6 @@ mod tests {
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
             .unwrap();
         let c_pib = model.expected_cost(&g, pib.strategy());
-        assert!(
-            c_pib <= best.1 + 0.5,
-            "PIB ended at {c_pib}, best DFS is {}",
-            best.1
-        );
+        assert!(c_pib <= best.1 + 0.5, "PIB ended at {c_pib}, best DFS is {}", best.1);
     }
 }

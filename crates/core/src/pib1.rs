@@ -16,9 +16,9 @@
 //! form `k_g·f*(R_p) − k_p·f*(R_g) ≥ (f*(R_p)+f*(R_g))·sqrt((m/2)ln(1/δ))`
 //! — the tests verify the two formulations coincide.
 
-use crate::delta::delta_tilde;
+use crate::delta::{delta_tilde_with, DeltaScratch};
 use crate::transform::SiblingSwap;
-use qpl_graph::context::{Context, Trace};
+use qpl_graph::context::{cost_into, Context, RunScratch, Trace};
 use qpl_graph::graph::InferenceGraph;
 use qpl_graph::strategy::Strategy;
 use qpl_graph::GraphError;
@@ -40,6 +40,7 @@ pub struct Pib1 {
     theta_prime: Strategy,
     delta: f64,
     acc: PairedDifference,
+    scratch: DeltaScratch,
 }
 
 impl Pib1 {
@@ -60,7 +61,13 @@ impl Pib1 {
         }
         let theta_prime = swap.apply(g, &theta)?;
         let lambda = swap.lambda(g);
-        Ok(Self { theta, theta_prime, delta, acc: PairedDifference::new(lambda) })
+        Ok(Self {
+            theta,
+            theta_prime,
+            delta,
+            acc: PairedDifference::new(lambda),
+            scratch: DeltaScratch::new(g),
+        })
     }
 
     /// The monitored strategy `Θ`.
@@ -94,7 +101,13 @@ impl Pib1 {
 
     /// Updates statistics from an externally produced trace of `Θ`.
     pub fn absorb(&mut self, g: &InferenceGraph, trace: &Trace) {
-        self.acc.record(delta_tilde(g, trace, &self.theta_prime));
+        self.acc.record(delta_tilde_with(
+            g,
+            trace.cost,
+            &trace.events,
+            &self.theta_prime,
+            &mut self.scratch,
+        ));
     }
 
     /// Equation 2's verdict on the evidence so far.
@@ -136,6 +149,7 @@ pub struct Pib1Posteriori {
     theta_prime: Strategy,
     delta: f64,
     acc: PairedDifference,
+    scratch: RunScratch,
 }
 
 impl Pib1Posteriori {
@@ -154,14 +168,20 @@ impl Pib1Posteriori {
         }
         let theta_prime = swap.apply(g, &theta)?;
         let lambda = swap.lambda(g);
-        Ok(Self { theta, theta_prime, delta, acc: PairedDifference::new(lambda) })
+        Ok(Self {
+            theta,
+            theta_prime,
+            delta,
+            acc: PairedDifference::new(lambda),
+            scratch: RunScratch::new(g),
+        })
     }
 
     /// Runs *both* strategies on the context and records the exact
     /// paired difference. Returns `(c(Θ, I), c(Θ', I))`.
     pub fn observe(&mut self, g: &InferenceGraph, ctx: &Context) -> (f64, f64) {
-        let a = qpl_graph::context::cost(g, &self.theta, ctx);
-        let b = qpl_graph::context::cost(g, &self.theta_prime, ctx);
+        let a = cost_into(g, &self.theta, ctx, &mut self.scratch);
+        let b = cost_into(g, &self.theta_prime, ctx, &mut self.scratch);
         self.acc.record(a - b);
         (a, b)
     }
@@ -220,8 +240,7 @@ mod tests {
     }
 
     fn root_swap(g: &InferenceGraph) -> SiblingSwap {
-        SiblingSwap::new(g, g.arc_by_label("R_p").unwrap(), g.arc_by_label("R_g").unwrap())
-            .unwrap()
+        SiblingSwap::new(g, g.arc_by_label("R_p").unwrap(), g.arc_by_label("R_g").unwrap()).unwrap()
     }
 
     #[test]
@@ -230,8 +249,7 @@ mod tests {
         // better; PIB₁ must discover this.
         let g = g_a();
         let model = IndependentModel::from_retrieval_probs(&g, &[0.05, 0.8]).unwrap();
-        let mut pib1 =
-            Pib1::new(&g, Strategy::left_to_right(&g), root_swap(&g), 0.05).unwrap();
+        let mut pib1 = Pib1::new(&g, Strategy::left_to_right(&g), root_swap(&g), 0.05).unwrap();
         let mut rng = StdRng::seed_from_u64(21);
         let mut switched_at = None;
         for i in 0..5000 {
@@ -251,8 +269,7 @@ mod tests {
         // PIB₁ must never approve the swap.
         let g = g_a();
         let model = IndependentModel::from_retrieval_probs(&g, &[0.8, 0.05]).unwrap();
-        let mut pib1 =
-            Pib1::new(&g, Strategy::left_to_right(&g), root_swap(&g), 0.05).unwrap();
+        let mut pib1 = Pib1::new(&g, Strategy::left_to_right(&g), root_swap(&g), 0.05).unwrap();
         let mut rng = StdRng::seed_from_u64(22);
         for _ in 0..5000 {
             pib1.observe(&g, &model.sample(&mut rng));
@@ -269,8 +286,7 @@ mod tests {
         //   no solution                    → Δ̃ = 0.
         let g = g_a();
         let model = IndependentModel::from_retrieval_probs(&g, &[0.3, 0.5]).unwrap();
-        let mut pib1 =
-            Pib1::new(&g, Strategy::left_to_right(&g), root_swap(&g), 0.1).unwrap();
+        let mut pib1 = Pib1::new(&g, Strategy::left_to_right(&g), root_swap(&g), 0.1).unwrap();
         let dp = g.arc_by_label("D_p").unwrap();
         let dg = g.arc_by_label("D_g").unwrap();
         let (mut m, mut k_p, mut k_g) = (0u64, 0u64, 0u64);
@@ -326,12 +342,11 @@ mod tests {
         let dp = g.arc_by_label("D_p").unwrap();
         let dg = g.arc_by_label("D_g").unwrap();
         let minors = FiniteDistribution::new(vec![
-            (Context::with_blocked(&g, &[dp]), 0.7),       // grad holds
-            (Context::with_blocked(&g, &[dp, dg]), 0.3),   // neither holds
+            (Context::with_blocked(&g, &[dp]), 0.7),     // grad holds
+            (Context::with_blocked(&g, &[dp, dg]), 0.3), // neither holds
         ])
         .unwrap();
-        let mut pib1 =
-            Pib1::new(&g, Strategy::left_to_right(&g), root_swap(&g), 0.02).unwrap();
+        let mut pib1 = Pib1::new(&g, Strategy::left_to_right(&g), root_swap(&g), 0.02).unwrap();
         let mut rng = StdRng::seed_from_u64(9);
         let mut approved = false;
         for _ in 0..3000 {
@@ -446,8 +461,7 @@ mod tests {
     fn threshold_grows_like_sqrt_m() {
         let g = g_a();
         let model = IndependentModel::from_retrieval_probs(&g, &[0.5, 0.5]).unwrap();
-        let mut pib1 =
-            Pib1::new(&g, Strategy::left_to_right(&g), root_swap(&g), 0.05).unwrap();
+        let mut pib1 = Pib1::new(&g, Strategy::left_to_right(&g), root_swap(&g), 0.05).unwrap();
         let mut rng = StdRng::seed_from_u64(77);
         for _ in 0..100 {
             pib1.observe(&g, &model.sample(&mut rng));

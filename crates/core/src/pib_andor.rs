@@ -153,11 +153,7 @@ mod tests {
         let v: Vec<f64> = g
             .arc_ids()
             .map(|a| {
-                probs
-                    .iter()
-                    .find(|(l, _)| *l == g.arc(a).label)
-                    .map(|(_, p)| *p)
-                    .unwrap_or(1.0)
+                probs.iter().find(|(l, _)| *l == g.arc(a).label).map(|(_, p)| *p).unwrap_or(1.0)
             })
             .collect();
         AndOrModel::new(g, v).unwrap()

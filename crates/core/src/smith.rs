@@ -73,11 +73,8 @@ mod tests {
     /// Figure-1 rules with the DB₂ statistics: 2000 prof, 500 grad facts.
     fn setup_db2() -> (SymbolTable, CompiledGraph, Database) {
         let mut t = SymbolTable::new();
-        let p = parse_program(
-            "instructor(X) :- prof(X). instructor(X) :- grad(X).",
-            &mut t,
-        )
-        .unwrap();
+        let p =
+            parse_program("instructor(X) :- prof(X). instructor(X) :- grad(X).", &mut t).unwrap();
         let qf = parse_query_form("instructor(b)", &mut t).unwrap();
         let cg = compile(&p.rules, &qf, &t, &CompileOptions::default()).unwrap();
         let mut db = Database::new();

@@ -203,10 +203,7 @@ impl TransformationSet {
     /// Transformations inapplicable to this particular strategy (e.g.
     /// non-contiguous subtrees) are skipped — they are not neighbours.
     pub fn neighbors(&self, g: &InferenceGraph, s: &Strategy) -> Vec<(SiblingSwap, Strategy)> {
-        self.swaps
-            .iter()
-            .filter_map(|&swap| swap.apply(g, s).ok().map(|t| (swap, t)))
-            .collect()
+        self.swaps.iter().filter_map(|&swap| swap.apply(g, s).ok().map(|t| (swap, t))).collect()
     }
 }
 
@@ -241,12 +238,9 @@ mod tests {
         //  τ_{d,c}(Θ_ABCD) = Θ_ABDC."
         let g = g_b();
         let theta = Strategy::left_to_right(&g);
-        let swap = SiblingSwap::new(
-            &g,
-            g.arc_by_label("R_td").unwrap(),
-            g.arc_by_label("R_tc").unwrap(),
-        )
-        .unwrap();
+        let swap =
+            SiblingSwap::new(&g, g.arc_by_label("R_td").unwrap(), g.arc_by_label("R_tc").unwrap())
+                .unwrap();
         let out = swap.apply(&g, &theta).unwrap();
         assert_eq!(
             labels(&g, &out),
@@ -260,12 +254,9 @@ mod tests {
         // "move everything below R_st to be before R_sb, leading to Θ_ACDB"
         let g = g_b();
         let theta = Strategy::left_to_right(&g);
-        let swap = SiblingSwap::new(
-            &g,
-            g.arc_by_label("R_sb").unwrap(),
-            g.arc_by_label("R_st").unwrap(),
-        )
-        .unwrap();
+        let swap =
+            SiblingSwap::new(&g, g.arc_by_label("R_sb").unwrap(), g.arc_by_label("R_st").unwrap())
+                .unwrap();
         let out = swap.apply(&g, &theta).unwrap();
         assert_eq!(
             labels(&g, &out),
@@ -279,9 +270,13 @@ mod tests {
         // Λ[Θ_ABCD, Θ_ABDC] = f*(R_tc) + f*(R_td) = 2 + 2;
         // Λ[Θ_ABCD, Θ_ACDB] = f*(R_sb) + f*(R_st) = 2 + 5.
         let g = g_b();
-        let s1 = SiblingSwap::new(&g, g.arc_by_label("R_tc").unwrap(), g.arc_by_label("R_td").unwrap()).unwrap();
+        let s1 =
+            SiblingSwap::new(&g, g.arc_by_label("R_tc").unwrap(), g.arc_by_label("R_td").unwrap())
+                .unwrap();
         assert_eq!(s1.lambda(&g), 4.0);
-        let s2 = SiblingSwap::new(&g, g.arc_by_label("R_sb").unwrap(), g.arc_by_label("R_st").unwrap()).unwrap();
+        let s2 =
+            SiblingSwap::new(&g, g.arc_by_label("R_sb").unwrap(), g.arc_by_label("R_st").unwrap())
+                .unwrap();
         assert_eq!(s2.lambda(&g), 7.0);
     }
 
@@ -299,9 +294,11 @@ mod tests {
     #[test]
     fn non_siblings_rejected() {
         let g = g_b();
-        let err = SiblingSwap::new(&g, g.arc_by_label("R_ga").unwrap(), g.arc_by_label("R_sb").unwrap());
+        let err =
+            SiblingSwap::new(&g, g.arc_by_label("R_ga").unwrap(), g.arc_by_label("R_sb").unwrap());
         assert!(matches!(err, Err(GraphError::InapplicableTransform(_))));
-        let err = SiblingSwap::new(&g, g.arc_by_label("R_ga").unwrap(), g.arc_by_label("R_ga").unwrap());
+        let err =
+            SiblingSwap::new(&g, g.arc_by_label("R_ga").unwrap(), g.arc_by_label("R_ga").unwrap());
         assert!(matches!(err, Err(GraphError::InapplicableTransform(_))));
     }
 
@@ -355,9 +352,16 @@ mod tests {
         let s = Strategy::from_arcs(
             &g,
             vec![
-                by("R_gs"), by("R_sb"), by("D_b"),
-                by("R_ga"), by("D_a"),
-                by("R_st"), by("R_tc"), by("D_c"), by("R_td"), by("D_d"),
+                by("R_gs"),
+                by("R_sb"),
+                by("D_b"),
+                by("R_ga"),
+                by("D_a"),
+                by("R_st"),
+                by("R_tc"),
+                by("D_c"),
+                by("R_td"),
+                by("D_d"),
             ],
         )
         .unwrap();
@@ -391,21 +395,14 @@ mod tests {
         // Interleave the expensive root-level block between S's children.
         let theta = Strategy::from_arcs(
             &g,
-            vec![
-                by("R_s"), by("R_p"), by("D_p"),
-                by("R_big"), by("D_big"),
-                by("R_q"), by("D_q"),
-            ],
+            vec![by("R_s"), by("R_p"), by("D_p"), by("R_big"), by("D_big"), by("R_q"), by("D_q")],
         )
         .unwrap();
         let swap = SiblingSwap::new(&g, by("R_p"), by("R_q")).unwrap();
         // Λ = f*(R_p) + f*(R_q) = 4, but a success in R_p's block would
         // shift the 20-cost R_big block: |Δ| could reach 22 ≫ Λ. The
         // transform must therefore refuse.
-        assert!(matches!(
-            swap.apply(&g, &theta),
-            Err(GraphError::InapplicableTransform(_))
-        ));
+        assert!(matches!(swap.apply(&g, &theta), Err(GraphError::InapplicableTransform(_))));
     }
 
     #[test]

@@ -74,11 +74,8 @@ fn sequence_for(g: &InferenceGraph, a: ArcId, model: &IndependentModel) -> Vec<B
             vec![Block { arcs: vec![a], cost: g.arc(a).cost, prob: model.prob(a) }]
         }
         ArcKind::Reduction => {
-            let children: Vec<Vec<Block>> = g
-                .children(g.arc(a).to)
-                .iter()
-                .map(|&c| sequence_for(g, c, model))
-                .collect();
+            let children: Vec<Vec<Block>> =
+                g.children(g.arc(a).to).iter().map(|&c| sequence_for(g, c, model)).collect();
             let mut rest = merge_sequences(children);
             let mut head = Block { arcs: vec![a], cost: g.arc(a).cost, prob: 0.0 };
             // Absorb following blocks while they have a higher ratio than
@@ -239,10 +236,7 @@ mod tests {
             .into_iter()
             .map(|s| m.expected_cost(&g, &s))
             .fold(f64::INFINITY, f64::min);
-        assert!(
-            best < best_dfs - 1e-9,
-            "optimal {best} should beat best DFS {best_dfs}"
-        );
+        assert!(best < best_dfs - 1e-9, "optimal {best} should beat best DFS {best_dfs}");
         assert!(!s.is_depth_first(&g));
     }
 
@@ -298,12 +292,8 @@ mod tests {
                 return;
             }
             for _ in 0..kids {
-                let (_, child) = b.reduction(
-                    node,
-                    &format!("R{}", *label),
-                    rng.gen_range(1..=4) as f64,
-                    "goal",
-                );
+                let (_, child) =
+                    b.reduction(node, &format!("R{}", *label), rng.gen_range(1..=4) as f64, "goal");
                 *label += 1;
                 grow(b, child, rng, depth + 1, max_depth, probs, label);
             }
@@ -342,11 +332,7 @@ mod tests {
             let Some((_, best)) = brute_force_optimal(&g, &m, 2_000_000) else {
                 continue; // too many strategies; skip this case
             };
-            assert!(
-                (c - best).abs() < 1e-9,
-                "case {case}: Υ={c} vs brute={best}\n{}",
-                g.outline()
-            );
+            assert!((c - best).abs() < 1e-9, "case {case}: Υ={c} vs brute={best}\n{}", g.outline());
         }
     }
 }

@@ -46,7 +46,10 @@ impl Relation {
 
     /// Row ids matching a pattern (Some = must equal, None = free),
     /// using the most selective available column index.
-    fn matching_rows<'a>(&'a self, pattern: &[Option<Symbol>]) -> Box<dyn Iterator<Item = &'a [Symbol]> + 'a> {
+    fn matching_rows<'a>(
+        &'a self,
+        pattern: &[Option<Symbol>],
+    ) -> Box<dyn Iterator<Item = &'a [Symbol]> + 'a> {
         debug_assert_eq!(pattern.len(), self.arity);
         // Pick the bound column with the fewest candidate rows.
         let mut best: Option<&[usize]> = None;
@@ -189,9 +192,9 @@ impl Database {
 
     /// Iterates over all facts (for display/serialization).
     pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
-        self.relations.iter().flat_map(|(&p, rel)| {
-            rel.rows.iter().map(move |row| Fact::new(p, row.to_vec()))
-        })
+        self.relations
+            .iter()
+            .flat_map(|(&p, rel)| rel.rows.iter().map(move |row| Fact::new(p, row.to_vec())))
     }
 
     /// Renders all facts, sorted, for test snapshots.

@@ -192,11 +192,7 @@ mod tests {
     #[test]
     fn holds_ground_and_open_queries() {
         let mut t = SymbolTable::new();
-        let p = parse_program(
-            "instructor(X) :- prof(X). prof(russ).",
-            &mut t,
-        )
-        .unwrap();
+        let p = parse_program("instructor(X) :- prof(X). prof(russ).", &mut t).unwrap();
         let instr = t.lookup("instructor").unwrap();
         let russ = t.lookup("russ").unwrap();
         let fred = t.intern("fred");

@@ -13,12 +13,12 @@
 //! (`instructor(manolis)`) and query forms (`instructor(b)`,
 //! `path(b,f)`).
 
+use crate::adornment::{Binding, QueryForm};
 use crate::database::Database;
 use crate::error::DatalogError;
 use crate::rule::{Rule, RuleBase};
 use crate::symbol::SymbolTable;
 use crate::term::{Atom, Term, Var};
-use crate::adornment::{Binding, QueryForm};
 use std::collections::HashMap;
 
 /// A parsed knowledge base: rules and ground facts.
@@ -56,9 +56,9 @@ pub fn parse_program(src: &str, table: &mut SymbolTable) -> Result<Program, Data
         let mut p = Parser::new(&text, line, table);
         let (head, body) = p.clause()?;
         if body.is_empty() {
-            let fact = head.to_fact().ok_or_else(|| {
-                DatalogError::NonGroundFact(head.display(table).to_string())
-            })?;
+            let fact = head
+                .to_fact()
+                .ok_or_else(|| DatalogError::NonGroundFact(head.display(table).to_string()))?;
             prog.facts.insert(fact)?;
         } else {
             prog.rules.add(Rule::new(head, body)?);
@@ -91,7 +91,9 @@ pub fn parse_query_form(src: &str, table: &mut SymbolTable) -> Result<QueryForm,
                 "b" => Binding::Bound,
                 "f" => Binding::Free,
                 other => {
-                    return Err(p.error(format!("expected `b` or `f` in adornment, found `{other}`")))
+                    return Err(
+                        p.error(format!("expected `b` or `f` in adornment, found `{other}`"))
+                    )
                 }
             };
             pattern.push(b);
@@ -240,7 +242,8 @@ impl<'a, 't> Parser<'a, 't> {
             }
         }
         if self.pos == start {
-            let found = self.chars.get(self.pos).map_or("end of input".to_string(), |c| format!("`{c}`"));
+            let found =
+                self.chars.get(self.pos).map_or("end of input".to_string(), |c| format!("`{c}`"));
             return Err(self.error(format!("expected identifier, found {found}")));
         }
         Ok(self.chars[start..self.pos].iter().collect())
@@ -438,11 +441,8 @@ mod tests {
     #[test]
     fn comments_stripped_everywhere() {
         let mut t = SymbolTable::new();
-        let p = parse_program(
-            "p(a). % trailing comment\n% full-line comment\nq(b).",
-            &mut t,
-        )
-        .unwrap();
+        let p =
+            parse_program("p(a). % trailing comment\n% full-line comment\nq(b).", &mut t).unwrap();
         assert_eq!(p.facts.len(), 2);
     }
 }

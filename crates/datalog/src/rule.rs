@@ -143,11 +143,7 @@ impl RuleBase {
 
     /// Rules whose head predicate is `p`, in insertion order.
     pub fn rules_for(&self, p: Symbol) -> impl Iterator<Item = (RuleId, &Rule)> {
-        self.by_head
-            .get(&p)
-            .into_iter()
-            .flatten()
-            .map(move |&id| (id, &self.rules[id.index()]))
+        self.by_head.get(&p).into_iter().flatten().map(move |&id| (id, &self.rules[id.index()]))
     }
 
     /// All rules.
@@ -263,8 +259,10 @@ mod tests {
         let (instr, prof, grad) = (s.intern("instructor"), s.intern("prof"), s.intern("grad"));
         let x = Term::Var(Var(0));
         let mut rb = RuleBase::new();
-        let r1 = rb.add(Rule::new(Atom::new(instr, vec![x]), vec![Atom::new(prof, vec![x])]).unwrap());
-        let r2 = rb.add(Rule::new(Atom::new(instr, vec![x]), vec![Atom::new(grad, vec![x])]).unwrap());
+        let r1 =
+            rb.add(Rule::new(Atom::new(instr, vec![x]), vec![Atom::new(prof, vec![x])]).unwrap());
+        let r2 =
+            rb.add(Rule::new(Atom::new(instr, vec![x]), vec![Atom::new(grad, vec![x])]).unwrap());
         let ids: Vec<RuleId> = rb.rules_for(instr).map(|(id, _)| id).collect();
         assert_eq!(ids, vec![r1, r2]);
         assert_eq!(rb.rules_for(prof).count(), 0);

@@ -120,9 +120,9 @@ impl<'a> TopDown<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eval;
     use crate::parser::{parse_program, parse_query};
     use crate::symbol::SymbolTable;
-    use crate::eval;
 
     fn ask(src: &str, query: &str) -> bool {
         let mut t = SymbolTable::new();
@@ -200,8 +200,7 @@ mod tests {
         .unwrap();
         let q = parse_query("instructor(manolis)", &mut t).unwrap();
         let mut stats = SolveStats::default();
-        let found =
-            TopDown::new(&p.rules, &p.facts).solve_with_stats(&q, &mut stats).unwrap();
+        let found = TopDown::new(&p.rules, &p.facts).solve_with_stats(&q, &mut stats).unwrap();
         assert!(found.is_some());
         // Must have tried the prof branch (reduction + retrieval) before grad.
         assert!(stats.reductions >= 2);

@@ -16,7 +16,7 @@
 //!   from Equation 8's `m'(eᵢ)`, and "attempted to reach" counts even
 //!   runs that got blocked partway down `Π(e)`.
 
-use qpl_graph::context::{ArcOutcome, Context, Trace};
+use qpl_graph::context::{execute_into, ArcOutcome, Context, RunScratch, Trace};
 use qpl_graph::graph::{ArcId, ArcKind, InferenceGraph, NodeId};
 use qpl_graph::strategy::Strategy;
 use qpl_stats::BernoulliEstimator;
@@ -140,11 +140,7 @@ impl AdaptiveQp {
     /// remaining counter ("always begin with the retrieval whose current
     /// counter value is largest").
     pub fn next_target(&self) -> Option<ArcId> {
-        self.stats
-            .iter()
-            .filter(|s| !s.done())
-            .max_by_key(|s| s.needed - s.attempts)
-            .map(|s| s.arc)
+        self.stats.iter().filter(|s| !s.done()).max_by_key(|s| s.needed - s.attempts).map(|s| s.arc)
     }
 
     /// Builds the aiming strategy for `target`: the first path goes
@@ -170,12 +166,7 @@ impl AdaptiveQp {
             v
         };
         let mut arcs = first.clone();
-        fn complete(
-            g: &InferenceGraph,
-            n: NodeId,
-            in_first: &[bool],
-            out: &mut Vec<ArcId>,
-        ) {
+        fn complete(g: &InferenceGraph, n: NodeId, in_first: &[bool], out: &mut Vec<ArcId>) {
             for &c in g.children(n) {
                 if !in_first[c.index()] {
                     out.push(c);
@@ -199,23 +190,50 @@ impl AdaptiveQp {
     /// updates every target's counters from the trace (Definition 1).
     /// Returns the trace, or `None` if sampling is already complete.
     pub fn observe(&mut self, g: &InferenceGraph, ctx: &Context) -> Option<Trace> {
-        let target = self.next_target()?;
-        let strategy = self
-            .aim_cache
-            .entry(target)
-            .or_insert_with(|| Self::aiming_strategy(g, target));
-        let trace = qpl_graph::context::execute(g, strategy, ctx);
-        self.absorb(g, &trace);
-        Some(trace)
+        let mut scratch = RunScratch::new(g);
+        if self.observe_into(g, ctx, &mut scratch) {
+            Some(scratch.to_trace())
+        } else {
+            None
+        }
+    }
+
+    /// [`observe`](Self::observe) into reusable buffers — the sampling
+    /// loops of PAO run this millions of times, so the execution writes
+    /// into `scratch` instead of allocating a [`Trace`]. Returns `false`
+    /// if sampling is already complete (scratch left untouched).
+    pub fn observe_into(
+        &mut self,
+        g: &InferenceGraph,
+        ctx: &Context,
+        scratch: &mut RunScratch,
+    ) -> bool {
+        let Some(target) = self.next_target() else {
+            return false;
+        };
+        let strategy =
+            self.aim_cache.entry(target).or_insert_with(|| Self::aiming_strategy(g, target));
+        execute_into(g, strategy, ctx, scratch);
+        self.absorb_events(g, scratch.events());
+        true
     }
 
     /// Updates counters from an arbitrary trace. For each target `e`:
     /// the run *attempted to reach* `e` iff it either attempted `e`
     /// itself, or followed `Π(e)` until some arc of it came up blocked.
     pub fn absorb(&mut self, g: &InferenceGraph, trace: &Trace) {
+        self.absorb_events(g, &trace.events);
+    }
+
+    /// [`absorb`](Self::absorb) from the raw event slice — shared by the
+    /// owned-trace path and the scratch path.
+    pub fn absorb_events(&mut self, g: &InferenceGraph, events: &[(ArcId, ArcOutcome)]) {
+        fn outcome_in(events: &[(ArcId, ArcOutcome)], arc: ArcId) -> Option<ArcOutcome> {
+            events.iter().find(|&&(a, _)| a == arc).map(|&(_, o)| o)
+        }
         self.runs += 1;
         for stat in &mut self.stats {
-            match trace.outcome_of(stat.arc) {
+            match outcome_in(events, stat.arc) {
                 Some(outcome) => {
                     stat.attempts += 1;
                     stat.reached += 1;
@@ -227,7 +245,7 @@ impl AdaptiveQp {
                     // Did the run follow Π(e) maximally and get blocked?
                     let mut blocked_on_path = false;
                     for &b in &g.root_path(stat.arc) {
-                        match trace.outcome_of(b) {
+                        match outcome_in(events, b) {
                             Some(ArcOutcome::Traversed) => continue,
                             Some(ArcOutcome::Blocked) => {
                                 blocked_on_path = true;
@@ -414,9 +432,15 @@ mod tests {
         let dc = g.arc_by_label("D_c").unwrap();
         let rst = g.arc_by_label("R_st").unwrap();
         let mut qp = AdaptiveQp::for_experiments(vec![(dc, 5)]);
-        let ctx = Context::with_blocked(&g, &[rst, g.arc_by_label("D_a").unwrap(),
-                                               g.arc_by_label("D_b").unwrap(),
-                                               g.arc_by_label("D_d").unwrap()]);
+        let ctx = Context::with_blocked(
+            &g,
+            &[
+                rst,
+                g.arc_by_label("D_a").unwrap(),
+                g.arc_by_label("D_b").unwrap(),
+                g.arc_by_label("D_d").unwrap(),
+            ],
+        );
         qp.observe(&g, &ctx);
         let s = &qp.stats()[0];
         assert_eq!(s.attempts, 1);
@@ -441,7 +465,8 @@ mod tests {
         // Now R_st blocked: the D_d-aimed run is blocked on D_c's path
         // too → both get an attempt.
         let rst = g.arc_by_label("R_st").unwrap();
-        let all_blocked: Vec<ArcId> = vec![rst, g.arc_by_label("D_a").unwrap(), g.arc_by_label("D_b").unwrap()];
+        let all_blocked: Vec<ArcId> =
+            vec![rst, g.arc_by_label("D_a").unwrap(), g.arc_by_label("D_b").unwrap()];
         qp.observe(&g, &Context::with_blocked(&g, &all_blocked));
         let sc = qp.stats().iter().find(|s| s.arc == dc).unwrap();
         let sd = qp.stats().iter().find(|s| s.arc == dd).unwrap();

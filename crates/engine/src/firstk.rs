@@ -61,7 +61,11 @@ pub fn execute_first_k(
             answers.push(a);
             if answers.len() == k {
                 let outcome = qpl_graph::context::RunOutcome::Succeeded(a);
-                return FirstKRun { answers, satisfied: true, trace: Trace { events, cost, outcome } };
+                return FirstKRun {
+                    answers,
+                    satisfied: true,
+                    trace: Trace { events, cost, outcome },
+                };
             }
         }
     }
@@ -80,10 +84,7 @@ pub fn expected_cost_first_k(
     dist: &qpl_graph::expected::FiniteDistribution,
     k: usize,
 ) -> f64 {
-    dist.items()
-        .iter()
-        .map(|(ctx, w)| w * execute_first_k(g, strategy, ctx, k).trace.cost)
-        .sum()
+    dist.items().iter().map(|(ctx, w)| w * execute_first_k(g, strategy, ctx, k).trace.cost).sum()
 }
 
 #[cfg(test)]

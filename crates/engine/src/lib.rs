@@ -14,6 +14,9 @@
 //!   database, independent-arc synthetic models);
 //! * [`naf`] — negation-as-failure queries (Section 5.2's `pauper`
 //!   example);
+//! * [`par`] — a deterministic scoped-thread sampling harness: Monte
+//!   Carlo batches split across workers with counter-based per-sample
+//!   seeding, bit-for-bit identical for any worker count;
 //! * [`segmented`] — horizontally segmented distributed databases as a
 //!   flat satisficing-scan graph (Section 5.2);
 //! * [`firstk`] — the first-`k`-answers variant (Section 5.2).
@@ -25,9 +28,11 @@ pub mod adaptive;
 pub mod firstk;
 pub mod naf;
 pub mod oracle;
+pub mod par;
 pub mod qp;
 pub mod segmented;
 
 pub use adaptive::{AdaptiveQp, SamplingMode};
 pub use oracle::{ContextOracle, QueryMixOracle};
+pub use par::{batch_fold, par_map_indexed, sample_rng, sample_seed, ParConfig};
 pub use qp::{classify_context, QueryAnswer, QueryProcessor};

@@ -71,8 +71,7 @@ impl<'g> QueryMixOracle<'g> {
                 ));
             }
         }
-        let queries: Vec<(Atom, f64)> =
-            queries.into_iter().map(|(q, w)| (q, w / total)).collect();
+        let queries: Vec<(Atom, f64)> = queries.into_iter().map(|(q, w)| (q, w / total)).collect();
         let contexts: Vec<Context> = queries
             .iter()
             .map(|(q, _)| classify_context(compiled, q, &db))
@@ -91,30 +90,43 @@ impl<'g> QueryMixOracle<'g> {
         &self.db
     }
 
+    /// The compiled graph the mix was validated against.
+    pub fn compiled(&self) -> &'g CompiledGraph {
+        self.compiled
+    }
+
+    /// Draws the index of a mix entry — the borrowed-access primitive
+    /// behind [`draw_query`](Self::draw_query) and the `ContextOracle`
+    /// impl (mirrors `FiniteDistribution::sample_index`).
+    pub fn draw_index(&self, rng: &mut dyn rand::RngCore) -> usize {
+        let u: f64 = rng.gen();
+        self.cumulative.partition_point(|&c| c < u).min(self.queries.len() - 1)
+    }
+
     /// Draws a query (not yet classified).
     pub fn draw_query(&self, rng: &mut dyn rand::RngCore) -> &Atom {
-        let u: f64 = rng.gen();
-        let idx = self.cumulative.partition_point(|&c| c < u).min(self.queries.len() - 1);
-        &self.queries[idx].0
+        &self.queries[self.draw_index(rng)].0
+    }
+
+    /// Borrowed view of the precomputed context for mix entry `idx` —
+    /// lets hot loops avoid the per-draw `Context` clone that the
+    /// owned-`draw` API forces.
+    pub fn context(&self, idx: usize) -> &Context {
+        &self.contexts[idx]
     }
 
     /// The exact context distribution this oracle induces (Note 2), for
     /// ground-truth expected costs.
     pub fn to_distribution(&self) -> FiniteDistribution {
-        let items: Vec<(Context, f64)> = self
-            .contexts
-            .iter()
-            .cloned()
-            .zip(self.queries.iter().map(|(_, w)| *w))
-            .collect();
+        let items: Vec<(Context, f64)> =
+            self.contexts.iter().cloned().zip(self.queries.iter().map(|(_, w)| *w)).collect();
         FiniteDistribution::new(items).expect("weights validated at construction")
     }
 }
 
 impl ContextOracle for QueryMixOracle<'_> {
     fn draw(&mut self, rng: &mut dyn rand::RngCore) -> Context {
-        let u: f64 = rng.gen();
-        let idx = self.cumulative.partition_point(|&c| c < u).min(self.queries.len() - 1);
+        let idx = self.draw_index(rng);
         self.contexts[idx].clone()
     }
 }
@@ -133,11 +145,7 @@ mod tests {
                            instructor(X) :- grad(X).\n\
                            prof(russ). grad(manolis).";
 
-    fn mix<'g>(
-        t: &mut SymbolTable,
-        cg: &'g CompiledGraph,
-        db: Database,
-    ) -> QueryMixOracle<'g> {
+    fn mix<'g>(t: &mut SymbolTable, cg: &'g CompiledGraph, db: Database) -> QueryMixOracle<'g> {
         let qs = vec![
             (parse_query("instructor(russ)", t).unwrap(), 0.60),
             (parse_query("instructor(manolis)", t).unwrap(), 0.15),
@@ -169,15 +177,14 @@ mod tests {
         let p = parse_program(FIGURE1, &mut t).unwrap();
         let qf = parse_query_form("instructor(b)", &mut t).unwrap();
         let cg = compile(&p.rules, &qf, &t, &CompileOptions::default()).unwrap();
-        let mut oracle = mix(&mut t, &cg, p.facts.clone());
-        let prof_retrieval = cg
-            .graph
-            .arc_ids()
-            .find(|&a| cg.graph.arc(a).label.contains("prof"))
-            .unwrap();
+        let oracle = mix(&mut t, &cg, p.facts.clone());
+        let prof_retrieval =
+            cg.graph.arc_ids().find(|&a| cg.graph.arc(a).label.contains("prof")).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let n = 50_000;
-        let open = (0..n).filter(|_| !oracle.draw(&mut rng).is_blocked(prof_retrieval)).count();
+        let open = (0..n)
+            .filter(|_| !oracle.context(oracle.draw_index(&mut rng)).is_blocked(prof_retrieval))
+            .count();
         let freq = open as f64 / n as f64;
         assert!((freq - 0.6).abs() < 0.02, "prof retrieval open with frequency {freq}");
     }

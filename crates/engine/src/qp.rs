@@ -10,7 +10,9 @@
 
 use qpl_datalog::{Atom, Database, Substitution, Symbol, Term, Var};
 use qpl_graph::compile::{ArcBinding, CompiledGraph, Guard, PatternTerm};
-use qpl_graph::context::{execute, Context, RunOutcome, Trace};
+use qpl_graph::context::{
+    execute_partial_into, execute_probe_into, Context, RunOutcome, RunScratch, Trace,
+};
 use qpl_graph::strategy::Strategy;
 use qpl_graph::{ArcId, GraphError};
 
@@ -68,13 +70,31 @@ pub fn classify_context(
     query: &Atom,
     db: &Database,
 ) -> Result<Context, GraphError> {
+    let mut ctx = Context::all_open(&compiled.graph);
+    classify_context_into(compiled, query, db, &mut ctx)?;
+    Ok(ctx)
+}
+
+/// [`classify_context`] into a caller-owned buffer (resized to fit), so
+/// per-query loops reuse one allocation.
+///
+/// # Errors
+/// [`GraphError::InvalidStrategy`] if the query does not match the
+/// compiled query form.
+pub fn classify_context_into(
+    compiled: &CompiledGraph,
+    query: &Atom,
+    db: &Database,
+    out: &mut Context,
+) -> Result<(), GraphError> {
     if !compiled.form.matches(query) {
-        return Err(GraphError::InvalidStrategy("query does not match compiled form (predicate/arity/binding mismatch)".to_string()));
+        return Err(GraphError::InvalidStrategy(
+            "query does not match compiled form (predicate/arity/binding mismatch)".to_string(),
+        ));
     }
     let constants = compiled.form.bound_constants(query);
-    Ok(Context::from_fn(&compiled.graph, |a| {
-        arc_blocked(compiled.binding(a), &constants, db)
-    }))
+    out.reset_from_fn(&compiled.graph, |a| arc_blocked(compiled.binding(a), &constants, db));
+    Ok(())
 }
 
 /// Whether one arc is blocked for the given query constants and database.
@@ -148,13 +168,30 @@ impl<'g> QueryProcessor<'g> {
     /// [`GraphError::InvalidStrategy`] if the query does not match the
     /// compiled form.
     pub fn run(&self, query: &Atom, db: &Database) -> Result<QueryRun, GraphError> {
-        let context = classify_context(self.compiled, query, db)?;
-        let trace = execute(&self.compiled.graph, &self.strategy, &context);
-        let answer = match trace.outcome {
+        let mut scratch = RunScratch::new(&self.compiled.graph);
+        let answer = self.run_into(query, db, &mut scratch)?;
+        Ok(QueryRun { answer, trace: scratch.to_trace(), context: scratch.partial().clone() })
+    }
+
+    /// [`run`](Self::run) into reusable buffers: classifies the context
+    /// into the scratch's partial buffer and executes there, so a query
+    /// loop holding one [`RunScratch`] allocates nothing per query. The
+    /// trace and context remain readable off the scratch.
+    ///
+    /// # Errors
+    /// As for [`run`](Self::run).
+    pub fn run_into(
+        &self,
+        query: &Atom,
+        db: &Database,
+        scratch: &mut RunScratch,
+    ) -> Result<QueryAnswer, GraphError> {
+        classify_context_into(self.compiled, query, db, scratch.partial_mut())?;
+        let outcome = execute_partial_into(&self.compiled.graph, &self.strategy, scratch);
+        Ok(match outcome {
             RunOutcome::Succeeded(arc) => QueryAnswer::Yes(self.witness(arc, query, db)),
             RunOutcome::Exhausted => QueryAnswer::No,
-        };
-        Ok(QueryRun { answer, trace, context })
+        })
     }
 
     /// Processes one query against `db` *lazily*: arc statuses are
@@ -169,45 +206,36 @@ impl<'g> QueryProcessor<'g> {
     /// [`GraphError::InvalidStrategy`] if the query does not match the
     /// compiled form.
     pub fn run_lazy(&self, query: &Atom, db: &Database) -> Result<QueryRun, GraphError> {
+        let mut scratch = RunScratch::new(&self.compiled.graph);
+        let answer = self.run_lazy_into(query, db, &mut scratch)?;
+        Ok(QueryRun { answer, trace: scratch.to_trace(), context: scratch.partial().clone() })
+    }
+
+    /// [`run_lazy`](Self::run_lazy) into reusable buffers — the lazy
+    /// probing semantics with zero per-query allocation. The trace and
+    /// the partial context remain readable off the scratch.
+    ///
+    /// # Errors
+    /// As for [`run_lazy`](Self::run_lazy).
+    pub fn run_lazy_into(
+        &self,
+        query: &Atom,
+        db: &Database,
+        scratch: &mut RunScratch,
+    ) -> Result<QueryAnswer, GraphError> {
         if !self.compiled.form.matches(query) {
             return Err(GraphError::InvalidStrategy(
-                "query does not match compiled form (predicate/arity/binding mismatch)"
-                    .to_string(),
+                "query does not match compiled form (predicate/arity/binding mismatch)".to_string(),
             ));
         }
-        let g = &self.compiled.graph;
         let constants = self.compiled.form.bound_constants(query);
-        let mut reached = vec![false; g.node_count()];
-        reached[g.root().index()] = true;
-        let mut partial = Context::all_open(g);
-        let mut events = Vec::new();
-        let mut cost = 0.0;
-        let mut outcome = RunOutcome::Exhausted;
-        for &a in self.strategy.arcs() {
-            let arc = g.arc(a);
-            if !reached[arc.from.index()] {
-                continue;
-            }
-            cost += arc.cost;
-            let blocked = arc_blocked(self.compiled.binding(a), &constants, db);
-            partial.set_blocked(a, blocked);
-            if blocked {
-                events.push((a, qpl_graph::ArcOutcome::Blocked));
-                continue;
-            }
-            events.push((a, qpl_graph::ArcOutcome::Traversed));
-            reached[arc.to.index()] = true;
-            if g.node(arc.to).is_success {
-                outcome = RunOutcome::Succeeded(a);
-                break;
-            }
-        }
-        let trace = Trace { events, cost, outcome };
-        let answer = match trace.outcome {
+        let outcome = execute_probe_into(&self.compiled.graph, &self.strategy, scratch, |a| {
+            arc_blocked(self.compiled.binding(a), &constants, db)
+        });
+        Ok(match outcome {
             RunOutcome::Succeeded(arc) => QueryAnswer::Yes(self.witness(arc, query, db)),
             RunOutcome::Exhausted => QueryAnswer::No,
-        };
-        Ok(QueryRun { answer, trace, context: partial })
+        })
     }
 
     /// Reconstructs the witnessing ground atom for a successful retrieval.
@@ -318,9 +346,8 @@ mod tests {
                   enrolled(manolis). admitted(fred, toronto).";
         let (mut t, cg, db) = setup(kb, "instructor(b)");
         // For a non-fred query, the guarded reduction must be blocked.
-        let ctx =
-            classify_context(&cg, &parse_query("instructor(manolis)", &mut t).unwrap(), &db)
-                .unwrap();
+        let ctx = classify_context(&cg, &parse_query("instructor(manolis)", &mut t).unwrap(), &db)
+            .unwrap();
         let guarded_arc = cg
             .graph
             .arc_ids()
@@ -388,9 +415,7 @@ mod tests {
             let q = parse_query(&format!("instructor({name})"), &mut t).unwrap();
             let answers: Vec<bool> = strategies
                 .iter()
-                .map(|s| {
-                    QueryProcessor::new(&cg, s.clone()).run(&q, &db).unwrap().answer.is_yes()
-                })
+                .map(|s| QueryProcessor::new(&cg, s.clone()).run(&q, &db).unwrap().answer.is_yes())
                 .collect();
             assert!(
                 answers.windows(2).all(|w| w[0] == w[1]),
@@ -446,11 +471,8 @@ mod tests {
         let q = parse_query("instructor(russ)", &mut t).unwrap();
         let lazy = qp.run_lazy(&q, &db).unwrap();
         assert_eq!(lazy.trace.events.len(), 2);
-        let grad_retrieval = cg
-            .graph
-            .retrievals()
-            .find(|&a| cg.graph.arc(a).label.contains("grad"))
-            .unwrap();
+        let grad_retrieval =
+            cg.graph.retrievals().find(|&a| cg.graph.arc(a).label.contains("grad")).unwrap();
         assert!(!lazy.context.is_blocked(grad_retrieval), "never probed → left open");
         // The eager run, by contrast, classifies everything: grad(russ)
         // is absent so the arc is blocked there.

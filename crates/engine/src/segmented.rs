@@ -172,11 +172,7 @@ mod tests {
         let (mut t, s) = setup();
         let g = s.scan_graph("age(b,f)", |_| 1.0).unwrap();
         let q = parse_query("age(manolis, X)", &mut t).unwrap();
-        let west_first = Strategy::from_arcs(
-            &g,
-            vec![ArcId(1), ArcId(0), ArcId(2)],
-        )
-        .unwrap();
+        let west_first = Strategy::from_arcs(&g, vec![ArcId(1), ArcId(0), ArcId(2)]).unwrap();
         let (hit, trace) = s.scan(&g, &west_first, &q);
         assert_eq!(hit, Some(1));
         assert_eq!(trace.cost, 1.0);

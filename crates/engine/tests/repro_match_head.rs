@@ -1,7 +1,7 @@
 use qpl_datalog::parser::{parse_program, parse_query, parse_query_form};
 use qpl_datalog::SymbolTable;
-use qpl_graph::compile::{compile, CompileOptions};
 use qpl_engine::qp::QueryProcessor;
+use qpl_graph::compile::{compile, CompileOptions};
 
 #[test]
 fn repeated_head_var_free_then_bound() {

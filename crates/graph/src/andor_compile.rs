@@ -22,7 +22,9 @@
 use crate::compile::{match_head, pattern_label, Guard, PatternTerm};
 use crate::error::GraphError;
 use crate::hypergraph::{AndOrBuilder, AndOrContext, AndOrGraph, GoalId, HyperArcId};
-use qpl_datalog::{Atom, Database, QueryForm, RuleBase, RuleId, Substitution, Symbol, SymbolTable, Term, Var};
+use qpl_datalog::{
+    Atom, Database, QueryForm, RuleBase, RuleId, Substitution, Symbol, SymbolTable, Term, Var,
+};
 use std::collections::HashMap;
 
 /// Runtime binding of one hyper-arc.
@@ -71,9 +73,7 @@ impl CompiledAndOr {
     /// form.
     pub fn classify(&self, query: &Atom, db: &Database) -> Result<AndOrContext, GraphError> {
         if !self.form.matches(query) {
-            return Err(GraphError::InvalidStrategy(
-                "query does not match compiled form".into(),
-            ));
+            return Err(GraphError::InvalidStrategy("query does not match compiled form".into()));
         }
         let constants = self.form.bound_constants(query);
         let mut ctx = AndOrContext::all_open(&self.graph);
@@ -243,8 +243,7 @@ fn expand(
                     Term::Var(v) => var_map.get(v).copied().unwrap_or(PatternTerm::Free),
                 })
                 .collect();
-            let child =
-                builder.goal(&pattern_label(body.predicate, &child_pattern, table));
+            let child = builder.goal(&pattern_label(body.predicate, &child_pattern, table));
             children.push(child);
             child_specs.push((child, body.predicate, child_pattern));
         }

@@ -227,8 +227,12 @@ fn expand(
 
         let label = format!("R{}[{}]", rule_id.0, pattern_label(predicate, pattern, table));
         let cost = (options.cost)(false, pred_name);
-        let (arc, child) =
-            builder.reduction(node, &label, cost, &pattern_label(body.predicate, &child_pattern, table));
+        let (arc, child) = builder.reduction(
+            node,
+            &label,
+            cost,
+            &pattern_label(body.predicate, &child_pattern, table),
+        );
         push_binding(
             bindings,
             arc,
@@ -285,17 +289,15 @@ pub(crate) fn match_head(
                 PatternTerm::QueryArg(i) => guards.push(Guard::ArgEqConst(i, c)),
                 PatternTerm::Free => {}
             },
-            Term::Var(v) => {
-                match var_map.get(&v).copied() {
-                    None => {
-                        var_map.insert(v, p);
-                    }
-                    Some(prev) => {
-                        let resolved = merge_pattern_terms(prev, p, &mut guards)?;
-                        var_map.insert(v, resolved);
-                    }
+            Term::Var(v) => match var_map.get(&v).copied() {
+                None => {
+                    var_map.insert(v, p);
                 }
-            }
+                Some(prev) => {
+                    let resolved = merge_pattern_terms(prev, p, &mut guards)?;
+                    var_map.insert(v, resolved);
+                }
+            },
         }
     }
     Some((var_map, guards))
@@ -330,7 +332,11 @@ fn merge_pattern_terms(
 }
 
 /// Renders `pred(κ0, fred, _)`-style labels.
-pub(crate) fn pattern_label(predicate: Symbol, pattern: &[PatternTerm], table: &SymbolTable) -> String {
+pub(crate) fn pattern_label(
+    predicate: Symbol,
+    pattern: &[PatternTerm],
+    table: &SymbolTable,
+) -> String {
     let mut s = table.name(predicate).to_string();
     s.push('(');
     for (i, p) in pattern.iter().enumerate() {
@@ -439,11 +445,8 @@ mod tests {
             "q(b)",
         );
         // Both rules survive under pattern p(κ0) (guards, not clashes).
-        let reductions = cg
-            .bindings
-            .iter()
-            .filter(|b| matches!(b, ArcBinding::Reduction { .. }))
-            .count();
+        let reductions =
+            cg.bindings.iter().filter(|b| matches!(b, ArcBinding::Reduction { .. })).count();
         assert_eq!(reductions, 3, "q→p plus two guarded p rules");
     }
 
@@ -459,8 +462,8 @@ mod tests {
     #[test]
     fn conjunctive_body_rejected_with_pointer_to_hypergraph() {
         let mut t = SymbolTable::new();
-        let p = parse_program("gp(X, Z) :- parent(X, Y), parent(Y, Z). parent(a, b).", &mut t)
-            .unwrap();
+        let p =
+            parse_program("gp(X, Z) :- parent(X, Y), parent(Y, Z). parent(a, b).", &mut t).unwrap();
         let qf = parse_query_form("gp(b,b)", &mut t).unwrap();
         match compile(&p.rules, &qf, &t, &CompileOptions::default()) {
             Err(GraphError::Compile(m)) => assert!(m.contains("hypergraph")),
@@ -485,11 +488,8 @@ mod tests {
     #[test]
     fn also_retrieve_adds_arc_for_derived_predicate() {
         let mut t = SymbolTable::new();
-        let p = parse_program(
-            "instructor(X) :- prof(X). prof(russ). instructor(dean).",
-            &mut t,
-        )
-        .unwrap();
+        let p = parse_program("instructor(X) :- prof(X). prof(russ). instructor(dean).", &mut t)
+            .unwrap();
         let qf = parse_query_form("instructor(b)", &mut t).unwrap();
         let instr = t.lookup("instructor").unwrap();
         let opts = CompileOptions { also_retrieve: vec![instr], ..Default::default() };
@@ -501,10 +501,7 @@ mod tests {
 
     #[test]
     fn free_query_form_positions() {
-        let (_, cg) = compile_src(
-            "knows(X, Y) :- friend(X, Y). friend(ann, bob).",
-            "knows(b,f)",
-        );
+        let (_, cg) = compile_src("knows(X, Y) :- friend(X, Y). friend(ann, bob).", "knows(b,f)");
         let g = &cg.graph;
         assert_eq!(g.arc_count(), 2);
         let retrieval = g.retrievals().next().unwrap();
@@ -558,10 +555,7 @@ mod tests {
 
     #[test]
     fn labels_are_informative() {
-        let (_, cg) = compile_src(
-            "instructor(X) :- prof(X). prof(russ).",
-            "instructor(b)",
-        );
+        let (_, cg) = compile_src("instructor(X) :- prof(X). prof(russ).", "instructor(b)");
         let g = &cg.graph;
         let labels: Vec<&str> = g.arc_ids().map(|a| g.arc(a).label.as_str()).collect();
         assert!(labels.iter().any(|l| l.contains("instructor(κ0)")), "{labels:?}");

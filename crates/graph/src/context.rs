@@ -55,6 +55,14 @@ impl Context {
         Self { blocked: g.arc_ids().map(&mut f).collect() }
     }
 
+    /// Refills this context in place from a per-arc predicate, resizing
+    /// to fit `g` — the buffer-reuse counterpart of
+    /// [`from_fn`](Self::from_fn).
+    pub fn reset_from_fn(&mut self, g: &InferenceGraph, mut f: impl FnMut(ArcId) -> bool) {
+        self.blocked.clear();
+        self.blocked.extend(g.arc_ids().map(&mut f));
+    }
+
     /// Whether `a` is blocked.
     pub fn is_blocked(&self, a: ArcId) -> bool {
         self.blocked[a.index()]
@@ -72,21 +80,13 @@ impl Context {
 
     /// The blocked arcs.
     pub fn blocked_arcs(&self) -> impl Iterator<Item = ArcId> + '_ {
-        self.blocked
-            .iter()
-            .enumerate()
-            .filter(|(_, &b)| b)
-            .map(|(i, _)| ArcId(i as u32))
+        self.blocked.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| ArcId(i as u32))
     }
 
     /// The arc-set identification of Note 2: the *unblocked* arcs (the
     /// paper identifies `I₁` with `{R_p, R_g, D_g}` — its open arcs).
     pub fn open_arcs(&self) -> impl Iterator<Item = ArcId> + '_ {
-        self.blocked
-            .iter()
-            .enumerate()
-            .filter(|(_, &b)| !b)
-            .map(|(i, _)| ArcId(i as u32))
+        self.blocked.iter().enumerate().filter(|(_, &b)| !b).map(|(i, _)| ArcId(i as u32))
     }
 }
 
@@ -138,43 +138,255 @@ impl Trace {
     }
 }
 
+/// Reusable per-run buffers: the reached-node bitvec, the event buffer,
+/// and a partial [`Context`] for probe-driven (lazy) runs.
+///
+/// [`execute`] allocates these three afresh on every call, which is fine
+/// for one-off runs but dominates tight Monte-Carlo loops (PIB absorbs a
+/// context, then replays every candidate strategy against its pessimistic
+/// completion — thousands of executions per second, each a `Vec::new()`
+/// under the old API). Holding one `RunScratch` per loop and calling
+/// [`execute_into`] / [`cost_into`] makes the per-run path allocation-free
+/// after warm-up: buffers are cleared, never shrunk.
+///
+/// Results are identical to the allocating API — [`execute`] itself is a
+/// thin wrapper over [`execute_into`].
+#[derive(Debug, Clone)]
+pub struct RunScratch {
+    reached: Vec<bool>,
+    events: Vec<(ArcId, ArcOutcome)>,
+    cost: f64,
+    outcome: RunOutcome,
+    partial: Context,
+}
+
+impl RunScratch {
+    /// Buffers sized for `g`. The partial context starts empty and is
+    /// sized on first probe-driven use.
+    pub fn new(g: &InferenceGraph) -> Self {
+        Self {
+            reached: vec![false; g.node_count()],
+            events: Vec::with_capacity(g.arc_count()),
+            cost: 0.0,
+            outcome: RunOutcome::Exhausted,
+            partial: Context::from_parts(Vec::new()),
+        }
+    }
+
+    /// Clears the run state (keeps allocations).
+    fn begin(&mut self, g: &InferenceGraph) {
+        self.reached.clear();
+        self.reached.resize(g.node_count(), false);
+        self.reached[g.root().index()] = true;
+        self.events.clear();
+        self.cost = 0.0;
+        self.outcome = RunOutcome::Exhausted;
+    }
+
+    /// Resets the partial context to all-open, resizing for `g`.
+    fn begin_partial(&mut self, g: &InferenceGraph) {
+        self.partial.blocked.clear();
+        self.partial.blocked.resize(g.arc_count(), false);
+    }
+
+    /// Events of the most recent run, in attempt order.
+    pub fn events(&self) -> &[(ArcId, ArcOutcome)] {
+        &self.events
+    }
+
+    /// Cost `c(Θ, I)` of the most recent run.
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Terminal outcome of the most recent run.
+    pub fn outcome(&self) -> RunOutcome {
+        self.outcome
+    }
+
+    /// The partial context recorded by the most recent probe-driven run
+    /// ([`execute_probe_into`]): probed arcs carry their observed status,
+    /// unprobed arcs read as open.
+    pub fn partial(&self) -> &Context {
+        &self.partial
+    }
+
+    /// Mutable access to the partial context, for callers that classify
+    /// a full context into the buffer before [`execute_partial_into`].
+    pub fn partial_mut(&mut self) -> &mut Context {
+        &mut self.partial
+    }
+
+    /// Materializes the most recent run as an owned [`Trace`] (clones the
+    /// event buffer; the scratch stays reusable).
+    pub fn to_trace(&self) -> Trace {
+        Trace { events: self.events.clone(), cost: self.cost, outcome: self.outcome }
+    }
+
+    /// Moves the event buffer out into a [`Trace`], leaving the scratch
+    /// reusable but with an empty buffer.
+    fn take_trace(&mut self) -> Trace {
+        Trace { events: std::mem::take(&mut self.events), cost: self.cost, outcome: self.outcome }
+    }
+}
+
 /// Executes `strategy` in `context`, returning the full [`Trace`].
 ///
 /// # Panics
 /// Panics if `context` was built for a different graph (arc-count
 /// mismatch).
-pub fn execute(g: &InferenceGraph, strategy: &crate::strategy::Strategy, context: &Context) -> Trace {
-    assert_eq!(
-        context.arc_count(),
-        g.arc_count(),
-        "context built for a different graph"
-    );
-    let mut reached = vec![false; g.node_count()];
-    reached[g.root().index()] = true;
-    let mut events = Vec::new();
-    let mut cost = 0.0;
+pub fn execute(
+    g: &InferenceGraph,
+    strategy: &crate::strategy::Strategy,
+    context: &Context,
+) -> Trace {
+    let mut scratch = RunScratch::new(g);
+    execute_into(g, strategy, context, &mut scratch);
+    scratch.take_trace()
+}
+
+/// [`execute`] into reusable buffers: identical semantics and trace, no
+/// per-run allocation. Read the results off the scratch afterwards.
+///
+/// # Panics
+/// Panics if `context` was built for a different graph.
+pub fn execute_into(
+    g: &InferenceGraph,
+    strategy: &crate::strategy::Strategy,
+    context: &Context,
+    scratch: &mut RunScratch,
+) -> RunOutcome {
+    assert_eq!(context.arc_count(), g.arc_count(), "context built for a different graph");
+    scratch.begin(g);
     for &a in strategy.arcs() {
         let arc = g.arc(a);
-        if !reached[arc.from.index()] {
+        if !scratch.reached[arc.from.index()] {
             continue; // below a blocked arc: skipped at no cost
         }
-        cost += arc.cost;
+        scratch.cost += arc.cost;
         if context.is_blocked(a) {
-            events.push((a, ArcOutcome::Blocked));
+            scratch.events.push((a, ArcOutcome::Blocked));
             continue;
         }
-        events.push((a, ArcOutcome::Traversed));
-        reached[arc.to.index()] = true;
+        scratch.events.push((a, ArcOutcome::Traversed));
+        scratch.reached[arc.to.index()] = true;
         if g.node(arc.to).is_success {
-            return Trace { events, cost, outcome: RunOutcome::Succeeded(a) };
+            scratch.outcome = RunOutcome::Succeeded(a);
+            return scratch.outcome;
         }
     }
-    Trace { events, cost, outcome: RunOutcome::Exhausted }
+    scratch.outcome
+}
+
+/// Executes `strategy`, reading arc statuses from the scratch's own
+/// partial context (filled beforehand via [`RunScratch::partial_mut`]).
+/// Lets a caller classify into the buffer and execute without a borrow
+/// conflict between context and scratch.
+///
+/// # Panics
+/// Panics if the partial context's arc count does not match `g`.
+pub fn execute_partial_into(
+    g: &InferenceGraph,
+    strategy: &crate::strategy::Strategy,
+    scratch: &mut RunScratch,
+) -> RunOutcome {
+    assert_eq!(
+        scratch.partial.arc_count(),
+        g.arc_count(),
+        "partial context not sized for this graph"
+    );
+    scratch.begin(g);
+    for &a in strategy.arcs() {
+        let arc = g.arc(a);
+        if !scratch.reached[arc.from.index()] {
+            continue;
+        }
+        scratch.cost += arc.cost;
+        if scratch.partial.is_blocked(a) {
+            scratch.events.push((a, ArcOutcome::Blocked));
+            continue;
+        }
+        scratch.events.push((a, ArcOutcome::Traversed));
+        scratch.reached[arc.to.index()] = true;
+        if g.node(arc.to).is_success {
+            scratch.outcome = RunOutcome::Succeeded(a);
+            return scratch.outcome;
+        }
+    }
+    scratch.outcome
+}
+
+/// Probe-driven execution: arc statuses are discovered by calling
+/// `probe` only when the strategy actually attempts the arc (the lazy
+/// real-deployment path — one database probe per attempted arc). The
+/// observed statuses are recorded into the scratch's partial context;
+/// unattempted arcs read as open there.
+pub fn execute_probe_into(
+    g: &InferenceGraph,
+    strategy: &crate::strategy::Strategy,
+    scratch: &mut RunScratch,
+    mut probe: impl FnMut(ArcId) -> bool,
+) -> RunOutcome {
+    scratch.begin(g);
+    scratch.begin_partial(g);
+    for &a in strategy.arcs() {
+        let arc = g.arc(a);
+        if !scratch.reached[arc.from.index()] {
+            continue;
+        }
+        scratch.cost += arc.cost;
+        let blocked = probe(a);
+        scratch.partial.set_blocked(a, blocked);
+        if blocked {
+            scratch.events.push((a, ArcOutcome::Blocked));
+            continue;
+        }
+        scratch.events.push((a, ArcOutcome::Traversed));
+        scratch.reached[arc.to.index()] = true;
+        if g.node(arc.to).is_success {
+            scratch.outcome = RunOutcome::Succeeded(a);
+            return scratch.outcome;
+        }
+    }
+    scratch.outcome
+}
+
+/// Cost-only execution into reusable buffers: no event recording at all,
+/// the cheapest way to evaluate `c(Θ, I)` in a tight loop. The returned
+/// value is bit-identical to `execute(..).cost` (same additions in the
+/// same order).
+///
+/// # Panics
+/// Panics if `context` was built for a different graph.
+pub fn cost_into(
+    g: &InferenceGraph,
+    strategy: &crate::strategy::Strategy,
+    context: &Context,
+    scratch: &mut RunScratch,
+) -> f64 {
+    assert_eq!(context.arc_count(), g.arc_count(), "context built for a different graph");
+    scratch.begin(g);
+    for &a in strategy.arcs() {
+        let arc = g.arc(a);
+        if !scratch.reached[arc.from.index()] {
+            continue;
+        }
+        scratch.cost += arc.cost;
+        if context.is_blocked(a) {
+            continue;
+        }
+        scratch.reached[arc.to.index()] = true;
+        if g.node(arc.to).is_success {
+            return scratch.cost;
+        }
+    }
+    scratch.cost
 }
 
 /// Convenience: just the cost `c(Θ, I)`.
 pub fn cost(g: &InferenceGraph, strategy: &crate::strategy::Strategy, context: &Context) -> f64 {
-    execute(g, strategy, context).cost
+    let mut scratch = RunScratch::new(g);
+    cost_into(g, strategy, context, &mut scratch)
 }
 
 #[cfg(test)]
@@ -194,8 +406,7 @@ mod tests {
     }
 
     fn strat(g: &InferenceGraph, labels: &[&str]) -> Strategy {
-        Strategy::from_arcs(g, labels.iter().map(|l| g.arc_by_label(l).unwrap()).collect())
-            .unwrap()
+        Strategy::from_arcs(g, labels.iter().map(|l| g.arc_by_label(l).unwrap()).collect()).unwrap()
     }
 
     /// `I₁ = ⟨instructor(manolis), DB₁⟩`: `D_p` blocked, `D_g` open.
@@ -286,13 +497,15 @@ mod tests {
     fn context_identification_matches_note_2() {
         // "we can identify the context I₁ with the arc-set {R_p, R_g, D_g}"
         let g = g_a();
-        let open: Vec<String> =
-            i1(&g).open_arcs().map(|a| g.arc(a).label.clone()).collect();
-        assert_eq!(open, ["R_p", "D_p", "R_g", "D_g"]
-            .iter()
-            .filter(|l| **l != "D_p")
-            .map(|s| s.to_string())
-            .collect::<Vec<_>>());
+        let open: Vec<String> = i1(&g).open_arcs().map(|a| g.arc(a).label.clone()).collect();
+        assert_eq!(
+            open,
+            ["R_p", "D_p", "R_g", "D_g"]
+                .iter()
+                .filter(|l| **l != "D_p")
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -318,6 +531,63 @@ mod tests {
         let labels: Vec<&str> =
             trace.events.iter().map(|(a, _)| g.arc(*a).label.as_str()).collect();
         assert_eq!(labels, ["R_g", "D_g", "R_p", "D_p"]);
+    }
+
+    #[test]
+    fn scratch_execution_matches_allocating_execution() {
+        // Same trace (events, cost, outcome) for every strategy × context
+        // on G_A, with ONE scratch reused across all runs.
+        let g = g_a();
+        let strategies = crate::strategy::enumerate_all(&g, 100).unwrap();
+        let contexts = [
+            Context::all_open(&g),
+            Context::all_blocked(&g),
+            i1(&g),
+            i2(&g),
+            Context::with_blocked(&g, &[g.arc_by_label("R_p").unwrap()]),
+        ];
+        let mut scratch = RunScratch::new(&g);
+        for s in &strategies {
+            for ctx in &contexts {
+                let reference = execute(&g, s, ctx);
+                execute_into(&g, s, ctx, &mut scratch);
+                assert_eq!(scratch.to_trace(), reference);
+                assert_eq!(scratch.cost().to_bits(), reference.cost.to_bits());
+                let c = cost_into(&g, s, ctx, &mut scratch);
+                assert_eq!(c.to_bits(), reference.cost.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn probe_execution_matches_eager_and_records_partial() {
+        let g = g_a();
+        let t1 = strat(&g, &["R_p", "D_p", "R_g", "D_g"]);
+        let ctx = i1(&g);
+        let mut scratch = RunScratch::new(&g);
+        let mut probes = 0usize;
+        execute_probe_into(&g, &t1, &mut scratch, |a| {
+            probes += 1;
+            ctx.is_blocked(a)
+        });
+        let eager = execute(&g, &t1, &ctx);
+        assert_eq!(scratch.to_trace(), eager);
+        assert_eq!(probes, eager.events.len(), "one probe per attempted arc");
+        // Attempted arcs carry their status in the partial context.
+        for &(a, o) in &eager.events {
+            assert_eq!(scratch.partial().is_blocked(a), o == ArcOutcome::Blocked);
+        }
+    }
+
+    #[test]
+    fn partial_execution_reads_own_buffer() {
+        let g = g_a();
+        let t1 = strat(&g, &["R_p", "D_p", "R_g", "D_g"]);
+        let ctx = i2(&g);
+        let mut scratch = RunScratch::new(&g);
+        *scratch.partial_mut() = ctx.clone();
+        execute_partial_into(&g, &t1, &mut scratch);
+        assert_eq!(scratch.to_trace(), execute(&g, &t1, &ctx));
     }
 
     #[test]

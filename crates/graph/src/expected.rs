@@ -61,8 +61,7 @@ impl FiniteDistribution {
         if let Some(&(_, w)) = items.iter().find(|(_, w)| *w < 0.0 || !w.is_finite()) {
             return Err(GraphError::BadProbability(w));
         }
-        let items: Vec<(Context, f64)> =
-            items.into_iter().map(|(c, w)| (c, w / total)).collect();
+        let items: Vec<(Context, f64)> = items.into_iter().map(|(c, w)| (c, w / total)).collect();
         let mut cumulative = Vec::with_capacity(items.len());
         let mut acc = 0.0;
         for (_, w) in &items {
@@ -76,13 +75,30 @@ impl FiniteDistribution {
     pub fn items(&self) -> &[(Context, f64)] {
         &self.items
     }
+
+    /// Draws the *index* of a context class instead of cloning the class
+    /// itself — the hot-loop form of [`ContextDistribution::sample`].
+    /// Pair with [`FiniteDistribution::context`] to borrow the drawn class.
+    pub fn sample_index(&self, rng: &mut dyn rand::RngCore) -> usize {
+        let u: f64 = rng.gen();
+        self.cumulative.partition_point(|&c| c < u).min(self.items.len() - 1)
+    }
+
+    /// Borrows the context class at `idx` (as returned by
+    /// [`FiniteDistribution::sample_index`]).
+    pub fn context(&self, idx: usize) -> &Context {
+        &self.items[idx].0
+    }
+
+    /// Normalized weight of the context class at `idx`.
+    pub fn weight(&self, idx: usize) -> f64 {
+        self.items[idx].1
+    }
 }
 
 impl ContextDistribution for FiniteDistribution {
     fn sample(&self, rng: &mut dyn rand::RngCore) -> Context {
-        let u: f64 = rng.gen();
-        let idx = self.cumulative.partition_point(|&c| c < u).min(self.items.len() - 1);
-        self.items[idx].0.clone()
+        self.items[self.sample_index(rng)].0.clone()
     }
 
     fn expected_cost(&self, g: &InferenceGraph, s: &Strategy) -> f64 {
@@ -240,38 +256,23 @@ impl ContextDistribution for IndependentModel {
     /// Exact expected cost on a tree:
     /// `C[Θ] = Σ_k f(a_k) · Pr[a_k is attempted]`, where
     /// `Pr[attempted] = Pr[Π(a_k) all open] · Pr[no earlier retrieval
-    /// succeeds | Π(a_k) open]`, and the conditional no-success
-    /// probability is computed by a product recursion over the tree with
-    /// the ancestor arcs forced open.
+    /// succeeds | Π(a_k) open]`.
+    ///
+    /// The conditional no-success probability is served by a memoized
+    /// per-node recursion ([`ExactCostMemo`]): per-node subtree products
+    /// are cached and patched along one root path when a retrieval joins
+    /// the "earlier" set, so each strategy arc costs O(depth · branching)
+    /// instead of a full O(|G|) tree recursion. The arithmetic (factor
+    /// expressions, multiplication order, early zero exits) mirrors the
+    /// naive recursion exactly, so results are bit-for-bit identical —
+    /// see `memoized_cost_bitwise_matches_reference`.
     ///
     /// # Panics
     /// Panics if the graph is not a tree (use
     /// [`IndependentModel::expected_cost_exhaustive`] for DAGs).
     fn expected_cost(&self, g: &InferenceGraph, s: &Strategy) -> f64 {
         assert!(g.is_tree(), "exact expected cost requires a tree; use the exhaustive method");
-        // earlier[a] = true once a retrieval arc has been passed in Θ-order.
-        let mut earlier = vec![false; g.arc_count()];
-        let mut forced = vec![false; g.arc_count()];
-        let mut total = 0.0;
-        for &a in s.arcs() {
-            // Probability the root path of `a` is fully open.
-            let path = g.root_path(a);
-            let p_path: f64 = path.iter().map(|&b| self.prob(b)).product();
-            if p_path > 0.0 {
-                for &b in &path {
-                    forced[b.index()] = true;
-                }
-                let q = no_success_below(g, g.root(), &forced, &earlier, &self.probs);
-                for &b in &path {
-                    forced[b.index()] = false;
-                }
-                total += g.arc(a).cost * p_path * q;
-            }
-            if g.arc(a).kind == ArcKind::Retrieval {
-                earlier[a.index()] = true;
-            }
-        }
-        total
+        ExactCostMemo::new(g, &self.probs).cost(s)
     }
 
     fn rho(&self, g: &InferenceGraph, e: ArcId) -> f64 {
@@ -280,7 +281,9 @@ impl ContextDistribution for IndependentModel {
 }
 
 /// `Pr[no retrieval marked `earlier` in the subtree under `node`
-/// succeeds]`, with arcs in `forced` conditioned open.
+/// succeeds]`, with arcs in `forced` conditioned open. Reference
+/// recursion: [`ExactCostMemo`] reproduces its arithmetic with caching.
+#[cfg(test)]
 fn no_success_below(
     g: &InferenceGraph,
     node: NodeId,
@@ -307,6 +310,167 @@ fn no_success_below(
         }
     }
     acc
+}
+
+/// The naive O(|Θ|·|G|) evaluation the memoized path replaces; kept as
+/// the bit-equality oracle for `ExactCostMemo`.
+#[cfg(test)]
+fn expected_cost_reference(g: &InferenceGraph, probs: &[f64], s: &Strategy) -> f64 {
+    let mut earlier = vec![false; g.arc_count()];
+    let mut forced = vec![false; g.arc_count()];
+    let mut total = 0.0;
+    for &a in s.arcs() {
+        let path = g.root_path(a);
+        let p_path: f64 = path.iter().map(|&b| probs[b.index()]).product();
+        if p_path > 0.0 {
+            for &b in &path {
+                forced[b.index()] = true;
+            }
+            let q = no_success_below(g, g.root(), &forced, &earlier, probs);
+            for &b in &path {
+                forced[b.index()] = false;
+            }
+            total += g.arc(a).cost * p_path * q;
+        }
+        if g.arc(a).kind == ArcKind::Retrieval {
+            earlier[a.index()] = true;
+        }
+    }
+    total
+}
+
+/// Memoized engine behind [`IndependentModel::expected_cost`].
+///
+/// Invariants, maintained per processed strategy prefix:
+/// * `u[v]` = `Pr[no earlier retrieval in subtree(v) succeeds]` with **no**
+///   arcs forced — exactly `no_success_below(g, v, ∅, earlier, probs)`;
+/// * `m[c]` (reduction arcs) = `(1−p(c)) + p(c)·u[to(c)]`, the factor `c`
+///   contributes to its parent's product.
+///
+/// Per strategy arc, the conditional no-success probability with `Π(a)`
+/// forced open is rebuilt bottom-up along the root path only, substituting
+/// the forced child's factor with the running value; when a retrieval is
+/// appended to the "earlier" set, `u`/`m` are patched along its root path.
+/// Every product multiplies children in graph order with the same early
+/// zero exit as the reference recursion, keeping results bit-identical.
+struct ExactCostMemo<'g> {
+    g: &'g InferenceGraph,
+    probs: &'g [f64],
+    earlier: Vec<bool>,
+    m: Vec<f64>,
+    u: Vec<f64>,
+    path: Vec<ArcId>,
+}
+
+impl<'g> ExactCostMemo<'g> {
+    fn new(g: &'g InferenceGraph, probs: &'g [f64]) -> Self {
+        let mut memo = Self {
+            g,
+            probs,
+            earlier: vec![false; g.arc_count()],
+            m: vec![1.0; g.arc_count()],
+            u: vec![1.0; g.node_count()],
+            path: Vec::new(),
+        };
+        // Builder order is topological, so reverse node order visits
+        // children before parents.
+        for idx in (0..g.node_count()).rev() {
+            memo.refresh_node(NodeId(idx as u32));
+        }
+        memo
+    }
+
+    /// Recomputes `m` for every child arc of `v`, then `u[v]`.
+    fn refresh_node(&mut self, v: NodeId) {
+        for &c in self.g.children(v) {
+            if self.g.arc(c).kind == ArcKind::Reduction {
+                let p = self.probs[c.index()];
+                self.m[c.index()] = (1.0 - p) + p * self.u[self.g.arc(c).to.index()];
+            }
+        }
+        self.u[v.index()] = self.node_product(v, None, 0.0);
+    }
+
+    /// Ordered product of the children factors of `v`, substituting
+    /// `replacement` for the factor of `substitute` when given. Mirrors
+    /// `no_success_below` exactly: retrievals contribute `1−p` only once
+    /// "earlier", and a zero prefix short-circuits.
+    fn node_product(&self, v: NodeId, substitute: Option<ArcId>, replacement: f64) -> f64 {
+        let mut acc = 1.0;
+        for &c in self.g.children(v) {
+            if substitute == Some(c) {
+                acc *= replacement;
+            } else {
+                match self.g.arc(c).kind {
+                    ArcKind::Retrieval => {
+                        if self.earlier[c.index()] {
+                            acc *= 1.0 - self.probs[c.index()];
+                        }
+                    }
+                    ArcKind::Reduction => {
+                        acc *= self.m[c.index()];
+                    }
+                }
+            }
+            if acc == 0.0 {
+                return 0.0;
+            }
+        }
+        acc
+    }
+
+    /// `C[Θ]` for `s`, consuming the accumulated "earlier" state.
+    fn cost(&mut self, s: &Strategy) -> f64 {
+        let mut total = 0.0;
+        for &a in s.arcs() {
+            // Root path of `a`, multiplied root-downward (the reference
+            // iteration order).
+            self.path.clear();
+            let mut node = self.g.arc(a).from;
+            while let Some(p) = self.g.parent_arc(node) {
+                self.path.push(p);
+                node = self.g.arc(p).from;
+            }
+            self.path.reverse();
+            let mut p_path = 1.0;
+            for &b in &self.path {
+                p_path *= self.probs[b.index()];
+            }
+            if p_path > 0.0 {
+                // No-success probability with Π(a) forced open: splice the
+                // running subtree value into each ancestor's product,
+                // bottom-up. A forced reduction contributes
+                // (1−1) + 1·sub = sub, so substituting `q` is exact.
+                let mut q = self.u[self.g.arc(a).from.index()];
+                for &b in self.path.iter().rev() {
+                    q = self.node_product(self.g.arc(b).from, Some(b), q);
+                }
+                total += self.g.arc(a).cost * p_path * q;
+            }
+            if self.g.arc(a).kind == ArcKind::Retrieval {
+                self.mark_earlier(a);
+            }
+        }
+        total
+    }
+
+    /// Adds retrieval `a` to the "earlier" set and patches `u`/`m` along
+    /// its root path (the only cached values the change can touch).
+    fn mark_earlier(&mut self, a: ArcId) {
+        self.earlier[a.index()] = true;
+        let mut node = self.g.arc(a).from;
+        loop {
+            self.u[node.index()] = self.node_product(node, None, 0.0);
+            match self.g.parent_arc(node) {
+                Some(b) => {
+                    let p = self.probs[b.index()];
+                    self.m[b.index()] = (1.0 - p) + p * self.u[self.g.arc(b).to.index()];
+                    node = self.g.arc(b).from;
+                }
+                None => break,
+            }
+        }
+    }
 }
 
 impl Context {
@@ -351,8 +515,7 @@ mod tests {
     }
 
     fn strat(g: &InferenceGraph, labels: &[&str]) -> Strategy {
-        Strategy::from_arcs(g, labels.iter().map(|l| g.arc_by_label(l).unwrap()).collect())
-            .unwrap()
+        Strategy::from_arcs(g, labels.iter().map(|l| g.arc_by_label(l).unwrap()).collect()).unwrap()
     }
 
     /// The Section-2 query mix as a finite distribution over blocked-arc
@@ -474,7 +637,7 @@ mod tests {
         let n = 100_000;
         let mut dp_open = 0u32;
         for _ in 0..n {
-            if !dist.sample(&mut rng).is_blocked(dp) {
+            if !dist.context(dist.sample_index(&mut rng)).is_blocked(dp) {
                 dp_open += 1;
             }
         }
@@ -517,10 +680,7 @@ mod tests {
     #[test]
     fn bad_probability_rejected() {
         let g = g_a();
-        assert!(matches!(
-            IndependentModel::uniform(&g, 1.5),
-            Err(GraphError::BadProbability(_))
-        ));
+        assert!(matches!(IndependentModel::uniform(&g, 1.5), Err(GraphError::BadProbability(_))));
         assert!(matches!(
             IndependentModel::from_retrieval_probs(&g, &[0.5, -0.1]),
             Err(GraphError::BadProbability(_))
@@ -556,5 +716,94 @@ mod tests {
             let brute = m.expected_cost_exhaustive(&g, &s);
             proptest::prop_assert!((exact - brute).abs() < 1e-9, "{} vs {}", exact, brute);
         }
+
+        /// The memoized evaluator reproduces the naive recursion
+        /// **bit-for-bit** (same factors, same multiplication order, same
+        /// zero exits) across random models and every DFS strategy of G_B
+        /// plus an interleaved one — the invariant that keeps E1–E17
+        /// outputs unchanged by this optimization.
+        #[test]
+        fn memoized_cost_bitwise_matches_reference(
+            probs in proptest::collection::vec(0.0f64..=1.0, 10),
+            zero_mask in 0u32..1024,
+        ) {
+            let g = g_b();
+            // Exercise the zero-product short-circuits too.
+            let m = IndependentModel::from_fn(&g, |a| {
+                if zero_mask & (1 << a.index()) != 0 { 0.0 } else { probs[a.index()] }
+            }).unwrap();
+            let mut strategies = crate::strategy::enumerate_dfs(&g, 100).unwrap();
+            strategies.push(strat(
+                &g,
+                &["R_gs", "R_st", "R_tc", "D_c", "R_ga", "D_a", "R_td", "D_d", "R_sb", "D_b"],
+            ));
+            for s in &strategies {
+                let fast = m.expected_cost(&g, s);
+                let reference = expected_cost_reference(&g, &m.probs, s);
+                proptest::prop_assert_eq!(
+                    fast.to_bits(), reference.to_bits(),
+                    "strategy {}: {} vs {}", s.display(&g), fast, reference
+                );
+            }
+        }
+
+        /// Same bitwise agreement on random deeper trees (LCG-built, up
+        /// to depth 5) with the left-to-right strategy.
+        #[test]
+        fn memoized_cost_bitwise_matches_reference_on_random_trees(seed in 0u64..5_000) {
+            let (g, probs) = lcg_tree(seed);
+            let m = IndependentModel::from_fn(&g, |a| probs[a.index()]).unwrap();
+            let s = Strategy::left_to_right(&g);
+            let fast = m.expected_cost(&g, &s);
+            let reference = expected_cost_reference(&g, &m.probs, &s);
+            proptest::prop_assert_eq!(fast.to_bits(), reference.to_bits());
+        }
+    }
+
+    /// Deterministic LCG-grown random tree with per-arc probabilities
+    /// (deeper than G_B; no `rand` dependency so the shape is stable).
+    fn lcg_tree(seed: u64) -> (InferenceGraph, Vec<f64>) {
+        fn next(state: &mut u64) -> u64 {
+            *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *state >> 33
+        }
+        fn grow(
+            b: &mut GraphBuilder,
+            node: NodeId,
+            state: &mut u64,
+            depth: usize,
+            label: &mut u32,
+        ) {
+            let kids = if depth >= 5 { 0 } else { next(state) % 3 };
+            if kids == 0 {
+                b.retrieval(node, &format!("D{}", *label), (1 + next(state) % 4) as f64);
+                *label += 1;
+                return;
+            }
+            for _ in 0..kids {
+                let (_, child) = b.reduction(
+                    node,
+                    &format!("R{}", *label),
+                    (1 + next(state) % 4) as f64,
+                    "goal",
+                );
+                *label += 1;
+                grow(b, child, state, depth + 1, label);
+            }
+        }
+        let mut state = seed.wrapping_mul(2).wrapping_add(1);
+        let mut b = GraphBuilder::new("root");
+        let root = b.root();
+        let mut label = 0;
+        for _ in 0..1 + next(&mut state) % 3 {
+            let (_, child) =
+                b.reduction(root, &format!("R{label}"), (1 + next(&mut state) % 4) as f64, "goal");
+            label += 1;
+            grow(&mut b, child, &mut state, 1, &mut label);
+        }
+        let g = b.finish().expect("LCG tree is valid");
+        let probs: Vec<f64> =
+            g.arc_ids().map(|_| (next(&mut state) % 1000) as f64 / 999.0).collect();
+        (g, probs)
     }
 }

@@ -237,8 +237,8 @@ impl InferenceGraph {
     /// paths through `a` (Note 5) — i.e. everything outside
     /// `Π(a) ∪ subtree(a)`. Only meaningful on trees.
     pub fn f_not(&self, a: ArcId) -> f64 {
-        let own: f64 = self.root_path(a).iter().map(|&x| self.arc(x).cost).sum::<f64>()
-            + self.f_star(a);
+        let own: f64 =
+            self.root_path(a).iter().map(|&x| self.arc(x).cost).sum::<f64>() + self.f_star(a);
         self.total_cost() - own
     }
 
@@ -257,7 +257,8 @@ impl InferenceGraph {
     /// if `require_tree`).
     pub fn validate(&self, require_tree: bool) -> Result<(), GraphError> {
         for (i, a) in self.arcs.iter().enumerate() {
-            if a.cost.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !a.cost.is_finite() {
+            if a.cost.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !a.cost.is_finite()
+            {
                 return Err(GraphError::NonPositiveCost(a.label.clone()));
             }
             if a.kind == ArcKind::Retrieval {
@@ -372,7 +373,14 @@ impl GraphBuilder {
         id
     }
 
-    fn add_arc(&mut self, from: NodeId, to: NodeId, kind: ArcKind, label: &str, cost: f64) -> ArcId {
+    fn add_arc(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        kind: ArcKind,
+        label: &str,
+        cost: f64,
+    ) -> ArcId {
         let id = ArcId(u32::try_from(self.arcs.len()).expect("arc overflow"));
         self.arcs.push(ArcData { from, to, kind, label: label.into(), cost });
         self.children[from.index()].push(id);
@@ -382,7 +390,13 @@ impl GraphBuilder {
 
     /// Adds a rule-reduction arc from `from` to a fresh subgoal node.
     /// Returns `(arc, subgoal node)`.
-    pub fn reduction(&mut self, from: NodeId, label: &str, cost: f64, goal_label: &str) -> (ArcId, NodeId) {
+    pub fn reduction(
+        &mut self,
+        from: NodeId,
+        label: &str,
+        cost: f64,
+        goal_label: &str,
+    ) -> (ArcId, NodeId) {
         let node = self.add_node(goal_label, false);
         let arc = self.add_arc(from, node, ArcKind::Reduction, label, cost);
         (arc, node)
@@ -496,8 +510,7 @@ mod tests {
     fn root_path_is_ordered_from_root() {
         let g = g_b();
         let dc = g.arc_by_label("D_c").unwrap();
-        let labels: Vec<&str> =
-            g.root_path(dc).iter().map(|&a| g.arc(a).label.as_str()).collect();
+        let labels: Vec<&str> = g.root_path(dc).iter().map(|&a| g.arc(a).label.as_str()).collect();
         assert_eq!(labels, ["R_gs", "R_st", "R_tc"]);
         assert_eq!(g.depth(dc), 3);
     }

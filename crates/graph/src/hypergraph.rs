@@ -153,7 +153,13 @@ impl AndOrBuilder {
     }
 
     /// Adds a conjunctive reduction from `from` to `children`.
-    pub fn reduction(&mut self, from: GoalId, children: Vec<GoalId>, label: &str, cost: f64) -> HyperArcId {
+    pub fn reduction(
+        &mut self,
+        from: GoalId,
+        children: Vec<GoalId>,
+        label: &str,
+        cost: f64,
+    ) -> HyperArcId {
         self.push(HyperArc { from, children, cost, label: label.into() })
     }
 
@@ -176,7 +182,8 @@ impl AndOrBuilder {
     /// [`GraphError::NonPositiveCost`] or [`GraphError::DeadLeaf`].
     pub fn finish(self) -> Result<AndOrGraph, GraphError> {
         for a in &self.arcs {
-            if a.cost.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !a.cost.is_finite() {
+            if a.cost.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !a.cost.is_finite()
+            {
                 return Err(GraphError::NonPositiveCost(a.label.clone()));
             }
         }
@@ -188,7 +195,12 @@ impl AndOrBuilder {
                 )));
             }
         }
-        Ok(AndOrGraph { labels: self.labels, arcs: self.arcs, outgoing: self.outgoing, root: GoalId(0) })
+        Ok(AndOrGraph {
+            labels: self.labels,
+            arcs: self.arcs,
+            outgoing: self.outgoing,
+            root: GoalId(0),
+        })
     }
 }
 
@@ -234,7 +246,9 @@ pub struct AndOrStrategy {
 impl AndOrStrategy {
     /// The construction-order (left-to-right) strategy.
     pub fn left_to_right(g: &AndOrGraph) -> Self {
-        Self { orders: (0..g.goal_count()).map(|i| g.outgoing(GoalId(i as u32)).to_vec()).collect() }
+        Self {
+            orders: (0..g.goal_count()).map(|i| g.outgoing(GoalId(i as u32)).to_vec()).collect(),
+        }
     }
 
     /// From explicit per-goal orders.
@@ -344,8 +358,7 @@ impl AndOrModel {
         assert!(vars.len() <= 24, "too many probabilistic arcs");
         let mut total = 0.0;
         for mask in 0u32..(1 << vars.len()) {
-            let mut ctx =
-                AndOrContext { blocked: self.probs.iter().map(|&p| p == 0.0).collect() };
+            let mut ctx = AndOrContext { blocked: self.probs.iter().map(|&p| p == 0.0).collect() };
             let mut w = 1.0;
             for (bit, &i) in vars.iter().enumerate() {
                 let open = mask & (1 << bit) != 0;
@@ -556,10 +569,7 @@ mod tests {
     fn invalid_orders_rejected() {
         let g = conj();
         let bad = vec![Vec::new(); g.goal_count()];
-        assert!(matches!(
-            AndOrStrategy::from_orders(&g, bad),
-            Err(GraphError::InvalidStrategy(_))
-        ));
+        assert!(matches!(AndOrStrategy::from_orders(&g, bad), Err(GraphError::InvalidStrategy(_))));
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! Incremental expected-cost evaluation for depth-first strategies —
+//! the compile-once / evaluate-many pattern applied to `C[Θ]`.
+//!
+//! A hill-climb over the sibling-swap vocabulary `T(Θ)` evaluates every
+//! neighbor of the current strategy at every step. Recomputing the exact
+//! expected cost from scratch is O(|G|·depth) per candidate; but a sibling
+//! swap only permutes the child order at one node, so everything below the
+//! two swapped subtrees — and everything outside their root path — is
+//! unchanged. [`CostEvaluator`] caches two quantities per node `v` of a
+//! depth-first strategy:
+//!
+//! * `S(v)` — probability the subtree search below `v` succeeds, given `v`
+//!   is reached: `S(v) = 1 − Π_c (1 − s(c))` over children in strategy
+//!   order, with `s(c) = p(c)` for retrievals and `p(c)·S(to(c))` for
+//!   reductions;
+//! * `E(v)` — expected cost spent inside the subtree, given `v` is reached
+//!   and the search enters it: `E(v) = Σ_i Π_{j<i}(1−s(c_j)) · w(c_i)`,
+//!   with `w(c) = f(c) + p(c)·E(to(c))` for reductions and `f(c)` for
+//!   retrievals.
+//!
+//! `C[Θ] = E(root)`, and [`CostEvaluator::expected_cost_after_swap`]
+//! re-derives only the swap node and its root path: O(depth · branching)
+//! per candidate versus O(|G|·depth) for a full recompute. The after-swap
+//! value is **bit-identical** to rebuilding the evaluator on the swapped
+//! strategy, because the same node recomputation routine serves both
+//! paths.
+
+use crate::error::GraphError;
+use crate::expected::IndependentModel;
+use crate::graph::{ArcId, ArcKind, InferenceGraph, NodeId};
+use crate::strategy::Strategy;
+
+/// Cached exact-cost state for one depth-first strategy under an
+/// [`IndependentModel`]; supports O(depth · branching) sibling-swap
+/// candidate evaluation and in-place commits.
+#[derive(Debug, Clone)]
+pub struct CostEvaluator<'g> {
+    g: &'g InferenceGraph,
+    probs: Vec<f64>,
+    /// Child order per node, as induced by the current strategy.
+    orders: Vec<Vec<ArcId>>,
+    /// `S(v)` per node.
+    s_node: Vec<f64>,
+    /// `E(v)` per node.
+    e_node: Vec<f64>,
+}
+
+impl<'g> CostEvaluator<'g> {
+    /// Builds the cache for `strategy` under `model`.
+    ///
+    /// # Errors
+    /// [`GraphError::NotTree`] if `g` is not a tree, or
+    /// [`GraphError::InvalidStrategy`] if `strategy` is not depth-first
+    /// (interleaved strategies have no per-node decomposition; score them
+    /// with [`IndependentModel::expected_cost`] instead).
+    pub fn new(
+        g: &'g InferenceGraph,
+        model: &IndependentModel,
+        strategy: &Strategy,
+    ) -> Result<Self, GraphError> {
+        if !g.is_tree() {
+            return Err(GraphError::NotTree("CostEvaluator requires a tree".into()));
+        }
+        if !strategy.is_depth_first(g) {
+            return Err(GraphError::InvalidStrategy(
+                "CostEvaluator requires a depth-first strategy".into(),
+            ));
+        }
+        let mut ev = Self {
+            g,
+            probs: g.arc_ids().map(|a| model.prob(a)).collect(),
+            orders: strategy.child_orders(g),
+            s_node: vec![0.0; g.node_count()],
+            e_node: vec![0.0; g.node_count()],
+        };
+        // Builder order is topological: children have larger indices.
+        for idx in (0..g.node_count()).rev() {
+            let (s, e) = ev.evaluate_node(&ev.orders[idx]);
+            ev.s_node[idx] = s;
+            ev.e_node[idx] = e;
+        }
+        Ok(ev)
+    }
+
+    /// `(S(v), E(v))` for a node whose children are visited in `order`,
+    /// reading child values from the cache. Shared by the full build, the
+    /// after-swap preview, and the commit — which is what makes preview
+    /// and rebuild bit-identical.
+    fn evaluate_node(&self, order: &[ArcId]) -> (f64, f64) {
+        let mut no_success = 1.0;
+        let mut e = 0.0;
+        for &c in order {
+            let p = self.probs[c.index()];
+            let (s_c, w_c) = match self.g.arc(c).kind {
+                ArcKind::Retrieval => (p, self.g.arc(c).cost),
+                ArcKind::Reduction => {
+                    let child = self.g.arc(c).to.index();
+                    (p * self.s_node[child], self.g.arc(c).cost + p * self.e_node[child])
+                }
+            };
+            e += no_success * w_c;
+            no_success *= 1.0 - s_c;
+        }
+        (1.0 - no_success, e)
+    }
+
+    /// `C[Θ]` of the current strategy.
+    pub fn expected_cost(&self) -> f64 {
+        self.e_node[self.g.root().index()]
+    }
+
+    /// The expected cost the strategy would have after swapping the
+    /// sibling arcs `r1` and `r2` (exchanging their subtree blocks), i.e.
+    /// the candidate score for that member of `T(Θ)` — without touching
+    /// the cache. O(depth · branching).
+    ///
+    /// # Errors
+    /// [`GraphError::InapplicableTransform`] unless `r1` and `r2` are
+    /// distinct siblings.
+    pub fn expected_cost_after_swap(&self, r1: ArcId, r2: ArcId) -> Result<f64, GraphError> {
+        let (swap_node, order) = self.swapped_order(r1, r2)?;
+        let (mut s, mut e) = self.evaluate_node(&order);
+        // Re-derive each ancestor with the updated child contribution;
+        // sibling factors come from the untouched cache.
+        let mut node = swap_node;
+        while let Some(parent_arc) = self.g.parent_arc(node) {
+            let parent = self.g.arc(parent_arc).from;
+            let (ps, pe) =
+                self.evaluate_node_with_override(parent, &self.orders[parent.index()], node, s, e);
+            s = ps;
+            e = pe;
+            node = parent;
+        }
+        Ok(e)
+    }
+
+    /// Commits the swap: updates the child order at the common node and
+    /// repairs `S`/`E` along the root path. O(depth · branching).
+    ///
+    /// # Errors
+    /// [`GraphError::InapplicableTransform`] unless `r1` and `r2` are
+    /// distinct siblings.
+    pub fn apply_swap(&mut self, r1: ArcId, r2: ArcId) -> Result<(), GraphError> {
+        let (swap_node, order) = self.swapped_order(r1, r2)?;
+        let (s, e) = self.evaluate_node(&order);
+        self.orders[swap_node.index()] = order;
+        self.s_node[swap_node.index()] = s;
+        self.e_node[swap_node.index()] = e;
+        let mut node = swap_node;
+        while let Some(parent_arc) = self.g.parent_arc(node) {
+            let parent = self.g.arc(parent_arc).from;
+            let (ps, pe) = self.evaluate_node(&self.orders[parent.index()]);
+            self.s_node[parent.index()] = ps;
+            self.e_node[parent.index()] = pe;
+            node = parent;
+        }
+        Ok(())
+    }
+
+    /// The strategy the cache currently scores (depth-first order over
+    /// `orders`).
+    pub fn strategy(&self) -> Strategy {
+        Strategy::dfs_from_orders(self.g, &self.orders)
+            .expect("cached orders are per-node child permutations")
+    }
+
+    /// Validates the swap pair and returns the common node together with
+    /// its child order after exchanging `r1` and `r2`.
+    fn swapped_order(&self, r1: ArcId, r2: ArcId) -> Result<(NodeId, Vec<ArcId>), GraphError> {
+        if r1 == r2 {
+            return Err(GraphError::InapplicableTransform("cannot swap an arc with itself".into()));
+        }
+        let v = self.g.arc(r1).from;
+        if self.g.arc(r2).from != v {
+            return Err(GraphError::InapplicableTransform(format!(
+                "arcs {} and {} are not siblings",
+                self.g.arc(r1).label,
+                self.g.arc(r2).label
+            )));
+        }
+        let order = &self.orders[v.index()];
+        let i1 = order.iter().position(|&c| c == r1).expect("order covers children");
+        let i2 = order.iter().position(|&c| c == r2).expect("order covers children");
+        let mut swapped = order.clone();
+        swapped.swap(i1, i2);
+        Ok((v, swapped))
+    }
+
+    /// `evaluate_node`, but with the cached `S`/`E` of one child node
+    /// overridden — used to propagate an un-committed swap up the path.
+    fn evaluate_node_with_override(
+        &self,
+        v: NodeId,
+        order: &[ArcId],
+        child_node: NodeId,
+        s_override: f64,
+        e_override: f64,
+    ) -> (f64, f64) {
+        let _ = v;
+        let mut no_success = 1.0;
+        let mut e = 0.0;
+        for &c in order {
+            let p = self.probs[c.index()];
+            let (s_c, w_c) = match self.g.arc(c).kind {
+                ArcKind::Retrieval => (p, self.g.arc(c).cost),
+                ArcKind::Reduction => {
+                    let child = self.g.arc(c).to;
+                    let (cs, ce) = if child == child_node {
+                        (s_override, e_override)
+                    } else {
+                        (self.s_node[child.index()], self.e_node[child.index()])
+                    };
+                    (p * cs, self.g.arc(c).cost + p * ce)
+                }
+            };
+            e += no_success * w_c;
+            no_success *= 1.0 - s_c;
+        }
+        (1.0 - no_success, e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expected::ContextDistribution;
+    use crate::graph::GraphBuilder;
+
+    fn g_b() -> InferenceGraph {
+        let mut b = GraphBuilder::new("G(κ)");
+        let root = b.root();
+        let (_, a) = b.reduction(root, "R_ga", 1.0, "A(κ)");
+        b.retrieval(a, "D_a", 1.0);
+        let (_, s) = b.reduction(root, "R_gs", 1.0, "S(κ)");
+        let (_, bb) = b.reduction(s, "R_sb", 1.0, "B(κ)");
+        b.retrieval(bb, "D_b", 1.0);
+        let (_, t) = b.reduction(s, "R_st", 1.0, "T(κ)");
+        let (_, c) = b.reduction(t, "R_tc", 1.0, "C(κ)");
+        b.retrieval(c, "D_c", 1.0);
+        let (_, d) = b.reduction(t, "R_td", 1.0, "D(κ)");
+        b.retrieval(d, "D_d", 1.0);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn matches_exact_cost_on_g_b() {
+        let g = g_b();
+        let m = IndependentModel::from_retrieval_probs(&g, &[0.3, 0.5, 0.2, 0.7]).unwrap();
+        for s in crate::strategy::enumerate_dfs(&g, 100).unwrap() {
+            let ev = CostEvaluator::new(&g, &m, &s).unwrap();
+            let exact = m.expected_cost(&g, &s);
+            assert!(
+                (ev.expected_cost() - exact).abs() < 1e-9,
+                "strategy {}: evaluator {} vs exact {exact}",
+                s.display(&g),
+                ev.expected_cost()
+            );
+        }
+    }
+
+    #[test]
+    fn after_swap_equals_fresh_rebuild() {
+        let g = g_b();
+        let m = IndependentModel::from_retrieval_probs(&g, &[0.3, 0.5, 0.2, 0.7]).unwrap();
+        let theta = Strategy::left_to_right(&g);
+        let ev = CostEvaluator::new(&g, &m, &theta).unwrap();
+        let by = |l: &str| g.arc_by_label(l).unwrap();
+        for (r1, r2) in [("R_ga", "R_gs"), ("R_sb", "R_st"), ("R_tc", "R_td")] {
+            let preview = ev.expected_cost_after_swap(by(r1), by(r2)).unwrap();
+            let mut committed = ev.clone();
+            committed.apply_swap(by(r1), by(r2)).unwrap();
+            let rebuilt =
+                CostEvaluator::new(&g, &m, &committed.strategy()).unwrap().expected_cost();
+            assert_eq!(preview.to_bits(), rebuilt.to_bits(), "swap ({r1}, {r2})");
+            assert_eq!(committed.expected_cost().to_bits(), rebuilt.to_bits());
+        }
+    }
+
+    #[test]
+    fn rejects_non_siblings_and_non_dfs() {
+        let g = g_b();
+        let m = IndependentModel::from_retrieval_probs(&g, &[0.3, 0.5, 0.2, 0.7]).unwrap();
+        let theta = Strategy::left_to_right(&g);
+        let ev = CostEvaluator::new(&g, &m, &theta).unwrap();
+        let by = |l: &str| g.arc_by_label(l).unwrap();
+        assert!(ev.expected_cost_after_swap(by("R_ga"), by("R_sb")).is_err());
+        assert!(ev.expected_cost_after_swap(by("R_ga"), by("R_ga")).is_err());
+
+        let interleaved = Strategy::from_arcs(
+            &g,
+            ["R_gs", "R_st", "R_tc", "D_c", "R_ga", "D_a", "R_td", "D_d", "R_sb", "D_b"]
+                .iter()
+                .map(|l| by(l))
+                .collect(),
+        )
+        .unwrap();
+        assert!(matches!(
+            CostEvaluator::new(&g, &m, &interleaved),
+            Err(GraphError::InvalidStrategy(_))
+        ));
+    }
+
+    #[test]
+    fn strategy_round_trips() {
+        let g = g_b();
+        let m = IndependentModel::from_retrieval_probs(&g, &[0.3, 0.5, 0.2, 0.7]).unwrap();
+        let theta = Strategy::left_to_right(&g);
+        let ev = CostEvaluator::new(&g, &m, &theta).unwrap();
+        assert_eq!(ev.strategy().arcs(), theta.arcs());
+    }
+}

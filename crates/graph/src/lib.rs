@@ -15,6 +15,9 @@
 //!   satisficing execution semantics `c(Θ, I)` with full traces.
 //! * [`expected`] — finite and independent-arc context distributions with
 //!   *exact* expected-cost computation.
+//! * [`incremental`] — cached per-node cost state for depth-first
+//!   strategies with O(depth · branching) sibling-swap candidate
+//!   evaluation (the inner loop of hill-climbing over `T(Θ)`).
 //! * [`pessimistic`] — the "assume unexplored arcs are blocked"
 //!   completion underlying PIB's `Δ̃` under-estimates.
 //! * [`compile`] — compilation of a Datalog rule base + query form into
@@ -34,12 +37,14 @@ pub mod error;
 pub mod expected;
 pub mod graph;
 pub mod hypergraph;
+pub mod incremental;
 pub mod pessimistic;
 pub mod strategy;
 
-pub use context::{ArcOutcome, Context, RunOutcome, Trace};
+pub use context::{ArcOutcome, Context, RunOutcome, RunScratch, Trace};
 pub use error::GraphError;
 pub use expected::{ContextDistribution, FiniteDistribution, IndependentModel};
 pub use graph::{ArcData, ArcId, ArcKind, GraphBuilder, InferenceGraph, NodeData, NodeId};
+pub use incremental::CostEvaluator;
 pub use pessimistic::pessimistic_completion;
 pub use strategy::Strategy;

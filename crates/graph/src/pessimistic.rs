@@ -21,19 +21,33 @@
 //! `qpl-core` verify both facts on random graphs.
 
 use crate::context::{ArcOutcome, Context, Trace};
-use crate::graph::{ArcKind, InferenceGraph};
+use crate::graph::{ArcId, ArcKind, InferenceGraph};
 
 /// Builds the pessimistic completion `I⁻` of a trace: observed statuses
 /// preserved, unobserved retrievals blocked, unobserved reductions open.
 pub fn pessimistic_completion(g: &InferenceGraph, trace: &Trace) -> Context {
-    let mut ctx = Context::from_fn(g, |a| match g.arc(a).kind {
-        ArcKind::Retrieval => true, // assume blocked
+    let mut ctx = Context::all_open(g);
+    pessimistic_completion_into(g, &trace.events, &mut ctx);
+    ctx
+}
+
+/// [`pessimistic_completion`] into a caller-owned buffer (resized to fit
+/// `g`), taking the run's events directly — e.g. from
+/// [`RunScratch::events`](crate::context::RunScratch::events) — so tight
+/// loops rebuild the completion without allocating a fresh [`Context`]
+/// per probe.
+pub fn pessimistic_completion_into(
+    g: &InferenceGraph,
+    events: &[(ArcId, ArcOutcome)],
+    out: &mut Context,
+) {
+    out.reset_from_fn(g, |a| match g.arc(a).kind {
+        ArcKind::Retrieval => true,  // assume blocked
         ArcKind::Reduction => false, // assume open
     });
-    for &(a, outcome) in &trace.events {
-        ctx.set_blocked(a, outcome == ArcOutcome::Blocked);
+    for &(a, outcome) in events {
+        out.set_blocked(a, outcome == ArcOutcome::Blocked);
     }
-    ctx
 }
 
 #[cfg(test)]
@@ -122,8 +136,7 @@ mod tests {
             vec!["D_a", "D_b", "D_c", "D_d"],
             vec!["R_gs", "D_a"],
         ] {
-            let arcs: Vec<_> =
-                blocked_set.iter().map(|l| g.arc_by_label(l).unwrap()).collect();
+            let arcs: Vec<_> = blocked_set.iter().map(|l| g.arc_by_label(l).unwrap()).collect();
             let ctx = Context::with_blocked(&g, &arcs);
             let trace = execute(&g, &theta, &ctx);
             let completed = pessimistic_completion(&g, &trace);

@@ -62,8 +62,7 @@ impl Strategy {
     /// The canonical depth-first left-to-right strategy (e.g. the paper's
     /// `Θ_ABCD` on `G_B`).
     pub fn left_to_right(g: &InferenceGraph) -> Self {
-        let orders: Vec<Vec<ArcId>> =
-            g.node_ids().map(|n| g.children(n).to_vec()).collect();
+        let orders: Vec<Vec<ArcId>> = g.node_ids().map(|n| g.children(n).to_vec()).collect();
         Self::dfs_from_orders(g, &orders).expect("left-to-right DFS is always valid")
     }
 
@@ -277,23 +276,15 @@ pub fn enumerate_all(g: &InferenceGraph, limit: usize) -> Option<Vec<Strategy>> 
 
     // One "move" = a full path: from a visited node, descend through
     // unused arcs to the first retrieval. Enumerate all such paths.
-    fn paths_from(
-        g: &InferenceGraph,
-        visited: &[bool],
-        used: &[bool],
-    ) -> Vec<Vec<ArcId>> {
+    fn paths_from(g: &InferenceGraph, visited: &[bool], used: &[bool]) -> Vec<Vec<ArcId>> {
         let mut all = Vec::new();
         for n in g.node_ids() {
             if !visited[n.index()] {
                 continue;
             }
             // DFS over descending arc choices.
-            let mut stack: Vec<Vec<ArcId>> = g
-                .children(n)
-                .iter()
-                .filter(|a| !used[a.index()])
-                .map(|&a| vec![a])
-                .collect();
+            let mut stack: Vec<Vec<ArcId>> =
+                g.children(n).iter().filter(|a| !used[a.index()]).map(|&a| vec![a]).collect();
             while let Some(path) = stack.pop() {
                 let last = *path.last().expect("paths are non-empty");
                 match g.arc(last).kind {
@@ -547,7 +538,10 @@ mod tests {
         let g = g_b();
         let s = Strategy::from_arcs(
             &g,
-            by_labels(&g, &["R_gs", "R_sb", "D_b", "R_ga", "D_a", "R_st", "R_tc", "D_c", "R_td", "D_d"]),
+            by_labels(
+                &g,
+                &["R_gs", "R_sb", "D_b", "R_ga", "D_a", "R_st", "R_tc", "D_c", "R_td", "D_d"],
+            ),
         )
         .unwrap();
         assert!(!s.is_depth_first(&g));
@@ -582,7 +576,12 @@ mod tests {
         let g = g_b();
         let all = enumerate_all(&g, 100_000).unwrap();
         let dfs = enumerate_dfs(&g, 1000).unwrap();
-        assert!(all.len() > dfs.len(), "path-form space strictly larger: {} vs {}", all.len(), dfs.len());
+        assert!(
+            all.len() > dfs.len(),
+            "path-form space strictly larger: {} vs {}",
+            all.len(),
+            dfs.len()
+        );
         for s in &dfs {
             assert!(all.iter().any(|t| t.arcs() == s.arcs()), "every DFS strategy is path-form");
         }
@@ -620,9 +619,7 @@ mod tests {
         assert_eq!(s.arcs().len(), 2);
         // Still rejects unreachable and duplicate arcs.
         assert!(Strategy::from_arcs_relaxed(&g, vec![by("R_st")]).is_err());
-        assert!(
-            Strategy::from_arcs_relaxed(&g, vec![by("R_gs"), by("R_gs")]).is_err()
-        );
+        assert!(Strategy::from_arcs_relaxed(&g, vec![by("R_gs"), by("R_gs")]).is_err());
     }
 
     #[test]

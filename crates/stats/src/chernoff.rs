@@ -192,9 +192,6 @@ mod tests {
         }
         let freq = exceed as f64 / trials as f64;
         let bound = hoeffding_tail(n, beta, 1.0);
-        assert!(
-            freq <= bound,
-            "empirical {freq} exceeded Hoeffding bound {bound}"
-        );
+        assert!(freq <= bound, "empirical {freq} exceeded Hoeffding bound {bound}");
     }
 }

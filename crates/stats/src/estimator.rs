@@ -172,6 +172,25 @@ impl PairedDifference {
         self.sum = 0.0;
         self.count = 0;
     }
+
+    /// Absorbs a partial accumulator produced over a disjoint shard of the
+    /// sample stream (the parallel harness merges per-block partials in
+    /// block order, so `a.merge(&b)` must mean "b's samples came after
+    /// a's": it appends b's sum to a's).
+    ///
+    /// # Panics
+    /// Panics if the two accumulators declare different ranges `Λ` —
+    /// their Hoeffding thresholds would be incomparable.
+    pub fn merge(&mut self, other: &Self) {
+        assert!(
+            self.range == other.range,
+            "cannot merge PairedDifference accumulators with ranges {} and {}",
+            self.range,
+            other.range
+        );
+        self.sum += other.sum;
+        self.count += other.count;
+    }
 }
 
 /// Generic mean estimator for observations confined to `[lo, hi]`.
@@ -225,6 +244,21 @@ impl RangedMean {
         } else {
             chernoff::confidence_radius(self.count, delta, self.hi - self.lo)
         }
+    }
+
+    /// Absorbs a partial estimator built over a disjoint shard of the
+    /// sample stream (sum and count add; see
+    /// [`PairedDifference::merge`] for the ordering contract).
+    ///
+    /// # Panics
+    /// Panics if the two estimators declare different ranges.
+    pub fn merge(&mut self, other: &Self) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi,
+            "cannot merge RangedMean estimators over different ranges"
+        );
+        self.sum += other.sum;
+        self.count += other.count;
     }
 }
 
@@ -322,5 +356,51 @@ mod tests {
         let mut m = RangedMean::new(0.0, 1.0);
         m.record(1.0 + 1e-12);
         assert!(m.mean().unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn paired_difference_merge_matches_serial_fold() {
+        let observations = [0.5, -1.0, 2.0, 1.5, -0.25, 3.0, 0.0, -2.5];
+        let mut serial = PairedDifference::new(4.0);
+        for d in observations {
+            serial.record(d);
+        }
+        let mut a = PairedDifference::new(4.0);
+        let mut b = PairedDifference::new(4.0);
+        for d in &observations[..3] {
+            a.record(*d);
+        }
+        for d in &observations[3..] {
+            b.record(*d);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), serial.count());
+        assert_eq!(a.sum().to_bits(), serial.sum().to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "ranges")]
+    fn paired_difference_merge_rejects_mismatched_range() {
+        let mut a = PairedDifference::new(1.0);
+        a.merge(&PairedDifference::new(2.0));
+    }
+
+    #[test]
+    fn ranged_mean_merge_adds() {
+        let mut a = RangedMean::new(0.0, 10.0);
+        let mut b = RangedMean::new(0.0, 10.0);
+        a.record(2.0);
+        b.record(4.0);
+        b.record(6.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.mean(), Some(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "different ranges")]
+    fn ranged_mean_merge_rejects_mismatched_range() {
+        let mut a = RangedMean::new(0.0, 1.0);
+        a.merge(&RangedMean::new(0.0, 2.0));
     }
 }

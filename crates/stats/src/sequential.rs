@@ -106,10 +106,7 @@ mod tests {
         let s = SequentialSchedule::new(0.25);
         let partial: f64 = (1..=200_000u64).map(|i| s.budget_for(i)).sum();
         assert!(partial < 0.25, "partial sums must stay below delta");
-        assert!(
-            partial > 0.25 * 0.99999,
-            "partial sum {partial} should approach 0.25"
-        );
+        assert!(partial > 0.25 * 0.99999, "partial sum {partial} should approach 0.25");
     }
 
     #[test]

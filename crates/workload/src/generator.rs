@@ -43,8 +43,7 @@ pub fn random_tree(rng: &mut impl Rng, params: &TreeParams) -> InferenceGraph {
         params: &TreeParams,
         counter: &mut u32,
     ) {
-        let branch =
-            depth < params.max_depth && rng.gen::<f64>() < params.branch_prob;
+        let branch = depth < params.max_depth && rng.gen::<f64>() < params.branch_prob;
         if !branch {
             let cost = rng.gen_range(params.cost_range.0..=params.cost_range.1);
             b.retrieval(node, &format!("D{}", *counter), cost);
@@ -96,8 +95,7 @@ pub fn random_retrieval_model(
     g: &InferenceGraph,
     p_range: (f64, f64),
 ) -> IndependentModel {
-    let probs: Vec<f64> =
-        g.retrievals().map(|_| rng.gen_range(p_range.0..=p_range.1)).collect();
+    let probs: Vec<f64> = g.retrievals().map(|_| rng.gen_range(p_range.0..=p_range.1)).collect();
     IndependentModel::from_retrieval_probs(g, &probs).expect("generated probabilities valid")
 }
 
@@ -180,7 +178,11 @@ pub fn random_layered_kb(
             let head = if l == 0 { "q0".to_string() } else { format!("p{l}_{i}") };
             for j in 0..params.rules_per_layer {
                 let child = if l + 1 == params.layers {
-                    format!("e{}_{}", l + 1, (i * params.rules_per_layer + j) % widths[l + 1].max(1))
+                    format!(
+                        "e{}_{}",
+                        l + 1,
+                        (i * params.rules_per_layer + j) % widths[l + 1].max(1)
+                    )
                 } else {
                     format!("p{}_{}", l + 1, j)
                 };
@@ -274,8 +276,7 @@ mod tests {
         // Answers agree with the bottom-up oracle for a few constants.
         let qp = qpl_engine::qp::QueryProcessor::left_to_right(&cg);
         for c in 0..10 {
-            let q = qpl_datalog::parser::parse_query(&format!("{root}(c{c})"), &mut table)
-                .unwrap();
+            let q = qpl_datalog::parser::parse_query(&format!("{root}(c{c})"), &mut table).unwrap();
             let got = qp.run(&q, &db).unwrap().answer.is_yes();
             let want = qpl_datalog::eval::holds(&rules, &db, &q);
             assert_eq!(got, want, "disagreement on c{c}");

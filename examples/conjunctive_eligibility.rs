@@ -46,7 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The population is scholarship-heavy; learn to check the
     // scholarship disjunct first.
-    let people = [("ann", 0.1), ("bob", 0.1), ("carol", 0.25), ("dan", 0.25), ("eve", 0.25), ("zack", 0.05)];
+    let people =
+        [("ann", 0.1), ("bob", 0.1), ("carol", 0.25), ("dan", 0.25), ("eve", 0.25), ("zack", 0.05)];
     let contexts: Vec<_> = people
         .iter()
         .map(|(p, w)| -> Result<_, Box<dyn std::error::Error>> {

@@ -28,10 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 item.display(&table),
                 run.trace.cost
             ),
-            None => println!(
-                "pauper({person})? true  — exhaustive search cost {}",
-                run.trace.cost
-            ),
+            None => println!("pauper({person})? true  — exhaustive search cost {}", run.trace.cost),
         }
     }
 

@@ -44,10 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("ε = {eps} (counts capped at {cap}):");
         println!("  required samples: {}", needed.join("  "));
         println!("  contexts consumed: {}", pao.runs());
-        let probs: Vec<String> = g
-            .retrievals()
-            .map(|a| format!("{:.2}/{:.2}", model.prob(a), truth.prob(a)))
-            .collect();
+        let probs: Vec<String> =
+            g.retrievals().map(|a| format!("{:.2}/{:.2}", model.prob(a), truth.prob(a))).collect();
         println!("  p̂/p per retrieval: {}", probs.join("  "));
         println!(
             "  Θ_pao = {} → cost {:.3} (regret {:.3}, budget ε = {eps})\n",

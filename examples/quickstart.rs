@@ -31,11 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for name in ["russ", "manolis", "fred"] {
         let q = parser::parse_query(&format!("instructor({name})"), &mut table)?;
         let run = qp.run(&q, &program.facts)?;
-        println!(
-            "instructor({name})? {:5}  cost = {}",
-            run.answer.is_yes(),
-            run.trace.cost
-        );
+        println!("instructor({name})? {:5}  cost = {}", run.answer.is_yes(), run.trace.cost);
     }
 
     // 4. The anticipated query mix: mostly grad students. Let PIB watch.

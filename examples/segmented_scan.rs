@@ -40,8 +40,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The query stream: 80% emea people, 15% amer, 5% apac.
     let people: Vec<(String, f64)> = [
-        ("claire", 0.2), ("dmitri", 0.2), ("elena", 0.2), ("farid", 0.1), ("gita", 0.1),
-        ("alice", 0.1), ("bob", 0.05), ("hiro", 0.05),
+        ("claire", 0.2),
+        ("dmitri", 0.2),
+        ("elena", 0.2),
+        ("farid", 0.1),
+        ("gita", 0.1),
+        ("alice", 0.1),
+        ("bob", 0.05),
+        ("hiro", 0.05),
     ]
     .iter()
     .map(|(n, w)| (n.to_string(), *w))

@@ -35,10 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // What the fact-count heuristic would pick given DB₂'s statistics.
     let db2 = u.db2();
     let smith = SmithHeuristic::strategy(&u.compiled, &db2)?;
-    println!(
-        "Smith heuristic (2000 prof / 500 grad facts) picks: {}",
-        smith.display(&g)
-    );
+    println!("Smith heuristic (2000 prof / 500 grad facts) picks: {}", smith.display(&g));
 
     // PIB₁: one proposed transformation, filtered statistically.
     let swap = SiblingSwap::new(&g, g.children(g.root())[0], g.children(g.root())[1])?;

@@ -70,8 +70,8 @@ pub mod prelude {
         parser, Atom, Database, DatalogError, Fact, QueryForm, Rule, RuleBase, SymbolTable, Term,
     };
     pub use qpl_engine::{
-        adaptive::AdaptiveQp, classify_context, oracle::QueryMixOracle, ContextOracle,
-        QueryAnswer, QueryProcessor, SamplingMode,
+        adaptive::AdaptiveQp, classify_context, oracle::QueryMixOracle, ContextOracle, QueryAnswer,
+        QueryProcessor, SamplingMode,
     };
     pub use qpl_graph::{
         compile::{compile, CompileOptions, CompiledGraph},

@@ -43,10 +43,7 @@ fn library_scenario_learns_stacks_first() {
         pib.observe(&g, &ctx);
     }
     let c_final = truth.expected_cost(&g, pib.strategy());
-    assert!(
-        c_final < c_init - 0.5,
-        "learning should help substantially: {c_init} → {c_final}"
-    );
+    assert!(c_final < c_init - 0.5, "learning should help substantially: {c_init} → {c_final}");
     // The first retrieval of the learned strategy is the stacks.
     let first_retrieval = pib
         .strategy()

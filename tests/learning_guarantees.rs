@@ -34,10 +34,7 @@ fn pib_never_worsens_across_seeds() {
             if pib.history().len() > climbs {
                 climbs = pib.history().len();
                 let now = truth.expected_cost(&g, pib.strategy());
-                assert!(
-                    now <= prev + 1e-12,
-                    "seed {seed}: climb raised cost {prev} → {now}"
-                );
+                assert!(now <= prev + 1e-12, "seed {seed}: climb raised cost {prev} → {now}");
                 prev = now;
             }
         }
@@ -103,8 +100,7 @@ fn pao_epsilon_guarantee_sampled() {
     for seed in 0..15u64 {
         let (g, truth) = random_instance(seed + 500);
         let (_, c_opt) = optimal_strategy(&g, &truth, 2_000_000).unwrap();
-        let mut pao =
-            Pao::new(&g, PaoConfig::theorem2(1.0, 0.1).with_sample_cap(2500)).unwrap();
+        let mut pao = Pao::new(&g, PaoConfig::theorem2(1.0, 0.1).with_sample_cap(2500)).unwrap();
         let mut rng = StdRng::seed_from_u64(seed + 900);
         while !pao.done() {
             let ctx = truth.sample(&mut rng);

@@ -79,8 +79,7 @@ fn smith_heuristic_critique() {
     assert_eq!(smith.arcs(), u.prof_first.arcs(), "the heuristic claims Θ₁ is optimal");
     let minors = u.minors_distribution(0.5);
     assert!(
-        minors.expected_cost(u.graph(), &u.grad_first)
-            < minors.expected_cost(u.graph(), &smith),
+        minors.expected_cost(u.graph(), &u.grad_first) < minors.expected_cost(u.graph(), &smith),
         "on minors queries Θ₂ is clearly superior"
     );
 }
@@ -90,8 +89,7 @@ fn engine_and_oracle_agree_on_db1() {
     // The graph-driven engine, the SLD solver, and bottom-up evaluation
     // agree on every Figure-1 query.
     let mut table = SymbolTable::new();
-    let program =
-        parser::parse_program(qpl::workload::paper::UNIVERSITY_KB, &mut table).unwrap();
+    let program = parser::parse_program(qpl::workload::paper::UNIVERSITY_KB, &mut table).unwrap();
     let form = parser::parse_query_form("instructor(b)", &mut table).unwrap();
     let compiled = compile(&program.rules, &form, &table, &CompileOptions::default()).unwrap();
     let qp = QueryProcessor::left_to_right(&compiled);
@@ -115,8 +113,10 @@ fn theorem3_guarded_rule_blocks_for_non_fred() {
     let guarded = cg
         .graph
         .arc_ids()
-        .find(|&a| matches!(cg.binding(a),
-            qpl::graph::compile::ArcBinding::Reduction { guards, .. } if !guards.is_empty()))
+        .find(|&a| {
+            matches!(cg.binding(a),
+            qpl::graph::compile::ArcBinding::Reduction { guards, .. } if !guards.is_empty())
+        })
         .unwrap();
     assert!(!classify_context(&cg, &fred, &db).unwrap().is_blocked(guarded));
     assert!(classify_context(&cg, &russ, &db).unwrap().is_blocked(guarded));

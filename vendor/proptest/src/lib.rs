@@ -1,0 +1,162 @@
+//! Offline vendored shim of the `proptest 1.x` API surface this workspace
+//! uses: the `proptest!` macro, `prop_assert*` macros, range / tuple /
+//! `collection::vec` strategies, and `num::*::ANY`.
+//!
+//! Differences from upstream: no shrinking (failures report the case index
+//! and generated-input seed instead of a minimized counterexample), and the
+//! value stream for a given strategy differs from real proptest. Both are
+//! acceptable for this repo's property tests, which assert algebraic
+//! invariants over many random cases rather than pinned value sequences.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod num;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// expands to a `#[test]` running `body` over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            $crate::test_runner::run_cases(&__config, stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, __rng);)+
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+/// Asserts a condition inside a `proptest!` body; on failure the case is
+/// reported with the formatted message (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(a in 0u64..100, b in -5i32..=5, x in 0.0f64..=1.0) {
+            prop_assert!(a < 100);
+            prop_assert!((-5..=5).contains(&b));
+            prop_assert!((0.0..=1.0).contains(&x));
+        }
+
+        #[test]
+        fn tuples_and_vecs(pair in (0u8..3, 0u8..4), v in crate::collection::vec(0u8..6, 0..4)) {
+            prop_assert!(pair.0 < 3 && pair.1 < 4);
+            prop_assert!(v.len() < 4);
+            prop_assert!(v.iter().all(|&e| e < 6));
+        }
+
+        #[test]
+        fn exact_size_vec(v in crate::collection::vec(0.0f64..=1.0, 10)) {
+            prop_assert_eq!(v.len(), 10);
+        }
+
+        #[test]
+        fn any_u64_runs(mask in crate::num::u64::ANY) {
+            let _ = mask.count_ones();
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let cfg = crate::test_runner::Config::with_cases(8);
+        let mut first = Vec::new();
+        crate::test_runner::run_cases(&cfg, "det", |rng| {
+            first.push(crate::strategy::Strategy::generate(&(0u64..1000), rng));
+            Ok(())
+        });
+        let mut second = Vec::new();
+        crate::test_runner::run_cases(&cfg, "det", |rng| {
+            second.push(crate::strategy::Strategy::generate(&(0u64..1000), rng));
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_panic_with_case_info() {
+        let cfg = crate::test_runner::Config::with_cases(4);
+        crate::test_runner::run_cases(&cfg, "boom", |_| {
+            Err(crate::test_runner::TestCaseError::fail("forced".into()))
+        });
+    }
+}

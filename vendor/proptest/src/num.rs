@@ -1,0 +1,18 @@
+//! Per-type `ANY` strategies (`proptest::num::u64::ANY` etc.).
+
+macro_rules! any_module {
+    ($($mod:ident : $t:ty),+ $(,)?) => {$(
+        /// Full-range strategy for the corresponding primitive type.
+        pub mod $mod {
+            /// Uniform draw over the type's whole value range.
+            pub const ANY: crate::strategy::Any<$t> =
+                crate::strategy::Any(core::marker::PhantomData);
+        }
+    )+};
+}
+
+any_module!(
+    u8: u8, u16: u16, u32: u32, u64: u64, usize: usize,
+    i8: i8, i16: i16, i32: i32, i64: i64, isize: isize,
+    bool: bool,
+);

@@ -1,0 +1,88 @@
+//! The case runner: configuration, failure type, and the deterministic
+//! per-case RNG handed to strategies.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Runner configuration (`ProptestConfig` upstream).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A failed case (the only variant this shim distinguishes).
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property did not hold; payload is the formatted assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: String) -> Self {
+        Self::Fail(msg)
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Fail(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// Deterministic per-case generator handed to [`Strategy`](crate::strategy::Strategy).
+#[derive(Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the test name keeps cases stable across runs and
+        // independent across tests.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self(StdRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x9E37)))
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.0.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runs `f` for each case with a deterministic RNG; panics (test failure)
+/// on the first case whose result is `Err`.
+pub fn run_cases(
+    config: &Config,
+    test_name: &str,
+    mut f: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    for case in 0..config.cases {
+        let mut rng = TestRng::for_case(test_name, case);
+        if let Err(e) = f(&mut rng) {
+            panic!("proptest case {case}/{} for `{test_name}` failed: {e}", config.cases);
+        }
+    }
+}
