@@ -10,7 +10,7 @@ use crate::report::{fm, Report};
 use qpl_core::{Pib, PibConfig};
 use qpl_engine::{par_map_indexed, ParConfig};
 use qpl_graph::expected::ContextDistribution;
-use qpl_graph::Strategy;
+use qpl_graph::{Context, Strategy};
 use qpl_workload::generator::{random_retrieval_model, random_tree_with_retrievals, TreeParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -41,8 +41,12 @@ pub fn run(seed: u64) -> Report {
             let mut run_climbs = 0u64;
             let mut made_mistake = false;
             let mut rng = StdRng::seed_from_u64(seed + 55_000 + 100 * (di as u64) + t);
+            // One Context buffer per trial: `sample_into` consumes the
+            // same randomness as `sample`, so the stream is unchanged.
+            let mut ctx = Context::all_open(&g);
             for _ in 0..horizon {
-                pib.observe(&g, &truth.sample(&mut rng));
+                truth.sample_into(&mut rng, &mut ctx);
+                pib.observe(&g, &ctx);
                 if pib.history().len() > climbs {
                     climbs = pib.history().len();
                     run_climbs += 1;

@@ -49,8 +49,11 @@ pub fn run(seed: u64) -> Report {
         let mut pao =
             Pao::new(&g, PaoConfig::theorem2(eps, delta).with_sample_cap(cap)).expect("tree graph");
         let mut rng = StdRng::seed_from_u64(seed + 90_000 + t);
+        // One Context buffer per trial: `sample_into` consumes the same
+        // randomness as `sample`, so the stream is unchanged.
+        let mut ctx = qpl_graph::Context::all_open(&g);
         while !pao.done() {
-            let ctx = truth.sample(&mut rng);
+            truth.sample_into(&mut rng, &mut ctx);
             pao.observe(&g, &ctx);
         }
         let (strategy, _) = pao.finish(&g).expect("sampling done");

@@ -9,7 +9,7 @@ use crate::report::{fm, Report};
 use qpl_core::{Palo, PaloConfig, TransformationSet};
 use qpl_engine::{par_map_indexed, ParConfig};
 use qpl_graph::expected::ContextDistribution;
-use qpl_graph::Strategy;
+use qpl_graph::{Context, Strategy};
 use qpl_workload::generator::{random_retrieval_model, random_tree_with_retrievals, TreeParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -35,7 +35,14 @@ pub fn run(seed: u64) -> Report {
             let mut palo = Palo::new(&g, Strategy::left_to_right(&g), PaloConfig::new(eps, 0.05));
             let mut rng = StdRng::seed_from_u64(seed + 40_000 + t);
             let mut n = 0u64;
-            while palo.observe(&g, &truth.sample(&mut rng)) {
+            // One Context buffer per trial: `sample_into` consumes the
+            // same randomness as `sample`, so the stream is unchanged.
+            let mut ctx = Context::all_open(&g);
+            loop {
+                truth.sample_into(&mut rng, &mut ctx);
+                if !palo.observe(&g, &ctx) {
+                    break;
+                }
                 n += 1;
                 if n > 2_000_000 {
                     break;

@@ -19,13 +19,14 @@ pub mod e14_overhead;
 pub mod e15_ablation;
 pub mod e16_dependence;
 pub mod e17_conjunctive;
+pub mod e18_tabling;
 
 use crate::report::Report;
 
 /// Experiment ids accepted by the harness.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17",
+    "e16", "e17", "e18",
 ];
 
 /// Runs one experiment by id with the given base seed.
@@ -48,6 +49,7 @@ pub fn run_one(id: &str, seed: u64) -> Option<Report> {
         "e15" => e15_ablation::run(seed),
         "e16" => e16_dependence::run(seed),
         "e17" => e17_conjunctive::run(seed),
+        "e18" => e18_tabling::run(seed),
         _ => return None,
     })
 }

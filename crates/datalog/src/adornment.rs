@@ -60,6 +60,14 @@ impl Adornment {
     }
 }
 
+impl FromIterator<Binding> for Adornment {
+    /// Collects per-position bindings into an adornment — how tabled
+    /// evaluation derives the `α` of a canonical call pattern.
+    fn from_iter<I: IntoIterator<Item = Binding>>(iter: I) -> Self {
+        Self(iter.into_iter().collect())
+    }
+}
+
 impl fmt::Display for Adornment {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for b in &self.0 {

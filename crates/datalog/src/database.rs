@@ -44,30 +44,40 @@ impl Relation {
         self.set.contains(row)
     }
 
-    /// Row ids matching a pattern (Some = must equal, None = free),
-    /// using the most selective available column index.
-    fn matching_rows<'a>(
+    /// Rows matching a pattern (Some = must equal, None = free), in
+    /// ascending row-id (insertion) order.
+    ///
+    /// Every bound column contributes its posting list and the lists are
+    /// intersected (driving from the shortest), so no residual per-row
+    /// filter is needed; a pattern with no bound column falls back to a
+    /// full scan. Posting lists are ascending by construction (rows are
+    /// appended with increasing ids), which both makes the intersection a
+    /// binary-search probe and keeps the output order deterministic.
+    fn select<'a>(
         &'a self,
         pattern: &[Option<Symbol>],
     ) -> Box<dyn Iterator<Item = &'a [Symbol]> + 'a> {
         debug_assert_eq!(pattern.len(), self.arity);
-        // Pick the bound column with the fewest candidate rows.
-        let mut best: Option<&[usize]> = None;
+        let mut lists: Vec<&[usize]> = Vec::new();
         for (col, p) in pattern.iter().enumerate() {
             if let Some(sym) = p {
-                let ids: &[usize] = self.index[col].get(sym).map(Vec::as_slice).unwrap_or(&[]);
-                if best.is_none_or(|b| ids.len() < b.len()) {
-                    best = Some(ids);
-                }
+                lists.push(self.index[col].get(sym).map(Vec::as_slice).unwrap_or(&[]));
             }
         }
-        let pattern: Vec<Option<Symbol>> = pattern.to_vec();
-        match best {
-            Some(ids) => Box::new(ids.iter().map(|&i| &*self.rows[i]).filter(move |row| {
-                row.iter().zip(&pattern).all(|(s, p)| p.is_none_or(|q| q == *s))
-            })),
-            None => Box::new(self.rows.iter().map(|r| &**r)),
+        if lists.is_empty() {
+            // All columns free: every row matches.
+            return Box::new(self.rows.iter().map(|r| &**r));
         }
+        lists.sort_by_key(|l| l.len());
+        let (shortest, rest) = lists.split_first().expect("at least one bound column");
+        let rest = rest.to_vec();
+        Box::new(
+            shortest
+                .iter()
+                .copied()
+                .filter(move |id| rest.iter().all(|l| l.binary_search(id).is_ok()))
+                .map(move |i| &*self.rows[i]),
+        )
     }
 }
 
@@ -88,6 +98,9 @@ impl Relation {
 pub struct Database {
     relations: HashMap<Symbol, Relation>,
     total: usize,
+    /// Bumped on every successful insert; lets caches detect that this
+    /// database instance has changed without diffing contents.
+    generation: u64,
 }
 
 impl Database {
@@ -114,8 +127,19 @@ impl Database {
         let added = rel.insert(fact.args.into_boxed_slice());
         if added {
             self.total += 1;
+            self.generation += 1;
         }
         Ok(added)
+    }
+
+    /// Monotone change counter: advances exactly when a fact is added.
+    /// Two reads returning the same value bracket a window in which this
+    /// instance's contents were unchanged, so answers memoized against it
+    /// (e.g. `qpl-engine`'s cross-context tables) are still valid. The
+    /// counter says nothing about *other* `Database` instances — cache
+    /// keys must carry the instance identity separately.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Ground membership probe — the paper's attempted retrieval.
@@ -166,7 +190,7 @@ impl Database {
         let resolved: Vec<Term> = atom.args.iter().map(|&t| base.resolve(t)).collect();
         let pattern: Vec<Option<Symbol>> = resolved.iter().map(|t| t.as_const()).collect();
         let mut out = Vec::new();
-        'rows: for row in rel.matching_rows(&pattern) {
+        'rows: for row in rel.select(&pattern) {
             let mut sub = base.clone();
             for (&term, &sym) in resolved.iter().zip(row.iter()) {
                 match term {
@@ -316,6 +340,62 @@ mod tests {
         let p = t.intern("nothing");
         let atom = Atom::new(p, vec![Term::Var(Var(0))]);
         assert!(db.matches(&atom, &Substitution::new()).is_empty());
+    }
+
+    #[test]
+    fn select_intersects_all_bound_columns() {
+        // A row matching the first bound column but not the second must
+        // be excluded by the index intersection itself (no residual
+        // filter exists any more to catch it).
+        let (mut t, mut db) = setup();
+        let r = t.intern("r");
+        let (a, b, c) = (t.intern("a"), t.intern("b"), t.intern("c"));
+        db.insert(Fact::new(r, vec![a, b, a])).unwrap();
+        db.insert(Fact::new(r, vec![a, c, b])).unwrap();
+        db.insert(Fact::new(r, vec![b, c, a])).unwrap();
+        db.insert(Fact::new(r, vec![a, c, a])).unwrap();
+        // r(a, c, X)?  — bound columns 0 and 1.
+        let atom = Atom::new(r, vec![Term::Const(a), Term::Const(c), Term::Var(Var(0))]);
+        let subs = db.matches(&atom, &Substitution::new());
+        let bound: Vec<Symbol> =
+            subs.iter().map(|s| s.resolve(Term::Var(Var(0))).as_const().unwrap()).collect();
+        assert_eq!(bound, vec![b, a], "insertion order preserved");
+    }
+
+    #[test]
+    fn select_all_free_is_full_scan() {
+        let (mut t, mut db) = setup();
+        let e = t.intern("edge");
+        let (a, b) = (t.intern("a"), t.intern("b"));
+        db.insert(Fact::new(e, vec![a, b])).unwrap();
+        db.insert(Fact::new(e, vec![b, a])).unwrap();
+        let atom = Atom::new(e, vec![Term::Var(Var(0)), Term::Var(Var(1))]);
+        assert_eq!(db.matches(&atom, &Substitution::new()).len(), 2);
+    }
+
+    #[test]
+    fn select_bound_to_absent_symbol_is_empty() {
+        let (mut t, mut db) = setup();
+        let e = t.intern("edge");
+        let (a, b, z) = (t.intern("a"), t.intern("b"), t.intern("z"));
+        db.insert(Fact::new(e, vec![a, b])).unwrap();
+        let atom = Atom::new(e, vec![Term::Const(z), Term::Var(Var(0))]);
+        assert!(db.matches(&atom, &Substitution::new()).is_empty());
+    }
+
+    #[test]
+    fn generation_advances_only_on_new_facts() {
+        let (mut t, mut db) = setup();
+        let p = t.intern("p");
+        let a = t.intern("a");
+        assert_eq!(db.generation(), 0);
+        db.insert(Fact::new(p, vec![a])).unwrap();
+        assert_eq!(db.generation(), 1);
+        db.insert(Fact::new(p, vec![a])).unwrap(); // duplicate: no-op
+        assert_eq!(db.generation(), 1);
+        let b = t.intern("b");
+        db.insert(Fact::new(p, vec![b])).unwrap();
+        assert_eq!(db.generation(), 2);
     }
 
     #[test]

@@ -113,12 +113,50 @@ fn derive(rule: &Rule, db: &Database, delta: Option<&HashSet<Fact>>, out: &mut V
 
 /// Whether `query` (possibly non-ground) holds in the minimal model of
 /// `rules ∪ edb` — the oracle's yes/no answer.
+///
+/// Recomputes the model from scratch; for many queries against the same
+/// knowledge base, precompute a [`MinimalModel`] once instead.
 pub fn holds(rules: &RuleBase, edb: &Database, query: &Atom) -> bool {
-    let model = seminaive(rules, edb);
-    if let Some(f) = query.to_fact() {
-        model.contains(f.predicate, &f.args)
-    } else {
-        !model.matches(query, &Substitution::new()).is_empty()
+    MinimalModel::compute(rules, edb).holds(query)
+}
+
+/// A precomputed minimal model, for answering many oracle queries
+/// against one knowledge base without re-running the fixpoint each time.
+///
+/// # Examples
+/// ```
+/// use qpl_datalog::eval::MinimalModel;
+/// use qpl_datalog::parser::{parse_program, parse_query};
+/// use qpl_datalog::SymbolTable;
+/// let mut t = SymbolTable::new();
+/// let p = parse_program("a(X) :- b(X). b(k).", &mut t).unwrap();
+/// let model = MinimalModel::compute(&p.rules, &p.facts);
+/// assert!(model.holds(&parse_query("a(k)", &mut t).unwrap()));
+/// assert!(!model.holds(&parse_query("a(j)", &mut t).unwrap()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinimalModel {
+    model: Database,
+}
+
+impl MinimalModel {
+    /// Runs semi-naive evaluation to saturation.
+    pub fn compute(rules: &RuleBase, edb: &Database) -> Self {
+        Self { model: seminaive(rules, edb) }
+    }
+
+    /// Whether `query` (possibly non-ground) holds in the model.
+    pub fn holds(&self, query: &Atom) -> bool {
+        if let Some(f) = query.to_fact() {
+            self.model.contains(f.predicate, &f.args)
+        } else {
+            !self.model.matches(query, &Substitution::new()).is_empty()
+        }
+    }
+
+    /// The saturated database (EDB plus every derived fact).
+    pub fn database(&self) -> &Database {
+        &self.model
     }
 }
 

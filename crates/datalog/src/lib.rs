@@ -21,7 +21,10 @@
 //! * [`eval`] — bottom-up naive and semi-naive evaluation (used as the
 //!   ground-truth oracle for the strategy-driven engine).
 //! * [`topdown`] — a satisficing SLD resolution solver (the second
-//!   oracle, and the reference semantics for "blocked" arcs).
+//!   oracle, and the reference semantics for "blocked" arcs), plus a
+//!   tabled variant that terminates on recursive rule bases.
+//! * [`table`] — SLG-style answer tables keyed by adorned call patterns,
+//!   reusable across queries against an unchanged database.
 //! * [`adornment`] — query forms `q^α` with bound/free adornments
 //!   (Section 2 of the paper).
 
@@ -35,6 +38,7 @@ pub mod eval;
 pub mod parser;
 pub mod rule;
 pub mod symbol;
+pub mod table;
 pub mod term;
 pub mod topdown;
 pub mod unify;
@@ -44,5 +48,7 @@ pub use database::Database;
 pub use error::DatalogError;
 pub use rule::{Rule, RuleBase, RuleId};
 pub use symbol::{Symbol, SymbolTable};
+pub use table::{CallKey, TableId, TableStats, TableStore};
 pub use term::{Atom, Fact, Term, Var};
+pub use topdown::{RetrievalStats, TopDown};
 pub use unify::Substitution;

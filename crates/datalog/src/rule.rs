@@ -146,6 +146,12 @@ impl RuleBase {
         self.by_head.get(&p).into_iter().flatten().map(move |&id| (id, &self.rules[id.index()]))
     }
 
+    /// Whether `p` is intensional (has at least one defining rule).
+    /// Cheaper than `rules_for(p).count() > 0` — a single hash probe.
+    pub fn has_rules_for(&self, p: Symbol) -> bool {
+        self.by_head.get(&p).is_some_and(|ids| !ids.is_empty())
+    }
+
     /// All rules.
     pub fn iter(&self) -> impl Iterator<Item = (RuleId, &Rule)> {
         self.rules.iter().enumerate().map(|(i, r)| (RuleId(i as u32), r))

@@ -1,0 +1,375 @@
+//! SLG-style answer tables for top-down evaluation.
+//!
+//! The satisficing SLD solver of [`topdown`](crate::topdown) re-proves a
+//! subgoal every time it appears, which is exponential for shared
+//! subgoals and non-terminating (up to the depth bound) for recursive
+//! rule bases. Tabling fixes both: every *call pattern* — a predicate
+//! with an adornment over its arguments (Section 2's `q^α`) plus the
+//! constants at its bound positions — gets one [`TableStore`] entry whose
+//! answer set is computed exactly once and reused by every later
+//! occurrence, within one proof and across proofs that share a database.
+//!
+//! Two subgoals share a table iff they are variants of each other:
+//! `path(a, X)` and `path(a, Y)` canonicalize to the same [`CallKey`]
+//! (`path`, `⟨b:a, f₀⟩`), while `path(a, X)` / `path(b, X)` /
+//! `path(X, X)` are three distinct keys. Answers are stored as constant
+//! tuples over the key's canonical free variables, in first-derivation
+//! order, so consumption is deterministic.
+//!
+//! The store itself is a passive memo structure; the producer/consumer
+//! fixpoint logic lives in [`topdown`](crate::topdown). Cross-context
+//! reuse (sharing a store across many queries against the same database)
+//! is layered on top in `qpl-engine`, keyed by the database's generation
+//! counter.
+
+use crate::adornment::{Adornment, Binding};
+use crate::symbol::Symbol;
+use crate::term::{Atom, Term, Var};
+use crate::unify::Substitution;
+use std::collections::{HashMap, HashSet};
+
+/// One argument position of a canonical call pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CallArg {
+    /// Bound position: the call supplies this constant.
+    Bound(Symbol),
+    /// Free position: the `i`-th canonical variable of the call, numbered
+    /// by first occurrence (repeated variables repeat the index).
+    Free(u16),
+}
+
+/// An adorned call pattern — the table key.
+///
+/// # Examples
+/// ```
+/// use qpl_datalog::table::CallKey;
+/// use qpl_datalog::{Atom, Substitution, SymbolTable, Term, Var};
+/// let mut t = SymbolTable::new();
+/// let (path, a) = (t.intern("path"), t.intern("a"));
+/// let goal = Atom::new(path, vec![Term::Const(a), Term::Var(Var(7))]);
+/// let (key, vars) = CallKey::of(&goal, &Substitution::new());
+/// assert_eq!(key.adornment().to_string(), "bf");
+/// assert_eq!(vars, vec![Var(7)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CallKey {
+    /// Called predicate.
+    pub predicate: Symbol,
+    /// Canonicalized arguments.
+    pub args: Vec<CallArg>,
+}
+
+impl CallKey {
+    /// Canonicalizes `goal` as it stands under `sub`: arguments resolving
+    /// to constants become [`CallArg::Bound`], unbound variables are
+    /// numbered by first occurrence. Also returns the original variable
+    /// behind each canonical index, for binding answers back into the
+    /// caller's namespace.
+    pub fn of(goal: &Atom, sub: &Substitution) -> (Self, Vec<Var>) {
+        let mut vars: Vec<Var> = Vec::new();
+        let args = goal
+            .args
+            .iter()
+            .map(|&t| match sub.resolve(t) {
+                Term::Const(c) => CallArg::Bound(c),
+                Term::Var(v) => {
+                    let idx = vars.iter().position(|&w| w == v).unwrap_or_else(|| {
+                        vars.push(v);
+                        vars.len() - 1
+                    });
+                    CallArg::Free(u16::try_from(idx).expect("more than 65535 call variables"))
+                }
+            })
+            .collect();
+        (Self { predicate: goal.predicate, args }, vars)
+    }
+
+    /// The bound/free adornment of this call (the paper's `α`).
+    pub fn adornment(&self) -> Adornment {
+        self.args
+            .iter()
+            .map(|a| match a {
+                CallArg::Bound(_) => Binding::Bound,
+                CallArg::Free(_) => Binding::Free,
+            })
+            .collect()
+    }
+
+    /// Number of *distinct* canonical variables (the answer tuple width).
+    pub fn free_count(&self) -> usize {
+        self.args
+            .iter()
+            .filter_map(|a| match a {
+                CallArg::Free(i) => Some(*i as usize + 1),
+                CallArg::Bound(_) => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The canonical call atom: `Var(i)` at free positions, constants at
+    /// bound ones. Producer evaluation resolves against this atom.
+    pub fn to_atom(&self) -> Atom {
+        Atom::new(
+            self.predicate,
+            self.args
+                .iter()
+                .map(|a| match a {
+                    CallArg::Bound(c) => Term::Const(*c),
+                    CallArg::Free(i) => Term::Var(Var(u32::from(*i))),
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Identifier of a table within its [`TableStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableId(pub u32);
+
+impl TableId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One call pattern's answers.
+#[derive(Debug, Clone)]
+struct Table {
+    key: CallKey,
+    /// Answer tuples over the key's canonical variables, in derivation
+    /// order (deterministic: evaluation order is a pure function of the
+    /// rule base and database).
+    answers: Vec<Box<[Symbol]>>,
+    seen: HashSet<Box<[Symbol]>>,
+    complete: bool,
+}
+
+/// Cumulative memoization counters for a store's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Calls answered by an existing table (complete or in progress).
+    pub hits: u64,
+    /// Calls that created and evaluated a fresh table.
+    pub misses: u64,
+    /// Answer tuples consumed from tables that were already complete when
+    /// read — derivation work the memo saved outright.
+    pub answers_reused: u64,
+}
+
+/// The answer-table store: adorned call pattern → memoized answer set.
+///
+/// Reusing one store across queries amortizes proof work whenever the
+/// underlying database is unchanged; callers are responsible for
+/// [`clear`](Self::clear)-ing (or dropping) the store when the database
+/// mutates — `qpl-engine::cache` automates that with the database's
+/// generation counter.
+#[derive(Debug, Clone, Default)]
+pub struct TableStore {
+    index: HashMap<CallKey, TableId>,
+    tables: Vec<Table>,
+    stats: TableStats,
+}
+
+impl TableStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tables (distinct call patterns seen).
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether no call has been tabled yet.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Total answers across all tables.
+    pub fn total_answers(&self) -> usize {
+        self.tables.iter().map(|t| t.answers.len()).sum()
+    }
+
+    /// Lifetime memoization counters.
+    pub fn stats(&self) -> TableStats {
+        self.stats
+    }
+
+    /// Drops every table (the stats survive — they describe the store's
+    /// lifetime, not its contents).
+    pub fn clear(&mut self) {
+        self.index.clear();
+        self.tables.clear();
+    }
+
+    /// Looks up the table for `key`, counting a hit if present.
+    pub fn lookup(&mut self, key: &CallKey) -> Option<TableId> {
+        let id = self.index.get(key).copied();
+        if id.is_some() {
+            self.stats.hits += 1;
+        }
+        id
+    }
+
+    /// Creates a fresh (incomplete, empty) table for `key`, counting a
+    /// miss. The caller must eventually [`set_complete`](Self::set_complete).
+    pub fn create(&mut self, key: CallKey) -> TableId {
+        debug_assert!(!self.index.contains_key(&key), "create after failed lookup only");
+        let id = TableId(u32::try_from(self.tables.len()).expect("table store overflow"));
+        self.index.insert(key.clone(), id);
+        self.tables.push(Table { key, answers: Vec::new(), seen: HashSet::new(), complete: false });
+        self.stats.misses += 1;
+        id
+    }
+
+    /// The call pattern `t` was created for.
+    pub fn key(&self, t: TableId) -> &CallKey {
+        &self.tables[t.index()].key
+    }
+
+    /// Whether `t`'s answer set is known to be complete.
+    pub fn is_complete(&self, t: TableId) -> bool {
+        self.tables[t.index()].complete
+    }
+
+    /// Marks `t` complete (its fixpoint has saturated).
+    pub fn set_complete(&mut self, t: TableId) {
+        self.tables[t.index()].complete = true;
+    }
+
+    /// Number of answers currently in `t`.
+    pub fn answer_count(&self, t: TableId) -> usize {
+        self.tables[t.index()].answers.len()
+    }
+
+    /// The `i`-th answer of `t` (derivation order).
+    pub fn answer(&self, t: TableId, i: usize) -> &[Symbol] {
+        &self.tables[t.index()].answers[i]
+    }
+
+    /// Inserts an answer tuple; returns `true` if it was new.
+    pub fn insert_answer(&mut self, t: TableId, tuple: Box<[Symbol]>) -> bool {
+        let table = &mut self.tables[t.index()];
+        debug_assert!(!table.complete, "inserting into a completed table");
+        if table.seen.contains(&tuple) {
+            return false;
+        }
+        table.seen.insert(tuple.clone());
+        table.answers.push(tuple);
+        true
+    }
+
+    /// Records `n` answers consumed from an already-complete table.
+    pub fn note_reuse(&mut self, n: u64) {
+        self.stats.answers_reused += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolTable;
+
+    fn syms() -> (SymbolTable, Symbol, Symbol, Symbol) {
+        let mut t = SymbolTable::new();
+        let p = t.intern("path");
+        let a = t.intern("a");
+        let b = t.intern("b");
+        (t, p, a, b)
+    }
+
+    #[test]
+    fn variant_calls_share_a_key() {
+        let (_, p, a, _) = syms();
+        let g1 = Atom::new(p, vec![Term::Const(a), Term::Var(Var(3))]);
+        let g2 = Atom::new(p, vec![Term::Const(a), Term::Var(Var(9))]);
+        let (k1, v1) = CallKey::of(&g1, &Substitution::new());
+        let (k2, v2) = CallKey::of(&g2, &Substitution::new());
+        assert_eq!(k1, k2);
+        assert_eq!(v1, vec![Var(3)]);
+        assert_eq!(v2, vec![Var(9)]);
+    }
+
+    #[test]
+    fn repeated_variables_distinguish_keys() {
+        let (_, p, _, _) = syms();
+        let same = Atom::new(p, vec![Term::Var(Var(0)), Term::Var(Var(0))]);
+        let diff = Atom::new(p, vec![Term::Var(Var(0)), Term::Var(Var(1))]);
+        let (ks, vs) = CallKey::of(&same, &Substitution::new());
+        let (kd, vd) = CallKey::of(&diff, &Substitution::new());
+        assert_ne!(ks, kd);
+        assert_eq!(ks.free_count(), 1);
+        assert_eq!(kd.free_count(), 2);
+        assert_eq!(vs, vec![Var(0)]);
+        assert_eq!(vd, vec![Var(0), Var(1)]);
+    }
+
+    #[test]
+    fn canonicalization_respects_substitution() {
+        let (_, p, a, _) = syms();
+        let goal = Atom::new(p, vec![Term::Var(Var(0)), Term::Var(Var(1))]);
+        let mut sub = Substitution::new();
+        sub.bind(Var(0), Term::Const(a));
+        let (key, vars) = CallKey::of(&goal, &sub);
+        assert_eq!(key.args, vec![CallArg::Bound(a), CallArg::Free(0)]);
+        assert_eq!(vars, vec![Var(1)]);
+        assert_eq!(key.adornment().to_string(), "bf");
+    }
+
+    #[test]
+    fn to_atom_round_trips() {
+        let (_, p, a, _) = syms();
+        let goal = Atom::new(p, vec![Term::Const(a), Term::Var(Var(5)), Term::Var(Var(5))]);
+        let (key, _) = CallKey::of(&goal, &Substitution::new());
+        let atom = key.to_atom();
+        assert_eq!(atom.args, vec![Term::Const(a), Term::Var(Var(0)), Term::Var(Var(0))]);
+        let (key2, _) = CallKey::of(&atom, &Substitution::new());
+        assert_eq!(key, key2);
+    }
+
+    #[test]
+    fn store_hits_misses_and_answers() {
+        let (_, p, a, b) = syms();
+        let goal = Atom::new(p, vec![Term::Var(Var(0))]);
+        let (key, _) = CallKey::of(&goal, &Substitution::new());
+        let mut store = TableStore::new();
+        assert_eq!(store.lookup(&key), None);
+        let t = store.create(key.clone());
+        assert!(store.insert_answer(t, vec![a].into_boxed_slice()));
+        assert!(!store.insert_answer(t, vec![a].into_boxed_slice()), "duplicate answer");
+        assert!(store.insert_answer(t, vec![b].into_boxed_slice()));
+        assert_eq!(store.answer_count(t), 2);
+        assert_eq!(store.answer(t, 0), &[a]);
+        assert!(!store.is_complete(t));
+        store.set_complete(t);
+        assert!(store.is_complete(t));
+        assert_eq!(store.lookup(&key), Some(t));
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(store.total_answers(), 2);
+    }
+
+    #[test]
+    fn clear_keeps_lifetime_stats() {
+        let (_, p, _, _) = syms();
+        let (key, _) = CallKey::of(&Atom::new(p, vec![]), &Substitution::new());
+        let mut store = TableStore::new();
+        store.create(key);
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.stats().misses, 1);
+    }
+
+    #[test]
+    fn zero_arity_call() {
+        let (mut t, _, _, _) = syms();
+        let halt = t.intern("halt");
+        let (key, vars) = CallKey::of(&Atom::new(halt, vec![]), &Substitution::new());
+        assert_eq!(key.free_count(), 0);
+        assert!(vars.is_empty());
+        assert!(key.adornment().is_all_bound());
+    }
+}

@@ -7,24 +7,48 @@
 //! with this solver on the yes/no answer for every context — only the
 //! order of exploration (and hence the cost) differs.
 //!
-//! A depth bound guards against recursive rule bases; exceeding it is an
-//! error rather than a silent wrong answer.
+//! Two evaluation modes are provided:
+//!
+//! * **Plain SLD** ([`TopDown::solve`]) re-proves every subgoal from
+//!   scratch. A depth bound guards against recursive rule bases;
+//!   exceeding it is an error rather than a silent wrong answer.
+//! * **Tabled SLD** ([`TopDown::solve_tabled`]) memoizes subgoal answer
+//!   sets in a [`TableStore`] keyed by adorned call patterns and runs a
+//!   leader-based fixpoint over recursive call groups, so recursion
+//!   terminates by saturation rather than by hitting the depth bound
+//!   (which is kept only as a backstop against pathological nesting).
+//!   Passing a long-lived store via [`TopDown::solve_tabled_in`] reuses
+//!   answers across queries against the same database.
 
 use crate::database::Database;
 use crate::error::DatalogError;
 use crate::rule::RuleBase;
-use crate::term::Atom;
+use crate::table::{CallKey, TableId, TableStore};
+use crate::term::{Atom, Term, Var};
 use crate::unify::{rename_apart, unify_atoms, Substitution};
 
-/// Statistics from one satisficing top-down run.
+/// Statistics from one top-down run (plain or tabled).
+///
+/// The table counters stay zero for plain SLD runs; tabled runs fill
+/// them in so experiments can report measured memoization honestly.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct SolveStats {
+pub struct RetrievalStats {
     /// Attempted database retrievals (ground membership probes plus
     /// pattern matches).
     pub retrievals: u64,
     /// Rule reductions applied.
     pub reductions: u64,
+    /// Subgoal calls answered from an existing table.
+    pub table_hits: u64,
+    /// Subgoal calls that had to build a fresh table.
+    pub table_misses: u64,
+    /// Answer tuples consumed from already-complete tables — proof work
+    /// the memo saved outright.
+    pub tabled_answers_reused: u64,
 }
+
+/// Former name of [`RetrievalStats`], kept for source compatibility.
+pub type SolveStats = RetrievalStats;
 
 /// A satisficing SLD solver over a rule base and database.
 #[derive(Debug, Clone)]
@@ -55,7 +79,7 @@ impl<'a> TopDown<'a> {
     /// # Errors
     /// [`DatalogError::DepthExceeded`] if resolution exceeds the bound.
     pub fn solve(&self, query: &Atom) -> Result<Option<Substitution>, DatalogError> {
-        let mut stats = SolveStats::default();
+        let mut stats = RetrievalStats::default();
         self.solve_with_stats(query, &mut stats)
     }
 
@@ -63,7 +87,7 @@ impl<'a> TopDown<'a> {
     pub fn solve_with_stats(
         &self,
         query: &Atom,
-        stats: &mut SolveStats,
+        stats: &mut RetrievalStats,
     ) -> Result<Option<Substitution>, DatalogError> {
         let goals = vec![query.clone()];
         self.prove(&goals, Substitution::new(), 0, query.variables().len() as u32 + 64, stats)
@@ -72,6 +96,85 @@ impl<'a> TopDown<'a> {
     /// Whether any derivation of `query` exists.
     pub fn provable(&self, query: &Atom) -> Result<bool, DatalogError> {
         Ok(self.solve(query)?.is_some())
+    }
+
+    /// Tabled variant of [`solve`](Self::solve): memoizes subgoal answer
+    /// sets, terminating on recursive rule bases by fixpoint saturation
+    /// instead of the depth bound. Uses a throwaway [`TableStore`]; use
+    /// [`solve_tabled_in`](Self::solve_tabled_in) to reuse tables across
+    /// queries.
+    ///
+    /// # Errors
+    /// [`DatalogError::DepthExceeded`] only if *distinct* subgoal calls
+    /// nest deeper than the bound (a backstop — repeated calls hit their
+    /// table and consume no depth).
+    pub fn solve_tabled(&self, query: &Atom) -> Result<Option<Substitution>, DatalogError> {
+        let mut store = TableStore::new();
+        let mut stats = RetrievalStats::default();
+        self.solve_tabled_in(query, &mut store, &mut stats)
+    }
+
+    /// Tabled solve against a caller-owned [`TableStore`], accumulating
+    /// statistics. The store must have been built against the *same*
+    /// rule base and database (callers are responsible for clearing it
+    /// when the database changes; `qpl-engine`'s cross-context cache
+    /// automates that via the database generation counter).
+    pub fn solve_tabled_in(
+        &self,
+        query: &Atom,
+        store: &mut TableStore,
+        stats: &mut RetrievalStats,
+    ) -> Result<Option<Substitution>, DatalogError> {
+        let before = store.stats();
+        let result = self.tabled_answer(query, store, stats);
+        let after = store.stats();
+        stats.table_hits += after.hits - before.hits;
+        stats.table_misses += after.misses - before.misses;
+        stats.tabled_answers_reused += after.answers_reused - before.answers_reused;
+        result
+    }
+
+    /// Whether any derivation of `query` exists, via tabled evaluation.
+    pub fn provable_tabled(&self, query: &Atom) -> Result<bool, DatalogError> {
+        Ok(self.solve_tabled(query)?.is_some())
+    }
+
+    fn tabled_answer(
+        &self,
+        query: &Atom,
+        store: &mut TableStore,
+        stats: &mut RetrievalStats,
+    ) -> Result<Option<Substitution>, DatalogError> {
+        let empty = Substitution::new();
+        if !self.rules.has_rules_for(query.predicate) {
+            // Purely extensional query: a single retrieval answers it.
+            stats.retrievals += 1;
+            return Ok(self.db.matches(query, &empty).into_iter().next());
+        }
+        let (key, vars) = CallKey::of(query, &empty);
+        let mut eval = TabledEval {
+            rules: self.rules,
+            db: self.db,
+            depth_limit: self.depth_limit,
+            store,
+            stats,
+            group: Vec::new(),
+            in_fixpoint: false,
+            changed: false,
+        };
+        let (t, was_hit) = eval.ensure(&key, 0)?;
+        if store.answer_count(t) == 0 {
+            return Ok(None);
+        }
+        if was_hit {
+            store.note_reuse(1);
+        }
+        let answer = store.answer(t, 0);
+        let mut sub = Substitution::new();
+        for (i, &v) in vars.iter().enumerate() {
+            sub.bind(v, Term::Const(answer[i]));
+        }
+        Ok(Some(sub))
     }
 
     fn prove(
@@ -114,6 +217,170 @@ impl<'a> TopDown<'a> {
             }
         }
         Ok(None)
+    }
+}
+
+/// The tabled evaluation engine: SLG-style producer/consumer resolution
+/// with a leader-based fixpoint for recursive call groups.
+///
+/// Every intensional subgoal is canonicalized to a [`CallKey`] and
+/// evaluated into its table exactly once per saturation round. The first
+/// in-progress call on the stack becomes the *leader*: it repeatedly
+/// re-expands every table created beneath it (the group — a superset of
+/// the recursive component, which is conservative but correct) until no
+/// round adds an answer, then marks the whole group complete. Later
+/// calls on any of those patterns are pure table reads.
+///
+/// Termination: the active domain is finite (no function symbols), so
+/// there are finitely many call keys and finitely many answer tuples per
+/// key; every fixpoint round either adds an answer or is the last. The
+/// depth bound only limits how deep *distinct* call creations nest — a
+/// backstop, not the termination mechanism.
+struct TabledEval<'a, 'b> {
+    rules: &'a RuleBase,
+    db: &'a Database,
+    depth_limit: usize,
+    store: &'b mut TableStore,
+    stats: &'b mut RetrievalStats,
+    /// Tables created under the current leader, in creation order.
+    group: Vec<TableId>,
+    in_fixpoint: bool,
+    /// Whether the current fixpoint round derived a new answer.
+    changed: bool,
+}
+
+impl TabledEval<'_, '_> {
+    /// Returns the table for `key`, evaluating it first if absent. The
+    /// flag is `true` when the table already existed (a hit).
+    fn ensure(&mut self, key: &CallKey, depth: usize) -> Result<(TableId, bool), DatalogError> {
+        if let Some(t) = self.store.lookup(key) {
+            return Ok((t, true));
+        }
+        if depth > self.depth_limit {
+            return Err(DatalogError::DepthExceeded(self.depth_limit));
+        }
+        let t = self.store.create(key.clone());
+        self.group.push(t);
+        if self.in_fixpoint {
+            // A leader above us is iterating: expand once now so the
+            // caller sees first-round answers; the leader's loop will
+            // re-expand us until the whole group saturates.
+            self.expand(t, depth)?;
+        } else {
+            self.in_fixpoint = true;
+            loop {
+                self.changed = false;
+                let mut i = 0;
+                while i < self.group.len() {
+                    let member = self.group[i];
+                    self.expand(member, depth)?;
+                    i += 1;
+                }
+                if !self.changed {
+                    break;
+                }
+            }
+            for &member in &self.group {
+                self.store.set_complete(member);
+            }
+            self.group.clear();
+            self.in_fixpoint = false;
+        }
+        Ok((t, false))
+    }
+
+    /// One expansion pass over `t`'s defining clauses: re-derives every
+    /// answer currently reachable from the table snapshots it consumes.
+    fn expand(&mut self, t: TableId, depth: usize) -> Result<(), DatalogError> {
+        let call = self.store.key(t).to_atom();
+        let n_free = u32::try_from(self.store.key(t).free_count()).expect("free count fits u32");
+        let empty = Substitution::new();
+        // Extensional facts for the called predicate.
+        self.stats.retrievals += 1;
+        for sub in self.db.matches(&call, &empty) {
+            self.add_answer(t, n_free, &sub);
+        }
+        // Rules: the canonical call uses Var(0..n_free), so renaming rule
+        // variables by n_free keeps the two namespaces disjoint.
+        for (_, rule) in self.rules.rules_for(call.predicate) {
+            let head = rename_apart(&rule.head, n_free);
+            let Some(sub) = unify_atoms(&call, &head, &empty) else {
+                continue;
+            };
+            self.stats.reductions += 1;
+            let body: Vec<Atom> = rule.body.iter().map(|b| rename_apart(b, n_free)).collect();
+            self.solve_body(t, n_free, &body, 0, sub, depth)?;
+        }
+        Ok(())
+    }
+
+    /// Enumerates all solutions of `body[idx..]` under `sub`, adding one
+    /// answer to `t` per complete solution. Intensional subgoals consume
+    /// a *snapshot* of their table (answers added behind the snapshot are
+    /// picked up by the leader's next round); extensional subgoals probe
+    /// the database directly.
+    fn solve_body(
+        &mut self,
+        t: TableId,
+        n_free: u32,
+        body: &[Atom],
+        idx: usize,
+        sub: Substitution,
+        depth: usize,
+    ) -> Result<(), DatalogError> {
+        let Some(goal) = body.get(idx) else {
+            self.add_answer(t, n_free, &sub);
+            return Ok(());
+        };
+        if self.rules.has_rules_for(goal.predicate) {
+            let (key, vars) = CallKey::of(goal, &sub);
+            let (sub_t, was_hit) = self.ensure(&key, depth + 1)?;
+            let n = self.store.answer_count(sub_t);
+            if was_hit && self.store.is_complete(sub_t) {
+                self.store.note_reuse(n as u64);
+            }
+            for i in 0..n {
+                let mut ext = sub.clone();
+                let mut consistent = true;
+                for (j, &v) in vars.iter().enumerate() {
+                    let c = self.store.answer(sub_t, i)[j];
+                    match ext.resolve(Term::Var(v)) {
+                        Term::Const(x) if x != c => {
+                            consistent = false;
+                            break;
+                        }
+                        Term::Const(_) => {}
+                        Term::Var(w) => ext.bind(w, Term::Const(c)),
+                    }
+                }
+                if consistent {
+                    self.solve_body(t, n_free, body, idx + 1, ext, depth)?;
+                }
+            }
+        } else {
+            self.stats.retrievals += 1;
+            for ext in self.db.matches(goal, &sub) {
+                self.solve_body(t, n_free, body, idx + 1, ext, depth)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Projects `sub` onto the canonical call variables `Var(0..n_free)`
+    /// and records the tuple. Range restriction guarantees every position
+    /// is ground by the time a body is fully solved; a non-ground tuple
+    /// (unreachable for validated rules) is skipped rather than stored.
+    fn add_answer(&mut self, t: TableId, n_free: u32, sub: &Substitution) {
+        let mut tuple = Vec::with_capacity(n_free as usize);
+        for i in 0..n_free {
+            match sub.resolve(Term::Var(Var(i))) {
+                Term::Const(c) => tuple.push(c),
+                Term::Var(_) => return,
+            }
+        }
+        if self.store.insert_answer(t, tuple.into_boxed_slice()) {
+            self.changed = true;
+        }
     }
 }
 
@@ -205,6 +472,190 @@ mod tests {
         // Must have tried the prof branch (reduction + retrieval) before grad.
         assert!(stats.reductions >= 2);
         assert!(stats.retrievals >= 2);
+    }
+
+    fn ask_tabled(src: &str, query: &str) -> bool {
+        let mut t = SymbolTable::new();
+        let p = parse_program(src, &mut t).unwrap();
+        let q = parse_query(query, &mut t).unwrap();
+        TopDown::new(&p.rules, &p.facts).provable_tabled(&q).unwrap()
+    }
+
+    #[test]
+    fn tabled_handles_left_recursion() {
+        // Plain SLD loops forever on a left-recursive clause; tabling
+        // saturates. path(X,Z) :- path(X,Y), edge(Y,Z).
+        let kb = "path(X, Y) :- edge(X, Y).\n\
+                  path(X, Z) :- path(X, Y), edge(Y, Z).\n\
+                  edge(a, b). edge(b, c). edge(c, d).";
+        assert!(ask_tabled(kb, "path(a, d)"));
+        assert!(!ask_tabled(kb, "path(d, a)"));
+        assert!(ask_tabled(kb, "path(a, X)"));
+    }
+
+    #[test]
+    fn tabled_handles_right_recursion_on_cycles() {
+        let kb = "path(X, Y) :- edge(X, Y).\n\
+                  path(X, Z) :- edge(X, Y), path(Y, Z).\n\
+                  edge(a, b). edge(b, c). edge(c, a).";
+        // Every pair on the cycle is reachable…
+        assert!(ask_tabled(kb, "path(a, a)"));
+        assert!(ask_tabled(kb, "path(c, b)"));
+        // …but nothing reaches a vertex off the cycle.
+        assert!(!ask_tabled(kb, "path(a, z)"));
+    }
+
+    #[test]
+    fn tabled_handles_nonlinear_recursion() {
+        // path(X,Z) :- path(X,Y), path(Y,Z): both body goals recursive.
+        let kb = "path(X, Y) :- edge(X, Y).\n\
+                  path(X, Z) :- path(X, Y), path(Y, Z).\n\
+                  edge(a, b). edge(b, c). edge(c, d). edge(d, b).";
+        assert!(ask_tabled(kb, "path(a, d)"));
+        assert!(ask_tabled(kb, "path(b, b)"));
+        assert!(!ask_tabled(kb, "path(c, a)"));
+    }
+
+    #[test]
+    fn tabled_recursion_does_not_depend_on_depth_bound() {
+        // Regression: on this cyclic KB plain SLD exhausts any depth
+        // bound; tabled evaluation must answer under the same tiny bound
+        // because repeated calls hit their table instead of deepening.
+        let kb = "path(X, Y) :- edge(X, Y).\n\
+                  path(X, Z) :- edge(X, Y), path(Y, Z).\n\
+                  edge(a, b). edge(b, a).";
+        let mut t = SymbolTable::new();
+        let p = parse_program(kb, &mut t).unwrap();
+        let q = parse_query("path(a, z)", &mut t).unwrap();
+        let solver = TopDown::new(&p.rules, &p.facts).with_depth_limit(8);
+        assert!(matches!(solver.provable(&q), Err(DatalogError::DepthExceeded(8))));
+        assert!(!solver.provable_tabled(&q).unwrap());
+        let yes = parse_query("path(a, a)", &mut t).unwrap();
+        assert!(solver.provable_tabled(&yes).unwrap());
+    }
+
+    #[test]
+    fn tabled_solve_returns_bindings() {
+        let mut t = SymbolTable::new();
+        let p = parse_program(
+            "path(X, Y) :- edge(X, Y). path(X, Z) :- edge(X, Y), path(Y, Z).\n\
+             edge(a, b). edge(b, c).",
+            &mut t,
+        )
+        .unwrap();
+        let q = parse_query("path(a, X)", &mut t).unwrap();
+        let sub = TopDown::new(&p.rules, &p.facts).solve_tabled(&q).unwrap().unwrap();
+        let bound = sub.apply(&q);
+        // First answer in derivation order: the base clause fires first.
+        assert_eq!(bound.display(&t).to_string(), "path(a, b)");
+    }
+
+    #[test]
+    fn tabled_store_reuse_skips_reproof() {
+        use crate::table::TableStore;
+        let mut t = SymbolTable::new();
+        let p = parse_program(
+            "path(X, Y) :- edge(X, Y). path(X, Z) :- edge(X, Y), path(Y, Z).\n\
+             edge(a, b). edge(b, c). edge(c, d).",
+            &mut t,
+        )
+        .unwrap();
+        let q = parse_query("path(a, d)", &mut t).unwrap();
+        let solver = TopDown::new(&p.rules, &p.facts);
+        let mut store = TableStore::new();
+
+        let mut first = RetrievalStats::default();
+        assert!(solver.solve_tabled_in(&q, &mut store, &mut first).unwrap().is_some());
+        // Cold store: every distinct call pattern is a miss (hits can
+        // still occur — fixpoint rounds re-read in-progress tables).
+        assert!(first.table_misses > 0);
+        assert!(first.retrievals > 0);
+
+        let mut second = RetrievalStats::default();
+        assert!(solver.solve_tabled_in(&q, &mut store, &mut second).unwrap().is_some());
+        assert_eq!(second.table_misses, 0, "everything answered from tables");
+        assert_eq!(second.table_hits, 1);
+        assert_eq!(second.retrievals, 0, "no database work on a warm store");
+        assert_eq!(second.tabled_answers_reused, 1);
+    }
+
+    #[test]
+    fn tabled_ground_query_answers() {
+        // Ground (all-bound) calls produce zero-width answer tuples.
+        assert!(ask_tabled("a(X) :- b(X). b(k).", "a(k)"));
+        assert!(!ask_tabled("a(X) :- b(X). b(k).", "a(j)"));
+    }
+
+    #[test]
+    fn tabled_extensional_query_bypasses_tables() {
+        let mut t = SymbolTable::new();
+        let p = parse_program("p(a).", &mut t).unwrap();
+        let q = parse_query("p(X)", &mut t).unwrap();
+        let mut store = crate::table::TableStore::new();
+        let mut stats = RetrievalStats::default();
+        let found =
+            TopDown::new(&p.rules, &p.facts).solve_tabled_in(&q, &mut store, &mut stats).unwrap();
+        assert!(found.is_some());
+        assert!(store.is_empty(), "no table for a purely extensional predicate");
+        assert_eq!(stats.retrievals, 1);
+    }
+
+    proptest::proptest! {
+        /// Tabled top-down agrees with the bottom-up oracle on random
+        /// *recursive* programs mixing left-, right-, and nonlinear
+        /// recursion over a random edge relation.
+        #[test]
+        fn tabled_agrees_with_bottom_up_on_recursion(
+            edges in proptest::collection::vec((0u8..5, 0u8..5), 0..12),
+            shape in 0u8..3,
+            qs in 0u8..5,
+            qt in 0u8..5,
+        ) {
+            let recursive = match shape {
+                0 => "path(X, Z) :- path(X, Y), edge(Y, Z).\n",      // left
+                1 => "path(X, Z) :- edge(X, Y), path(Y, Z).\n",      // right
+                _ => "path(X, Z) :- path(X, Y), path(Y, Z).\n",      // nonlinear
+            };
+            let mut src = format!("path(X, Y) :- edge(X, Y).\n{recursive}");
+            for (a, b) in &edges {
+                src.push_str(&format!("edge(n{a}, n{b}).\n"));
+            }
+            let mut t = SymbolTable::new();
+            let p = parse_program(&src, &mut t).unwrap();
+            let solver = TopDown::new(&p.rules, &p.facts);
+            let model = eval::MinimalModel::compute(&p.rules, &p.facts);
+            // Ground query.
+            let g = parse_query(&format!("path(n{qs}, n{qt})"), &mut t).unwrap();
+            proptest::prop_assert_eq!(solver.provable_tabled(&g).unwrap(), model.holds(&g));
+            // Half-open query.
+            let h = parse_query(&format!("path(n{qs}, W)"), &mut t).unwrap();
+            proptest::prop_assert_eq!(solver.provable_tabled(&h).unwrap(), model.holds(&h));
+        }
+
+        /// On non-recursive programs the tabled solver and the plain SLD
+        /// solver agree answer-for-answer with the oracle.
+        #[test]
+        fn tabled_agrees_with_plain_sld_nonrecursive(
+            rules in proptest::collection::vec((0u8..3, 0u8..3), 1..6),
+            facts in proptest::collection::vec((0u8..3, 0u8..4), 0..6),
+            qx in 0u8..4,
+        ) {
+            let mut src = String::new();
+            for (i, _) in &rules {
+                src.push_str(&format!("l{}(X) :- l{}(X).\n", i, i + 1));
+            }
+            for (layer, c) in &facts {
+                src.push_str(&format!("l{}(c{}).\n", layer + 1, c));
+            }
+            let mut t = SymbolTable::new();
+            let p = parse_program(&src, &mut t).unwrap();
+            let q = parse_query(&format!("l0(c{qx})"), &mut t).unwrap();
+            let solver = TopDown::new(&p.rules, &p.facts);
+            let plain = solver.provable(&q).unwrap();
+            let tabled = solver.provable_tabled(&q).unwrap();
+            proptest::prop_assert_eq!(plain, tabled);
+            proptest::prop_assert_eq!(tabled, eval::holds(&p.rules, &p.facts, &q));
+        }
     }
 
     proptest::proptest! {

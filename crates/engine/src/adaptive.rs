@@ -79,6 +79,11 @@ pub struct AdaptiveQp {
     /// re-validating) one per observed context would dominate the
     /// sampling loop, so they are memoized here.
     aim_cache: HashMap<ArcId, Strategy>,
+    /// Root paths `Π(e)`, parallel to `stats`, filled on first use:
+    /// `absorb_events` consults the path of every unreached target on
+    /// every run, and `root_path` allocates a fresh `Vec` per call —
+    /// millions of allocations over a PAO sampling phase without this.
+    path_cache: Vec<Option<Vec<ArcId>>>,
 }
 
 impl AdaptiveQp {
@@ -99,19 +104,23 @@ impl AdaptiveQp {
                 .collect(),
             runs: 0,
             aim_cache: HashMap::new(),
+            path_cache: vec![None; needed.len()],
         }
     }
 
     /// Theorem-3 mode: explicit `(experiment, required attempts)` pairs.
     pub fn for_experiments(targets: Vec<(ArcId, u64)>) -> Self {
+        let stats: Vec<AimStat> = targets
+            .into_iter()
+            .map(|(arc, n)| AimStat { arc, needed: n, attempts: 0, reached: 0, successes: 0 })
+            .collect();
+        let path_cache = vec![None; stats.len()];
         Self {
             mode: SamplingMode::Experiments,
-            stats: targets
-                .into_iter()
-                .map(|(arc, n)| AimStat { arc, needed: n, attempts: 0, reached: 0, successes: 0 })
-                .collect(),
+            stats,
             runs: 0,
             aim_cache: HashMap::new(),
+            path_cache,
         }
     }
 
@@ -232,9 +241,11 @@ impl AdaptiveQp {
             events.iter().find(|&&(a, _)| a == arc).map(|&(_, o)| o)
         }
         self.runs += 1;
-        for stat in &mut self.stats {
-            match outcome_in(events, stat.arc) {
+        for idx in 0..self.stats.len() {
+            let arc = self.stats[idx].arc;
+            match outcome_in(events, arc) {
                 Some(outcome) => {
+                    let stat = &mut self.stats[idx];
                     stat.attempts += 1;
                     stat.reached += 1;
                     if outcome == ArcOutcome::Traversed {
@@ -243,8 +254,10 @@ impl AdaptiveQp {
                 }
                 None => {
                     // Did the run follow Π(e) maximally and get blocked?
+                    let path =
+                        self.path_cache[idx].get_or_insert_with(|| g.root_path(arc)).as_slice();
                     let mut blocked_on_path = false;
-                    for &b in &g.root_path(stat.arc) {
+                    for &b in path {
                         match outcome_in(events, b) {
                             Some(ArcOutcome::Traversed) => continue,
                             Some(ArcOutcome::Blocked) => {
@@ -255,7 +268,7 @@ impl AdaptiveQp {
                         }
                     }
                     if blocked_on_path {
-                        stat.attempts += 1;
+                        self.stats[idx].attempts += 1;
                     }
                 }
             }

@@ -1,0 +1,342 @@
+//! Cross-context answer caching: reuse proof work across Monte-Carlo
+//! samples that share a ⟨database, blocked-arc set⟩ pair.
+//!
+//! The E-experiments draw thousands of i.i.d. contexts, and most draws
+//! repeat a context class the run has already seen (Note 2: contexts
+//! partition into finitely many blocked-arc classes). Everything proved
+//! inside one class against one database state stays valid until either
+//! changes, so:
+//!
+//! * [`CrossContextCache`] keeps one [`TableStore`] of tabled Datalog
+//!   answers per context fingerprint, invalidated by the database's
+//!   generation counter — a sample landing in a seen class reuses every
+//!   subgoal table from previous samples of that class;
+//! * [`RunCache`] memoizes whole `⟨query → (answer, cost)⟩` runs of a
+//!   fixed-strategy [`QueryProcessor`](crate::qp::QueryProcessor),
+//!   invalidated when the database generation *or* the strategy changes.
+//!
+//! Both caches are deliberately single-database: a generation counter
+//! orders the states of one [`Database`] instance but says nothing about
+//! a different instance, so callers must use one cache per database (the
+//! per-worker scratch of [`batch_fold_scratch`](crate::par::batch_fold_scratch)
+//! makes that natural) or key their own map by database identity.
+//!
+//! Determinism: cached answers are pure functions of ⟨rules, database
+//! state, context class⟩, so replacing a recomputation with a cache read
+//! never changes a result — only *stats* (hit/miss counts) depend on
+//! arrival order, which is why the parallel harness asserts on answers,
+//! never on cache stats.
+
+use crate::qp::QueryAnswer;
+use qpl_datalog::table::TableStore;
+use qpl_datalog::{Database, Symbol};
+use qpl_graph::context::Context;
+use qpl_graph::strategy::Strategy;
+use std::collections::HashMap;
+
+/// Lifetime counters for a cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered by a live entry.
+    pub hits: u64,
+    /// Lookups that had no entry at all.
+    pub misses: u64,
+    /// Entries dropped because their generation (or strategy) went stale.
+    pub invalidations: u64,
+}
+
+/// A 64-bit fingerprint of a context class: a SplitMix64-style fold over
+/// the blocked arc indices (ascending) and the arc count. Equal contexts
+/// always map to equal fingerprints; unequal ones collide with
+/// probability ≈ 2⁻⁶⁴. A collision would serve answers from the wrong
+/// context class, so the fold covers every blocked index rather than
+/// sampling a few — at 2⁻⁶⁴ over at most a few thousand classes per run
+/// the risk is far below that of memory corruption.
+pub fn context_fingerprint(ctx: &Context) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (ctx.arc_count() as u64);
+    let mut mix = |v: u64| {
+        let mut z = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h = z ^ (z >> 31);
+    };
+    for a in ctx.blocked_arcs() {
+        mix(a.index() as u64 + 1);
+    }
+    h
+}
+
+/// A 64-bit fingerprint of a strategy: a fold over its arc sequence.
+/// Used to invalidate [`RunCache`] entries when PIB swaps strategies.
+pub fn strategy_fingerprint(s: &Strategy) -> u64 {
+    let mut h = 0x1000_0000_01b3u64;
+    for &a in s.arcs() {
+        let mut z = h ^ (a.index() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = z ^ (z >> 31);
+    }
+    h
+}
+
+/// Tabled-answer stores shared across samples: one [`TableStore`] per
+/// blocked-arc context class, each validated against the database
+/// generation it was filled under.
+///
+/// # Examples
+/// ```
+/// use qpl_engine::cache::{context_fingerprint, CrossContextCache};
+/// use qpl_datalog::parser::{parse_program, parse_query};
+/// use qpl_datalog::topdown::{RetrievalStats, TopDown};
+/// use qpl_datalog::SymbolTable;
+/// let mut t = SymbolTable::new();
+/// let p = parse_program("a(X) :- b(X). b(k).", &mut t).unwrap();
+/// let q = parse_query("a(k)", &mut t).unwrap();
+/// let solver = TopDown::new(&p.rules, &p.facts);
+/// let mut cache = CrossContextCache::new();
+/// let mut stats = RetrievalStats::default();
+/// // Key by whatever identifies the sample's context class; here one class.
+/// let store = cache.tables_for(&p.facts, 0);
+/// assert!(solver.solve_tabled_in(&q, store, &mut stats).unwrap().is_some());
+/// let store = cache.tables_for(&p.facts, 0); // warm: same tables back
+/// assert!(!store.is_empty());
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CrossContextCache {
+    entries: HashMap<u64, (u64, TableStore)>,
+    stats: CacheStats,
+}
+
+impl CrossContextCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of context classes with a live table store.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no class has been seen yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime hit/miss/invalidation counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drops every entry (stats survive).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// The table store for the context class `context_fp` (as computed by
+    /// [`context_fingerprint`]), valid for `db`'s current state. A store
+    /// filled under an older generation is cleared before being returned;
+    /// a fresh one is created on first sight of the class.
+    ///
+    /// All calls must pass the same `Database` instance for the cache's
+    /// lifetime — the generation counter cannot tell two instances apart.
+    pub fn tables_for(&mut self, db: &Database, context_fp: u64) -> &mut TableStore {
+        let generation = db.generation();
+        if let Some((stored_gen, store)) = self.entries.get_mut(&context_fp) {
+            if *stored_gen == generation {
+                self.stats.hits += 1;
+            } else {
+                store.clear();
+                *stored_gen = generation;
+                self.stats.invalidations += 1;
+            }
+        } else {
+            self.entries.insert(context_fp, (generation, TableStore::new()));
+            self.stats.misses += 1;
+        }
+        &mut self.entries.get_mut(&context_fp).expect("entry just ensured").1
+    }
+}
+
+/// Whole-run memoization for a fixed-strategy query processor: maps the
+/// query's bound constants to its `(answer, cost)` pair, valid for one
+/// ⟨database generation, strategy⟩ pair at a time.
+///
+/// Used by `QueryProcessor::run_cost_cached`; see there for the wiring.
+#[derive(Debug, Clone, Default)]
+pub struct RunCache {
+    /// `(database generation, strategy fingerprint)` the map is valid
+    /// for; `None` until the first run.
+    validity: Option<(u64, u64)>,
+    map: HashMap<Vec<Symbol>, (QueryAnswer, f64)>,
+    stats: CacheStats,
+}
+
+impl RunCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lifetime hit/miss/invalidation counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of memoized runs currently valid.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no run is currently memoized.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops memoized runs if the database generation or strategy
+    /// changed since they were recorded.
+    pub fn revalidate(&mut self, generation: u64, strategy_fp: u64) {
+        if self.validity != Some((generation, strategy_fp)) {
+            if !self.map.is_empty() {
+                self.map.clear();
+                self.stats.invalidations += 1;
+            }
+            self.validity = Some((generation, strategy_fp));
+        }
+    }
+
+    /// The memoized run for a query with these bound constants, if any.
+    /// Call [`revalidate`](Self::revalidate) first.
+    pub fn get(&mut self, key: &[Symbol]) -> Option<&(QueryAnswer, f64)> {
+        let found = self.map.get(key);
+        if found.is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        found
+    }
+
+    /// Records a run under the current validity window.
+    pub fn insert(&mut self, key: Vec<Symbol>, answer: QueryAnswer, cost: f64) {
+        self.map.insert(key, (answer, cost));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpl_datalog::parser::{parse_program, parse_query};
+    use qpl_datalog::topdown::{RetrievalStats, TopDown};
+    use qpl_datalog::{Fact, SymbolTable};
+    use qpl_graph::context::Context;
+    use qpl_graph::graph::GraphBuilder;
+    use qpl_graph::ArcId;
+
+    fn small_graph() -> qpl_graph::graph::InferenceGraph {
+        let mut b = GraphBuilder::new("q(κ)");
+        let root = b.root();
+        let (_, n1) = b.reduction(root, "R1", 1.0, "p1(κ)");
+        b.retrieval(n1, "D1", 1.0);
+        let (_, n2) = b.reduction(root, "R2", 1.0, "p2(κ)");
+        b.retrieval(n2, "D2", 1.0);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn context_fingerprint_separates_classes() {
+        let g = small_graph();
+        let open = Context::all_open(&g);
+        let b0 = Context::with_blocked(&g, &[ArcId(0)]);
+        let b1 = Context::with_blocked(&g, &[ArcId(1)]);
+        let b01 = Context::with_blocked(&g, &[ArcId(0), ArcId(1)]);
+        let fps = [&open, &b0, &b1, &b01].map(context_fingerprint);
+        for i in 0..fps.len() {
+            for j in 0..i {
+                assert_ne!(fps[i], fps[j], "classes {i} and {j} collide");
+            }
+        }
+        // Deterministic: same class, same fingerprint.
+        assert_eq!(context_fingerprint(&b0), context_fingerprint(&b0.clone()));
+    }
+
+    #[test]
+    fn tables_survive_within_generation_and_die_across() {
+        let mut t = SymbolTable::new();
+        let p = parse_program(
+            "path(X, Y) :- edge(X, Y). path(X, Z) :- edge(X, Y), path(Y, Z).\n\
+             edge(a, b). edge(b, c).",
+            &mut t,
+        )
+        .unwrap();
+        let mut db = p.facts.clone();
+        let solver_src = p.rules;
+        let q = parse_query("path(a, c)", &mut t).unwrap();
+        let mut cache = CrossContextCache::new();
+        let fp = 7u64;
+
+        // Fill under generation g0.
+        {
+            let solver = TopDown::new(&solver_src, &db);
+            let mut stats = RetrievalStats::default();
+            let store = cache.tables_for(&db, fp);
+            assert!(solver.solve_tabled_in(&q, store, &mut stats).unwrap().is_some());
+            assert!(stats.table_misses > 0);
+        }
+        assert_eq!(cache.stats().misses, 1);
+
+        // Same generation: warm tables, zero database work.
+        {
+            let solver = TopDown::new(&solver_src, &db);
+            let mut stats = RetrievalStats::default();
+            let store = cache.tables_for(&db, fp);
+            assert!(solver.solve_tabled_in(&q, store, &mut stats).unwrap().is_some());
+            assert_eq!(stats.retrievals, 0);
+            assert_eq!(stats.table_misses, 0);
+        }
+        assert_eq!(cache.stats().hits, 1);
+
+        // Mutate the database: the entry must be invalidated, and the
+        // new fact must be visible (a stale table would hide edge(c,d)).
+        let edge = t.lookup("edge").unwrap();
+        let (c, d) = (t.lookup("c").unwrap(), t.intern("d"));
+        db.insert(Fact::new(edge, vec![c, d])).unwrap();
+        {
+            let solver = TopDown::new(&solver_src, &db);
+            let mut stats = RetrievalStats::default();
+            let q2 = parse_query("path(a, d)", &mut t).unwrap();
+            let store = cache.tables_for(&db, fp);
+            assert!(solver.solve_tabled_in(&q2, store, &mut stats).unwrap().is_some());
+            assert!(stats.table_misses > 0, "tables rebuilt after invalidation");
+        }
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn distinct_fingerprints_get_distinct_stores() {
+        let mut t = SymbolTable::new();
+        let p = parse_program("p(a).", &mut t).unwrap();
+        let mut cache = CrossContextCache::new();
+        cache.tables_for(&p.facts, 1);
+        cache.tables_for(&p.facts, 2);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn run_cache_invalidates_on_strategy_change() {
+        let mut rc = RunCache::new();
+        let dummy = QueryAnswer::No;
+        rc.revalidate(0, 111);
+        assert!(rc.get(&[]).is_none());
+        rc.insert(vec![], dummy.clone(), 2.0);
+        rc.revalidate(0, 111);
+        assert!(rc.get(&[]).is_some(), "same window: still valid");
+        rc.revalidate(0, 222); // strategy swapped
+        assert!(rc.get(&[]).is_none(), "strategy change dropped the memo");
+        rc.insert(vec![], dummy, 3.0);
+        rc.revalidate(1, 222); // database mutated
+        assert!(rc.get(&[]).is_none(), "generation change dropped the memo");
+        assert_eq!(rc.stats().invalidations, 2);
+    }
+}

@@ -12,6 +12,10 @@
 //!   strategy per sample so every experiment gets enough trials;
 //! * [`oracle`] — i.i.d. context sources (finite query mixes over a
 //!   database, independent-arc synthetic models);
+//! * [`cache`] — cross-context answer caching: tabled Datalog answers
+//!   shared across samples in the same blocked-arc class, and
+//!   whole-run `(answer, cost)` memoization, both invalidated by the
+//!   database's generation counter;
 //! * [`naf`] — negation-as-failure queries (Section 5.2's `pauper`
 //!   example);
 //! * [`par`] — a deterministic scoped-thread sampling harness: Monte
@@ -25,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod cache;
 pub mod firstk;
 pub mod naf;
 pub mod oracle;
@@ -33,6 +38,11 @@ pub mod qp;
 pub mod segmented;
 
 pub use adaptive::{AdaptiveQp, SamplingMode};
+pub use cache::{
+    context_fingerprint, strategy_fingerprint, CacheStats, CrossContextCache, RunCache,
+};
 pub use oracle::{ContextOracle, QueryMixOracle};
-pub use par::{batch_fold, par_map_indexed, sample_rng, sample_seed, ParConfig};
+pub use par::{
+    batch_fold, batch_fold_scratch, par_map_indexed, sample_rng, sample_seed, ParConfig,
+};
 pub use qp::{classify_context, QueryAnswer, QueryProcessor};

@@ -42,6 +42,9 @@ pub struct QueryMixOracle<'g> {
     /// Note-2 classification of each query, precomputed once — drawing
     /// then costs O(1) instead of one database probe per retrieval arc.
     contexts: Vec<Context>,
+    /// The database generation the classifications were computed under;
+    /// [`refresh`](Self::refresh) re-classifies only when this lags.
+    db_generation: u64,
     cumulative: Vec<f64>,
 }
 
@@ -82,12 +85,46 @@ impl<'g> QueryMixOracle<'g> {
             acc += w;
             cumulative.push(acc);
         }
-        Ok(Self { compiled, db, queries, contexts, cumulative })
+        let db_generation = db.generation();
+        Ok(Self { compiled, db, queries, contexts, db_generation, cumulative })
     }
 
     /// The database queries run against.
     pub fn database(&self) -> &Database {
         &self.db
+    }
+
+    /// Mutable access to the database, e.g. to insert facts between
+    /// sampling phases. Call [`refresh`](Self::refresh) afterwards —
+    /// the precomputed Note-2 contexts describe the *old* database state
+    /// until then.
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Re-classifies the query mix if the database has changed since the
+    /// contexts were computed, returning whether any work was done. The
+    /// generation check makes this free to call defensively in a loop:
+    /// an unchanged database costs one integer compare, a changed one
+    /// costs exactly one re-classification regardless of how many
+    /// inserts happened since the last call.
+    ///
+    /// # Errors
+    /// [`GraphError::InvalidStrategy`] if classification fails (it
+    /// cannot for a mix that validated at construction, but the
+    /// signature keeps the invariant visible).
+    pub fn refresh(&mut self) -> Result<bool, GraphError> {
+        let generation = self.db.generation();
+        if generation == self.db_generation {
+            return Ok(false);
+        }
+        self.contexts = self
+            .queries
+            .iter()
+            .map(|(q, _)| classify_context(self.compiled, q, &self.db))
+            .collect::<Result<_, _>>()?;
+        self.db_generation = generation;
+        Ok(true)
     }
 
     /// The compiled graph the mix was validated against.
@@ -214,6 +251,29 @@ mod tests {
         // Zero total weight.
         let bad = vec![(parse_query("instructor(russ)", &mut t).unwrap(), 0.0)];
         assert!(QueryMixOracle::new(&cg, p.facts.clone(), bad).is_err());
+    }
+
+    #[test]
+    fn refresh_tracks_database_generation() {
+        use qpl_datalog::Fact;
+        let mut t = SymbolTable::new();
+        let p = parse_program(FIGURE1, &mut t).unwrap();
+        let qf = parse_query_form("instructor(b)", &mut t).unwrap();
+        let cg = compile(&p.rules, &qf, &t, &CompileOptions::default()).unwrap();
+        let mut oracle = mix(&mut t, &cg, p.facts.clone());
+        assert!(!oracle.refresh().unwrap(), "fresh oracle has nothing to reclassify");
+        // fred is neither prof nor grad: the mix's third entry blocks
+        // every retrieval. Making fred a prof must unblock it — but only
+        // after refresh notices the generation bump.
+        let prof_arc =
+            cg.graph.arc_ids().find(|&a| cg.graph.arc(a).label.contains("prof")).unwrap();
+        assert!(oracle.context(2).is_blocked(prof_arc));
+        let (prof, fred) = (t.lookup("prof").unwrap(), t.lookup("fred").unwrap());
+        oracle.database_mut().insert(Fact::new(prof, vec![fred])).unwrap();
+        assert!(oracle.context(2).is_blocked(prof_arc), "stale until refresh");
+        assert!(oracle.refresh().unwrap(), "generation advanced: reclassified");
+        assert!(!oracle.context(2).is_blocked(prof_arc));
+        assert!(!oracle.refresh().unwrap(), "second refresh is a no-op");
     }
 
     #[test]

@@ -110,16 +110,54 @@ where
     St: Fn(&mut A, usize) + Sync,
     Mg: Fn(&mut A, A),
 {
+    batch_fold_scratch(n, cfg, &make, || (), |acc, (), i| step(acc, i), merge)
+}
+
+/// [`batch_fold`] with a **per-worker scratch**: each worker thread builds
+/// one scratch value with `make_scratch` when it starts and carries it
+/// across every block it claims; `step` receives it alongside the block
+/// accumulator. The serial `W = 1` path uses a single scratch for the
+/// whole stream.
+///
+/// The scratch is for *memoization and buffer reuse only* — per-worker
+/// [`CrossContextCache`](crate::cache::CrossContextCache)s, reusable
+/// [`RunScratch`](qpl_graph::context::RunScratch)es, preallocated
+/// [`Context`](qpl_graph::context::Context) buffers. Which blocks share a
+/// scratch depends on scheduling, so worker-count invariance holds **iff
+/// `step`'s effect on the accumulator is independent of the scratch's
+/// contents** (a warm cache may make a sample faster, never different).
+/// Scratch-derived *statistics* (hit rates etc.) are scheduling-dependent
+/// by nature; folding them into the accumulator is allowed, but only the
+/// scratch-independent components remain worker-count invariant — report
+/// and assert cache statistics from a serial (`workers: 1`) run only.
+///
+/// # Panics
+/// Propagates panics from worker closures.
+pub fn batch_fold_scratch<A, S, MkA, MkS, St, Mg>(
+    n: usize,
+    cfg: &ParConfig,
+    make: MkA,
+    make_scratch: MkS,
+    step: St,
+    merge: Mg,
+) -> A
+where
+    A: Send,
+    MkA: Fn() -> A + Sync,
+    MkS: Fn() -> S + Sync,
+    St: Fn(&mut A, &mut S, usize) + Sync,
+    Mg: Fn(&mut A, A),
+{
     let block = cfg.block.max(1);
-    let fold_block = |b: usize| {
+    let fold_block = |scratch: &mut S, b: usize| {
         let mut acc = make();
         for i in (b * block)..((b + 1) * block).min(n) {
-            step(&mut acc, i);
+            step(&mut acc, scratch, i);
         }
         (b, acc)
     };
     let n_blocks = n.div_ceil(block);
-    let mut partials = run_blocks(n_blocks, cfg.workers, &fold_block);
+    let mut partials = run_blocks_scratch(n_blocks, cfg.workers, &make_scratch, &fold_block);
     partials.sort_by_key(|(b, _)| *b);
     let mut out = make();
     for (_, part) in partials {
@@ -159,22 +197,41 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_blocks_scratch(n_jobs, workers, &|| (), &|(), b| job(b))
+}
+
+/// [`run_blocks`] with a per-worker scratch: each thread builds one
+/// scratch on entry (so `S` need not be `Send`) and threads it through
+/// every job it claims.
+fn run_blocks_scratch<S, T, MkS, F>(
+    n_jobs: usize,
+    workers: usize,
+    make_scratch: &MkS,
+    job: &F,
+) -> Vec<T>
+where
+    T: Send,
+    MkS: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     let workers = workers.max(1).min(n_jobs.max(1));
     if workers == 1 {
-        return (0..n_jobs).map(job).collect();
+        let mut scratch = make_scratch();
+        return (0..n_jobs).map(|b| job(&mut scratch, b)).collect();
     }
     let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| {
+                    let mut scratch = make_scratch();
                     let mut local = Vec::new();
                     loop {
                         let b = next.fetch_add(1, Ordering::Relaxed);
                         if b >= n_jobs {
                             break;
                         }
-                        local.push(job(b));
+                        local.push(job(&mut scratch, b));
                     }
                     local
                 })
@@ -215,6 +272,33 @@ mod tests {
             let (sum, count) = fold_sums(1000, workers, 64);
             assert_eq!(count, 1000);
             assert_eq!(sum.to_bits(), base_sum.to_bits(), "W={workers} diverged from W=1");
+        }
+    }
+
+    #[test]
+    fn batch_fold_scratch_is_worker_count_invariant() {
+        use std::collections::HashMap;
+        // The scratch memoizes a pure function of the sample's class, so a
+        // warm memo changes speed, never results — the contract under which
+        // per-worker caches preserve worker-count invariance.
+        let run = |workers: usize| {
+            let cfg = ParConfig { workers, block: 16 };
+            batch_fold_scratch(
+                500,
+                &cfg,
+                || 0.0f64,
+                HashMap::<u64, f64>::new,
+                |acc, memo, i| {
+                    let class = (i % 7) as u64;
+                    let v = *memo.entry(class).or_insert_with(|| sample_rng(9, class).gen::<f64>());
+                    *acc += v;
+                },
+                |acc, part| *acc += part,
+            )
+        };
+        let base = run(1);
+        for w in [2, 3, 8] {
+            assert_eq!(run(w).to_bits(), base.to_bits(), "W={w} diverged from W=1");
         }
     }
 

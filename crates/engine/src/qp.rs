@@ -8,6 +8,7 @@
 //! executes the graph-level strategy in that class and reports the
 //! answer, cost, and trace.
 
+use crate::cache::{strategy_fingerprint, RunCache};
 use qpl_datalog::{Atom, Database, Substitution, Symbol, Term, Var};
 use qpl_graph::compile::{ArcBinding, CompiledGraph, Guard, PatternTerm};
 use qpl_graph::context::{
@@ -236,6 +237,44 @@ impl<'g> QueryProcessor<'g> {
             RunOutcome::Succeeded(arc) => QueryAnswer::Yes(self.witness(arc, query, db)),
             RunOutcome::Exhausted => QueryAnswer::No,
         })
+    }
+
+    /// [`run_into`](Self::run_into) memoized through a [`RunCache`]:
+    /// returns the `(answer, cost)` pair for `query`, reusing a prior
+    /// run when the same bound constants were already processed under
+    /// the current ⟨database generation, strategy⟩ pair. The cache
+    /// self-invalidates when either changes, so interleaving database
+    /// updates or [`set_strategy`](Self::set_strategy) calls stays
+    /// correct — only repeated identical runs get cheaper.
+    ///
+    /// On a cache miss the scratch holds the run's trace and partial
+    /// context as usual; on a hit the scratch is untouched and the cost
+    /// comes from the memo. The cache must only ever see one `Database`
+    /// instance (generations of different instances are incomparable).
+    ///
+    /// # Errors
+    /// As for [`run`](Self::run).
+    pub fn run_cost_cached(
+        &self,
+        query: &Atom,
+        db: &Database,
+        cache: &mut RunCache,
+        scratch: &mut RunScratch,
+    ) -> Result<(QueryAnswer, f64), GraphError> {
+        if !self.compiled.form.matches(query) {
+            return Err(GraphError::InvalidStrategy(
+                "query does not match compiled form (predicate/arity/binding mismatch)".to_string(),
+            ));
+        }
+        let key = self.compiled.form.bound_constants(query);
+        cache.revalidate(db.generation(), strategy_fingerprint(&self.strategy));
+        if let Some((answer, cost)) = cache.get(&key) {
+            return Ok((answer.clone(), *cost));
+        }
+        let answer = self.run_into(query, db, scratch)?;
+        let cost = scratch.cost();
+        cache.insert(key, answer.clone(), cost);
+        Ok((answer, cost))
     }
 
     /// Reconstructs the witnessing ground atom for a successful retrieval.

@@ -63,6 +63,14 @@ impl Context {
         self.blocked.extend(g.arc_ids().map(&mut f));
     }
 
+    /// Overwrites this context with `other`'s statuses, reusing the
+    /// existing buffer (unlike `clone_from`, never reallocates when the
+    /// capacity already fits).
+    pub fn copy_from(&mut self, other: &Context) {
+        self.blocked.clear();
+        self.blocked.extend_from_slice(&other.blocked);
+    }
+
     /// Whether `a` is blocked.
     pub fn is_blocked(&self, a: ArcId) -> bool {
         self.blocked[a.index()]

@@ -28,6 +28,16 @@ pub trait ContextDistribution {
     /// Draws one context.
     fn sample(&self, rng: &mut dyn rand::RngCore) -> Context;
 
+    /// Draws one context into a caller-owned buffer, so per-sample loops
+    /// allocate nothing. Must consume exactly the same randomness as
+    /// [`sample`](Self::sample) and leave `out` equal to its result (the
+    /// determinism of the parallel harness depends on the two paths
+    /// being interchangeable sample-for-sample); the default delegates,
+    /// and implementations override it with an in-place fill.
+    fn sample_into(&self, rng: &mut dyn rand::RngCore, out: &mut Context) {
+        *out = self.sample(rng);
+    }
+
     /// Exact expected cost `C[Θ]` of a strategy under this distribution.
     fn expected_cost(&self, g: &InferenceGraph, s: &Strategy) -> f64;
 
@@ -99,6 +109,10 @@ impl FiniteDistribution {
 impl ContextDistribution for FiniteDistribution {
     fn sample(&self, rng: &mut dyn rand::RngCore) -> Context {
         self.items[self.sample_index(rng)].0.clone()
+    }
+
+    fn sample_into(&self, rng: &mut dyn rand::RngCore, out: &mut Context) {
+        out.copy_from(&self.items[self.sample_index(rng)].0);
     }
 
     fn expected_cost(&self, g: &InferenceGraph, s: &Strategy) -> f64 {
@@ -251,6 +265,18 @@ impl ContextDistribution for IndependentModel {
             ctx.set_blocked(a, true);
         }
         ctx
+    }
+
+    fn sample_into(&self, rng: &mut dyn rand::RngCore, out: &mut Context) {
+        if out.arc_count() != self.probs.len() {
+            *out = self.sample(rng);
+            return;
+        }
+        // One uniform draw per arc, in arc order — exactly the stream
+        // `sample` consumes, so the two are interchangeable per sample.
+        for (i, &p) in self.probs.iter().enumerate() {
+            out.set_blocked(ArcId(i as u32), rng.gen::<f64>() >= p);
+        }
     }
 
     /// Exact expected cost on a tree:

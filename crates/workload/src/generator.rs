@@ -203,6 +203,69 @@ pub fn random_layered_kb(
     (table, program.rules, program.facts, "q0".to_string())
 }
 
+/// Shape of the layered-DAG reachability workload for the tabling
+/// experiments (E18, `tabling_speedup`).
+#[derive(Debug, Clone, Copy)]
+pub struct RecursiveKbParams {
+    /// Node layers in the DAG. Plain SLD explores every root-to-frontier
+    /// path, so its work grows like `width^layers`; tabling stays
+    /// `O(layers · width²)`.
+    pub layers: usize,
+    /// Nodes per layer.
+    pub width: usize,
+}
+
+impl Default for RecursiveKbParams {
+    fn default() -> Self {
+        Self { layers: 10, width: 2 }
+    }
+}
+
+/// Builds the right-recursive reachability program
+///
+/// ```text
+/// path(X, Y) :- edge(X, Y).
+/// path(X, Z) :- edge(X, Y), path(Y, Z).
+/// ```
+///
+/// over a layered DAG: node `i` of layer `l` is the constant `n{l}_{i}`,
+/// and the edge to node `j` of layer `l + 1` exists iff
+/// `keep_edge(l, i, j)` — pass `|_, _, _| true` for the full DAG, or a
+/// seeded predicate to carve per-sample edge masks out of one shape.
+///
+/// Returns `(symbols, rules, database, query)` where the query is
+/// `path(n0_0, sink)` for a `sink` constant **no edge reaches**: every
+/// solver must exhaust the whole derivation space to answer `no`, which
+/// is the worst case Section 2 prices — plain SLD re-proves each shared
+/// suffix once per path while a tabled solver proves it once.
+pub fn recursive_path_kb(
+    params: &RecursiveKbParams,
+    mut keep_edge: impl FnMut(usize, usize, usize) -> bool,
+) -> (SymbolTable, RuleBase, Database, qpl_datalog::Atom) {
+    let mut src =
+        String::from("path(X, Y) :- edge(X, Y).\npath(X, Z) :- edge(X, Y), path(Y, Z).\n");
+    let mut any = false;
+    for l in 0..params.layers.saturating_sub(1) {
+        for i in 0..params.width {
+            for j in 0..params.width {
+                if keep_edge(l, i, j) {
+                    src.push_str(&format!("edge(n{l}_{i}, n{}_{j}).\n", l + 1));
+                    any = true;
+                }
+            }
+        }
+    }
+    if !any {
+        // Keep the program well-formed even for a degenerate mask.
+        src.push_str("edge(n0_0, n1_0).\n");
+    }
+    let mut table = SymbolTable::new();
+    let program = parse_program(&src, &mut table).expect("generated program parses");
+    let query =
+        qpl_datalog::parser::parse_query("path(n0_0, sink)", &mut table).expect("query parses");
+    (table, program.rules, program.facts, query)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +310,24 @@ mod tests {
         let m2 = random_experiment_model(&mut rng, &g, (0.1, 0.9), 0.5);
         let ctx = m2.sample(&mut rng);
         assert_eq!(ctx.arc_count(), g.arc_count());
+    }
+
+    #[test]
+    fn recursive_path_kb_shapes_reachability() {
+        let params = RecursiveKbParams { layers: 5, width: 2 };
+        let (mut table, rules, db, sink_query) = recursive_path_kb(&params, |_, _, _| true);
+        let solver = qpl_datalog::TopDown::new(&rules, &db);
+        // The sink is unreachable by construction: both engines must say no.
+        assert!(!solver.provable_tabled(&sink_query).unwrap());
+        assert!(!solver.provable(&sink_query).unwrap());
+        // The far corner of the full DAG is reachable.
+        let far = qpl_datalog::parser::parse_query("path(n0_0, n4_1)", &mut table).unwrap();
+        assert!(solver.provable_tabled(&far).unwrap());
+        assert!(solver.provable(&far).unwrap());
+        // An empty mask still yields a parseable, answerable program.
+        let (_, rules, db, q) = recursive_path_kb(&params, |_, _, _| false);
+        let solver = qpl_datalog::TopDown::new(&rules, &db);
+        assert!(!solver.provable_tabled(&q).unwrap());
     }
 
     #[test]
