@@ -21,6 +21,7 @@ use crate::transform::{SiblingSwap, TransformationSet};
 use qpl_graph::context::Context;
 use qpl_graph::graph::InferenceGraph;
 use qpl_graph::strategy::Strategy;
+use qpl_obs::{MetricsSink, NoopSink};
 use qpl_stats::{chernoff, SequentialSchedule};
 
 /// Configuration for a PALO run.
@@ -141,9 +142,25 @@ impl Palo {
     /// Observes one full context (PALO replays every neighbour on it).
     /// Returns `true` if the learner is still running.
     pub fn observe(&mut self, g: &InferenceGraph, ctx: &Context) -> bool {
+        self.observe_with(g, ctx, &mut NoopSink)
+    }
+
+    /// [`observe`](Self::observe) with learning-loop telemetry: context
+    /// and climb counters, a `core.palo.climb` event per step taken
+    /// (sample count, mean Δ, the positive LCB that justified it), and
+    /// per-neighbour `core.palo.certificate` events when the ε-local
+    /// optimum is certified. With a [`NoopSink`] this is identical to
+    /// `observe`.
+    pub fn observe_with(
+        &mut self,
+        g: &InferenceGraph,
+        ctx: &Context,
+        sink: &mut dyn MetricsSink,
+    ) -> bool {
         if self.stopped {
             return false;
         }
+        sink.counter("core.palo.contexts", 1);
         for cand in &mut self.candidates {
             cand.sum += delta_exact_with(g, &self.current, &cand.strategy, ctx, &mut self.scratch);
             cand.count += 1;
@@ -168,6 +185,17 @@ impl Palo {
             // rebuild replaces the whole candidate vector, so the winner
             // can be moved out instead of cloning its strategy.
             let cand = self.candidates.swap_remove(idx);
+            sink.counter("core.palo.climbs", 1);
+            if sink.enabled() {
+                sink.event(
+                    "core.palo.climb",
+                    &[
+                        ("samples", cand.count as f64),
+                        ("mean", cand.mean()),
+                        ("lcb", cand.mean() - cand.radius(per_side)),
+                    ],
+                );
+            }
             self.climbs.push(cand.swap);
             self.current = cand.strategy;
             self.rebuild(g);
@@ -181,6 +209,20 @@ impl Palo {
             .all(|c| c.count > 0 && c.mean() + c.radius(per_side) < self.config.epsilon);
         if all_within {
             self.stopped = true;
+            sink.counter("core.palo.stopped", 1);
+            if sink.enabled() {
+                for c in &self.candidates {
+                    sink.event(
+                        "core.palo.certificate",
+                        &[
+                            ("samples", c.count as f64),
+                            ("mean", c.mean()),
+                            ("ucb", c.mean() + c.radius(per_side)),
+                            ("epsilon", self.config.epsilon),
+                        ],
+                    );
+                }
+            }
         }
         !self.stopped
     }

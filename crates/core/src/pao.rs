@@ -170,6 +170,26 @@ impl Pao {
         self.qp.observe(g, ctx)
     }
 
+    /// Emits the sampling plan and its progress into a
+    /// [`MetricsSink`](qpl_obs::MetricsSink): `core.pao.targets` and
+    /// `core.pao.samples_required` counters, one `core.pao.allocation`
+    /// event per experiment arc with its Equation 7/8 trial count, and
+    /// the underlying `QP^A`'s `engine.adaptive.*` telemetry.
+    pub fn emit_to(&self, sink: &mut dyn qpl_obs::MetricsSink) {
+        sink.counter("core.pao.targets", self.targets.len() as u64);
+        let required = self.required_samples();
+        sink.counter("core.pao.samples_required", required.iter().map(|&(_, m)| m).sum());
+        if sink.enabled() {
+            for (arc, needed) in required {
+                sink.event(
+                    "core.pao.allocation",
+                    &[("arc", f64::from(arc.0)), ("needed", needed as f64)],
+                );
+            }
+        }
+        self.qp.emit_to(sink);
+    }
+
     /// The estimated model: targets get their frequency estimates
     /// (`p̂ᵢ = n/k`, or `0.5` when never reached), non-targets stay
     /// deterministic.

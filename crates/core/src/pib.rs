@@ -22,6 +22,7 @@ use crate::transform::{SiblingSwap, TransformationSet};
 use qpl_graph::context::{execute_into, Context, RunScratch, Trace};
 use qpl_graph::graph::InferenceGraph;
 use qpl_graph::strategy::Strategy;
+use qpl_obs::{MetricsSink, NoopSink};
 use qpl_stats::{PairedDifference, SequentialSchedule};
 
 /// Configuration for a PIB run.
@@ -168,14 +169,43 @@ impl Pib {
         self.run_scratch.to_trace()
     }
 
+    /// [`observe`](Self::observe) with learning-loop telemetry: one
+    /// `core.pib.candidate` event per Equation 6 evaluation (Δ̃ sum,
+    /// Chernoff threshold, accept/reject verdict) plus context/test/climb
+    /// counters. With a [`NoopSink`] this is identical to `observe`.
+    pub fn observe_with(
+        &mut self,
+        g: &InferenceGraph,
+        ctx: &Context,
+        sink: &mut dyn MetricsSink,
+    ) -> Trace {
+        self.observe_quiet_with(g, ctx, sink);
+        self.run_scratch.to_trace()
+    }
+
     /// [`observe`](Self::observe) without materializing the trace — the
     /// fully allocation-free per-context path. The run's results remain
     /// readable until the next observation.
     pub fn observe_quiet(&mut self, g: &InferenceGraph, ctx: &Context) {
+        self.observe_quiet_with(g, ctx, &mut NoopSink);
+    }
+
+    /// [`observe_quiet`](Self::observe_quiet) with telemetry (see
+    /// [`observe_with`](Self::observe_with)).
+    pub fn observe_quiet_with(
+        &mut self,
+        g: &InferenceGraph,
+        ctx: &Context,
+        sink: &mut dyn MetricsSink,
+    ) {
         execute_into(g, &self.current, ctx, &mut self.run_scratch);
         self.contexts_seen += 1;
         self.samples_here += 1;
         let cost = self.run_scratch.cost();
+        sink.counter("core.pib.contexts", 1);
+        if sink.enabled() {
+            sink.value("core.pib.run_cost", cost);
+        }
         for cand in &mut self.candidates {
             cand.acc.record(delta_tilde_with(
                 g,
@@ -186,7 +216,7 @@ impl Pib {
             ));
         }
         if self.contexts_seen.is_multiple_of(self.config.test_every) {
-            self.test_and_climb(g);
+            self.test_and_climb(g, sink);
         }
     }
 
@@ -194,8 +224,18 @@ impl Pib {
     /// (e.g. from the Datalog-backed engine), updating statistics and
     /// possibly climbing.
     pub fn absorb(&mut self, g: &InferenceGraph, trace: &Trace) {
+        self.absorb_with(g, trace, &mut NoopSink);
+    }
+
+    /// [`absorb`](Self::absorb) with telemetry (see
+    /// [`observe_with`](Self::observe_with)).
+    pub fn absorb_with(&mut self, g: &InferenceGraph, trace: &Trace, sink: &mut dyn MetricsSink) {
         self.contexts_seen += 1;
         self.samples_here += 1;
+        sink.counter("core.pib.contexts", 1);
+        if sink.enabled() {
+            sink.value("core.pib.run_cost", trace.cost);
+        }
         for cand in &mut self.candidates {
             cand.acc.record(delta_tilde_with(
                 g,
@@ -206,17 +246,33 @@ impl Pib {
             ));
         }
         if self.contexts_seen.is_multiple_of(self.config.test_every) {
-            self.test_and_climb(g);
+            self.test_and_climb(g, sink);
         }
     }
 
     /// Figure 3's acceptance test: `i ← i + |T(Θⱼ)|`, then climb to the
     /// first candidate satisfying Equation 6.
-    fn test_and_climb(&mut self, g: &InferenceGraph) {
+    fn test_and_climb(&mut self, g: &InferenceGraph, sink: &mut dyn MetricsSink) {
         if self.candidates.is_empty() {
             return;
         }
         let delta_i = self.schedule.advance(self.candidates.len() as u64);
+        sink.counter("core.pib.tests", self.candidates.len() as u64);
+        if sink.enabled() {
+            for (idx, c) in self.candidates.iter().enumerate() {
+                let accept = c.acc.certifies_improvement(delta_i);
+                sink.event(
+                    "core.pib.candidate",
+                    &[
+                        ("candidate", idx as f64),
+                        ("samples", self.samples_here as f64),
+                        ("delta_sum", c.acc.sum()),
+                        ("threshold", c.acc.threshold(delta_i)),
+                        ("accept", f64::from(u8::from(accept))),
+                    ],
+                );
+            }
+        }
         let winner = self
             .candidates
             .iter()
@@ -232,6 +288,17 @@ impl Pib {
             // rebuild_candidates replaces the whole vector, so the winner
             // can be moved out instead of cloning its strategy.
             let cand = self.candidates.swap_remove(idx);
+            sink.counter("core.pib.climbs", 1);
+            if sink.enabled() {
+                sink.event(
+                    "core.pib.climb",
+                    &[
+                        ("samples", self.samples_here as f64),
+                        ("evidence", cand.acc.sum()),
+                        ("test_index", self.schedule.tests_used() as f64),
+                    ],
+                );
+            }
             self.history.push(ClimbRecord {
                 swap: cand.swap,
                 samples: self.samples_here,
@@ -407,6 +474,39 @@ mod tests {
         }
         let rate = mistakes as f64 / runs as f64;
         assert!(rate <= delta, "mistake rate {rate} exceeds δ={delta}");
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_reports_candidates() {
+        // The sink observes, never steers: an instrumented run must take
+        // the same climbs at the same contexts as the plain one, and the
+        // acceptance events must expose Equation 6's ingredients.
+        let g = g_a();
+        let model = IndependentModel::from_retrieval_probs(&g, &[0.05, 0.8]).unwrap();
+        let mut plain = Pib::new(&g, Strategy::left_to_right(&g), PibConfig::new(0.05));
+        let mut observed = Pib::new(&g, Strategy::left_to_right(&g), PibConfig::new(0.05));
+        let mut sink = qpl_obs::MemorySink::new();
+        let mut rng_a = StdRng::seed_from_u64(4);
+        let mut rng_b = StdRng::seed_from_u64(4);
+        for _ in 0..1500 {
+            plain.observe(&g, &model.sample(&mut rng_a));
+            observed.observe_with(&g, &model.sample(&mut rng_b), &mut sink);
+        }
+        assert_eq!(plain.history().len(), observed.history().len());
+        assert_eq!(plain.strategy().arcs(), observed.strategy().arcs());
+        assert_eq!(sink.counter_total("core.pib.contexts"), 1500);
+        assert_eq!(sink.counter_total("core.pib.climbs"), observed.history().len() as u64);
+        // At least one acceptance event fired, carrying Δ̃ sum + threshold.
+        let accepted = sink
+            .events_named("core.pib.candidate")
+            .find(|e| e.field("accept") == Some(1.0))
+            .expect("a candidate was accepted");
+        assert!(accepted.field("delta_sum").unwrap() >= accepted.field("threshold").unwrap());
+        let rejected = sink
+            .events_named("core.pib.candidate")
+            .find(|e| e.field("accept") == Some(0.0))
+            .expect("some candidate was rejected at some test");
+        assert!(rejected.field("threshold").is_some());
     }
 
     #[test]

@@ -130,6 +130,26 @@ impl Pib1 {
     pub fn threshold(&self) -> f64 {
         self.acc.threshold(self.delta)
     }
+
+    /// Emits the filter's current evidence as one `core.pib1.decision`
+    /// event (samples `m`, Δ̃ sum, Equation 2 threshold, switch verdict)
+    /// plus a `core.pib1.samples` counter. Call at the one-shot decision
+    /// point; the sink observes, never steers.
+    pub fn emit_to(&self, sink: &mut dyn qpl_obs::MetricsSink) {
+        sink.counter("core.pib1.samples", self.samples());
+        if sink.enabled() {
+            let switch = self.decision() == Pib1Decision::Switch;
+            sink.event(
+                "core.pib1.decision",
+                &[
+                    ("samples", self.samples() as f64),
+                    ("delta_sum", self.accumulated()),
+                    ("threshold", self.threshold()),
+                    ("switch", f64::from(u8::from(switch))),
+                ],
+            );
+        }
+    }
 }
 
 /// The *a posteriori* comparator the paper describes before introducing

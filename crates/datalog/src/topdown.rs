@@ -47,6 +47,20 @@ pub struct RetrievalStats {
     pub tabled_answers_reused: u64,
 }
 
+impl RetrievalStats {
+    /// Emit the counters into a [`MetricsSink`](qpl_obs::MetricsSink)
+    /// under the `datalog.*` namespace — the sink adapter that lets
+    /// observability snapshots report retrieval work without the solver
+    /// hot loops ever touching a sink.
+    pub fn emit_to(&self, sink: &mut dyn qpl_obs::MetricsSink) {
+        sink.counter("datalog.retrievals", self.retrievals);
+        sink.counter("datalog.reductions", self.reductions);
+        sink.counter("datalog.table_hits", self.table_hits);
+        sink.counter("datalog.table_misses", self.table_misses);
+        sink.counter("datalog.tabled_answers_reused", self.tabled_answers_reused);
+    }
+}
+
 /// Former name of [`RetrievalStats`], kept for source compatibility.
 pub type SolveStats = RetrievalStats;
 
@@ -684,5 +698,28 @@ mod tests {
             let bu = eval::holds(&p.rules, &p.facts, &q);
             proptest::prop_assert_eq!(td, bu);
         }
+    }
+}
+
+#[cfg(test)]
+mod obs_tests {
+    use super::RetrievalStats;
+    use qpl_obs::MemorySink;
+
+    #[test]
+    fn retrieval_stats_emit_as_datalog_counters() {
+        let stats = RetrievalStats {
+            retrievals: 5,
+            reductions: 3,
+            table_hits: 2,
+            table_misses: 1,
+            tabled_answers_reused: 4,
+        };
+        let mut sink = MemorySink::new();
+        stats.emit_to(&mut sink);
+        stats.emit_to(&mut sink); // adapters accumulate across runs
+        assert_eq!(sink.counter_total("datalog.retrievals"), 10);
+        assert_eq!(sink.counter_total("datalog.table_hits"), 4);
+        assert_eq!(sink.counter_total("datalog.tabled_answers_reused"), 8);
     }
 }

@@ -145,6 +145,42 @@ impl AdaptiveQp {
         self.stats.iter().all(AimStat::done)
     }
 
+    /// Emit the processor's memo and sampling state into a
+    /// [`MetricsSink`](qpl_obs::MetricsSink): `engine.adaptive.*`
+    /// counters for runs processed and memo occupancy (aiming strategies
+    /// built, root paths cached), plus one `engine.adaptive.target`
+    /// event per target with its allocation (`needed`), progress
+    /// (`attempts`/`reached`/`successes`), and the `p_hat`/`rho_hat`
+    /// estimates the learner will hand to `Υ_AOT`.
+    pub fn emit_to(&self, sink: &mut dyn qpl_obs::MetricsSink) {
+        sink.counter("engine.adaptive.runs", self.runs);
+        sink.counter("engine.adaptive.aim_strategies_memoized", self.aim_cache.len() as u64);
+        sink.counter(
+            "engine.adaptive.root_paths_cached",
+            self.path_cache.iter().filter(|p| p.is_some()).count() as u64,
+        );
+        sink.counter(
+            "engine.adaptive.targets_done",
+            self.stats.iter().filter(|s| s.done()).count() as u64,
+        );
+        if sink.enabled() {
+            for s in &self.stats {
+                sink.event(
+                    "engine.adaptive.target",
+                    &[
+                        ("arc", f64::from(s.arc.0)),
+                        ("needed", s.needed as f64),
+                        ("attempts", s.attempts as f64),
+                        ("reached", s.reached as f64),
+                        ("successes", s.successes as f64),
+                        ("p_hat", s.p_hat()),
+                        ("rho_hat", s.rho_hat()),
+                    ],
+                );
+            }
+        }
+    }
+
     /// The target the next run should aim at: the one with the largest
     /// remaining counter ("always begin with the retrieval whose current
     /// counter value is largest").
@@ -493,6 +529,36 @@ mod tests {
         let mut qp = AdaptiveQp::for_retrievals(&g, &[0, 0]);
         assert!(qp.done());
         assert!(qp.observe(&g, &Context::all_open(&g)).is_none());
+    }
+
+    #[test]
+    fn emit_to_reports_memo_and_per_target_allocation() {
+        let g = g_a();
+        let mut qp = AdaptiveQp::for_retrievals(&g, &[30, 20]);
+        let dp = g.arc_by_label("D_p").unwrap();
+        for i in 0..30 {
+            let ctx = if i < 18 {
+                Context::with_blocked(&g, &[])
+            } else {
+                Context::with_blocked(&g, &[dp])
+            };
+            qp.observe(&g, &ctx);
+        }
+        let mut sink = qpl_obs::MemorySink::new();
+        qp.emit_to(&mut sink);
+        assert_eq!(sink.counter_total("engine.adaptive.runs"), 30);
+        assert!(sink.counter_total("engine.adaptive.aim_strategies_memoized") >= 1);
+        let targets: Vec<_> = sink.events_named("engine.adaptive.target").collect();
+        assert_eq!(targets.len(), 2, "one event per target retrieval");
+        let dp_event = targets
+            .iter()
+            .find(|e| e.field("arc") == Some(f64::from(dp.0)))
+            .expect("D_p target event");
+        assert_eq!(dp_event.field("needed"), Some(30.0));
+        let reached = dp_event.field("reached").unwrap();
+        let successes = dp_event.field("successes").unwrap();
+        assert!(reached > 0.0 && successes <= reached);
+        assert_eq!(dp_event.field("p_hat"), Some(successes / reached));
     }
 
     #[test]

@@ -128,6 +128,19 @@ impl CrossContextCache {
         self.stats
     }
 
+    /// Emit the lifetime counters (plus the live class count) into a
+    /// [`MetricsSink`](qpl_obs::MetricsSink) under
+    /// `engine.cross_context_cache.*`. Hit/miss splits are
+    /// arrival-order-dependent under the parallel harness (see the
+    /// module header), so snapshots comparing them should come from
+    /// serial runs.
+    pub fn emit_to(&self, sink: &mut dyn qpl_obs::MetricsSink) {
+        sink.counter("engine.cross_context_cache.hits", self.stats.hits);
+        sink.counter("engine.cross_context_cache.misses", self.stats.misses);
+        sink.counter("engine.cross_context_cache.invalidations", self.stats.invalidations);
+        sink.counter("engine.cross_context_cache.classes", self.entries.len() as u64);
+    }
+
     /// Drops every entry (stats survive).
     pub fn clear(&mut self) {
         self.entries.clear();
@@ -181,6 +194,15 @@ impl RunCache {
     /// Lifetime hit/miss/invalidation counters.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Emit the lifetime counters (plus the live entry count) into a
+    /// [`MetricsSink`](qpl_obs::MetricsSink) under `engine.run_cache.*`.
+    pub fn emit_to(&self, sink: &mut dyn qpl_obs::MetricsSink) {
+        sink.counter("engine.run_cache.hits", self.stats.hits);
+        sink.counter("engine.run_cache.misses", self.stats.misses);
+        sink.counter("engine.run_cache.invalidations", self.stats.invalidations);
+        sink.counter("engine.run_cache.entries", self.map.len() as u64);
     }
 
     /// Number of memoized runs currently valid.

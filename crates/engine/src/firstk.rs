@@ -21,10 +21,21 @@ use qpl_graph::strategy::Strategy;
 #[derive(Debug, Clone, PartialEq)]
 pub struct FirstKRun {
     /// Retrieval arcs that produced the collected answers, in order.
+    ///
+    /// Answers are deduplicated *by success node*: in a DAG graph two
+    /// different arcs can reach the same success node, and reaching it a
+    /// second time rediscovers the same answer rather than producing a
+    /// new one, so only the first arc to reach each success node is
+    /// recorded (and counted toward `k`).
     pub answers: Vec<ArcId>,
     /// Whether `k` answers were found before exhaustion.
     pub satisfied: bool,
     /// The execution trace (`events` includes every attempted arc).
+    ///
+    /// `trace.outcome` is `Succeeded(a)` — with `a` the arc that reached
+    /// the `k`-th answer — only when the run was satisfied; an exhausted
+    /// run reports `Exhausted` even if it collected some answers (the
+    /// partial haul is still in `answers`).
     pub trace: Trace,
 }
 
@@ -56,8 +67,11 @@ pub fn execute_first_k(
             continue;
         }
         events.push((a, ArcOutcome::Traversed));
+        // An arc into an already-reached success node rediscovers an
+        // answer we have; only the first arrival counts toward `k`.
+        let first_arrival = !reached[arc.to.index()];
         reached[arc.to.index()] = true;
-        if g.node(arc.to).is_success {
+        if g.node(arc.to).is_success && first_arrival {
             answers.push(a);
             if answers.len() == k {
                 let outcome = qpl_graph::context::RunOutcome::Succeeded(a);
@@ -69,11 +83,13 @@ pub fn execute_first_k(
             }
         }
     }
-    let outcome = match answers.last() {
-        Some(&a) => qpl_graph::context::RunOutcome::Succeeded(a),
-        None => qpl_graph::context::RunOutcome::Exhausted,
-    };
-    FirstKRun { answers: answers.clone(), satisfied: false, trace: Trace { events, cost, outcome } }
+    // The strategy ran out before the k-th answer: the run is exhausted,
+    // not "succeeded at whatever answer happened to come last".
+    FirstKRun {
+        answers,
+        satisfied: false,
+        trace: Trace { events, cost, outcome: qpl_graph::context::RunOutcome::Exhausted },
+    }
 }
 
 /// Exact expected cost of the first-`k` variant under a finite context
@@ -138,6 +154,29 @@ mod tests {
         assert!(!run.satisfied);
         assert_eq!(run.answers, vec![ArcId(0)]);
         assert_eq!(run.trace.cost, 4.0, "exhausted the whole graph looking for #2");
+        // Regression: an unsatisfied run used to report
+        // Succeeded(last_answer); it is an exhausted run.
+        assert_eq!(run.trace.outcome, qpl_graph::context::RunOutcome::Exhausted);
+    }
+
+    #[test]
+    fn duplicate_arrivals_at_a_success_node_count_once() {
+        // DAG: a retrieval reaches success node S, and a shortcut
+        // reduction reaches the same S. Two arcs, one answer.
+        use qpl_graph::graph::NodeId;
+        let mut b = GraphBuilder::new("dag").allow_dag();
+        let root = b.root();
+        let d = b.retrieval(root, "D", 1.0); // creates success node NodeId(1)
+        let shortcut = b.reduction_to(root, NodeId(1), "shortcut", 1.0);
+        let d2 = b.retrieval(root, "D2", 1.0);
+        let g = b.finish().unwrap();
+        let s = Strategy::from_arcs_relaxed(&g, vec![d, shortcut, d2]).unwrap();
+        let run = execute_first_k(&g, &s, &Context::all_open(&g), 2);
+        // Regression: the shortcut used to be pushed as a second answer,
+        // so k=2 stopped early reporting the same success node twice.
+        assert_eq!(run.answers, vec![d, d2]);
+        assert!(run.satisfied);
+        assert_eq!(run.trace.cost, 3.0, "must pay for D2, not stop at the rediscovery");
     }
 
     #[test]

@@ -36,6 +36,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Worker/block configuration for [`batch_fold`] and [`par_map_indexed`].
 #[derive(Debug, Clone, Copy)]
@@ -166,6 +167,80 @@ where
     out
 }
 
+/// [`batch_fold_scratch`] with telemetry: the identical fold (same
+/// blocks, same merge order, bit-identical accumulator for any worker
+/// count — property-tested against the unobserved variant), wrapped in
+/// an `engine.par.batch_fold` span and followed by batch counters plus
+/// one `engine.par.worker` event per worker thread reporting its block
+/// and sample throughput.
+///
+/// The *totals* across worker events (blocks, samples) are worker-count
+/// invariant; the per-worker *split* and `busy_ns` depend on which
+/// thread claimed which block, and are the one scheduling-dependent
+/// output the observability layer has (see the crate-level determinism
+/// contract in `qpl-obs`). With a disabled sink no clocks are read and
+/// no events are built.
+///
+/// # Panics
+/// Propagates panics from worker closures.
+#[allow(clippy::too_many_arguments)]
+pub fn batch_fold_scratch_observed<A, S, MkA, MkS, St, Mg>(
+    n: usize,
+    cfg: &ParConfig,
+    make: MkA,
+    make_scratch: MkS,
+    step: St,
+    merge: Mg,
+    sink: &mut dyn qpl_obs::MetricsSink,
+) -> A
+where
+    A: Send,
+    MkA: Fn() -> A + Sync,
+    MkS: Fn() -> S + Sync,
+    St: Fn(&mut A, &mut S, usize) + Sync,
+    Mg: Fn(&mut A, A),
+{
+    let timer = qpl_obs::SpanTimer::start(sink, "engine.par.batch_fold");
+    let enabled = sink.enabled();
+    let block = cfg.block.max(1);
+    let fold_block = |scratch: &mut S, b: usize| {
+        let mut acc = make();
+        let lo = b * block;
+        let hi = ((b + 1) * block).min(n);
+        for i in lo..hi {
+            step(&mut acc, scratch, i);
+        }
+        ((b, acc), (hi - lo) as u64)
+    };
+    let n_blocks = n.div_ceil(block);
+    let (mut partials, tallies) =
+        run_blocks_weighted(n_blocks, cfg.workers, &make_scratch, &fold_block, enabled);
+    partials.sort_by_key(|(b, _)| *b);
+    let mut out = make();
+    for (_, part) in partials {
+        merge(&mut out, part);
+    }
+    timer.finish(sink);
+    sink.counter("engine.par.batches", 1);
+    sink.counter("engine.par.samples", n as u64);
+    sink.counter("engine.par.blocks", n_blocks as u64);
+    if enabled {
+        sink.counter("engine.par.workers_used", tallies.len() as u64);
+        for (w, t) in tallies.iter().enumerate() {
+            sink.event(
+                "engine.par.worker",
+                &[
+                    ("worker", w as f64),
+                    ("blocks", t.blocks as f64),
+                    ("samples", t.samples as f64),
+                    ("busy_ns", t.busy_ns as f64),
+                ],
+            );
+        }
+    }
+    out
+}
+
 /// Maps `f` over `0..n` in parallel and returns the results **in index
 /// order** (`out[i] = f(i)`). Use for experiment outer loops whose trials
 /// are independent but whose aggregation is order-sensitive: compute in
@@ -214,10 +289,54 @@ where
     MkS: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
+    run_blocks_weighted(n_jobs, workers, make_scratch, &|s: &mut S, b| (job(s, b), 0), false).0
+}
+
+/// Per-worker throughput tallies from one batch. The split across
+/// workers is scheduling-dependent; only the totals are invariant.
+#[derive(Debug, Clone, Copy, Default)]
+struct WorkerTally {
+    /// Blocks this worker claimed and folded.
+    blocks: u64,
+    /// Job-reported weights (samples) summed over those blocks.
+    samples: u64,
+    /// Wall-clock nanoseconds from the worker's first claim attempt to
+    /// its exit (0 when `timed` is off — no clocks are read).
+    busy_ns: u64,
+}
+
+/// The claiming core: like [`run_blocks_scratch`] but each job also
+/// reports a weight (its sample count), tallied per worker. `timed`
+/// gates every clock read so the unobserved paths stay clock-free.
+fn run_blocks_weighted<S, T, MkS, F>(
+    n_jobs: usize,
+    workers: usize,
+    make_scratch: &MkS,
+    job: &F,
+    timed: bool,
+) -> (Vec<T>, Vec<WorkerTally>)
+where
+    T: Send,
+    MkS: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> (T, u64) + Sync,
+{
     let workers = workers.max(1).min(n_jobs.max(1));
     if workers == 1 {
         let mut scratch = make_scratch();
-        return (0..n_jobs).map(|b| job(&mut scratch, b)).collect();
+        let start = timed.then(Instant::now);
+        let mut tally = WorkerTally::default();
+        let out = (0..n_jobs)
+            .map(|b| {
+                let (t, w) = job(&mut scratch, b);
+                tally.blocks += 1;
+                tally.samples += w;
+                t
+            })
+            .collect();
+        if let Some(start) = start {
+            tally.busy_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        }
+        return (out, vec![tally]);
     }
     let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
@@ -225,19 +344,35 @@ where
             .map(|_| {
                 s.spawn(|| {
                     let mut scratch = make_scratch();
+                    let start = timed.then(Instant::now);
+                    let mut tally = WorkerTally::default();
                     let mut local = Vec::new();
                     loop {
                         let b = next.fetch_add(1, Ordering::Relaxed);
                         if b >= n_jobs {
                             break;
                         }
-                        local.push(job(&mut scratch, b));
+                        let (t, w) = job(&mut scratch, b);
+                        tally.blocks += 1;
+                        tally.samples += w;
+                        local.push(t);
                     }
-                    local
+                    if let Some(start) = start {
+                        tally.busy_ns =
+                            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    }
+                    (local, tally)
                 })
             })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("batch worker panicked")).collect()
+        let mut outs = Vec::new();
+        let mut tallies = Vec::new();
+        for h in handles {
+            let (local, tally) = h.join().expect("batch worker panicked");
+            outs.extend(local);
+            tallies.push(tally);
+        }
+        (outs, tallies)
     })
 }
 
@@ -326,6 +461,72 @@ mod tests {
             let cfg = ParConfig { workers, block: 8 };
             let out = par_map_indexed(100, &cfg, |i| i * i);
             assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn observed_fold_is_bit_identical_to_unobserved() {
+        // Satellite: metrics-enabled parallel runs must be bit-identical
+        // to metrics-disabled runs modulo the sink — for every worker
+        // count, with both an enabled and a disabled sink.
+        let run_observed = |workers: usize, sink: &mut dyn qpl_obs::MetricsSink| {
+            let cfg = ParConfig { workers, block: 64 };
+            batch_fold_scratch_observed(
+                1000,
+                &cfg,
+                || (0.0f64, 0u64),
+                || (),
+                |acc, (), i| {
+                    let mut rng = sample_rng(42, i as u64);
+                    acc.0 += rng.gen::<f64>();
+                    acc.1 += 1;
+                },
+                |acc, part| {
+                    acc.0 += part.0;
+                    acc.1 += part.1;
+                },
+                sink,
+            )
+        };
+        let (base_sum, base_count) = fold_sums(1000, 1, 64);
+        for workers in [1, 2, 4, 8] {
+            let mut mem = qpl_obs::MemorySink::new();
+            let (sum, count) = run_observed(workers, &mut mem);
+            assert_eq!(count, base_count);
+            assert_eq!(sum.to_bits(), base_sum.to_bits(), "W={workers} enabled sink diverged");
+            let (sum, count) = run_observed(workers, &mut qpl_obs::NoopSink);
+            assert_eq!(count, base_count);
+            assert_eq!(sum.to_bits(), base_sum.to_bits(), "W={workers} noop sink diverged");
+        }
+    }
+
+    #[test]
+    fn observed_fold_worker_totals_are_invariant() {
+        for workers in [1, 2, 4] {
+            let mut sink = qpl_obs::MemorySink::new();
+            let cfg = ParConfig { workers, block: 16 };
+            let n = batch_fold_scratch_observed(
+                130, // ragged tail: 8 full blocks + 2
+                &cfg,
+                || 0u64,
+                || (),
+                |acc, (), _| *acc += 1,
+                |acc, part| *acc += part,
+                &mut sink,
+            );
+            assert_eq!(n, 130);
+            assert_eq!(sink.counter_total("engine.par.samples"), 130);
+            assert_eq!(sink.counter_total("engine.par.blocks"), 9);
+            assert_eq!(sink.span_stats("engine.par.batch_fold").unwrap().count, 1);
+            // The per-worker split is scheduling-dependent; the totals
+            // across worker events are not.
+            let (mut blocks, mut samples) = (0u64, 0u64);
+            for e in sink.events_named("engine.par.worker") {
+                blocks += e.field("blocks").unwrap() as u64;
+                samples += e.field("samples").unwrap() as u64;
+            }
+            assert_eq!(blocks, 9, "W={workers}");
+            assert_eq!(samples, 130, "W={workers}");
         }
     }
 

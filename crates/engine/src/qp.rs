@@ -239,6 +239,61 @@ impl<'g> QueryProcessor<'g> {
         })
     }
 
+    /// [`run_into`](Self::run_into) with telemetry: wraps the run in an
+    /// `engine.qp.run` wall-clock span and emits the finished trace's
+    /// `graph.run.*` counters plus an `engine.qp.queries` /
+    /// `engine.qp.yes_answers` tally. With a
+    /// [`NoopSink`](qpl_obs::NoopSink) this is `run_into` plus a few
+    /// dead branches — no clock reads, no allocation.
+    ///
+    /// # Errors
+    /// As for [`run`](Self::run).
+    pub fn run_into_observed(
+        &self,
+        query: &Atom,
+        db: &Database,
+        scratch: &mut RunScratch,
+        sink: &mut dyn qpl_obs::MetricsSink,
+    ) -> Result<QueryAnswer, GraphError> {
+        let timer = qpl_obs::SpanTimer::start(sink, "engine.qp.run");
+        let answer = self.run_into(query, db, scratch)?;
+        timer.finish(sink);
+        sink.counter("engine.qp.queries", 1);
+        if answer.is_yes() {
+            sink.counter("engine.qp.yes_answers", 1);
+        }
+        if sink.enabled() {
+            scratch.to_trace().emit_to(sink);
+        }
+        Ok(answer)
+    }
+
+    /// [`run_cost_cached`](Self::run_cost_cached) with telemetry: the
+    /// same memoized run wrapped in an `engine.qp.run_cached` span, with
+    /// `engine.qp.queries` tallied; cache hit/miss counters live on the
+    /// [`RunCache`] itself (emit them once per phase via
+    /// [`RunCache::emit_to`]).
+    ///
+    /// # Errors
+    /// As for [`run`](Self::run).
+    pub fn run_cost_cached_observed(
+        &self,
+        query: &Atom,
+        db: &Database,
+        cache: &mut RunCache,
+        scratch: &mut RunScratch,
+        sink: &mut dyn qpl_obs::MetricsSink,
+    ) -> Result<(QueryAnswer, f64), GraphError> {
+        let timer = qpl_obs::SpanTimer::start(sink, "engine.qp.run_cached");
+        let result = self.run_cost_cached(query, db, cache, scratch)?;
+        timer.finish(sink);
+        sink.counter("engine.qp.queries", 1);
+        if sink.enabled() {
+            sink.value("engine.qp.cost", result.1);
+        }
+        Ok(result)
+    }
+
     /// [`run_into`](Self::run_into) memoized through a [`RunCache`]:
     /// returns the `(answer, cost)` pair for `query`, reusing a prior
     /// run when the same bound constants were already processed under
@@ -517,6 +572,50 @@ mod tests {
         // is absent so the arc is blocked there.
         let eager = qp.run(&q, &db).unwrap();
         assert!(eager.context.is_blocked(grad_retrieval));
+    }
+
+    #[test]
+    fn observed_run_is_identical_to_plain_run() {
+        let (mut t, cg, db) = setup(FIGURE1, "instructor(b)");
+        let qp = QueryProcessor::left_to_right(&cg);
+        let mut sink = qpl_obs::MemorySink::new();
+        for name in ["russ", "manolis", "fred"] {
+            let q = parse_query(&format!("instructor({name})"), &mut t).unwrap();
+            let mut s1 = RunScratch::new(&cg.graph);
+            let mut s2 = RunScratch::new(&cg.graph);
+            let plain = qp.run_into(&q, &db, &mut s1).unwrap();
+            let observed = qp.run_into_observed(&q, &db, &mut s2, &mut sink).unwrap();
+            assert_eq!(plain, observed, "telemetry must not change answers");
+            assert_eq!(s1.to_trace(), s2.to_trace(), "telemetry must not change traces");
+        }
+        assert_eq!(sink.counter_total("engine.qp.queries"), 3);
+        assert_eq!(sink.counter_total("engine.qp.yes_answers"), 2);
+        assert_eq!(sink.span_stats("engine.qp.run").unwrap().count, 3);
+        // russ: 2 arcs; manolis: 4; fred: 4.
+        assert_eq!(sink.counter_total("graph.run.arcs_attempted"), 10);
+        assert_eq!(sink.counter_total("graph.run.succeeded"), 2);
+        assert_eq!(sink.counter_total("graph.run.exhausted"), 1);
+    }
+
+    #[test]
+    fn observed_cached_run_reports_costs() {
+        let (mut t, cg, db) = setup(FIGURE1, "instructor(b)");
+        let qp = QueryProcessor::left_to_right(&cg);
+        let mut cache = RunCache::new();
+        let mut scratch = RunScratch::new(&cg.graph);
+        let mut sink = qpl_obs::MemorySink::new();
+        let q = parse_query("instructor(manolis)", &mut t).unwrap();
+        for _ in 0..3 {
+            let (answer, cost) =
+                qp.run_cost_cached_observed(&q, &db, &mut cache, &mut scratch, &mut sink).unwrap();
+            assert!(answer.is_yes());
+            assert_eq!(cost, 4.0);
+        }
+        cache.emit_to(&mut sink);
+        assert_eq!(sink.counter_total("engine.qp.queries"), 3);
+        assert_eq!(sink.value_stats("engine.qp.cost").unwrap().sum, 12.0);
+        assert_eq!(sink.counter_total("engine.run_cache.hits"), 2);
+        assert_eq!(sink.counter_total("engine.run_cache.misses"), 1);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Property tests for the first-`k` executor (Section 5.2): at `k = 1`
+//! it must be *exactly* the satisficing executor of `qpl-graph` — same
+//! cost, same outcome, same event sequence — for every graph, strategy,
+//! and blocked-arc set. This pins the satisficing special case while the
+//! `k > 1` generalization evolves.
+
+use proptest::prelude::*;
+use qpl_engine::firstk::execute_first_k;
+use qpl_graph::context::{execute, Context, RunOutcome};
+use qpl_graph::graph::{GraphBuilder, InferenceGraph, NodeId};
+use qpl_graph::strategy::Strategy;
+
+/// Deterministically builds a random-ish tree from a shape seed (same
+/// construction as qpl-graph's property suite).
+fn build_tree(seed: u64, max_depth: usize) -> InferenceGraph {
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+    fn grow(
+        b: &mut GraphBuilder,
+        node: NodeId,
+        depth: usize,
+        max_depth: usize,
+        state: &mut u64,
+        label: &mut u32,
+    ) {
+        let r = lcg(state) % 100;
+        let branch = depth < max_depth && r < 55;
+        if !branch {
+            let c = 1.0 + (lcg(state) % 4) as f64;
+            b.retrieval(node, &format!("D{}", *label), c);
+            *label += 1;
+            return;
+        }
+        let kids = 1 + (lcg(state) % 3) as usize;
+        for _ in 0..kids {
+            let c = 1.0 + (lcg(state) % 4) as f64;
+            let (_, child) = b.reduction(node, &format!("R{}", *label), c, "goal");
+            *label += 1;
+            grow(b, child, depth + 1, max_depth, state, label);
+        }
+    }
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut b = GraphBuilder::new("root");
+    let root = b.root();
+    let mut label = 0;
+    let kids = 1 + (lcg(&mut state) % 3) as usize;
+    for _ in 0..kids {
+        let c = 1.0 + (lcg(&mut state) % 4) as f64;
+        let (_, child) = b.reduction(root, &format!("R{label}"), c, "goal");
+        label += 1;
+        grow(&mut b, child, 1, max_depth, &mut state, &mut label);
+    }
+    b.finish().expect("generated trees are valid")
+}
+
+fn context_from_mask(g: &InferenceGraph, mask: u64) -> Context {
+    Context::from_fn(g, |a| mask & (1 << (a.index() % 64)) != 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `execute_first_k(k = 1)` is the satisficing executor: identical
+    /// cost, outcome, and per-arc event stream on every random graph ×
+    /// blocked-set combination.
+    #[test]
+    fn first_one_equals_satisficing_execute(seed in 0u64..5_000, mask in proptest::num::u64::ANY) {
+        let g = build_tree(seed, 3);
+        let strategy = Strategy::left_to_right(&g);
+        let ctx = context_from_mask(&g, mask);
+        let satisficing = execute(&g, &strategy, &ctx);
+        let first1 = execute_first_k(&g, &strategy, &ctx, 1);
+
+        prop_assert_eq!(satisficing.outcome, first1.trace.outcome, "outcome diverged");
+        prop_assert_eq!(
+            satisficing.cost.to_bits(),
+            first1.trace.cost.to_bits(),
+            "cost diverged: {} vs {}",
+            satisficing.cost,
+            first1.trace.cost
+        );
+        prop_assert_eq!(&satisficing.events, &first1.trace.events, "event streams diverged");
+        match satisficing.outcome {
+            RunOutcome::Succeeded(_) => {
+                prop_assert!(first1.satisfied);
+                prop_assert_eq!(first1.answers.len(), 1);
+            }
+            RunOutcome::Exhausted => {
+                prop_assert!(!first1.satisfied);
+                prop_assert!(first1.answers.is_empty());
+            }
+        }
+    }
+
+    /// An unsatisfied first-`k` run (fewer than `k` answers exist) always
+    /// reports `Exhausted`, never a stale `Succeeded(last_answer)`.
+    #[test]
+    fn unsatisfied_runs_report_exhausted(seed in 0u64..5_000, mask in proptest::num::u64::ANY, k in 1usize..5) {
+        let g = build_tree(seed, 3);
+        let strategy = Strategy::left_to_right(&g);
+        let ctx = context_from_mask(&g, mask);
+        let run = execute_first_k(&g, &strategy, &ctx, k);
+        if !run.satisfied {
+            prop_assert!(run.answers.len() < k);
+            prop_assert_eq!(run.trace.outcome, RunOutcome::Exhausted);
+        } else {
+            prop_assert_eq!(run.answers.len(), k);
+        }
+    }
+}

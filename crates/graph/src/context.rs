@@ -144,6 +144,23 @@ impl Trace {
     pub fn attempted(&self, a: ArcId) -> bool {
         self.outcome_of(a).is_some()
     }
+
+    /// Emit this run's telemetry into a
+    /// [`MetricsSink`](qpl_obs::MetricsSink) under the `graph.run.*`
+    /// namespace: arcs attempted/traversed/blocked, the run cost, and
+    /// which terminal outcome was hit. Execution itself never touches a
+    /// sink; callers observe finished traces.
+    pub fn emit_to(&self, sink: &mut dyn qpl_obs::MetricsSink) {
+        let blocked = self.events.iter().filter(|(_, o)| *o == ArcOutcome::Blocked).count() as u64;
+        sink.counter("graph.run.arcs_attempted", self.events.len() as u64);
+        sink.counter("graph.run.arcs_blocked", blocked);
+        sink.counter("graph.run.arcs_traversed", self.events.len() as u64 - blocked);
+        sink.value("graph.run.cost", self.cost);
+        match self.outcome {
+            RunOutcome::Succeeded(_) => sink.counter("graph.run.succeeded", 1),
+            RunOutcome::Exhausted => sink.counter("graph.run.exhausted", 1),
+        }
+    }
 }
 
 /// Reusable per-run buffers: the reached-node bitvec, the event buffer,

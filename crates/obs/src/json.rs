@@ -1,0 +1,242 @@
+//! Schema-stable JSON rendering of a [`MemorySink`].
+//!
+//! Hand-rolled (the workspace builds offline with no serialization
+//! dependency), mirroring the `BENCH_*.json` writer idiom in
+//! `qpl-bench`. The schema is intentionally boring and diff-friendly:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "counters":       { "<name>": <u64>, ... },
+//!   "values":         { "<name>": {"count": n, "sum": s, "min": m, "max": M}, ... },
+//!   "spans":          { "<name>": {"count": n, "total_ns": t, "min_ns": m, "max_ns": M}, ... },
+//!   "events":         [ {"name": "<name>", "fields": {"<k>": <f64>, ...}}, ... ],
+//!   "dropped_events": <u64>
+//! }
+//! ```
+//!
+//! Map keys are sorted (inherited from [`MemorySink`]'s `BTreeMap`s),
+//! events keep arrival order, and non-finite floats render as `null`,
+//! so identical telemetry always renders byte-identical JSON.
+
+use std::fmt::Write as _;
+
+use crate::memory::MemorySink;
+
+/// The `schema_version` stamped into every snapshot. Bump when the
+/// layout above changes shape (adding new counter *names* is not a
+/// schema change).
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// A rendered, schema-stable JSON view of everything a [`MemorySink`]
+/// recorded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonSnapshot {
+    json: String,
+}
+
+impl JsonSnapshot {
+    /// Render `sink`'s current contents.
+    pub fn capture(sink: &MemorySink) -> Self {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
+
+        out.push_str("  \"counters\": {");
+        let mut first = true;
+        for (name, total) in sink.counters() {
+            push_key(&mut out, &mut first, name);
+            let _ = write!(out, "{total}");
+        }
+        close_map(&mut out, first);
+
+        out.push_str("  \"values\": {");
+        let mut first = true;
+        for (name, v) in sink.values() {
+            push_key(&mut out, &mut first, name);
+            let _ = write!(out, "{{\"count\": {}, \"sum\": ", v.count);
+            push_f64(&mut out, v.sum);
+            out.push_str(", \"min\": ");
+            push_f64(&mut out, v.min);
+            out.push_str(", \"max\": ");
+            push_f64(&mut out, v.max);
+            out.push('}');
+        }
+        close_map(&mut out, first);
+
+        out.push_str("  \"spans\": {");
+        let mut first = true;
+        for (name, s) in sink.spans() {
+            push_key(&mut out, &mut first, name);
+            let _ = write!(
+                out,
+                "{{\"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+                s.count, s.total_ns, s.min_ns, s.max_ns
+            );
+        }
+        close_map(&mut out, first);
+
+        out.push_str("  \"events\": [");
+        for (i, event) in sink.events().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"name\": ");
+            push_str(&mut out, event.name);
+            out.push_str(", \"fields\": {");
+            for (j, (key, value)) in event.fields.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                push_str(&mut out, key);
+                out.push_str(": ");
+                push_f64(&mut out, *value);
+            }
+            out.push_str("}}");
+        }
+        if sink.events().is_empty() {
+            out.push_str("],\n");
+        } else {
+            out.push_str("\n  ],\n");
+        }
+
+        let _ = writeln!(out, "  \"dropped_events\": {}", sink.dropped_events());
+        out.push_str("}\n");
+        JsonSnapshot { json: out }
+    }
+
+    /// The rendered JSON document (ends with a newline).
+    pub fn as_str(&self) -> &str {
+        &self.json
+    }
+
+    /// Consume the snapshot, yielding the rendered JSON.
+    pub fn into_string(self) -> String {
+        self.json
+    }
+
+    /// Crude structural probe used by tests and smoke checks: whether
+    /// the document contains a top-level-style `"key":` occurrence.
+    pub fn has_key(&self, key: &str) -> bool {
+        self.json.contains(&format!("\"{key}\":"))
+    }
+}
+
+/// Append `", "`-separated sorted-map entries: `"name": `.
+fn push_key(out: &mut String, first: &mut bool, name: &str) {
+    if *first {
+        *first = false;
+        out.push_str("\n    ");
+    } else {
+        out.push_str(",\n    ");
+    }
+    push_str(out, name);
+    out.push_str(": ");
+}
+
+fn close_map(out: &mut String, was_empty: bool) {
+    if was_empty {
+        out.push_str("},\n");
+    } else {
+        out.push_str("\n  },\n");
+    }
+}
+
+/// Append a JSON string literal with the escapes JSON requires.
+fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append an `f64` as a JSON number; non-finite values become `null`
+/// (JSON has no NaN/Infinity).
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MetricsSink;
+
+    fn sample_sink() -> MemorySink {
+        let mut sink = MemorySink::new();
+        sink.counter("b.hits", 7);
+        sink.counter("a.misses", 2);
+        sink.value("cost", 1.5);
+        sink.value("cost", 2.5);
+        sink.span_ns("phase", 1000);
+        sink.event("decide", &[("delta", -0.25), ("accept", 1.0)]);
+        sink
+    }
+
+    #[test]
+    fn snapshot_has_all_top_level_keys() {
+        let snap = JsonSnapshot::capture(&sample_sink());
+        for key in ["schema_version", "counters", "values", "spans", "events", "dropped_events"] {
+            assert!(snap.has_key(key), "missing {key} in {}", snap.as_str());
+        }
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_sorted() {
+        let a = JsonSnapshot::capture(&sample_sink());
+        let b = JsonSnapshot::capture(&sample_sink());
+        assert_eq!(a, b);
+        let json = a.as_str();
+        let a_pos = json.find("\"a.misses\"").unwrap();
+        let b_pos = json.find("\"b.hits\"").unwrap();
+        assert!(a_pos < b_pos, "map keys must render sorted");
+    }
+
+    #[test]
+    fn empty_sink_still_renders_every_section() {
+        let snap = JsonSnapshot::capture(&MemorySink::new());
+        let json = snap.as_str();
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"events\": []"));
+        assert!(json.contains("\"dropped_events\": 0"));
+    }
+
+    #[test]
+    fn non_finite_values_render_null() {
+        let mut sink = MemorySink::new();
+        sink.value("bad", f64::NAN);
+        let snap = JsonSnapshot::capture(&sink);
+        assert!(snap.as_str().contains("null"));
+        assert!(!snap.as_str().contains("NaN"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        push_str(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn balanced_braces_and_brackets() {
+        let snap = JsonSnapshot::capture(&sample_sink());
+        let json = snap.as_str();
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "unbalanced JSON:\n{json}");
+    }
+}

@@ -1,0 +1,277 @@
+//! In-memory aggregation: [`MemorySink`] and its snapshot structs.
+
+use std::collections::BTreeMap;
+
+use crate::sink::MetricsSink;
+
+/// Aggregate statistics for a `value` series: count/sum/min/max.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueStats {
+    /// Number of observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl ValueStats {
+    fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn first(v: f64) -> Self {
+        ValueStats { count: 1, sum: v, min: v, max: v }
+    }
+
+    /// Mean of the observations (`NaN` when `count == 0`, which a
+    /// [`MemorySink`] never produces).
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+}
+
+/// Aggregate statistics for a span series, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Number of spans recorded.
+    pub count: u64,
+    /// Total duration across all spans (saturating).
+    pub total_ns: u64,
+    /// Shortest span.
+    pub min_ns: u64,
+    /// Longest span.
+    pub max_ns: u64,
+}
+
+impl SpanStats {
+    fn observe(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    fn first(ns: u64) -> Self {
+        SpanStats { count: 1, total_ns: ns, min_ns: ns, max_ns: ns }
+    }
+}
+
+/// One structured per-decision record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Event name (e.g. `core.pib.candidate`).
+    pub name: &'static str,
+    /// Numeric fields in the order the emitter supplied them.
+    pub fields: Vec<(&'static str, f64)>,
+}
+
+impl Event {
+    /// Look up a field by name (first match).
+    pub fn field(&self, name: &str) -> Option<f64> {
+        self.fields.iter().find(|(k, _)| *k == name).map(|(_, v)| *v)
+    }
+}
+
+/// Default cap on retained events; later events are counted as dropped
+/// rather than growing the sink without bound.
+pub const DEFAULT_MAX_EVENTS: usize = 4096;
+
+/// An in-process sink aggregating counters, values, and spans into
+/// sorted maps, and retaining up to `max_events` structured events.
+///
+/// Iteration order over every series is deterministic (sorted by name),
+/// so two runs that record the same telemetry render identical
+/// [`JsonSnapshot`](crate::JsonSnapshot)s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemorySink {
+    counters: BTreeMap<&'static str, u64>,
+    values: BTreeMap<&'static str, ValueStats>,
+    spans: BTreeMap<&'static str, SpanStats>,
+    events: Vec<Event>,
+    max_events: usize,
+    dropped_events: u64,
+}
+
+impl MemorySink {
+    /// A fresh sink with the default event cap.
+    pub fn new() -> Self {
+        Self::with_max_events(DEFAULT_MAX_EVENTS)
+    }
+
+    /// A fresh sink retaining at most `max_events` events.
+    pub fn with_max_events(max_events: usize) -> Self {
+        MemorySink { max_events, ..MemorySink::default() }
+    }
+
+    /// Total of the named counter (0 when never incremented).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Aggregate stats for the named value series.
+    pub fn value_stats(&self, name: &str) -> Option<ValueStats> {
+        self.values.get(name).copied()
+    }
+
+    /// Aggregate stats for the named span series.
+    pub fn span_stats(&self, name: &str) -> Option<SpanStats> {
+        self.spans.get(name).copied()
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// All value series, sorted by name.
+    pub fn values(&self) -> impl Iterator<Item = (&'static str, ValueStats)> + '_ {
+        self.values.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// All span series, sorted by name.
+    pub fn spans(&self) -> impl Iterator<Item = (&'static str, SpanStats)> + '_ {
+        self.spans.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Retained events in arrival order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Retained events with the given name, in arrival order.
+    pub fn events_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Event> + 'a {
+        self.events.iter().filter(move |e| e.name == name)
+    }
+
+    /// How many events were discarded because the cap was reached.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped_events
+    }
+
+    /// Forget everything recorded so far (the event cap is kept).
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.values.clear();
+        self.spans.clear();
+        self.events.clear();
+        self.dropped_events = 0;
+    }
+}
+
+impl MetricsSink for MemorySink {
+    fn counter(&mut self, name: &'static str, delta: u64) {
+        let slot = self.counters.entry(name).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    fn value(&mut self, name: &'static str, v: f64) {
+        match self.values.get_mut(name) {
+            Some(stats) => stats.observe(v),
+            None => {
+                self.values.insert(name, ValueStats::first(v));
+            }
+        }
+    }
+
+    fn span_ns(&mut self, name: &'static str, ns: u64) {
+        match self.spans.get_mut(name) {
+            Some(stats) => stats.observe(ns),
+            None => {
+                self.spans.insert(name, SpanStats::first(ns));
+            }
+        }
+    }
+
+    fn event(&mut self, name: &'static str, fields: &[(&'static str, f64)]) {
+        if self.events.len() >= self.max_events {
+            self.dropped_events += 1;
+            return;
+        }
+        self.events.push(Event { name, fields: fields.to_vec() });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_saturate() {
+        let mut sink = MemorySink::new();
+        sink.counter("hits", 2);
+        sink.counter("hits", 3);
+        assert_eq!(sink.counter_total("hits"), 5);
+        sink.counter("hits", u64::MAX);
+        assert_eq!(sink.counter_total("hits"), u64::MAX);
+        assert_eq!(sink.counter_total("absent"), 0);
+    }
+
+    #[test]
+    fn value_stats_track_count_sum_min_max() {
+        let mut sink = MemorySink::new();
+        for v in [3.0, -1.0, 2.0] {
+            sink.value("cost", v);
+        }
+        let stats = sink.value_stats("cost").unwrap();
+        assert_eq!(stats.count, 3);
+        assert_eq!(stats.sum, 4.0);
+        assert_eq!(stats.min, -1.0);
+        assert_eq!(stats.max, 3.0);
+        assert!((stats.mean() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn span_stats_aggregate() {
+        let mut sink = MemorySink::new();
+        sink.span_ns("phase", 10);
+        sink.span_ns("phase", 30);
+        let stats = sink.span_stats("phase").unwrap();
+        assert_eq!(stats.count, 2);
+        assert_eq!(stats.total_ns, 40);
+        assert_eq!(stats.min_ns, 10);
+        assert_eq!(stats.max_ns, 30);
+    }
+
+    #[test]
+    fn events_are_capped_not_unbounded() {
+        let mut sink = MemorySink::with_max_events(2);
+        for i in 0..4 {
+            sink.event("e", &[("i", i as f64)]);
+        }
+        assert_eq!(sink.events().len(), 2);
+        assert_eq!(sink.dropped_events(), 2);
+        assert_eq!(sink.events()[1].field("i"), Some(1.0));
+        assert_eq!(sink.events()[1].field("missing"), None);
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_name() {
+        let mut sink = MemorySink::new();
+        sink.counter("zebra", 1);
+        sink.counter("alpha", 1);
+        let names: Vec<_> = sink.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, ["alpha", "zebra"]);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut sink = MemorySink::with_max_events(1);
+        sink.counter("c", 1);
+        sink.value("v", 1.0);
+        sink.span_ns("s", 1);
+        sink.event("e", &[]);
+        sink.event("e", &[]);
+        sink.clear();
+        assert_eq!(sink.counter_total("c"), 0);
+        assert!(sink.value_stats("v").is_none());
+        assert!(sink.span_stats("s").is_none());
+        assert!(sink.events().is_empty());
+        assert_eq!(sink.dropped_events(), 0);
+    }
+}

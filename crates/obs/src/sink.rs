@@ -1,0 +1,147 @@
+//! The [`MetricsSink`] trait, the disabled [`NoopSink`], and the
+//! clock-skipping [`SpanTimer`] guard.
+
+use std::time::Instant;
+
+/// A destination for structured run telemetry.
+///
+/// Implementations must be cheap to call; call sites are allowed to
+/// invoke a sink inside per-sample loops. Anything expensive to
+/// *compute* (as opposed to record) should be guarded by
+/// [`MetricsSink::enabled`] at the call site — that is the whole
+/// zero-overhead contract:
+///
+/// ```
+/// use qpl_obs::{MetricsSink, NoopSink};
+/// fn instrumented(sink: &mut dyn MetricsSink) {
+///     if sink.enabled() {
+///         // derived quantities are only computed when someone listens
+///         sink.value("demo.ratio", 22.0 / 7.0);
+///     }
+///     sink.counter("demo.calls", 1);
+/// }
+/// instrumented(&mut NoopSink);
+/// ```
+pub trait MetricsSink {
+    /// Whether this sink records anything. Call sites use this to skip
+    /// clock reads and derived-value computation; [`NoopSink`] returns
+    /// `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Add `delta` to the named monotonic counter.
+    fn counter(&mut self, name: &'static str, delta: u64);
+
+    /// Record one `f64` observation under `name` (aggregated as
+    /// count/sum/min/max).
+    fn value(&mut self, name: &'static str, v: f64);
+
+    /// Record one wall-clock span of `ns` nanoseconds under `name`.
+    fn span_ns(&mut self, name: &'static str, ns: u64);
+
+    /// Record a structured per-decision event with numeric fields.
+    ///
+    /// Field order is preserved as given; field names should be
+    /// `'static` identifiers so snapshots stay schema-stable.
+    fn event(&mut self, name: &'static str, fields: &[(&'static str, f64)]);
+}
+
+/// The default sink: records nothing and reports `enabled() == false`,
+/// so instrumented call sites degenerate to a handful of predictable
+/// branches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopSink;
+
+impl MetricsSink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn counter(&mut self, _name: &'static str, _delta: u64) {}
+
+    fn value(&mut self, _name: &'static str, _v: f64) {}
+
+    fn span_ns(&mut self, _name: &'static str, _ns: u64) {}
+
+    fn event(&mut self, _name: &'static str, _fields: &[(&'static str, f64)]) {}
+}
+
+/// A wall-clock span guard that reads the clock only when the sink is
+/// enabled.
+///
+/// The timer borrows the sink twice (at start and at finish) instead of
+/// holding it, so the span body is free to use the same sink:
+///
+/// ```
+/// use qpl_obs::{MemorySink, MetricsSink, SpanTimer};
+/// let mut sink = MemorySink::new();
+/// let t = SpanTimer::start(&sink, "demo.phase");
+/// sink.counter("demo.work", 3);
+/// t.finish(&mut sink);
+/// assert_eq!(sink.span_stats("demo.phase").unwrap().count, 1);
+/// ```
+#[derive(Debug)]
+#[must_use = "a SpanTimer records nothing unless finish() is called"]
+pub struct SpanTimer {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl SpanTimer {
+    /// Begin a span named `name`. No clock read happens when
+    /// `sink.enabled()` is false.
+    pub fn start(sink: &dyn MetricsSink, name: &'static str) -> Self {
+        SpanTimer { name, start: sink.enabled().then(Instant::now) }
+    }
+
+    /// End the span and record its duration (saturating at `u64::MAX`
+    /// nanoseconds, ~584 years).
+    pub fn finish(self, sink: &mut dyn MetricsSink) {
+        if let Some(start) = self.start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            sink.span_ns(self.name, ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemorySink;
+
+    #[test]
+    fn noop_is_disabled_and_records_nothing() {
+        let mut sink = NoopSink;
+        assert!(!sink.enabled());
+        sink.counter("x", 1);
+        sink.value("x", 1.0);
+        sink.span_ns("x", 1);
+        sink.event("x", &[("f", 1.0)]);
+    }
+
+    #[test]
+    fn span_timer_skips_clock_when_disabled() {
+        let t = SpanTimer::start(&NoopSink, "x");
+        assert!(t.start.is_none());
+        t.finish(&mut NoopSink);
+    }
+
+    #[test]
+    fn span_timer_records_when_enabled() {
+        let mut sink = MemorySink::new();
+        let t = SpanTimer::start(&sink, "phase");
+        t.finish(&mut sink);
+        let stats = sink.span_stats("phase").expect("span recorded");
+        assert_eq!(stats.count, 1);
+        assert!(stats.total_ns >= stats.min_ns);
+    }
+
+    #[test]
+    fn dyn_object_safety() {
+        let mut mem = MemorySink::new();
+        let sink: &mut dyn MetricsSink = &mut mem;
+        sink.counter("obj", 2);
+        assert_eq!(mem.counter_total("obj"), 2);
+    }
+}

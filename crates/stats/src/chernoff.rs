@@ -12,11 +12,43 @@
 //! in modern terminology it is Hoeffding's inequality. The functions
 //! below expose the bound and its three inversions: given any two of
 //! `(n, β, δ)` (with `Λ`), solve for the third.
+//!
+//! ## Degenerate and invalid inputs — one convention, module-wide
+//!
+//! * `Λ` (`range`) must be **finite and non-negative**; NaN or negative
+//!   ranges panic in every function. `range == 0` is the *degenerate*
+//!   distribution whose samples all equal `μ` exactly: the sample mean
+//!   is exact, so tails are `0`, radii are `0`, thresholds are `0`, and
+//!   `0` samples suffice. (Previously `hoeffding_tail` called
+//!   `range == 0` vacuous → 1.0 while `confidence_radius` called it
+//!   exact → radius 0; the exact reading is the consistent one.)
+//! * `β` (`beta`) must not be NaN. In [`hoeffding_tail`] a non-positive
+//!   `β` (or `n == 0`) makes the bound vacuous → 1.0; the inversions
+//!   require `β > 0`.
+//! * `δ` (`delta`) must lie in `(0, 1]`; anything else — including NaN —
+//!   panics.
+//! * Inversions that would produce a sample count too large for `u64`
+//!   panic with an explicit overflow message instead of silently
+//!   saturating through an `as u64` cast.
+
+/// Panic unless `range` is a finite, non-negative interval width.
+fn assert_valid_range(range: f64) {
+    assert!(
+        range.is_finite() && range >= 0.0,
+        "range must be finite and non-negative (got {range})"
+    );
+}
 
 /// One-sided tail probability bound: `Pr[Yₙ − μ > β] ≤ exp(−2n(β/Λ)²)`.
 ///
-/// Returns 1.0 when the bound is vacuous (`β ≤ 0` or `n == 0` or the range
-/// is degenerate), so the result is always a valid probability bound.
+/// Returns 1.0 when the bound is vacuous (`β ≤ 0` or `n == 0`), and 0.0
+/// for the degenerate `range == 0` distribution (the sample mean equals
+/// `μ` exactly, so a deviation of `β > 0` is impossible); see the module
+/// header for the convention. The result is always a valid probability
+/// bound.
+///
+/// # Panics
+/// Panics if `β` is NaN or `range` is NaN, infinite, or negative.
 ///
 /// # Examples
 /// ```
@@ -24,8 +56,13 @@
 /// assert!((p - (-2.0f64).exp()).abs() < 1e-12);
 /// ```
 pub fn hoeffding_tail(n: u64, beta: f64, range: f64) -> f64 {
-    if n == 0 || beta <= 0.0 || range <= 0.0 {
+    assert!(!beta.is_nan(), "beta must not be NaN");
+    assert_valid_range(range);
+    if n == 0 || beta <= 0.0 {
         return 1.0;
+    }
+    if range == 0.0 {
+        return 0.0;
     }
     let r = beta / range;
     (-2.0 * n as f64 * r * r).exp().min(1.0)
@@ -43,12 +80,16 @@ pub fn two_sided_tail(n: u64, beta: f64, range: f64) -> f64 {
 /// divided through by `n` (Equation 2 states the bound on the *sum*
 /// `Δ[Θ,Θ',S]`, i.e. `n` times this radius; see [`sum_threshold`]).
 ///
+/// Returns 0 for the degenerate `range == 0` distribution (the sample
+/// mean is exact; see the module header).
+///
 /// # Panics
-/// Panics if `δ` is not in `(0, 1]` or `n == 0` or `range < 0`.
+/// Panics if `δ` is not in `(0, 1]` (NaN included), `n == 0`, or `range`
+/// is NaN, infinite, or negative.
 pub fn confidence_radius(n: u64, delta: f64, range: f64) -> f64 {
     assert!(n > 0, "confidence_radius requires n > 0");
-    assert!(delta > 0.0 && delta <= 1.0, "delta must be in (0,1]");
-    assert!(range >= 0.0, "range must be non-negative");
+    assert!(delta > 0.0 && delta <= 1.0, "delta must be in (0,1] (got {delta})");
+    assert_valid_range(range);
     range * ((1.0 / delta).ln() / (2.0 * n as f64)).sqrt()
 }
 
@@ -69,22 +110,36 @@ pub fn confidence_radius(n: u64, delta: f64, range: f64) -> f64 {
 /// assert!((a - b).abs() < 1e-9);
 /// ```
 pub fn sum_threshold(n: u64, delta: f64, range: f64) -> f64 {
-    assert!(delta > 0.0 && delta <= 1.0, "delta must be in (0,1]");
-    assert!(range >= 0.0, "range must be non-negative");
+    assert!(delta > 0.0 && delta <= 1.0, "delta must be in (0,1] (got {delta})");
+    assert_valid_range(range);
     range * ((n as f64 / 2.0) * (1.0 / delta).ln()).sqrt()
 }
 
 /// Number of samples needed so that the one-sided deviation radius is at
 /// most `β` at confidence `1 − δ`: `n = ⌈(Λ/β)²·ln(1/δ)/2⌉`.
 ///
+/// Returns 0 for the degenerate `range == 0` distribution (the sample
+/// mean is exact after any number of samples; see the module header).
+///
 /// # Panics
-/// Panics if `β ≤ 0`, `δ ∉ (0,1]`, or `range ≤ 0`.
+/// Panics if `β ≤ 0` or NaN, `δ ∉ (0,1]` (NaN included), `range` is NaN,
+/// infinite, or negative, or the required sample count does not fit in a
+/// `u64` (previously this saturated silently through the `as u64` cast).
 pub fn samples_for_radius(beta: f64, delta: f64, range: f64) -> u64 {
-    assert!(beta > 0.0, "beta must be positive");
-    assert!(delta > 0.0 && delta <= 1.0, "delta must be in (0,1]");
-    assert!(range > 0.0, "range must be positive");
+    assert!(!beta.is_nan() && beta > 0.0, "beta must be positive (got {beta})");
+    assert!(delta > 0.0 && delta <= 1.0, "delta must be in (0,1] (got {delta})");
+    assert_valid_range(range);
+    if range == 0.0 {
+        return 0;
+    }
     let r = range / beta;
-    ((r * r) * (1.0 / delta).ln() / 2.0).ceil() as u64
+    let m = (r * r) * (1.0 / delta).ln() / 2.0;
+    assert!(
+        m.is_finite() && m.ceil() < u64::MAX as f64,
+        "samples_for_radius: required sample count {m:e} overflows u64 \
+         (beta={beta}, delta={delta}, range={range} too extreme)"
+    );
+    m.ceil() as u64
 }
 
 #[cfg(test)]
@@ -116,7 +171,50 @@ mod tests {
         assert_eq!(hoeffding_tail(0, 0.5, 1.0), 1.0);
         assert_eq!(hoeffding_tail(10, 0.0, 1.0), 1.0);
         assert_eq!(hoeffding_tail(10, -1.0, 1.0), 1.0);
-        assert_eq!(hoeffding_tail(10, 0.5, 0.0), 1.0);
+    }
+
+    #[test]
+    fn degenerate_range_is_exact_everywhere() {
+        // range == 0 means every sample equals μ: deviations are
+        // impossible, radii collapse, and no samples are needed. The
+        // same convention in all four functions (module header).
+        assert_eq!(hoeffding_tail(10, 0.5, 0.0), 0.0);
+        assert_eq!(two_sided_tail(10, 0.5, 0.0), 0.0);
+        assert_eq!(confidence_radius(10, 0.05, 0.0), 0.0);
+        assert_eq!(sum_threshold(10, 0.05, 0.0), 0.0);
+        assert_eq!(samples_for_radius(0.5, 0.05, 0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be finite")]
+    fn tail_rejects_negative_range() {
+        hoeffding_tail(10, 0.5, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be finite")]
+    fn tail_rejects_nan_range() {
+        hoeffding_tail(10, 0.5, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must not be NaN")]
+    fn tail_rejects_nan_beta() {
+        hoeffding_tail(10, f64::NAN, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be positive")]
+    fn samples_rejects_nan_beta() {
+        samples_for_radius(f64::NAN, 0.05, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u64")]
+    fn samples_panics_instead_of_saturating() {
+        // Λ/β = 1e300: the requirement is ~1e600, far beyond u64. The
+        // old code silently returned u64::MAX here.
+        samples_for_radius(1e-300, 0.05, 1.0);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub fn theorem2_samples(f_not: f64, epsilon: f64, delta: f64, n: usize) -> u64 {
         return 0;
     }
     let ratio = n as f64 * f_not / epsilon;
-    (2.0 * ratio * ratio * (2.0 * n as f64 / delta).ln()).ceil() as u64
+    checked_ceil(2.0 * ratio * ratio * (2.0 * n as f64 / delta).ln(), "theorem2_samples")
 }
 
 /// Equation 8: contexts on which the adaptive query processor must
@@ -49,8 +49,11 @@ pub fn theorem3_attempts(f_not: f64, epsilon: f64, delta: f64, n: usize) -> u64 
     if f_not == 0.0 {
         return 0;
     }
+    // When ε/(n·F¬) underflows, `inner` rounds to 0 and the requirement
+    // diverges; checked_ceil turns that into an explicit panic rather
+    // than a silently saturated u64::MAX.
     let inner = (2.0 * epsilon / (n as f64 * f_not) + 1.0).sqrt() - 1.0;
-    (2.0 / (inner * inner) * (4.0 * n as f64 / delta).ln()).ceil() as u64
+    checked_ceil(2.0 / (inner * inner) * (4.0 * n as f64 / delta).ln(), "theorem3_attempts")
 }
 
 /// Footnote 11's leading asymptotic term for Equation 8:
@@ -67,10 +70,27 @@ pub fn theorem3_asymptotic(f_not: f64, epsilon: f64, delta: f64, n: usize) -> f6
 }
 
 fn validate(f_not: f64, epsilon: f64, delta: f64, n: usize) {
-    assert!(f_not >= 0.0, "F_not must be non-negative");
-    assert!(epsilon > 0.0, "epsilon must be positive");
-    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    assert!(
+        f_not.is_finite() && f_not >= 0.0,
+        "F_not must be finite and non-negative (got {f_not})"
+    );
+    assert!(
+        epsilon.is_finite() && epsilon > 0.0,
+        "epsilon must be finite and positive (got {epsilon})"
+    );
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1) (got {delta})");
     assert!(n >= 1, "need at least one experiment");
+}
+
+/// Ceiling-convert a sample requirement to `u64`, panicking with a clear
+/// message when the requirement is non-finite or too large — previously
+/// the bare `as u64` cast saturated to `u64::MAX` silently.
+fn checked_ceil(m: f64, what: &str) -> u64 {
+    assert!(
+        m.is_finite() && m.ceil() < u64::MAX as f64,
+        "{what}: required sample count {m:e} overflows u64 (inputs too extreme)"
+    );
+    m.ceil() as u64
 }
 
 #[cfg(test)]
@@ -142,5 +162,32 @@ mod tests {
     #[should_panic(expected = "delta")]
     fn rejects_bad_delta() {
         theorem3_attempts(1.0, 0.5, 1.5, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "F_not must be finite")]
+    fn rejects_nan_f_not() {
+        theorem2_samples(f64::NAN, 0.5, 0.1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be finite")]
+    fn rejects_infinite_epsilon() {
+        theorem2_samples(1.0, f64::INFINITY, 0.1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u64")]
+    fn equation7_panics_instead_of_saturating() {
+        // n·F¬/ε ≈ 1e300 squared overflows f64; the old cast silently
+        // returned u64::MAX.
+        theorem2_samples(1e300, 1e-2, 0.1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u64")]
+    fn equation8_panics_when_inner_term_underflows() {
+        // 2ε/(n·F¬) < 2⁻⁵³ rounds `sqrt(1 + x) − 1` to exactly 0.
+        theorem3_attempts(1e20, 1e-4, 0.1, 4);
     }
 }

@@ -266,6 +266,22 @@ pub fn recursive_path_kb(
     (table, program.rules, program.facts, query)
 }
 
+/// Emits a generated (or paper) knowledge base's shape into a
+/// [`MetricsSink`](qpl_obs::MetricsSink) as `workload.kb.*` counters —
+/// fact count, rule count, symbol count, recursiveness — so experiment
+/// snapshots record which workload produced them.
+pub fn emit_kb_provenance(
+    table: &SymbolTable,
+    rules: &RuleBase,
+    db: &Database,
+    sink: &mut dyn qpl_obs::MetricsSink,
+) {
+    sink.counter("workload.kb.facts", db.len() as u64);
+    sink.counter("workload.kb.rules", rules.len() as u64);
+    sink.counter("workload.kb.symbols", table.len() as u64);
+    sink.counter("workload.kb.recursive", u64::from(rules.is_recursive()));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,6 +378,17 @@ mod tests {
             let want = qpl_datalog::eval::holds(&rules, &db, &q);
             assert_eq!(got, want, "disagreement on c{c}");
         }
+    }
+
+    #[test]
+    fn kb_provenance_counters_match_kb() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (table, rules, db, _) = random_layered_kb(&mut rng, &KbParams::default());
+        let mut sink = qpl_obs::MemorySink::new();
+        emit_kb_provenance(&table, &rules, &db, &mut sink);
+        assert_eq!(sink.counter_total("workload.kb.facts"), db.len() as u64);
+        assert_eq!(sink.counter_total("workload.kb.rules"), rules.len() as u64);
+        assert_eq!(sink.counter_total("workload.kb.recursive"), 0);
     }
 
     #[test]

@@ -16,7 +16,8 @@ pub mod generator;
 pub mod paper;
 
 pub use generator::{
-    random_finite_distribution, random_layered_kb, random_retrieval_model, random_tree,
-    random_tree_with_retrievals, recursive_path_kb, KbParams, RecursiveKbParams, TreeParams,
+    emit_kb_provenance, random_finite_distribution, random_layered_kb, random_retrieval_model,
+    random_tree, random_tree_with_retrievals, recursive_path_kb, KbParams, RecursiveKbParams,
+    TreeParams,
 };
 pub use paper::{figure2, pauper, reachability, university, University};
