@@ -18,8 +18,10 @@
 
 use crate::delta::{delta_exact_with, DeltaScratch};
 use crate::transform::{SiblingSwap, TransformationSet};
+use qpl_graph::batch::{execute_batch, lanes_from, BatchRun, ContextBatch, LANES};
 use qpl_graph::context::Context;
 use qpl_graph::graph::InferenceGraph;
+use qpl_graph::program::StrategyProgram;
 use qpl_graph::strategy::Strategy;
 use qpl_obs::{MetricsSink, NoopSink};
 use qpl_stats::{chernoff, SequentialSchedule};
@@ -165,6 +167,92 @@ impl Palo {
             cand.sum += delta_exact_with(g, &self.current, &cand.strategy, ctx, &mut self.scratch);
             cand.count += 1;
         }
+        self.decide(g, sink)
+    }
+
+    /// Observes a whole [`ContextBatch`]: the current strategy and every
+    /// neighbour run as compiled programs over the raw context planes
+    /// (PALO's Δ is *exact*, so candidates see the true contexts, not a
+    /// pessimistic completion), then the lanes drain in order through
+    /// the same per-context decision as [`observe`](Self::observe) —
+    /// byte-identical statistics, climbs, and stopping. A mid-batch
+    /// climb recompiles and re-runs the undrained lanes; a mid-batch
+    /// stop returns `false` with the remaining lanes unconsumed, exactly
+    /// as a scalar driver loop would stop feeding contexts. Returns
+    /// `true` while the learner is still running.
+    pub fn observe_batch(&mut self, g: &InferenceGraph, batch: &ContextBatch) -> bool {
+        self.observe_batch_with(g, batch, &mut NoopSink)
+    }
+
+    /// [`observe_batch`](Self::observe_batch) with telemetry (see
+    /// [`observe_with`](Self::observe_with)).
+    pub fn observe_batch_with(
+        &mut self,
+        g: &InferenceGraph,
+        batch: &ContextBatch,
+        sink: &mut dyn MetricsSink,
+    ) -> bool {
+        let lanes = batch.lanes();
+        let mut lane = 0usize;
+        let mut run = BatchRun::new();
+        let mut cand_run = BatchRun::new();
+        let mut cand_costs: Vec<f64> = Vec::new();
+        while lane < lanes {
+            if self.stopped {
+                return false;
+            }
+            let programs = StrategyProgram::compile(g, &self.current).ok().and_then(|cur| {
+                self.candidates
+                    .iter()
+                    .map(|c| StrategyProgram::compile(g, &c.strategy).ok())
+                    .collect::<Option<Vec<_>>>()
+                    .map(|cands| (cur, cands))
+            });
+            let Some((cur_prog, cand_progs)) = programs else {
+                // Interpreter fallback for strategies the compiler
+                // rejects.
+                let mut ctx = Context::all_open(g);
+                while lane < lanes {
+                    batch.extract_lane(lane, &mut ctx);
+                    lane += 1;
+                    if !self.observe_with(g, &ctx, sink) {
+                        return false;
+                    }
+                }
+                return !self.stopped;
+            };
+            let active = lanes_from(lane, lanes);
+            execute_batch(&cur_prog, batch, active, &mut run);
+            cand_costs.clear();
+            for cp in &cand_progs {
+                execute_batch(cp, batch, active, &mut cand_run);
+                cand_costs.extend((0..LANES).map(|l| cand_run.cost(l)));
+            }
+            let climbs_before = self.climbs.len();
+            while lane < lanes {
+                sink.counter("core.palo.contexts", 1);
+                let cost = run.cost(lane);
+                for (ci, cand) in self.candidates.iter_mut().enumerate() {
+                    cand.sum += cost - cand_costs[ci * LANES + lane];
+                    cand.count += 1;
+                }
+                lane += 1;
+                if !self.decide(g, sink) {
+                    return false;
+                }
+                if self.climbs.len() > climbs_before {
+                    // Neighbourhood changed: recompile and re-run the
+                    // undrained suffix under the new strategy.
+                    break;
+                }
+            }
+        }
+        !self.stopped
+    }
+
+    /// The per-context climb/stop decision, shared verbatim by the
+    /// scalar and batched observation paths.
+    fn decide(&mut self, g: &InferenceGraph, sink: &mut dyn MetricsSink) -> bool {
         // Charge one test per candidate (each gets a two-sided look).
         let delta_i = self.schedule.advance(self.candidates.len() as u64);
         let per_side = delta_i / 2.0;
@@ -340,5 +428,49 @@ mod tests {
     #[should_panic(expected = "epsilon")]
     fn bad_epsilon_rejected() {
         PaloConfig::new(0.0, 0.05);
+    }
+
+    #[test]
+    fn batched_observation_matches_scalar_byte_for_byte() {
+        // Same context stream through both paths until PALO stops:
+        // identical climbs, identical certificates, identical in-flight
+        // sums to the bit. The stream forces at least one climb, so the
+        // mid-batch recompile/re-run path is exercised.
+        let g = g_b();
+        let model = IndependentModel::from_retrieval_probs(&g, &[0.1, 0.3, 0.6, 0.2]).unwrap();
+        let cfg = PaloConfig::new(0.75, 0.05);
+        let mut scalar = Palo::new(&g, Strategy::left_to_right(&g), cfg);
+        let mut batched = Palo::new(&g, Strategy::left_to_right(&g), cfg);
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut guard = 0u32;
+        'outer: loop {
+            let chunk: Vec<Context> =
+                (0..qpl_graph::batch::LANES).map(|_| model.sample(&mut rng)).collect();
+            let mut b = ContextBatch::new(g.arc_count(), chunk.len());
+            let mut scalar_running = true;
+            for (lane, ctx) in chunk.iter().enumerate() {
+                b.set_lane(lane, ctx);
+                if scalar_running {
+                    scalar_running = scalar.observe(&g, ctx);
+                }
+            }
+            let batched_running = batched.observe_batch(&g, &b);
+            assert_eq!(scalar_running, batched_running, "divergent stop");
+            assert_eq!(scalar.stopped(), batched.stopped());
+            assert_eq!(scalar.climbs(), batched.climbs());
+            assert_eq!(scalar.strategy().arcs(), batched.strategy().arcs());
+            assert_eq!(scalar.candidates.len(), batched.candidates.len());
+            for (a, b) in scalar.candidates.iter().zip(&batched.candidates) {
+                assert_eq!(a.swap, b.swap);
+                assert_eq!(a.count, b.count);
+                assert_eq!(a.sum.to_bits(), b.sum.to_bits());
+            }
+            if !batched_running {
+                break 'outer;
+            }
+            guard += 1;
+            assert!(guard < 10_000, "PALO failed to terminate");
+        }
+        assert!(!scalar.climbs().is_empty(), "the case must actually climb");
     }
 }

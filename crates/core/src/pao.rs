@@ -170,6 +170,20 @@ impl Pao {
         self.qp.observe(g, ctx)
     }
 
+    /// Feeds a whole [`ContextBatch`](qpl_graph::batch::ContextBatch) to
+    /// the adaptive processor through the bit-parallel executor —
+    /// byte-identical counters (and therefore a byte-identical `p̂` and
+    /// final strategy) to feeding the lanes to [`observe`](Self::observe)
+    /// one at a time. Returns the number of lanes consumed; sampling can
+    /// complete mid-batch, leaving the remaining lanes untouched.
+    pub fn observe_batch(
+        &mut self,
+        g: &InferenceGraph,
+        batch: &qpl_graph::batch::ContextBatch,
+    ) -> u64 {
+        self.qp.observe_batch(g, batch)
+    }
+
     /// Emits the sampling plan and its progress into a
     /// [`MetricsSink`](qpl_obs::MetricsSink): `core.pao.targets` and
     /// `core.pao.samples_required` counters, one `core.pao.allocation`
@@ -338,6 +352,46 @@ mod tests {
         let c = truth.expected_cost(&g, &strategy);
         let (_, c_opt) = crate::upsilon::optimal_strategy(&g, &truth, 1_000_000).unwrap();
         assert!(c <= c_opt + 1.0 + 1e-9, "C={c} vs opt={c_opt}");
+    }
+
+    #[test]
+    fn batched_sampling_yields_identical_final_strategy() {
+        // PAO end-to-end, batching on vs off over the same context
+        // stream: identical counters, identical p̂, identical Θ_pao.
+        let g = g_b();
+        let truth = IndependentModel::from_retrieval_probs(&g, &[0.35, 0.15, 0.55, 0.75]).unwrap();
+        let cfg = PaoConfig::theorem2(1.0, 0.1).with_sample_cap(500);
+        let mut scalar = Pao::new(&g, cfg).unwrap();
+        let mut batched = Pao::new(&g, cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        while !batched.done() {
+            let lanes = qpl_graph::batch::LANES;
+            let mut b = qpl_graph::batch::ContextBatch::new(g.arc_count(), lanes);
+            let mut ctxs = Vec::with_capacity(lanes);
+            for lane in 0..lanes {
+                let ctx = truth.sample(&mut rng);
+                b.set_lane(lane, &ctx);
+                ctxs.push(ctx);
+            }
+            let consumed = batched.observe_batch(&g, &b);
+            for ctx in ctxs.iter().take(consumed as usize) {
+                scalar.observe(&g, ctx);
+            }
+        }
+        assert!(scalar.done());
+        assert_eq!(scalar.runs(), batched.runs());
+        for (a, b) in scalar.stats().iter().zip(batched.stats()) {
+            assert_eq!(
+                (a.arc, a.attempts, a.reached, a.successes),
+                (b.arc, b.attempts, b.reached, b.successes)
+            );
+        }
+        let (s_strat, s_model) = scalar.finish(&g).unwrap();
+        let (b_strat, b_model) = batched.finish(&g).unwrap();
+        assert_eq!(s_strat.arcs(), b_strat.arcs());
+        for a in g.arc_ids() {
+            assert_eq!(s_model.prob(a).to_bits(), b_model.prob(a).to_bits());
+        }
     }
 
     #[test]

@@ -19,8 +19,10 @@
 
 use crate::delta::{delta_tilde_with, DeltaScratch};
 use crate::transform::{SiblingSwap, TransformationSet};
+use qpl_graph::batch::{execute_batch, lanes_from, BatchRun, ContextBatch, LANES};
 use qpl_graph::context::{execute_into, Context, RunScratch, Trace};
 use qpl_graph::graph::InferenceGraph;
+use qpl_graph::program::StrategyProgram;
 use qpl_graph::strategy::Strategy;
 use qpl_obs::{MetricsSink, NoopSink};
 use qpl_stats::{PairedDifference, SequentialSchedule};
@@ -57,6 +59,14 @@ struct Candidate {
     acc: PairedDifference,
 }
 
+/// Compiled programs for the current strategy and its whole candidate
+/// neighbourhood, reused across batches until a climb replaces them.
+#[derive(Debug, Clone)]
+struct CompiledSet {
+    current: StrategyProgram,
+    candidates: Vec<StrategyProgram>,
+}
+
 /// A record of one hill-climbing step.
 #[derive(Debug, Clone)]
 pub struct ClimbRecord {
@@ -86,6 +96,11 @@ pub struct Pib {
     /// completion) allocates nothing after warm-up.
     run_scratch: RunScratch,
     delta_scratch: DeltaScratch,
+    /// Batched-path program memo, keyed by `current`'s fingerprint (the
+    /// candidate set is a pure function of `current`). `Some((fp, None))`
+    /// records that the compiler rejected this neighbourhood, so the
+    /// batched path falls straight back to the interpreter.
+    compiled: Option<(u64, Option<CompiledSet>)>,
 }
 
 impl Pib {
@@ -116,6 +131,7 @@ impl Pib {
             history: Vec::new(),
             run_scratch: RunScratch::new(g),
             delta_scratch: DeltaScratch::new(g),
+            compiled: None,
         };
         pib.rebuild_candidates(g);
         pib
@@ -217,6 +233,101 @@ impl Pib {
         }
         if self.contexts_seen.is_multiple_of(self.config.test_every) {
             self.test_and_climb(g, sink);
+        }
+    }
+
+    /// Observes a whole [`ContextBatch`] through the bit-parallel
+    /// executor: statistics, test schedule, and climbs are byte-identical
+    /// to calling [`observe_quiet`](Self::observe_quiet) on each lane in
+    /// order, but the current strategy and every candidate run as
+    /// compiled programs over all lanes at once. A mid-batch climb
+    /// recompiles and re-runs the undrained lanes under the new
+    /// neighbourhood; strategies the compiler rejects fall back to the
+    /// scalar interpreter lane by lane.
+    pub fn observe_batch(&mut self, g: &InferenceGraph, batch: &ContextBatch) {
+        self.observe_batch_with(g, batch, &mut NoopSink);
+    }
+
+    /// [`observe_batch`](Self::observe_batch) with telemetry (see
+    /// [`observe_with`](Self::observe_with)). Unlike the scalar paths the
+    /// run scratch holds no meaningful results afterwards.
+    pub fn observe_batch_with(
+        &mut self,
+        g: &InferenceGraph,
+        batch: &ContextBatch,
+        sink: &mut dyn MetricsSink,
+    ) {
+        let lanes = batch.lanes();
+        let mut lane = 0usize;
+        let mut run = BatchRun::new();
+        let mut cand_run = BatchRun::new();
+        let mut completed = ContextBatch::new(0, 0);
+        // Candidate-major cost matrix with a LANES stride, refilled after
+        // every (re)compilation.
+        let mut cand_costs: Vec<f64> = Vec::new();
+        while lane < lanes {
+            // Memo hit: the neighbourhood only changes on a climb, so
+            // most batches reuse the previous batch's programs outright.
+            let fp = self.current.fingerprint();
+            let set = match self.compiled.take() {
+                Some((key, set)) if key == fp => set,
+                _ => StrategyProgram::compile(g, &self.current).ok().and_then(|cur| {
+                    self.candidates
+                        .iter()
+                        .map(|c| StrategyProgram::compile(g, &c.strategy).ok())
+                        .collect::<Option<Vec<_>>>()
+                        .map(|cands| CompiledSet { current: cur, candidates: cands })
+                }),
+            };
+            let Some(set) = set else {
+                self.compiled = Some((fp, None));
+                // Interpreter fallback: drain the remaining lanes the
+                // scalar way (handles every valid strategy).
+                let mut ctx = Context::all_open(g);
+                while lane < lanes {
+                    batch.extract_lane(lane, &mut ctx);
+                    self.observe_quiet_with(g, &ctx, sink);
+                    lane += 1;
+                }
+                return;
+            };
+            let active = lanes_from(lane, lanes);
+            execute_batch(&set.current, batch, active, &mut run);
+            run.completion_into(g, &mut completed);
+            cand_costs.clear();
+            for cp in &set.candidates {
+                execute_batch(cp, &completed, active, &mut cand_run);
+                cand_costs.extend((0..LANES).map(|l| cand_run.cost(l)));
+            }
+            let climbs_before = self.history.len();
+            while lane < lanes {
+                let cost = run.cost(lane);
+                self.contexts_seen += 1;
+                self.samples_here += 1;
+                sink.counter("core.pib.contexts", 1);
+                if sink.enabled() {
+                    sink.value("core.pib.run_cost", cost);
+                }
+                for (ci, cand) in self.candidates.iter_mut().enumerate() {
+                    // Bit-identical to `delta_tilde_with`: the batched
+                    // run cost and the candidate's cost against the
+                    // pessimistic-completion plane both match their
+                    // scalar counterparts exactly.
+                    cand.acc.record(cost - cand_costs[ci * LANES + lane]);
+                }
+                lane += 1;
+                if self.contexts_seen.is_multiple_of(self.config.test_every) {
+                    self.test_and_climb(g, sink);
+                    if self.history.len() > climbs_before {
+                        // Programs and cost matrix are stale: recompile
+                        // and re-run the undrained suffix.
+                        break;
+                    }
+                }
+            }
+            // Keyed by the pre-drain fingerprint: after a climb the key
+            // mismatches and the next iteration recompiles.
+            self.compiled = Some((fp, Some(set)));
         }
     }
 
@@ -507,6 +618,92 @@ mod tests {
             .find(|e| e.field("accept") == Some(0.0))
             .expect("some candidate was rejected at some test");
         assert!(rejected.field("threshold").is_some());
+    }
+
+    /// Chunks a scalar context stream into batches of up to 64 lanes
+    /// (the last one partial), as the engine's fixed-block harness does.
+    fn batches_of(g: &InferenceGraph, ctxs: &[Context]) -> Vec<ContextBatch> {
+        ctxs.chunks(LANES)
+            .map(|chunk| {
+                let mut b = ContextBatch::new(g.arc_count(), chunk.len());
+                for (lane, ctx) in chunk.iter().enumerate() {
+                    b.set_lane(lane, ctx);
+                }
+                b
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_observation_matches_scalar_byte_for_byte() {
+        // The acceptance bar for the bit-parallel path: same climbs at
+        // the same contexts, same accumulated evidence to the bit, at
+        // several test cadences (test_every=1 exercises mid-batch
+        // climbs + re-runs) and with a partial final batch (1000 = 15×64
+        // + 40 lanes).
+        let g = g_b();
+        let model = IndependentModel::from_retrieval_probs(&g, &[0.02, 0.05, 0.1, 0.9]).unwrap();
+        for test_every in [1u64, 7, 25] {
+            let mut rng = StdRng::seed_from_u64(5);
+            let ctxs: Vec<Context> = (0..1000).map(|_| model.sample(&mut rng)).collect();
+            let cfg = PibConfig::new(0.05).with_test_every(test_every);
+            let mut scalar = Pib::new(&g, Strategy::left_to_right(&g), cfg.clone());
+            let mut batched = Pib::new(&g, Strategy::left_to_right(&g), cfg);
+            for ctx in &ctxs {
+                scalar.observe_quiet(&g, ctx);
+            }
+            for batch in batches_of(&g, &ctxs) {
+                batched.observe_batch(&g, &batch);
+            }
+            assert_eq!(scalar.contexts_seen(), batched.contexts_seen());
+            assert_eq!(scalar.samples_at_current(), batched.samples_at_current());
+            assert_eq!(scalar.tests_performed(), batched.tests_performed());
+            assert_eq!(scalar.strategy().arcs(), batched.strategy().arcs());
+            assert_eq!(scalar.history().len(), batched.history().len());
+            assert!(!scalar.history().is_empty(), "the case must actually climb");
+            for (a, b) in scalar.history().iter().zip(batched.history()) {
+                assert_eq!(a.swap, b.swap);
+                assert_eq!(a.samples, b.samples);
+                assert_eq!(a.evidence.to_bits(), b.evidence.to_bits());
+                assert_eq!(a.test_index, b.test_index);
+            }
+            // The in-flight candidate statistics agree bitwise too.
+            assert_eq!(scalar.candidates.len(), batched.candidates.len());
+            for (a, b) in scalar.candidates.iter().zip(&batched.candidates) {
+                assert_eq!(a.swap, b.swap);
+                assert_eq!(a.acc.count(), b.acc.count());
+                assert_eq!(a.acc.sum().to_bits(), b.acc.sum().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_observation_matches_scalar_telemetry() {
+        let g = g_a();
+        let model = IndependentModel::from_retrieval_probs(&g, &[0.05, 0.8]).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let ctxs: Vec<Context> = (0..1500).map(|_| model.sample(&mut rng)).collect();
+        let mut scalar = Pib::new(&g, Strategy::left_to_right(&g), PibConfig::new(0.05));
+        let mut batched = Pib::new(&g, Strategy::left_to_right(&g), PibConfig::new(0.05));
+        let mut sink_s = qpl_obs::MemorySink::new();
+        let mut sink_b = qpl_obs::MemorySink::new();
+        for ctx in &ctxs {
+            scalar.observe_with(&g, ctx, &mut sink_s);
+        }
+        for batch in batches_of(&g, &ctxs) {
+            batched.observe_batch_with(&g, &batch, &mut sink_b);
+        }
+        assert_eq!(scalar.strategy().arcs(), batched.strategy().arcs());
+        for name in ["core.pib.contexts", "core.pib.tests", "core.pib.climbs"] {
+            assert_eq!(sink_s.counter_total(name), sink_b.counter_total(name), "{name}");
+        }
+        let (s_stats, b_stats) =
+            (sink_s.value_stats("core.pib.run_cost"), sink_b.value_stats("core.pib.run_cost"));
+        assert_eq!(s_stats, b_stats, "per-lane run costs observed identically");
+        assert_eq!(
+            sink_s.events_named("core.pib.candidate").count(),
+            sink_b.events_named("core.pib.candidate").count()
+        );
     }
 
     #[test]

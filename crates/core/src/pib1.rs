@@ -18,8 +18,10 @@
 
 use crate::delta::{delta_tilde_with, DeltaScratch};
 use crate::transform::SiblingSwap;
+use qpl_graph::batch::{execute_batch, BatchRun, ContextBatch};
 use qpl_graph::context::{cost_into, Context, RunScratch, Trace};
 use qpl_graph::graph::InferenceGraph;
+use qpl_graph::program::StrategyProgram;
 use qpl_graph::strategy::Strategy;
 use qpl_graph::GraphError;
 use qpl_stats::PairedDifference;
@@ -97,6 +99,36 @@ impl Pib1 {
         let trace = qpl_graph::context::execute(g, &self.theta, ctx);
         self.absorb(g, &trace);
         trace
+    }
+
+    /// Observes a whole [`ContextBatch`] at once: `Θ` runs as a compiled
+    /// program over every lane, `Θ'` is probed against the
+    /// pessimistic-completion planes, and the per-lane differences are
+    /// recorded in lane order — bit-identical to calling
+    /// [`observe`](Self::observe) per lane. PIB₁'s pair is fixed, so no
+    /// mid-batch recompilation can occur; strategies the compiler
+    /// rejects fall back to the scalar interpreter.
+    pub fn observe_batch(&mut self, g: &InferenceGraph, batch: &ContextBatch) {
+        let programs = StrategyProgram::compile(g, &self.theta)
+            .and_then(|t| StrategyProgram::compile(g, &self.theta_prime).map(|tp| (t, tp)));
+        let Ok((theta_prog, prime_prog)) = programs else {
+            let mut ctx = Context::all_open(g);
+            for lane in 0..batch.lanes() {
+                batch.extract_lane(lane, &mut ctx);
+                self.observe(g, &ctx);
+            }
+            return;
+        };
+        let mut run = BatchRun::new();
+        let mut cand = BatchRun::new();
+        let mut completed = ContextBatch::new(0, 0);
+        let active = batch.active_mask();
+        execute_batch(&theta_prog, batch, active, &mut run);
+        run.completion_into(g, &mut completed);
+        execute_batch(&prime_prog, &completed, active, &mut cand);
+        for lane in 0..batch.lanes() {
+            self.acc.record(run.cost(lane) - cand.cost(lane));
+        }
     }
 
     /// Updates statistics from an externally produced trace of `Θ`.
@@ -377,6 +409,29 @@ mod tests {
             }
         }
         assert!(approved);
+    }
+
+    #[test]
+    fn batched_observation_matches_scalar_byte_for_byte() {
+        let g = g_a();
+        let model = IndependentModel::from_retrieval_probs(&g, &[0.3, 0.5]).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let ctxs: Vec<Context> = (0..500).map(|_| model.sample(&mut rng)).collect();
+        let mut scalar = Pib1::new(&g, Strategy::left_to_right(&g), root_swap(&g), 0.1).unwrap();
+        let mut batched = Pib1::new(&g, Strategy::left_to_right(&g), root_swap(&g), 0.1).unwrap();
+        // 500 = 7×64 + 52: the last batch is partial.
+        for chunk in ctxs.chunks(qpl_graph::batch::LANES) {
+            let mut b = ContextBatch::new(g.arc_count(), chunk.len());
+            for (lane, ctx) in chunk.iter().enumerate() {
+                scalar.observe(&g, ctx);
+                b.set_lane(lane, ctx);
+            }
+            batched.observe_batch(&g, &b);
+            assert_eq!(scalar.samples(), batched.samples());
+            assert_eq!(scalar.accumulated().to_bits(), batched.accumulated().to_bits());
+            assert_eq!(scalar.decision(), batched.decision());
+            assert_eq!(scalar.threshold().to_bits(), batched.threshold().to_bits());
+        }
     }
 
     #[test]

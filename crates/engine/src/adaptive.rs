@@ -16,8 +16,10 @@
 //!   from Equation 8's `m'(eᵢ)`, and "attempted to reach" counts even
 //!   runs that got blocked partway down `Π(e)`.
 
+use qpl_graph::batch::{execute_batch, lanes_from, BatchRun, ContextBatch};
 use qpl_graph::context::{execute_into, ArcOutcome, Context, RunScratch, Trace};
 use qpl_graph::graph::{ArcId, ArcKind, InferenceGraph, NodeId};
+use qpl_graph::program::StrategyProgram;
 use qpl_graph::strategy::Strategy;
 use qpl_stats::BernoulliEstimator;
 use std::collections::HashMap;
@@ -79,6 +81,10 @@ pub struct AdaptiveQp {
     /// re-validating) one per observed context would dominate the
     /// sampling loop, so they are memoized here.
     aim_cache: HashMap<ArcId, Strategy>,
+    /// Compiled aiming programs, memoized alongside the strategies: the
+    /// batched path re-aims (and would otherwise recompile) every time a
+    /// target's counter fills mid-batch.
+    aim_programs: HashMap<ArcId, StrategyProgram>,
     /// Root paths `Π(e)`, parallel to `stats`, filled on first use:
     /// `absorb_events` consults the path of every unreached target on
     /// every run, and `root_path` allocates a fresh `Vec` per call —
@@ -104,6 +110,7 @@ impl AdaptiveQp {
                 .collect(),
             runs: 0,
             aim_cache: HashMap::new(),
+            aim_programs: HashMap::new(),
             path_cache: vec![None; needed.len()],
         }
     }
@@ -120,6 +127,7 @@ impl AdaptiveQp {
             stats,
             runs: 0,
             aim_cache: HashMap::new(),
+            aim_programs: HashMap::new(),
             path_cache,
         }
     }
@@ -263,6 +271,66 @@ impl AdaptiveQp {
         true
     }
 
+    /// Feeds a whole [`ContextBatch`] through the adaptive processor:
+    /// the current aiming strategy runs as a compiled program over every
+    /// undrained lane at once, then the lanes absorb in order through
+    /// the plane-form counter update ([`absorb_batch_lane`]
+    /// (Self::absorb_batch_lane)) — byte-identical statistics to feeding
+    /// the lanes to [`observe`](Self::observe) one at a time. Whenever a
+    /// counter fills and the aim changes mid-batch, the remaining lanes
+    /// re-run under the new target's program. Returns the number of
+    /// lanes consumed: sampling can complete mid-batch, in which case
+    /// the rest of the batch is untouched (exactly as a scalar driver
+    /// would stop feeding once `observe` returns `None`).
+    pub fn observe_batch(&mut self, g: &InferenceGraph, batch: &ContextBatch) -> u64 {
+        let lanes = batch.lanes();
+        let mut lane = 0usize;
+        let mut consumed = 0u64;
+        let mut run = BatchRun::new();
+        while lane < lanes {
+            let Some(target) = self.next_target() else { break };
+            if !self.aim_programs.contains_key(&target) {
+                let strategy = self
+                    .aim_cache
+                    .entry(target)
+                    .or_insert_with(|| Self::aiming_strategy(g, target));
+                match StrategyProgram::compile(g, strategy) {
+                    Ok(p) => {
+                        self.aim_programs.insert(target, p);
+                    }
+                    Err(_) => {
+                        // Non-tree graph: no aiming strategy compiles, so
+                        // drain everything through the interpreter.
+                        let mut ctx = Context::all_open(g);
+                        let mut scratch = RunScratch::new(g);
+                        while lane < lanes {
+                            batch.extract_lane(lane, &mut ctx);
+                            if !self.observe_into(g, &ctx, &mut scratch) {
+                                break;
+                            }
+                            lane += 1;
+                            consumed += 1;
+                        }
+                        return consumed;
+                    }
+                }
+            }
+            let prog = &self.aim_programs[&target];
+            execute_batch(prog, batch, lanes_from(lane, lanes), &mut run);
+            while lane < lanes {
+                self.absorb_batch_lane(g, &run, lane);
+                lane += 1;
+                consumed += 1;
+                if self.next_target() != Some(target) {
+                    // Re-aim: the undrained suffix re-runs under the new
+                    // target's program (or sampling is complete).
+                    break;
+                }
+            }
+        }
+        consumed
+    }
+
     /// Updates counters from an arbitrary trace. For each target `e`:
     /// the run *attempted to reach* `e` iff it either attempted `e`
     /// itself, or followed `Π(e)` until some arc of it came up blocked.
@@ -295,6 +363,48 @@ impl AdaptiveQp {
                     let mut blocked_on_path = false;
                     for &b in path {
                         match outcome_in(events, b) {
+                            Some(ArcOutcome::Traversed) => continue,
+                            Some(ArcOutcome::Blocked) => {
+                                blocked_on_path = true;
+                                break;
+                            }
+                            None => break, // run went elsewhere: not an attempt
+                        }
+                    }
+                    if blocked_on_path {
+                        self.stats[idx].attempts += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Updates counters from lane `lane` of a batched run — the
+    /// plane-form twin of [`absorb_events`](Self::absorb_events):
+    /// [`BatchRun::outcome_in`] answers the same attempted/traversed
+    /// queries in O(1) that the scalar path answers by scanning the
+    /// event list, so the Definition-1 bookkeeping (including the
+    /// blocked-on-`Π(e)` walk) is identical.
+    pub fn absorb_batch_lane(&mut self, g: &InferenceGraph, run: &BatchRun, lane: usize) {
+        self.runs += 1;
+        for idx in 0..self.stats.len() {
+            let arc = self.stats[idx].arc;
+            match run.outcome_in(lane, arc) {
+                Some(outcome) => {
+                    let stat = &mut self.stats[idx];
+                    stat.attempts += 1;
+                    stat.reached += 1;
+                    if outcome == ArcOutcome::Traversed {
+                        stat.successes += 1;
+                    }
+                }
+                None => {
+                    // Did the run follow Π(e) maximally and get blocked?
+                    let path =
+                        self.path_cache[idx].get_or_insert_with(|| g.root_path(arc)).as_slice();
+                    let mut blocked_on_path = false;
+                    for &b in path {
+                        match run.outcome_in(lane, b) {
                             Some(ArcOutcome::Traversed) => continue,
                             Some(ArcOutcome::Blocked) => {
                                 blocked_on_path = true;
@@ -559,6 +669,51 @@ mod tests {
         let successes = dp_event.field("successes").unwrap();
         assert!(reached > 0.0 && successes <= reached);
         assert_eq!(dp_event.field("p_hat"), Some(successes / reached));
+    }
+
+    #[test]
+    fn batched_observation_matches_scalar_byte_for_byte() {
+        // Identical counter trajectories at every batch boundary, with
+        // counters filling (and the aim re-targeting) mid-batch, plus a
+        // mid-batch sampling-complete cut on the final batch.
+        let g = g_b();
+        let model = IndependentModel::from_retrieval_probs(&g, &[0.25, 0.5, 0.75, 0.4]).unwrap();
+        let mut scalar = AdaptiveQp::for_retrievals(&g, &[150, 90, 75, 120]);
+        let mut batched = AdaptiveQp::for_retrievals(&g, &[150, 90, 75, 120]);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut consumed_total = 0u64;
+        let mut guard = 0u32;
+        while !batched.done() {
+            let lanes = qpl_graph::batch::LANES;
+            let mut b = qpl_graph::batch::ContextBatch::new(g.arc_count(), lanes);
+            let mut ctxs = Vec::with_capacity(lanes);
+            for lane in 0..lanes {
+                let ctx = model.sample(&mut rng);
+                b.set_lane(lane, &ctx);
+                ctxs.push(ctx);
+            }
+            let consumed = batched.observe_batch(&g, &b);
+            consumed_total += consumed;
+            for ctx in ctxs.iter().take(consumed as usize) {
+                assert!(scalar.observe(&g, ctx).is_some());
+            }
+            assert_eq!(scalar.runs(), batched.runs());
+            assert_eq!(scalar.done(), batched.done());
+            assert_eq!(scalar.next_target(), batched.next_target());
+            for (a, b) in scalar.stats().iter().zip(batched.stats()) {
+                assert_eq!(
+                    (a.arc, a.attempts, a.reached, a.successes),
+                    (b.arc, b.attempts, b.reached, b.successes)
+                );
+            }
+            guard += 1;
+            assert!(guard < 10_000, "sampling failed to terminate");
+        }
+        assert_eq!(consumed_total, batched.runs());
+        // Once done, a batch consumes nothing.
+        let b = qpl_graph::batch::ContextBatch::new(g.arc_count(), 64);
+        assert_eq!(batched.observe_batch(&g, &b), 0);
+        assert!(scalar.observe(&g, &Context::all_open(&g)).is_none());
     }
 
     #[test]

@@ -68,14 +68,12 @@ pub fn context_fingerprint(ctx: &Context) -> u64 {
 
 /// A 64-bit fingerprint of a strategy: a fold over its arc sequence.
 /// Used to invalidate [`RunCache`] entries when PIB swaps strategies.
+///
+/// The hash now lives on the strategy itself, computed once and cached
+/// ([`Strategy::fingerprint`]); this wrapper survives for callers keyed
+/// to the old free-function spelling.
 pub fn strategy_fingerprint(s: &Strategy) -> u64 {
-    let mut h = 0x1000_0000_01b3u64;
-    for &a in s.arcs() {
-        let mut z = h ^ (a.index() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        h = z ^ (z >> 31);
-    }
-    h
+    s.fingerprint()
 }
 
 /// Tabled-answer stores shared across samples: one [`TableStore`] per
@@ -343,6 +341,24 @@ mod tests {
         cache.tables_for(&p.facts, 2);
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn strategy_fingerprint_is_stable_and_order_sensitive() {
+        let g = small_graph();
+        let strategies = qpl_graph::strategy::enumerate_all(&g, 100).unwrap();
+        assert!(strategies.len() > 1);
+        for (i, a) in strategies.iter().enumerate() {
+            // Clones carry the cached value; recomputation agrees.
+            assert_eq!(strategy_fingerprint(a), strategy_fingerprint(&a.clone()));
+            for b in &strategies[..i] {
+                assert_ne!(
+                    strategy_fingerprint(a),
+                    strategy_fingerprint(b),
+                    "distinct arc orders must not collide here"
+                );
+            }
+        }
     }
 
     #[test]

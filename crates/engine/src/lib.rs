@@ -43,7 +43,7 @@ pub use cache::{
 };
 pub use oracle::{ContextOracle, QueryMixOracle};
 pub use par::{
-    batch_fold, batch_fold_scratch, batch_fold_scratch_observed, par_map_indexed, sample_rng,
-    sample_seed, ParConfig,
+    batch_fold, batch_fold_blocks, batch_fold_blocks_observed, batch_fold_scratch,
+    batch_fold_scratch_observed, par_map_indexed, sample_rng, sample_seed, ParConfig,
 };
 pub use qp::{classify_context, QueryAnswer, QueryProcessor};

@@ -13,6 +13,7 @@
 //! exactly "a user posing queries relevant to his application".
 
 use qpl_datalog::{Atom, Database};
+use qpl_graph::batch::ContextBatch;
 use qpl_graph::compile::CompiledGraph;
 use qpl_graph::context::Context;
 use qpl_graph::expected::{ContextDistribution, FiniteDistribution};
@@ -25,11 +26,45 @@ use crate::qp::classify_context;
 pub trait ContextOracle {
     /// Draws the next context.
     fn draw(&mut self, rng: &mut dyn rand::RngCore) -> Context;
+
+    /// Draws the next context into a caller-owned buffer — the
+    /// allocation-free form of [`draw`](Self::draw) for per-sample hot
+    /// loops (mirrors `ContextDistribution::sample_into`).
+    fn draw_into(&mut self, rng: &mut dyn rand::RngCore, out: &mut Context) {
+        out.copy_from(&self.draw(rng));
+    }
+
+    /// Draws one context per RNG into the lanes of `out` — the batched
+    /// form of [`draw`](Self::draw) feeding the bit-parallel executor.
+    /// Lane `l` must consume exactly the randomness scalar draw `l`
+    /// would from `rngs[l]` (the engine hands each lane its per-sample
+    /// RNG, so batched and scalar learners see identical streams). The
+    /// caller pre-sizes `out`; overriders should fill lanes without
+    /// cloning contexts.
+    ///
+    /// # Panics
+    /// Panics if `rngs.len() != out.lanes()`.
+    fn draw_batch_into(&mut self, rngs: &mut [rand::rngs::StdRng], out: &mut ContextBatch) {
+        assert_eq!(rngs.len(), out.lanes(), "one RNG per batch lane");
+        for (lane, rng) in rngs.iter_mut().enumerate() {
+            let ctx = self.draw(rng);
+            out.set_lane(lane, &ctx);
+        }
+    }
 }
 
 impl<D: ContextDistribution> ContextOracle for D {
     fn draw(&mut self, rng: &mut dyn rand::RngCore) -> Context {
         self.sample(rng)
+    }
+
+    fn draw_into(&mut self, rng: &mut dyn rand::RngCore, out: &mut Context) {
+        self.sample_into(rng, out);
+    }
+
+    fn draw_batch_into(&mut self, rngs: &mut [rand::rngs::StdRng], out: &mut ContextBatch) {
+        // Distributions have allocation-free batched sampling built in.
+        self.sample_batch_into(rngs, out);
     }
 }
 
@@ -164,7 +199,24 @@ impl<'g> QueryMixOracle<'g> {
 impl ContextOracle for QueryMixOracle<'_> {
     fn draw(&mut self, rng: &mut dyn rand::RngCore) -> Context {
         let idx = self.draw_index(rng);
+        // Intentional clone: `draw` promises an owned context. Hot loops
+        // use `draw_into`/`draw_batch_into` or `context(draw_index(..))`.
         self.contexts[idx].clone()
+    }
+
+    fn draw_into(&mut self, rng: &mut dyn rand::RngCore, out: &mut Context) {
+        let idx = self.draw_index(rng);
+        out.copy_from(&self.contexts[idx]);
+    }
+
+    fn draw_batch_into(&mut self, rngs: &mut [rand::rngs::StdRng], out: &mut ContextBatch) {
+        assert_eq!(rngs.len(), out.lanes(), "one RNG per batch lane");
+        for (lane, rng) in rngs.iter_mut().enumerate() {
+            // Lanes borrow the precomputed classification directly — no
+            // per-draw clone, unlike the owned `draw` path.
+            let idx = self.draw_index(rng);
+            out.set_lane(lane, &self.contexts[idx]);
+        }
     }
 }
 
@@ -274,6 +326,47 @@ mod tests {
         assert!(oracle.refresh().unwrap(), "generation advanced: reclassified");
         assert!(!oracle.context(2).is_blocked(prof_arc));
         assert!(!oracle.refresh().unwrap(), "second refresh is a no-op");
+    }
+
+    #[test]
+    fn batched_draws_match_scalar_draws_lane_for_lane() {
+        use qpl_graph::batch::{ContextBatch, LANES};
+        let mut t = SymbolTable::new();
+        let p = parse_program(FIGURE1, &mut t).unwrap();
+        let qf = parse_query_form("instructor(b)", &mut t).unwrap();
+        let cg = compile(&p.rules, &qf, &t, &CompileOptions::default()).unwrap();
+        let mut oracle = mix(&mut t, &cg, p.facts.clone());
+        let mut rngs: Vec<StdRng> =
+            (0..LANES as u64).map(|l| StdRng::seed_from_u64(40 + l)).collect();
+        let mut batch = ContextBatch::new(cg.graph.arc_count(), LANES);
+        oracle.draw_batch_into(&mut rngs, &mut batch);
+        let mut lane_ctx = Context::all_open(&cg.graph);
+        for lane in 0..LANES {
+            let mut rng = StdRng::seed_from_u64(40 + lane as u64);
+            let scalar = oracle.draw(&mut rng);
+            batch.extract_lane(lane, &mut lane_ctx);
+            assert_eq!(lane_ctx, scalar, "lane {lane}");
+        }
+        // The blanket (distribution) impl delegates to batched sampling.
+        let mut model =
+            qpl_graph::IndependentModel::from_retrieval_probs(&cg.graph, &[0.5, 0.5]).unwrap();
+        let mut rngs: Vec<StdRng> =
+            (0..LANES as u64).map(|l| StdRng::seed_from_u64(80 + l)).collect();
+        oracle_draw_batch(&mut model, &mut rngs, &mut batch);
+        for lane in 0..LANES {
+            let mut rng = StdRng::seed_from_u64(80 + lane as u64);
+            let scalar = ContextOracle::draw(&mut model, &mut rng);
+            batch.extract_lane(lane, &mut lane_ctx);
+            assert_eq!(lane_ctx, scalar, "lane {lane}");
+        }
+    }
+
+    fn oracle_draw_batch<O: ContextOracle>(
+        o: &mut O,
+        rngs: &mut [StdRng],
+        out: &mut qpl_graph::batch::ContextBatch,
+    ) {
+        o.draw_batch_into(rngs, out);
     }
 
     #[test]

@@ -167,6 +167,113 @@ where
     out
 }
 
+/// [`batch_fold_scratch`] at **block granularity**: `step` receives each
+/// block's whole sample-index range (`lo..hi`) instead of one index at a
+/// time, so a step can process the block as a unit — the shape the
+/// bit-parallel batch executor wants, where one block (the default block
+/// size is 64 = one `u64` of lanes) becomes one `ContextBatch` filled
+/// from [`sample_rng`]`(seed, i)` per lane and executed in a single
+/// sweep.
+///
+/// The blocking, claiming, and block-ordered merge are identical to
+/// [`batch_fold_scratch`]; a step that folds its range one index at a
+/// time is bit-identical to the per-sample API, and worker-count
+/// invariance holds under the same scratch contract.
+///
+/// # Panics
+/// Propagates panics from worker closures.
+pub fn batch_fold_blocks<A, S, MkA, MkS, St, Mg>(
+    n: usize,
+    cfg: &ParConfig,
+    make: MkA,
+    make_scratch: MkS,
+    step: St,
+    merge: Mg,
+) -> A
+where
+    A: Send,
+    MkA: Fn() -> A + Sync,
+    MkS: Fn() -> S + Sync,
+    St: Fn(&mut A, &mut S, std::ops::Range<usize>) + Sync,
+    Mg: Fn(&mut A, A),
+{
+    let block = cfg.block.max(1);
+    let fold_block = |scratch: &mut S, b: usize| {
+        let mut acc = make();
+        step(&mut acc, scratch, (b * block)..((b + 1) * block).min(n));
+        (b, acc)
+    };
+    let n_blocks = n.div_ceil(block);
+    let mut partials = run_blocks_scratch(n_blocks, cfg.workers, &make_scratch, &fold_block);
+    partials.sort_by_key(|(b, _)| *b);
+    let mut out = make();
+    for (_, part) in partials {
+        merge(&mut out, part);
+    }
+    out
+}
+
+/// [`batch_fold_blocks`] with the same telemetry as
+/// [`batch_fold_scratch_observed`]: an `engine.par.batch_fold` span,
+/// batch/sample/block counters, and per-worker throughput events.
+///
+/// # Panics
+/// Propagates panics from worker closures.
+pub fn batch_fold_blocks_observed<A, S, MkA, MkS, St, Mg>(
+    n: usize,
+    cfg: &ParConfig,
+    make: MkA,
+    make_scratch: MkS,
+    step: St,
+    merge: Mg,
+    sink: &mut dyn qpl_obs::MetricsSink,
+) -> A
+where
+    A: Send,
+    MkA: Fn() -> A + Sync,
+    MkS: Fn() -> S + Sync,
+    St: Fn(&mut A, &mut S, std::ops::Range<usize>) + Sync,
+    Mg: Fn(&mut A, A),
+{
+    let timer = qpl_obs::SpanTimer::start(sink, "engine.par.batch_fold");
+    let enabled = sink.enabled();
+    let block = cfg.block.max(1);
+    let fold_block = |scratch: &mut S, b: usize| {
+        let mut acc = make();
+        let lo = b * block;
+        let hi = ((b + 1) * block).min(n);
+        step(&mut acc, scratch, lo..hi);
+        ((b, acc), (hi - lo) as u64)
+    };
+    let n_blocks = n.div_ceil(block);
+    let (mut partials, tallies) =
+        run_blocks_weighted(n_blocks, cfg.workers, &make_scratch, &fold_block, enabled);
+    partials.sort_by_key(|(b, _)| *b);
+    let mut out = make();
+    for (_, part) in partials {
+        merge(&mut out, part);
+    }
+    timer.finish(sink);
+    sink.counter("engine.par.batches", 1);
+    sink.counter("engine.par.samples", n as u64);
+    sink.counter("engine.par.blocks", n_blocks as u64);
+    if enabled {
+        sink.counter("engine.par.workers_used", tallies.len() as u64);
+        for (w, t) in tallies.iter().enumerate() {
+            sink.event(
+                "engine.par.worker",
+                &[
+                    ("worker", w as f64),
+                    ("blocks", t.blocks as f64),
+                    ("samples", t.samples as f64),
+                    ("busy_ns", t.busy_ns as f64),
+                ],
+            );
+        }
+    }
+    out
+}
+
 /// [`batch_fold_scratch`] with telemetry: the identical fold (same
 /// blocks, same merge order, bit-identical accumulator for any worker
 /// count — property-tested against the unobserved variant), wrapped in
@@ -528,6 +635,72 @@ mod tests {
             assert_eq!(blocks, 9, "W={workers}");
             assert_eq!(samples, 130, "W={workers}");
         }
+    }
+
+    #[test]
+    fn block_fold_matches_per_sample_fold_bitwise() {
+        // The block-granular API folding its range index-by-index must be
+        // bit-identical to the per-sample API, for every worker count.
+        let (base_sum, base_count) = fold_sums(1000, 1, 64);
+        for workers in [1, 2, 4, 8] {
+            let cfg = ParConfig { workers, block: 64 };
+            let (sum, count) = batch_fold_blocks(
+                1000,
+                &cfg,
+                || (0.0f64, 0u64),
+                || (),
+                |acc, (), range| {
+                    for i in range {
+                        let mut rng = sample_rng(42, i as u64);
+                        acc.0 += rng.gen::<f64>();
+                        acc.1 += 1;
+                    }
+                },
+                |acc, part| {
+                    acc.0 += part.0;
+                    acc.1 += part.1;
+                },
+            );
+            assert_eq!(count, base_count);
+            assert_eq!(sum.to_bits(), base_sum.to_bits(), "W={workers}");
+            let mut sink = qpl_obs::MemorySink::new();
+            let (sum, count) = batch_fold_blocks_observed(
+                1000,
+                &cfg,
+                || (0.0f64, 0u64),
+                || (),
+                |acc, (), range| {
+                    for i in range {
+                        let mut rng = sample_rng(42, i as u64);
+                        acc.0 += rng.gen::<f64>();
+                        acc.1 += 1;
+                    }
+                },
+                |acc, part| {
+                    acc.0 += part.0;
+                    acc.1 += part.1;
+                },
+                &mut sink,
+            );
+            assert_eq!(count, base_count);
+            assert_eq!(sum.to_bits(), base_sum.to_bits(), "W={workers} observed");
+            assert_eq!(sink.counter_total("engine.par.samples"), 1000);
+            assert_eq!(sink.counter_total("engine.par.blocks"), 16);
+        }
+    }
+
+    #[test]
+    fn block_fold_ranges_partition_the_stream() {
+        let cfg = ParConfig { workers: 4, block: 64 };
+        let ranges = batch_fold_blocks(
+            130,
+            &cfg,
+            Vec::new,
+            || (),
+            |acc: &mut Vec<(usize, usize)>, (), range| acc.push((range.start, range.end)),
+            |acc, part| acc.extend(part),
+        );
+        assert_eq!(ranges, vec![(0, 64), (64, 128), (128, 130)]);
     }
 
     #[test]

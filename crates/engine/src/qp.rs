@@ -8,12 +8,13 @@
 //! executes the graph-level strategy in that class and reports the
 //! answer, cost, and trace.
 
-use crate::cache::{strategy_fingerprint, RunCache};
+use crate::cache::RunCache;
 use qpl_datalog::{Atom, Database, Substitution, Symbol, Term, Var};
 use qpl_graph::compile::{ArcBinding, CompiledGraph, Guard, PatternTerm};
 use qpl_graph::context::{
     execute_partial_into, execute_probe_into, Context, RunOutcome, RunScratch, Trace,
 };
+use qpl_graph::program::{execute_program_partial_into, StrategyProgram};
 use qpl_graph::strategy::Strategy;
 use qpl_graph::{ArcId, GraphError};
 
@@ -135,12 +136,18 @@ pub struct QueryRun {
 pub struct QueryProcessor<'g> {
     compiled: &'g CompiledGraph,
     strategy: Strategy,
+    /// Jump-threaded fast path, compiled once per strategy. `None` when
+    /// the strategy does not lower (relaxed partial sequences, non-tree
+    /// graphs) — execution then falls back to the interpreter, with
+    /// identical results either way.
+    program: Option<StrategyProgram>,
 }
 
 impl<'g> QueryProcessor<'g> {
     /// Creates a processor with the given strategy.
     pub fn new(compiled: &'g CompiledGraph, strategy: Strategy) -> Self {
-        Self { compiled, strategy }
+        let program = StrategyProgram::compile(&compiled.graph, &strategy).ok();
+        Self { compiled, strategy, program }
     }
 
     /// Creates a processor with the depth-first left-to-right strategy.
@@ -153,8 +160,16 @@ impl<'g> QueryProcessor<'g> {
         &self.strategy
     }
 
-    /// Replaces the strategy (PIB's hill-climbing step).
+    /// The compiled jump-threaded program backing
+    /// [`run_into`](Self::run_into), when the strategy lowers.
+    pub fn program(&self) -> Option<&StrategyProgram> {
+        self.program.as_ref()
+    }
+
+    /// Replaces the strategy (PIB's hill-climbing step) and recompiles
+    /// the program fast path.
     pub fn set_strategy(&mut self, strategy: Strategy) {
+        self.program = StrategyProgram::compile(&self.compiled.graph, &strategy).ok();
         self.strategy = strategy;
     }
 
@@ -188,7 +203,10 @@ impl<'g> QueryProcessor<'g> {
         scratch: &mut RunScratch,
     ) -> Result<QueryAnswer, GraphError> {
         classify_context_into(self.compiled, query, db, scratch.partial_mut())?;
-        let outcome = execute_partial_into(&self.compiled.graph, &self.strategy, scratch);
+        let outcome = match &self.program {
+            Some(p) => execute_program_partial_into(p, scratch),
+            None => execute_partial_into(&self.compiled.graph, &self.strategy, scratch),
+        };
         Ok(match outcome {
             RunOutcome::Succeeded(arc) => QueryAnswer::Yes(self.witness(arc, query, db)),
             RunOutcome::Exhausted => QueryAnswer::No,
@@ -322,12 +340,19 @@ impl<'g> QueryProcessor<'g> {
             ));
         }
         let key = self.compiled.form.bound_constants(query);
-        cache.revalidate(db.generation(), strategy_fingerprint(&self.strategy));
+        // The fingerprint is cached on the strategy, so revalidation no
+        // longer re-hashes the arc vector on every cached run.
+        cache.revalidate(db.generation(), self.strategy.fingerprint());
         if let Some((answer, cost)) = cache.get(&key) {
+            // Intentional clone: the memoized answer stays owned by the
+            // cache; handing out a borrow would pin the cache for the
+            // caller's whole use of the result.
             return Ok((answer.clone(), *cost));
         }
         let answer = self.run_into(query, db, scratch)?;
         let cost = scratch.cost();
+        // Intentional clone: one per cache *miss* (amortized away by the
+        // hits the memo exists for).
         cache.insert(key, answer.clone(), cost);
         Ok((answer, cost))
     }

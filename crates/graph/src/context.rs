@@ -22,7 +22,7 @@ use crate::graph::{ArcId, InferenceGraph};
 /// A context equivalence class: the set of blocked arcs (Note 2).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Context {
-    blocked: Vec<bool>,
+    pub(crate) blocked: Vec<bool>,
 }
 
 impl Context {
@@ -178,11 +178,11 @@ impl Trace {
 /// thin wrapper over [`execute_into`].
 #[derive(Debug, Clone)]
 pub struct RunScratch {
-    reached: Vec<bool>,
-    events: Vec<(ArcId, ArcOutcome)>,
-    cost: f64,
-    outcome: RunOutcome,
-    partial: Context,
+    pub(crate) reached: Vec<bool>,
+    pub(crate) events: Vec<(ArcId, ArcOutcome)>,
+    pub(crate) cost: f64,
+    pub(crate) outcome: RunOutcome,
+    pub(crate) partial: Context,
 }
 
 impl RunScratch {
@@ -212,6 +212,18 @@ impl RunScratch {
     fn begin_partial(&mut self, g: &InferenceGraph) {
         self.partial.blocked.clear();
         self.partial.blocked.resize(g.arc_count(), false);
+    }
+
+    /// Clears the run state for a program execution (same reset as
+    /// [`begin`](Self::begin), but sized from program metadata so the
+    /// executor needs no graph reference).
+    pub(crate) fn begin_sized(&mut self, node_count: usize, root: usize) {
+        self.reached.clear();
+        self.reached.resize(node_count, false);
+        self.reached[root] = true;
+        self.events.clear();
+        self.cost = 0.0;
+        self.outcome = RunOutcome::Exhausted;
     }
 
     /// Events of the most recent run, in attempt order.

@@ -16,6 +16,7 @@
 //! Both implement [`ContextDistribution`], the oracle interface PIB and
 //! PAO sample from.
 
+use crate::batch::ContextBatch;
 use crate::context::{cost, Context};
 use crate::error::GraphError;
 use crate::graph::{ArcId, ArcKind, InferenceGraph, NodeId};
@@ -36,6 +37,30 @@ pub trait ContextDistribution {
     /// and implementations override it with an in-place fill.
     fn sample_into(&self, rng: &mut dyn rand::RngCore, out: &mut Context) {
         *out = self.sample(rng);
+    }
+
+    /// Fills one lane of `out` per RNG in `rngs` — the batched form of
+    /// [`sample_into`](Self::sample_into) feeding the bit-parallel
+    /// executor ([`crate::batch`]). Lane `l` must consume exactly the
+    /// randomness scalar sample `l` would from `rngs[l]`, so batched and
+    /// scalar learners see identical sample streams (the engine hands
+    /// each lane the per-sample-index RNG of its determinism harness).
+    /// The caller pre-sizes `out`; its lane count must equal
+    /// `rngs.len()`.
+    ///
+    /// The concrete [`rand::rngs::StdRng`] (rather than `dyn RngCore`)
+    /// keeps the trait dyn-compatible while matching what the harness
+    /// actually builds.
+    ///
+    /// # Panics
+    /// Panics if `rngs.len() != out.lanes()`.
+    fn sample_batch_into(&self, rngs: &mut [rand::rngs::StdRng], out: &mut ContextBatch) {
+        assert_eq!(rngs.len(), out.lanes(), "one RNG per batch lane");
+        let mut scratch = Context::from_raw(out.arc_count());
+        for (lane, rng) in rngs.iter_mut().enumerate() {
+            self.sample_into(rng, &mut scratch);
+            out.set_lane(lane, &scratch);
+        }
     }
 
     /// Exact expected cost `C[Θ]` of a strategy under this distribution.
@@ -61,15 +86,20 @@ impl FiniteDistribution {
     /// normalized.
     ///
     /// # Errors
-    /// [`GraphError::BadProbability`] if any weight is negative or the
-    /// total is zero/non-finite.
+    /// [`GraphError::BadProbability`] if any weight is negative, NaN, or
+    /// infinite, or if the total is zero (including the empty set) — a
+    /// broken cumulative table would otherwise silently mis-sample.
     pub fn new(items: Vec<(Context, f64)>) -> Result<Self, GraphError> {
-        let total: f64 = items.iter().map(|(_, w)| *w).sum();
-        if total <= 0.0 || total.is_nan() || !total.is_finite() {
-            return Err(GraphError::BadProbability(total));
-        }
+        // Per-item checks run *before* the total: a NaN or ±inf weight
+        // must be reported as itself, not as whatever it poisons the sum
+        // into, and two infinities can even sum to a NaN total.
         if let Some(&(_, w)) = items.iter().find(|(_, w)| *w < 0.0 || !w.is_finite()) {
             return Err(GraphError::BadProbability(w));
+        }
+        let total: f64 = items.iter().map(|(_, w)| *w).sum();
+        // `!is_finite` first: it is what catches a NaN total.
+        if !total.is_finite() || total <= 0.0 {
+            return Err(GraphError::BadProbability(total));
         }
         let items: Vec<(Context, f64)> = items.into_iter().map(|(c, w)| (c, w / total)).collect();
         let mut cumulative = Vec::with_capacity(items.len());
@@ -108,11 +138,22 @@ impl FiniteDistribution {
 
 impl ContextDistribution for FiniteDistribution {
     fn sample(&self, rng: &mut dyn rand::RngCore) -> Context {
+        // Intentional clone: `sample` promises an owned context; hot
+        // loops use `sample_into`/`sample_batch_into` instead.
         self.items[self.sample_index(rng)].0.clone()
     }
 
     fn sample_into(&self, rng: &mut dyn rand::RngCore, out: &mut Context) {
         out.copy_from(&self.items[self.sample_index(rng)].0);
+    }
+
+    fn sample_batch_into(&self, rngs: &mut [rand::rngs::StdRng], out: &mut ContextBatch) {
+        assert_eq!(rngs.len(), out.lanes(), "one RNG per batch lane");
+        for (lane, rng) in rngs.iter_mut().enumerate() {
+            // Borrow the drawn class directly into the lane — no scratch
+            // context, no clone.
+            out.set_lane(lane, &self.items[self.sample_index(rng)].0);
+        }
     }
 
     fn expected_cost(&self, g: &InferenceGraph, s: &Strategy) -> f64 {
@@ -276,6 +317,19 @@ impl ContextDistribution for IndependentModel {
         // `sample` consumes, so the two are interchangeable per sample.
         for (i, &p) in self.probs.iter().enumerate() {
             out.set_blocked(ArcId(i as u32), rng.gen::<f64>() >= p);
+        }
+    }
+
+    fn sample_batch_into(&self, rngs: &mut [rand::rngs::StdRng], out: &mut ContextBatch) {
+        assert_eq!(rngs.len(), out.lanes(), "one RNG per batch lane");
+        assert_eq!(out.arc_count(), self.probs.len(), "batch sized for a different graph");
+        // Lanes outer, arcs inner: lane `l` draws one uniform per arc in
+        // arc order from its own RNG — the exact stream `sample_into`
+        // consumes — so batched sampling is a pure layout change.
+        for (lane, rng) in rngs.iter_mut().enumerate() {
+            for (i, &p) in self.probs.iter().enumerate() {
+                out.set_blocked(lane, ArcId(i as u32), rng.gen::<f64>() >= p);
+            }
         }
     }
 
@@ -728,6 +782,108 @@ mod tests {
         assert!((dist.items()[0].1 - 0.75).abs() < 1e-12);
         assert!(FiniteDistribution::new(vec![]).is_err());
         assert!(FiniteDistribution::new(vec![(Context::all_open(&g), -1.0)]).is_err());
+    }
+
+    #[test]
+    fn finite_distribution_rejects_nan_weight() {
+        let g = g_a();
+        let err = FiniteDistribution::new(vec![
+            (Context::all_open(&g), 1.0),
+            (Context::all_blocked(&g), f64::NAN),
+        ])
+        .unwrap_err();
+        // The offending weight itself is reported, not the poisoned sum.
+        assert!(matches!(err, GraphError::BadProbability(w) if w.is_nan()));
+    }
+
+    #[test]
+    fn finite_distribution_rejects_negative_weight_even_with_positive_total() {
+        let g = g_a();
+        let err = FiniteDistribution::new(vec![
+            (Context::all_open(&g), 5.0),
+            (Context::all_blocked(&g), -1.0),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, GraphError::BadProbability(w) if w == -1.0));
+    }
+
+    #[test]
+    fn finite_distribution_rejects_zero_total() {
+        let g = g_a();
+        let err = FiniteDistribution::new(vec![
+            (Context::all_open(&g), 0.0),
+            (Context::all_blocked(&g), 0.0),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, GraphError::BadProbability(w) if w == 0.0));
+    }
+
+    #[test]
+    fn finite_distribution_rejects_infinite_weight() {
+        let g = g_a();
+        let err =
+            FiniteDistribution::new(vec![(Context::all_open(&g), f64::INFINITY)]).unwrap_err();
+        assert!(matches!(err, GraphError::BadProbability(w) if w.is_infinite()));
+        // Two opposite infinities would previously slip a NaN total
+        // through as the reported value; now the first item is blamed.
+        let err = FiniteDistribution::new(vec![
+            (Context::all_open(&g), f64::INFINITY),
+            (Context::all_blocked(&g), f64::NEG_INFINITY),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, GraphError::BadProbability(w) if w.is_infinite()));
+    }
+
+    #[test]
+    fn sample_index_stays_in_bounds_on_extreme_draws() {
+        // Degenerate-but-legal weights (one class carrying everything)
+        // must still index within bounds for any uniform draw.
+        let g = g_a();
+        let dist = FiniteDistribution::new(vec![
+            (Context::all_open(&g), 1.0),
+            (Context::all_blocked(&g), 0.0),
+        ])
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert!(dist.sample_index(&mut rng) < dist.items().len());
+        }
+    }
+
+    #[test]
+    fn batched_sampling_matches_scalar_lane_for_lane() {
+        use crate::batch::{ContextBatch, LANES};
+        let g = g_b();
+        let finite = section2_like(&g);
+        let independent = IndependentModel::uniform(&g, 0.4).unwrap();
+        let dists: [&dyn ContextDistribution; 2] = [&finite, &independent];
+        for (d_idx, dist) in dists.iter().enumerate() {
+            let mut rngs: Vec<StdRng> =
+                (0..LANES as u64).map(|l| StdRng::seed_from_u64(900 + l)).collect();
+            let mut batch = ContextBatch::new(g.arc_count(), LANES);
+            dist.sample_batch_into(&mut rngs, &mut batch);
+            let mut lane_ctx = Context::all_open(&g);
+            let mut scalar_ctx = Context::all_open(&g);
+            for lane in 0..LANES {
+                // Same per-lane seed ⇒ same randomness stream ⇒ the
+                // batched lane must equal the scalar draw exactly.
+                let mut rng = StdRng::seed_from_u64(900 + lane as u64);
+                dist.sample_into(&mut rng, &mut scalar_ctx);
+                batch.extract_lane(lane, &mut lane_ctx);
+                assert_eq!(lane_ctx, scalar_ctx, "dist {d_idx} lane {lane}");
+            }
+        }
+    }
+
+    fn section2_like(g: &InferenceGraph) -> FiniteDistribution {
+        let da = g.arc_by_label("D_a").unwrap();
+        let db = g.arc_by_label("D_b").unwrap();
+        FiniteDistribution::new(vec![
+            (Context::with_blocked(g, &[da]), 0.5),
+            (Context::with_blocked(g, &[db]), 0.3),
+            (Context::all_blocked(g), 0.2),
+        ])
+        .unwrap()
     }
 
     proptest::proptest! {

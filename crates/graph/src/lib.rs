@@ -20,6 +20,10 @@
 //!   evaluation (the inner loop of hill-climbing over `T(Θ)`).
 //! * [`pessimistic`] — the "assume unexplored arcs are blocked"
 //!   completion underlying PIB's `Δ̃` under-estimates.
+//! * [`program`] — strategies compiled to flat jump-threaded instruction
+//!   arrays: single-context execution as pure index arithmetic.
+//! * [`batch`] — bit-parallel execution of a compiled program over 64
+//!   contexts at once (one blocked-bitplane per arc).
 //! * [`compile`] — compilation of a Datalog rule base + query form into
 //!   an inference graph, with the per-arc bindings the engine needs to
 //!   decide blocked-status against a real database.
@@ -31,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod andor_compile;
+pub mod batch;
 pub mod compile;
 pub mod context;
 pub mod error;
@@ -39,12 +44,20 @@ pub mod graph;
 pub mod hypergraph;
 pub mod incremental;
 pub mod pessimistic;
+pub mod program;
 pub mod strategy;
+#[cfg(test)]
+pub(crate) mod testgen;
 
+pub use batch::{execute_batch, execute_batch_observed, lanes_from, BatchRun, ContextBatch, LANES};
 pub use context::{ArcOutcome, Context, RunOutcome, RunScratch, Trace};
 pub use error::GraphError;
 pub use expected::{ContextDistribution, FiniteDistribution, IndependentModel};
 pub use graph::{ArcData, ArcId, ArcKind, GraphBuilder, InferenceGraph, NodeData, NodeId};
 pub use incremental::CostEvaluator;
 pub use pessimistic::pessimistic_completion;
+pub use program::{
+    execute_program_into, execute_program_partial_into, program_cost_into, Instr, StrategyProgram,
+    NO_INDEX,
+};
 pub use strategy::Strategy;

@@ -17,12 +17,37 @@ use crate::error::GraphError;
 use crate::graph::{ArcId, ArcKind, InferenceGraph, NodeId};
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::OnceLock;
 
 /// A validated query-processing strategy: a path-form ordering of every
 /// arc in the graph.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// The arc sequence is immutable after construction; the fingerprint is
+/// computed lazily once and cached (see [`Strategy::fingerprint`]).
+#[derive(Debug, Clone)]
 pub struct Strategy {
     arcs: Vec<ArcId>,
+    /// Cached [`fingerprint`](Self::fingerprint). `OnceLock` rather than
+    /// a plain field so construction stays infallible-cheap and clones
+    /// carry the cache along.
+    fingerprint: OnceLock<u64>,
+}
+
+// Identity is the arc sequence alone — the cached fingerprint is derived
+// state and must not affect equality or hashing.
+impl PartialEq for Strategy {
+    fn eq(&self, other: &Self) -> bool {
+        self.arcs == other.arcs
+    }
+}
+
+impl Eq for Strategy {}
+
+impl Hash for Strategy {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.arcs.hash(state);
+    }
 }
 
 impl Strategy {
@@ -54,9 +79,14 @@ impl Strategy {
             }
             seen[a.index()] = true;
         }
-        let s = Self { arcs };
+        let s = Self::from_vec(arcs);
         s.decompose(g)?;
         Ok(s)
+    }
+
+    /// Internal constructor from an already-validated arc vector.
+    fn from_vec(arcs: Vec<ArcId>) -> Self {
+        Self { arcs, fingerprint: OnceLock::new() }
     }
 
     /// The canonical depth-first left-to-right strategy (e.g. the paper's
@@ -139,12 +169,31 @@ impl Strategy {
             }
             targeted[g.arc(a).to.index()] = true;
         }
-        Ok(Self { arcs })
+        Ok(Self::from_vec(arcs))
     }
 
     /// The arc sequence.
     pub fn arcs(&self) -> &[ArcId] {
         &self.arcs
+    }
+
+    /// Order-sensitive 64-bit fingerprint of the arc sequence, computed
+    /// once and cached (the sequence is immutable after construction).
+    /// Used by the engine's `RunCache` validity stamp and by
+    /// [`crate::program::StrategyProgram`] to tie a compiled program to
+    /// its source strategy without re-hashing the arc vector per run.
+    pub fn fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| {
+            // FNV offset basis seeded, splitmix-style mixing per arc;
+            // position-sensitive because the running hash feeds the mix.
+            let mut h = 0x1000_0000_01b3u64;
+            for &a in &self.arcs {
+                let mut z = h ^ (a.index() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                h = z ^ (z >> 31);
+            }
+            h
+        })
     }
 
     /// Position of `a` in the sequence, if present.
@@ -316,7 +365,7 @@ pub fn enumerate_all(g: &InferenceGraph, limit: usize) -> Option<Vec<Strategy>> 
             if out.len() >= limit {
                 return false;
             }
-            out.push(Strategy { arcs: seq.clone() });
+            out.push(Strategy::from_vec(seq.clone()));
             return true;
         }
         for path in paths_from(g, visited, used) {

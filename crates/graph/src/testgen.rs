@@ -1,0 +1,109 @@
+//! Deterministic test-input generators shared by the crate's unit and
+//! property tests: LCG-driven random trees, path-form strategies, and
+//! contexts. No `rand` dependency — proptest drives the seeds, the LCG
+//! makes each seed reproducible in isolation.
+
+use crate::context::Context;
+use crate::graph::{ArcKind, GraphBuilder, InferenceGraph, NodeId};
+use crate::strategy::Strategy;
+
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Generates a random valid inference tree (depth ≤ 6, ≤ 3 children per
+/// node, costs in 1..=4) together with independent per-arc open
+/// probabilities. Same construction as the generator used by the
+/// `expected` module's tests.
+pub(crate) fn lcg_tree(seed: u64) -> (InferenceGraph, Vec<f64>) {
+    fn grow(b: &mut GraphBuilder, node: NodeId, state: &mut u64, depth: usize, label: &mut u32) {
+        let kids = if depth >= 5 { 0 } else { next(state) % 3 };
+        if kids == 0 {
+            b.retrieval(node, &format!("D{}", *label), (1 + next(state) % 4) as f64);
+            *label += 1;
+            return;
+        }
+        for _ in 0..kids {
+            let (_, child) =
+                b.reduction(node, &format!("R{}", *label), (1 + next(state) % 4) as f64, "goal");
+            *label += 1;
+            grow(b, child, state, depth + 1, label);
+        }
+    }
+    let mut state = seed.wrapping_mul(2).wrapping_add(1);
+    let mut b = GraphBuilder::new("root");
+    let root = b.root();
+    let mut label = 0;
+    for _ in 0..1 + next(&mut state) % 3 {
+        let (_, child) =
+            b.reduction(root, &format!("R{label}"), (1 + next(&mut state) % 4) as f64, "goal");
+        label += 1;
+        grow(&mut b, child, &mut state, 1, &mut label);
+    }
+    let g = b.finish().expect("LCG tree is valid");
+    let probs: Vec<f64> = g.arc_ids().map(|_| (next(&mut state) % 1000) as f64 / 999.0).collect();
+    (g, probs)
+}
+
+/// Generates a random *complete* path-form strategy for `g`: repeatedly
+/// picks a random unattempted arc out of an already-visited node as a
+/// path head, then descends (random child at each reduction) until a
+/// retrieval ends the path — exactly the move set `Strategy::from_arcs`
+/// validates, so every output is a valid full strategy.
+pub(crate) fn lcg_strategy(g: &InferenceGraph, seed: u64) -> Strategy {
+    let mut state = seed.wrapping_mul(2).wrapping_add(1);
+    let mut visited = vec![false; g.node_count()];
+    visited[g.root().index()] = true;
+    let mut used = vec![false; g.arc_count()];
+    let mut arcs = Vec::with_capacity(g.arc_count());
+    loop {
+        let heads: Vec<_> =
+            g.arc_ids().filter(|&a| !used[a.index()] && visited[g.arc(a).from.index()]).collect();
+        if heads.is_empty() {
+            break;
+        }
+        let mut a = heads[(next(&mut state) as usize) % heads.len()];
+        loop {
+            used[a.index()] = true;
+            arcs.push(a);
+            let data = g.arc(a);
+            visited[data.to.index()] = true;
+            if data.kind == ArcKind::Retrieval {
+                break;
+            }
+            // Reduction target in a tree is freshly visited, so all its
+            // children are unused; pick one to continue the path.
+            let kids = g.children(data.to);
+            a = kids[(next(&mut state) as usize) % kids.len()];
+        }
+    }
+    Strategy::from_arcs(g, arcs).expect("generated move sequence is a valid strategy")
+}
+
+/// Generates a random context for `g` (each arc independently blocked
+/// with probability ~1/2).
+pub(crate) fn lcg_context(g: &InferenceGraph, seed: u64) -> Context {
+    let mut state = seed.wrapping_mul(2).wrapping_add(1);
+    Context::from_fn(g, |_| next(&mut state).is_multiple_of(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_and_valid() {
+        for seed in 0..50 {
+            let (g, probs) = lcg_tree(seed);
+            assert!(g.is_tree());
+            assert_eq!(probs.len(), g.arc_count());
+            let s = lcg_strategy(&g, seed);
+            assert_eq!(s.arcs().len(), g.arc_count(), "strategy is complete");
+            let (g2, _) = lcg_tree(seed);
+            assert_eq!(g2.arc_count(), g.arc_count());
+            assert_eq!(lcg_strategy(&g2, seed).arcs(), s.arcs());
+            assert_eq!(lcg_context(&g, seed), lcg_context(&g2, seed));
+        }
+    }
+}
