@@ -1,0 +1,218 @@
+//! Load-tests the `qpl-serve` front door end to end and emits
+//! `BENCH_serve.json`.
+//!
+//! ```text
+//! bench_serve [--out BENCH_serve.json] [--threads N] [--rounds N]
+//!             [--batch N] [--adapt DELTA] [--assert-qps N]
+//! ```
+//!
+//! A real [`Server`] is started on an ephemeral port (layered-KB shape,
+//! online PIB adaptation on by default); `--threads` client threads
+//! each send `--rounds` batch requests of `--batch` queries over real
+//! TCP sockets and check every served answer against ground truth
+//! precomputed with a direct scalar [`QueryProcessor`] run. Accounting
+//! is strict: every request must come back as either a served `answers`
+//! payload or an explicit `overloaded` refusal — a dropped request is a
+//! benchmark failure, not a footnote. Throughput counts *served*
+//! queries only, over the whole client wall time (connection setup and
+//! response verification included), so the reported number is what a
+//! client actually observes, not a server-side flattering cut.
+//! `--assert-qps` turns the report into a pass/fail gate for CI.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::num::NonZeroUsize;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use qpl_engine::QueryProcessor;
+use qpl_graph::context::RunScratch;
+use qpl_serve::wire::JsonValue;
+use qpl_serve::{ServeEngine, Server, ServerConfig};
+use qpl_workload::generator::KbParams;
+
+const SEED: u64 = 7;
+
+struct Args {
+    out: String,
+    threads: usize,
+    rounds: usize,
+    batch: usize,
+    adapt: Option<f64>,
+    assert_qps: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let get =
+        |flag: &str| argv.iter().position(|a| a == flag).and_then(|p| argv.get(p + 1)).cloned();
+    Args {
+        out: get("--out").unwrap_or_else(|| "BENCH_serve.json".to_string()),
+        threads: get("--threads").map_or(8, |v| v.parse().expect("--threads takes a count")),
+        rounds: get("--rounds").map_or(200, |v| v.parse().expect("--rounds takes a count")),
+        batch: get("--batch").map_or(32, |v| v.parse().expect("--batch takes a lane count")),
+        adapt: match get("--adapt") {
+            Some(v) if v == "off" => None,
+            Some(v) => Some(v.parse().expect("--adapt takes a delta or `off`")),
+            None => Some(0.1),
+        },
+        assert_qps: get("--assert-qps").map(|v| v.parse().expect("--assert-qps takes a rate")),
+    }
+}
+
+/// Ground truth per query text, from a direct scalar run: "yes" / "no".
+/// Decisions are strategy-invariant, so they stay valid while the
+/// server adapts its strategy online.
+fn expected_kinds(texts: &[String]) -> Vec<&'static str> {
+    let mut engine = ServeEngine::layered(SEED, &KbParams::default());
+    let qp = QueryProcessor::left_to_right(&engine.compiled);
+    let mut scratch = RunScratch::new(&engine.compiled.graph);
+    texts
+        .iter()
+        .map(|t| {
+            let atom =
+                qpl_datalog::parser::parse_query(t, &mut engine.table).expect("query parses");
+            match qp.run_into(&atom, &engine.db, &mut scratch).expect("query runs") {
+                qpl_engine::QueryAnswer::Yes(_) => "yes",
+                qpl_engine::QueryAnswer::No => "no",
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let args = parse_args();
+    let params = KbParams::default();
+    let texts: Vec<String> =
+        (0..args.batch).map(|i| format!("q0(c{})", i % params.constants)).collect();
+    let expected = expected_kinds(&texts);
+
+    let server = Server::start(
+        ServeEngine::layered(SEED, &params),
+        ServerConfig { queue_cap: 4096, adapt_delta: args.adapt, ..ServerConfig::default() },
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    let req = format!(
+        r#"{{"kind":"batch","qs":[{}]}}"#,
+        texts.iter().map(|t| format!("\"{t}\"")).collect::<Vec<_>>().join(",")
+    );
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..args.threads)
+        .map(|_| {
+            let req = req.clone();
+            let expected = expected.clone();
+            let rounds = args.rounds;
+            thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).expect("nodelay");
+                stream.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut line = String::new();
+                let (mut served, mut shed) = (0u64, 0u64);
+                for _ in 0..rounds {
+                    stream.write_all(req.as_bytes()).expect("send");
+                    stream.write_all(b"\n").expect("send");
+                    line.clear();
+                    reader.read_line(&mut line).expect("response");
+                    let resp = JsonValue::parse(&line).expect("response is valid JSON");
+                    match resp.get("kind").and_then(JsonValue::as_str) {
+                        Some("answers") => {
+                            let results = resp
+                                .get("results")
+                                .and_then(JsonValue::as_array)
+                                .expect("answers carries results");
+                            assert_eq!(results.len(), expected.len(), "one result per lane");
+                            for (r, exp) in results.iter().zip(&expected) {
+                                let got = r
+                                    .get("answer")
+                                    .and_then(JsonValue::as_str)
+                                    .expect("served lanes carry an answer");
+                                assert_eq!(got, *exp, "served answer matches the scalar run");
+                            }
+                            served += 1;
+                        }
+                        Some("error") => {
+                            assert_eq!(
+                                resp.get("error").and_then(JsonValue::as_str),
+                                Some("overloaded"),
+                                "the only refusal under load is `overloaded`"
+                            );
+                            shed += 1;
+                        }
+                        other => panic!("unexpected response kind {other:?}"),
+                    }
+                }
+                (served, shed)
+            })
+        })
+        .collect();
+
+    let (mut served_reqs, mut shed_reqs) = (0u64, 0u64);
+    for h in handles {
+        let (s, d) = h.join().expect("client thread panicked");
+        served_reqs += s;
+        shed_reqs += d;
+    }
+    let wall = t0.elapsed().as_secs_f64();
+
+    let sent = (args.threads * args.rounds) as u64;
+    assert_eq!(served_reqs + shed_reqs, sent, "every request answered or refused — none dropped");
+    let served_queries = served_reqs * args.batch as u64;
+    let qps = served_queries as f64 / wall;
+
+    // Pull the server's own accounting before shutting down.
+    let mut ctl = TcpStream::connect(addr).expect("stats connect");
+    ctl.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    let mut ctl_reader = BufReader::new(ctl.try_clone().expect("clone"));
+    ctl.write_all(b"{\"kind\":\"stats\"}\n").expect("stats send");
+    let mut stats_line = String::new();
+    ctl_reader.read_line(&mut stats_line).expect("stats response");
+    let stats = JsonValue::parse(&stats_line).expect("stats is valid JSON");
+    let stat = |k: &str| stats.get(k).and_then(JsonValue::as_f64).unwrap_or(0.0);
+    let (fill, p50, p99, climbs) =
+        (stat("fill_ratio"), stat("p50_us"), stat("p99_us"), stat("climbs"));
+    ctl.write_all(b"{\"kind\":\"shutdown\"}\n").expect("shutdown send");
+    server.join();
+
+    let cores = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    println!(
+        "served {served_queries} queries in {wall:.2}s = {qps:.0} qps \
+         (requests: {served_reqs} served, {shed_reqs} overloaded; fill {fill:.3}, \
+         p50 {p50:.0}us, p99 {p99:.0}us, climbs {climbs:.0})"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"qpl-serve end-to-end (TCP, line-delimited JSON)\",\n  \
+         \"cores\": {cores},\n  \
+         \"shape\": {{\"kb\": \"layered\", \"seed\": {SEED}, \"layers\": {}, \
+         \"rules_per_layer\": {}, \"constants\": {}, \"facts_per_predicate\": {}}},\n  \
+         \"load\": {{\"client_threads\": {}, \"rounds_per_thread\": {}, \
+         \"batch_lanes\": {}, \"adapt_delta\": {}}},\n  \
+         \"note\": \"qps counts served queries over total client wall time (connect + \
+         verify included); every served lane checked against a direct scalar \
+         QueryProcessor run; answered + overloaded asserted == sent\",\n  \
+         \"results\": {{\"sent_requests\": {sent}, \"served_requests\": {served_reqs}, \
+         \"overloaded_requests\": {shed_reqs}, \"served_queries\": {served_queries}, \
+         \"wall_secs\": {wall:.3}, \"queries_per_sec\": {qps:.0}, \
+         \"batch_fill_ratio\": {fill:.4}, \"service_p50_us\": {p50:.1}, \
+         \"service_p99_us\": {p99:.1}, \"strategy_climbs\": {climbs:.0}}}\n}}\n",
+        params.layers,
+        params.rules_per_layer,
+        params.constants,
+        params.facts_per_predicate,
+        args.threads,
+        args.rounds,
+        args.batch,
+        args.adapt.map_or("null".to_string(), |d| d.to_string()),
+    );
+    std::fs::write(&args.out, &json).expect("write BENCH_serve.json");
+    println!("wrote {} (cores={cores})", args.out);
+
+    if let Some(min) = args.assert_qps {
+        assert!(qps >= min, "sustained {qps:.0} qps is below the required {min:.0} qps floor");
+        println!("qps floor {min:.0}: ok");
+    }
+}

@@ -46,4 +46,4 @@ pub use par::{
     batch_fold, batch_fold_blocks, batch_fold_blocks_observed, batch_fold_scratch,
     batch_fold_scratch_observed, par_map_indexed, sample_rng, sample_seed, ParConfig,
 };
-pub use qp::{classify_context, QueryAnswer, QueryProcessor};
+pub use qp::{classify_context, classify_context_into, BatchScratch, QueryAnswer, QueryProcessor};

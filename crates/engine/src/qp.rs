@@ -10,13 +10,14 @@
 
 use crate::cache::RunCache;
 use qpl_datalog::{Atom, Database, Substitution, Symbol, Term, Var};
+use qpl_graph::batch::{execute_batch, BatchRun, ContextBatch, LANES};
 use qpl_graph::compile::{ArcBinding, CompiledGraph, Guard, PatternTerm};
 use qpl_graph::context::{
     execute_partial_into, execute_probe_into, Context, RunOutcome, RunScratch, Trace,
 };
 use qpl_graph::program::{execute_program_partial_into, StrategyProgram};
 use qpl_graph::strategy::Strategy;
-use qpl_graph::{ArcId, GraphError};
+use qpl_graph::{ArcId, GraphError, InferenceGraph};
 
 /// The satisficing answer to a query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,6 +115,44 @@ fn arc_blocked(binding: &ArcBinding, constants: &[Symbol], db: &Database) -> boo
                 db.matches(&atom, &Substitution::new()).is_empty()
             }
         }
+    }
+}
+
+/// Reusable buffers for the batch entry points
+/// ([`QueryProcessor::run_batch_into`]): the context plane, the result
+/// planes, a classification staging context, and a scalar scratch for
+/// the interpreter fallback. One of these per serving thread makes the
+/// whole batch path allocation-free after warm-up.
+#[derive(Debug, Clone)]
+pub struct BatchScratch {
+    batch: ContextBatch,
+    run: BatchRun,
+    staging: Context,
+    scratch: RunScratch,
+}
+
+impl BatchScratch {
+    /// Buffers sized for `g`.
+    pub fn new(g: &InferenceGraph) -> Self {
+        Self {
+            batch: ContextBatch::new(g.arc_count(), LANES),
+            run: BatchRun::new(),
+            staging: Context::all_open(g),
+            scratch: RunScratch::new(g),
+        }
+    }
+
+    /// The context plane filled by the most recent
+    /// [`run_batch_into`](QueryProcessor::run_batch_into) chunk — the
+    /// classified contexts an adaptation loop feeds to
+    /// `Pib::observe_batch`.
+    pub fn batch(&self) -> &ContextBatch {
+        &self.batch
+    }
+
+    /// The result planes of the most recent chunk.
+    pub fn run(&self) -> &BatchRun {
+        &self.run
     }
 }
 
@@ -357,8 +396,139 @@ impl<'g> QueryProcessor<'g> {
         Ok((answer, cost))
     }
 
-    /// Reconstructs the witnessing ground atom for a successful retrieval.
-    fn witness(&self, arc: ArcId, query: &Atom, db: &Database) -> Atom {
+    /// Classifies up to [`LANES`] queries into one [`ContextBatch`]
+    /// plane, lane `l` holding query `l`'s Note-2 context. `staging` is
+    /// a reusable scalar buffer. The batch is resized to exactly
+    /// `queries.len()` lanes.
+    ///
+    /// # Errors
+    /// [`GraphError::BatchShape`] if more than [`LANES`] queries are
+    /// given; [`GraphError::InvalidStrategy`] if any query does not
+    /// match the compiled form (the batch is left partially filled —
+    /// callers wanting per-query error isolation should classify with
+    /// [`classify_context_into`] themselves).
+    pub fn classify_batch_into(
+        &self,
+        queries: &[Atom],
+        db: &Database,
+        batch: &mut ContextBatch,
+        staging: &mut Context,
+    ) -> Result<(), GraphError> {
+        if queries.len() > LANES {
+            return Err(GraphError::BatchShape(format!(
+                "{} queries exceed the {LANES}-lane plane",
+                queries.len()
+            )));
+        }
+        batch.reset(self.compiled.graph.arc_count(), queries.len());
+        for (lane, query) in queries.iter().enumerate() {
+            classify_context_into(self.compiled, query, db, staging)?;
+            batch.set_lane(lane, staging);
+        }
+        Ok(())
+    }
+
+    /// Executes one already-classified plane and appends each lane's
+    /// `(answer, cost)` to `out`, in lane order. `queries` must be the
+    /// same slice the plane was classified from (lane `l` ↔ query `l`);
+    /// it is consulted only to reconstruct witnesses.
+    ///
+    /// Results are bit-identical to [`run_into`](Self::run_into) on each
+    /// query separately: the program path inherits the batch executor's
+    /// determinism contract, and the fallback path (a strategy that does
+    /// not lower) runs the interpreter per lane.
+    ///
+    /// # Errors
+    /// [`GraphError::BatchShape`] if `queries` and the plane disagree on
+    /// lane count or the plane was built for a different graph.
+    pub fn run_classified_batch(
+        &self,
+        queries: &[Atom],
+        db: &Database,
+        batch: &ContextBatch,
+        run: &mut BatchRun,
+        scratch: &mut RunScratch,
+        out: &mut Vec<(QueryAnswer, f64)>,
+    ) -> Result<(), GraphError> {
+        if queries.len() != batch.lanes() {
+            return Err(GraphError::BatchShape(format!(
+                "{} queries for a {}-lane plane",
+                queries.len(),
+                batch.lanes()
+            )));
+        }
+        if batch.arc_count() != self.compiled.graph.arc_count() {
+            return Err(GraphError::BatchShape(format!(
+                "plane covers {} arcs but the graph covers {}",
+                batch.arc_count(),
+                self.compiled.graph.arc_count()
+            )));
+        }
+        match &self.program {
+            Some(p) => {
+                execute_batch(p, batch, batch.active_mask(), run);
+                for (lane, query) in queries.iter().enumerate() {
+                    let answer = match run.outcome(lane) {
+                        RunOutcome::Succeeded(arc) => {
+                            QueryAnswer::Yes(self.witness(arc, query, db))
+                        }
+                        RunOutcome::Exhausted => QueryAnswer::No,
+                    };
+                    out.push((answer, run.cost(lane)));
+                }
+            }
+            None => {
+                for (lane, query) in queries.iter().enumerate() {
+                    batch.extract_lane(lane, scratch.partial_mut());
+                    let outcome =
+                        execute_partial_into(&self.compiled.graph, &self.strategy, scratch);
+                    let answer = match outcome {
+                        RunOutcome::Succeeded(arc) => {
+                            QueryAnswer::Yes(self.witness(arc, query, db))
+                        }
+                        RunOutcome::Exhausted => QueryAnswer::No,
+                    };
+                    out.push((answer, scratch.cost()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Processes any number of queries through the bit-parallel batch
+    /// path, [`LANES`] at a time: classify a chunk into `s.batch`,
+    /// execute the plane, append each `(answer, cost)` to `out` in
+    /// query order. `out` is cleared first. After return, `s` holds the
+    /// *last* chunk's plane and result planes.
+    ///
+    /// # Errors
+    /// As for [`classify_batch_into`](Self::classify_batch_into); `out`
+    /// keeps the chunks completed before the failing one.
+    pub fn run_batch_into(
+        &self,
+        queries: &[Atom],
+        db: &Database,
+        s: &mut BatchScratch,
+        out: &mut Vec<(QueryAnswer, f64)>,
+    ) -> Result<(), GraphError> {
+        out.clear();
+        for chunk in queries.chunks(LANES) {
+            self.classify_batch_into(chunk, db, &mut s.batch, &mut s.staging)?;
+            self.run_classified_batch(chunk, db, &s.batch, &mut s.run, &mut s.scratch, out)?;
+        }
+        Ok(())
+    }
+
+    /// Reconstructs the witnessing ground atom for a successful
+    /// retrieval arc of `query`'s run — public so serving layers that
+    /// execute through the raw batch planes can turn a
+    /// [`RunOutcome::Succeeded`] arc back into an answer atom.
+    ///
+    /// # Panics
+    /// Invariant assert: `arc` must be a retrieval arc that actually
+    /// succeeded for `query` under `db` (i.e. came out of a run on the
+    /// matching context). Passing an arbitrary arc may panic.
+    pub fn witness(&self, arc: ArcId, query: &Atom, db: &Database) -> Atom {
         let constants = self.compiled.form.bound_constants(query);
         match self.compiled.binding(arc) {
             ArcBinding::Retrieval { predicate, pattern, .. } => {
@@ -641,6 +811,95 @@ mod tests {
         assert_eq!(sink.value_stats("engine.qp.cost").unwrap().sum, 12.0);
         assert_eq!(sink.counter_total("engine.run_cache.hits"), 2);
         assert_eq!(sink.counter_total("engine.run_cache.misses"), 1);
+    }
+
+    #[test]
+    fn batch_path_is_bit_identical_to_scalar_runs() {
+        // Every enumerable Figure-1 strategy, program path and
+        // interpreter fallback alike: answers equal, costs equal to the
+        // bit, witnesses equal.
+        let (mut t, cg, db) = setup(FIGURE1, "instructor(b)");
+        let names = ["russ", "manolis", "fred", "ghost"];
+        let queries: Vec<Atom> = names
+            .iter()
+            .map(|n| parse_query(&format!("instructor({n})"), &mut t).unwrap())
+            .collect();
+        let mut strategies = qpl_graph::strategy::enumerate_all(&cg.graph, 100).unwrap();
+        // A relaxed, non-path-form sequence the program compiler
+        // rejects: both reductions up front. It still executes under the
+        // interpreter, so it pins the fallback arm of the batch path.
+        let arcs: Vec<ArcId> = cg.graph.arc_ids().collect();
+        strategies.push(
+            Strategy::from_arcs_relaxed(&cg.graph, vec![arcs[0], arcs[2], arcs[1], arcs[3]])
+                .unwrap(),
+        );
+        let mut saw_fallback = false;
+        for s in &strategies {
+            let qp = QueryProcessor::new(&cg, s.clone());
+            saw_fallback |= qp.program().is_none();
+            let mut bs = BatchScratch::new(&cg.graph);
+            let mut out = Vec::new();
+            qp.run_batch_into(&queries, &db, &mut bs, &mut out).unwrap();
+            assert_eq!(out.len(), queries.len());
+            let mut scratch = RunScratch::new(&cg.graph);
+            for (q, (answer, cost)) in queries.iter().zip(&out) {
+                let scalar = qp.run_into(q, &db, &mut scratch).unwrap();
+                assert_eq!(answer, &scalar, "{} via {}", q.display(&t), s.display(&cg.graph));
+                assert_eq!(
+                    cost.to_bits(),
+                    scratch.cost().to_bits(),
+                    "{} via {}",
+                    q.display(&t),
+                    s.display(&cg.graph)
+                );
+            }
+        }
+        assert!(saw_fallback, "no strategy exercised the interpreter fallback");
+    }
+
+    #[test]
+    fn run_batch_into_chunks_past_one_plane() {
+        let (mut t, cg, db) = setup(FIGURE1, "instructor(b)");
+        let qp = QueryProcessor::left_to_right(&cg);
+        let base = ["russ", "manolis", "fred"];
+        let queries: Vec<Atom> = (0..150)
+            .map(|i| parse_query(&format!("instructor({})", base[i % 3]), &mut t).unwrap())
+            .collect();
+        let mut bs = BatchScratch::new(&cg.graph);
+        let mut out = Vec::new();
+        qp.run_batch_into(&queries, &db, &mut bs, &mut out).unwrap();
+        assert_eq!(out.len(), 150);
+        // Last chunk: 150 = 64 + 64 + 22 lanes.
+        assert_eq!(bs.batch().lanes(), 22);
+        let mut scratch = RunScratch::new(&cg.graph);
+        for (q, (answer, cost)) in queries.iter().zip(&out) {
+            let scalar = qp.run_into(q, &db, &mut scratch).unwrap();
+            assert_eq!(answer, &scalar);
+            assert_eq!(cost.to_bits(), scratch.cost().to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_shape_errors_are_typed() {
+        let (mut t, cg, db) = setup(FIGURE1, "instructor(b)");
+        let qp = QueryProcessor::left_to_right(&cg);
+        let q = parse_query("instructor(russ)", &mut t).unwrap();
+        let queries = vec![q; 65];
+        let mut batch = qpl_graph::batch::ContextBatch::new(cg.graph.arc_count(), 1);
+        let mut staging = Context::all_open(&cg.graph);
+        assert!(matches!(
+            qp.classify_batch_into(&queries, &db, &mut batch, &mut staging),
+            Err(GraphError::BatchShape(_))
+        ));
+        // Lane-count mismatch between queries and plane.
+        qp.classify_batch_into(&queries[..3], &db, &mut batch, &mut staging).unwrap();
+        let mut run = qpl_graph::batch::BatchRun::new();
+        let mut scratch = RunScratch::new(&cg.graph);
+        let mut out = Vec::new();
+        assert!(matches!(
+            qp.run_classified_batch(&queries[..2], &db, &batch, &mut run, &mut scratch, &mut out),
+            Err(GraphError::BatchShape(_))
+        ));
     }
 
     #[test]

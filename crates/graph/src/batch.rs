@@ -33,6 +33,7 @@
 //! masked out.
 
 use crate::context::{ArcOutcome, Context, RunOutcome};
+use crate::error::GraphError;
 use crate::graph::{ArcId, ArcKind, InferenceGraph};
 use crate::program::{StrategyProgram, NO_INDEX};
 
@@ -51,22 +52,56 @@ impl ContextBatch {
     /// An all-open batch of `lanes` contexts over `arc_count` arcs.
     ///
     /// # Panics
-    /// Panics if `lanes` exceeds [`LANES`].
+    /// Invariant assert: panics if `lanes` exceeds [`LANES`]. Internal
+    /// hot paths size batches from [`LANES`] itself; code handling
+    /// untrusted lane counts (a serving front door) should use
+    /// [`try_new`](Self::try_new).
     pub fn new(arc_count: usize, lanes: usize) -> Self {
         assert!(lanes <= LANES, "at most {LANES} lanes per batch");
         Self { planes: vec![0; arc_count], lanes }
+    }
+
+    /// Fallible [`new`](Self::new): rejects `lanes > LANES` with a typed
+    /// error instead of panicking.
+    ///
+    /// # Errors
+    /// [`GraphError::BatchShape`] if `lanes` exceeds [`LANES`].
+    pub fn try_new(arc_count: usize, lanes: usize) -> Result<Self, GraphError> {
+        if lanes > LANES {
+            return Err(GraphError::BatchShape(format!(
+                "{lanes} lanes exceed the {LANES} maximum"
+            )));
+        }
+        Ok(Self { planes: vec![0; arc_count], lanes })
     }
 
     /// Clears and resizes this batch in place (buffer-reuse counterpart
     /// of [`new`](Self::new)).
     ///
     /// # Panics
-    /// Panics if `lanes` exceeds [`LANES`].
+    /// Invariant assert: panics if `lanes` exceeds [`LANES`] (see
+    /// [`new`](Self::new); use [`try_reset`](Self::try_reset) on
+    /// untrusted input).
     pub fn reset(&mut self, arc_count: usize, lanes: usize) {
         assert!(lanes <= LANES, "at most {LANES} lanes per batch");
         self.planes.clear();
         self.planes.resize(arc_count, 0);
         self.lanes = lanes;
+    }
+
+    /// Fallible [`reset`](Self::reset).
+    ///
+    /// # Errors
+    /// [`GraphError::BatchShape`] if `lanes` exceeds [`LANES`]; the
+    /// batch is left untouched on error.
+    pub fn try_reset(&mut self, arc_count: usize, lanes: usize) -> Result<(), GraphError> {
+        if lanes > LANES {
+            return Err(GraphError::BatchShape(format!(
+                "{lanes} lanes exceed the {LANES} maximum"
+            )));
+        }
+        self.reset(arc_count, lanes);
+        Ok(())
     }
 
     /// Number of arcs each lane covers.
@@ -113,7 +148,10 @@ impl ContextBatch {
     /// Copies a scalar context into lane `lane`.
     ///
     /// # Panics
-    /// Panics if the context's arc count differs from the batch's.
+    /// Invariant assert: panics if the context's arc count differs from
+    /// the batch's — both must come from the same graph, which internal
+    /// callers guarantee by construction. Use
+    /// [`try_set_lane`](Self::try_set_lane) on untrusted input.
     pub fn set_lane(&mut self, lane: usize, ctx: &Context) {
         assert_eq!(ctx.arc_count(), self.planes.len(), "context/batch arc-count mismatch");
         debug_assert!(lane < self.lanes);
@@ -125,6 +163,29 @@ impl ContextBatch {
                 *plane &= !bit;
             }
         }
+    }
+
+    /// Fallible [`set_lane`](Self::set_lane).
+    ///
+    /// # Errors
+    /// [`GraphError::BatchShape`] if `lane` is not an occupied lane or
+    /// the context's arc count differs from the batch's.
+    pub fn try_set_lane(&mut self, lane: usize, ctx: &Context) -> Result<(), GraphError> {
+        if lane >= self.lanes {
+            return Err(GraphError::BatchShape(format!(
+                "lane {lane} outside the {} occupied lanes",
+                self.lanes
+            )));
+        }
+        if ctx.arc_count() != self.planes.len() {
+            return Err(GraphError::BatchShape(format!(
+                "context covers {} arcs but the batch covers {}",
+                ctx.arc_count(),
+                self.planes.len()
+            )));
+        }
+        self.set_lane(lane, ctx);
+        Ok(())
     }
 
     /// Copies lane `lane` out into a scalar context (resizing it to fit).
@@ -294,7 +355,10 @@ pub fn lanes_from(from: usize, lanes: usize) -> u64 {
 /// event sequences.
 ///
 /// # Panics
-/// Panics if `batch` was built for a different graph than `p`.
+/// Invariant assert: panics if `batch` was built for a different graph
+/// than `p`. Both always derive from the same `InferenceGraph` in
+/// internal callers; front doors validating untrusted shapes should use
+/// [`try_execute_batch`].
 pub fn execute_batch(
     p: &StrategyProgram,
     batch: &ContextBatch,
@@ -359,6 +423,28 @@ pub fn execute_batch(
     run.succeeded
 }
 
+/// Fallible [`execute_batch`]: validates the batch/program arc counts
+/// instead of asserting.
+///
+/// # Errors
+/// [`GraphError::BatchShape`] if `batch` was built for a different
+/// graph than `p`; `run` is left in its previous state.
+pub fn try_execute_batch(
+    p: &StrategyProgram,
+    batch: &ContextBatch,
+    active: u64,
+    run: &mut BatchRun,
+) -> Result<u64, GraphError> {
+    if batch.arc_count() != p.arc_count() {
+        return Err(GraphError::BatchShape(format!(
+            "batch covers {} arcs but the program covers {}",
+            batch.arc_count(),
+            p.arc_count()
+        )));
+    }
+    Ok(execute_batch(p, batch, active, run))
+}
+
 /// [`execute_batch`] plus `graph.batch.*` telemetry: executions, lanes
 /// run, lanes succeeded/exhausted.
 pub fn execute_batch_observed(
@@ -397,6 +483,32 @@ mod tests {
             ctxs.push(ctx);
         }
         (batch, ctxs)
+    }
+
+    #[test]
+    fn fallible_variants_reject_bad_shapes_without_panicking() {
+        let (g, _) = lcg_tree(4);
+        assert!(ContextBatch::try_new(g.arc_count(), LANES + 1).is_err());
+        let mut batch = ContextBatch::try_new(g.arc_count(), 8).unwrap();
+        assert!(batch.try_reset(g.arc_count(), LANES + 3).is_err());
+        assert_eq!(batch.lanes(), 8, "failed reset must leave the batch untouched");
+        let ctx = lcg_context(&g, 1);
+        assert!(batch.try_set_lane(9, &ctx).is_err(), "unoccupied lane");
+        let (g2, _) = lcg_tree(900);
+        assert_ne!(g2.arc_count(), g.arc_count(), "test needs distinct shapes");
+        let foreign = Context::all_open(&g2);
+        assert!(batch.try_set_lane(0, &foreign).is_err(), "foreign context");
+        batch.try_set_lane(0, &ctx).unwrap();
+        assert_eq!(batch.is_blocked(0, ArcId(0)), ctx.is_blocked(ArcId(0)));
+
+        let s = Strategy::left_to_right(&g);
+        let p = StrategyProgram::compile(&g, &s).unwrap();
+        let mut run = BatchRun::new();
+        let foreign_batch = ContextBatch::new(g2.arc_count(), 8);
+        assert!(try_execute_batch(&p, &foreign_batch, !0, &mut run).is_err());
+        let ok = try_execute_batch(&p, &batch, !0, &mut run).unwrap();
+        let mut direct = BatchRun::new();
+        assert_eq!(ok, execute_batch(&p, &batch, !0, &mut direct));
     }
 
     #[test]

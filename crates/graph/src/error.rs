@@ -24,6 +24,9 @@ pub enum GraphError {
     Compile(String),
     /// A probability was outside `[0, 1]`.
     BadProbability(f64),
+    /// A batch buffer's shape (lane count or arc count) is incompatible
+    /// with the graph or request it is being used for.
+    BatchShape(String),
 }
 
 impl fmt::Display for GraphError {
@@ -38,6 +41,7 @@ impl fmt::Display for GraphError {
             Self::InapplicableTransform(m) => write!(f, "inapplicable transformation: {m}"),
             Self::Compile(m) => write!(f, "cannot compile rule base: {m}"),
             Self::BadProbability(p) => write!(f, "probability {p} outside [0, 1]"),
+            Self::BatchShape(m) => write!(f, "incompatible batch shape: {m}"),
         }
     }
 }

@@ -159,6 +159,13 @@ impl<'g> CostEvaluator<'g> {
 
     /// The strategy the cache currently scores (depth-first order over
     /// `orders`).
+    ///
+    /// # Panics
+    /// Invariant assert: `orders` starts as the strategy's child orders
+    /// (validated by [`new`](Self::new)) and is only ever permuted by
+    /// [`apply_swap`](Self::apply_swap), so it is always a per-node
+    /// child permutation and `dfs_from_orders` cannot fail. No caller
+    /// input reaches this expect.
     pub fn strategy(&self) -> Strategy {
         Strategy::dfs_from_orders(self.g, &self.orders)
             .expect("cached orders are per-node child permutations")
@@ -179,8 +186,21 @@ impl<'g> CostEvaluator<'g> {
             )));
         }
         let order = &self.orders[v.index()];
-        let i1 = order.iter().position(|&c| c == r1).expect("order covers children");
-        let i2 = order.iter().position(|&c| c == r2).expect("order covers children");
+        // The cached order is a permutation of the node's children, so a
+        // missing arc means the caller handed us ids from a different
+        // graph — a typed error, not a panic, so a malformed request can
+        // never take down a serving worker mid-climb.
+        let (i1, i2) =
+            match (order.iter().position(|&c| c == r1), order.iter().position(|&c| c == r2)) {
+                (Some(i1), Some(i2)) => (i1, i2),
+                _ => {
+                    return Err(GraphError::InapplicableTransform(format!(
+                        "arcs {} and {} are not covered by the cached child order",
+                        self.g.arc(r1).label,
+                        self.g.arc(r2).label
+                    )))
+                }
+            };
         let mut swapped = order.clone();
         swapped.swap(i1, i2);
         Ok((v, swapped))

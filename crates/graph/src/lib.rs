@@ -49,7 +49,10 @@ pub mod strategy;
 #[cfg(test)]
 pub(crate) mod testgen;
 
-pub use batch::{execute_batch, execute_batch_observed, lanes_from, BatchRun, ContextBatch, LANES};
+pub use batch::{
+    execute_batch, execute_batch_observed, lanes_from, try_execute_batch, BatchRun, ContextBatch,
+    LANES,
+};
 pub use context::{ArcOutcome, Context, RunOutcome, RunScratch, Trace};
 pub use error::GraphError;
 pub use expected::{ContextDistribution, FiniteDistribution, IndependentModel};

@@ -115,6 +115,29 @@ impl JsonSnapshot {
         self.json
     }
 
+    /// The document rendered as one line: structural newlines and the
+    /// indentation that follows them stripped, for embedding a snapshot
+    /// inside a line-delimited wire protocol. Safe on any snapshot
+    /// because in-string newlines render as `\n` escapes
+    /// ([`push_str`]), so every raw `'\n'` in the document is
+    /// structural.
+    pub fn as_line(&self) -> String {
+        let mut out = String::with_capacity(self.json.len());
+        let mut after_newline = false;
+        for c in self.json.chars() {
+            if c == '\n' {
+                after_newline = true;
+                continue;
+            }
+            if after_newline && c == ' ' {
+                continue;
+            }
+            after_newline = false;
+            out.push(c);
+        }
+        out
+    }
+
     /// Crude structural probe used by tests and smoke checks: whether
     /// the document contains a top-level-style `"key":` occurrence.
     pub fn has_key(&self, key: &str) -> bool {
@@ -213,6 +236,20 @@ mod tests {
         assert!(json.contains("\"counters\": {}"));
         assert!(json.contains("\"events\": []"));
         assert!(json.contains("\"dropped_events\": 0"));
+    }
+
+    #[test]
+    fn as_line_is_single_line_and_content_preserving() {
+        let mut sink = sample_sink();
+        sink.counter("tricky\nname", 1); // escaped newline must survive
+        let snap = JsonSnapshot::capture(&sink);
+        let line = snap.as_line();
+        assert!(!line.contains('\n'), "still multi-line: {line}");
+        assert!(line.contains("\"tricky\\nname\": 1"), "escaped content lost: {line}");
+        assert!(line.contains("\"schema_version\": 1"));
+        let opens = line.matches(['{', '[']).count();
+        let closes = line.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "unbalanced after flattening:\n{line}");
     }
 
     #[test]

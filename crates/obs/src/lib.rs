@@ -42,6 +42,7 @@
 
 mod json;
 mod memory;
+pub mod names;
 mod sink;
 
 pub use json::{JsonSnapshot, SCHEMA_VERSION};

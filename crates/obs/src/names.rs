@@ -1,0 +1,57 @@
+//! Canonical metric-name constants for cross-crate telemetry.
+//!
+//! Most instrumented call sites live next to the subsystem they
+//! measure and use string literals in place (`"graph.batch.lanes"`,
+//! `"core.pib.climbs"`, …). Names that cross a crate boundary — emitted
+//! in one crate, asserted on or surfaced by another — live here instead,
+//! so producers and consumers cannot drift apart silently. The serving
+//! layer is the first such consumer: `qpl-serve` emits these and its
+//! `stats` endpoint (plus `bench_serve` and the CI smoke) read them back
+//! out of a [`JsonSnapshot`](crate::JsonSnapshot).
+
+/// Names emitted by the `qpl-serve` executor thread.
+pub mod serve {
+    /// Counter: query lanes executed (one per served query, batch or
+    /// single).
+    pub const QUERIES: &str = "serve.queries";
+    /// Counter: 64-lane planes executed.
+    pub const BATCHES: &str = "serve.batches";
+    /// Counter: requests refused with an `overloaded` response by the
+    /// admission controller.
+    pub const SHED: &str = "serve.shed";
+    /// Counter: lanes that failed classification (unparsable query or
+    /// form mismatch) and got a per-lane error instead of an answer.
+    pub const ERRORS: &str = "serve.errors";
+    /// Counter: strategy climbs accepted by the online adaptation loop.
+    pub const CLIMBS: &str = "serve.climbs";
+    /// Value: occupied-lane fraction of each executed plane (1.0 = all
+    /// 64 lanes full).
+    pub const BATCH_FILL: &str = "serve.batch_fill";
+    /// Span: wall-clock time of one plane execution (classify + run +
+    /// respond).
+    pub const EXEC: &str = "serve.exec";
+    /// Value: per-request service time in microseconds (enqueue →
+    /// response rendered).
+    pub const SERVICE_US: &str = "serve.service_us";
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn serve_names_are_unique_and_prefixed() {
+        let all = [
+            super::serve::QUERIES,
+            super::serve::BATCHES,
+            super::serve::SHED,
+            super::serve::ERRORS,
+            super::serve::CLIMBS,
+            super::serve::BATCH_FILL,
+            super::serve::EXEC,
+            super::serve::SERVICE_US,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            assert!(a.starts_with("serve."), "{a} must carry the subsystem prefix");
+            assert!(!all[i + 1..].contains(a), "duplicate name {a}");
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! qpl-serve: a zero-dependency query-serving front door for the
+//! strategy-learning engine.
+//!
+//! Speaks line-delimited JSON over TCP (wire protocol v1, see [`wire`]),
+//! coalesces concurrent queries into 64-lane bit-parallel planes (see
+//! [`batcher`]), refuses work beyond a bounded queue instead of
+//! degrading (`overloaded`), and — when enabled — hill-climbs the
+//! deployed strategy online by feeding served planes to the PIB learner
+//! (see [`server`]).
+//!
+//! Everything is `std`-only: sockets, threads, JSON parsing and
+//! rendering are hand-rolled, so the crate adds no dependency surface
+//! beyond the workspace's own crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod server;
+pub mod wire;
+
+pub use batcher::{Batcher, LaneWeight};
+pub use server::{ServeEngine, Server, ServerConfig};
+pub use wire::{parse_request, JsonValue, LaneResult, Request, StatsView, WIRE_VERSION};

@@ -1,0 +1,743 @@
+//! The TCP server: acceptor + per-connection handlers + one executor.
+//!
+//! ## Threading model
+//!
+//! * **Acceptor** — polls a non-blocking listener, enforces the
+//!   connection cap at the door, spawns one handler thread per
+//!   connection.
+//! * **Handlers** — read request lines (with a short read timeout so
+//!   they notice shutdown), answer `ping` inline, and submit
+//!   query/batch/stats work to the shared queue, blocking on a
+//!   per-request channel for the response line. Handlers never touch
+//!   the engine.
+//! * **Executor** — a single thread that owns *all* engine state
+//!   (symbol table, compiled graph, database, [`QueryProcessor`], the
+//!   PIB learner, the metrics sink). It sleeps on a condvar until the
+//!   [`Batcher`] is ready or a control request arrives, cuts a 64-lane
+//!   plane, classifies each query into its Note-2 context, executes the
+//!   plane bit-parallel, responds to every job, and feeds the served
+//!   contexts to `Pib::observe_batch` so the deployed strategy
+//!   hill-climbs on live traffic. Single ownership means zero locking
+//!   on the hot path and no `Sync` requirements on engine internals.
+//!
+//! ## Overload and shutdown semantics
+//!
+//! Admission is bounded ([`ServerConfig::queue_cap`] lanes): a request
+//! that does not fit is *refused with an `overloaded` error response*,
+//! never silently dropped — every admitted request gets exactly one
+//! response. `shutdown` (or [`Server::shutdown`]) flips the queue into
+//! draining mode: new work is refused with `shutting_down`, queued work
+//! is flushed plane by plane, then the executor and acceptor exit and
+//! [`Server::join`] returns.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use qpl_core::{Pib, PibConfig};
+use qpl_datalog::parser::{parse_program, parse_query, parse_query_form};
+use qpl_datalog::{Atom, Database, SymbolTable};
+use qpl_engine::qp::{classify_context_into, QueryAnswer, QueryProcessor};
+use qpl_graph::batch::{BatchRun, ContextBatch, LANES};
+use qpl_graph::compile::{compile, CompileOptions, CompiledGraph};
+use qpl_graph::context::{Context, RunScratch};
+use qpl_graph::InferenceGraph;
+use qpl_obs::names::serve as names;
+use qpl_obs::{JsonSnapshot, MemorySink, MetricsSink};
+use qpl_workload::generator::{random_layered_kb, KbParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::batcher::{Batcher, LaneWeight};
+use crate::wire::{self, LaneResult, Request, StatsView};
+
+/// Server tuning knobs. `Default` suits tests and small deployments.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (read it back via
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Admission bound in queued query lanes; at least one full plane.
+    pub queue_cap: usize,
+    /// Flush deadline: the longest a queued request waits for its plane
+    /// to fill before executing anyway.
+    pub max_wait: Duration,
+    /// Connection cap, enforced at accept time.
+    pub max_connections: usize,
+    /// Largest `"qs"` array accepted per batch request (clamped to the
+    /// 64-lane plane width).
+    pub max_batch: usize,
+    /// Longest accepted request line.
+    pub max_line_bytes: usize,
+    /// `Some(δ)` turns on online PIB adaptation at confidence `1 − δ`;
+    /// `None` serves with the fixed left-to-right strategy.
+    pub adapt_delta: Option<f64>,
+    /// Handler read timeout — the latency with which idle connections
+    /// notice a shutdown.
+    pub read_poll: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            queue_cap: 1024,
+            max_wait: Duration::from_micros(500),
+            max_connections: 256,
+            max_batch: LANES,
+            max_line_bytes: 64 * 1024,
+            adapt_delta: None,
+            read_poll: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Everything the executor needs to serve queries: symbol table,
+/// compiled graph, and fact database. Moved into the executor thread at
+/// [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeEngine {
+    /// Symbol table the knowledge base (and incoming queries) intern
+    /// into.
+    pub table: SymbolTable,
+    /// The compiled inference graph for the query form.
+    pub compiled: CompiledGraph,
+    /// The fact database.
+    pub db: Database,
+}
+
+impl ServeEngine {
+    /// Parses a Datalog knowledge base and compiles it for `form`.
+    ///
+    /// # Errors
+    /// A rendered parse or compile error.
+    pub fn from_source(kb: &str, form: &str) -> Result<Self, String> {
+        let mut table = SymbolTable::new();
+        let program = parse_program(kb, &mut table).map_err(|e| e.to_string())?;
+        let qf = parse_query_form(form, &mut table).map_err(|e| e.to_string())?;
+        let compiled = compile(&program.rules, &qf, &table, &CompileOptions::default())
+            .map_err(|e| e.to_string())?;
+        Ok(Self { table, compiled, db: program.facts })
+    }
+
+    /// The paper's Figure-1 university knowledge base, form
+    /// `instructor(b)`.
+    pub fn figure1() -> Self {
+        Self::from_source(
+            "instructor(X) :- prof(X).\n\
+             instructor(X) :- grad(X).\n\
+             prof(russ). grad(manolis).",
+            "instructor(b)",
+        )
+        .expect("Figure 1 compiles")
+    }
+
+    /// A seeded random layered knowledge base (the E18-style workload
+    /// shape), form `q0(b)`.
+    pub fn layered(seed: u64, params: &KbParams) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut table, rules, db, _root) = random_layered_kb(&mut rng, params);
+        let qf = parse_query_form("q0(b)", &mut table).expect("form parses");
+        let compiled =
+            compile(&rules, &qf, &table, &CompileOptions::default()).expect("layered KB compiles");
+        Self { table, compiled, db }
+    }
+}
+
+/// One admitted query/batch request.
+struct Job {
+    texts: Vec<String>,
+    id: Option<u64>,
+    batch: bool,
+    resp: mpsc::Sender<String>,
+}
+
+impl LaneWeight for Job {
+    fn lanes(&self) -> usize {
+        self.texts.len()
+    }
+}
+
+/// Work that bypasses admission (cheap, must stay responsive under
+/// load).
+enum Control {
+    Stats { resp: mpsc::Sender<String> },
+}
+
+struct QueueState {
+    batcher: Batcher<Job>,
+    control: VecDeque<Control>,
+    draining: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    stop: AtomicBool,
+    conns: AtomicUsize,
+}
+
+/// A running server; dropping it initiates shutdown.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<thread::JoinHandle<()>>,
+    executor: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the acceptor and executor threads, returns
+    /// immediately.
+    ///
+    /// # Errors
+    /// Bind or thread-spawn failures.
+    pub fn start(engine: ServeEngine, cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                batcher: Batcher::new(cfg.queue_cap.max(LANES)),
+                control: VecDeque::new(),
+                draining: false,
+            }),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            conns: AtomicUsize::new(0),
+        });
+        let executor = {
+            let shared = Arc::clone(&shared);
+            let cfg = cfg.clone();
+            thread::Builder::new()
+                .name("qpl-serve-exec".to_string())
+                .spawn(move || executor_loop(engine, cfg, &shared))?
+        };
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("qpl-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &cfg, &shared))?
+        };
+        Ok(Server { addr, shared, acceptor: Some(acceptor), executor: Some(executor) })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates graceful drain, as if a `shutdown` request arrived.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.shared);
+    }
+
+    /// Waits for the acceptor and executor to finish draining, then for
+    /// handler threads to close their connections (bounded wait).
+    pub fn join(mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.executor.take() {
+            let _ = h.join();
+        }
+        let t0 = Instant::now();
+        while self.shared.conns.load(Ordering::SeqCst) > 0 && t0.elapsed() < Duration::from_secs(2)
+        {
+            thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        initiate_shutdown(&self.shared);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.executor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn initiate_shutdown(shared: &Shared) {
+    shared.stop.store(true, Ordering::SeqCst);
+    {
+        let mut st = shared.state.lock().expect("state mutex");
+        st.draining = true;
+    }
+    shared.cv.notify_all();
+}
+
+fn write_line(mut stream: &TcpStream, line: &str) -> io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")
+}
+
+fn accept_loop(listener: &TcpListener, cfg: &ServerConfig, shared: &Arc<Shared>) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.conns.load(Ordering::SeqCst) >= cfg.max_connections {
+                    // Per-connection limit: refuse at the door with a
+                    // proper response, then close.
+                    let _ = write_line(
+                        &stream,
+                        &wire::render_error("overloaded", "connection limit reached", None),
+                    );
+                    continue;
+                }
+                shared.conns.fetch_add(1, Ordering::SeqCst);
+                let h_shared = Arc::clone(shared);
+                let h_cfg = cfg.clone();
+                let spawned =
+                    thread::Builder::new().name("qpl-serve-conn".to_string()).spawn(move || {
+                        handle_connection(&stream, &h_cfg, &h_shared);
+                        h_shared.conns.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    shared.conns.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+enum LineEvent {
+    Line(String),
+    TooLong,
+    TimedOut,
+    Closed,
+}
+
+/// Incremental line framing over a read-timeout socket.
+struct LineReader {
+    buf: Vec<u8>,
+    start: usize,
+    max: usize,
+}
+
+impl LineReader {
+    fn new(max: usize) -> Self {
+        Self { buf: Vec::new(), start: 0, max }
+    }
+
+    fn next_line(&mut self, mut stream: &TcpStream) -> LineEvent {
+        loop {
+            if let Some(nl) = self.buf[self.start..].iter().position(|&b| b == b'\n') {
+                let line =
+                    String::from_utf8_lossy(&self.buf[self.start..self.start + nl]).into_owned();
+                self.start += nl + 1;
+                return LineEvent::Line(line);
+            }
+            if self.buf.len() - self.start > self.max {
+                return LineEvent::TooLong;
+            }
+            if self.start > 0 {
+                self.buf.drain(..self.start);
+                self.start = 0;
+            }
+            let mut chunk = [0u8; 4096];
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    if self.buf.len() > self.start {
+                        // Final unterminated line: still serve it.
+                        let line = String::from_utf8_lossy(&self.buf[self.start..]).into_owned();
+                        self.buf.clear();
+                        self.start = 0;
+                        return LineEvent::Line(line);
+                    }
+                    return LineEvent::Closed;
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return LineEvent::TimedOut;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return LineEvent::Closed,
+            }
+        }
+    }
+}
+
+enum Reply {
+    Line(String),
+    Bye(String),
+    Closed,
+}
+
+fn handle_connection(stream: &TcpStream, cfg: &ServerConfig, shared: &Shared) {
+    // Nagle off: responses are single short lines and latency-bound.
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(cfg.read_poll));
+    let mut reader = LineReader::new(cfg.max_line_bytes);
+    loop {
+        match reader.next_line(stream) {
+            LineEvent::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match handle_line(&line, cfg, shared) {
+                    Reply::Line(resp) => {
+                        if write_line(stream, &resp).is_err() {
+                            break;
+                        }
+                    }
+                    Reply::Bye(resp) => {
+                        let _ = write_line(stream, &resp);
+                        break;
+                    }
+                    Reply::Closed => break,
+                }
+            }
+            LineEvent::TooLong => {
+                let _ = write_line(
+                    stream,
+                    &wire::render_error("bad_request", "line exceeds max_line_bytes", None),
+                );
+                break;
+            }
+            LineEvent::TimedOut => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            LineEvent::Closed => break,
+        }
+    }
+}
+
+fn handle_line(line: &str, cfg: &ServerConfig, shared: &Shared) -> Reply {
+    let max_batch = cfg.max_batch.min(LANES);
+    let req = match wire::parse_request(line, max_batch) {
+        Ok(r) => r,
+        Err(detail) => return Reply::Line(wire::render_error("bad_request", &detail, None)),
+    };
+    match req {
+        Request::Ping => Reply::Line(wire::render_pong()),
+        Request::Shutdown => {
+            initiate_shutdown(shared);
+            Reply::Bye(wire::render_bye())
+        }
+        Request::Stats => {
+            let (tx, rx) = mpsc::channel();
+            {
+                let mut st = shared.state.lock().expect("state mutex");
+                st.control.push_back(Control::Stats { resp: tx });
+            }
+            shared.cv.notify_all();
+            match rx.recv() {
+                Ok(resp) => Reply::Line(resp),
+                Err(_) => Reply::Closed,
+            }
+        }
+        Request::Query { q, id } => submit(vec![q], id, false, shared),
+        Request::Batch { qs, id } => submit(qs, id, true, shared),
+    }
+}
+
+fn submit(texts: Vec<String>, id: Option<u64>, batch: bool, shared: &Shared) -> Reply {
+    let (tx, rx) = mpsc::channel();
+    let job = Job { texts, id, batch, resp: tx };
+    {
+        let mut st = shared.state.lock().expect("state mutex");
+        if st.draining {
+            return Reply::Line(wire::render_error("shutting_down", "server is draining", id));
+        }
+        if st.batcher.offer(job, Instant::now()).is_err() {
+            return Reply::Line(wire::render_error("overloaded", "request queue full", id));
+        }
+    }
+    shared.cv.notify_all();
+    match rx.recv() {
+        Ok(resp) => Reply::Line(resp),
+        Err(_) => Reply::Closed,
+    }
+}
+
+/// Fixed-capacity ring of recent per-request service times (µs) for
+/// percentile reporting.
+struct ServiceRing {
+    buf: Vec<f64>,
+    pos: usize,
+    cap: usize,
+}
+
+impl ServiceRing {
+    fn new(cap: usize) -> Self {
+        Self { buf: Vec::with_capacity(cap), pos: 0, cap }
+    }
+
+    fn push(&mut self, v: f64) {
+        if self.buf.len() < self.cap {
+            self.buf.push(v);
+        } else {
+            self.buf[self.pos] = v;
+            self.pos = (self.pos + 1) % self.cap;
+        }
+    }
+
+    fn percentile(&self, scratch: &mut Vec<f64>, p: f64) -> f64 {
+        if self.buf.is_empty() {
+            return 0.0;
+        }
+        scratch.clone_from(&self.buf);
+        scratch.sort_by(f64::total_cmp);
+        let idx = ((scratch.len() - 1) as f64 * p).round() as usize;
+        scratch[idx]
+    }
+}
+
+/// Everything the executor thread owns.
+struct Executor<'g> {
+    table: SymbolTable,
+    compiled: &'g CompiledGraph,
+    g: &'g InferenceGraph,
+    db: Database,
+    qp: QueryProcessor<'g>,
+    pib: Option<Pib>,
+    current_fp: u64,
+    sink: MemorySink,
+    served: u64,
+    batches: u64,
+    errors: u64,
+    climbs: u64,
+    shed_emitted: u64,
+    ring: ServiceRing,
+    // Plane-assembly buffers, reused across planes.
+    atoms: Vec<Atom>,
+    slots: Vec<(usize, usize)>,
+    ctx_pool: Vec<Context>,
+    batch: ContextBatch,
+    run: BatchRun,
+    scratch: RunScratch,
+    lane_out: Vec<(QueryAnswer, f64)>,
+    results: Vec<Vec<Option<LaneResult>>>,
+    sort_buf: Vec<f64>,
+}
+
+fn executor_loop(engine: ServeEngine, cfg: ServerConfig, shared: &Shared) {
+    let ServeEngine { table, compiled, db } = engine;
+    let qp = QueryProcessor::left_to_right(&compiled);
+    let pib = cfg
+        .adapt_delta
+        .map(|delta| Pib::new(&compiled.graph, qp.strategy().clone(), PibConfig::new(delta)));
+    let current_fp = qp.strategy().fingerprint();
+    let mut ex = Executor {
+        table,
+        g: &compiled.graph,
+        db,
+        current_fp,
+        qp,
+        pib,
+        sink: MemorySink::new(),
+        served: 0,
+        batches: 0,
+        errors: 0,
+        climbs: 0,
+        shed_emitted: 0,
+        ring: ServiceRing::new(4096),
+        atoms: Vec::new(),
+        slots: Vec::new(),
+        ctx_pool: Vec::new(),
+        batch: ContextBatch::new(compiled.graph.arc_count(), LANES),
+        run: BatchRun::new(),
+        scratch: RunScratch::new(&compiled.graph),
+        lane_out: Vec::new(),
+        results: Vec::new(),
+        sort_buf: Vec::new(),
+        compiled: &compiled,
+    };
+    let mut jobs: Vec<(Job, Instant)> = Vec::new();
+    let mut controls: Vec<Control> = Vec::new();
+    loop {
+        controls.clear();
+        jobs.clear();
+        let exit;
+        let (queue_lanes, shed) = {
+            let mut st = shared.state.lock().expect("state mutex");
+            loop {
+                while let Some(c) = st.control.pop_front() {
+                    controls.push(c);
+                }
+                let now = Instant::now();
+                let ready =
+                    st.batcher.ready(now, cfg.max_wait) || (st.draining && !st.batcher.is_empty());
+                if ready {
+                    st.batcher.cut_plane(&mut jobs);
+                }
+                if ready || !controls.is_empty() || (st.draining && st.batcher.is_empty()) {
+                    exit = st.draining && st.batcher.is_empty() && jobs.is_empty();
+                    break (st.batcher.lanes_queued() as u64, st.batcher.shed_count());
+                }
+                st = match st.batcher.deadline(cfg.max_wait) {
+                    Some(deadline) => {
+                        let wait = deadline.saturating_duration_since(Instant::now());
+                        shared.cv.wait_timeout(st, wait).expect("state mutex").0
+                    }
+                    None => shared.cv.wait(st).expect("state mutex"),
+                };
+            }
+        };
+        if shed > ex.shed_emitted {
+            ex.sink.counter(names::SHED, shed - ex.shed_emitted);
+            ex.shed_emitted = shed;
+        }
+        for control in controls.drain(..) {
+            match control {
+                Control::Stats { resp } => {
+                    let line = ex.stats_line(queue_lanes, shed);
+                    let _ = resp.send(line);
+                }
+            }
+        }
+        if !jobs.is_empty() {
+            ex.process_plane(&mut jobs);
+        }
+        if exit {
+            break;
+        }
+    }
+}
+
+impl Executor<'_> {
+    /// Serves one cut plane: classify every query into a lane, execute
+    /// the plane bit-parallel (bit-identical to scalar runs), respond
+    /// to every job, feed the contexts to the adaptation loop.
+    fn process_plane(&mut self, jobs: &mut Vec<(Job, Instant)>) {
+        let t0 = Instant::now();
+        self.results.clear();
+        self.results.extend(jobs.iter().map(|(job, _)| vec![None; job.texts.len()]));
+        self.atoms.clear();
+        self.slots.clear();
+        let mut lanes = 0usize;
+        let mut plane_errors = 0u64;
+        for (ji, (job, _)) in jobs.iter().enumerate() {
+            for (si, text) in job.texts.iter().enumerate() {
+                let parsed = parse_query(text, &mut self.table).map_err(|e| e.to_string());
+                let classified = parsed.and_then(|atom| {
+                    if self.ctx_pool.len() == lanes {
+                        self.ctx_pool.push(Context::all_open(self.g));
+                    }
+                    classify_context_into(self.compiled, &atom, &self.db, &mut self.ctx_pool[lanes])
+                        .map(|()| atom)
+                        .map_err(|e| e.to_string())
+                });
+                match classified {
+                    Ok(atom) => {
+                        self.atoms.push(atom);
+                        self.slots.push((ji, si));
+                        lanes += 1;
+                    }
+                    Err(detail) => {
+                        plane_errors += 1;
+                        self.results[ji][si] = Some(LaneResult::Error { detail });
+                    }
+                }
+            }
+        }
+        debug_assert!(lanes <= LANES, "the batcher never cuts past one plane");
+        if lanes > 0 {
+            self.batch.reset(self.g.arc_count(), lanes);
+            for (lane, ctx) in self.ctx_pool[..lanes].iter().enumerate() {
+                self.batch.set_lane(lane, ctx);
+            }
+            self.lane_out.clear();
+            self.qp
+                .run_classified_batch(
+                    &self.atoms,
+                    &self.db,
+                    &self.batch,
+                    &mut self.run,
+                    &mut self.scratch,
+                    &mut self.lane_out,
+                )
+                .expect("plane is assembled against the executor's own graph");
+            for (lane, (answer, cost)) in self.lane_out.iter().enumerate() {
+                let (ji, si) = self.slots[lane];
+                self.results[ji][si] = Some(match answer {
+                    QueryAnswer::Yes(atom) => LaneResult::Yes {
+                        witness: atom.display(&self.table).to_string(),
+                        cost: *cost,
+                    },
+                    QueryAnswer::No => LaneResult::No { cost: *cost },
+                });
+            }
+            self.served += lanes as u64;
+            self.batches += 1;
+            self.sink.counter(names::QUERIES, lanes as u64);
+            self.sink.counter(names::BATCHES, 1);
+            self.sink.value(names::BATCH_FILL, lanes as f64 / LANES as f64);
+            // Online adaptation: the served plane *is* the PIB sample
+            // batch. On an accepted climb, swap the processor's compiled
+            // program (fingerprint-memoized inside set_strategy).
+            if let Some(pib) = &mut self.pib {
+                pib.observe_batch(self.g, &self.batch);
+                let fp = pib.strategy().fingerprint();
+                if fp != self.current_fp {
+                    self.qp.set_strategy(pib.strategy().clone());
+                    self.current_fp = fp;
+                    let accepted = pib.history().len() as u64;
+                    self.sink.counter(names::CLIMBS, accepted - self.climbs);
+                    self.climbs = accepted;
+                }
+            }
+        }
+        if plane_errors > 0 {
+            self.errors += plane_errors;
+            self.sink.counter(names::ERRORS, plane_errors);
+        }
+        self.sink.span_ns(names::EXEC, t0.elapsed().as_nanos() as u64);
+        let done = Instant::now();
+        for ((job, enqueued), row) in jobs.drain(..).zip(self.results.drain(..)) {
+            let filled: Vec<LaneResult> =
+                row.into_iter().map(|r| r.expect("every lane filled")).collect();
+            let line = if job.batch {
+                wire::render_answers(&filled, job.id)
+            } else {
+                wire::render_answer(&filled[0], job.id)
+            };
+            // A send error means the client hung up; the work is done
+            // either way.
+            let _ = job.resp.send(line);
+            let us = done.duration_since(enqueued).as_secs_f64() * 1e6;
+            self.ring.push(us);
+            self.sink.value(names::SERVICE_US, us);
+        }
+    }
+
+    fn stats_line(&mut self, queue_lanes: u64, shed: u64) -> String {
+        let fill_ratio = if self.batches > 0 {
+            self.served as f64 / (self.batches as f64 * LANES as f64)
+        } else {
+            0.0
+        };
+        let view = StatsView {
+            queue_lanes,
+            served: self.served,
+            batches: self.batches,
+            shed,
+            errors: self.errors,
+            climbs: self.climbs,
+            fill_ratio,
+            p50_us: self.ring.percentile(&mut self.sort_buf, 0.50),
+            p99_us: self.ring.percentile(&mut self.sort_buf, 0.99),
+            metrics_line: JsonSnapshot::capture(&self.sink).as_line(),
+        };
+        wire::render_stats(&view)
+    }
+}

@@ -1,0 +1,320 @@
+//! End-to-end tests: real TCP server on an ephemeral port, real client
+//! sockets, responses checked bit-for-bit against direct
+//! `QueryProcessor` runs.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+use qpl_engine::QueryProcessor;
+use qpl_graph::context::RunScratch;
+use qpl_serve::wire::JsonValue;
+use qpl_serve::{ServeEngine, Server, ServerConfig};
+use qpl_workload::generator::KbParams;
+
+const SEED: u64 = 7;
+
+fn layered_params() -> KbParams {
+    KbParams::default()
+}
+
+/// The query texts the tests serve: every constant of the layered KB,
+/// cycled. Some are provable, some are not.
+fn query_texts(n: usize) -> Vec<String> {
+    let params = layered_params();
+    (0..n).map(|i| format!("q0(c{})", i % params.constants)).collect()
+}
+
+/// Ground truth straight from the engine, no server involved:
+/// `(rendered_answer, cost_bits)` per query.
+fn direct_expectations(texts: &[String]) -> Vec<(String, Option<String>, u64)> {
+    let mut engine = ServeEngine::layered(SEED, &layered_params());
+    let qp = QueryProcessor::left_to_right(&engine.compiled);
+    let mut scratch = RunScratch::new(&engine.compiled.graph);
+    texts
+        .iter()
+        .map(|t| {
+            let atom =
+                qpl_datalog::parser::parse_query(t, &mut engine.table).expect("query parses");
+            let answer = qp.run_into(&atom, &engine.db, &mut scratch).expect("query runs");
+            let (kind, witness) = match answer {
+                qpl_engine::QueryAnswer::Yes(w) => {
+                    ("yes".to_string(), Some(w.display(&engine.table).to_string()))
+                }
+                qpl_engine::QueryAnswer::No => ("no".to_string(), None),
+            };
+            (kind, witness, scratch.cost().to_bits())
+        })
+        .collect()
+}
+
+fn start(cfg: ServerConfig) -> Server {
+    Server::start(ServeEngine::layered(SEED, &layered_params()), cfg).expect("server starts")
+}
+
+fn connect(server: &Server) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    (stream, reader)
+}
+
+fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> JsonValue {
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut resp = String::new();
+    reader.read_line(&mut resp).expect("read response");
+    JsonValue::parse(&resp).expect("response is valid JSON")
+}
+
+fn result_fields(result: &JsonValue) -> (String, Option<String>, Option<u64>) {
+    let kind = result
+        .get("answer")
+        .and_then(JsonValue::as_str)
+        .or_else(|| result.get("error").and_then(JsonValue::as_str))
+        .expect("result has answer or error")
+        .to_string();
+    let witness = result.get("witness").and_then(JsonValue::as_str).map(str::to_string);
+    let cost = result.get("cost").and_then(JsonValue::as_f64).map(f64::to_bits);
+    (kind, witness, cost)
+}
+
+#[test]
+fn ping_stats_and_bad_request_roundtrip() {
+    let server = start(ServerConfig::default());
+    let (mut s, mut r) = connect(&server);
+
+    let pong = roundtrip(&mut s, &mut r, r#"{"kind":"ping"}"#);
+    assert_eq!(pong.get("kind").and_then(JsonValue::as_str), Some("pong"));
+    assert_eq!(pong.get("v").and_then(JsonValue::as_f64), Some(1.0));
+
+    let bad = roundtrip(&mut s, &mut r, r#"{"kind":"query"}"#);
+    assert_eq!(bad.get("kind").and_then(JsonValue::as_str), Some("error"));
+    assert_eq!(bad.get("error").and_then(JsonValue::as_str), Some("bad_request"));
+
+    let not_json = roundtrip(&mut s, &mut r, "hello");
+    assert_eq!(not_json.get("error").and_then(JsonValue::as_str), Some("bad_request"));
+
+    // A malformed *query* is a per-lane error, not a request error.
+    let bad_q = roundtrip(&mut s, &mut r, r#"{"kind":"query","q":"q0(("}"#);
+    assert_eq!(bad_q.get("kind").and_then(JsonValue::as_str), Some("answer"));
+    let (kind, _, _) = result_fields(bad_q.get("result").unwrap());
+    assert_eq!(kind, "bad_query");
+
+    let stats = roundtrip(&mut s, &mut r, r#"{"kind":"stats"}"#);
+    assert_eq!(stats.get("kind").and_then(JsonValue::as_str), Some("stats"));
+    assert!(stats.get("metrics").is_some(), "stats embeds the metrics snapshot");
+
+    server.shutdown();
+    server.join();
+}
+
+/// The tentpole acceptance test: 200 queries from concurrent client
+/// threads, every response bit-identical (answer, witness, cost bits)
+/// to a direct scalar `QueryProcessor` run of the same query.
+#[test]
+fn concurrent_responses_bit_identical_to_direct_runs() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 25;
+    let texts = query_texts(THREADS * PER_THREAD);
+    let expected = direct_expectations(&texts);
+
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let texts = texts.clone();
+            thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut got = Vec::with_capacity(PER_THREAD);
+                for i in 0..PER_THREAD {
+                    let qi = t * PER_THREAD + i;
+                    let req = format!(r#"{{"kind":"query","q":"{}","id":{qi}}}"#, texts[qi]);
+                    let resp = roundtrip(&mut stream, &mut reader, &req);
+                    assert_eq!(
+                        resp.get("id").and_then(JsonValue::as_f64),
+                        Some(qi as f64),
+                        "response id echoes the request id"
+                    );
+                    got.push((qi, result_fields(resp.get("result").expect("answer has result"))));
+                }
+                got
+            })
+        })
+        .collect();
+
+    let mut answered = 0usize;
+    for h in handles {
+        for (qi, (kind, witness, cost)) in h.join().expect("client thread") {
+            let (exp_kind, exp_witness, exp_cost) = &expected[qi];
+            assert_eq!(&kind, exp_kind, "query {}: answer matches scalar run", texts[qi]);
+            assert_eq!(&witness, exp_witness, "query {}: witness matches", texts[qi]);
+            assert_eq!(
+                cost,
+                Some(*exp_cost),
+                "query {}: cost is bit-identical to the scalar run",
+                texts[qi]
+            );
+            answered += 1;
+        }
+    }
+    assert_eq!(answered, THREADS * PER_THREAD);
+
+    server.shutdown();
+    server.join();
+}
+
+/// Under a queue bound and heavy concurrent batches, every request gets
+/// exactly one response: an `answers` payload (correct) or an
+/// `overloaded` error. Nothing is silently dropped.
+#[test]
+fn overload_sheds_with_a_response_and_serves_the_rest() {
+    const THREADS: usize = 16;
+    const BATCHES_PER_THREAD: usize = 8;
+    const BATCH: usize = 32;
+    let texts = query_texts(BATCH);
+    let expected = direct_expectations(&texts);
+
+    let server = start(ServerConfig {
+        queue_cap: 64, // one plane: concurrent batches contend hard
+        max_wait: Duration::from_micros(100),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let qs = texts.iter().map(|t| format!("\"{t}\"")).collect::<Vec<_>>().join(",");
+    let req = format!(r#"{{"kind":"batch","qs":[{qs}]}}"#);
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let req = req.clone();
+            let expected = expected.clone();
+            thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut served = 0usize;
+                let mut shed = 0usize;
+                for _ in 0..BATCHES_PER_THREAD {
+                    let resp = roundtrip(&mut stream, &mut reader, &req);
+                    match resp.get("kind").and_then(JsonValue::as_str) {
+                        Some("answers") => {
+                            let results = resp
+                                .get("results")
+                                .and_then(JsonValue::as_array)
+                                .expect("answers has results");
+                            assert_eq!(results.len(), BATCH, "one result per lane");
+                            for (r, (exp_kind, exp_witness, _)) in
+                                results.iter().zip(expected.iter())
+                            {
+                                let (kind, witness, _) = result_fields(r);
+                                assert_eq!(&kind, exp_kind);
+                                assert_eq!(&witness, exp_witness);
+                            }
+                            served += 1;
+                        }
+                        Some("error") => {
+                            assert_eq!(
+                                resp.get("error").and_then(JsonValue::as_str),
+                                Some("overloaded"),
+                                "the only in-band refusal under load is `overloaded`"
+                            );
+                            shed += 1;
+                        }
+                        other => panic!("unexpected response kind {other:?}"),
+                    }
+                }
+                (served, shed)
+            })
+        })
+        .collect();
+
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    for h in handles {
+        let (s, d) = h.join().expect("client thread");
+        served += s;
+        shed += d;
+    }
+    assert_eq!(
+        served + shed,
+        THREADS * BATCHES_PER_THREAD,
+        "every request answered or refused — none dropped"
+    );
+    assert!(served > 0, "some batches are served even under contention");
+
+    server.shutdown();
+    server.join();
+}
+
+/// With online adaptation on, answers stay correct while the strategy
+/// climbs (costs may legitimately change as the strategy improves, so
+/// only the decision is pinned).
+#[test]
+fn adaptation_keeps_answers_correct() {
+    const ROUNDS: usize = 20;
+    let texts = query_texts(layered_params().constants);
+    let expected = direct_expectations(&texts);
+
+    let server = start(ServerConfig { adapt_delta: Some(0.2), ..ServerConfig::default() });
+    let (mut s, mut r) = connect(&server);
+
+    let qs = texts.iter().map(|t| format!("\"{t}\"")).collect::<Vec<_>>().join(",");
+    let req = format!(r#"{{"kind":"batch","qs":[{qs}]}}"#);
+    for _ in 0..ROUNDS {
+        let resp = roundtrip(&mut s, &mut r, &req);
+        let results =
+            resp.get("results").and_then(JsonValue::as_array).expect("answers has results");
+        for (res, (exp_kind, _, _)) in results.iter().zip(expected.iter()) {
+            let (kind, _, _) = result_fields(res);
+            assert_eq!(&kind, exp_kind, "adaptation never changes the decision");
+        }
+    }
+
+    let stats = roundtrip(&mut s, &mut r, r#"{"kind":"stats"}"#);
+    let served = stats.get("served").and_then(JsonValue::as_f64).unwrap();
+    assert_eq!(served as usize, ROUNDS * texts.len());
+
+    server.shutdown();
+    server.join();
+}
+
+/// `shutdown` answers `bye`, refuses subsequent work, drains, and
+/// `join` returns.
+#[test]
+fn graceful_shutdown_drains_and_joins() {
+    let server = start(ServerConfig::default());
+    let (mut s, mut r) = connect(&server);
+
+    let answer = roundtrip(&mut s, &mut r, r#"{"kind":"query","q":"q0(c0)"}"#);
+    assert_eq!(answer.get("kind").and_then(JsonValue::as_str), Some("answer"));
+
+    let bye = roundtrip(&mut s, &mut r, r#"{"kind":"shutdown"}"#);
+    assert_eq!(bye.get("kind").and_then(JsonValue::as_str), Some("bye"));
+
+    // After the drain flag flips, new submissions are refused in-band.
+    // The acceptor may already be gone; a refusal line, a refused
+    // connect, and a closed socket are all acceptable once draining.
+    if let Ok(mut s2) = TcpStream::connect(server.local_addr()) {
+        s2.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut r2 = BufReader::new(s2.try_clone().unwrap());
+        let mut line = String::new();
+        if s2.write_all(b"{\"kind\":\"query\",\"q\":\"q0(c0)\"}\n").is_ok() {
+            if let Ok(n) = r2.read_line(&mut line) {
+                if n > 0 {
+                    let resp = JsonValue::parse(&line).expect("valid JSON");
+                    assert_eq!(
+                        resp.get("error").and_then(JsonValue::as_str),
+                        Some("shutting_down")
+                    );
+                }
+            }
+        }
+    }
+
+    server.join();
+}
