@@ -177,6 +177,24 @@ impl Pib {
         self.schedule.tests_used()
     }
 
+    /// Adopts an externally learned strategy — e.g. one published by a
+    /// peer shard in a sharded serving deployment. The strategy becomes
+    /// current and the candidate neighbourhood restarts, exactly as
+    /// after a local climb; the sequential test schedule keeps
+    /// advancing, so the Theorem-1 mistake budget δ continues to hold
+    /// across adoptions (the adopted strategy carries its *publisher's*
+    /// Equation-6 evidence, not fresh local evidence, and no
+    /// [`ClimbRecord`] is appended here). A no-op when `strategy` is
+    /// already current (same fingerprint).
+    pub fn adopt(&mut self, g: &InferenceGraph, strategy: Strategy) {
+        if strategy.fingerprint() == self.current.fingerprint() {
+            return;
+        }
+        self.current = strategy;
+        self.compiled = None;
+        self.rebuild_candidates(g);
+    }
+
     /// Observes one context: runs the current strategy, updates every
     /// candidate's statistics, and climbs if Equation 6 fires. Returns
     /// the trace of the executed query.
@@ -494,6 +512,40 @@ mod tests {
         for w in costs.windows(2) {
             assert!(w[1] < w[0] + 1e-12, "climb raised cost: {costs:?}");
         }
+    }
+
+    #[test]
+    fn adopt_swaps_strategy_and_restarts_candidates_without_a_climb_record() {
+        let g = g_a();
+        let model = IndependentModel::from_retrieval_probs(&g, &[0.5, 0.5]).unwrap();
+        let mut pib = Pib::new(&g, Strategy::left_to_right(&g), PibConfig::new(0.05));
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            pib.observe(&g, &model.sample(&mut rng));
+        }
+        assert_eq!(pib.samples_at_current(), 10);
+
+        // Adopting the current strategy again is a no-op: no reset.
+        pib.adopt(&g, pib.strategy().clone());
+        assert_eq!(pib.samples_at_current(), 10);
+
+        // Adopting a different strategy (a neighbour, as a peer shard
+        // would publish) restarts the neighbourhood but records no
+        // local climb and keeps the global test counter.
+        let peer = pib.candidates[0].strategy.clone();
+        assert_ne!(peer.fingerprint(), pib.strategy().fingerprint());
+        let tests_before = pib.tests_performed();
+        pib.adopt(&g, peer.clone());
+        assert_eq!(pib.strategy().fingerprint(), peer.fingerprint());
+        assert_eq!(pib.samples_at_current(), 0, "candidate statistics restart");
+        assert!(pib.history().is_empty(), "adoption is not a local climb");
+        assert_eq!(pib.tests_performed(), tests_before, "schedule keeps advancing, never resets");
+
+        // The learner keeps functioning on the adopted strategy.
+        for _ in 0..10 {
+            pib.observe(&g, &model.sample(&mut rng));
+        }
+        assert_eq!(pib.samples_at_current(), 10);
     }
 
     #[test]

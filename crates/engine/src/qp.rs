@@ -129,6 +129,9 @@ pub struct BatchScratch {
     run: BatchRun,
     staging: Context,
     scratch: RunScratch,
+    /// Per-lane staging contexts for lossy plane assembly
+    /// ([`pool_context`](Self::pool_context)), grown on demand.
+    pool: Vec<Context>,
 }
 
 impl BatchScratch {
@@ -139,7 +142,45 @@ impl BatchScratch {
             run: BatchRun::new(),
             staging: Context::all_open(g),
             scratch: RunScratch::new(g),
+            pool: Vec::new(),
         }
+    }
+
+    /// Lane `lane`'s pool context, growing the pool on demand — for
+    /// callers that classify queries one at a time with per-lane error
+    /// isolation (a serving shard keeps the lanes that classify and
+    /// fails the rest individually, where
+    /// [`classify_batch_into`](QueryProcessor::classify_batch_into)
+    /// would reject the whole plane). Contents are whatever the caller
+    /// last wrote; always classify into it before assembling.
+    pub fn pool_context(&mut self, g: &InferenceGraph, lane: usize) -> &mut Context {
+        while self.pool.len() <= lane {
+            self.pool.push(Context::all_open(g));
+        }
+        &mut self.pool[lane]
+    }
+
+    /// Assembles pool contexts `0..lanes` into the plane (reset to
+    /// exactly `lanes` lanes over `arc_count` arcs) — the lossy
+    /// counterpart of
+    /// [`classify_batch_into`](QueryProcessor::classify_batch_into).
+    ///
+    /// # Panics
+    /// If fewer than `lanes` pool contexts exist.
+    pub fn assemble_pool_plane(&mut self, arc_count: usize, lanes: usize) {
+        assert!(lanes <= self.pool.len(), "pool holds every assembled lane");
+        self.batch.reset(arc_count, lanes);
+        for (lane, ctx) in self.pool[..lanes].iter().enumerate() {
+            self.batch.set_lane(lane, ctx);
+        }
+    }
+
+    /// Split borrow for callers that drive
+    /// [`run_classified_batch`](QueryProcessor::run_classified_batch)
+    /// off one scratch: the assembled plane, the result planes, and the
+    /// scalar fallback scratch.
+    pub fn plane_parts_mut(&mut self) -> (&ContextBatch, &mut BatchRun, &mut RunScratch) {
+        (&self.batch, &mut self.run, &mut self.scratch)
     }
 
     /// The context plane filled by the most recent
@@ -877,6 +918,48 @@ mod tests {
             assert_eq!(answer, &scalar);
             assert_eq!(cost.to_bits(), scratch.cost().to_bits());
         }
+    }
+
+    #[test]
+    fn pool_assembly_matches_whole_plane_classification() {
+        let (mut t, cg, db) = setup(FIGURE1, "instructor(b)");
+        let qp = QueryProcessor::left_to_right(&cg);
+        let base = ["russ", "manolis", "fred", "ben"];
+        let queries: Vec<Atom> = (0..7)
+            .map(|i| parse_query(&format!("instructor({})", base[i % 4]), &mut t).unwrap())
+            .collect();
+
+        // Reference: the all-or-nothing whole-plane path.
+        let mut whole = BatchScratch::new(&cg.graph);
+        let mut expected = Vec::new();
+        qp.classify_batch_into(&queries, &db, &mut whole.batch, &mut whole.staging).unwrap();
+        qp.run_classified_batch(
+            &queries,
+            &db,
+            &whole.batch,
+            &mut whole.run,
+            &mut whole.scratch,
+            &mut expected,
+        )
+        .unwrap();
+
+        // Lane-at-a-time pool assembly (the serving shard's path).
+        let mut s = BatchScratch::new(&cg.graph);
+        for (lane, q) in queries.iter().enumerate() {
+            classify_context_into(&cg, q, &db, s.pool_context(&cg.graph, lane)).unwrap();
+        }
+        s.assemble_pool_plane(cg.graph.arc_count(), queries.len());
+        let mut out = Vec::new();
+        let (batch, run, scratch) = s.plane_parts_mut();
+        qp.run_classified_batch(&queries, &db, batch, run, scratch, &mut out).unwrap();
+
+        assert_eq!(out.len(), expected.len());
+        for ((a, c), (ea, ec)) in out.iter().zip(&expected) {
+            assert_eq!(a, ea);
+            assert_eq!(c.to_bits(), ec.to_bits(), "pool path is bit-identical");
+        }
+        // The assembled plane is what an adaptation loop would observe.
+        assert_eq!(s.batch().lanes(), queries.len());
     }
 
     #[test]

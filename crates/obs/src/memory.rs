@@ -154,6 +154,52 @@ impl MemorySink {
         self.dropped_events
     }
 
+    /// Folds another sink's aggregates into this one: counters add,
+    /// value/span series merge count/sum/min/max, events append until
+    /// this sink's cap (overflow counts as dropped), and dropped-event
+    /// tallies add. A sharded server uses this to render one fleet-wide
+    /// snapshot out of its per-shard shared-nothing sinks.
+    pub fn merge_from(&mut self, other: &MemorySink) {
+        for (name, v) in &other.counters {
+            let slot = self.counters.entry(name).or_insert(0);
+            *slot = slot.saturating_add(*v);
+        }
+        for (name, s) in &other.values {
+            match self.values.get_mut(name) {
+                Some(mine) => {
+                    mine.count += s.count;
+                    mine.sum += s.sum;
+                    mine.min = mine.min.min(s.min);
+                    mine.max = mine.max.max(s.max);
+                }
+                None => {
+                    self.values.insert(name, *s);
+                }
+            }
+        }
+        for (name, s) in &other.spans {
+            match self.spans.get_mut(name) {
+                Some(mine) => {
+                    mine.count += s.count;
+                    mine.total_ns = mine.total_ns.saturating_add(s.total_ns);
+                    mine.min_ns = mine.min_ns.min(s.min_ns);
+                    mine.max_ns = mine.max_ns.max(s.max_ns);
+                }
+                None => {
+                    self.spans.insert(name, *s);
+                }
+            }
+        }
+        for e in &other.events {
+            if self.events.len() >= self.max_events {
+                self.dropped_events += 1;
+            } else {
+                self.events.push(e.clone());
+            }
+        }
+        self.dropped_events += other.dropped_events;
+    }
+
     /// Forget everything recorded so far (the event cap is kept).
     pub fn clear(&mut self) {
         self.counters.clear();
@@ -257,6 +303,37 @@ mod tests {
         sink.counter("alpha", 1);
         let names: Vec<_> = sink.counters().map(|(k, _)| k).collect();
         assert_eq!(names, ["alpha", "zebra"]);
+    }
+
+    #[test]
+    fn merge_from_folds_all_series_and_respects_the_event_cap() {
+        let mut a = MemorySink::with_max_events(3);
+        a.counter("c", 2);
+        a.value("v", 1.0);
+        a.span_ns("s", 10);
+        a.event("e", &[("i", 0.0)]);
+
+        let mut b = MemorySink::new();
+        b.counter("c", 3);
+        b.counter("only_b", 7);
+        b.value("v", 5.0);
+        b.value("only_b", -2.0);
+        b.span_ns("s", 4);
+        b.event("e", &[("i", 1.0)]);
+        b.event("e", &[("i", 2.0)]);
+        b.event("e", &[("i", 3.0)]);
+
+        a.merge_from(&b);
+        assert_eq!(a.counter_total("c"), 5);
+        assert_eq!(a.counter_total("only_b"), 7);
+        let v = a.value_stats("v").unwrap();
+        assert_eq!((v.count, v.sum, v.min, v.max), (2, 6.0, 1.0, 5.0));
+        assert_eq!(a.value_stats("only_b").unwrap().min, -2.0);
+        let s = a.span_stats("s").unwrap();
+        assert_eq!((s.count, s.total_ns, s.min_ns, s.max_ns), (2, 14, 4, 10));
+        // 1 own event + 2 merged fill the cap of 3; the third drops.
+        assert_eq!(a.events().len(), 3);
+        assert_eq!(a.dropped_events(), 1);
     }
 
     #[test]

@@ -33,6 +33,15 @@ pub mod serve {
     /// Value: per-request service time in microseconds (enqueue →
     /// response rendered).
     pub const SERVICE_US: &str = "serve.service_us";
+    /// Counter: locally accepted strategy climbs this shard published
+    /// to its peers via the strategy board.
+    pub const SHARD_PUBLISHED: &str = "serve.shard.published";
+    /// Counter: published strategies this shard adopted from a peer
+    /// (fingerprint differed from its current program).
+    pub const SHARD_ADOPTIONS: &str = "serve.shard.adoptions";
+    /// Counter: jobs admitted at a non-home shard because the steered
+    /// shard's queue was full (least-loaded fallback).
+    pub const SHARD_STEER_FALLBACKS: &str = "serve.shard.steer_fallbacks";
 }
 
 #[cfg(test)]
@@ -48,6 +57,9 @@ mod tests {
             super::serve::BATCH_FILL,
             super::serve::EXEC,
             super::serve::SERVICE_US,
+            super::serve::SHARD_PUBLISHED,
+            super::serve::SHARD_ADOPTIONS,
+            super::serve::SHARD_STEER_FALLBACKS,
         ];
         for (i, a) in all.iter().enumerate() {
             assert!(a.starts_with("serve."), "{a} must carry the subsystem prefix");

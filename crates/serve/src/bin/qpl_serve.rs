@@ -12,19 +12,24 @@ use qpl_serve::{ServeEngine, Server, ServerConfig};
 use qpl_workload::generator::KbParams;
 
 const USAGE: &str = "qpl_serve [--addr HOST:PORT] [--shape figure1|layered] [--seed N]\n\
-                     \u{20}         [--adapt DELTA] [--queue LANES] [--max-wait-us N]\n\
+                     \u{20}         [--shards N] [--adapt DELTA] [--queue LANES] [--max-wait-us N]\n\
  --addr HOST:PORT  bind address (default 127.0.0.1:7878; port 0 = ephemeral)\n\
  --shape SHAPE     knowledge base: figure1 (paper Fig. 1) or layered (default figure1)\n\
  --seed N          RNG seed for --shape layered (default 7)\n\
- --adapt DELTA     enable online PIB adaptation at confidence 1-DELTA\n\
- --queue LANES     admission bound in queued query lanes (default 1024)\n\
+ --shards N        shared-nothing executor shards, each with its own engine\n\
+ \u{20}                 replica (default: available cores)\n\
+ --adapt DELTA     enable online PIB adaptation at confidence 1-DELTA (per shard)\n\
+ --queue LANES     admission bound in queued query lanes, per shard (default 1024)\n\
  --max-wait-us N   batch flush deadline in microseconds (default 500)";
 
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut shape = "figure1".to_string();
     let mut seed = 7u64;
-    let mut cfg = ServerConfig::default();
+    let mut cfg = ServerConfig {
+        shards: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        ..ServerConfig::default()
+    };
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -46,6 +51,7 @@ fn main() -> ExitCode {
                 shape == "figure1" || shape == "layered"
             }
             "--seed" => value.parse().map(|v| seed = v).is_ok(),
+            "--shards" => value.parse().map(|v: usize| cfg.shards = v.max(1)).is_ok(),
             "--adapt" => value.parse().map(|v| cfg.adapt_delta = Some(v)).is_ok(),
             "--queue" => value.parse().map(|v| cfg.queue_cap = v).is_ok(),
             "--max-wait-us" => {
@@ -72,6 +78,7 @@ fn main() -> ExitCode {
         _ => "q0(c0)",
     };
 
+    let shards = cfg.shards;
     let server = match Server::start(engine, cfg) {
         Ok(s) => s,
         Err(e) => {
@@ -80,7 +87,7 @@ fn main() -> ExitCode {
         }
     };
     let bound = server.local_addr();
-    println!("qpl-serve listening on {bound} (shape: {shape})");
+    println!("qpl-serve listening on {bound} (shape: {shape}, shards: {shards})");
     println!(
         "try: printf '{{\"kind\":\"query\",\"q\":\"{example}\"}}\\n{{\"kind\":\"stats\"}}\\n' | nc {} {}",
         bound.ip(),

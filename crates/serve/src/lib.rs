@@ -2,11 +2,13 @@
 //! strategy-learning engine.
 //!
 //! Speaks line-delimited JSON over TCP (wire protocol v1, see [`wire`]),
-//! coalesces concurrent queries into 64-lane bit-parallel planes (see
-//! [`batcher`]), refuses work beyond a bounded queue instead of
-//! degrading (`overloaded`), and — when enabled — hill-climbs the
-//! deployed strategy online by feeding served planes to the PIB learner
-//! (see [`server`]).
+//! steers whole jobs to one of N shared-nothing executor shards (each
+//! owning a full engine replica), coalesces concurrent queries into
+//! 64-lane bit-parallel planes per shard (see [`batcher`]), refuses
+//! work beyond a bounded per-shard queue instead of degrading
+//! (`overloaded`), and — when enabled — hill-climbs the deployed
+//! strategy online per shard, merging accepted climbs across shards
+//! through a fingerprint-published strategy board (see [`server`]).
 //!
 //! Everything is `std`-only: sockets, threads, JSON parsing and
 //! rendering are hand-rolled, so the crate adds no dependency surface
@@ -20,5 +22,7 @@ pub mod server;
 pub mod wire;
 
 pub use batcher::{Batcher, LaneWeight};
-pub use server::{ServeEngine, Server, ServerConfig};
-pub use wire::{parse_request, JsonValue, LaneResult, Request, StatsView, WIRE_VERSION};
+pub use server::{fallback_shard, steer_shard, ServeEngine, Server, ServerConfig};
+pub use wire::{
+    parse_request, JsonValue, LaneResult, Request, ShardStatsView, StatsView, WIRE_VERSION,
+};

@@ -1,39 +1,70 @@
-//! The TCP server: acceptor + per-connection handlers + one executor.
+//! The TCP server: acceptor + per-connection handlers + N executor
+//! shards.
 //!
 //! ## Threading model
 //!
 //! * **Acceptor** — polls a non-blocking listener, enforces the
 //!   connection cap at the door, spawns one handler thread per
-//!   connection.
+//!   connection. On shutdown it stays at the door — answering new
+//!   connections with `shutting_down` — until every shard has flushed
+//!   its queue, so no admitted job ever races a closed socket.
 //! * **Handlers** — read request lines (with a short read timeout so
-//!   they notice shutdown), answer `ping` inline, and submit
-//!   query/batch/stats work to the shared queue, blocking on a
-//!   per-request channel for the response line. Handlers never touch
-//!   the engine.
-//! * **Executor** — a single thread that owns *all* engine state
-//!   (symbol table, compiled graph, database, [`QueryProcessor`], the
-//!   PIB learner, the metrics sink). It sleeps on a condvar until the
-//!   [`Batcher`] is ready or a control request arrives, cuts a 64-lane
-//!   plane, classifies each query into its Note-2 context, executes the
-//!   plane bit-parallel, responds to every job, and feeds the served
-//!   contexts to `Pib::observe_batch` so the deployed strategy
-//!   hill-climbs on live traffic. Single ownership means zero locking
-//!   on the hot path and no `Sync` requirements on engine internals.
+//!   they notice shutdown), answer `ping` inline, and steer query/batch
+//!   work to an executor shard, blocking on a per-request channel for
+//!   the response line. Handlers never touch the engine.
+//! * **Executor shards** — [`ServerConfig::shards`] threads, each
+//!   owning a *shared-nothing replica* of the full engine state: its
+//!   own symbol table, compiled graph, fact database,
+//!   [`QueryProcessor`] with compiled program, [`BatchScratch`], PIB
+//!   learner, metrics sink, and service-time ring. A shard sleeps on
+//!   its own condvar until its [`Batcher`] is ready or a control
+//!   request arrives, cuts a 64-lane plane, classifies each query into
+//!   its Note-2 context, executes the plane bit-parallel, responds to
+//!   every job, and feeds the served contexts to `Pib::observe_batch`.
+//!   Nothing engine-shaped is shared between shards, so the hot path
+//!   takes no lock any other shard can hold and engine internals need
+//!   no `Sync`.
+//!
+//! ## Steering
+//!
+//! Whole jobs (never individual lanes) steer to a *home* shard by an
+//! FNV-1a hash of the first query text, so a repeated query stream
+//! lands on a warm replica. If the home shard's bounded queue declines
+//! the job, the handler makes one fallback offer to the least-loaded
+//! other shard (by queued-lane depth); only when that also declines is
+//! the request refused with `overloaded`. Fallbacks are counted
+//! (`steer_fallbacks`) so steering skew is visible in `stats`.
+//!
+//! ## Shard-local climbs, periodic merge
+//!
+//! With adaptation on, every shard hill-climbs its own PIB learner on
+//! the traffic it serves. A shard that accepts a climb publishes its
+//! (immutable, fingerprinted) strategy to the [`StrategyBoard`] — one
+//! slot plus an epoch counter. Each shard polls the epoch (one relaxed
+//! atomic load per loop iteration) and, when it changes, adopts the
+//! published strategy unless the fingerprint already matches its own:
+//! `Pib::adopt` restarts the candidate neighbourhood and
+//! `QueryProcessor::set_strategy` swaps the compiled program. Merging
+//! is last-publisher-wins and eventually consistent — shards may
+//! briefly serve different strategies, which is safe because answers
+//! are strategy-invariant (only costs differ).
 //!
 //! ## Overload and shutdown semantics
 //!
-//! Admission is bounded ([`ServerConfig::queue_cap`] lanes): a request
-//! that does not fit is *refused with an `overloaded` error response*,
-//! never silently dropped — every admitted request gets exactly one
-//! response. `shutdown` (or [`Server::shutdown`]) flips the queue into
-//! draining mode: new work is refused with `shutting_down`, queued work
-//! is flushed plane by plane, then the executor and acceptor exit and
-//! [`Server::join`] returns.
+//! Admission is bounded per shard ([`ServerConfig::queue_cap`] lanes):
+//! a request that fits neither its home shard nor the fallback is
+//! *refused with an `overloaded` error response*, never silently
+//! dropped — every admitted request gets exactly one response.
+//! `shutdown` (or [`Server::shutdown`]) flips every shard into
+//! draining mode: new work is refused with `shutting_down`, each shard
+//! flushes its queue plane by plane and exits, and only after the last
+//! shard reports drained does the acceptor close; then [`Server::join`]
+//! returns.
 
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -41,11 +72,10 @@ use std::time::{Duration, Instant};
 use qpl_core::{Pib, PibConfig};
 use qpl_datalog::parser::{parse_program, parse_query, parse_query_form};
 use qpl_datalog::{Atom, Database, SymbolTable};
-use qpl_engine::qp::{classify_context_into, QueryAnswer, QueryProcessor};
-use qpl_graph::batch::{BatchRun, ContextBatch, LANES};
+use qpl_engine::qp::{classify_context_into, BatchScratch, QueryAnswer, QueryProcessor};
+use qpl_graph::batch::LANES;
 use qpl_graph::compile::{compile, CompileOptions, CompiledGraph};
-use qpl_graph::context::{Context, RunScratch};
-use qpl_graph::InferenceGraph;
+use qpl_graph::{InferenceGraph, Strategy};
 use qpl_obs::names::serve as names;
 use qpl_obs::{JsonSnapshot, MemorySink, MetricsSink};
 use qpl_workload::generator::{random_layered_kb, KbParams};
@@ -53,7 +83,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::batcher::{Batcher, LaneWeight};
-use crate::wire::{self, LaneResult, Request, StatsView};
+use crate::wire::{self, LaneResult, Request, ShardStatsView, StatsView};
 
 /// Server tuning knobs. `Default` suits tests and small deployments.
 #[derive(Debug, Clone)]
@@ -61,7 +91,11 @@ pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port (read it back via
     /// [`Server::local_addr`]).
     pub addr: String,
-    /// Admission bound in queued query lanes; at least one full plane.
+    /// Executor shards, each with its own engine replica and queue.
+    /// Sized to physical cores for multi-core scaling; clamped to ≥ 1.
+    pub shards: usize,
+    /// Admission bound in queued query lanes, *per shard*; at least one
+    /// full plane.
     pub queue_cap: usize,
     /// Flush deadline: the longest a queued request waits for its plane
     /// to fill before executing anyway.
@@ -73,8 +107,9 @@ pub struct ServerConfig {
     pub max_batch: usize,
     /// Longest accepted request line.
     pub max_line_bytes: usize,
-    /// `Some(δ)` turns on online PIB adaptation at confidence `1 − δ`;
-    /// `None` serves with the fixed left-to-right strategy.
+    /// `Some(δ)` turns on online PIB adaptation at confidence `1 − δ`
+    /// on every shard; `None` serves with the fixed left-to-right
+    /// strategy.
     pub adapt_delta: Option<f64>,
     /// Handler read timeout — the latency with which idle connections
     /// notice a shutdown.
@@ -85,6 +120,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:0".to_string(),
+            shards: 1,
             queue_cap: 1024,
             max_wait: Duration::from_micros(500),
             max_connections: 256,
@@ -96,9 +132,10 @@ impl Default for ServerConfig {
     }
 }
 
-/// Everything the executor needs to serve queries: symbol table,
-/// compiled graph, and fact database. Moved into the executor thread at
-/// [`Server::start`].
+/// Everything one executor shard needs to serve queries: symbol table,
+/// compiled graph, and fact database. `Clone` is the replica
+/// constructor — [`Server::start`] moves one clone into each shard, so
+/// shards share nothing.
 #[derive(Debug, Clone)]
 pub struct ServeEngine {
     /// Symbol table the knowledge base (and incoming queries) intern
@@ -162,10 +199,25 @@ impl LaneWeight for Job {
     }
 }
 
+/// One shard's slice of a `stats` snapshot, sent back over the control
+/// channel; the handler merges all shards into one response line.
+struct ShardStats {
+    queue_lanes: u64,
+    served: u64,
+    batches: u64,
+    declined: u64,
+    errors: u64,
+    climbs: u64,
+    adoptions: u64,
+    /// Recent per-request service times, µs (unsorted ring contents).
+    service_us: Vec<f64>,
+    sink: MemorySink,
+}
+
 /// Work that bypasses admission (cheap, must stay responsive under
 /// load).
 enum Control {
-    Stats { resp: mpsc::Sender<String> },
+    Stats { resp: mpsc::Sender<ShardStats> },
 }
 
 struct QueueState {
@@ -174,11 +226,39 @@ struct QueueState {
     draining: bool,
 }
 
-struct Shared {
+/// One shard's queue: its own lock and condvar (so shards never contend
+/// with each other) plus a lock-free depth mirror for least-loaded
+/// fallback steering.
+struct ShardQueue {
     state: Mutex<QueueState>,
     cv: Condvar,
+    /// Mirror of `batcher.lanes_queued()`, refreshed by whoever holds
+    /// the state lock; read without it when picking a fallback shard.
+    depth: AtomicUsize,
+}
+
+/// The climb-merge mailbox: one published `(fingerprint, strategy)`
+/// slot guarded by a mutex, with an epoch counter shards poll cheaply.
+/// Last publisher wins; strategies are immutable and fingerprinted, so
+/// adoption is a clone + compiled-program swap, never a data race.
+struct StrategyBoard {
+    epoch: AtomicU64,
+    slot: Mutex<Option<(u64, Strategy)>>,
+}
+
+struct Shared {
+    shards: Vec<ShardQueue>,
+    board: StrategyBoard,
     stop: AtomicBool,
     conns: AtomicUsize,
+    /// Requests refused with `overloaded` (home and fallback both
+    /// declined) — the wire-level `shed` total.
+    refused: AtomicU64,
+    /// Jobs admitted at a non-home shard.
+    steer_fallbacks: AtomicU64,
+    /// Shards that have flushed their queue and exited; the acceptor
+    /// closes only when this reaches `shards.len()`.
+    drained: AtomicUsize,
 }
 
 /// A running server; dropping it initiates shutdown.
@@ -186,11 +266,12 @@ pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
     acceptor: Option<thread::JoinHandle<()>>,
-    executor: Option<thread::JoinHandle<()>>,
+    executors: Vec<thread::JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds, spawns the acceptor and executor threads, returns
+    /// Binds, spawns the acceptor and one executor thread per shard
+    /// (each owning its own [`ServeEngine`] replica), returns
     /// immediately.
     ///
     /// # Errors
@@ -199,30 +280,49 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let n = cfg.shards.max(1);
         let shared = Arc::new(Shared {
-            state: Mutex::new(QueueState {
-                batcher: Batcher::new(cfg.queue_cap.max(LANES)),
-                control: VecDeque::new(),
-                draining: false,
-            }),
-            cv: Condvar::new(),
+            shards: (0..n)
+                .map(|_| ShardQueue {
+                    state: Mutex::new(QueueState {
+                        batcher: Batcher::new(cfg.queue_cap.max(LANES)),
+                        control: VecDeque::new(),
+                        draining: false,
+                    }),
+                    cv: Condvar::new(),
+                    depth: AtomicUsize::new(0),
+                })
+                .collect(),
+            board: StrategyBoard { epoch: AtomicU64::new(0), slot: Mutex::new(None) },
             stop: AtomicBool::new(false),
             conns: AtomicUsize::new(0),
+            refused: AtomicU64::new(0),
+            steer_fallbacks: AtomicU64::new(0),
+            drained: AtomicUsize::new(0),
         });
-        let executor = {
+        // Shard 0 takes the caller's engine; the rest get replicas.
+        let mut engines = Vec::with_capacity(n);
+        for _ in 1..n {
+            engines.push(engine.clone());
+        }
+        engines.push(engine);
+        let mut executors = Vec::with_capacity(n);
+        for (shard, engine) in engines.into_iter().rev().enumerate() {
             let shared = Arc::clone(&shared);
             let cfg = cfg.clone();
-            thread::Builder::new()
-                .name("qpl-serve-exec".to_string())
-                .spawn(move || executor_loop(engine, cfg, &shared))?
-        };
+            executors.push(
+                thread::Builder::new()
+                    .name(format!("qpl-serve-exec-{shard}"))
+                    .spawn(move || executor_loop(shard, engine, cfg, &shared))?,
+            );
+        }
         let acceptor = {
             let shared = Arc::clone(&shared);
             thread::Builder::new()
                 .name("qpl-serve-accept".to_string())
                 .spawn(move || accept_loop(&listener, &cfg, &shared))?
         };
-        Ok(Server { addr, shared, acceptor: Some(acceptor), executor: Some(executor) })
+        Ok(Server { addr, shared, acceptor: Some(acceptor), executors })
     }
 
     /// The bound address (resolves ephemeral ports).
@@ -235,13 +335,14 @@ impl Server {
         initiate_shutdown(&self.shared);
     }
 
-    /// Waits for the acceptor and executor to finish draining, then for
-    /// handler threads to close their connections (bounded wait).
+    /// Waits for every executor shard to flush its queue and for the
+    /// acceptor to close behind them, then for handler threads to close
+    /// their connections (bounded wait).
     pub fn join(mut self) {
-        if let Some(h) = self.acceptor.take() {
+        for h in self.executors.drain(..) {
             let _ = h.join();
         }
-        if let Some(h) = self.executor.take() {
+        if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
         let t0 = Instant::now();
@@ -255,10 +356,10 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         initiate_shutdown(&self.shared);
-        if let Some(h) = self.acceptor.take() {
+        for h in self.executors.drain(..) {
             let _ = h.join();
         }
-        if let Some(h) = self.executor.take() {
+        if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
     }
@@ -266,11 +367,37 @@ impl Drop for Server {
 
 fn initiate_shutdown(shared: &Shared) {
     shared.stop.store(true, Ordering::SeqCst);
-    {
-        let mut st = shared.state.lock().expect("state mutex");
-        st.draining = true;
+    for sq in &shared.shards {
+        {
+            let mut st = sq.state.lock().expect("state mutex");
+            st.draining = true;
+        }
+        sq.cv.notify_all();
     }
-    shared.cv.notify_all();
+}
+
+/// Home-shard steering: FNV-1a over the job's first query text. Pure so
+/// property tests can replay steering decisions.
+pub fn steer_shard(text: &str, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// Fallback steering: the least-loaded shard other than `home` (ties to
+/// the lowest index), or `None` when there is no other shard. Pure so
+/// property tests can replay fallback decisions.
+pub fn fallback_shard(depths: &[usize], home: usize) -> Option<usize> {
+    depths
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != home)
+        .min_by_key(|(i, d)| (**d, *i))
+        .map(|(i, _)| i)
 }
 
 fn write_line(mut stream: &TcpStream, line: &str) -> io::Result<()> {
@@ -279,12 +406,24 @@ fn write_line(mut stream: &TcpStream, line: &str) -> io::Result<()> {
 }
 
 fn accept_loop(listener: &TcpListener, cfg: &ServerConfig, shared: &Arc<Shared>) {
+    let n = shared.shards.len();
     loop {
-        if shared.stop.load(Ordering::SeqCst) {
+        let stopping = shared.stop.load(Ordering::SeqCst);
+        // The acceptor outlives the executors: it closes only after
+        // every shard has flushed its queue, so clients that connected
+        // before the drain keep a live socket until they are answered.
+        if stopping && shared.drained.load(Ordering::SeqCst) >= n {
             break;
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
+                if stopping {
+                    let _ = write_line(
+                        &stream,
+                        &wire::render_error("shutting_down", "server is draining", None),
+                    );
+                    continue;
+                }
                 if shared.conns.load(Ordering::SeqCst) >= cfg.max_connections {
                     // Per-connection limit: refuse at the door with a
                     // proper response, then close.
@@ -433,36 +572,160 @@ fn handle_line(line: &str, cfg: &ServerConfig, shared: &Shared) -> Reply {
             initiate_shutdown(shared);
             Reply::Bye(wire::render_bye())
         }
-        Request::Stats => {
-            let (tx, rx) = mpsc::channel();
-            {
-                let mut st = shared.state.lock().expect("state mutex");
-                st.control.push_back(Control::Stats { resp: tx });
-            }
-            shared.cv.notify_all();
-            match rx.recv() {
-                Ok(resp) => Reply::Line(resp),
-                Err(_) => Reply::Closed,
-            }
-        }
+        Request::Stats => collect_stats(shared),
         Request::Query { q, id } => submit(vec![q], id, false, shared),
         Request::Batch { qs, id } => submit(qs, id, true, shared),
     }
 }
 
+/// Fans a stats control to every shard, merges the slices (counters
+/// add, sinks merge, service rings pool for fleet-wide percentiles)
+/// into one response line.
+fn collect_stats(shared: &Shared) -> Reply {
+    let mut pending = Vec::with_capacity(shared.shards.len());
+    for sq in &shared.shards {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut st = sq.state.lock().expect("state mutex");
+            st.control.push_back(Control::Stats { resp: tx });
+        }
+        sq.cv.notify_all();
+        pending.push(rx);
+    }
+    let mut views = Vec::with_capacity(pending.len());
+    let mut merged_sink = MemorySink::new();
+    let mut all_us: Vec<f64> = Vec::new();
+    let (mut queue_lanes, mut served, mut batches) = (0u64, 0u64, 0u64);
+    let (mut errors, mut climbs, mut adoptions) = (0u64, 0u64, 0u64);
+    for (shard, rx) in pending.into_iter().enumerate() {
+        let Ok(s) = rx.recv() else {
+            return Reply::Closed;
+        };
+        queue_lanes += s.queue_lanes;
+        served += s.served;
+        batches += s.batches;
+        errors += s.errors;
+        climbs += s.climbs;
+        adoptions += s.adoptions;
+        merged_sink.merge_from(&s.sink);
+        let mut us = s.service_us;
+        us.sort_by(f64::total_cmp);
+        views.push(ShardStatsView {
+            shard: shard as u64,
+            queue_lanes: s.queue_lanes,
+            served: s.served,
+            batches: s.batches,
+            declined: s.declined,
+            errors: s.errors,
+            climbs: s.climbs,
+            adoptions: s.adoptions,
+            fill_ratio: fill_ratio(s.served, s.batches),
+            p50_us: percentile_sorted(&us, 0.50),
+            p99_us: percentile_sorted(&us, 0.99),
+        });
+        all_us.extend_from_slice(&us);
+    }
+    // Handler-level counters live in `Shared`, not any shard's sink;
+    // stamp them into the merged snapshot so the metrics line is
+    // complete on its own.
+    let steer_fallbacks = shared.steer_fallbacks.load(Ordering::Relaxed);
+    merged_sink.counter(names::SHARD_STEER_FALLBACKS, steer_fallbacks);
+    all_us.sort_by(f64::total_cmp);
+    let view = StatsView {
+        queue_lanes,
+        served,
+        batches,
+        shed: shared.refused.load(Ordering::Relaxed),
+        errors,
+        climbs,
+        adoptions,
+        steer_fallbacks,
+        fill_ratio: fill_ratio(served, batches),
+        p50_us: percentile_sorted(&all_us, 0.50),
+        p99_us: percentile_sorted(&all_us, 0.99),
+        shards: views,
+        metrics_line: JsonSnapshot::capture(&merged_sink).as_line(),
+    };
+    Reply::Line(wire::render_stats(&view))
+}
+
+fn fill_ratio(served: u64, batches: u64) -> f64 {
+    if batches > 0 {
+        served as f64 / (batches as f64 * LANES as f64)
+    } else {
+        0.0
+    }
+}
+
+/// Percentile over an already-sorted sample buffer.
+fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+enum Admit {
+    Ok,
+    Draining,
+    Full(Job),
+}
+
+fn try_offer(shared: &Shared, shard: usize, job: Job) -> Admit {
+    let sq = &shared.shards[shard];
+    let mut st = sq.state.lock().expect("state mutex");
+    if st.draining {
+        return Admit::Draining;
+    }
+    match st.batcher.offer(job, Instant::now()) {
+        Ok(()) => {
+            sq.depth.store(st.batcher.lanes_queued(), Ordering::Relaxed);
+            drop(st);
+            sq.cv.notify_all();
+            Admit::Ok
+        }
+        Err(job) => Admit::Full(job),
+    }
+}
+
 fn submit(texts: Vec<String>, id: Option<u64>, batch: bool, shared: &Shared) -> Reply {
     let (tx, rx) = mpsc::channel();
+    let n = shared.shards.len();
+    let home = steer_shard(texts.first().map_or("", String::as_str), n);
     let job = Job { texts, id, batch, resp: tx };
-    {
-        let mut st = shared.state.lock().expect("state mutex");
-        if st.draining {
-            return Reply::Line(wire::render_error("shutting_down", "server is draining", id));
+    let declined = match try_offer(shared, home, job) {
+        Admit::Ok => None,
+        Admit::Draining => {
+            return Reply::Line(wire::render_error("shutting_down", "server is draining", id))
         }
-        if st.batcher.offer(job, Instant::now()).is_err() {
+        Admit::Full(job) => Some(job),
+    };
+    if let Some(job) = declined {
+        let depths: Vec<usize> =
+            shared.shards.iter().map(|s| s.depth.load(Ordering::Relaxed)).collect();
+        let admitted = match fallback_shard(&depths, home) {
+            Some(alt) => match try_offer(shared, alt, job) {
+                Admit::Ok => {
+                    shared.steer_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    true
+                }
+                Admit::Draining => {
+                    return Reply::Line(wire::render_error(
+                        "shutting_down",
+                        "server is draining",
+                        id,
+                    ))
+                }
+                Admit::Full(_) => false,
+            },
+            None => false,
+        };
+        if !admitted {
+            shared.refused.fetch_add(1, Ordering::Relaxed);
             return Reply::Line(wire::render_error("overloaded", "request queue full", id));
         }
     }
-    shared.cv.notify_all();
     match rx.recv() {
         Ok(resp) => Reply::Line(resp),
         Err(_) => Reply::Closed,
@@ -491,18 +754,14 @@ impl ServiceRing {
         }
     }
 
-    fn percentile(&self, scratch: &mut Vec<f64>, p: f64) -> f64 {
-        if self.buf.is_empty() {
-            return 0.0;
-        }
-        scratch.clone_from(&self.buf);
-        scratch.sort_by(f64::total_cmp);
-        let idx = ((scratch.len() - 1) as f64 * p).round() as usize;
-        scratch[idx]
+    fn samples(&self) -> &[f64] {
+        &self.buf
     }
 }
 
-/// Everything the executor thread owns.
+/// Everything one executor shard owns — a complete, private replica of
+/// the engine plus this shard's counters. No field is visible to any
+/// other shard.
 struct Executor<'g> {
     table: SymbolTable,
     compiled: &'g CompiledGraph,
@@ -511,26 +770,25 @@ struct Executor<'g> {
     qp: QueryProcessor<'g>,
     pib: Option<Pib>,
     current_fp: u64,
+    /// Last strategy-board epoch this shard acted on.
+    board_seen: u64,
     sink: MemorySink,
     served: u64,
     batches: u64,
     errors: u64,
     climbs: u64,
-    shed_emitted: u64,
+    adoptions: u64,
+    declined_emitted: u64,
     ring: ServiceRing,
     // Plane-assembly buffers, reused across planes.
     atoms: Vec<Atom>,
     slots: Vec<(usize, usize)>,
-    ctx_pool: Vec<Context>,
-    batch: ContextBatch,
-    run: BatchRun,
-    scratch: RunScratch,
+    scratch: BatchScratch,
     lane_out: Vec<(QueryAnswer, f64)>,
     results: Vec<Vec<Option<LaneResult>>>,
-    sort_buf: Vec<f64>,
 }
 
-fn executor_loop(engine: ServeEngine, cfg: ServerConfig, shared: &Shared) {
+fn executor_loop(shard: usize, engine: ServeEngine, cfg: ServerConfig, shared: &Shared) {
     let ServeEngine { table, compiled, db } = engine;
     let qp = QueryProcessor::left_to_right(&compiled);
     let pib = cfg
@@ -542,6 +800,7 @@ fn executor_loop(engine: ServeEngine, cfg: ServerConfig, shared: &Shared) {
         g: &compiled.graph,
         db,
         current_fp,
+        board_seen: 0,
         qp,
         pib,
         sink: MemorySink::new(),
@@ -549,27 +808,25 @@ fn executor_loop(engine: ServeEngine, cfg: ServerConfig, shared: &Shared) {
         batches: 0,
         errors: 0,
         climbs: 0,
-        shed_emitted: 0,
+        adoptions: 0,
+        declined_emitted: 0,
         ring: ServiceRing::new(4096),
         atoms: Vec::new(),
         slots: Vec::new(),
-        ctx_pool: Vec::new(),
-        batch: ContextBatch::new(compiled.graph.arc_count(), LANES),
-        run: BatchRun::new(),
-        scratch: RunScratch::new(&compiled.graph),
+        scratch: BatchScratch::new(&compiled.graph),
         lane_out: Vec::new(),
         results: Vec::new(),
-        sort_buf: Vec::new(),
         compiled: &compiled,
     };
+    let sq = &shared.shards[shard];
     let mut jobs: Vec<(Job, Instant)> = Vec::new();
     let mut controls: Vec<Control> = Vec::new();
     loop {
         controls.clear();
         jobs.clear();
         let exit;
-        let (queue_lanes, shed) = {
-            let mut st = shared.state.lock().expect("state mutex");
+        let (queue_lanes, declined) = {
+            let mut st = sq.state.lock().expect("state mutex");
             loop {
                 while let Some(c) = st.control.pop_front() {
                     controls.push(c);
@@ -582,43 +839,74 @@ fn executor_loop(engine: ServeEngine, cfg: ServerConfig, shared: &Shared) {
                 }
                 if ready || !controls.is_empty() || (st.draining && st.batcher.is_empty()) {
                     exit = st.draining && st.batcher.is_empty() && jobs.is_empty();
+                    sq.depth.store(st.batcher.lanes_queued(), Ordering::Relaxed);
                     break (st.batcher.lanes_queued() as u64, st.batcher.shed_count());
                 }
                 st = match st.batcher.deadline(cfg.max_wait) {
                     Some(deadline) => {
                         let wait = deadline.saturating_duration_since(Instant::now());
-                        shared.cv.wait_timeout(st, wait).expect("state mutex").0
+                        sq.cv.wait_timeout(st, wait).expect("state mutex").0
                     }
-                    None => shared.cv.wait(st).expect("state mutex"),
+                    None => sq.cv.wait(st).expect("state mutex"),
                 };
             }
         };
-        if shed > ex.shed_emitted {
-            ex.sink.counter(names::SHED, shed - ex.shed_emitted);
-            ex.shed_emitted = shed;
+        if declined > ex.declined_emitted {
+            ex.sink.counter(names::SHED, declined - ex.declined_emitted);
+            ex.declined_emitted = declined;
         }
         for control in controls.drain(..) {
             match control {
                 Control::Stats { resp } => {
-                    let line = ex.stats_line(queue_lanes, shed);
-                    let _ = resp.send(line);
+                    let _ = resp.send(ex.shard_stats(queue_lanes, declined));
                 }
             }
         }
         if !jobs.is_empty() {
-            ex.process_plane(&mut jobs);
+            ex.adopt_published(shared);
+            ex.process_plane(&mut jobs, shared);
         }
         if exit {
+            shared.drained.fetch_add(1, Ordering::SeqCst);
             break;
         }
     }
 }
 
 impl Executor<'_> {
+    /// Polls the strategy board (one atomic load on the fast path) and
+    /// adopts the published strategy when its fingerprint differs from
+    /// this shard's current program.
+    fn adopt_published(&mut self, shared: &Shared) {
+        let Some(pib) = &mut self.pib else {
+            return;
+        };
+        let epoch = shared.board.epoch.load(Ordering::Acquire);
+        if epoch == self.board_seen {
+            return;
+        }
+        self.board_seen = epoch;
+        let published = {
+            let slot = shared.board.slot.lock().expect("board mutex");
+            match slot.as_ref() {
+                Some((fp, strategy)) if *fp != self.current_fp => Some((*fp, strategy.clone())),
+                _ => None,
+            }
+        };
+        if let Some((fp, strategy)) = published {
+            pib.adopt(self.g, strategy.clone());
+            self.qp.set_strategy(strategy);
+            self.current_fp = fp;
+            self.adoptions += 1;
+            self.sink.counter(names::SHARD_ADOPTIONS, 1);
+        }
+    }
+
     /// Serves one cut plane: classify every query into a lane, execute
     /// the plane bit-parallel (bit-identical to scalar runs), respond
-    /// to every job, feed the contexts to the adaptation loop.
-    fn process_plane(&mut self, jobs: &mut Vec<(Job, Instant)>) {
+    /// to every job, feed the contexts to the adaptation loop, publish
+    /// any accepted climb to the peer shards.
+    fn process_plane(&mut self, jobs: &mut Vec<(Job, Instant)>, shared: &Shared) {
         let t0 = Instant::now();
         self.results.clear();
         self.results.extend(jobs.iter().map(|(job, _)| vec![None; job.texts.len()]));
@@ -630,12 +918,14 @@ impl Executor<'_> {
             for (si, text) in job.texts.iter().enumerate() {
                 let parsed = parse_query(text, &mut self.table).map_err(|e| e.to_string());
                 let classified = parsed.and_then(|atom| {
-                    if self.ctx_pool.len() == lanes {
-                        self.ctx_pool.push(Context::all_open(self.g));
-                    }
-                    classify_context_into(self.compiled, &atom, &self.db, &mut self.ctx_pool[lanes])
-                        .map(|()| atom)
-                        .map_err(|e| e.to_string())
+                    classify_context_into(
+                        self.compiled,
+                        &atom,
+                        &self.db,
+                        self.scratch.pool_context(self.g, lanes),
+                    )
+                    .map(|()| atom)
+                    .map_err(|e| e.to_string())
                 });
                 match classified {
                     Ok(atom) => {
@@ -652,21 +942,12 @@ impl Executor<'_> {
         }
         debug_assert!(lanes <= LANES, "the batcher never cuts past one plane");
         if lanes > 0 {
-            self.batch.reset(self.g.arc_count(), lanes);
-            for (lane, ctx) in self.ctx_pool[..lanes].iter().enumerate() {
-                self.batch.set_lane(lane, ctx);
-            }
+            self.scratch.assemble_pool_plane(self.g.arc_count(), lanes);
             self.lane_out.clear();
+            let (batch, run, scalar) = self.scratch.plane_parts_mut();
             self.qp
-                .run_classified_batch(
-                    &self.atoms,
-                    &self.db,
-                    &self.batch,
-                    &mut self.run,
-                    &mut self.scratch,
-                    &mut self.lane_out,
-                )
-                .expect("plane is assembled against the executor's own graph");
+                .run_classified_batch(&self.atoms, &self.db, batch, run, scalar, &mut self.lane_out)
+                .expect("plane is assembled against the shard's own graph");
             for (lane, (answer, cost)) in self.lane_out.iter().enumerate() {
                 let (ji, si) = self.slots[lane];
                 self.results[ji][si] = Some(match answer {
@@ -684,9 +965,10 @@ impl Executor<'_> {
             self.sink.value(names::BATCH_FILL, lanes as f64 / LANES as f64);
             // Online adaptation: the served plane *is* the PIB sample
             // batch. On an accepted climb, swap the processor's compiled
-            // program (fingerprint-memoized inside set_strategy).
+            // program (fingerprint-memoized inside set_strategy) and
+            // publish the strategy so peer shards can adopt it.
             if let Some(pib) = &mut self.pib {
-                pib.observe_batch(self.g, &self.batch);
+                pib.observe_batch(self.g, self.scratch.batch());
                 let fp = pib.strategy().fingerprint();
                 if fp != self.current_fp {
                     self.qp.set_strategy(pib.strategy().clone());
@@ -694,6 +976,12 @@ impl Executor<'_> {
                     let accepted = pib.history().len() as u64;
                     self.sink.counter(names::CLIMBS, accepted - self.climbs);
                     self.climbs = accepted;
+                    {
+                        let mut slot = shared.board.slot.lock().expect("board mutex");
+                        *slot = Some((fp, pib.strategy().clone()));
+                    }
+                    shared.board.epoch.fetch_add(1, Ordering::Release);
+                    self.sink.counter(names::SHARD_PUBLISHED, 1);
                 }
             }
         }
@@ -720,24 +1008,17 @@ impl Executor<'_> {
         }
     }
 
-    fn stats_line(&mut self, queue_lanes: u64, shed: u64) -> String {
-        let fill_ratio = if self.batches > 0 {
-            self.served as f64 / (self.batches as f64 * LANES as f64)
-        } else {
-            0.0
-        };
-        let view = StatsView {
+    fn shard_stats(&self, queue_lanes: u64, declined: u64) -> ShardStats {
+        ShardStats {
             queue_lanes,
             served: self.served,
             batches: self.batches,
-            shed,
+            declined,
             errors: self.errors,
             climbs: self.climbs,
-            fill_ratio,
-            p50_us: self.ring.percentile(&mut self.sort_buf, 0.50),
-            p99_us: self.ring.percentile(&mut self.sort_buf, 0.99),
-            metrics_line: JsonSnapshot::capture(&self.sink).as_line(),
-        };
-        wire::render_stats(&view)
+            adoptions: self.adoptions,
+            service_us: self.ring.samples().to_vec(),
+            sink: self.sink.clone(),
+        }
     }
 }

@@ -421,29 +421,66 @@ pub enum LaneResult {
     },
 }
 
-/// Aggregates surfaced by the `stats` response.
+/// One executor shard's slice of the `stats` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStatsView {
+    /// Shard index (0-based; matches steering).
+    pub shard: u64,
+    /// Query lanes waiting in this shard's queue at snapshot time.
+    pub queue_lanes: u64,
+    /// Query lanes this shard served.
+    pub served: u64,
+    /// Planes this shard executed.
+    pub batches: u64,
+    /// Offers this shard's batcher declined (the job then tried the
+    /// least-loaded fallback; only a fallback failure sheds).
+    pub declined: u64,
+    /// Lanes that failed classification on this shard.
+    pub errors: u64,
+    /// Strategy climbs this shard's own learner accepted.
+    pub climbs: u64,
+    /// Peer-published strategies this shard adopted.
+    pub adoptions: u64,
+    /// Mean occupied-lane fraction over this shard's planes.
+    pub fill_ratio: f64,
+    /// p50 request service time on this shard, microseconds.
+    pub p50_us: f64,
+    /// p99 request service time on this shard, microseconds.
+    pub p99_us: f64,
+}
+
+/// Aggregates surfaced by the `stats` response. Totals sum over every
+/// executor shard; `shards` breaks them down per shard.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StatsView {
-    /// Query lanes waiting in the admission queue at snapshot time.
+    /// Query lanes waiting across all shard queues at snapshot time.
     pub queue_lanes: u64,
     /// Query lanes served since startup.
     pub served: u64,
     /// Planes executed.
     pub batches: u64,
-    /// Requests refused with `overloaded`.
+    /// Requests refused with `overloaded` (home shard full *and* the
+    /// least-loaded fallback full).
     pub shed: u64,
     /// Lanes that failed classification.
     pub errors: u64,
-    /// Strategy climbs accepted by the adaptation loop.
+    /// Strategy climbs accepted by the adaptation loops (all shards).
     pub climbs: u64,
+    /// Peer-published strategies adopted across shards.
+    pub adoptions: u64,
+    /// Jobs admitted at a non-home shard because the steered shard's
+    /// queue was full.
+    pub steer_fallbacks: u64,
     /// Mean occupied-lane fraction over all executed planes.
     pub fill_ratio: f64,
-    /// p50 request service time, microseconds.
+    /// p50 request service time, microseconds, over all shards.
     pub p50_us: f64,
-    /// p99 request service time, microseconds.
+    /// p99 request service time, microseconds, over all shards.
     pub p99_us: f64,
-    /// The full metrics snapshot, rendered as one JSON line (embedded
-    /// verbatim — it is already JSON).
+    /// Per-shard breakdown, in shard order.
+    pub shards: Vec<ShardStatsView>,
+    /// The full metrics snapshot, merged across shard sinks, rendered
+    /// as one JSON line (embedded verbatim — it is already JSON).
     pub metrics_line: String,
 }
 
@@ -539,17 +576,42 @@ pub fn render_answers(results: &[LaneResult], id: Option<u64>) -> String {
     out
 }
 
-/// `stats` response line.
+/// `stats` response line, per-shard breakdown included.
 pub fn render_stats(s: &StatsView) -> String {
-    let mut out = String::with_capacity(256 + s.metrics_line.len());
+    let mut out = String::with_capacity(384 + 192 * s.shards.len() + s.metrics_line.len());
     push_envelope(&mut out, "stats", None);
     let _ = write!(
         out,
         ",\"queue_lanes\":{},\"served\":{},\"batches\":{},\"shed\":{},\"errors\":{},\"climbs\":{}",
         s.queue_lanes, s.served, s.batches, s.shed, s.errors, s.climbs
     );
+    let _ = write!(out, ",\"adoptions\":{},\"steer_fallbacks\":{}", s.adoptions, s.steer_fallbacks);
     let _ = write!(out, ",\"fill_ratio\":{}", s.fill_ratio);
     let _ = write!(out, ",\"p50_us\":{},\"p99_us\":{}", s.p50_us, s.p99_us);
+    out.push_str(",\"shards\":[");
+    for (i, sh) in s.shards.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"shard\":{},\"queue_lanes\":{},\"served\":{},\"batches\":{},\"declined\":{},\
+             \"errors\":{},\"climbs\":{},\"adoptions\":{},\"fill_ratio\":{},\"p50_us\":{},\
+             \"p99_us\":{}}}",
+            sh.shard,
+            sh.queue_lanes,
+            sh.served,
+            sh.batches,
+            sh.declined,
+            sh.errors,
+            sh.climbs,
+            sh.adoptions,
+            sh.fill_ratio,
+            sh.p50_us,
+            sh.p99_us
+        );
+    }
+    out.push(']');
     out.push_str(",\"metrics\":");
     out.push_str(&s.metrics_line);
     out.push('}');
@@ -654,6 +716,81 @@ mod tests {
         assert!(parse_request(&too_many, 65).is_ok());
     }
 
+    fn sample_stats() -> StatsView {
+        let shard = |i: u64, served: u64| ShardStatsView {
+            shard: i,
+            queue_lanes: i,
+            served,
+            batches: served / 32,
+            declined: 1,
+            errors: 0,
+            climbs: i,
+            adoptions: 1 - i.min(1),
+            fill_ratio: 0.5,
+            p50_us: 120.0,
+            p99_us: 800.0,
+        };
+        StatsView {
+            queue_lanes: 1,
+            served: 100,
+            batches: 3,
+            shed: 2,
+            errors: 1,
+            climbs: 1,
+            adoptions: 1,
+            steer_fallbacks: 4,
+            fill_ratio: 0.52,
+            p50_us: 130.5,
+            p99_us: 900.0,
+            shards: vec![shard(0, 64), shard(1, 36)],
+            metrics_line: "{\"schema_version\":1}".to_string(),
+        }
+    }
+
+    #[test]
+    fn stats_schema_exposes_totals_and_per_shard_breakdown() {
+        let line = render_stats(&sample_stats());
+        let v = JsonValue::parse(&line).unwrap();
+        for key in [
+            "queue_lanes",
+            "served",
+            "batches",
+            "shed",
+            "errors",
+            "climbs",
+            "adoptions",
+            "steer_fallbacks",
+            "fill_ratio",
+            "p50_us",
+            "p99_us",
+        ] {
+            assert!(v.get(key).and_then(JsonValue::as_f64).is_some(), "missing total {key}");
+        }
+        let shards = v.get("shards").and_then(JsonValue::as_array).expect("shards array");
+        assert_eq!(shards.len(), 2);
+        for (i, sh) in shards.iter().enumerate() {
+            assert_eq!(sh.get("shard").and_then(JsonValue::as_f64), Some(i as f64));
+            for key in [
+                "queue_lanes",
+                "served",
+                "batches",
+                "declined",
+                "errors",
+                "climbs",
+                "adoptions",
+                "fill_ratio",
+                "p50_us",
+                "p99_us",
+            ] {
+                assert!(
+                    sh.get(key).and_then(JsonValue::as_f64).is_some(),
+                    "shard {i} missing {key}"
+                );
+            }
+        }
+        assert!(v.get("metrics").is_some(), "merged metrics snapshot embedded");
+    }
+
     #[test]
     fn responses_parse_with_own_parser() {
         let lanes = vec![
@@ -667,18 +804,7 @@ mod tests {
             render_error("overloaded", "queue full", Some(3)),
             render_answer(&lanes[0], Some(9)),
             render_answers(&lanes, None),
-            render_stats(&StatsView {
-                queue_lanes: 1,
-                served: 100,
-                batches: 3,
-                shed: 2,
-                errors: 1,
-                climbs: 0,
-                fill_ratio: 0.52,
-                p50_us: 130.5,
-                p99_us: 900.0,
-                metrics_line: "{\"schema_version\":1}".to_string(),
-            }),
+            render_stats(&sample_stats()),
         ] {
             let v = JsonValue::parse(&line).unwrap_or_else(|e| panic!("{e} in {line}"));
             assert_eq!(v.get("v").and_then(JsonValue::as_f64), Some(1.0), "{line}");

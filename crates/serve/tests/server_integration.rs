@@ -112,15 +112,15 @@ fn ping_stats_and_bad_request_roundtrip() {
 
 /// The tentpole acceptance test: 200 queries from concurrent client
 /// threads, every response bit-identical (answer, witness, cost bits)
-/// to a direct scalar `QueryProcessor` run of the same query.
-#[test]
-fn concurrent_responses_bit_identical_to_direct_runs() {
+/// to a direct scalar `QueryProcessor` run of the same query — at any
+/// shard count.
+fn concurrent_bit_identity(shards: usize) {
     const THREADS: usize = 8;
     const PER_THREAD: usize = 25;
     let texts = query_texts(THREADS * PER_THREAD);
     let expected = direct_expectations(&texts);
 
-    let server = start(ServerConfig::default());
+    let server = start(ServerConfig { shards, ..ServerConfig::default() });
     let addr = server.local_addr();
 
     let handles: Vec<_> = (0..THREADS)
@@ -168,11 +168,24 @@ fn concurrent_responses_bit_identical_to_direct_runs() {
     server.join();
 }
 
+#[test]
+fn concurrent_responses_bit_identical_to_direct_runs() {
+    concurrent_bit_identity(1);
+}
+
+/// Sharded serving must answer bit-identically to the single-executor
+/// path: every shard owns a full replica of the same engine, so the
+/// shard a job lands on can never show through in the response.
+#[test]
+fn sharded_responses_bit_identical_to_direct_runs() {
+    concurrent_bit_identity(4);
+}
+
 /// Under a queue bound and heavy concurrent batches, every request gets
 /// exactly one response: an `answers` payload (correct) or an
-/// `overloaded` error. Nothing is silently dropped.
-#[test]
-fn overload_sheds_with_a_response_and_serves_the_rest() {
+/// `overloaded` error. Nothing is silently dropped — at any shard
+/// count, with per-shard shedding and least-loaded fallback in play.
+fn overload_accounting(shards: usize) {
     const THREADS: usize = 16;
     const BATCHES_PER_THREAD: usize = 8;
     const BATCH: usize = 32;
@@ -180,7 +193,8 @@ fn overload_sheds_with_a_response_and_serves_the_rest() {
     let expected = direct_expectations(&texts);
 
     let server = start(ServerConfig {
-        queue_cap: 64, // one plane: concurrent batches contend hard
+        shards,
+        queue_cap: 64, // one plane per shard: concurrent batches contend hard
         max_wait: Duration::from_micros(100),
         ..ServerConfig::default()
     });
@@ -247,8 +261,29 @@ fn overload_sheds_with_a_response_and_serves_the_rest() {
     );
     assert!(served > 0, "some batches are served even under contention");
 
+    // The server's own books must agree: answered + overloaded == sent.
+    let (mut s, mut r) = connect(&server);
+    let stats = roundtrip(&mut s, &mut r, r#"{"kind":"stats"}"#);
+    let stat = |k: &str| stats.get(k).and_then(JsonValue::as_f64).unwrap_or(0.0) as usize;
+    assert_eq!(stat("shed"), shed, "wire-level shed matches refused requests");
+    assert_eq!(
+        stat("served"),
+        served * BATCH,
+        "served lanes match answered requests times batch width"
+    );
+
     server.shutdown();
     server.join();
+}
+
+#[test]
+fn overload_sheds_with_a_response_and_serves_the_rest() {
+    overload_accounting(1);
+}
+
+#[test]
+fn sharded_overload_accounting_holds_under_per_shard_shedding() {
+    overload_accounting(3);
 }
 
 /// With online adaptation on, answers stay correct while the strategy
@@ -278,6 +313,151 @@ fn adaptation_keeps_answers_correct() {
     let stats = roundtrip(&mut s, &mut r, r#"{"kind":"stats"}"#);
     let served = stats.get("served").and_then(JsonValue::as_f64).unwrap();
     assert_eq!(served as usize, ROUNDS * texts.len());
+
+    server.shutdown();
+    server.join();
+}
+
+/// Drain must flush every shard: jobs are parked in shard queues (huge
+/// flush deadline, planes far from full), then shutdown fires — every
+/// admitted job must still get its real, bit-identical answer, at any
+/// shard count. The acceptor stays up until the last shard drains, so
+/// no client loses its socket mid-drain.
+#[test]
+fn drain_flushes_every_shard_without_dropping_admitted_jobs() {
+    const CLIENTS: usize = 24;
+    let texts = query_texts(CLIENTS);
+    let expected = direct_expectations(&texts);
+
+    for shards in [1usize, 2, 4] {
+        let server = start(ServerConfig {
+            shards,
+            // Nothing cuts a plane on its own: 1-lane jobs never fill a
+            // plane and the deadline is far beyond the test's lifetime.
+            max_wait: Duration::from_secs(600),
+            ..ServerConfig::default()
+        });
+
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|i| {
+                let addr = server.local_addr();
+                let text = texts[i].clone();
+                thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    roundtrip(
+                        &mut stream,
+                        &mut reader,
+                        &format!(r#"{{"kind":"query","q":"{text}","id":{i}}}"#),
+                    )
+                })
+            })
+            .collect();
+
+        // Wait until all jobs are admitted and parked across the shard
+        // queues (the stats control path bypasses admission).
+        let (mut s, mut r) = connect(&server);
+        let t0 = std::time::Instant::now();
+        loop {
+            let stats = roundtrip(&mut s, &mut r, r#"{"kind":"stats"}"#);
+            let queued = stats.get("queue_lanes").and_then(JsonValue::as_f64).unwrap_or(0.0);
+            if queued as usize == CLIENTS {
+                break;
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "shards={shards}: only {queued} of {CLIENTS} jobs admitted in time"
+            );
+            thread::sleep(Duration::from_millis(5));
+        }
+
+        server.shutdown();
+        for (i, h) in handles.into_iter().enumerate() {
+            let resp = h.join().expect("drained client thread");
+            assert_eq!(
+                resp.get("kind").and_then(JsonValue::as_str),
+                Some("answer"),
+                "shards={shards}: job {i} admitted before drain must be served, not dropped"
+            );
+            let (kind, witness, cost) = result_fields(resp.get("result").unwrap());
+            let (exp_kind, exp_witness, exp_cost) = &expected[i];
+            assert_eq!(&kind, exp_kind, "shards={shards}: drained answer is real");
+            assert_eq!(&witness, exp_witness);
+            assert_eq!(cost, Some(*exp_cost), "drained answers stay bit-identical");
+        }
+        server.join();
+    }
+}
+
+/// The `stats` wire op carries the per-shard breakdown: one entry per
+/// shard, every schema field present, per-shard totals summing to the
+/// fleet totals.
+#[test]
+fn stats_schema_covers_per_shard_breakdown() {
+    const SHARDS: usize = 3;
+    const ROUNDS: usize = 6;
+    let texts = query_texts(layered_params().constants);
+
+    let server =
+        start(ServerConfig { shards: SHARDS, adapt_delta: Some(0.2), ..ServerConfig::default() });
+    let (mut s, mut r) = connect(&server);
+
+    let qs = texts.iter().map(|t| format!("\"{t}\"")).collect::<Vec<_>>().join(",");
+    let req = format!(r#"{{"kind":"batch","qs":[{qs}]}}"#);
+    for _ in 0..ROUNDS {
+        roundtrip(&mut s, &mut r, &req);
+    }
+
+    let stats = roundtrip(&mut s, &mut r, r#"{"kind":"stats"}"#);
+    assert_eq!(stats.get("kind").and_then(JsonValue::as_str), Some("stats"));
+    for key in [
+        "queue_lanes",
+        "served",
+        "batches",
+        "shed",
+        "errors",
+        "climbs",
+        "adoptions",
+        "steer_fallbacks",
+        "fill_ratio",
+        "p50_us",
+        "p99_us",
+    ] {
+        assert!(stats.get(key).and_then(JsonValue::as_f64).is_some(), "missing total {key}");
+    }
+    let shards = stats.get("shards").and_then(JsonValue::as_array).expect("shards array");
+    assert_eq!(shards.len(), SHARDS, "one breakdown entry per shard");
+    let mut shard_served = 0.0;
+    for (i, sh) in shards.iter().enumerate() {
+        assert_eq!(sh.get("shard").and_then(JsonValue::as_f64), Some(i as f64));
+        for key in [
+            "queue_lanes",
+            "served",
+            "batches",
+            "declined",
+            "errors",
+            "climbs",
+            "adoptions",
+            "fill_ratio",
+            "p50_us",
+            "p99_us",
+        ] {
+            assert!(sh.get(key).and_then(JsonValue::as_f64).is_some(), "shard {i} missing {key}");
+        }
+        shard_served += sh.get("served").and_then(JsonValue::as_f64).unwrap();
+    }
+    assert_eq!(
+        stats.get("served").and_then(JsonValue::as_f64),
+        Some(shard_served),
+        "per-shard served sums to the fleet total"
+    );
+    assert_eq!(shard_served as usize, ROUNDS * texts.len(), "all lanes accounted for");
+    let metrics = stats.get("metrics").expect("merged metrics snapshot");
+    assert!(
+        metrics.get("schema_version").and_then(JsonValue::as_f64).is_some(),
+        "metrics is an embedded snapshot object"
+    );
 
     server.shutdown();
     server.join();
