@@ -113,6 +113,8 @@ struct RunStats {
     climbs: f64,
     adoptions: f64,
     steer_fallbacks: f64,
+    /// Planes executed at width 1/2/4/8 (64..512 lanes), all shards.
+    width_planes: [u64; 4],
     /// Per shard: (shard, served lanes, fill_ratio, serve-window qps).
     per_shard: Vec<(f64, f64, f64, f64)>,
 }
@@ -243,6 +245,12 @@ fn bench_one(args: &Args, shards: usize, texts: &[String], expected: &[&'static 
             (f("shard"), f("served"), f("fill_ratio"), f("served") / serve_secs)
         })
         .collect();
+    let mut width_planes = [0u64; 4];
+    if let Some(ws) = stats.get("width_planes").and_then(JsonValue::as_array) {
+        for (acc, w) in width_planes.iter_mut().zip(ws) {
+            *acc = w.as_f64().unwrap_or(0.0) as u64;
+        }
+    }
     let run = RunStats {
         shards,
         sent,
@@ -259,6 +267,7 @@ fn bench_one(args: &Args, shards: usize, texts: &[String], expected: &[&'static 
         climbs: stat("climbs"),
         adoptions: stat("adoptions"),
         steer_fallbacks: stat("steer_fallbacks"),
+        width_planes,
         per_shard,
     };
     ctl.write_all(b"{\"kind\":\"shutdown\"}\n").expect("shutdown send");
@@ -286,6 +295,7 @@ fn run_json(r: &RunStats) -> String {
          \"batch_fill_ratio\": {:.4}, \"service_p50_us\": {:.1}, \
          \"service_p99_us\": {:.1}, \"strategy_climbs\": {:.0}, \
          \"adoptions\": {:.0}, \"steer_fallbacks\": {:.0}, \
+         \"width_planes\": {{\"w1\": {}, \"w2\": {}, \"w4\": {}, \"w8\": {}}}, \
          \"per_shard\": [{per_shard}]}}",
         r.shards,
         r.sent,
@@ -302,6 +312,10 @@ fn run_json(r: &RunStats) -> String {
         r.climbs,
         r.adoptions,
         r.steer_fallbacks,
+        r.width_planes[0],
+        r.width_planes[1],
+        r.width_planes[2],
+        r.width_planes[3],
     )
 }
 

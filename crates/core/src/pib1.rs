@@ -415,22 +415,27 @@ mod tests {
     fn batched_observation_matches_scalar_byte_for_byte() {
         let g = g_a();
         let model = IndependentModel::from_retrieval_probs(&g, &[0.3, 0.5]).unwrap();
-        let mut rng = StdRng::seed_from_u64(23);
-        let ctxs: Vec<Context> = (0..500).map(|_| model.sample(&mut rng)).collect();
-        let mut scalar = Pib1::new(&g, Strategy::left_to_right(&g), root_swap(&g), 0.1).unwrap();
-        let mut batched = Pib1::new(&g, Strategy::left_to_right(&g), root_swap(&g), 0.1).unwrap();
-        // 500 = 7×64 + 52: the last batch is partial.
-        for chunk in ctxs.chunks(qpl_graph::batch::LANES) {
-            let mut b = ContextBatch::new(g.arc_count(), chunk.len());
-            for (lane, ctx) in chunk.iter().enumerate() {
-                scalar.observe(&g, ctx);
-                b.set_lane(lane, ctx);
+        // Every plane width, always with a partial last batch
+        // (500 = 7×64 + 52 = 3×128 + 116 = 256 + 244 = 488 + 12).
+        for plane_lanes in [64usize, 128, 256, 512] {
+            let mut rng = StdRng::seed_from_u64(23);
+            let ctxs: Vec<Context> = (0..500).map(|_| model.sample(&mut rng)).collect();
+            let mut scalar =
+                Pib1::new(&g, Strategy::left_to_right(&g), root_swap(&g), 0.1).unwrap();
+            let mut batched =
+                Pib1::new(&g, Strategy::left_to_right(&g), root_swap(&g), 0.1).unwrap();
+            for chunk in ctxs.chunks(plane_lanes) {
+                let mut b = ContextBatch::new(g.arc_count(), chunk.len());
+                for (lane, ctx) in chunk.iter().enumerate() {
+                    scalar.observe(&g, ctx);
+                    b.set_lane(lane, ctx);
+                }
+                batched.observe_batch(&g, &b);
+                assert_eq!(scalar.samples(), batched.samples(), "width {plane_lanes}");
+                assert_eq!(scalar.accumulated().to_bits(), batched.accumulated().to_bits());
+                assert_eq!(scalar.decision(), batched.decision());
+                assert_eq!(scalar.threshold().to_bits(), batched.threshold().to_bits());
             }
-            batched.observe_batch(&g, &b);
-            assert_eq!(scalar.samples(), batched.samples());
-            assert_eq!(scalar.accumulated().to_bits(), batched.accumulated().to_bits());
-            assert_eq!(scalar.decision(), batched.decision());
-            assert_eq!(scalar.threshold().to_bits(), batched.threshold().to_bits());
         }
     }
 

@@ -60,6 +60,23 @@ impl ParConfig {
         Self { workers, block: Self::DEFAULT_BLOCK }
     }
 
+    /// `workers` threads with one block per `width`-word context plane
+    /// (`width * 64` samples), so a [`batch_fold_blocks`] step can fill
+    /// and execute exactly one [`ContextBatch`](qpl_graph::batch::
+    /// ContextBatch) of that plane width per block. Per-lane values stay
+    /// bit-identical to scalar folds at any width; note the block size
+    /// is part of the fold's semantics (it decides how partial-sum
+    /// additions associate), so pick a width per experiment, not per
+    /// run.
+    ///
+    /// # Panics
+    /// Invariant assert: panics if `width` is not a supported plane
+    /// width.
+    pub fn with_plane_width(workers: usize, width: usize) -> Self {
+        assert!(matches!(width, 1 | 2 | 4 | 8), "plane width {width} is not one of 1/2/4/8");
+        Self { workers, block: width * qpl_graph::batch::LANES }
+    }
+
     /// One thread per available core (1 if detection fails).
     pub fn auto() -> Self {
         let workers = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
@@ -686,6 +703,102 @@ mod tests {
             assert_eq!(sum.to_bits(), base_sum.to_bits(), "W={workers} observed");
             assert_eq!(sink.counter_total("engine.par.samples"), 1000);
             assert_eq!(sink.counter_total("engine.par.blocks"), 16);
+        }
+    }
+
+    #[test]
+    fn block_fold_with_wide_planes_matches_per_sample_scalar_runs() {
+        // One block = one width-W ContextBatch: filling a 1/2/4/8-word
+        // plane from sample_rng(seed, i) per lane and executing it in a
+        // single sweep folds the same per-lane costs, in the same lane
+        // (= sample-index) order, as the per-sample scalar path — for
+        // every supported plane width and worker count.
+        use qpl_graph::batch::{execute_batch, BatchRun, ContextBatch, LaneMask};
+        use qpl_graph::context::RunScratch;
+        use qpl_graph::program::execute_program_into;
+        use qpl_graph::program::StrategyProgram;
+        use qpl_graph::{ContextDistribution, GraphBuilder, IndependentModel, Strategy};
+
+        let mut b = GraphBuilder::new("G");
+        let root = b.root();
+        for i in 0..6 {
+            let (_, n) = b.reduction(root, &format!("R{i}"), 1.0 + i as f64, &format!("n{i}"));
+            b.retrieval(n, &format!("D{i}"), 2.0 + i as f64);
+        }
+        let g = b.finish().unwrap();
+        let model = IndependentModel::uniform(&g, 0.55).unwrap();
+        let p = StrategyProgram::compile(&g, &Strategy::left_to_right(&g)).unwrap();
+        let n = 1000usize;
+
+        let scalar_sum = {
+            let cfg = ParConfig { workers: 1, block: 64 };
+            batch_fold(
+                n,
+                &cfg,
+                || 0.0f64,
+                |acc, i| {
+                    let mut rng = sample_rng(7, i as u64);
+                    let ctx = model.sample(&mut rng);
+                    let mut scratch = RunScratch::new(&g);
+                    execute_program_into(&p, &ctx, &mut scratch);
+                    *acc += scratch.cost();
+                },
+                |acc, part| *acc += part,
+            )
+        };
+
+        for width in [1usize, 2, 4, 8] {
+            for workers in [1usize, 3] {
+                let cfg = ParConfig::with_plane_width(workers, width);
+                assert_eq!(cfg.block, width * 64);
+                let sum = batch_fold_blocks(
+                    n,
+                    &cfg,
+                    || 0.0f64,
+                    || {
+                        (
+                            ContextBatch::new(g.arc_count(), cfg.block),
+                            BatchRun::new(),
+                            Vec::<rand::rngs::StdRng>::new(),
+                        )
+                    },
+                    |acc, (batch, run, rngs), range| {
+                        let lanes = range.len();
+                        batch.reset(g.arc_count(), lanes);
+                        rngs.clear();
+                        rngs.extend(range.clone().map(|i| sample_rng(7, i as u64)));
+                        model.sample_batch_into(rngs, batch);
+                        execute_batch(&p, batch, LaneMask::ALL, run);
+                        for lane in 0..lanes {
+                            *acc += run.cost(lane);
+                        }
+                    },
+                    |acc, part| *acc += part,
+                );
+                // Per-lane costs are bit-identical; the fold's partial
+                // sums associate per block, so compare against a scalar
+                // fold *of the same block size* for bit equality.
+                let scalar_same_block = batch_fold(
+                    n,
+                    &ParConfig { workers: 1, block: cfg.block },
+                    || 0.0f64,
+                    |acc, i| {
+                        let mut rng = sample_rng(7, i as u64);
+                        let ctx = model.sample(&mut rng);
+                        let mut scratch = RunScratch::new(&g);
+                        execute_program_into(&p, &ctx, &mut scratch);
+                        *acc += scratch.cost();
+                    },
+                    |acc, part| *acc += part,
+                );
+                assert_eq!(
+                    sum.to_bits(),
+                    scalar_same_block.to_bits(),
+                    "width {width} workers {workers} diverged from scalar"
+                );
+                // And all block sizes agree to rounding on this sum.
+                assert!((sum - scalar_sum).abs() < 1e-9, "width {width}");
+            }
         }
     }
 

@@ -10,7 +10,7 @@
 
 use crate::cache::RunCache;
 use qpl_datalog::{Atom, Database, Substitution, Symbol, Term, Var};
-use qpl_graph::batch::{execute_batch, BatchRun, ContextBatch, LANES};
+use qpl_graph::batch::{execute_batch, BatchRun, ContextBatch, LANES, MAX_LANES};
 use qpl_graph::compile::{ArcBinding, CompiledGraph, Guard, PatternTerm};
 use qpl_graph::context::{
     execute_partial_into, execute_probe_into, Context, RunOutcome, RunScratch, Trace,
@@ -437,13 +437,14 @@ impl<'g> QueryProcessor<'g> {
         Ok((answer, cost))
     }
 
-    /// Classifies up to [`LANES`] queries into one [`ContextBatch`]
+    /// Classifies up to [`MAX_LANES`] queries into one [`ContextBatch`]
     /// plane, lane `l` holding query `l`'s Note-2 context. `staging` is
     /// a reusable scalar buffer. The batch is resized to exactly
-    /// `queries.len()` lanes.
+    /// `queries.len()` lanes (and the smallest plane width that fits
+    /// them).
     ///
     /// # Errors
-    /// [`GraphError::BatchShape`] if more than [`LANES`] queries are
+    /// [`GraphError::BatchShape`] if more than [`MAX_LANES`] queries are
     /// given; [`GraphError::InvalidStrategy`] if any query does not
     /// match the compiled form (the batch is left partially filled —
     /// callers wanting per-query error isolation should classify with
@@ -455,9 +456,9 @@ impl<'g> QueryProcessor<'g> {
         batch: &mut ContextBatch,
         staging: &mut Context,
     ) -> Result<(), GraphError> {
-        if queries.len() > LANES {
+        if queries.len() > MAX_LANES {
             return Err(GraphError::BatchShape(format!(
-                "{} queries exceed the {LANES}-lane plane",
+                "{} queries exceed the {MAX_LANES}-lane plane",
                 queries.len()
             )));
         }
@@ -537,7 +538,8 @@ impl<'g> QueryProcessor<'g> {
     }
 
     /// Processes any number of queries through the bit-parallel batch
-    /// path, [`LANES`] at a time: classify a chunk into `s.batch`,
+    /// path, up to [`MAX_LANES`] at a time (each chunk gets the smallest
+    /// plane width that fits it): classify a chunk into `s.batch`,
     /// execute the plane, append each `(answer, cost)` to `out` in
     /// query order. `out` is cleared first. After return, `s` holds the
     /// *last* chunk's plane and result planes.
@@ -553,7 +555,7 @@ impl<'g> QueryProcessor<'g> {
         out: &mut Vec<(QueryAnswer, f64)>,
     ) -> Result<(), GraphError> {
         out.clear();
-        for chunk in queries.chunks(LANES) {
+        for chunk in queries.chunks(MAX_LANES) {
             self.classify_batch_into(chunk, db, &mut s.batch, &mut s.staging)?;
             self.run_classified_batch(chunk, db, &s.batch, &mut s.run, &mut s.scratch, out)?;
         }
@@ -903,15 +905,16 @@ mod tests {
         let (mut t, cg, db) = setup(FIGURE1, "instructor(b)");
         let qp = QueryProcessor::left_to_right(&cg);
         let base = ["russ", "manolis", "fred"];
-        let queries: Vec<Atom> = (0..150)
+        let queries: Vec<Atom> = (0..600)
             .map(|i| parse_query(&format!("instructor({})", base[i % 3]), &mut t).unwrap())
             .collect();
         let mut bs = BatchScratch::new(&cg.graph);
         let mut out = Vec::new();
         qp.run_batch_into(&queries, &db, &mut bs, &mut out).unwrap();
-        assert_eq!(out.len(), 150);
-        // Last chunk: 150 = 64 + 64 + 22 lanes.
-        assert_eq!(bs.batch().lanes(), 22);
+        assert_eq!(out.len(), 600);
+        // Last chunk: 600 = 512 + 88 lanes (width 2).
+        assert_eq!(bs.batch().lanes(), 88);
+        assert_eq!(bs.batch().width(), 2);
         let mut scratch = RunScratch::new(&cg.graph);
         for (q, (answer, cost)) in queries.iter().zip(&out) {
             let scalar = qp.run_into(q, &db, &mut scratch).unwrap();
@@ -967,7 +970,7 @@ mod tests {
         let (mut t, cg, db) = setup(FIGURE1, "instructor(b)");
         let qp = QueryProcessor::left_to_right(&cg);
         let q = parse_query("instructor(russ)", &mut t).unwrap();
-        let queries = vec![q; 65];
+        let queries = vec![q; MAX_LANES + 1];
         let mut batch = qpl_graph::batch::ContextBatch::new(cg.graph.arc_count(), 1);
         let mut staging = Context::all_open(&cg.graph);
         assert!(matches!(

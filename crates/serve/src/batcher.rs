@@ -1,5 +1,5 @@
 //! Dynamic batcher + admission controller: a bounded FIFO of jobs that
-//! coalesces into 64-lane planes.
+//! coalesces into 64..=512-lane planes, sized by queue depth.
 //!
 //! The batcher is a *synchronous state machine* — it never touches a
 //! clock or a thread by itself. Callers pass `Instant`s in, which keeps
@@ -32,11 +32,26 @@
 //!   the next job would overflow the plane. Jobs are never split across
 //!   planes (each is at most [`LANES`] lanes wide, enforced at request
 //!   parse time), so a batch request's lanes always execute together.
+//!   The plane's lane capacity is caller-chosen: under load the server
+//!   passes a wider capacity ([`plane_width_for_depth`] × [`LANES`])
+//!   so one cut drains what would otherwise take up to eight.
 
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
-use qpl_graph::batch::LANES;
+use qpl_graph::batch::{width_for_lanes, LANES, MAX_LANES};
+
+/// Plane width (in 64-lane words) to cut for a queue currently holding
+/// `lanes_queued` lanes: the narrowest power-of-two plane that drains
+/// the whole queue in one cut, capped at [`MAX_LANES`] total lanes.
+///
+/// Depth 0..=64 → 1, 65..=128 → 2, 129..=256 → 4, 257+ → 8. A lightly
+/// loaded shard keeps cutting 64-lane planes (identical latency profile
+/// to the fixed-width batcher); a backlogged shard amortizes program
+/// dispatch over up to 512 lanes per cut.
+pub fn plane_width_for_depth(lanes_queued: usize) -> usize {
+    width_for_lanes(lanes_queued.clamp(1, MAX_LANES))
+}
 
 /// How many plane lanes a queued job occupies (its query count).
 pub trait LaneWeight {
@@ -101,19 +116,22 @@ impl<T: LaneWeight> Batcher<T> {
     }
 
     /// Pops whole jobs FIFO into `out` (cleared first) until the plane
-    /// is full or the next job would not fit. Returns the lane total.
-    /// Empty queue → 0 lanes, empty `out`.
-    pub fn cut_plane(&mut self, out: &mut Vec<(T, Instant)>) -> usize {
+    /// is full or the next job would not fit. `max_lanes` is the
+    /// plane's lane capacity (clamped to `LANES..=MAX_LANES`; the
+    /// server passes [`plane_width_for_depth`]` × LANES`). Returns the
+    /// lane total. Empty queue → 0 lanes, empty `out`.
+    pub fn cut_plane(&mut self, max_lanes: usize, out: &mut Vec<(T, Instant)>) -> usize {
+        let cap = max_lanes.clamp(LANES, MAX_LANES);
         out.clear();
         let mut lanes = 0usize;
         while let Some((job, _)) = self.queue.front() {
             let w = job.lanes();
-            if lanes + w > LANES {
+            if lanes + w > cap {
                 break;
             }
             lanes += w;
             out.push(self.queue.pop_front().expect("front exists"));
-            if lanes == LANES {
+            if lanes == cap {
                 break;
             }
         }
@@ -197,12 +215,12 @@ mod tests {
         b.offer(J(10), t0).unwrap(); // would overflow: stays queued
         b.offer(J(4), t0).unwrap(); // FIFO: not reordered around the 10
         let mut out = Vec::new();
-        assert_eq!(b.cut_plane(&mut out), 60);
+        assert_eq!(b.cut_plane(LANES, &mut out), 60);
         assert_eq!(out.len(), 2, "jobs are never split and never reordered");
         assert_eq!(b.lanes_queued(), 14);
-        assert_eq!(b.cut_plane(&mut out), 14);
+        assert_eq!(b.cut_plane(LANES, &mut out), 14);
         assert!(b.is_empty());
-        assert_eq!(b.cut_plane(&mut out), 0);
+        assert_eq!(b.cut_plane(LANES, &mut out), 0);
     }
 
     #[test]
@@ -213,8 +231,49 @@ mod tests {
             b.offer(J(1), t0).unwrap();
         }
         let mut out = Vec::new();
-        assert_eq!(b.cut_plane(&mut out), LANES);
+        assert_eq!(b.cut_plane(LANES, &mut out), LANES);
         assert_eq!(out.len(), LANES);
         assert_eq!(b.lanes_queued(), 6);
+    }
+
+    #[test]
+    fn wide_planes_drain_a_backlog_in_one_cut() {
+        let t0 = Instant::now();
+        let mut b = Batcher::new(1000);
+        for _ in 0..5 {
+            b.offer(J(60), t0).unwrap();
+        }
+        let width = plane_width_for_depth(b.lanes_queued());
+        assert_eq!(width, 8, "300 queued lanes call for the widest plane");
+        let mut out = Vec::new();
+        assert_eq!(b.cut_plane(width * LANES, &mut out), 300);
+        assert!(b.is_empty(), "one wide cut drains the whole backlog");
+    }
+
+    #[test]
+    fn plane_width_tracks_queue_depth() {
+        assert_eq!(plane_width_for_depth(0), 1);
+        assert_eq!(plane_width_for_depth(1), 1);
+        assert_eq!(plane_width_for_depth(64), 1);
+        assert_eq!(plane_width_for_depth(65), 2);
+        assert_eq!(plane_width_for_depth(128), 2);
+        assert_eq!(plane_width_for_depth(129), 4);
+        assert_eq!(plane_width_for_depth(256), 4);
+        assert_eq!(plane_width_for_depth(257), 8);
+        assert_eq!(plane_width_for_depth(10_000), 8, "capped at MAX_LANES");
+    }
+
+    #[test]
+    fn cut_plane_clamps_the_capacity_to_the_plane_range() {
+        let t0 = Instant::now();
+        let mut b = Batcher::new(2000);
+        for _ in 0..20 {
+            b.offer(J(64), t0).unwrap();
+        }
+        let mut out = Vec::new();
+        // Below LANES clamps up to one plane; above MAX_LANES clamps
+        // down to the widest plane.
+        assert_eq!(b.cut_plane(0, &mut out), LANES);
+        assert_eq!(b.cut_plane(usize::MAX, &mut out), MAX_LANES);
     }
 }

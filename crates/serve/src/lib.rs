@@ -21,7 +21,7 @@ pub mod batcher;
 pub mod server;
 pub mod wire;
 
-pub use batcher::{Batcher, LaneWeight};
+pub use batcher::{plane_width_for_depth, Batcher, LaneWeight};
 pub use server::{fallback_shard, steer_shard, ServeEngine, Server, ServerConfig};
 pub use wire::{
     parse_request, JsonValue, LaneResult, Request, ShardStatsView, StatsView, WIRE_VERSION,

@@ -73,7 +73,7 @@ use qpl_core::{Pib, PibConfig};
 use qpl_datalog::parser::{parse_program, parse_query, parse_query_form};
 use qpl_datalog::{Atom, Database, SymbolTable};
 use qpl_engine::qp::{classify_context_into, BatchScratch, QueryAnswer, QueryProcessor};
-use qpl_graph::batch::LANES;
+use qpl_graph::batch::{width_for_lanes, LANES, MAX_LANES};
 use qpl_graph::compile::{compile, CompileOptions, CompiledGraph};
 use qpl_graph::{InferenceGraph, Strategy};
 use qpl_obs::names::serve as names;
@@ -82,7 +82,7 @@ use qpl_workload::generator::{random_layered_kb, KbParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::batcher::{Batcher, LaneWeight};
+use crate::batcher::{plane_width_for_depth, Batcher, LaneWeight};
 use crate::wire::{self, LaneResult, Request, ShardStatsView, StatsView};
 
 /// Server tuning knobs. `Default` suits tests and small deployments.
@@ -205,6 +205,10 @@ struct ShardStats {
     queue_lanes: u64,
     served: u64,
     batches: u64,
+    /// Summed lane capacity of executed planes (fill denominator).
+    plane_lanes: u64,
+    /// Planes executed at width 1/2/4/8, indexed by log2(width).
+    width_planes: [u64; 4],
     declined: u64,
     errors: u64,
     climbs: u64,
@@ -597,6 +601,8 @@ fn collect_stats(shared: &Shared) -> Reply {
     let mut all_us: Vec<f64> = Vec::new();
     let (mut queue_lanes, mut served, mut batches) = (0u64, 0u64, 0u64);
     let (mut errors, mut climbs, mut adoptions) = (0u64, 0u64, 0u64);
+    let mut plane_lanes = 0u64;
+    let mut width_planes = [0u64; 4];
     for (shard, rx) in pending.into_iter().enumerate() {
         let Ok(s) = rx.recv() else {
             return Reply::Closed;
@@ -604,6 +610,10 @@ fn collect_stats(shared: &Shared) -> Reply {
         queue_lanes += s.queue_lanes;
         served += s.served;
         batches += s.batches;
+        plane_lanes += s.plane_lanes;
+        for (acc, w) in width_planes.iter_mut().zip(s.width_planes) {
+            *acc += w;
+        }
         errors += s.errors;
         climbs += s.climbs;
         adoptions += s.adoptions;
@@ -619,7 +629,7 @@ fn collect_stats(shared: &Shared) -> Reply {
             errors: s.errors,
             climbs: s.climbs,
             adoptions: s.adoptions,
-            fill_ratio: fill_ratio(s.served, s.batches),
+            fill_ratio: fill_ratio(s.served, s.plane_lanes),
             p50_us: percentile_sorted(&us, 0.50),
             p99_us: percentile_sorted(&us, 0.99),
         });
@@ -640,7 +650,8 @@ fn collect_stats(shared: &Shared) -> Reply {
         climbs,
         adoptions,
         steer_fallbacks,
-        fill_ratio: fill_ratio(served, batches),
+        fill_ratio: fill_ratio(served, plane_lanes),
+        width_planes,
         p50_us: percentile_sorted(&all_us, 0.50),
         p99_us: percentile_sorted(&all_us, 0.99),
         shards: views,
@@ -649,9 +660,12 @@ fn collect_stats(shared: &Shared) -> Reply {
     Reply::Line(wire::render_stats(&view))
 }
 
-fn fill_ratio(served: u64, batches: u64) -> f64 {
-    if batches > 0 {
-        served as f64 / (batches as f64 * LANES as f64)
+/// Occupied fraction of executed plane capacity. `capacity_lanes` sums
+/// each plane's width × 64 lanes, so a shard that widens under load is
+/// judged against the capacity it actually cut.
+fn fill_ratio(served: u64, capacity_lanes: u64) -> f64 {
+    if capacity_lanes > 0 {
+        served as f64 / capacity_lanes as f64
     } else {
         0.0
     }
@@ -775,6 +789,11 @@ struct Executor<'g> {
     sink: MemorySink,
     served: u64,
     batches: u64,
+    /// Summed lane *capacity* of executed planes (width × 64 each) —
+    /// the width-aware fill-ratio denominator.
+    plane_lanes: u64,
+    /// Planes executed at width 1/2/4/8, indexed by log2(width).
+    width_planes: [u64; 4],
     errors: u64,
     climbs: u64,
     adoptions: u64,
@@ -806,6 +825,8 @@ fn executor_loop(shard: usize, engine: ServeEngine, cfg: ServerConfig, shared: &
         sink: MemorySink::new(),
         served: 0,
         batches: 0,
+        plane_lanes: 0,
+        width_planes: [0; 4],
         errors: 0,
         climbs: 0,
         adoptions: 0,
@@ -835,7 +856,10 @@ fn executor_loop(shard: usize, engine: ServeEngine, cfg: ServerConfig, shared: &
                 let ready =
                     st.batcher.ready(now, cfg.max_wait) || (st.draining && !st.batcher.is_empty());
                 if ready {
-                    st.batcher.cut_plane(&mut jobs);
+                    // Under load the cut widens (up to 512 lanes) so one
+                    // dispatch drains what would otherwise take eight.
+                    let cap = plane_width_for_depth(st.batcher.lanes_queued()) * LANES;
+                    st.batcher.cut_plane(cap, &mut jobs);
                 }
                 if ready || !controls.is_empty() || (st.draining && st.batcher.is_empty()) {
                     exit = st.draining && st.batcher.is_empty() && jobs.is_empty();
@@ -940,7 +964,7 @@ impl Executor<'_> {
                 }
             }
         }
-        debug_assert!(lanes <= LANES, "the batcher never cuts past one plane");
+        debug_assert!(lanes <= MAX_LANES, "the batcher never cuts past the widest plane");
         if lanes > 0 {
             self.scratch.assemble_pool_plane(self.g.arc_count(), lanes);
             self.lane_out.clear();
@@ -958,11 +982,15 @@ impl Executor<'_> {
                     QueryAnswer::No => LaneResult::No { cost: *cost },
                 });
             }
+            let width = width_for_lanes(lanes);
             self.served += lanes as u64;
             self.batches += 1;
+            self.plane_lanes += (width * LANES) as u64;
+            self.width_planes[width.trailing_zeros() as usize] += 1;
             self.sink.counter(names::QUERIES, lanes as u64);
             self.sink.counter(names::BATCHES, 1);
-            self.sink.value(names::BATCH_FILL, lanes as f64 / LANES as f64);
+            self.sink.value(names::BATCH_FILL, lanes as f64 / (width * LANES) as f64);
+            self.sink.value(names::PLANE_WIDTH, width as f64);
             // Online adaptation: the served plane *is* the PIB sample
             // batch. On an accepted climb, swap the processor's compiled
             // program (fingerprint-memoized inside set_strategy) and
@@ -1013,6 +1041,8 @@ impl Executor<'_> {
             queue_lanes,
             served: self.served,
             batches: self.batches,
+            plane_lanes: self.plane_lanes,
+            width_planes: self.width_planes,
             declined,
             errors: self.errors,
             climbs: self.climbs,

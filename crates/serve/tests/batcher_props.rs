@@ -16,11 +16,11 @@ use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
 use proptest::{collection, num};
-use qpl_graph::batch::{execute_batch, BatchRun, ContextBatch, LANES};
+use qpl_graph::batch::{execute_batch, BatchRun, ContextBatch, LANES, MAX_LANES};
 use qpl_graph::context::{Context, RunScratch};
 use qpl_graph::program::{execute_program_into, StrategyProgram};
 use qpl_graph::{InferenceGraph, Strategy};
-use qpl_serve::batcher::{Batcher, LaneWeight};
+use qpl_serve::batcher::{plane_width_for_depth, Batcher, LaneWeight};
 use qpl_workload::generator::{random_tree_with_retrievals, TreeParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -60,8 +60,11 @@ fn serve_plane(
     batcher: &mut Batcher<Req>,
     plane_buf: &mut Vec<(Req, Instant)>,
 ) -> Vec<usize> {
-    let lanes = batcher.cut_plane(plane_buf);
-    assert!(lanes <= LANES, "a plane never exceeds the bit width");
+    // Cut at the width the server would pick for this queue depth, so
+    // the property covers 64..512-lane planes under backlog.
+    let cap = plane_width_for_depth(batcher.lanes_queued()) * LANES;
+    let lanes = batcher.cut_plane(cap, plane_buf);
+    assert!(lanes <= cap && cap <= MAX_LANES, "a plane never exceeds its cut capacity");
     let contexts: Vec<&Context> =
         plane_buf.iter().flat_map(|(req, _)| req.contexts.iter()).collect();
     assert_eq!(contexts.len(), lanes, "jobs are whole: lane sums match the cut");

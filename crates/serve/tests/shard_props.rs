@@ -30,7 +30,9 @@ use qpl_datalog::SymbolTable;
 use qpl_engine::qp::{classify_context_into, BatchScratch, QueryAnswer, QueryProcessor};
 use qpl_graph::batch::LANES;
 use qpl_graph::{ArcId, ArcOutcome};
-use qpl_serve::{fallback_shard, steer_shard, Batcher, LaneWeight, ServeEngine};
+use qpl_serve::{
+    fallback_shard, plane_width_for_depth, steer_shard, Batcher, LaneWeight, ServeEngine,
+};
 
 /// Query pool over the Figure-1 KB: known and unknown constants, so
 /// planes mix `yes` and `no` lanes.
@@ -232,7 +234,8 @@ proptest! {
             // Executors cut every plane due before this arrival.
             for b in batchers.iter_mut() {
                 while b.ready(now, wait) {
-                    b.cut_plane(&mut plane);
+                    let cap = plane_width_for_depth(b.lanes_queued()) * LANES;
+                    b.cut_plane(cap, &mut plane);
                     for (j, _) in plane.drain(..) {
                         record(&mut fates, j.id, "served")?;
                     }
@@ -260,7 +263,8 @@ proptest! {
         // Drain: what every shard does on shutdown.
         for b in batchers.iter_mut() {
             while !b.is_empty() {
-                b.cut_plane(&mut plane);
+                let cap = plane_width_for_depth(b.lanes_queued()) * LANES;
+                b.cut_plane(cap, &mut plane);
                 for (j, _) in plane.drain(..) {
                     record(&mut fates, j.id, "served")?;
                 }
