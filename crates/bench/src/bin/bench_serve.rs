@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! bench_serve [--out BENCH_serve.json] [--threads N] [--rounds N]
-//!             [--batch N] [--shards N] [--adapt DELTA] [--assert-qps N]
+//!             [--batch N] [--updates N] [--shards N] [--adapt DELTA]
+//!             [--assert-qps N]
 //! ```
 //!
 //! For each shard count in the sweep (default `{1, 2, 4, cores}`;
@@ -31,6 +32,15 @@
 //! served/fill/qps are pulled from the server's own `stats` breakdown.
 //! `--assert-qps` gates the best serve-window qps across the sweep for
 //! CI.
+//!
+//! After the timed window, a **mixed query/update phase** sends
+//! `--updates` wire-v2 `update` requests (alternating insert/retract
+//! of a fact outside every query's dependency footprint) interleaved
+//! with full query batches. Each batch must keep answering exactly
+//! what the pre-churn scalar ground truth said, every shard's
+//! applied-delta counter must equal the rounds sent (replica
+//! convergence), and the merged metrics must carry the
+//! `serve.kb.delta.applied` and `obs.events_dropped` counters.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -52,6 +62,7 @@ struct Args {
     threads: usize,
     rounds: usize,
     batch: usize,
+    updates: usize,
     shards: Option<usize>,
     adapt: Option<f64>,
     assert_qps: Option<f64>,
@@ -66,6 +77,7 @@ fn parse_args() -> Args {
         threads: get("--threads").map_or(8, |v| v.parse().expect("--threads takes a count")),
         rounds: get("--rounds").map_or(200, |v| v.parse().expect("--rounds takes a count")),
         batch: get("--batch").map_or(32, |v| v.parse().expect("--batch takes a lane count")),
+        updates: get("--updates").map_or(16, |v| v.parse().expect("--updates takes a count")),
         shards: get("--shards").map(|v| v.parse().expect("--shards takes a count")),
         adapt: match get("--adapt") {
             Some(v) if v == "off" => None,
@@ -117,6 +129,15 @@ struct RunStats {
     width_planes: [u64; 4],
     /// Per shard: (shard, served lanes, fill_ratio, serve-window qps).
     per_shard: Vec<(f64, f64, f64, f64)>,
+    /// `update` rounds sent in the mixed query/update phase.
+    update_rounds: u64,
+    /// Each shard's applied-delta counter after that phase; convergent
+    /// replicas all report `update_rounds`.
+    per_shard_deltas: Vec<f64>,
+    /// The merged `serve.kb.delta.applied` metrics counter.
+    kb_delta_applied: f64,
+    /// The merged `obs.events_dropped` metrics counter.
+    events_dropped: f64,
 }
 
 /// Client `t`'s lane order: the shared text list rotated by `t`, so
@@ -226,10 +247,46 @@ fn bench_one(args: &Args, shards: usize, texts: &[String], expected: &[&'static 
     let serve_qps = served_queries as f64 / serve_secs;
     let total_qps = served_queries as f64 / total_secs;
 
-    // Pull the server's own accounting before shutting down.
+    // Mixed query/update phase (outside the timed window): live KB
+    // deltas interleaved with re-queries on one connection. The churned
+    // predicate never appears in any query's dependency footprint, so
+    // every interleaved batch must keep answering exactly what the
+    // scalar ground truth said before the churn started.
     let mut ctl = TcpStream::connect(addr).expect("stats connect");
     ctl.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
     let mut ctl_reader = BufReader::new(ctl.try_clone().expect("clone"));
+    let send_line = |ctl: &mut TcpStream, reader: &mut BufReader<TcpStream>, req: &str| {
+        ctl.write_all(req.as_bytes()).expect("send");
+        ctl.write_all(b"\n").expect("send");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response");
+        JsonValue::parse(&line).expect("response is valid JSON")
+    };
+    let query_req = batch_request(texts);
+    for i in 0..args.updates as u64 {
+        let update_req = if i % 2 == 0 {
+            format!(r#"{{"kind":"update","insert":["churn(u{i})"],"id":{i}}}"#)
+        } else {
+            format!(r#"{{"kind":"update","retract":["churn(u{})"],"id":{i}}}"#, i - 1)
+        };
+        let ack = send_line(&mut ctl, &mut ctl_reader, &update_req);
+        assert_eq!(ack.get("kind").and_then(JsonValue::as_str), Some("updated"), "{ack:?}");
+        assert_eq!(
+            ack.get("deltas_applied").and_then(JsonValue::as_f64),
+            Some((i + 1) as f64),
+            "every shard has applied every update so far"
+        );
+        let resp = send_line(&mut ctl, &mut ctl_reader, &query_req);
+        assert_eq!(resp.get("kind").and_then(JsonValue::as_str), Some("answers"), "{resp:?}");
+        let results =
+            resp.get("results").and_then(JsonValue::as_array).expect("answers carries results");
+        for (r, exp) in results.iter().zip(expected) {
+            let got = r.get("answer").and_then(JsonValue::as_str).expect("lane answered");
+            assert_eq!(got, *exp, "answers unchanged by out-of-footprint churn");
+        }
+    }
+
+    // Pull the server's own accounting before shutting down.
     ctl.write_all(b"{\"kind\":\"stats\"}\n").expect("stats send");
     let mut stats_line = String::new();
     ctl_reader.read_line(&mut stats_line).expect("stats response");
@@ -251,6 +308,36 @@ fn bench_one(args: &Args, shards: usize, texts: &[String], expected: &[&'static 
             *acc = w.as_f64().unwrap_or(0.0) as u64;
         }
     }
+
+    // Convergence: every replica must have applied every broadcast
+    // delta — the per-shard counters all equal the rounds sent.
+    let per_shard_deltas: Vec<f64> = stats
+        .get("shards")
+        .and_then(JsonValue::as_array)
+        .expect("stats carries a per-shard breakdown")
+        .iter()
+        .map(|s| s.get("deltas_applied").and_then(JsonValue::as_f64).unwrap_or(-1.0))
+        .collect();
+    for (i, &d) in per_shard_deltas.iter().enumerate() {
+        assert_eq!(d, args.updates as f64, "shard {i} diverged: applied {d} deltas");
+    }
+    let counter = |k: &str| {
+        stats
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get(k))
+            .and_then(JsonValue::as_f64)
+    };
+    let kb_delta_applied =
+        counter("serve.kb.delta.applied").expect("metrics counters carry serve.kb.delta.applied");
+    assert!(
+        kb_delta_applied >= (args.updates * shards) as f64,
+        "applied-delta counter {kb_delta_applied} below the {} broadcast applications",
+        args.updates * shards
+    );
+    let events_dropped =
+        counter("obs.events_dropped").expect("metrics counters carry obs.events_dropped");
+
     let run = RunStats {
         shards,
         sent,
@@ -269,6 +356,10 @@ fn bench_one(args: &Args, shards: usize, texts: &[String], expected: &[&'static 
         steer_fallbacks: stat("steer_fallbacks"),
         width_planes,
         per_shard,
+        update_rounds: args.updates as u64,
+        per_shard_deltas,
+        kb_delta_applied,
+        events_dropped,
     };
     ctl.write_all(b"{\"kind\":\"shutdown\"}\n").expect("shutdown send");
     server.join();
@@ -296,7 +387,9 @@ fn run_json(r: &RunStats) -> String {
          \"service_p99_us\": {:.1}, \"strategy_climbs\": {:.0}, \
          \"adoptions\": {:.0}, \"steer_fallbacks\": {:.0}, \
          \"width_planes\": {{\"w1\": {}, \"w2\": {}, \"w4\": {}, \"w8\": {}}}, \
-         \"per_shard\": [{per_shard}]}}",
+         \"per_shard\": [{per_shard}], \
+         \"updates\": {{\"rounds\": {}, \"per_shard_deltas_applied\": [{}], \
+         \"kb_delta_applied\": {:.0}, \"events_dropped\": {:.0}}}}}",
         r.shards,
         r.sent,
         r.served_reqs,
@@ -316,6 +409,10 @@ fn run_json(r: &RunStats) -> String {
         r.width_planes[1],
         r.width_planes[2],
         r.width_planes[3],
+        r.update_rounds,
+        r.per_shard_deltas.iter().map(|d| format!("{d:.0}")).collect::<Vec<_>>().join(", "),
+        r.kb_delta_applied,
+        r.events_dropped,
     )
 }
 
@@ -386,7 +483,7 @@ fn main() {
          \"shape\": {{\"kb\": \"layered\", \"seed\": {SEED}, \"layers\": {}, \
          \"rules_per_layer\": {}, \"constants\": {}, \"facts_per_predicate\": {}}},\n  \
          \"load\": {{\"client_threads\": {}, \"rounds_per_thread\": {}, \
-         \"batch_lanes\": {}, \"adapt_delta\": {}}},\n  \
+         \"batch_lanes\": {}, \"update_rounds\": {}, \"adapt_delta\": {}}},\n  \
          \"note\": \"serve_qps counts served queries over the serve window (all clients \
          connected, responses stored raw and verified afterwards); total_qps charges \
          connect + verify too. Every served lane checked against a direct scalar \
@@ -401,6 +498,7 @@ fn main() {
         args.threads,
         args.rounds,
         args.batch,
+        args.updates,
         args.adapt.map_or("null".to_string(), |d| d.to_string()),
     );
     std::fs::write(&args.out, &json).expect("write BENCH_serve.json");

@@ -20,10 +20,116 @@
 
 use qpl_datalog::table::TableStore;
 use qpl_datalog::topdown::RetrievalStats;
-use qpl_datalog::TopDown;
+use qpl_datalog::{Fact, TopDown};
+use qpl_engine::CrossContextCache;
 use qpl_workload::generator::{recursive_path_kb, RecursiveKbParams};
 use std::num::NonZeroUsize;
 use std::time::Instant;
+
+/// Rounds of single-fact churn in the update scenario.
+const CHURN_ROUNDS: usize = 100;
+/// The one context class this bench exercises (the cache keys entries
+/// by context fingerprint; any fixed value works for a single class).
+const CHURN_FP: u64 = 0x51;
+
+/// Measurements from one churn run (see [`churn_run`]).
+struct ChurnStats {
+    kb_facts: usize,
+    warm_hits: u64,
+    invalidations: u64,
+    retrievals: u64,
+    tables_maintained: u64,
+    per_round_us: f64,
+}
+
+/// Replays `CHURN_ROUNDS` single-fact deltas against a warm
+/// cross-context cache, re-running the exhaustive-failure query after
+/// each, and reports how often the cached tables stayed warm.
+///
+/// The KB is the layered reachability shape padded with `annot/1`
+/// facts (outside `path`'s reachability footprint) so that one churned
+/// fact per round is ~1% of the fact set. Most rounds insert or
+/// retract one annotation; every 25th inserts a fresh `edge` fact that
+/// cannot reach the query's source, exercising semi-naive
+/// re-saturation without changing any answer.
+///
+/// With `selective`, each delta is followed by
+/// [`CrossContextCache::maintain`], which repairs entries whose
+/// footprint intersects the delta and re-stamps the rest — so the next
+/// lookup hits warm. Without it, the entry's generation stamp goes
+/// stale and `tables_for` clears it wholesale, exactly what every
+/// pre-delta revision of this cache did on any database change.
+fn churn_run(selective: bool) -> ChurnStats {
+    let params = RecursiveKbParams { layers: 12, width: 2 };
+    let (mut table, rules, mut db, sink_query) = recursive_path_kb(&params, |_, _, _| true);
+    let annot = table.intern("annot");
+    let edge = table.intern("edge");
+    for i in 0..56 {
+        let c = table.intern(&format!("meta{i}"));
+        db.insert(Fact::new(annot, vec![c])).expect("annot fact inserts");
+    }
+    let kb_facts = db.len();
+
+    let mut cache = CrossContextCache::new();
+    let mut stats = RetrievalStats::default();
+    {
+        let solver = TopDown::new(&rules, &db);
+        let store = cache.tables_for(&db, CHURN_FP);
+        assert!(solver.solve_tabled_in(&sink_query, store, &mut stats).unwrap().is_none());
+    }
+    let base = cache.stats();
+    let retrievals_before = stats.retrievals;
+
+    let (edge_delta, annot_delta, no_delta) = ([edge], [annot], []);
+    let t0 = Instant::now();
+    for round in 0..CHURN_ROUNDS {
+        let pre = db.generation();
+        let (inserted, retracted) = if round % 25 == 24 {
+            let aux = table.intern(&format!("aux{round}"));
+            let sink = table.intern("sink");
+            db.insert(Fact::new(edge, vec![aux, sink])).expect("edge fact inserts");
+            (&edge_delta[..], &no_delta[..])
+        } else if round % 2 == 0 {
+            let c = table.intern(&format!("u{round}"));
+            db.insert(Fact::new(annot, vec![c])).expect("annot fact inserts");
+            (&annot_delta[..], &no_delta[..])
+        } else {
+            let c = table.intern(&format!("u{}", round - 1));
+            db.retract(Fact::new(annot, vec![c])).expect("annot fact retracts");
+            (&no_delta[..], &annot_delta[..])
+        };
+        let solver = TopDown::new(&rules, &db);
+        if selective {
+            cache
+                .maintain(&db, &rules, pre, inserted, retracted, &mut stats)
+                .expect("maintenance stays within the depth bound");
+        }
+        let store = cache.tables_for(&db, CHURN_FP);
+        assert!(
+            solver.solve_tabled_in(&sink_query, store, &mut stats).unwrap().is_none(),
+            "churn outside the source's reach must not change the outcome"
+        );
+    }
+    let per_round_us = t0.elapsed().as_micros() as f64 / CHURN_ROUNDS as f64;
+
+    let after = cache.stats();
+    ChurnStats {
+        kb_facts,
+        warm_hits: after.hits - base.hits,
+        invalidations: after.invalidations - base.invalidations,
+        retrievals: stats.retrievals - retrievals_before,
+        tables_maintained: cache.tables_maintained(),
+        per_round_us,
+    }
+}
+
+fn churn_json(s: &ChurnStats) -> String {
+    format!(
+        "{{\"warm_hits\": {}, \"invalidations\": {}, \"retrievals\": {}, \
+         \"tables_maintained\": {}, \"per_round_us\": {:.2}}}",
+        s.warm_hits, s.invalidations, s.retrievals, s.tables_maintained, s.per_round_us
+    )
+}
 
 fn main() {
     let out_path = {
@@ -90,14 +196,50 @@ fn main() {
         ));
     }
 
+    // Update-churn scenario: live single-fact deltas against a warm
+    // cache, selective (footprint-scoped maintenance) vs wholesale
+    // (generation-stamp clearing) invalidation.
+    let selective = churn_run(true);
+    let wholesale = churn_run(false);
+    let advantage = selective.warm_hits as f64 / (wholesale.warm_hits.max(1)) as f64;
+    println!(
+        "churn ({CHURN_ROUNDS} rounds, 1 fact/round of {}): selective {} warm hits \
+         ({} invalidations, {} retrievals, {:.2} µs/round), wholesale {} warm hits \
+         ({} invalidations, {} retrievals, {:.2} µs/round) — {advantage:.0}x warm-hit advantage",
+        selective.kb_facts,
+        selective.warm_hits,
+        selective.invalidations,
+        selective.retrievals,
+        selective.per_round_us,
+        wholesale.warm_hits,
+        wholesale.invalidations,
+        wholesale.retrievals,
+        wholesale.per_round_us,
+    );
+    assert!(
+        advantage >= 10.0,
+        "selective invalidation must hold at least a 10x warm-hit advantage \
+         over wholesale under 1% churn (got {advantage:.1}x)"
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"tabled top-down evaluation + cross-context answer cache\",\n  \
          \"cores\": {cores},\n  \
          \"workload\": \"layered-DAG reachability, exhaustive-failure query path(n0_0, sink)\",\n  \
          \"note\": \"speedups are algorithmic (plain SLD work grows like 2^layers, tabled stays \
          polynomial, warm cache skips re-proof entirely), so they hold at any core count\",\n  \
-         \"tabling\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+         \"tabling\": [\n{}\n  ],\n  \
+         \"update_churn\": {{\n    \
+         \"workload\": \"layers=12 width=2 reachability + annot/1 padding, 1 fact \
+         churned per round (~1%), every 25th round an insert inside the path \
+         footprint\",\n    \
+         \"rounds\": {CHURN_ROUNDS},\n    \"kb_facts\": {},\n    \
+         \"selective\": {},\n    \"wholesale\": {},\n    \
+         \"warm_hit_advantage\": {advantage:.1}\n  }}\n}}\n",
+        rows.join(",\n"),
+        selective.kb_facts,
+        churn_json(&selective),
+        churn_json(&wholesale),
     );
     std::fs::write(&out_path, &json).expect("write BENCH_tabling.json");
     println!("wrote {out_path} (cores={cores})");

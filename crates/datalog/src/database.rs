@@ -10,21 +10,72 @@ use crate::symbol::{Symbol, SymbolTable};
 use crate::term::{Atom, Fact, Term};
 use crate::unify::Substitution;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide source of [`Database`] instance ids. Starts at 1 so the
+/// id 0 can serve as an "unstamped" sentinel in cache validity keys.
+static NEXT_INSTANCE_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_instance_id() -> u64 {
+    NEXT_INSTANCE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// What a successful [`Database::insert`] or [`Database::retract`] did.
+///
+/// The delta names the touched predicate so callers can invalidate (or
+/// incrementally maintain) caches selectively: only cached state whose
+/// dependency footprint contains [`Delta::predicate`] can be stale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delta {
+    /// The predicate the operation targeted.
+    pub predicate: Symbol,
+    /// Whether a fact was added or removed.
+    pub op: DeltaOp,
+    /// `true` iff the database actually changed (the fact was new on
+    /// insert / present on retract). When `false` no generation advanced
+    /// and no cache needs to move.
+    pub changed: bool,
+}
+
+/// The direction of a [`Delta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// A fact was (or would have been) added.
+    Insert,
+    /// A fact was (or would have been) removed.
+    Retract,
+}
 
 /// A single predicate's stored rows plus per-column indexes.
+///
+/// Retraction tombstones the row (`live[id] = false`) and removes its id
+/// from every posting list, so `select` never revisits dead rows and the
+/// lists stay ascending (the binary-search intersection invariant).
+/// Re-inserting a retracted row appends a fresh id; dead slots are never
+/// reused, keeping surviving row ids stable.
 #[derive(Debug, Clone, Default)]
 struct Relation {
     arity: usize,
     rows: Vec<Box<[Symbol]>>,
-    /// Hash of every row for O(1) membership.
+    /// `live[id]` = row `id` has not been retracted.
+    live: Vec<bool>,
+    live_count: usize,
+    /// Hash of every live row for O(1) membership.
     set: HashSet<Box<[Symbol]>>,
-    /// `index[col][symbol]` = row ids having `symbol` at `col`.
+    /// `index[col][symbol]` = live row ids having `symbol` at `col`.
     index: Vec<HashMap<Symbol, Vec<usize>>>,
 }
 
 impl Relation {
     fn new(arity: usize) -> Self {
-        Self { arity, rows: Vec::new(), set: HashSet::new(), index: vec![HashMap::new(); arity] }
+        Self {
+            arity,
+            rows: Vec::new(),
+            live: Vec::new(),
+            live_count: 0,
+            set: HashSet::new(),
+            index: vec![HashMap::new(); arity],
+        }
     }
 
     fn insert(&mut self, row: Box<[Symbol]>) -> bool {
@@ -37,6 +88,41 @@ impl Relation {
         }
         self.set.insert(row.clone());
         self.rows.push(row);
+        self.live.push(true);
+        self.live_count += 1;
+        true
+    }
+
+    fn remove(&mut self, row: &[Symbol]) -> bool {
+        if !self.set.remove(row) {
+            return false;
+        }
+        // Locate the live row id. Arity ≥ 1 rows are found through the
+        // first column's posting list; arity-0 relations have at most one
+        // live row, found by scanning the (tiny) live mask.
+        let id = if let Some(&first) = row.first() {
+            *self.index[0]
+                .get(&first)
+                .into_iter()
+                .flatten()
+                .find(|&&id| *self.rows[id] == *row)
+                .expect("row in set has a posting-list entry")
+        } else {
+            (0..self.rows.len()).find(|&id| self.live[id]).expect("row in set is live")
+        };
+        debug_assert!(self.live[id]);
+        self.live[id] = false;
+        self.live_count -= 1;
+        for (col, s) in row.iter().enumerate() {
+            if let Some(list) = self.index[col].get_mut(s) {
+                if let Ok(pos) = list.binary_search(&id) {
+                    list.remove(pos);
+                }
+                if list.is_empty() {
+                    self.index[col].remove(s);
+                }
+            }
+        }
         true
     }
 
@@ -65,8 +151,14 @@ impl Relation {
             }
         }
         if lists.is_empty() {
-            // All columns free: every row matches.
-            return Box::new(self.rows.iter().map(|r| &**r));
+            // All columns free: every live row matches.
+            return Box::new(
+                self.rows
+                    .iter()
+                    .zip(self.live.iter())
+                    .filter(|(_, &alive)| alive)
+                    .map(|(r, _)| &**r),
+            );
         }
         lists.sort_by_key(|l| l.len());
         let (shortest, rest) = lists.split_first().expect("at least one bound column");
@@ -94,13 +186,48 @@ impl Relation {
 /// assert!(db.contains(prof, &[russ]));
 /// assert_eq!(db.fact_count(prof), 1);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug)]
 pub struct Database {
     relations: HashMap<Symbol, Relation>,
     total: usize,
-    /// Bumped on every successful insert; lets caches detect that this
-    /// database instance has changed without diffing contents.
+    /// Bumped on every successful insert or retract; lets caches detect
+    /// that this database instance has changed without diffing contents.
     generation: u64,
+    /// `pred_gen[p]` = value of `generation` when predicate `p` last
+    /// changed. Stamps are drawn from the single monotone counter, so the
+    /// max stamp over any predicate set moves iff one of them changed.
+    pred_gen: HashMap<Symbol, u64>,
+    /// Process-unique id distinguishing this instance from every other
+    /// `Database` in the process (including clones of it).
+    instance_id: u64,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self {
+            relations: HashMap::new(),
+            total: 0,
+            generation: 0,
+            pred_gen: HashMap::new(),
+            instance_id: fresh_instance_id(),
+        }
+    }
+}
+
+impl Clone for Database {
+    /// Clones the contents but assigns a **fresh instance id**: the clone
+    /// is a new database that may immediately diverge from the original,
+    /// so cache entries stamped with the original's identity must not
+    /// validate against it (and vice versa).
+    fn clone(&self) -> Self {
+        Self {
+            relations: self.relations.clone(),
+            total: self.total,
+            generation: self.generation,
+            pred_gen: self.pred_gen.clone(),
+            instance_id: fresh_instance_id(),
+        }
+    }
 }
 
 impl Database {
@@ -109,17 +236,18 @@ impl Database {
         Self::default()
     }
 
-    /// Inserts a fact; returns `Ok(true)` if it was new.
+    /// Inserts a fact; the returned [`Delta`] has `changed == true` iff
+    /// the fact was new.
     ///
     /// # Errors
     /// Returns [`DatalogError::ArityMismatch`] if the predicate was
     /// previously stored with a different arity.
-    pub fn insert(&mut self, fact: Fact) -> Result<bool, DatalogError> {
-        let rel =
-            self.relations.entry(fact.predicate).or_insert_with(|| Relation::new(fact.arity()));
+    pub fn insert(&mut self, fact: Fact) -> Result<Delta, DatalogError> {
+        let predicate = fact.predicate;
+        let rel = self.relations.entry(predicate).or_insert_with(|| Relation::new(fact.arity()));
         if rel.arity != fact.arity() {
             return Err(DatalogError::ArityMismatch {
-                predicate: format!("{}", fact.predicate),
+                predicate: format!("{}", predicate),
                 expected: rel.arity,
                 found: fact.arity(),
             });
@@ -128,18 +256,76 @@ impl Database {
         if added {
             self.total += 1;
             self.generation += 1;
+            self.pred_gen.insert(predicate, self.generation);
         }
-        Ok(added)
+        Ok(Delta { predicate, op: DeltaOp::Insert, changed: added })
     }
 
-    /// Monotone change counter: advances exactly when a fact is added.
-    /// Two reads returning the same value bracket a window in which this
-    /// instance's contents were unchanged, so answers memoized against it
-    /// (e.g. `qpl-engine`'s cross-context tables) are still valid. The
-    /// counter says nothing about *other* `Database` instances — cache
-    /// keys must carry the instance identity separately.
+    /// Removes a fact; the returned [`Delta`] has `changed == true` iff
+    /// the fact was present. Retracting from an unknown predicate is a
+    /// no-op (`changed == false`), not an error.
+    ///
+    /// # Errors
+    /// Returns [`DatalogError::ArityMismatch`] if the predicate is stored
+    /// with a different arity (the fact could never have been inserted,
+    /// so the retract is almost certainly a caller bug).
+    pub fn retract(&mut self, fact: Fact) -> Result<Delta, DatalogError> {
+        let predicate = fact.predicate;
+        let Some(rel) = self.relations.get_mut(&predicate) else {
+            return Ok(Delta { predicate, op: DeltaOp::Retract, changed: false });
+        };
+        if rel.arity != fact.arity() {
+            return Err(DatalogError::ArityMismatch {
+                predicate: format!("{}", predicate),
+                expected: rel.arity,
+                found: fact.arity(),
+            });
+        }
+        let removed = rel.remove(&fact.args);
+        if removed {
+            self.total -= 1;
+            self.generation += 1;
+            self.pred_gen.insert(predicate, self.generation);
+        }
+        Ok(Delta { predicate, op: DeltaOp::Retract, changed: removed })
+    }
+
+    /// Monotone change counter: advances exactly when a fact is added or
+    /// retracted. Two reads returning the same value bracket a window in
+    /// which this instance's contents were unchanged, so answers memoized
+    /// against it (e.g. `qpl-engine`'s cross-context tables) are still
+    /// valid. The counter says nothing about *other* `Database` instances
+    /// — cache keys must carry [`Database::instance_id`] alongside it.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Generation stamp of the last change touching `predicate` (0 if it
+    /// never changed). Stamps come from the shared monotone counter, so
+    /// they are comparable across predicates.
+    pub fn predicate_generation(&self, predicate: Symbol) -> u64 {
+        self.pred_gen.get(&predicate).copied().unwrap_or(0)
+    }
+
+    /// Joint generation of a dependency footprint: the max stamp over
+    /// `predicates`. Because stamps share one strictly increasing
+    /// counter, this value advances iff a fact of some footprint
+    /// predicate was inserted or retracted — changes elsewhere leave it
+    /// fixed, which is exactly the selective-invalidation test caches
+    /// need.
+    pub fn footprint_generation<'a>(
+        &self,
+        predicates: impl IntoIterator<Item = &'a Symbol>,
+    ) -> u64 {
+        predicates.into_iter().map(|&p| self.predicate_generation(p)).max().unwrap_or(0)
+    }
+
+    /// Process-unique identity of this instance. Two databases (even a
+    /// clone and its original, even at equal generations) never share an
+    /// id, so folding it into cache validity keys prevents cross-instance
+    /// aliasing.
+    pub fn instance_id(&self) -> u64 {
+        self.instance_id
     }
 
     /// Ground membership probe — the paper's attempted retrieval.
@@ -158,7 +344,7 @@ impl Database {
     /// Number of stored facts for `predicate` (the statistic used by the
     /// \[Smi89\]-style baseline of Section 2).
     pub fn fact_count(&self, predicate: Symbol) -> usize {
-        self.relations.get(&predicate).map_or(0, |r| r.rows.len())
+        self.relations.get(&predicate).map_or(0, |r| r.live_count)
     }
 
     /// Total stored facts.
@@ -214,11 +400,15 @@ impl Database {
         out
     }
 
-    /// Iterates over all facts (for display/serialization).
+    /// Iterates over all live facts (for display/serialization).
     pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
-        self.relations
-            .iter()
-            .flat_map(|(&p, rel)| rel.rows.iter().map(move |row| Fact::new(p, row.to_vec())))
+        self.relations.iter().flat_map(|(&p, rel)| {
+            rel.rows
+                .iter()
+                .zip(rel.live.iter())
+                .filter(|(_, &alive)| alive)
+                .map(move |(row, _)| Fact::new(p, row.to_vec()))
+        })
     }
 
     /// Renders all facts, sorted, for test snapshots.
@@ -243,8 +433,8 @@ mod tests {
         let (mut t, mut db) = setup();
         let p = t.intern("prof");
         let (r, m) = (t.intern("russ"), t.intern("manolis"));
-        assert!(db.insert(Fact::new(p, vec![r])).unwrap());
-        assert!(!db.insert(Fact::new(p, vec![r])).unwrap(), "duplicate insert is a no-op");
+        assert!(db.insert(Fact::new(p, vec![r])).unwrap().changed);
+        assert!(!db.insert(Fact::new(p, vec![r])).unwrap().changed, "duplicate insert is a no-op");
         assert!(db.contains(p, &[r]));
         assert!(!db.contains(p, &[m]));
         assert_eq!(db.len(), 1);
@@ -396,6 +586,110 @@ mod tests {
         let b = t.intern("b");
         db.insert(Fact::new(p, vec![b])).unwrap();
         assert_eq!(db.generation(), 2);
+    }
+
+    #[test]
+    fn retract_removes_and_reports_delta() {
+        let (mut t, mut db) = setup();
+        let e = t.intern("edge");
+        let (a, b, c) = (t.intern("a"), t.intern("b"), t.intern("c"));
+        db.insert(Fact::new(e, vec![a, b])).unwrap();
+        db.insert(Fact::new(e, vec![a, c])).unwrap();
+        let d = db.retract(Fact::new(e, vec![a, b])).unwrap();
+        assert_eq!(d, Delta { predicate: e, op: DeltaOp::Retract, changed: true });
+        assert!(!db.contains(e, &[a, b]));
+        assert!(db.contains(e, &[a, c]));
+        assert_eq!(db.fact_count(e), 1);
+        assert_eq!(db.len(), 1);
+        // Retracting again (or from an unknown predicate) is a no-op.
+        assert!(!db.retract(Fact::new(e, vec![a, b])).unwrap().changed);
+        let q = t.intern("ghost");
+        assert!(!db.retract(Fact::new(q, vec![a])).unwrap().changed);
+    }
+
+    #[test]
+    fn retract_updates_indexes_and_full_scan() {
+        let (mut t, mut db) = setup();
+        let e = t.intern("edge");
+        let (a, b, c) = (t.intern("a"), t.intern("b"), t.intern("c"));
+        db.insert(Fact::new(e, vec![a, b])).unwrap();
+        db.insert(Fact::new(e, vec![a, c])).unwrap();
+        db.insert(Fact::new(e, vec![b, c])).unwrap();
+        db.retract(Fact::new(e, vec![a, c])).unwrap();
+        // Indexed path: edge(a, X) must not surface the dead row.
+        let atom = Atom::new(e, vec![Term::Const(a), Term::Var(Var(0))]);
+        let subs = db.matches(&atom, &Substitution::new());
+        let bound: Vec<Symbol> =
+            subs.iter().map(|s| s.resolve(Term::Var(Var(0))).as_const().unwrap()).collect();
+        assert_eq!(bound, vec![b]);
+        // Full-scan path: edge(X, Y) skips the tombstone too.
+        let all = Atom::new(e, vec![Term::Var(Var(0)), Term::Var(Var(1))]);
+        assert_eq!(db.matches(&all, &Substitution::new()).len(), 2);
+        assert_eq!(db.dump(&t), vec!["edge(a, b)", "edge(b, c)"]);
+        // Re-insertion after retraction works and is visible again.
+        assert!(db.insert(Fact::new(e, vec![a, c])).unwrap().changed);
+        assert!(db.contains(e, &[a, c]));
+        assert_eq!(db.matches(&all, &Substitution::new()).len(), 3);
+    }
+
+    #[test]
+    fn retract_zero_arity_fact() {
+        let (mut t, mut db) = setup();
+        let halt = t.intern("halt");
+        db.insert(Fact::new(halt, vec![])).unwrap();
+        assert!(db.contains(halt, &[]));
+        assert!(db.retract(Fact::new(halt, vec![])).unwrap().changed);
+        assert!(!db.contains(halt, &[]));
+        assert_eq!(db.fact_count(halt), 0);
+        assert!(db.insert(Fact::new(halt, vec![])).unwrap().changed);
+        assert!(db.contains(halt, &[]));
+    }
+
+    #[test]
+    fn retract_arity_mismatch_rejected() {
+        let (mut t, mut db) = setup();
+        let p = t.intern("p");
+        let a = t.intern("a");
+        db.insert(Fact::new(p, vec![a])).unwrap();
+        let err = db.retract(Fact::new(p, vec![a, a])).unwrap_err();
+        assert!(matches!(err, DatalogError::ArityMismatch { expected: 1, found: 2, .. }));
+    }
+
+    #[test]
+    fn per_predicate_generations_stamp_only_touched_predicates() {
+        let (mut t, mut db) = setup();
+        let (p, q) = (t.intern("p"), t.intern("q"));
+        let a = t.intern("a");
+        assert_eq!(db.predicate_generation(p), 0);
+        db.insert(Fact::new(p, vec![a])).unwrap();
+        assert_eq!(db.predicate_generation(p), 1);
+        assert_eq!(db.predicate_generation(q), 0);
+        db.insert(Fact::new(q, vec![a])).unwrap();
+        assert_eq!(db.predicate_generation(q), 2);
+        assert_eq!(db.predicate_generation(p), 1, "p untouched by q's insert");
+        // Retraction stamps too.
+        db.retract(Fact::new(p, vec![a])).unwrap();
+        assert_eq!(db.predicate_generation(p), 3);
+        assert_eq!(db.generation(), 3);
+        // Footprint generations: max over the footprint's stamps.
+        assert_eq!(db.footprint_generation(&[p]), 3);
+        assert_eq!(db.footprint_generation(&[q]), 2);
+        assert_eq!(db.footprint_generation(&[p, q]), 3);
+        assert_eq!(db.footprint_generation(&[]), 0);
+    }
+
+    #[test]
+    fn instance_ids_are_unique_even_across_clones() {
+        let (mut t, mut db) = setup();
+        let p = t.intern("p");
+        let a = t.intern("a");
+        db.insert(Fact::new(p, vec![a])).unwrap();
+        let other = Database::new();
+        assert_ne!(db.instance_id(), other.instance_id());
+        let twin = db.clone();
+        assert_ne!(db.instance_id(), twin.instance_id(), "clones may diverge");
+        assert_eq!(twin.generation(), db.generation());
+        assert!(twin.contains(p, &[a]));
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub fn naive(rules: &RuleBase, edb: &Database) -> Database {
         }
         let mut changed = false;
         for f in new_facts {
-            if db.insert(f).expect("derived fact arity is consistent") {
+            if db.insert(f).expect("derived fact arity is consistent").changed {
                 changed = true;
             }
         }
@@ -47,7 +47,7 @@ pub fn seminaive(rules: &RuleBase, edb: &Database) -> Database {
             derive(rule, &db, None, &mut first);
         }
         for f in first {
-            if db.insert(f.clone()).expect("consistent arity") {
+            if db.insert(f.clone()).expect("consistent arity").changed {
                 delta.insert(f);
             }
         }
@@ -63,7 +63,7 @@ pub fn seminaive(rules: &RuleBase, edb: &Database) -> Database {
         }
         let mut next_delta = HashSet::new();
         for f in new_facts {
-            if db.insert(f.clone()).expect("consistent arity") {
+            if db.insert(f.clone()).expect("consistent arity").changed {
                 next_delta.insert(f);
             }
         }

@@ -44,11 +44,11 @@ pub mod topdown;
 pub mod unify;
 
 pub use adornment::{Adornment, Binding, QueryForm};
-pub use database::Database;
+pub use database::{Database, Delta, DeltaOp};
 pub use error::DatalogError;
 pub use rule::{Rule, RuleBase, RuleId};
 pub use symbol::{Symbol, SymbolTable};
 pub use table::{CallKey, TableId, TableStats, TableStore};
 pub use term::{Atom, Fact, Term, Var};
-pub use topdown::{RetrievalStats, TopDown};
+pub use topdown::{MaintainReport, RetrievalStats, TopDown};
 pub use unify::Substitution;

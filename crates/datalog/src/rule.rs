@@ -8,7 +8,7 @@
 use crate::error::DatalogError;
 use crate::symbol::{Symbol, SymbolTable};
 use crate::term::{Atom, Var};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// Identifier of a rule within its [`RuleBase`].
@@ -216,6 +216,27 @@ impl RuleBase {
         let preds: Vec<Symbol> = deps.keys().copied().collect();
         preds.into_iter().any(|p| visit(p, &deps, &mut color))
     }
+
+    /// Every predicate reachable from `root` through rule bodies,
+    /// including `root` itself and extensional leaves. This is the
+    /// dependency footprint of a call on `root`: a database change to a
+    /// predicate *outside* this set cannot affect any answer to `root`,
+    /// which is what makes selective cache invalidation sound.
+    pub fn reachable_predicates(&self, root: Symbol) -> HashSet<Symbol> {
+        let mut seen: HashSet<Symbol> = HashSet::new();
+        let mut frontier = vec![root];
+        seen.insert(root);
+        while let Some(p) = frontier.pop() {
+            for (_, rule) in self.rules_for(p) {
+                for b in &rule.body {
+                    if seen.insert(b.predicate) {
+                        frontier.push(b.predicate);
+                    }
+                }
+            }
+        }
+        seen
+    }
 }
 
 #[cfg(test)]
@@ -317,6 +338,29 @@ mod tests {
         let x = Term::Var(Var(0));
         let r = Rule::new(Atom::new(p, vec![x]), vec![Atom::new(q, vec![x])]).unwrap();
         assert_eq!(r.display(&s).to_string(), "p(V0) :- q(V0).");
+    }
+
+    #[test]
+    fn reachable_predicates_closes_over_rule_bodies() {
+        // a :- b.  b :- c, d.  e :- a.  (d, c extensional; e unreachable
+        // from a.)
+        let mut s = t();
+        let (a, b, c, d, e) =
+            (s.intern("a"), s.intern("b"), s.intern("c"), s.intern("d"), s.intern("e"));
+        let x = Term::Var(Var(0));
+        let mut rb = RuleBase::new();
+        rb.add(Rule::new(Atom::new(a, vec![x]), vec![Atom::new(b, vec![x])]).unwrap());
+        rb.add(
+            Rule::new(Atom::new(b, vec![x]), vec![Atom::new(c, vec![x]), Atom::new(d, vec![x])])
+                .unwrap(),
+        );
+        rb.add(Rule::new(Atom::new(e, vec![x]), vec![Atom::new(a, vec![x])]).unwrap());
+        let from_a = rb.reachable_predicates(a);
+        assert_eq!(from_a, [a, b, c, d].into_iter().collect());
+        let from_c = rb.reachable_predicates(c);
+        assert_eq!(from_c, [c].into_iter().collect(), "extensional root reaches only itself");
+        let from_e = rb.reachable_predicates(e);
+        assert_eq!(from_e, [e, a, b, c, d].into_iter().collect());
     }
 
     #[test]

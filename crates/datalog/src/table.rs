@@ -266,6 +266,34 @@ impl TableStore {
     pub fn note_reuse(&mut self, n: u64) {
         self.stats.answers_reused += n;
     }
+
+    /// All tables, as `(id, key, complete)` rows (for maintenance scans).
+    pub fn iter_keys(&self) -> impl Iterator<Item = (TableId, &CallKey, bool)> {
+        self.tables.iter().enumerate().map(|(i, t)| (TableId(i as u32), &t.key, t.complete))
+    }
+
+    /// Drops every table whose key fails `keep`, compacting the surviving
+    /// tables onto fresh [`TableId`]s; returns how many were dropped.
+    ///
+    /// Ids are only stable *within* one solve (the evaluator holds them
+    /// on its stack); between solves nothing retains a `TableId`, so
+    /// maintenance passes may renumber freely.
+    pub fn retain_tables(&mut self, mut keep: impl FnMut(&CallKey) -> bool) -> usize {
+        let before = self.tables.len();
+        self.tables.retain(|t| keep(&t.key));
+        self.index.clear();
+        for (i, t) in self.tables.iter().enumerate() {
+            self.index.insert(t.key.clone(), TableId(i as u32));
+        }
+        before - self.tables.len()
+    }
+
+    /// Reopens a completed table for incremental re-derivation: existing
+    /// answers (and the dedup set) survive, so a subsequent fixpoint pass
+    /// appends only genuinely new answers.
+    pub fn reopen(&mut self, t: TableId) {
+        self.tables[t.index()].complete = false;
+    }
 }
 
 #[cfg(test)]
@@ -361,6 +389,43 @@ mod tests {
         store.clear();
         assert!(store.is_empty());
         assert_eq!(store.stats().misses, 1);
+    }
+
+    #[test]
+    fn retain_tables_compacts_ids_and_reports_drops() {
+        let (mut t, p, a, b) = syms();
+        let q = t.intern("q");
+        let mut store = TableStore::new();
+        let (kp, _) = CallKey::of(&Atom::new(p, vec![Term::Var(Var(0))]), &Substitution::new());
+        let (kq, _) = CallKey::of(&Atom::new(q, vec![Term::Var(Var(0))]), &Substitution::new());
+        let tp = store.create(kp.clone());
+        store.insert_answer(tp, vec![a].into_boxed_slice());
+        store.set_complete(tp);
+        let tq = store.create(kq.clone());
+        store.insert_answer(tq, vec![b].into_boxed_slice());
+        store.set_complete(tq);
+        let dropped = store.retain_tables(|k| k.predicate != p);
+        assert_eq!(dropped, 1);
+        assert_eq!(store.len(), 1);
+        let survivor = store.lookup(&kq).expect("q's table survives");
+        assert_eq!(store.answer(survivor, 0), &[b]);
+        assert_eq!(store.lookup(&kp), None, "p's table is gone");
+    }
+
+    #[test]
+    fn reopen_keeps_answers_and_dedup() {
+        let (_, p, a, b) = syms();
+        let (key, _) = CallKey::of(&Atom::new(p, vec![Term::Var(Var(0))]), &Substitution::new());
+        let mut store = TableStore::new();
+        let t = store.create(key);
+        store.insert_answer(t, vec![a].into_boxed_slice());
+        store.set_complete(t);
+        store.reopen(t);
+        assert!(!store.is_complete(t));
+        assert!(!store.insert_answer(t, vec![a].into_boxed_slice()), "dedup survives reopen");
+        assert!(store.insert_answer(t, vec![b].into_boxed_slice()));
+        store.set_complete(t);
+        assert_eq!(store.answer_count(t), 2);
     }
 
     #[test]

@@ -23,9 +23,11 @@
 use crate::database::Database;
 use crate::error::DatalogError;
 use crate::rule::RuleBase;
+use crate::symbol::Symbol;
 use crate::table::{CallKey, TableId, TableStore};
 use crate::term::{Atom, Term, Var};
 use crate::unify::{rename_apart, unify_atoms, Substitution};
+use std::collections::{HashMap, HashSet};
 
 /// Statistics from one top-down run (plain or tabled).
 ///
@@ -63,6 +65,20 @@ impl RetrievalStats {
 
 /// Former name of [`RetrievalStats`], kept for source compatibility.
 pub type SolveStats = RetrievalStats;
+
+/// What a [`TopDown::maintain_tables`] pass did to a [`TableStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintainReport {
+    /// Tables dropped (retraction made their answer sets non-monotone).
+    pub dropped: usize,
+    /// Tables reopened and re-saturated in place (insert-only delta).
+    pub reopened: usize,
+    /// Tables untouched — their footprints miss the delta, so their
+    /// answers stayed warm.
+    pub kept: usize,
+    /// New answer tuples appended during re-saturation.
+    pub answers_added: usize,
+}
 
 /// A satisficing SLD solver over a rule base and database.
 #[derive(Debug, Clone)]
@@ -151,6 +167,105 @@ impl<'a> TopDown<'a> {
     /// Whether any derivation of `query` exists, via tabled evaluation.
     pub fn provable_tabled(&self, query: &Atom) -> Result<bool, DatalogError> {
         Ok(self.solve_tabled(query)?.is_some())
+    }
+
+    /// Incrementally maintains `store` after a batch of database deltas,
+    /// instead of clearing it wholesale. `inserted` / `retracted` name
+    /// the predicates touched by the batch (duplicates are fine); `self`
+    /// must already see the *post*-delta database.
+    ///
+    /// A table is *affected* iff some changed predicate is reachable from
+    /// its call's predicate through rule bodies ([`RuleBase::reachable_predicates`]);
+    /// reachability is closed under consumption, so an unaffected table's
+    /// answers — and its `complete` flag — remain valid verbatim and are
+    /// left untouched (they stay warm).
+    ///
+    /// * Insert-only deltas are monotone: affected tables are
+    ///   [`reopen`](TableStore::reopen)ed and re-saturated in one shared
+    ///   fixpoint group. Existing answers survive (the dedup set filters
+    ///   re-derivations); only genuinely new tuples append. Note the
+    ///   *order* of an incrementally grown answer set may differ from a
+    ///   from-scratch rebuild (old answers keep their positions); the
+    ///   set itself is identical.
+    /// * Any retraction makes affected answer sets non-monotone, so those
+    ///   tables are dropped and rebuilt lazily on next call — still
+    ///   selective: unaffected tables survive.
+    ///
+    /// # Errors
+    /// [`DatalogError::DepthExceeded`] if re-saturation nests distinct
+    /// calls past the depth bound (same backstop as a fresh solve).
+    pub fn maintain_tables(
+        &self,
+        store: &mut TableStore,
+        inserted: &[Symbol],
+        retracted: &[Symbol],
+        stats: &mut RetrievalStats,
+    ) -> Result<MaintainReport, DatalogError> {
+        let changed: HashSet<Symbol> = inserted.iter().chain(retracted.iter()).copied().collect();
+        let total = store.len();
+        if changed.is_empty() || total == 0 {
+            return Ok(MaintainReport { kept: total, ..MaintainReport::default() });
+        }
+        // One reachability closure per distinct table-root predicate.
+        let mut memo: HashMap<Symbol, bool> = HashMap::new();
+        let mut affected: Vec<TableId> = Vec::new();
+        for (id, key, _) in store.iter_keys() {
+            let hit = *memo.entry(key.predicate).or_insert_with(|| {
+                self.rules.reachable_predicates(key.predicate).iter().any(|q| changed.contains(q))
+            });
+            if hit {
+                affected.push(id);
+            }
+        }
+        if affected.is_empty() {
+            return Ok(MaintainReport { kept: total, ..MaintainReport::default() });
+        }
+        if !retracted.is_empty() {
+            let doomed: HashSet<Symbol> =
+                memo.iter().filter(|&(_, &a)| a).map(|(&p, _)| p).collect();
+            let dropped = store.retain_tables(|k| !doomed.contains(&k.predicate));
+            return Ok(MaintainReport { dropped, kept: store.len(), ..MaintainReport::default() });
+        }
+        // Insert-only: reopen and re-saturate the affected group. New
+        // tables created mid-expansion join the group (and complete with
+        // it), exactly as under a leader's fixpoint.
+        for &t in &affected {
+            store.reopen(t);
+        }
+        let reopened = affected.len();
+        let answers_before = store.total_answers();
+        let mut eval = TabledEval {
+            rules: self.rules,
+            db: self.db,
+            depth_limit: self.depth_limit,
+            store,
+            stats,
+            group: affected,
+            in_fixpoint: true,
+            changed: false,
+        };
+        loop {
+            eval.changed = false;
+            let mut i = 0;
+            while i < eval.group.len() {
+                let member = eval.group[i];
+                eval.expand(member, 0)?;
+                i += 1;
+            }
+            if !eval.changed {
+                break;
+            }
+        }
+        let group = std::mem::take(&mut eval.group);
+        for &member in &group {
+            eval.store.set_complete(member);
+        }
+        Ok(MaintainReport {
+            dropped: 0,
+            reopened,
+            kept: total - reopened,
+            answers_added: store.total_answers() - answers_before,
+        })
     }
 
     fn tabled_answer(
@@ -612,6 +727,161 @@ mod tests {
         assert!(found.is_some());
         assert!(store.is_empty(), "no table for a purely extensional predicate");
         assert_eq!(stats.retrievals, 1);
+    }
+
+    const TWO_FAMILY_KB: &str = "path(X, Y) :- edge(X, Y). path(X, Z) :- edge(X, Y), path(Y, Z).\n\
+         reach(X, Y) :- link(X, Y). reach(X, Z) :- link(X, Y), reach(Y, Z).\n\
+         edge(a, b). edge(b, c). link(a, b).";
+
+    #[test]
+    fn maintain_reopens_affected_and_keeps_disjoint_tables_warm() {
+        use crate::table::TableStore;
+        let mut t = SymbolTable::new();
+        let p = parse_program(TWO_FAMILY_KB, &mut t).unwrap();
+        let qp = parse_query("path(a, X)", &mut t).unwrap();
+        let qr = parse_query("reach(a, X)", &mut t).unwrap();
+        let mut db = p.facts;
+        let mut store = TableStore::new();
+        let mut stats = RetrievalStats::default();
+        {
+            let solver = TopDown::new(&p.rules, &db);
+            assert!(solver.solve_tabled_in(&qp, &mut store, &mut stats).unwrap().is_some());
+            assert!(solver.solve_tabled_in(&qr, &mut store, &mut stats).unwrap().is_some());
+        }
+        let tables_before = store.len();
+        let edge = t.intern("edge");
+        let (c, d) = (t.intern("c"), t.intern("d"));
+        let delta = db.insert(crate::term::Fact::new(edge, vec![c, d])).unwrap();
+        assert!(delta.changed);
+        let solver = TopDown::new(&p.rules, &db);
+        let report =
+            solver.maintain_tables(&mut store, &[delta.predicate], &[], &mut stats).unwrap();
+        assert_eq!(report.dropped, 0);
+        assert!(report.reopened >= 1, "the path/edge family re-saturates");
+        assert!(report.kept >= 1, "the reach/link family is untouched");
+        assert!(report.answers_added >= 1, "path(a, _) now reaches d");
+        // Re-saturation may create tables for new subgoals (path(d, _)),
+        // but never drops any.
+        assert!(store.len() >= tables_before);
+        // The maintained table holds the new answer without a re-solve.
+        let (key, _) = CallKey::of(&qp, &Substitution::new());
+        let tid = store.lookup(&key).expect("path(a, X) table survives");
+        let answers: HashSet<Symbol> =
+            (0..store.answer_count(tid)).map(|i| store.answer(tid, i)[0]).collect();
+        assert!(answers.contains(&d));
+        // Unaffected family still answers with zero database work.
+        let mut warm = RetrievalStats::default();
+        assert!(solver.solve_tabled_in(&qr, &mut store, &mut warm).unwrap().is_some());
+        assert_eq!(warm.retrievals, 0, "link family untouched by the edge delta");
+        assert_eq!(warm.table_misses, 0);
+    }
+
+    #[test]
+    fn maintain_drops_affected_tables_on_retract_and_keeps_the_rest() {
+        use crate::table::TableStore;
+        let mut t = SymbolTable::new();
+        let p = parse_program(TWO_FAMILY_KB, &mut t).unwrap();
+        let qp = parse_query("path(a, c)", &mut t).unwrap();
+        let qr = parse_query("reach(a, X)", &mut t).unwrap();
+        let mut db = p.facts;
+        let mut store = TableStore::new();
+        let mut stats = RetrievalStats::default();
+        {
+            let solver = TopDown::new(&p.rules, &db);
+            assert!(solver.solve_tabled_in(&qp, &mut store, &mut stats).unwrap().is_some());
+            assert!(solver.solve_tabled_in(&qr, &mut store, &mut stats).unwrap().is_some());
+        }
+        let edge = t.intern("edge");
+        let (b, c) = (t.intern("b"), t.intern("c"));
+        let delta = db.retract(crate::term::Fact::new(edge, vec![b, c])).unwrap();
+        assert!(delta.changed);
+        let solver = TopDown::new(&p.rules, &db);
+        let report =
+            solver.maintain_tables(&mut store, &[], &[delta.predicate], &mut stats).unwrap();
+        assert!(report.dropped >= 1, "non-monotone change drops the path tables");
+        assert_eq!(report.reopened, 0);
+        assert!(report.kept >= 1);
+        // The dropped table rebuilds lazily and sees the retraction.
+        assert!(solver.solve_tabled_in(&qp, &mut store, &mut stats).unwrap().is_none());
+        // The disjoint family never went cold.
+        let mut warm = RetrievalStats::default();
+        assert!(solver.solve_tabled_in(&qr, &mut store, &mut warm).unwrap().is_some());
+        assert_eq!(warm.retrievals, 0);
+        assert_eq!(warm.table_misses, 0);
+    }
+
+    #[test]
+    fn maintain_without_changes_is_a_no_op() {
+        use crate::table::TableStore;
+        let mut t = SymbolTable::new();
+        let p = parse_program(TWO_FAMILY_KB, &mut t).unwrap();
+        let q = parse_query("path(a, X)", &mut t).unwrap();
+        let mut store = TableStore::new();
+        let mut stats = RetrievalStats::default();
+        let solver = TopDown::new(&p.rules, &p.facts);
+        assert!(solver.solve_tabled_in(&q, &mut store, &mut stats).unwrap().is_some());
+        let report = solver.maintain_tables(&mut store, &[], &[], &mut stats).unwrap();
+        assert_eq!(report, MaintainReport { kept: store.len(), ..MaintainReport::default() });
+        // A delta on a predicate no table reaches is equally free.
+        let ghost = t.intern("ghost");
+        let report = solver.maintain_tables(&mut store, &[ghost], &[], &mut stats).unwrap();
+        assert_eq!(report.reopened + report.dropped, 0);
+        assert_eq!(report.kept, store.len());
+    }
+
+    proptest::proptest! {
+        /// After ANY interleaving of edge inserts/retracts (maintaining
+        /// the store after each changed delta), the maintained store
+        /// answers every ground path query exactly as a fresh tabled
+        /// solve against the final database.
+        #[test]
+        fn maintained_store_agrees_with_fresh_rebuild(
+            ops in proptest::collection::vec((0u8..2, 0u8..4, 0u8..4), 1..8),
+        ) {
+            use crate::table::TableStore;
+            let mut t = SymbolTable::new();
+            let p = parse_program(
+                "path(X, Y) :- edge(X, Y). path(X, Z) :- edge(X, Y), path(Y, Z).\n\
+                 edge(c0, c1). edge(c1, c2).",
+                &mut t,
+            ).unwrap();
+            let mut db = p.facts;
+            let mut store = TableStore::new();
+            let mut stats = RetrievalStats::default();
+            let q = parse_query("path(c0, X)", &mut t).unwrap();
+            {
+                let solver = TopDown::new(&p.rules, &db);
+                let _ = solver.solve_tabled_in(&q, &mut store, &mut stats).unwrap();
+            }
+            let edge = t.intern("edge");
+            for (op, x, y) in ops {
+                let is_insert = op == 0;
+                let (cx, cy) = (t.intern(&format!("c{x}")), t.intern(&format!("c{y}")));
+                let f = crate::term::Fact::new(edge, vec![cx, cy]);
+                let delta =
+                    if is_insert { db.insert(f).unwrap() } else { db.retract(f).unwrap() };
+                let solver = TopDown::new(&p.rules, &db);
+                if delta.changed {
+                    let (ins, ret) = match delta.op {
+                        crate::database::DeltaOp::Insert => (vec![delta.predicate], vec![]),
+                        crate::database::DeltaOp::Retract => (vec![], vec![delta.predicate]),
+                    };
+                    solver.maintain_tables(&mut store, &ins, &ret, &mut stats).unwrap();
+                }
+                for s in 0..4u8 {
+                    for e in 0..4u8 {
+                        let qq = parse_query(&format!("path(c{s}, c{e})"), &mut t).unwrap();
+                        let mut scratch = RetrievalStats::default();
+                        let maintained = solver
+                            .solve_tabled_in(&qq, &mut store, &mut scratch)
+                            .unwrap()
+                            .is_some();
+                        let fresh = solver.provable_tabled(&qq).unwrap();
+                        proptest::prop_assert_eq!(maintained, fresh);
+                    }
+                }
+            }
+        }
     }
 
     proptest::proptest! {

@@ -39,7 +39,8 @@ pub mod segmented;
 
 pub use adaptive::{AdaptiveQp, SamplingMode};
 pub use cache::{
-    context_fingerprint, strategy_fingerprint, CacheStats, CrossContextCache, RunCache,
+    context_fingerprint, strategy_fingerprint, CacheStats, CrossContextCache, DependencyFootprint,
+    RunCache,
 };
 pub use oracle::{ContextOracle, QueryMixOracle};
 pub use par::{

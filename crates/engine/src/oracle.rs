@@ -20,6 +20,7 @@ use qpl_graph::expected::{ContextDistribution, FiniteDistribution};
 use qpl_graph::GraphError;
 use rand::Rng;
 
+use crate::cache::DependencyFootprint;
 use crate::qp::classify_context;
 
 /// A stream of i.i.d. contexts.
@@ -77,7 +78,11 @@ pub struct QueryMixOracle<'g> {
     /// Note-2 classification of each query, precomputed once — drawing
     /// then costs O(1) instead of one database probe per retrieval arc.
     contexts: Vec<Context>,
-    /// The database generation the classifications were computed under;
+    /// The retrieval predicates the compiled graph can probe — the only
+    /// part of the database whose change can move a Note-2
+    /// classification.
+    footprint: DependencyFootprint,
+    /// The footprint generation the classifications were computed under;
     /// [`refresh`](Self::refresh) re-classifies only when this lags.
     db_generation: u64,
     cumulative: Vec<f64>,
@@ -120,8 +125,9 @@ impl<'g> QueryMixOracle<'g> {
             acc += w;
             cumulative.push(acc);
         }
-        let db_generation = db.generation();
-        Ok(Self { compiled, db, queries, contexts, db_generation, cumulative })
+        let footprint = DependencyFootprint::of_compiled(compiled);
+        let db_generation = footprint.generation(&db);
+        Ok(Self { compiled, db, queries, contexts, footprint, db_generation, cumulative })
     }
 
     /// The database queries run against.
@@ -139,17 +145,19 @@ impl<'g> QueryMixOracle<'g> {
 
     /// Re-classifies the query mix if the database has changed since the
     /// contexts were computed, returning whether any work was done. The
-    /// generation check makes this free to call defensively in a loop:
-    /// an unchanged database costs one integer compare, a changed one
-    /// costs exactly one re-classification regardless of how many
-    /// inserts happened since the last call.
+    /// check is footprint-scoped: only deltas touching predicates the
+    /// compiled graph actually retrieves trigger re-classification, so
+    /// churn on unrelated predicates is free. An unchanged footprint
+    /// costs a handful of integer compares, a changed one costs exactly
+    /// one re-classification regardless of how many deltas happened
+    /// since the last call.
     ///
     /// # Errors
     /// [`GraphError::InvalidStrategy`] if classification fails (it
     /// cannot for a mix that validated at construction, but the
     /// signature keeps the invariant visible).
     pub fn refresh(&mut self) -> Result<bool, GraphError> {
-        let generation = self.db.generation();
+        let generation = self.footprint.generation(&self.db);
         if generation == self.db_generation {
             return Ok(false);
         }

@@ -8,7 +8,7 @@
 //! executes the graph-level strategy in that class and reports the
 //! answer, cost, and trace.
 
-use crate::cache::RunCache;
+use crate::cache::{DependencyFootprint, RunCache};
 use qpl_datalog::{Atom, Database, Substitution, Symbol, Term, Var};
 use qpl_graph::batch::{execute_batch, BatchRun, ContextBatch, LANES, MAX_LANES};
 use qpl_graph::compile::{ArcBinding, CompiledGraph, Guard, PatternTerm};
@@ -221,13 +221,18 @@ pub struct QueryProcessor<'g> {
     /// graphs) — execution then falls back to the interpreter, with
     /// identical results either way.
     program: Option<StrategyProgram>,
+    /// Predicates the compiled graph's retrieval arcs probe, computed
+    /// once per processor — the validity scope for `run_cost_cached`'s
+    /// memo, so deltas on unrelated predicates keep it warm.
+    footprint: DependencyFootprint,
 }
 
 impl<'g> QueryProcessor<'g> {
     /// Creates a processor with the given strategy.
     pub fn new(compiled: &'g CompiledGraph, strategy: Strategy) -> Self {
         let program = StrategyProgram::compile(&compiled.graph, &strategy).ok();
-        Self { compiled, strategy, program }
+        let footprint = DependencyFootprint::of_compiled(compiled);
+        Self { compiled, strategy, program, footprint }
     }
 
     /// Creates a processor with the depth-first left-to-right strategy.
@@ -256,6 +261,13 @@ impl<'g> QueryProcessor<'g> {
     /// The compiled graph.
     pub fn compiled(&self) -> &'g CompiledGraph {
         self.compiled
+    }
+
+    /// The dependency footprint of the compiled graph: every predicate
+    /// its retrieval arcs can probe. Database deltas outside this set
+    /// cannot change any answer this processor produces.
+    pub fn footprint(&self) -> &DependencyFootprint {
+        &self.footprint
     }
 
     /// Processes one query against `db`.
@@ -395,15 +407,18 @@ impl<'g> QueryProcessor<'g> {
     /// [`run_into`](Self::run_into) memoized through a [`RunCache`]:
     /// returns the `(answer, cost)` pair for `query`, reusing a prior
     /// run when the same bound constants were already processed under
-    /// the current ⟨database generation, strategy⟩ pair. The cache
-    /// self-invalidates when either changes, so interleaving database
-    /// updates or [`set_strategy`](Self::set_strategy) calls stays
-    /// correct — only repeated identical runs get cheaper.
+    /// the current ⟨database instance, footprint generation, strategy⟩
+    /// triple. Validity is scoped to the processor's
+    /// [`footprint`](Self::footprint): a delta on a predicate no
+    /// retrieval arc probes leaves the memo warm, while footprint
+    /// deltas, [`set_strategy`](Self::set_strategy) calls, or switching
+    /// `Database` instances all self-invalidate — so interleaving
+    /// database updates stays correct and only repeated identical runs
+    /// get cheaper.
     ///
     /// On a cache miss the scratch holds the run's trace and partial
     /// context as usual; on a hit the scratch is untouched and the cost
-    /// comes from the memo. The cache must only ever see one `Database`
-    /// instance (generations of different instances are incomparable).
+    /// comes from the memo.
     ///
     /// # Errors
     /// As for [`run`](Self::run).
@@ -422,7 +437,7 @@ impl<'g> QueryProcessor<'g> {
         let key = self.compiled.form.bound_constants(query);
         // The fingerprint is cached on the strategy, so revalidation no
         // longer re-hashes the arc vector on every cached run.
-        cache.revalidate(db.generation(), self.strategy.fingerprint());
+        cache.revalidate_scoped(db, &self.footprint, self.strategy.fingerprint());
         if let Some((answer, cost)) = cache.get(&key) {
             // Intentional clone: the memoized answer stays owned by the
             // cache; handing out a borrow would pin the cache for the

@@ -1,0 +1,172 @@
+//! Property tests for live KB deltas against the cached query
+//! processor: any interleaving of inserts and retracts must leave
+//! `run_cost_cached` bit-identical to a from-scratch rebuild, and
+//! deltas outside a strategy's dependency footprint must leave its
+//! answer memo warm.
+
+use proptest::prelude::*;
+use qpl_datalog::parser::{parse_program, parse_query, parse_query_form};
+use qpl_datalog::{Database, Fact, Symbol, SymbolTable};
+use qpl_engine::{QueryProcessor, RunCache};
+use qpl_graph::compile::{compile, CompileOptions, CompiledGraph};
+use qpl_graph::context::RunScratch;
+
+const KB: &str = "instructor(X) :- prof(X).\n\
+                  instructor(X) :- grad(X).\n\
+                  prof(p0). grad(g0).";
+
+struct Rig {
+    table: SymbolTable,
+    compiled: CompiledGraph,
+    db: Database,
+    consts: Vec<Symbol>,
+    preds: Vec<Symbol>,
+}
+
+fn rig() -> Rig {
+    let mut table = SymbolTable::new();
+    let program = parse_program(KB, &mut table).expect("KB parses");
+    let form = parse_query_form("instructor(b)", &mut table).expect("form parses");
+    let compiled =
+        compile(&program.rules, &form, &table, &CompileOptions::default()).expect("KB compiles");
+    let consts: Vec<Symbol> =
+        ["p0", "g0", "c0", "c1", "c2"].iter().map(|c| table.intern(c)).collect();
+    // prof and grad are footprint predicates; noise is not reachable
+    // from the compiled graph at all.
+    let preds: Vec<Symbol> = ["prof", "grad", "noise"].iter().map(|p| table.intern(p)).collect();
+    Rig { table, compiled, db: program.facts, consts, preds }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Replay an arbitrary interleaving of insert/retract deltas,
+    /// querying through one long-lived `RunCache` after every delta.
+    /// Every cached answer and cost must be bit-identical to an
+    /// uncached scalar run against an identically-rebuilt database.
+    #[test]
+    fn interleaved_deltas_match_a_fresh_rebuild(
+        ops in proptest::collection::vec((0u8..2, 0u8..3, 0u8..5), 1..10)
+    ) {
+        let mut r = rig();
+        let qp = QueryProcessor::left_to_right(&r.compiled);
+        let mut cache = RunCache::new();
+        let mut scratch = RunScratch::new(&r.compiled.graph);
+        let queries: Vec<_> = ["p0", "g0", "c0", "c1", "c2"]
+            .iter()
+            .map(|c| parse_query(&format!("instructor({c})"), &mut r.table).unwrap())
+            .collect();
+        // The from-scratch twin: rebuilt by replaying the same ops into
+        // a database that never saw a cache.
+        let mut applied: Vec<(bool, Fact)> = Vec::new();
+        for (op, pi, ci) in ops {
+            let fact = Fact::new(r.preds[pi as usize], vec![r.consts[ci as usize]]);
+            let is_insert = op == 0;
+            if is_insert {
+                r.db.insert(fact.clone()).unwrap();
+            } else {
+                r.db.retract(fact.clone()).unwrap();
+            }
+            applied.push((is_insert, fact));
+
+            let mut rebuilt = parse_program(KB, &mut r.table).unwrap().facts;
+            for (ins, f) in &applied {
+                if *ins {
+                    rebuilt.insert(f.clone()).unwrap();
+                } else {
+                    rebuilt.retract(f.clone()).unwrap();
+                }
+            }
+            for q in &queries {
+                let (cached_answer, cached_cost) =
+                    qp.run_cost_cached(q, &r.db, &mut cache, &mut scratch).unwrap();
+                let fresh_answer = qp.run_into(q, &rebuilt, &mut scratch).unwrap();
+                let fresh_cost = scratch.cost();
+                prop_assert_eq!(&cached_answer, &fresh_answer, "answer after delta");
+                prop_assert_eq!(
+                    cached_cost.to_bits(),
+                    fresh_cost.to_bits(),
+                    "cost bit-identical after delta"
+                );
+            }
+        }
+    }
+
+    /// Deltas confined to predicates outside the footprint never
+    /// invalidate, no matter how many pile up: hit counters keep
+    /// growing across every update.
+    #[test]
+    fn out_of_footprint_churn_keeps_the_memo_warm(
+        ops in proptest::collection::vec((0u8..2, 0u8..5), 1..12)
+    ) {
+        let mut r = rig();
+        let qp = QueryProcessor::left_to_right(&r.compiled);
+        let mut cache = RunCache::new();
+        let mut scratch = RunScratch::new(&r.compiled.graph);
+        let q = parse_query("instructor(p0)", &mut r.table).unwrap();
+        let noise = r.preds[2];
+        qp.run_cost_cached(&q, &r.db, &mut cache, &mut scratch).unwrap();
+        let mut hits = cache.stats().hits;
+        for (op, ci) in ops {
+            let fact = Fact::new(noise, vec![r.consts[ci as usize]]);
+            if op == 0 {
+                r.db.insert(fact).unwrap();
+            } else {
+                r.db.retract(fact).unwrap();
+            }
+            qp.run_cost_cached(&q, &r.db, &mut cache, &mut scratch).unwrap();
+            let now = cache.stats().hits;
+            prop_assert!(now > hits, "every post-churn run is a warm hit");
+            hits = now;
+        }
+        prop_assert_eq!(cache.stats().invalidations, 0);
+    }
+}
+
+/// Two processors over the same database with disjoint footprints: a
+/// delta aimed at family A flushes only A's memo; family B's hit
+/// counter stays strictly positive across the update.
+#[test]
+fn disjoint_footprints_invalidate_independently() {
+    let mut table = SymbolTable::new();
+    let program = parse_program(
+        "instructor(X) :- prof(X).\n\
+         course(X) :- listed(X).\n\
+         prof(russ). listed(cs101).",
+        &mut table,
+    )
+    .unwrap();
+    let mut db = program.facts;
+    let form_a = parse_query_form("instructor(b)", &mut table).unwrap();
+    let form_b = parse_query_form("course(b)", &mut table).unwrap();
+    let opts = CompileOptions::default();
+    let compiled_a = compile(&program.rules, &form_a, &table, &opts).unwrap();
+    let compiled_b = compile(&program.rules, &form_b, &table, &opts).unwrap();
+    let qp_a = QueryProcessor::left_to_right(&compiled_a);
+    let qp_b = QueryProcessor::left_to_right(&compiled_b);
+    let (mut cache_a, mut cache_b) = (RunCache::new(), RunCache::new());
+    let mut scratch_a = RunScratch::new(&compiled_a.graph);
+    let mut scratch_b = RunScratch::new(&compiled_b.graph);
+    let qa = parse_query("instructor(russ)", &mut table).unwrap();
+    let qb = parse_query("course(cs101)", &mut table).unwrap();
+
+    // Warm both memos: miss, then hit.
+    for _ in 0..2 {
+        qp_a.run_cost_cached(&qa, &db, &mut cache_a, &mut scratch_a).unwrap();
+        qp_b.run_cost_cached(&qb, &db, &mut cache_b, &mut scratch_b).unwrap();
+    }
+    assert_eq!(cache_a.stats().hits, 1);
+    assert_eq!(cache_b.stats().hits, 1);
+
+    // Delta on prof: in A's footprint, not in B's.
+    let prof = table.lookup("prof").unwrap();
+    let ada = table.intern("ada");
+    db.insert(Fact::new(prof, vec![ada])).unwrap();
+
+    qp_a.run_cost_cached(&qa, &db, &mut cache_a, &mut scratch_a).unwrap();
+    qp_b.run_cost_cached(&qb, &db, &mut cache_b, &mut scratch_b).unwrap();
+    assert_eq!(cache_a.stats().invalidations, 1, "family A flushed");
+    assert_eq!(cache_a.stats().hits, 1, "A's post-delta run re-executed");
+    assert_eq!(cache_b.stats().invalidations, 0, "family B untouched");
+    assert_eq!(cache_b.stats().hits, 2, "B's hit counter grew across the delta");
+}

@@ -42,9 +42,16 @@ impl JsonSnapshot {
         out.push_str("{\n");
         let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
 
+        // The sink's own drop count is surfaced twice: as the legacy
+        // top-level `dropped_events` field and as a synthetic counter
+        // under the canonical cross-crate name, merged into sorted
+        // position so consumers that only read the counters map (the
+        // serve stats endpoint, CI schema checks) still see it.
         out.push_str("  \"counters\": {");
+        let mut counters: std::collections::BTreeMap<&str, u64> = sink.counters().collect();
+        *counters.entry(crate::names::obs::EVENTS_DROPPED).or_insert(0) += sink.dropped_events();
         let mut first = true;
-        for (name, total) in sink.counters() {
+        for (name, total) in counters {
             push_key(&mut out, &mut first, name);
             let _ = write!(out, "{total}");
         }
@@ -233,9 +240,32 @@ mod tests {
     fn empty_sink_still_renders_every_section() {
         let snap = JsonSnapshot::capture(&MemorySink::new());
         let json = snap.as_str();
-        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"obs.events_dropped\": 0"));
         assert!(json.contains("\"events\": []"));
         assert!(json.contains("\"dropped_events\": 0"));
+    }
+
+    #[test]
+    fn capped_event_drops_surface_as_the_canonical_counter() {
+        let mut sink = MemorySink::with_max_events(2);
+        for _ in 0..5 {
+            sink.event("e", &[]);
+        }
+        let snap = JsonSnapshot::capture(&sink);
+        assert!(snap.has_key("obs.events_dropped"));
+        assert!(snap.as_str().contains("\"obs.events_dropped\": 3"), "{}", snap.as_str());
+        assert!(snap.as_str().contains("\"dropped_events\": 3"));
+
+        // Drop counts survive a shard merge: two sinks over cap sum.
+        let mut other = MemorySink::with_max_events(2);
+        for _ in 0..4 {
+            other.event("e", &[]);
+        }
+        sink.merge_from(&other);
+        let merged = JsonSnapshot::capture(&sink);
+        // 3 own + 2 of other's (other's cap already dropped 2) + 2
+        // overflowing this sink's full buffer = 7.
+        assert!(merged.as_str().contains("\"obs.events_dropped\": 7"), "{}", merged.as_str());
     }
 
     #[test]

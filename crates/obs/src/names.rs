@@ -45,6 +45,31 @@ pub mod serve {
     /// Counter: jobs admitted at a non-home shard because the steered
     /// shard's queue was full (least-loaded fallback).
     pub const SHARD_STEER_FALLBACKS: &str = "serve.shard.steer_fallbacks";
+    /// Counter: KB deltas applied by this shard (one per `update`
+    /// request, regardless of how many facts it carried).
+    pub const KB_DELTA_APPLIED: &str = "serve.kb.delta.applied";
+    /// Counter: facts inserted by `update` requests (changed inserts
+    /// only — re-asserting a present fact does not count).
+    pub const KB_DELTA_INSERTED: &str = "serve.kb.delta.inserted";
+    /// Counter: facts retracted by `update` requests (changed retracts
+    /// only — retracting an absent fact does not count).
+    pub const KB_DELTA_RETRACTED: &str = "serve.kb.delta.retracted";
+}
+
+/// Names shared by the cache layers (`qpl-engine` caches and their
+/// serve-side consumers).
+pub mod cache {
+    /// Counter: cache entries invalidated *selectively* — dropped or
+    /// repaired because a KB delta's dependency footprint intersected
+    /// theirs, rather than by a wholesale generation flush.
+    pub const SELECTIVE_INVALIDATIONS: &str = "cache.selective_invalidations";
+}
+
+/// Names emitted by the observability runtime about itself.
+pub mod obs {
+    /// Counter: events silently discarded by a bounded sink at its
+    /// capacity cap (summed across merged sinks).
+    pub const EVENTS_DROPPED: &str = "obs.events_dropped";
 }
 
 #[cfg(test)]
@@ -64,10 +89,19 @@ mod tests {
             super::serve::SHARD_PUBLISHED,
             super::serve::SHARD_ADOPTIONS,
             super::serve::SHARD_STEER_FALLBACKS,
+            super::serve::KB_DELTA_APPLIED,
+            super::serve::KB_DELTA_INSERTED,
+            super::serve::KB_DELTA_RETRACTED,
         ];
         for (i, a) in all.iter().enumerate() {
             assert!(a.starts_with("serve."), "{a} must carry the subsystem prefix");
             assert!(!all[i + 1..].contains(a), "duplicate name {a}");
         }
+    }
+
+    #[test]
+    fn cross_module_names_are_prefixed_by_their_subsystem() {
+        assert!(super::cache::SELECTIVE_INVALIDATIONS.starts_with("cache."));
+        assert!(super::obs::EVENTS_DROPPED.starts_with("obs."));
     }
 }

@@ -61,7 +61,7 @@
 //! shard reports drained does the acceptor close; then [`Server::join`]
 //! returns.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -71,12 +71,13 @@ use std::time::{Duration, Instant};
 
 use qpl_core::{Pib, PibConfig};
 use qpl_datalog::parser::{parse_program, parse_query, parse_query_form};
-use qpl_datalog::{Atom, Database, SymbolTable};
+use qpl_datalog::{Atom, Database, Fact, Symbol, SymbolTable, Term};
+use qpl_engine::cache::{DependencyFootprint, RunCache};
 use qpl_engine::qp::{classify_context_into, BatchScratch, QueryAnswer, QueryProcessor};
 use qpl_graph::batch::{width_for_lanes, LANES, MAX_LANES};
 use qpl_graph::compile::{compile, CompileOptions, CompiledGraph};
 use qpl_graph::{InferenceGraph, Strategy};
-use qpl_obs::names::serve as names;
+use qpl_obs::names::{cache as cache_names, serve as names};
 use qpl_obs::{JsonSnapshot, MemorySink, MetricsSink};
 use qpl_workload::generator::{random_layered_kb, KbParams};
 use rand::rngs::StdRng;
@@ -213,15 +214,40 @@ struct ShardStats {
     errors: u64,
     climbs: u64,
     adoptions: u64,
+    /// KB deltas this shard has applied (convergence check).
+    deltas_applied: u64,
+    /// Lanes actually *executed* in planes (cache-hit lanes are served
+    /// without occupying a lane) — the width-aware fill numerator.
+    executed_lanes: u64,
     /// Recent per-request service times, µs (unsorted ring contents).
     service_us: Vec<f64>,
     sink: MemorySink,
 }
 
+/// One shard's acknowledgement of an applied KB delta.
+struct UpdateAck {
+    /// Facts that actually changed the database on insert.
+    inserted: u64,
+    /// Facts that actually changed the database on retract.
+    retracted: u64,
+    /// This shard's applied-delta counter after the update.
+    deltas_applied: u64,
+}
+
 /// Work that bypasses admission (cheap, must stay responsive under
 /// load).
 enum Control {
-    Stats { resp: mpsc::Sender<ShardStats> },
+    Stats {
+        resp: mpsc::Sender<ShardStats>,
+    },
+    /// A KB delta, broadcast to every shard. Each shard validates the
+    /// whole delta (parse + groundedness) before applying any of it, so
+    /// identical replicas reach identical verdicts and stay convergent.
+    Update {
+        insert: Arc<Vec<String>>,
+        retract: Arc<Vec<String>>,
+        resp: mpsc::Sender<Result<UpdateAck, String>>,
+    },
 }
 
 struct QueueState {
@@ -577,9 +603,61 @@ fn handle_line(line: &str, cfg: &ServerConfig, shared: &Shared) -> Reply {
             Reply::Bye(wire::render_bye())
         }
         Request::Stats => collect_stats(shared),
+        Request::Update { insert, retract, id } => apply_update(insert, retract, id, shared),
         Request::Query { q, id } => submit(vec![q], id, false, shared),
         Request::Batch { qs, id } => submit(qs, id, true, shared),
     }
+}
+
+/// Broadcasts a KB delta to every shard (the same fan-out shape as
+/// [`collect_stats`]) and merges the acknowledgements into one
+/// `updated` response. Shards apply deltas between planes; because each
+/// shard validates the full delta against its identical replica before
+/// applying, either every shard applies it or none does, and the
+/// per-shard `deltas_applied` counters stay equal.
+fn apply_update(
+    insert: Vec<String>,
+    retract: Vec<String>,
+    id: Option<u64>,
+    shared: &Shared,
+) -> Reply {
+    if shared.stop.load(Ordering::SeqCst) {
+        return Reply::Line(wire::render_error("shutting_down", "server is draining", id));
+    }
+    let insert = Arc::new(insert);
+    let retract = Arc::new(retract);
+    let mut pending = Vec::with_capacity(shared.shards.len());
+    for sq in &shared.shards {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut st = sq.state.lock().expect("state mutex");
+            st.control.push_back(Control::Update {
+                insert: Arc::clone(&insert),
+                retract: Arc::clone(&retract),
+                resp: tx,
+            });
+        }
+        sq.cv.notify_all();
+        pending.push(rx);
+    }
+    let (mut inserted, mut retracted, mut deltas_applied) = (0u64, 0u64, 0u64);
+    for rx in pending {
+        let Ok(ack) = rx.recv() else {
+            return Reply::Closed;
+        };
+        match ack {
+            Ok(a) => {
+                // Identical replicas change identically; report the
+                // first shard's fact counts and the max applied-delta
+                // counter (they agree when convergent).
+                inserted = a.inserted;
+                retracted = a.retracted;
+                deltas_applied = deltas_applied.max(a.deltas_applied);
+            }
+            Err(detail) => return Reply::Line(wire::render_error("bad_request", &detail, id)),
+        }
+    }
+    Reply::Line(wire::render_updated(inserted, retracted, deltas_applied, id))
 }
 
 /// Fans a stats control to every shard, merges the slices (counters
@@ -601,7 +679,7 @@ fn collect_stats(shared: &Shared) -> Reply {
     let mut all_us: Vec<f64> = Vec::new();
     let (mut queue_lanes, mut served, mut batches) = (0u64, 0u64, 0u64);
     let (mut errors, mut climbs, mut adoptions) = (0u64, 0u64, 0u64);
-    let mut plane_lanes = 0u64;
+    let (mut plane_lanes, mut executed_lanes, mut deltas_applied) = (0u64, 0u64, 0u64);
     let mut width_planes = [0u64; 4];
     for (shard, rx) in pending.into_iter().enumerate() {
         let Ok(s) = rx.recv() else {
@@ -617,6 +695,8 @@ fn collect_stats(shared: &Shared) -> Reply {
         errors += s.errors;
         climbs += s.climbs;
         adoptions += s.adoptions;
+        executed_lanes += s.executed_lanes;
+        deltas_applied += s.deltas_applied;
         merged_sink.merge_from(&s.sink);
         let mut us = s.service_us;
         us.sort_by(f64::total_cmp);
@@ -629,7 +709,8 @@ fn collect_stats(shared: &Shared) -> Reply {
             errors: s.errors,
             climbs: s.climbs,
             adoptions: s.adoptions,
-            fill_ratio: fill_ratio(s.served, s.plane_lanes),
+            deltas_applied: s.deltas_applied,
+            fill_ratio: fill_ratio(s.executed_lanes, s.plane_lanes),
             p50_us: percentile_sorted(&us, 0.50),
             p99_us: percentile_sorted(&us, 0.99),
         });
@@ -650,7 +731,8 @@ fn collect_stats(shared: &Shared) -> Reply {
         climbs,
         adoptions,
         steer_fallbacks,
-        fill_ratio: fill_ratio(served, plane_lanes),
+        deltas_applied,
+        fill_ratio: fill_ratio(executed_lanes, plane_lanes),
         width_planes,
         p50_us: percentile_sorted(&all_us, 0.50),
         p99_us: percentile_sorted(&all_us, 0.99),
@@ -660,12 +742,14 @@ fn collect_stats(shared: &Shared) -> Reply {
     Reply::Line(wire::render_stats(&view))
 }
 
-/// Occupied fraction of executed plane capacity. `capacity_lanes` sums
-/// each plane's width × 64 lanes, so a shard that widens under load is
-/// judged against the capacity it actually cut.
-fn fill_ratio(served: u64, capacity_lanes: u64) -> f64 {
+/// Occupied fraction of executed plane capacity. `executed` counts
+/// lanes that ran in a plane (cache-hit lanes never occupy capacity);
+/// `capacity_lanes` sums each plane's width × 64 lanes, so a shard that
+/// widens under load is judged against the capacity it actually cut. A
+/// shard that executed nothing reports 0.0, never NaN.
+fn fill_ratio(executed: u64, capacity_lanes: u64) -> f64 {
     if capacity_lanes > 0 {
-        served as f64 / capacity_lanes as f64
+        executed as f64 / capacity_lanes as f64
     } else {
         0.0
     }
@@ -786,6 +870,21 @@ struct Executor<'g> {
     current_fp: u64,
     /// Last strategy-board epoch this shard acted on.
     board_seen: u64,
+    /// Per-shard answer memo, probed per lane before classification.
+    /// Footprint-scoped revalidation keeps it warm across KB deltas
+    /// that miss the compiled graph's retrieval predicates.
+    run_cache: RunCache,
+    /// The retrieval predicates this shard's compiled graph can probe —
+    /// the memo's invalidation scope.
+    footprint: DependencyFootprint,
+    /// `run_cache.stats().invalidations` already emitted as the
+    /// selective-invalidation counter.
+    rc_invalidations_seen: u64,
+    /// KB deltas applied by this shard.
+    deltas_applied: u64,
+    /// Lanes actually executed in planes (fill numerator; cache-hit
+    /// lanes are served without occupying plane capacity).
+    executed_lanes: u64,
     sink: MemorySink,
     served: u64,
     batches: u64,
@@ -801,6 +900,9 @@ struct Executor<'g> {
     ring: ServiceRing,
     // Plane-assembly buffers, reused across planes.
     atoms: Vec<Atom>,
+    /// Memo key per executed lane, parallel to `atoms`; results insert
+    /// back into `run_cache` after the plane runs.
+    keys: Vec<Vec<Symbol>>,
     slots: Vec<(usize, usize)>,
     scratch: BatchScratch,
     lane_out: Vec<(QueryAnswer, f64)>,
@@ -822,6 +924,11 @@ fn executor_loop(shard: usize, engine: ServeEngine, cfg: ServerConfig, shared: &
         board_seen: 0,
         qp,
         pib,
+        run_cache: RunCache::new(),
+        footprint: DependencyFootprint::of_compiled(&compiled),
+        rc_invalidations_seen: 0,
+        deltas_applied: 0,
+        executed_lanes: 0,
         sink: MemorySink::new(),
         served: 0,
         batches: 0,
@@ -833,6 +940,7 @@ fn executor_loop(shard: usize, engine: ServeEngine, cfg: ServerConfig, shared: &
         declined_emitted: 0,
         ring: ServiceRing::new(4096),
         atoms: Vec::new(),
+        keys: Vec::new(),
         slots: Vec::new(),
         scratch: BatchScratch::new(&compiled.graph),
         lane_out: Vec::new(),
@@ -884,6 +992,11 @@ fn executor_loop(shard: usize, engine: ServeEngine, cfg: ServerConfig, shared: &
                 Control::Stats { resp } => {
                     let _ = resp.send(ex.shard_stats(queue_lanes, declined));
                 }
+                Control::Update { insert, retract, resp } => {
+                    // Deltas apply between planes: every plane executes
+                    // against a single database state.
+                    let _ = resp.send(ex.apply_delta(&insert, &retract));
+                }
             }
         }
         if !jobs.is_empty() {
@@ -897,7 +1010,86 @@ fn executor_loop(shard: usize, engine: ServeEngine, cfg: ServerConfig, shared: &
     }
 }
 
+/// Parses one `update` fact text: must parse as an atom and be fully
+/// ground (constants only).
+fn parse_ground_fact(text: &str, table: &mut SymbolTable) -> Result<Fact, String> {
+    let atom = parse_query(text, table).map_err(|e| e.to_string())?;
+    let mut args = Vec::with_capacity(atom.args.len());
+    for t in &atom.args {
+        match t {
+            Term::Const(s) => args.push(*s),
+            Term::Var(_) => return Err(format!("update facts must be ground: {text:?}")),
+        }
+    }
+    Ok(Fact::new(atom.predicate, args))
+}
+
 impl Executor<'_> {
+    /// Validates and applies one KB delta against this shard's replica.
+    ///
+    /// Validation is all-or-nothing: every fact must parse, be ground,
+    /// and agree on arity (with the stored relation and within the
+    /// delta) *before* anything is applied. Identical replicas
+    /// therefore reach identical verdicts — either every shard applies
+    /// the delta or every shard refuses it — which keeps the
+    /// shared-nothing fleet convergent.
+    fn apply_delta(&mut self, insert: &[String], retract: &[String]) -> Result<UpdateAck, String> {
+        let mut arities: HashMap<Symbol, usize> = HashMap::new();
+        let mut validate = |texts: &[String],
+                            table: &mut SymbolTable,
+                            db: &Database|
+         -> Result<Vec<Fact>, String> {
+            let mut facts = Vec::with_capacity(texts.len());
+            for text in texts {
+                let fact = parse_ground_fact(text, table)?;
+                let arity = *arities
+                    .entry(fact.predicate)
+                    .or_insert_with(|| db.arity(fact.predicate).unwrap_or(fact.args.len()));
+                if fact.args.len() != arity {
+                    return Err(format!("arity mismatch for {text:?}: expected {arity} arguments"));
+                }
+                facts.push(fact);
+            }
+            Ok(facts)
+        };
+        let ins = validate(insert, &mut self.table, &self.db)?;
+        let ret = validate(retract, &mut self.table, &self.db)?;
+        let (mut inserted, mut retracted) = (0u64, 0u64);
+        for f in ins {
+            if self.db.insert(f).map_err(|e| e.to_string())?.changed {
+                inserted += 1;
+            }
+        }
+        for f in ret {
+            if self.db.retract(f).map_err(|e| e.to_string())?.changed {
+                retracted += 1;
+            }
+        }
+        self.deltas_applied += 1;
+        self.sink.counter(names::KB_DELTA_APPLIED, 1);
+        self.sink.counter(names::KB_DELTA_INSERTED, inserted);
+        self.sink.counter(names::KB_DELTA_RETRACTED, retracted);
+        // Footprint-scoped revalidation: the answer memo goes cold only
+        // when the delta touched a predicate this shard's compiled
+        // graph actually retrieves.
+        self.revalidate_run_cache();
+        Ok(UpdateAck { inserted, retracted, deltas_applied: self.deltas_applied })
+    }
+
+    /// Revalidates the per-shard answer memo against the current
+    /// database + strategy, counting any flush as a selective
+    /// invalidation (the validity key is footprint-scoped, so only
+    /// relevant deltas can move it).
+    fn revalidate_run_cache(&mut self) {
+        self.run_cache.revalidate_scoped(&self.db, &self.footprint, self.current_fp);
+        let inv = self.run_cache.stats().invalidations;
+        if inv > self.rc_invalidations_seen {
+            self.sink
+                .counter(cache_names::SELECTIVE_INVALIDATIONS, inv - self.rc_invalidations_seen);
+            self.rc_invalidations_seen = inv;
+        }
+    }
+
     /// Polls the strategy board (one atomic load on the fast path) and
     /// adopts the published strategy when its fingerprint differs from
     /// this shard's current program.
@@ -935,12 +1127,36 @@ impl Executor<'_> {
         self.results.clear();
         self.results.extend(jobs.iter().map(|(job, _)| vec![None; job.texts.len()]));
         self.atoms.clear();
+        self.keys.clear();
         self.slots.clear();
+        // One revalidation per plane: deltas apply between planes, so
+        // every lane probes the memo under the same validity key.
+        self.revalidate_run_cache();
         let mut lanes = 0usize;
+        let mut cache_hits = 0u64;
         let mut plane_errors = 0u64;
         for (ji, (job, _)) in jobs.iter().enumerate() {
             for (si, text) in job.texts.iter().enumerate() {
                 let parsed = parse_query(text, &mut self.table).map_err(|e| e.to_string());
+                // Memo probe before classification: a warm hit answers
+                // the lane (bit-identical answer and cost, memoized from
+                // an earlier plane) without occupying plane capacity.
+                if let Ok(atom) = &parsed {
+                    if self.compiled.form.matches(atom) {
+                        let key = self.compiled.form.bound_constants(atom);
+                        if let Some((answer, cost)) = self.run_cache.get(&key) {
+                            self.results[ji][si] = Some(match answer {
+                                QueryAnswer::Yes(w) => LaneResult::Yes {
+                                    witness: w.display(&self.table).to_string(),
+                                    cost: *cost,
+                                },
+                                QueryAnswer::No => LaneResult::No { cost: *cost },
+                            });
+                            cache_hits += 1;
+                            continue;
+                        }
+                    }
+                }
                 let classified = parsed.and_then(|atom| {
                     classify_context_into(
                         self.compiled,
@@ -953,6 +1169,7 @@ impl Executor<'_> {
                 });
                 match classified {
                     Ok(atom) => {
+                        self.keys.push(self.compiled.form.bound_constants(&atom));
                         self.atoms.push(atom);
                         self.slots.push((ji, si));
                         lanes += 1;
@@ -981,9 +1198,12 @@ impl Executor<'_> {
                     },
                     QueryAnswer::No => LaneResult::No { cost: *cost },
                 });
+                // Memoize for later planes (and revalidated deltas).
+                self.run_cache.insert(std::mem::take(&mut self.keys[lane]), answer.clone(), *cost);
             }
             let width = width_for_lanes(lanes);
             self.served += lanes as u64;
+            self.executed_lanes += lanes as u64;
             self.batches += 1;
             self.plane_lanes += (width * LANES) as u64;
             self.width_planes[width.trailing_zeros() as usize] += 1;
@@ -1012,6 +1232,13 @@ impl Executor<'_> {
                     self.sink.counter(names::SHARD_PUBLISHED, 1);
                 }
             }
+        }
+        if cache_hits > 0 {
+            // Hit lanes are served queries too — they just never cost
+            // plane capacity, so they stay out of the fill numerator.
+            self.served += cache_hits;
+            self.sink.counter(names::QUERIES, cache_hits);
+            self.sink.counter("serve.cache.hits", cache_hits);
         }
         if plane_errors > 0 {
             self.errors += plane_errors;
@@ -1047,6 +1274,8 @@ impl Executor<'_> {
             errors: self.errors,
             climbs: self.climbs,
             adoptions: self.adoptions,
+            deltas_applied: self.deltas_applied,
+            executed_lanes: self.executed_lanes,
             service_us: self.ring.samples().to_vec(),
             sink: self.sink.clone(),
         }

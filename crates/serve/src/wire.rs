@@ -1,4 +1,4 @@
-//! Wire protocol v1: line-delimited JSON, one object per line.
+//! Wire protocol v2: line-delimited JSON, one object per line.
 //!
 //! ## Grammar
 //!
@@ -9,11 +9,17 @@
 //! {"kind":"ping"}
 //! {"kind":"query","q":"instructor(russ)","id":7}
 //! {"kind":"batch","qs":["instructor(russ)","instructor(fred)"]}
+//! {"kind":"update","insert":["edge(a, b)"],"retract":["edge(b, c)"],"id":9}
 //! {"kind":"stats"}
 //! {"kind":"shutdown"}
 //! ```
 //!
-//! Responses (server → client) always carry `"v":1` and a `kind`:
+//! `update` (new in v2) carries ground facts in Datalog syntax;
+//! `insert` and `retract` may each be omitted, but not both. The delta
+//! is validated on every shard before any shard applies it, then
+//! broadcast so all shared-nothing replicas converge.
+//!
+//! Responses (server → client) always carry `"v":2` and a `kind`:
 //!
 //! * `pong` — ping reply;
 //! * `answer` — one `result` object: `{"answer":"yes","witness":…,
@@ -21,6 +27,11 @@
 //!   `{"error":"bad_query","detail":…}` for a per-query failure inside
 //!   an otherwise-served request;
 //! * `answers` — `results` array, one entry per batch query, in order;
+//! * `updated` — delta acknowledgement: `inserted`/`retracted` count
+//!   the facts that actually changed the database (re-asserting a
+//!   present fact or retracting an absent one is a no-op), and
+//!   `deltas_applied` is the per-shard applied-delta counter after this
+//!   update (equal across shards when replicas are convergent);
 //! * `stats` — admission/batching aggregates plus the full
 //!   [`JsonSnapshot`](qpl_obs::JsonSnapshot) rendered single-line under
 //!   `metrics`;
@@ -40,8 +51,14 @@
 
 use std::fmt::Write as _;
 
-/// The `"v"` field stamped into every response.
-pub const WIRE_VERSION: u32 = 1;
+/// The `"v"` field stamped into every response. v2 added the `update`
+/// request, the `updated` response, and `deltas_applied` in `stats`.
+pub const WIRE_VERSION: u32 = 2;
+
+/// Maximum facts (insert + retract combined) one `update` request may
+/// carry; larger deltas must be split across requests so a single line
+/// cannot stall every shard for long.
+pub const MAX_UPDATE_FACTS: usize = 1024;
 
 /// Maximum nesting depth [`JsonValue::parse`] accepts; deeper input is
 /// rejected (protects the recursive-descent parser from stack
@@ -339,10 +356,37 @@ pub enum Request {
         /// Client correlation id, echoed back.
         id: Option<u64>,
     },
+    /// A KB delta: ground facts to insert and/or retract, broadcast to
+    /// every shard so replicas stay convergent.
+    Update {
+        /// Fact texts to insert, e.g. `edge(a, b)`.
+        insert: Vec<String>,
+        /// Fact texts to retract.
+        retract: Vec<String>,
+        /// Client correlation id, echoed back.
+        id: Option<u64>,
+    },
     /// Metrics snapshot request.
     Stats,
     /// Graceful drain: stop admitting, finish the queue, exit.
     Shutdown,
+}
+
+/// Extracts an optional array-of-strings field for `update`.
+fn fact_list(v: &JsonValue, key: &str) -> Result<Vec<String>, String> {
+    match v.get(key) {
+        None => Ok(Vec::new()),
+        Some(arr) => arr
+            .as_array()
+            .ok_or_else(|| format!("\"{key}\" must be an array of fact strings"))?
+            .iter()
+            .map(|f| {
+                f.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("\"{key}\" entries must be strings"))
+            })
+            .collect(),
+    }
 }
 
 /// Parses one request line. `max_batch` bounds `"qs"` (a serving config
@@ -395,6 +439,17 @@ pub fn parse_request(line: &str, max_batch: usize) -> Result<Request, String> {
                 .collect::<Result<Vec<_>, _>>()?;
             Ok(Request::Batch { qs: texts, id })
         }
+        "update" => {
+            let insert = fact_list(&v, "insert")?;
+            let retract = fact_list(&v, "retract")?;
+            if insert.is_empty() && retract.is_empty() {
+                return Err("update needs a non-empty \"insert\" or \"retract\"".to_string());
+            }
+            if insert.len() + retract.len() > MAX_UPDATE_FACTS {
+                return Err(format!("update exceeds the {MAX_UPDATE_FACTS}-fact limit"));
+            }
+            Ok(Request::Update { insert, retract, id })
+        }
         other => Err(format!("unknown kind {other:?}")),
     }
 }
@@ -441,6 +496,9 @@ pub struct ShardStatsView {
     pub climbs: u64,
     /// Peer-published strategies this shard adopted.
     pub adoptions: u64,
+    /// KB deltas this shard applied (update-broadcast convergence
+    /// check: equal across shards when replicas agree).
+    pub deltas_applied: u64,
     /// Mean occupied-lane fraction over this shard's planes.
     pub fill_ratio: f64,
     /// p50 request service time on this shard, microseconds.
@@ -471,6 +529,9 @@ pub struct StatsView {
     /// Jobs admitted at a non-home shard because the steered shard's
     /// queue was full.
     pub steer_fallbacks: u64,
+    /// KB deltas applied, summed over shards (each broadcast update
+    /// counts once per shard).
+    pub deltas_applied: u64,
     /// Mean occupied fraction of executed plane capacity (each plane
     /// counts width × 64 lanes in the denominator).
     pub fill_ratio: f64,
@@ -565,6 +626,24 @@ pub fn render_answer(result: &LaneResult, id: Option<u64>) -> String {
     out
 }
 
+/// `updated` response line: how many facts actually changed the
+/// database, plus this replica set's applied-delta counter (the maximum
+/// over shards; equal to every shard's counter when convergent).
+pub fn render_updated(
+    inserted: u64,
+    retracted: u64,
+    deltas_applied: u64,
+    id: Option<u64>,
+) -> String {
+    let mut out = String::with_capacity(96);
+    push_envelope(&mut out, "updated", id);
+    let _ = write!(
+        out,
+        ",\"inserted\":{inserted},\"retracted\":{retracted},\"deltas_applied\":{deltas_applied}}}"
+    );
+    out
+}
+
 /// `answers` response line for a batch, one result per query in order.
 pub fn render_answers(results: &[LaneResult], id: Option<u64>) -> String {
     let mut out = String::with_capacity(64 + 64 * results.len());
@@ -590,6 +669,7 @@ pub fn render_stats(s: &StatsView) -> String {
         s.queue_lanes, s.served, s.batches, s.shed, s.errors, s.climbs
     );
     let _ = write!(out, ",\"adoptions\":{},\"steer_fallbacks\":{}", s.adoptions, s.steer_fallbacks);
+    let _ = write!(out, ",\"deltas_applied\":{}", s.deltas_applied);
     let _ = write!(out, ",\"fill_ratio\":{}", s.fill_ratio);
     let _ = write!(
         out,
@@ -605,8 +685,8 @@ pub fn render_stats(s: &StatsView) -> String {
         let _ = write!(
             out,
             "{{\"shard\":{},\"queue_lanes\":{},\"served\":{},\"batches\":{},\"declined\":{},\
-             \"errors\":{},\"climbs\":{},\"adoptions\":{},\"fill_ratio\":{},\"p50_us\":{},\
-             \"p99_us\":{}}}",
+             \"errors\":{},\"climbs\":{},\"adoptions\":{},\"deltas_applied\":{},\"fill_ratio\":{},\
+             \"p50_us\":{},\"p99_us\":{}}}",
             sh.shard,
             sh.queue_lanes,
             sh.served,
@@ -615,6 +695,7 @@ pub fn render_stats(s: &StatsView) -> String {
             sh.errors,
             sh.climbs,
             sh.adoptions,
+            sh.deltas_applied,
             sh.fill_ratio,
             sh.p50_us,
             sh.p99_us
@@ -699,6 +780,23 @@ mod tests {
             parse_request(r#"{"kind":"batch","qs":["p(a)","p(b)"]}"#, 64).unwrap(),
             Request::Batch { qs: vec!["p(a)".to_string(), "p(b)".to_string()], id: None }
         );
+        assert_eq!(
+            parse_request(
+                r#"{"kind":"update","insert":["e(a, b)"],"retract":["e(b, c)"],"id":9}"#,
+                64
+            )
+            .unwrap(),
+            Request::Update {
+                insert: vec!["e(a, b)".to_string()],
+                retract: vec!["e(b, c)".to_string()],
+                id: Some(9),
+            }
+        );
+        // Either side of the delta may be omitted.
+        assert_eq!(
+            parse_request(r#"{"kind":"update","insert":["e(a, b)"]}"#, 64).unwrap(),
+            Request::Update { insert: vec!["e(a, b)".to_string()], retract: vec![], id: None }
+        );
     }
 
     #[test]
@@ -713,6 +811,10 @@ mod tests {
             r#"{"kind":"batch","qs":[]}"#,
             r#"{"kind":"batch","qs":["p(a)",2]}"#,
             r#"{"kind":"batch","qs":"p(a)"}"#,
+            r#"{"kind":"update"}"#,
+            r#"{"kind":"update","insert":[],"retract":[]}"#,
+            r#"{"kind":"update","insert":"e(a, b)"}"#,
+            r#"{"kind":"update","insert":[3]}"#,
         ] {
             assert!(parse_request(bad, 64).is_err(), "accepted {bad:?}");
         }
@@ -723,6 +825,12 @@ mod tests {
         );
         assert!(parse_request(&too_many, 64).is_err());
         assert!(parse_request(&too_many, 65).is_ok());
+        // Update fact limit enforced.
+        let big_update = format!(
+            r#"{{"kind":"update","insert":[{}]}}"#,
+            (0..=MAX_UPDATE_FACTS).map(|_| "\"p(a)\"").collect::<Vec<_>>().join(",")
+        );
+        assert!(parse_request(&big_update, 64).is_err());
     }
 
     fn sample_stats() -> StatsView {
@@ -735,6 +843,7 @@ mod tests {
             errors: 0,
             climbs: i,
             adoptions: 1 - i.min(1),
+            deltas_applied: 5,
             fill_ratio: 0.5,
             p50_us: 120.0,
             p99_us: 800.0,
@@ -748,6 +857,7 @@ mod tests {
             climbs: 1,
             adoptions: 1,
             steer_fallbacks: 4,
+            deltas_applied: 10,
             fill_ratio: 0.52,
             width_planes: [2, 1, 0, 0],
             p50_us: 130.5,
@@ -770,6 +880,7 @@ mod tests {
             "climbs",
             "adoptions",
             "steer_fallbacks",
+            "deltas_applied",
             "fill_ratio",
             "p50_us",
             "p99_us",
@@ -791,6 +902,7 @@ mod tests {
                 "errors",
                 "climbs",
                 "adoptions",
+                "deltas_applied",
                 "fill_ratio",
                 "p50_us",
                 "p99_us",
@@ -817,10 +929,15 @@ mod tests {
             render_error("overloaded", "queue full", Some(3)),
             render_answer(&lanes[0], Some(9)),
             render_answers(&lanes, None),
+            render_updated(2, 1, 7, Some(4)),
             render_stats(&sample_stats()),
         ] {
             let v = JsonValue::parse(&line).unwrap_or_else(|e| panic!("{e} in {line}"));
-            assert_eq!(v.get("v").and_then(JsonValue::as_f64), Some(1.0), "{line}");
+            assert_eq!(
+                v.get("v").and_then(JsonValue::as_f64),
+                Some(f64::from(WIRE_VERSION)),
+                "{line}"
+            );
             assert!(v.get("kind").and_then(JsonValue::as_str).is_some(), "{line}");
             assert!(!line.contains('\n'), "response must be one line: {line}");
         }

@@ -87,7 +87,10 @@ fn ping_stats_and_bad_request_roundtrip() {
 
     let pong = roundtrip(&mut s, &mut r, r#"{"kind":"ping"}"#);
     assert_eq!(pong.get("kind").and_then(JsonValue::as_str), Some("pong"));
-    assert_eq!(pong.get("v").and_then(JsonValue::as_f64), Some(1.0));
+    assert_eq!(
+        pong.get("v").and_then(JsonValue::as_f64),
+        Some(f64::from(qpl_serve::wire::WIRE_VERSION))
+    );
 
     let bad = roundtrip(&mut s, &mut r, r#"{"kind":"query"}"#);
     assert_eq!(bad.get("kind").and_then(JsonValue::as_str), Some("error"));
@@ -496,5 +499,194 @@ fn graceful_shutdown_drains_and_joins() {
         }
     }
 
+    server.join();
+}
+
+/// Live KB deltas, end to end: an `update` changes answers on every
+/// shard, acks report the per-shard applied-delta counter, and `stats`
+/// proves the shared-nothing replicas converged (equal counters on all
+/// shards).
+#[test]
+fn updates_change_answers_and_replicas_converge() {
+    let server = Server::start(
+        ServeEngine::figure1(),
+        ServerConfig { shards: 2, ..ServerConfig::default() },
+    )
+    .expect("server starts");
+    let (mut s, mut r) = connect(&server);
+
+    // Not provable yet — and this "no" gets memoized per shard.
+    let before = roundtrip(&mut s, &mut r, r#"{"kind":"query","q":"instructor(ada)"}"#);
+    let (kind, _, _) = result_fields(before.get("result").unwrap());
+    assert_eq!(kind, "no");
+
+    // Insert prof(ada): a footprint predicate, so the memoized "no"
+    // must be selectively invalidated on every shard.
+    let upd = roundtrip(&mut s, &mut r, r#"{"kind":"update","insert":["prof(ada)"],"id":1}"#);
+    assert_eq!(upd.get("kind").and_then(JsonValue::as_str), Some("updated"));
+    assert_eq!(upd.get("id").and_then(JsonValue::as_f64), Some(1.0));
+    assert_eq!(upd.get("inserted").and_then(JsonValue::as_f64), Some(1.0));
+    assert_eq!(upd.get("retracted").and_then(JsonValue::as_f64), Some(0.0));
+    assert_eq!(upd.get("deltas_applied").and_then(JsonValue::as_f64), Some(1.0));
+
+    // Every shard must now prove it: sweep more queries than shards so
+    // steering cannot hide a stale replica.
+    for i in 0..8 {
+        let resp = roundtrip(
+            &mut s,
+            &mut r,
+            &format!(r#"{{"kind":"query","q":"instructor(ada)","id":{i}}}"#),
+        );
+        let (kind, witness, _) = result_fields(resp.get("result").unwrap());
+        assert_eq!(kind, "yes", "post-insert query {i}");
+        assert_eq!(witness.as_deref(), Some("prof(ada)"), "witness is the retrieved fact");
+    }
+
+    // Re-asserting a present fact changes nothing but still counts as
+    // an applied delta.
+    let redo = roundtrip(&mut s, &mut r, r#"{"kind":"update","insert":["prof(ada)"]}"#);
+    assert_eq!(redo.get("inserted").and_then(JsonValue::as_f64), Some(0.0));
+    assert_eq!(redo.get("deltas_applied").and_then(JsonValue::as_f64), Some(2.0));
+
+    // Retract it again: answers flip back.
+    let ret = roundtrip(&mut s, &mut r, r#"{"kind":"update","retract":["prof(ada)"]}"#);
+    assert_eq!(ret.get("retracted").and_then(JsonValue::as_f64), Some(1.0));
+    assert_eq!(ret.get("deltas_applied").and_then(JsonValue::as_f64), Some(3.0));
+    let after = roundtrip(&mut s, &mut r, r#"{"kind":"query","q":"instructor(ada)"}"#);
+    let (kind, _, _) = result_fields(after.get("result").unwrap());
+    assert_eq!(kind, "no");
+
+    // Convergence, by the book: every shard's applied-delta counter is
+    // equal, and the total is shards × deltas.
+    let stats = roundtrip(&mut s, &mut r, r#"{"kind":"stats"}"#);
+    let shards = stats.get("shards").and_then(JsonValue::as_array).expect("shards");
+    assert_eq!(shards.len(), 2);
+    for sh in shards {
+        assert_eq!(
+            sh.get("deltas_applied").and_then(JsonValue::as_f64),
+            Some(3.0),
+            "every replica applied every delta"
+        );
+    }
+    assert_eq!(stats.get("deltas_applied").and_then(JsonValue::as_f64), Some(6.0));
+    let metrics = stats.get("metrics").expect("metrics snapshot");
+    let counters = metrics.get("counters").expect("counters map");
+    assert!(
+        counters.get("serve.kb.delta.applied").and_then(JsonValue::as_f64).unwrap_or(0.0) >= 6.0,
+        "delta counters surface in the merged metrics"
+    );
+    assert!(counters.get("obs.events_dropped").is_some(), "drop counter always present");
+
+    server.shutdown();
+    server.join();
+}
+
+/// Invalid deltas are refused atomically: nothing applies, on any
+/// shard, and the error names the offending fact.
+#[test]
+fn invalid_updates_are_refused_without_applying_anything() {
+    let server = Server::start(
+        ServeEngine::figure1(),
+        ServerConfig { shards: 2, ..ServerConfig::default() },
+    )
+    .expect("server starts");
+    let (mut s, mut r) = connect(&server);
+
+    for bad in [
+        // Non-ground fact.
+        r#"{"kind":"update","insert":["prof(X)"]}"#,
+        // Arity mismatch with the stored relation.
+        r#"{"kind":"update","insert":["prof(a, b)"]}"#,
+        // Valid fact first, invalid later: still all-or-nothing.
+        r#"{"kind":"update","insert":["prof(ada)","grad(Y)"]}"#,
+        // Unparsable.
+        r#"{"kind":"update","retract":["prof(("]}"#,
+    ] {
+        let resp = roundtrip(&mut s, &mut r, bad);
+        assert_eq!(resp.get("kind").and_then(JsonValue::as_str), Some("error"), "{bad}");
+        assert_eq!(resp.get("error").and_then(JsonValue::as_str), Some("bad_request"), "{bad}");
+    }
+
+    // Nothing was applied anywhere — prof(ada) from the mixed delta
+    // must not have landed.
+    let q = roundtrip(&mut s, &mut r, r#"{"kind":"query","q":"instructor(ada)"}"#);
+    let (kind, _, _) = result_fields(q.get("result").unwrap());
+    assert_eq!(kind, "no");
+    let stats = roundtrip(&mut s, &mut r, r#"{"kind":"stats"}"#);
+    assert_eq!(stats.get("deltas_applied").and_then(JsonValue::as_f64), Some(0.0));
+
+    server.shutdown();
+    server.join();
+}
+
+/// Deltas on predicates outside the compiled graph's dependency
+/// footprint leave every shard's answer memo warm: repeat queries hit
+/// the cache across the update, and no selective invalidation fires.
+#[test]
+fn irrelevant_deltas_keep_the_answer_memo_warm() {
+    let server = Server::start(ServeEngine::figure1(), ServerConfig::default()).expect("starts");
+    let (mut s, mut r) = connect(&server);
+
+    let q = r#"{"kind":"query","q":"instructor(russ)"}"#;
+    let first = roundtrip(&mut s, &mut r, q);
+    let (kind, _, cost) = result_fields(first.get("result").unwrap());
+    assert_eq!(kind, "yes");
+
+    // Second serve of the same query: memo hit, bit-identical cost.
+    let second = roundtrip(&mut s, &mut r, q);
+    let (kind2, _, cost2) = result_fields(second.get("result").unwrap());
+    assert_eq!(kind2, "yes");
+    assert_eq!(cost2, cost, "memoized cost is bit-identical");
+
+    // A delta on a predicate the instructor graph never retrieves.
+    let upd = roundtrip(&mut s, &mut r, r#"{"kind":"update","insert":["office(russ, b12)"]}"#);
+    assert_eq!(upd.get("kind").and_then(JsonValue::as_str), Some("updated"));
+
+    // Still warm after the irrelevant delta.
+    let third = roundtrip(&mut s, &mut r, q);
+    let (kind3, _, cost3) = result_fields(third.get("result").unwrap());
+    assert_eq!(kind3, "yes");
+    assert_eq!(cost3, cost);
+
+    let stats = roundtrip(&mut s, &mut r, r#"{"kind":"stats"}"#);
+    let counters = stats.get("metrics").and_then(|m| m.get("counters")).expect("counters");
+    assert!(
+        counters.get("serve.cache.hits").and_then(JsonValue::as_f64).unwrap_or(0.0) >= 2.0,
+        "repeat queries hit the shard memo across the irrelevant delta"
+    );
+    assert_eq!(
+        counters.get("cache.selective_invalidations").and_then(JsonValue::as_f64).unwrap_or(0.0),
+        0.0,
+        "an out-of-footprint delta never flushes the memo"
+    );
+
+    server.shutdown();
+    server.join();
+}
+
+/// The empty-shard stats path: a server that has served nothing reports
+/// finite zero fill ratios (no NaN from a zero plane-capacity
+/// denominator), zero deltas, and a complete schema.
+#[test]
+fn empty_server_stats_are_finite_and_complete() {
+    let server = Server::start(
+        ServeEngine::figure1(),
+        ServerConfig { shards: 3, ..ServerConfig::default() },
+    )
+    .expect("server starts");
+    let (mut s, mut r) = connect(&server);
+
+    let stats = roundtrip(&mut s, &mut r, r#"{"kind":"stats"}"#);
+    assert_eq!(stats.get("fill_ratio").and_then(JsonValue::as_f64), Some(0.0));
+    assert_eq!(stats.get("deltas_applied").and_then(JsonValue::as_f64), Some(0.0));
+    let shards = stats.get("shards").and_then(JsonValue::as_array).expect("shards");
+    assert_eq!(shards.len(), 3);
+    for sh in shards {
+        let fill = sh.get("fill_ratio").and_then(JsonValue::as_f64).expect("finite fill");
+        assert_eq!(fill, 0.0, "empty shard fill is 0.0, not NaN");
+        assert_eq!(sh.get("deltas_applied").and_then(JsonValue::as_f64), Some(0.0));
+    }
+
+    server.shutdown();
     server.join();
 }
