@@ -1,5 +1,6 @@
 //! Dumps one schema-stable JSON metrics snapshot for an E18-style run:
 //! a tabled + cross-context-cached sample stream, a PIB learning loop,
+//! a binding-aware planning pass (greedy ordering + magic rewriting),
 //! and a PAO sampling plan, all observed through a single
 //! [`MemorySink`](qpl_obs::MemorySink).
 //!
@@ -14,15 +15,22 @@
 
 use qpl_core::pao::{Pao, PaoConfig};
 use qpl_core::pib::{Pib, PibConfig};
+use qpl_core::GreedyHeuristic;
+use qpl_datalog::parser::{parse_program, parse_query_form};
 use qpl_datalog::topdown::RetrievalStats;
-use qpl_datalog::TopDown;
+use qpl_datalog::{eval, Adornment, QueryForm, SymbolTable, TopDown};
 use qpl_engine::cache::CrossContextCache;
 use qpl_engine::par::sample_rng;
+use qpl_engine::MagicRunner;
+use qpl_graph::compile::{compile, CompileOptions};
 use qpl_graph::expected::{ContextDistribution, IndependentModel};
 use qpl_graph::graph::{GraphBuilder, InferenceGraph};
 use qpl_graph::strategy::Strategy;
 use qpl_obs::{JsonSnapshot, MemorySink, MetricsSink, SpanTimer};
-use qpl_workload::generator::{emit_kb_provenance, recursive_path_kb, RecursiveKbParams};
+use qpl_workload::generator::{
+    emit_kb_provenance, recursive_path_kb, source_reachability_query, RecursiveKbParams,
+};
+use qpl_workload::paper::UNIVERSITY_KB;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -90,6 +98,37 @@ fn learning_phase(seed: u64, sink: &mut MemorySink) {
     timer.finish(sink);
 }
 
+/// Binding-aware planning: a greedy statistics-free plan over the
+/// Figure-1 program (`plan.greedy.micros`), a magic rewrite of the
+/// reachability KB answered through [`MagicRunner`]
+/// (`plan.magic.rules_generated`, `engine.magic.*`), and the pruning it
+/// bought over full saturation (`eval.magic.facts_pruned`).
+fn planning_phase(sink: &mut MemorySink) {
+    let timer = SpanTimer::start(sink, "report.phase.planning");
+    let mut table = SymbolTable::new();
+    let program = parse_program(UNIVERSITY_KB, &mut table).expect("paper KB parses");
+    let form = parse_query_form("instructor(b)", &mut table).expect("form parses");
+    let compiled = compile(&program.rules, &form, &table, &CompileOptions::default())
+        .expect("paper KB compiles");
+    GreedyHeuristic::strategy_observed(&compiled, sink).expect("tree graph");
+
+    let params = RecursiveKbParams { layers: 7, width: 3 };
+    let (mut table, rules, db, _) =
+        recursive_path_kb(&params, |_, i, j| i == j || (i > 0 && j > 0));
+    let query = source_reachability_query(&mut table);
+    let form = QueryForm { predicate: query.predicate, adornment: Adornment::of_atom(&query) };
+    let mut runner = MagicRunner::new(&rules, &form, &mut table);
+    let cold = runner.run_magic(&db, &query);
+    assert!(runner.run_magic(&db, &query).cache_hit);
+    runner.emit_to(sink);
+    let full_derived = eval::seminaive(&rules, &db).len() - db.len();
+    sink.counter(
+        qpl_obs::names::eval::MAGIC_FACTS_PRUNED,
+        (full_derived.saturating_sub(cold.derived)) as u64,
+    );
+    timer.finish(sink);
+}
+
 /// A PAO sampling plan on `G_A`: Equation 7 trial counts per retrieval
 /// (capped for runtime), driven to completion through `QP^A`.
 fn pao_phase(seed: u64, sink: &mut MemorySink) {
@@ -118,6 +157,7 @@ fn main() {
     let mut sink = MemorySink::new();
     tabling_phase(seed, &mut sink);
     learning_phase(seed, &mut sink);
+    planning_phase(&mut sink);
     pao_phase(seed, &mut sink);
 
     let snapshot = JsonSnapshot::capture(&sink);

@@ -14,6 +14,7 @@
 //! | [`upsilon`] | **Υ_AOT**, the optimal-strategy algorithm for trees (\[Smi89\]/\[SK75\]) |
 //! | [`pao`] | **PAO**, probably-approximately-optimal learning (Theorems 2–3) |
 //! | [`smith`] | the fact-count baseline the paper critiques (Section 2) |
+//! | [`greedy`] | a statistics-free greedy ordering baseline (visible selectivity + query connectivity) |
 //!
 //! The learners operate at the graph level (contexts are blocked-arc
 //! classes); `qpl-engine` supplies contexts from real `⟨query, DB⟩`
@@ -23,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod delta;
+pub mod greedy;
 pub mod palo;
 pub mod pao;
 pub mod pib;
@@ -33,6 +35,7 @@ pub mod transform;
 pub mod upsilon;
 
 pub use delta::DeltaScratch;
+pub use greedy::GreedyHeuristic;
 pub use palo::{Palo, PaloConfig};
 pub use pao::{Pao, PaoConfig, PaoMode};
 pub use pib::{ClimbRecord, Pib, PibConfig};

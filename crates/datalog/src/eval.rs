@@ -13,18 +13,44 @@ use crate::term::{Atom, Fact};
 use crate::unify::Substitution;
 use std::collections::HashSet;
 
+/// Reusable buffers for the bottom-up fixpoints: the staging vector of
+/// freshly derived facts, the semi-naive delta frontier (current and
+/// next), and the frontier's predicate set. One scratch serves any
+/// number of [`naive_into`]/[`seminaive_into`] runs, so a caller that
+/// evaluates in a loop (the magic-rewritten engine path, benches) does
+/// not churn the allocator once the buffers reach steady-state size.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    new_facts: Vec<Fact>,
+    delta: HashSet<Fact>,
+    next_delta: HashSet<Fact>,
+    delta_preds: HashSet<Symbol>,
+}
+
+impl EvalScratch {
+    /// Empty scratch; buffers grow on first use and are kept thereafter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Computes the minimal model by naive iteration: applies every rule to
 /// the whole database until no new fact appears. Quadratic in rounds but
 /// obviously correct; used to validate [`seminaive`].
 pub fn naive(rules: &RuleBase, edb: &Database) -> Database {
+    naive_into(rules, edb, &mut EvalScratch::new())
+}
+
+/// [`naive`] with caller-owned scratch buffers.
+pub fn naive_into(rules: &RuleBase, edb: &Database, scratch: &mut EvalScratch) -> Database {
     let mut db = edb.clone();
     loop {
-        let mut new_facts = Vec::new();
+        scratch.new_facts.clear();
         for (_, rule) in rules.iter() {
-            derive(rule, &db, None, &mut new_facts);
+            derive(rule, &db, None, &mut scratch.new_facts);
         }
         let mut changed = false;
-        for f in new_facts {
+        for f in scratch.new_facts.drain(..) {
             if db.insert(f).expect("derived fact arity is consistent").changed {
                 changed = true;
             }
@@ -38,36 +64,40 @@ pub fn naive(rules: &RuleBase, edb: &Database) -> Database {
 /// Computes the minimal model by semi-naive iteration: each round only
 /// joins rule bodies against at least one *delta* (newly derived) fact.
 pub fn seminaive(rules: &RuleBase, edb: &Database) -> Database {
+    seminaive_into(rules, edb, &mut EvalScratch::new())
+}
+
+/// [`seminaive`] with caller-owned scratch buffers.
+pub fn seminaive_into(rules: &RuleBase, edb: &Database, scratch: &mut EvalScratch) -> Database {
     let mut db = edb.clone();
     // Round 0: fire every rule once against the EDB.
-    let mut delta: HashSet<Fact> = HashSet::new();
-    {
-        let mut first = Vec::new();
-        for (_, rule) in rules.iter() {
-            derive(rule, &db, None, &mut first);
-        }
-        for f in first {
-            if db.insert(f.clone()).expect("consistent arity").changed {
-                delta.insert(f);
-            }
+    scratch.delta.clear();
+    scratch.new_facts.clear();
+    for (_, rule) in rules.iter() {
+        derive(rule, &db, None, &mut scratch.new_facts);
+    }
+    for f in scratch.new_facts.drain(..) {
+        if db.insert(f.clone()).expect("consistent arity").changed {
+            scratch.delta.insert(f);
         }
     }
-    while !delta.is_empty() {
-        let delta_preds: HashSet<Symbol> = delta.iter().map(|f| f.predicate).collect();
-        let mut new_facts = Vec::new();
+    while !scratch.delta.is_empty() {
+        scratch.delta_preds.clear();
+        scratch.delta_preds.extend(scratch.delta.iter().map(|f| f.predicate));
+        scratch.new_facts.clear();
         for (_, rule) in rules.iter() {
             // Only rules whose body mentions a delta predicate can fire anew.
-            if rule.body.iter().any(|b| delta_preds.contains(&b.predicate)) {
-                derive(rule, &db, Some(&delta), &mut new_facts);
+            if rule.body.iter().any(|b| scratch.delta_preds.contains(&b.predicate)) {
+                derive(rule, &db, Some(&scratch.delta), &mut scratch.new_facts);
             }
         }
-        let mut next_delta = HashSet::new();
-        for f in new_facts {
+        scratch.next_delta.clear();
+        for f in scratch.new_facts.drain(..) {
             if db.insert(f.clone()).expect("consistent arity").changed {
-                next_delta.insert(f);
+                scratch.next_delta.insert(f);
             }
         }
-        delta = next_delta;
+        std::mem::swap(&mut scratch.delta, &mut scratch.next_delta);
     }
     db
 }

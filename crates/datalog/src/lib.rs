@@ -27,6 +27,8 @@
 //!   reusable across queries against an unchanged database.
 //! * [`adornment`] — query forms `q^α` with bound/free adornments
 //!   (Section 2 of the paper).
+//! * [`magic`] — magic-set/SIP rewriting driven by the same adornments,
+//!   making the bottom-up fixpoint query-directed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +37,7 @@ pub mod adornment;
 pub mod database;
 pub mod error;
 pub mod eval;
+pub mod magic;
 pub mod parser;
 pub mod rule;
 pub mod symbol;
@@ -46,6 +49,8 @@ pub mod unify;
 pub use adornment::{Adornment, Binding, QueryForm};
 pub use database::{Database, Delta, DeltaOp};
 pub use error::DatalogError;
+pub use eval::EvalScratch;
+pub use magic::{magic_answers, MagicEval, MagicProgram};
 pub use rule::{Rule, RuleBase, RuleId};
 pub use symbol::{Symbol, SymbolTable};
 pub use table::{CallKey, TableId, TableStats, TableStore};

@@ -1,0 +1,578 @@
+//! Magic-set rewriting with sideways information passing (SIP).
+//!
+//! The bottom-up evaluators in [`eval`](crate::eval) saturate the whole
+//! minimal model no matter what the query asks, while the paper's
+//! strategies only ever need the part of the model reachable from the
+//! query's bound constants. This module closes that gap: given a rule
+//! base and a query form `q^α` (the same [`Adornment`] the tabled
+//! top-down solver keys its call patterns with), it produces a rewritten
+//! program whose semi-naive fixpoint derives only query-relevant facts.
+//!
+//! The rewrite is the textbook transformation, specialised to one query
+//! form:
+//!
+//! 1. **Adorn.** Starting from `q^α`, propagate adornments through rule
+//!    bodies. Within each rule the body is reordered by a greedy SIP:
+//!    the next literal is the one with the most arguments already bound
+//!    (constants, head-bound variables, or variables bound by earlier
+//!    literals), ties broken by source order. Each intensional predicate
+//!    `p` reached with adornment `β` gets an adorned copy `p__β`.
+//! 2. **Magic rules.** For each adorned rule and each intensional body
+//!    literal `p^β` with at least one bound position, emit a magic rule
+//!    deriving `magic__p__β(bound args)` from the head's magic literal
+//!    plus the SIP prefix — the "demand" propagation. A demand with no
+//!    preconditions (all its bound args are constants) becomes a static
+//!    seed fact instead of a rule.
+//! 3. **Guard + bridge.** Each adorned rule is guarded by its head's
+//!    magic literal, so it only fires for demanded bindings; a bridge
+//!    rule `p__β(…) :- magic__p__β(…), p(…)` imports extensional facts
+//!    of predicates that also have rules.
+//! 4. **Seed.** At evaluation time the query's bound constants become
+//!    one magic seed fact, and [`eval::seminaive`](crate::eval::seminaive)
+//!    runs the rewritten rules to fixpoint.
+//!
+//! All-free query forms (and queries on purely extensional predicates)
+//! degrade to a no-op: the original rules are evaluated unchanged, since
+//! there is no binding to pass sideways.
+
+use crate::adornment::{Adornment, Binding, QueryForm};
+use crate::database::Database;
+use crate::eval::{seminaive_into, EvalScratch};
+use crate::rule::{Rule, RuleBase};
+use crate::symbol::{Symbol, SymbolTable};
+use crate::term::{Atom, Fact, Term, Var};
+use crate::unify::Substitution;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A magic-rewritten program for one query form, reusable across any
+/// number of concrete queries of that form (only the seed fact changes).
+#[derive(Debug, Clone)]
+pub struct MagicProgram {
+    /// The query form the program was specialised to.
+    pub form: QueryForm,
+    /// Rewritten rules: guarded adorned rules + magic rules + bridges —
+    /// or a verbatim copy of the input when the rewrite is a no-op.
+    pub rules: RuleBase,
+    /// The adorned predicate the query is asked against (`q__α`), equal
+    /// to the original predicate when the rewrite is a no-op.
+    pub query_predicate: Symbol,
+    /// The magic predicate seeded with the query's bound constants
+    /// (`None` when the rewrite is a no-op).
+    pub seed_predicate: Option<Symbol>,
+    /// Unconditional demands discovered at rewrite time (ground magic
+    /// facts with no preconditions); inserted alongside the query seed.
+    pub static_seeds: Vec<Fact>,
+    /// Rules in the rewritten program (equals the input size on no-op).
+    pub rules_generated: usize,
+}
+
+/// One magic-rewritten evaluation: answers plus derivation accounting.
+#[derive(Debug, Clone)]
+pub struct MagicEval {
+    /// Ground instances of the query, stated over the *original*
+    /// predicate, sorted and deduplicated (same order as
+    /// [`eval::answers`](crate::eval::answers)).
+    pub answers: Vec<Atom>,
+    /// Facts derived by the fixpoint — everything beyond the EDB and
+    /// the seeds: adorned, magic, and bridged facts alike.
+    pub derived: usize,
+}
+
+/// Worklist state shared by the adornment pass.
+struct Rewriter<'a> {
+    rules: &'a RuleBase,
+    table: &'a mut SymbolTable,
+    /// `p^β → p__β` for every adorned intensional predicate reached.
+    adorned: HashMap<(Symbol, Adornment), Symbol>,
+    /// `p^β → magic__p__β` for adornments with at least one bound slot.
+    magic: HashMap<(Symbol, Adornment), Symbol>,
+    queue: VecDeque<(Symbol, Adornment)>,
+    static_seeds: Vec<Fact>,
+    out: RuleBase,
+}
+
+impl Rewriter<'_> {
+    /// Interns (once) and returns the adorned copy of `p^ad`, enqueuing
+    /// the pair for rule generation on first sight.
+    fn adorned_symbol(&mut self, p: Symbol, ad: &Adornment) -> Symbol {
+        if let Some(&s) = self.adorned.get(&(p, ad.clone())) {
+            return s;
+        }
+        let name = format!("{}__{}", self.table.name(p), ad);
+        let s = self.table.intern(&name);
+        self.adorned.insert((p, ad.clone()), s);
+        self.queue.push_back((p, ad.clone()));
+        s
+    }
+
+    /// Interns (once) and returns the magic predicate of `p^ad`.
+    fn magic_symbol(&mut self, p: Symbol, ad: &Adornment) -> Symbol {
+        if let Some(&s) = self.magic.get(&(p, ad.clone())) {
+            return s;
+        }
+        let name = format!("magic__{}__{}", self.table.name(p), ad);
+        let s = self.table.intern(&name);
+        self.magic.insert((p, ad.clone()), s);
+        s
+    }
+
+    /// The head's magic guard literal: `magic__p__ad(head args at bound
+    /// positions)`. `None` when the adornment binds nothing.
+    fn head_guard(&mut self, head: &Atom, ad: &Adornment) -> Option<Atom> {
+        if ad.0.iter().all(|b| *b == Binding::Free) {
+            return None;
+        }
+        let m = self.magic_symbol(head.predicate, ad);
+        Some(Atom::new(m, bound_args(head, ad)))
+    }
+
+    /// Records the demand for `lit^beta` made by a rule whose rewritten
+    /// prefix (guard included) is `prefix`: a magic rule, or a static
+    /// seed when the demand has no preconditions.
+    fn demand(&mut self, lit: &Atom, beta: &Adornment, prefix: &[Atom]) {
+        let m = self.magic_symbol(lit.predicate, beta);
+        let head = Atom::new(m, bound_args(lit, beta));
+        if prefix.is_empty() {
+            // No guard and no earlier literals: every bound arg is a
+            // constant (nothing else could have bound a variable), so
+            // the demand is one ground fact known at rewrite time.
+            let seed = head.to_fact().expect("precondition-free demand is ground");
+            self.static_seeds.push(seed);
+            return;
+        }
+        let rule = Rule::new(head, prefix.to_vec()).expect("magic rule is range-restricted");
+        self.out.add(rule);
+    }
+
+    /// Rewrites every rule for `p^ad`: SIP-orders the body, renames
+    /// intensional literals to their adorned copies, emits the demand
+    /// each prefix passes sideways, and guards the result with the
+    /// head's magic literal. Also emits the EDB bridge for `p`.
+    fn process(&mut self, p: Symbol, ad: Adornment) {
+        // Bridge: extensional facts of `p` surface under `p__ad`.
+        let fresh: Vec<Term> = (0..ad.arity() as u32).map(|i| Term::Var(Var(i))).collect();
+        let plain = Atom::new(p, fresh.clone());
+        let bridge_head = Atom::new(self.adorned_symbol(p, &ad), fresh);
+        let mut bridge_body: Vec<Atom> = self.head_guard(&plain, &ad).into_iter().collect();
+        bridge_body.push(plain);
+        self.out.add(Rule::new(bridge_head, bridge_body).expect("bridge rule is range-restricted"));
+
+        let rule_ids: Vec<_> = self.rules.rules_for(p).map(|(id, _)| id).collect();
+        for id in rule_ids {
+            let rule = self.rules.rule(id).clone();
+            let guard = self.head_guard(&rule.head, &ad);
+            let mut bound: HashSet<Var> = HashSet::new();
+            for (t, b) in rule.head.args.iter().zip(&ad.0) {
+                if *b == Binding::Bound {
+                    if let Some(v) = t.as_var() {
+                        bound.insert(v);
+                    }
+                }
+            }
+            let mut new_body: Vec<Atom> = guard.into_iter().collect();
+            for i in sip_order(&rule.body, &bound) {
+                let lit = &rule.body[i];
+                if self.rules.has_rules_for(lit.predicate) {
+                    let beta: Adornment = lit
+                        .args
+                        .iter()
+                        .map(|t| match t {
+                            Term::Const(_) => Binding::Bound,
+                            Term::Var(v) if bound.contains(v) => Binding::Bound,
+                            Term::Var(_) => Binding::Free,
+                        })
+                        .collect();
+                    if !beta.0.iter().all(|b| *b == Binding::Free) {
+                        self.demand(lit, &beta, &new_body);
+                    }
+                    new_body.push(Atom::new(
+                        self.adorned_symbol(lit.predicate, &beta),
+                        lit.args.clone(),
+                    ));
+                } else {
+                    new_body.push(lit.clone());
+                }
+                for v in lit.variables() {
+                    bound.insert(v);
+                }
+            }
+            let new_head = Atom::new(self.adorned_symbol(p, &ad), rule.head.args.clone());
+            self.out.add(Rule::new(new_head, new_body).expect("adorned rule is range-restricted"));
+        }
+    }
+}
+
+/// The terms of `atom` at the bound positions of `ad`, in order.
+fn bound_args(atom: &Atom, ad: &Adornment) -> Vec<Term> {
+    atom.args.iter().zip(&ad.0).filter(|(_, b)| **b == Binding::Bound).map(|(t, _)| *t).collect()
+}
+
+/// Greedy SIP ordering: repeatedly pick the unvisited literal with the
+/// most bound arguments (constants or variables in `bound`), breaking
+/// ties by source position; after picking, its variables become bound.
+fn sip_order(body: &[Atom], initially_bound: &HashSet<Var>) -> Vec<usize> {
+    let mut bound = initially_bound.clone();
+    let mut remaining: Vec<usize> = (0..body.len()).collect();
+    let mut order = Vec::with_capacity(body.len());
+    while !remaining.is_empty() {
+        let best_pos = {
+            let score = |i: usize| {
+                body[i]
+                    .args
+                    .iter()
+                    .filter(|t| match t {
+                        Term::Const(_) => true,
+                        Term::Var(v) => bound.contains(v),
+                    })
+                    .count()
+            };
+            (0..remaining.len())
+                .max_by(|&a, &b| {
+                    score(remaining[a])
+                        .cmp(&score(remaining[b]))
+                        .then(remaining[b].cmp(&remaining[a]))
+                })
+                .expect("remaining is non-empty")
+        };
+        let picked = remaining.remove(best_pos);
+        for v in body[picked].variables() {
+            bound.insert(v);
+        }
+        order.push(picked);
+    }
+    order
+}
+
+/// Rewrites `rules` for the query form `q^α`. Fresh adorned and magic
+/// predicate names are interned into `table` (`p__bf`, `magic__p__bf`).
+///
+/// All-free forms and forms over predicates without rules return a
+/// no-op program: a verbatim rule copy with no seed.
+pub fn rewrite(rules: &RuleBase, form: &QueryForm, table: &mut SymbolTable) -> MagicProgram {
+    let all_free = form.adornment.0.iter().all(|b| *b == Binding::Free);
+    if all_free || !rules.has_rules_for(form.predicate) {
+        let mut copy = RuleBase::new();
+        for (_, r) in rules.iter() {
+            copy.add(r.clone());
+        }
+        let n = copy.len();
+        return MagicProgram {
+            form: form.clone(),
+            rules: copy,
+            query_predicate: form.predicate,
+            seed_predicate: None,
+            static_seeds: Vec::new(),
+            rules_generated: n,
+        };
+    }
+
+    let mut rw = Rewriter {
+        rules,
+        table,
+        adorned: HashMap::new(),
+        magic: HashMap::new(),
+        queue: VecDeque::new(),
+        static_seeds: Vec::new(),
+        out: RuleBase::new(),
+    };
+    let query_predicate = rw.adorned_symbol(form.predicate, &form.adornment);
+    let seed_predicate = rw.magic_symbol(form.predicate, &form.adornment);
+    let mut seen: HashSet<(Symbol, Adornment)> = HashSet::new();
+    while let Some((p, ad)) = rw.queue.pop_front() {
+        if seen.insert((p, ad.clone())) {
+            rw.process(p, ad);
+        }
+    }
+    let rules_generated = rw.out.len();
+    MagicProgram {
+        form: form.clone(),
+        rules: rw.out,
+        query_predicate,
+        seed_predicate: Some(seed_predicate),
+        static_seeds: rw.static_seeds,
+        rules_generated,
+    }
+}
+
+impl MagicProgram {
+    /// Whether the rewrite was a no-op (all-free form or extensional
+    /// query predicate): evaluation then equals plain semi-naive.
+    pub fn is_noop(&self) -> bool {
+        self.seed_predicate.is_none()
+    }
+
+    /// The magic seed fact for a query binding the form's bound
+    /// positions to `constants` (`None` for no-op programs).
+    pub fn seed(&self, constants: &[Symbol]) -> Option<Fact> {
+        self.seed_predicate.map(|m| Fact::new(m, constants.to_vec()))
+    }
+
+    /// Evaluates the program for one concrete query of the form.
+    ///
+    /// # Panics
+    /// Panics if `query` does not match the program's form (same
+    /// contract as [`QueryForm::bound_constants`]).
+    pub fn evaluate(&self, edb: &Database, query: &Atom) -> MagicEval {
+        self.evaluate_into(edb, query, &mut EvalScratch::new())
+    }
+
+    /// [`MagicProgram::evaluate`] with caller-owned scratch buffers.
+    ///
+    /// # Panics
+    /// Panics if `query` does not match the program's form.
+    pub fn evaluate_into(
+        &self,
+        edb: &Database,
+        query: &Atom,
+        scratch: &mut EvalScratch,
+    ) -> MagicEval {
+        let constants = self.form.bound_constants(query);
+        let mut seeded = edb.clone();
+        if let Some(seed) = self.seed(&constants) {
+            seeded.insert(seed).expect("seed arity matches its magic predicate");
+        }
+        for s in &self.static_seeds {
+            seeded.insert(s.clone()).expect("static seed arity is consistent");
+        }
+        let base = seeded.len();
+        let model = seminaive_into(&self.rules, &seeded, scratch);
+        let derived = model.len() - base;
+        let adorned_query = Atom::new(self.query_predicate, query.args.clone());
+        let mut answers: Vec<Atom> = model
+            .matches(&adorned_query, &Substitution::new())
+            .iter()
+            .map(|s| s.apply(query))
+            .collect();
+        answers.sort_by_key(|a| {
+            a.args.iter().map(|t| t.as_const().map(|s| s.index())).collect::<Vec<_>>()
+        });
+        answers.dedup();
+        MagicEval { answers, derived }
+    }
+}
+
+/// One-shot convenience: adorn from the concrete `query` (constants
+/// bound, variables free), rewrite, seed, evaluate, and answer — the
+/// binding-aware counterpart of [`eval::answers`](crate::eval::answers).
+pub fn magic_answers(
+    rules: &RuleBase,
+    edb: &Database,
+    query: &Atom,
+    table: &mut SymbolTable,
+) -> Vec<Atom> {
+    let form = QueryForm { predicate: query.predicate, adornment: Adornment::of_atom(query) };
+    let program = rewrite(rules, &form, table);
+    program.evaluate(edb, query).answers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval;
+    use crate::parser::{parse_program, parse_query, parse_query_form};
+    use crate::topdown::TopDown;
+
+    const PATH_KB: &str = "path(X, Y) :- edge(X, Y).\n\
+                           path(X, Z) :- edge(X, Y), path(Y, Z).\n\
+                           edge(a, b). edge(b, c). edge(c, d). edge(e, a).";
+
+    fn answers_str(answers: &[Atom], t: &SymbolTable) -> Vec<String> {
+        answers.iter().map(|a| a.display(t).to_string()).collect()
+    }
+
+    #[test]
+    fn bound_first_argument_prunes_unreachable_prefix() {
+        let mut t = SymbolTable::new();
+        let p = parse_program(PATH_KB, &mut t).unwrap();
+        let form = parse_query_form("path(b,f)", &mut t).unwrap();
+        let program = rewrite(&p.rules, &form, &mut t);
+        assert!(!program.is_noop());
+
+        let q = parse_query("path(b, W)", &mut t).unwrap();
+        let magic = program.evaluate(&p.facts, &q);
+        assert_eq!(answers_str(&magic.answers, &t), vec!["path(b, c)", "path(b, d)"]);
+
+        // The full model derives every path pair (incl. from e and a);
+        // magic only derives what the binding b demands.
+        let full = eval::seminaive(&p.rules, &p.facts);
+        let full_derived = full.len() - p.facts.len();
+        assert!(
+            magic.derived < full_derived,
+            "magic derived {} must be < full {full_derived}",
+            magic.derived
+        );
+    }
+
+    #[test]
+    fn answers_match_unrewritten_and_tabled() {
+        let mut t = SymbolTable::new();
+        let p = parse_program(PATH_KB, &mut t).unwrap();
+        for src in ["path(a, W)", "path(e, W)", "path(a, d)", "path(a, e)"] {
+            let q = parse_query(src, &mut t).unwrap();
+            let magic = magic_answers(&p.rules, &p.facts, &q, &mut t);
+            let plain = eval::answers(&p.rules, &p.facts, &q);
+            assert_eq!(magic, plain, "query {src}");
+            let solver = TopDown::new(&p.rules, &p.facts);
+            let tabled = solver.solve_tabled(&q).unwrap();
+            assert_eq!(tabled.is_some(), !plain.is_empty(), "query {src}");
+        }
+    }
+
+    #[test]
+    fn fully_free_query_degrades_to_noop() {
+        let mut t = SymbolTable::new();
+        let p = parse_program(PATH_KB, &mut t).unwrap();
+        let form = parse_query_form("path(f,f)", &mut t).unwrap();
+        let program = rewrite(&p.rules, &form, &mut t);
+        assert!(program.is_noop());
+        assert_eq!(program.rules_generated, p.rules.len());
+        let q = parse_query("path(U, W)", &mut t).unwrap();
+        let magic = program.evaluate(&p.facts, &q);
+        let plain = eval::answers(&p.rules, &p.facts, &q);
+        assert_eq!(magic.answers, plain);
+    }
+
+    #[test]
+    fn extensional_query_predicate_is_noop() {
+        let mut t = SymbolTable::new();
+        let p = parse_program(PATH_KB, &mut t).unwrap();
+        let form = parse_query_form("edge(b,f)", &mut t).unwrap();
+        let program = rewrite(&p.rules, &form, &mut t);
+        assert!(program.is_noop());
+        let q = parse_query("edge(a, W)", &mut t).unwrap();
+        let magic = program.evaluate(&p.facts, &q);
+        assert_eq!(answers_str(&magic.answers, &t), vec!["edge(a, b)"]);
+    }
+
+    #[test]
+    fn mixed_edb_idb_predicate_uses_bridge() {
+        // grad has both a rule and a ground fact: the bridge rule must
+        // surface the fact under the adorned predicate.
+        let src = "instructor(X) :- grad(X).\n\
+                   grad(X) :- enrolled(X).\n\
+                   grad(manolis). enrolled(sam).";
+        let mut t = SymbolTable::new();
+        let p = parse_program(src, &mut t).unwrap();
+        for who in ["manolis", "sam", "fred"] {
+            let q = parse_query(&format!("instructor({who})"), &mut t).unwrap();
+            let magic = magic_answers(&p.rules, &p.facts, &q, &mut t);
+            let plain = eval::answers(&p.rules, &p.facts, &q);
+            assert_eq!(magic, plain, "instructor({who})");
+        }
+    }
+
+    #[test]
+    fn partially_ground_head_guard() {
+        // Section 4.1's grad(fred) :- admitted(fred, Y): the constant in
+        // the head participates in the magic guard.
+        let src = "grad(fred) :- admitted(fred, Y).\n\
+                   admitted(fred, toronto).";
+        let mut t = SymbolTable::new();
+        let p = parse_program(src, &mut t).unwrap();
+        let q_hit = parse_query("grad(fred)", &mut t).unwrap();
+        let q_miss = parse_query("grad(russ)", &mut t).unwrap();
+        assert_eq!(magic_answers(&p.rules, &p.facts, &q_hit, &mut t).len(), 1);
+        assert!(magic_answers(&p.rules, &p.facts, &q_miss, &mut t).is_empty());
+    }
+
+    #[test]
+    fn sip_reorders_to_follow_bindings() {
+        // Body written connection-last: SIP must pull the literal that
+        // consumes the bound head variable to the front.
+        let src = "reach(X, Z) :- far(Y, Z), near(X, Y).\n\
+                   near(a, b). far(b, c). far(q, r).";
+        let mut t = SymbolTable::new();
+        let p = parse_program(src, &mut t).unwrap();
+        let form = parse_query_form("reach(b,f)", &mut t).unwrap();
+        let program = rewrite(&p.rules, &form, &mut t);
+        let reach_rule = program
+            .rules
+            .iter()
+            .map(|(_, r)| r)
+            .find(|r| t.name(r.head.predicate).starts_with("reach__") && r.body.len() == 3)
+            .expect("rewritten reach rule exists");
+        let names: Vec<&str> = reach_rule.body.iter().map(|a| t.name(a.predicate)).collect();
+        assert_eq!(names, vec!["magic__reach__bf", "near", "far"]);
+        let q = parse_query("reach(a, W)", &mut t).unwrap();
+        let magic = magic_answers(&p.rules, &p.facts, &q, &mut t);
+        assert_eq!(answers_str(&magic, &t), vec!["reach(a, c)"]);
+    }
+
+    #[test]
+    fn all_bound_recursive_query_derives_little() {
+        let mut t = SymbolTable::new();
+        let p = parse_program(PATH_KB, &mut t).unwrap();
+        let q = parse_query("path(a, d)", &mut t).unwrap();
+        let form = QueryForm { predicate: q.predicate, adornment: Adornment::of_atom(&q) };
+        let program = rewrite(&p.rules, &form, &mut t);
+        let magic = program.evaluate(&p.facts, &q);
+        assert_eq!(magic.answers.len(), 1);
+        let full = eval::seminaive(&p.rules, &p.facts);
+        assert!(magic.derived < full.len() - p.facts.len());
+    }
+
+    proptest::proptest! {
+        /// Random edge sets + random query bindings: magic, plain
+        /// semi-naive, and tabled top-down agree on the answer set,
+        /// including recursive predicates and all-free queries.
+        #[test]
+        fn magic_matches_seminaive_and_tabled(
+            edges in proptest::collection::vec((0u8..6, 0u8..6), 0..14),
+            src_node in 0u8..6,
+            dst_node in 0u8..6,
+            shape in 0u8..4,
+        ) {
+            let mut src = String::from(
+                "path(X, Y) :- edge(X, Y).\npath(X, Z) :- edge(X, Y), path(Y, Z).\n");
+            for (a, b) in &edges {
+                src.push_str(&format!("edge(n{a}, n{b}).\n"));
+            }
+            let mut t = SymbolTable::new();
+            let p = parse_program(&src, &mut t).unwrap();
+            let query = match shape {
+                0 => format!("path(n{src_node}, W)"),
+                1 => format!("path(U, n{dst_node})"),
+                2 => format!("path(n{src_node}, n{dst_node})"),
+                _ => "path(U, W)".to_string(),
+            };
+            let q = parse_query(&query, &mut t).unwrap();
+            let magic = magic_answers(&p.rules, &p.facts, &q, &mut t);
+            let plain = eval::answers(&p.rules, &p.facts, &q);
+            proptest::prop_assert_eq!(&magic, &plain);
+            let solver = TopDown::new(&p.rules, &p.facts);
+            let tabled = solver.solve_tabled(&q).unwrap();
+            proptest::prop_assert_eq!(tabled.is_some(), !plain.is_empty());
+        }
+
+        /// Random non-recursive two-layer rule bases: same three-way
+        /// agreement (bound and free query shapes).
+        #[test]
+        fn magic_matches_on_random_hierarchies(
+            facts in proptest::collection::vec((0u8..3, 0u8..5), 1..10),
+            mids in proptest::collection::vec((0u8..3, 0u8..3), 1..6),
+            query_const in 0u8..5,
+            bound_flag in 0u8..2,
+        ) {
+            // Base predicates b0..b2, mid predicates m0..m2, top `top`.
+            let mut src = String::new();
+            for (m, b) in &mids {
+                src.push_str(&format!("m{m}(X) :- b{b}(X).\n"));
+                src.push_str(&format!("top(X) :- m{m}(X).\n"));
+            }
+            for (pred, c) in &facts {
+                src.push_str(&format!("b{pred}(c{c}).\n"));
+            }
+            let mut t = SymbolTable::new();
+            let p = parse_program(&src, &mut t).unwrap();
+            let query =
+                if bound_flag == 1 { format!("top(c{query_const})") } else { "top(W)".into() };
+            let q = parse_query(&query, &mut t).unwrap();
+            let magic = magic_answers(&p.rules, &p.facts, &q, &mut t);
+            let plain = eval::answers(&p.rules, &p.facts, &q);
+            proptest::prop_assert_eq!(&magic, &plain);
+            let solver = TopDown::new(&p.rules, &p.facts);
+            let tabled = solver.solve_tabled(&q).unwrap();
+            proptest::prop_assert_eq!(tabled.is_some(), !plain.is_empty());
+        }
+    }
+}

@@ -16,6 +16,9 @@
 //!   shared across samples in the same blocked-arc class, and
 //!   whole-run `(answer, cost)` memoization, both invalidated by the
 //!   database's generation counter;
+//! * [`magic`] — binding-aware bottom-up answering: magic-set/SIP
+//!   rewritten programs with answers cached per binding and scoped to
+//!   the query's dependency footprint;
 //! * [`naf`] — negation-as-failure queries (Section 5.2's `pauper`
 //!   example);
 //! * [`par`] — a deterministic scoped-thread sampling harness: Monte
@@ -31,6 +34,7 @@
 pub mod adaptive;
 pub mod cache;
 pub mod firstk;
+pub mod magic;
 pub mod naf;
 pub mod oracle;
 pub mod par;
@@ -42,6 +46,7 @@ pub use cache::{
     context_fingerprint, strategy_fingerprint, CacheStats, CrossContextCache, DependencyFootprint,
     RunCache,
 };
+pub use magic::{MagicAnswer, MagicRunner};
 pub use oracle::{ContextOracle, QueryMixOracle};
 pub use par::{
     batch_fold, batch_fold_blocks, batch_fold_blocks_observed, batch_fold_scratch,

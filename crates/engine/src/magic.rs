@@ -1,0 +1,193 @@
+//! Binding-aware bottom-up answering: magic rewriting + scoped caching.
+//!
+//! [`MagicRunner`] is the engine-side driver for
+//! [`qpl_datalog::magic`]: it rewrites a rule base once per query form,
+//! then answers concrete queries of that form by seeding the rewritten
+//! program and running semi-naive evaluation — deriving only the facts
+//! the query's bindings demand, instead of saturating the minimal
+//! model.
+//!
+//! Answers are cached per bound-constant vector and scoped to the
+//! query's *dependency footprint* (the body-reachability closure of the
+//! queried predicate), the same selective-invalidation contract as
+//! [`RunCache::revalidate_scoped`](crate::cache::RunCache): a KB delta
+//! on a predicate outside the footprint leaves every cached answer
+//! warm; a delta inside it invalidates lazily on next lookup.
+
+use crate::cache::{CacheStats, DependencyFootprint};
+use qpl_datalog::eval::EvalScratch;
+use qpl_datalog::magic::{rewrite, MagicProgram};
+use qpl_datalog::{Atom, Database, QueryForm, RuleBase, Symbol, SymbolTable};
+use qpl_obs::{names, MetricsSink};
+use std::collections::HashMap;
+
+/// One answered magic query (possibly served from cache).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MagicAnswer {
+    /// Ground instances of the query over the original predicate,
+    /// sorted and deduplicated.
+    pub answers: Vec<Atom>,
+    /// Facts the rewritten fixpoint derived when this answer was
+    /// computed (0 work when served warm from cache).
+    pub derived: usize,
+    /// Whether the answer came from the footprint-scoped cache.
+    pub cache_hit: bool,
+}
+
+struct CachedAnswer {
+    instance: u64,
+    generation: u64,
+    answers: Vec<Atom>,
+}
+
+/// A reusable binding-aware query runner for one query form.
+pub struct MagicRunner {
+    program: MagicProgram,
+    footprint: DependencyFootprint,
+    cache: HashMap<Vec<Symbol>, CachedAnswer>,
+    scratch: EvalScratch,
+    stats: CacheStats,
+}
+
+impl MagicRunner {
+    /// Rewrites `rules` for `form` (interning adorned/magic predicate
+    /// names into `table`) and scopes the answer cache to the form's
+    /// dependency footprint.
+    pub fn new(rules: &RuleBase, form: &QueryForm, table: &mut SymbolTable) -> Self {
+        let program = rewrite(rules, form, table);
+        let footprint =
+            DependencyFootprint::from_predicates(rules.reachable_predicates(form.predicate));
+        Self {
+            program,
+            footprint,
+            cache: HashMap::new(),
+            scratch: EvalScratch::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The rewritten program (inspect rules, seed predicate, no-op-ness).
+    pub fn program(&self) -> &MagicProgram {
+        &self.program
+    }
+
+    /// The predicates whose deltas can invalidate cached answers.
+    pub fn footprint(&self) -> &DependencyFootprint {
+        &self.footprint
+    }
+
+    /// Hit/miss/invalidation counters over the runner's lifetime.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Answers `query` through the magic-rewritten program, serving
+    /// from cache when the footprint-scoped generation still matches.
+    ///
+    /// # Panics
+    /// Panics if `query` does not match the runner's form.
+    pub fn run_magic(&mut self, db: &Database, query: &Atom) -> MagicAnswer {
+        let key = self.program.form.bound_constants(query);
+        let instance = db.instance_id();
+        let generation = self.footprint.generation(db);
+        match self.cache.get(&key) {
+            Some(c) if c.instance == instance && c.generation == generation => {
+                self.stats.hits += 1;
+                return MagicAnswer { answers: c.answers.clone(), derived: 0, cache_hit: true };
+            }
+            Some(_) => {
+                self.stats.invalidations += 1;
+                self.stats.misses += 1;
+            }
+            None => self.stats.misses += 1,
+        }
+        let eval = self.program.evaluate_into(db, query, &mut self.scratch);
+        self.cache
+            .insert(key, CachedAnswer { instance, generation, answers: eval.answers.clone() });
+        MagicAnswer { answers: eval.answers, derived: eval.derived, cache_hit: false }
+    }
+
+    /// Emits the runner's counters: rewrite size under
+    /// [`names::plan::MAGIC_RULES_GENERATED`] and cache traffic under
+    /// the `engine.magic.*` namespace.
+    pub fn emit_to(&self, sink: &mut dyn MetricsSink) {
+        sink.counter(names::plan::MAGIC_RULES_GENERATED, self.program.rules_generated as u64);
+        sink.counter("engine.magic.hits", self.stats.hits);
+        sink.counter("engine.magic.misses", self.stats.misses);
+        sink.counter("engine.magic.invalidations", self.stats.invalidations);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpl_datalog::parser::{parse_program, parse_query, parse_query_form};
+    use qpl_datalog::{eval, Fact};
+
+    const PATH_KB: &str = "path(X, Y) :- edge(X, Y).\n\
+                           path(X, Z) :- edge(X, Y), path(Y, Z).\n\
+                           edge(a, b). edge(b, c). annot(x).";
+
+    fn setup() -> (SymbolTable, qpl_datalog::parser::Program, MagicRunner) {
+        let mut t = SymbolTable::new();
+        let p = parse_program(PATH_KB, &mut t).unwrap();
+        let form = parse_query_form("path(b,f)", &mut t).unwrap();
+        let runner = MagicRunner::new(&p.rules, &form, &mut t);
+        (t, p, runner)
+    }
+
+    #[test]
+    fn answers_and_caches_by_binding() {
+        let (mut t, p, mut runner) = setup();
+        let q = parse_query("path(a, W)", &mut t).unwrap();
+        let cold = runner.run_magic(&p.facts, &q);
+        assert_eq!(cold.answers.len(), 2, "a reaches b and c");
+        assert!(!cold.cache_hit);
+        let warm = runner.run_magic(&p.facts, &q);
+        assert!(warm.cache_hit);
+        assert_eq!(warm.answers, cold.answers);
+        assert_eq!(runner.stats().hits, 1);
+        assert_eq!(runner.stats().misses, 1);
+    }
+
+    #[test]
+    fn delta_outside_footprint_keeps_answers_warm() {
+        let (mut t, mut p, mut runner) = setup();
+        let q = parse_query("path(a, W)", &mut t).unwrap();
+        runner.run_magic(&p.facts, &q);
+        // annot is outside path's reachability footprint.
+        let annot = t.lookup("annot").unwrap();
+        assert!(!runner.footprint().contains(annot));
+        let c = t.intern("y");
+        p.facts.insert(Fact::new(annot, vec![c])).unwrap();
+        let after = runner.run_magic(&p.facts, &q);
+        assert!(after.cache_hit, "annot churn must not invalidate path answers");
+        assert_eq!(runner.stats().invalidations, 0);
+    }
+
+    #[test]
+    fn delta_inside_footprint_invalidates_and_recomputes() {
+        let (mut t, mut p, mut runner) = setup();
+        let q = parse_query("path(a, W)", &mut t).unwrap();
+        assert_eq!(runner.run_magic(&p.facts, &q).answers.len(), 2);
+        let edge = t.lookup("edge").unwrap();
+        let (c, d) = (t.lookup("c").unwrap(), t.intern("d"));
+        p.facts.insert(Fact::new(edge, vec![c, d])).unwrap();
+        let after = runner.run_magic(&p.facts, &q);
+        assert!(!after.cache_hit);
+        assert_eq!(after.answers.len(), 3, "a now also reaches d");
+        assert_eq!(runner.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn matches_plain_seminaive_and_emits() {
+        let (mut t, p, mut runner) = setup();
+        let q = parse_query("path(b, W)", &mut t).unwrap();
+        let magic = runner.run_magic(&p.facts, &q);
+        assert_eq!(magic.answers, eval::answers(&p.rules, &p.facts, &q));
+        let mut sink = qpl_obs::MemorySink::new();
+        runner.emit_to(&mut sink);
+        assert!(sink.counter_total(names::plan::MAGIC_RULES_GENERATED) > 0);
+        assert_eq!(sink.counter_total("engine.magic.misses"), 1);
+    }
+}

@@ -65,6 +65,28 @@ pub mod cache {
     pub const SELECTIVE_INVALIDATIONS: &str = "cache.selective_invalidations";
 }
 
+/// Names emitted by the query planners: the statistics-free greedy
+/// orderer (`qpl-core`) and the magic-set/SIP rewriter (`qpl-datalog`
+/// via its `qpl-engine` driver). Consumed by `qpl_report`'s
+/// schema-checked snapshot and the CI gates.
+pub mod plan {
+    /// Counter: wall-clock microseconds spent planning one greedy
+    /// strategy (summed over calls; the per-call budget is < 1 ms,
+    /// asserted in `bench_fourway`).
+    pub const GREEDY_MICROS: &str = "plan.greedy.micros";
+    /// Counter: rules in the magic-rewritten program (adorned rules +
+    /// magic demand rules + EDB bridges), summed over rewrites.
+    pub const MAGIC_RULES_GENERATED: &str = "plan.magic.rules_generated";
+}
+
+/// Names emitted by the bottom-up evaluators.
+pub mod eval {
+    /// Counter: facts the magic-rewritten fixpoint did *not* derive
+    /// relative to unrewritten semi-naive saturation of the same
+    /// query (full-model derivations minus magic derivations).
+    pub const MAGIC_FACTS_PRUNED: &str = "eval.magic.facts_pruned";
+}
+
 /// Names emitted by the observability runtime about itself.
 pub mod obs {
     /// Counter: events silently discarded by a bounded sink at its
@@ -103,5 +125,20 @@ mod tests {
     fn cross_module_names_are_prefixed_by_their_subsystem() {
         assert!(super::cache::SELECTIVE_INVALIDATIONS.starts_with("cache."));
         assert!(super::obs::EVENTS_DROPPED.starts_with("obs."));
+        assert!(super::plan::GREEDY_MICROS.starts_with("plan."));
+        assert!(super::plan::MAGIC_RULES_GENERATED.starts_with("plan."));
+        assert!(super::eval::MAGIC_FACTS_PRUNED.starts_with("eval."));
+    }
+
+    #[test]
+    fn planner_names_are_unique() {
+        let all = [
+            super::plan::GREEDY_MICROS,
+            super::plan::MAGIC_RULES_GENERATED,
+            super::eval::MAGIC_FACTS_PRUNED,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            assert!(!all[i + 1..].contains(a), "duplicate name {a}");
+        }
     }
 }

@@ -266,6 +266,15 @@ pub fn recursive_path_kb(
     (table, program.rules, program.facts, query)
 }
 
+/// The bound-source reachability query `path(n0_0, W)` (form
+/// `path(b,f)`) over a [`recursive_path_kb`] symbol table — the
+/// binding-aware sweeps' workload knob: unrewritten semi-naive must
+/// saturate the all-pairs closure to answer it, while magic-rewritten
+/// evaluation only derives paths out of `n0_0`.
+pub fn source_reachability_query(table: &mut SymbolTable) -> qpl_datalog::Atom {
+    qpl_datalog::parser::parse_query("path(n0_0, W)", table).expect("query parses")
+}
+
 /// Emits a generated (or paper) knowledge base's shape into a
 /// [`MetricsSink`](qpl_obs::MetricsSink) as `workload.kb.*` counters —
 /// fact count, rule count, symbol count, recursiveness — so experiment
@@ -344,6 +353,18 @@ mod tests {
         let (_, rules, db, q) = recursive_path_kb(&params, |_, _, _| false);
         let solver = qpl_datalog::TopDown::new(&rules, &db);
         assert!(!solver.provable_tabled(&q).unwrap());
+    }
+
+    #[test]
+    fn source_query_answers_match_under_magic() {
+        let params = RecursiveKbParams { layers: 6, width: 2 };
+        let (mut table, rules, db, _) = recursive_path_kb(&params, |_, _, _| true);
+        let q = source_reachability_query(&mut table);
+        let magic = qpl_datalog::magic_answers(&rules, &db, &q, &mut table);
+        let plain = qpl_datalog::eval::answers(&rules, &db, &q);
+        assert_eq!(magic, plain);
+        // Everything downstream of n0_0 is reachable in the full DAG.
+        assert_eq!(magic.len(), (params.layers - 1) * params.width);
     }
 
     #[test]
