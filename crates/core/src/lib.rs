@@ -38,7 +38,7 @@ pub use delta::DeltaScratch;
 pub use greedy::GreedyHeuristic;
 pub use palo::{Palo, PaloConfig};
 pub use pao::{Pao, PaoConfig, PaoMode};
-pub use pib::{ClimbRecord, Pib, PibConfig};
+pub use pib::{CandidateState, ClimbRecord, ClimbState, Pib, PibConfig, PibState};
 pub use pib1::{Pib1, Pib1Decision, Pib1Posteriori};
 pub use pib_andor::{AndOrPib, AndOrSwap};
 pub use smith::SmithHeuristic;

@@ -21,9 +21,10 @@ use crate::delta::{delta_tilde_with, DeltaScratch};
 use crate::transform::{SiblingSwap, TransformationSet};
 use qpl_graph::batch::{execute_batch, lanes_from, BatchRun, ContextBatch};
 use qpl_graph::context::{execute_into, Context, RunScratch, Trace};
-use qpl_graph::graph::InferenceGraph;
+use qpl_graph::graph::{ArcId, InferenceGraph};
 use qpl_graph::program::StrategyProgram;
 use qpl_graph::strategy::Strategy;
+use qpl_graph::GraphError;
 use qpl_obs::{MetricsSink, NoopSink};
 use qpl_stats::{PairedDifference, SequentialSchedule};
 
@@ -78,6 +79,61 @@ pub struct ClimbRecord {
     pub evidence: f64,
     /// Global test counter `i` at the climb.
     pub test_index: u64,
+}
+
+/// One climb from [`PibState::history`], in plain-data form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClimbState {
+    /// First arc of the sibling swap taken.
+    pub r1: u32,
+    /// Second arc of the sibling swap taken.
+    pub r2: u32,
+    /// Samples observed at the strategy before climbing.
+    pub samples: u64,
+    /// Accumulated Equation-6 evidence at the climb.
+    pub evidence: f64,
+    /// Global test counter `i` at the climb.
+    pub test_index: u64,
+}
+
+/// One candidate accumulator from [`PibState::candidates`]: the swap's
+/// arc pair plus the exact bits of its running Chernoff evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateState {
+    /// First arc of the candidate sibling swap.
+    pub r1: u32,
+    /// Second arc of the candidate sibling swap.
+    pub r2: u32,
+    /// Running paired-difference sum `Δ̃` (exact bits).
+    pub sum: f64,
+    /// Samples accumulated in the sum.
+    pub count: u64,
+}
+
+/// A plain-data export of the learner, sufficient to reconstruct it
+/// bit-identically on the same graph via [`Pib::restore`]. This is the
+/// durability boundary: everything here is integers, floats, and arc
+/// indices — no graph handles, no compiled programs (those are
+/// recomputed), no scratch buffers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PibState {
+    /// Total mistake budget `δ`.
+    pub delta: f64,
+    /// Test cadence (contexts per Equation-6 test).
+    pub test_every: u64,
+    /// Arc order of the current strategy.
+    pub strategy_arcs: Vec<u32>,
+    /// Samples accumulated at the current strategy (`|S|`).
+    pub samples_here: u64,
+    /// Contexts observed in total.
+    pub contexts_seen: u64,
+    /// Global test counter `i` — restoring it keeps the Theorem-1
+    /// error budget spending exactly where it was.
+    pub tests_used: u64,
+    /// Climbs taken so far.
+    pub history: Vec<ClimbState>,
+    /// Per-candidate accumulators at the current strategy.
+    pub candidates: Vec<CandidateState>,
 }
 
 /// The anytime PIB learner.
@@ -193,6 +249,102 @@ impl Pib {
         self.current = strategy;
         self.compiled = None;
         self.rebuild_candidates(g);
+    }
+
+    /// Exports the learner's statistical state for persistence. The
+    /// export is pure data (see [`PibState`]); feeding it back through
+    /// [`restore`](Self::restore) on the same graph yields a learner
+    /// whose future climbs are bit-identical to this one's.
+    pub fn export_state(&self) -> PibState {
+        PibState {
+            delta: self.config.delta,
+            test_every: self.config.test_every,
+            strategy_arcs: self.current.arcs().iter().map(|a| a.0).collect(),
+            samples_here: self.samples_here,
+            contexts_seen: self.contexts_seen,
+            tests_used: self.schedule.tests_used(),
+            history: self
+                .history
+                .iter()
+                .map(|c| ClimbState {
+                    r1: c.swap.r1.0,
+                    r2: c.swap.r2.0,
+                    samples: c.samples,
+                    evidence: c.evidence,
+                    test_index: c.test_index,
+                })
+                .collect(),
+            candidates: self
+                .candidates
+                .iter()
+                .map(|c| CandidateState {
+                    r1: c.swap.r1.0,
+                    r2: c.swap.r2.0,
+                    sum: c.acc.sum(),
+                    count: c.acc.count(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Reconstructs a learner from an exported [`PibState`] over the
+    /// sibling-swap vocabulary of `g` (the vocabulary [`Pib::new`]
+    /// uses). The restored learner's strategy, schedule position,
+    /// history, and per-candidate Chernoff evidence match the exporter
+    /// bit for bit, so a warm restart continues testing exactly where
+    /// the crashed process stopped — no relearning, no δ over-spend.
+    ///
+    /// # Errors
+    /// [`GraphError`] when the state does not fit `g`: unknown arcs, an
+    /// invalid strategy order, or candidates missing from the current
+    /// strategy's neighbourhood (all symptoms of restoring against a
+    /// different graph than the one exported from).
+    pub fn restore(g: &InferenceGraph, state: &PibState) -> Result<Self, GraphError> {
+        let arc = |raw: u32| -> Result<ArcId, GraphError> {
+            if (raw as usize) < g.arc_count() {
+                Ok(ArcId(raw))
+            } else {
+                Err(GraphError::InvalidStrategy(format!(
+                    "restored arc {raw} out of range for a graph with {} arcs",
+                    g.arc_count()
+                )))
+            }
+        };
+        let arcs = state.strategy_arcs.iter().map(|&a| arc(a)).collect::<Result<Vec<_>, _>>()?;
+        let strategy = Strategy::from_arcs(g, arcs)?;
+        let config = PibConfig { delta: state.delta, test_every: state.test_every.max(1) };
+        let mut pib =
+            Self::with_transforms(g, strategy, TransformationSet::all_sibling_swaps(g), config);
+        pib.schedule = SequentialSchedule::restore(state.delta, state.tests_used);
+        pib.samples_here = state.samples_here;
+        pib.contexts_seen = state.contexts_seen;
+        pib.history = state
+            .history
+            .iter()
+            .map(|c| {
+                Ok(ClimbRecord {
+                    swap: SiblingSwap::new(g, arc(c.r1)?, arc(c.r2)?)?,
+                    samples: c.samples,
+                    evidence: c.evidence,
+                    test_index: c.test_index,
+                })
+            })
+            .collect::<Result<Vec<_>, GraphError>>()?;
+        for cs in &state.candidates {
+            let (r1, r2) = (arc(cs.r1)?, arc(cs.r2)?);
+            let cand =
+                pib.candidates.iter_mut().find(|c| c.swap.r1 == r1 && c.swap.r2 == r2).ok_or_else(
+                    || {
+                        GraphError::InapplicableTransform(format!(
+                            "restored candidate swap ({}, {}) is not in the current \
+                         strategy's neighbourhood",
+                            cs.r1, cs.r2
+                        ))
+                    },
+                )?;
+            cand.acc = PairedDifference::restore(cand.acc.range(), cs.sum, cs.count);
+        }
+        Ok(pib)
     }
 
     /// Observes one context: runs the current strategy, updates every
@@ -767,6 +919,67 @@ mod tests {
             sink_s.events_named("core.pib.candidate").count(),
             sink_b.events_named("core.pib.candidate").count()
         );
+    }
+
+    #[test]
+    fn export_restore_round_trips_and_future_climbs_are_bit_identical() {
+        // Freeze a learner mid-stream, resurrect it from the plain-data
+        // export, and drive both over the identical remaining stream:
+        // every climb, every accumulator bit, every test budget must
+        // match — this is the durability contract warm restart rests on.
+        let g = g_b();
+        let model = IndependentModel::from_retrieval_probs(&g, &[0.02, 0.05, 0.1, 0.9]).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let stream: Vec<Context> = (0..30_000).map(|_| model.sample(&mut rng)).collect();
+        let (warmup, rest) = stream.split_at(1_234);
+
+        let mut live = Pib::new(&g, Strategy::left_to_right(&g), PibConfig::new(0.05));
+        for ctx in warmup {
+            live.observe_quiet(&g, ctx);
+        }
+        let state = live.export_state();
+        let mut restored = Pib::restore(&g, &state).expect("state fits the graph");
+
+        // The restored learner equals the live one right away...
+        assert_eq!(restored.strategy().arcs(), live.strategy().arcs());
+        assert_eq!(restored.contexts_seen(), live.contexts_seen());
+        assert_eq!(restored.samples_at_current(), live.samples_at_current());
+        assert_eq!(restored.tests_performed(), live.tests_performed());
+        assert_eq!(restored.export_state(), state, "export∘restore is the identity");
+
+        // ...and stays bit-identical through the rest of the stream.
+        for ctx in rest {
+            live.observe_quiet(&g, ctx);
+            restored.observe_quiet(&g, ctx);
+        }
+        assert!(!live.history().is_empty(), "the scenario must climb");
+        assert_eq!(live.history().len(), restored.history().len());
+        for (a, b) in live.history().iter().zip(restored.history()) {
+            assert_eq!(a.swap, b.swap);
+            assert_eq!(a.samples, b.samples);
+            assert_eq!(a.evidence.to_bits(), b.evidence.to_bits());
+            assert_eq!(a.test_index, b.test_index);
+        }
+        assert_eq!(live.strategy().arcs(), restored.strategy().arcs());
+        for (a, b) in live.candidates.iter().zip(&restored.candidates) {
+            assert_eq!(a.swap, b.swap);
+            assert_eq!(a.acc.sum().to_bits(), b.acc.sum().to_bits());
+            assert_eq!(a.acc.count(), b.acc.count());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_state_from_a_different_graph() {
+        let g = g_b();
+        let model = IndependentModel::from_retrieval_probs(&g, &[0.5; 4]).unwrap();
+        let mut pib = Pib::new(&g, Strategy::left_to_right(&g), PibConfig::new(0.1));
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..50 {
+            pib.observe_quiet(&g, &model.sample(&mut rng));
+        }
+        let state = pib.export_state();
+        // g_a has fewer arcs: the strategy order cannot fit.
+        assert!(Pib::restore(&g_a(), &state).is_err());
     }
 
     #[test]

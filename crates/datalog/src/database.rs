@@ -328,6 +328,43 @@ impl Database {
         self.instance_id
     }
 
+    /// Iterates over every predicate's generation stamp (for
+    /// serialization; pair order is unspecified).
+    pub fn predicate_generations(&self) -> impl Iterator<Item = (Symbol, u64)> + '_ {
+        self.pred_gen.iter().map(|(&p, &g)| (p, g))
+    }
+
+    /// Overwrites the generation counter and per-predicate stamps with
+    /// persisted values — the durability layer's recovery hook. After a
+    /// restart, facts are reloaded through [`insert`](Self::insert)
+    /// (which advances the counters as if the KB were built fresh);
+    /// calling this afterwards re-aligns all stamps with the process
+    /// that wrote the snapshot, so footprint-scoped cache validity
+    /// behaves identically across the restart.
+    ///
+    /// The instance id is deliberately *not* restorable: it is process-
+    /// unique by contract, and caches stamped by the dead process are
+    /// gone with it.
+    ///
+    /// # Panics
+    /// Panics if any stamp exceeds `generation` — such a state could
+    /// never have been produced by the single monotone counter.
+    pub fn restore_generations(
+        &mut self,
+        generation: u64,
+        pred_gens: impl IntoIterator<Item = (Symbol, u64)>,
+    ) {
+        let pred_gen: HashMap<Symbol, u64> = pred_gens.into_iter().collect();
+        for (&p, &g) in &pred_gen {
+            assert!(
+                g <= generation,
+                "stamp {g} for predicate {p} exceeds restored generation {generation}"
+            );
+        }
+        self.generation = generation;
+        self.pred_gen = pred_gen;
+    }
+
     /// Ground membership probe — the paper's attempted retrieval.
     pub fn contains(&self, predicate: Symbol, args: &[Symbol]) -> bool {
         self.relations.get(&predicate).is_some_and(|r| r.arity == args.len() && r.contains(args))
@@ -676,6 +713,45 @@ mod tests {
         assert_eq!(db.footprint_generation(&[q]), 2);
         assert_eq!(db.footprint_generation(&[p, q]), 3);
         assert_eq!(db.footprint_generation(&[]), 0);
+    }
+
+    #[test]
+    fn restore_generations_realigns_stamps_after_a_rebuild() {
+        // Simulate recovery: a live database accumulates history, its
+        // facts + stamps are exported, a fresh database reloads the
+        // facts (getting compacted counters), and restore_generations
+        // re-aligns every stamp with the original.
+        let (mut t, mut live) = setup();
+        let (p, q) = (t.intern("p"), t.intern("q"));
+        let (a, b) = (t.intern("a"), t.intern("b"));
+        live.insert(Fact::new(p, vec![a])).unwrap();
+        live.insert(Fact::new(q, vec![a])).unwrap();
+        live.insert(Fact::new(p, vec![b])).unwrap();
+        live.retract(Fact::new(p, vec![a])).unwrap(); // generation 4
+        assert_eq!(live.generation(), 4);
+
+        let mut recovered = Database::new();
+        // Reload the surviving facts (sorted dump order, as recovery does).
+        recovered.insert(Fact::new(p, vec![b])).unwrap();
+        recovered.insert(Fact::new(q, vec![a])).unwrap();
+        assert_ne!(recovered.generation(), live.generation(), "rebuild compacts the counter");
+        recovered.restore_generations(live.generation(), live.predicate_generations());
+        assert_eq!(recovered.generation(), live.generation());
+        assert_eq!(recovered.predicate_generation(p), live.predicate_generation(p));
+        assert_eq!(recovered.predicate_generation(q), live.predicate_generation(q));
+        assert_eq!(recovered.footprint_generation(&[p, q]), live.footprint_generation(&[p, q]));
+        // Post-restore mutations keep the monotone contract.
+        recovered.insert(Fact::new(p, vec![a])).unwrap();
+        assert_eq!(recovered.generation(), 5);
+        assert_eq!(recovered.predicate_generation(p), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds restored generation")]
+    fn restore_generations_rejects_impossible_stamps() {
+        let (mut t, mut db) = setup();
+        let p = t.intern("p");
+        db.restore_generations(1, vec![(p, 2)]);
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Cache validity across a crash/restart: a database rebuilt from a
+//! snapshot (dumped facts + restored generation stamps, the qpl-store
+//! recovery path) must drive the engine's memo caches exactly like the
+//! process that never crashed — same hits, same selective
+//! invalidations — while a cache from the dead process can never alias
+//! the rebuilt instance.
+
+use qpl_datalog::parser::{parse_program, parse_query, parse_query_form};
+use qpl_datalog::{Database, Fact, Symbol, SymbolTable, Term};
+use qpl_engine::{DependencyFootprint, QueryProcessor, RunCache};
+use qpl_graph::compile::{compile, CompileOptions, CompiledGraph};
+use qpl_graph::context::RunScratch;
+
+const KB: &str = "instructor(X) :- prof(X).\n\
+                  instructor(X) :- grad(X).\n\
+                  prof(p0). grad(g0).";
+
+struct Rig {
+    table: SymbolTable,
+    compiled: CompiledGraph,
+    db: Database,
+}
+
+fn rig() -> Rig {
+    let mut table = SymbolTable::new();
+    let program = parse_program(KB, &mut table).expect("KB parses");
+    let form = parse_query_form("instructor(b)", &mut table).expect("form parses");
+    let compiled =
+        compile(&program.rules, &form, &table, &CompileOptions::default()).expect("KB compiles");
+    Rig { table, compiled, db: program.facts }
+}
+
+fn ground_fact(text: &str, table: &mut SymbolTable) -> Fact {
+    let atom = parse_query(text, table).expect("fact parses");
+    let args = atom
+        .args
+        .iter()
+        .map(|t| match t {
+            Term::Const(s) => *s,
+            Term::Var(_) => panic!("dumped fact must be ground: {text}"),
+        })
+        .collect();
+    Fact::new(atom.predicate, args)
+}
+
+/// Rebuilds `db` the way recovery does: re-parse the dumped facts into
+/// a fresh database, then restore the global and per-predicate
+/// generation stamps recorded at checkpoint time.
+fn restore_twin(db: &Database, table: &mut SymbolTable) -> Database {
+    let facts = db.dump(table);
+    let pred_gens: Vec<(Symbol, u64)> = db.predicate_generations().collect();
+    let mut twin = Database::new();
+    for text in &facts {
+        twin.insert(ground_fact(text, table)).expect("dumped fact re-inserts");
+    }
+    twin.restore_generations(db.generation(), pred_gens);
+    twin
+}
+
+/// The restored twin and the never-crashed original must make
+/// identical cache decisions on an identical post-restart delta
+/// sequence: a delta outside the strategy's dependency footprint keeps
+/// both memos warm, a footprint delta drops both, and every answer and
+/// cost stays bit-identical.
+#[test]
+fn restored_stamps_preserve_selective_invalidation() {
+    let mut r = rig();
+    let mut twin = restore_twin(&r.db, &mut r.table);
+    let footprint = DependencyFootprint::of_compiled(&r.compiled);
+    assert_eq!(
+        footprint.generation(&r.db),
+        footprint.generation(&twin),
+        "restored stamps must reproduce the footprint-scoped generation"
+    );
+
+    let qp = QueryProcessor::left_to_right(&r.compiled);
+    let mut scratch = RunScratch::new(&r.compiled.graph);
+    let queries: Vec<_> = ["p0", "g0", "c0"]
+        .iter()
+        .map(|c| parse_query(&format!("instructor({c})"), &mut r.table).unwrap())
+        .collect();
+    let noise = r.table.intern("noise");
+    let grad = r.table.intern("grad");
+    let c9 = r.table.intern("c9");
+
+    let mut live_cache = RunCache::new();
+    let mut twin_cache = RunCache::new();
+    // Deltas: the first is outside the footprint (the compiled graph
+    // never retrieves `noise`), the second is on a footprint predicate.
+    let deltas = [Fact::new(noise, vec![c9]), Fact::new(grad, vec![c9])];
+    for delta in &deltas {
+        r.db.insert(delta.clone()).unwrap();
+        twin.insert(delta.clone()).unwrap();
+        for q in &queries {
+            let a = qp.run_cost_cached(q, &r.db, &mut live_cache, &mut scratch).unwrap();
+            let b = qp.run_cost_cached(q, &twin, &mut twin_cache, &mut scratch).unwrap();
+            assert_eq!(a, b, "restored twin must answer bit-identically");
+        }
+        assert_eq!(
+            footprint.generation(&r.db),
+            footprint.generation(&twin),
+            "stamps must stay in lockstep under post-restart deltas"
+        );
+    }
+    let (live, twin_stats) = (live_cache.stats(), twin_cache.stats());
+    assert_eq!(live.hits, twin_stats.hits, "same memo hits on both sides");
+    assert_eq!(live.misses, twin_stats.misses, "same memo misses on both sides");
+    assert_eq!(live.invalidations, twin_stats.invalidations, "same invalidations on both sides");
+    assert_eq!(
+        live.invalidations, 1,
+        "exactly one invalidation: the noise delta keeps the memo warm, the grad delta drops it"
+    );
+}
+
+/// A cache filled by the dead process can never serve the rebuilt
+/// database, even though the restored generation stamps match — the
+/// fresh instance id forces a full drop on first revalidation.
+#[test]
+fn restored_database_never_aliases_a_foreign_cache() {
+    let mut r = rig();
+    let qp = QueryProcessor::left_to_right(&r.compiled);
+    let mut scratch = RunScratch::new(&r.compiled.graph);
+    let q = parse_query("instructor(p0)", &mut r.table).unwrap();
+
+    let mut cache = RunCache::new();
+    qp.run_cost_cached(&q, &r.db, &mut cache, &mut scratch).unwrap();
+    assert_eq!(cache.len(), 1, "memo filled against the original instance");
+
+    let twin = restore_twin(&r.db, &mut r.table);
+    assert_eq!(twin.generation(), r.db.generation(), "stamps alone cannot distinguish the twin");
+    assert_ne!(twin.instance_id(), r.db.instance_id(), "instance id must be fresh");
+    qp.run_cost_cached(&q, &twin, &mut cache, &mut scratch).unwrap();
+    let stats = cache.stats();
+    assert_eq!(stats.invalidations, 1, "first twin revalidation drops the foreign memo");
+    assert_eq!(stats.hits, 0, "the twin never hits an entry the dead process filled");
+}

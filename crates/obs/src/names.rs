@@ -87,6 +87,25 @@ pub mod eval {
     pub const MAGIC_FACTS_PRUNED: &str = "eval.magic.facts_pruned";
 }
 
+/// Names emitted by the durability layer (`qpl-store` via its
+/// `qpl-serve` owner, shard 0). Consumed by the `stats` endpoint's
+/// merged metrics snapshot and the CI kill-restart smoke.
+pub mod store {
+    /// Counter: records appended to the write-ahead log (KB deltas +
+    /// strategy fingerprints).
+    pub const WAL_APPENDS: &str = "store.wal.appends";
+    /// Counter: group-commit barriers issued (one per control batch
+    /// that journaled at least one record).
+    pub const WAL_COMMITS: &str = "store.wal.commits";
+    /// Counter: checkpoints written (snapshot + WAL truncation).
+    pub const CHECKPOINTS: &str = "store.checkpoints";
+    /// Counter: WAL records replayed during recovery at startup.
+    pub const RECOVERY_REPLAYED: &str = "store.recovery.records_replayed";
+    /// Counter: store I/O failures that flipped the server into
+    /// degraded mode (updates shed, reads still served).
+    pub const DEGRADED: &str = "store.degraded";
+}
+
 /// Names emitted by the observability runtime about itself.
 pub mod obs {
     /// Counter: events silently discarded by a bounded sink at its
@@ -128,6 +147,21 @@ mod tests {
         assert!(super::plan::GREEDY_MICROS.starts_with("plan."));
         assert!(super::plan::MAGIC_RULES_GENERATED.starts_with("plan."));
         assert!(super::eval::MAGIC_FACTS_PRUNED.starts_with("eval."));
+    }
+
+    #[test]
+    fn store_names_are_unique_and_prefixed() {
+        let all = [
+            super::store::WAL_APPENDS,
+            super::store::WAL_COMMITS,
+            super::store::CHECKPOINTS,
+            super::store::RECOVERY_REPLAYED,
+            super::store::DEGRADED,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            assert!(a.starts_with("store."), "{a} must carry the subsystem prefix");
+            assert!(!all[i + 1..].contains(a), "duplicate name {a}");
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@ use qpl_workload::generator::KbParams;
 
 const USAGE: &str = "qpl_serve [--addr HOST:PORT] [--shape figure1|layered] [--seed N]\n\
                      \u{20}         [--shards N] [--adapt DELTA] [--queue LANES] [--max-wait-us N]\n\
+                     \u{20}         [--data-dir PATH] [--fsync record|batch|off]\n\
  --addr HOST:PORT  bind address (default 127.0.0.1:7878; port 0 = ephemeral)\n\
  --shape SHAPE     knowledge base: figure1 (paper Fig. 1) or layered (default figure1)\n\
  --seed N          RNG seed for --shape layered (default 7)\n\
@@ -20,7 +21,10 @@ const USAGE: &str = "qpl_serve [--addr HOST:PORT] [--shape figure1|layered] [--s
  \u{20}                 replica (default: available cores)\n\
  --adapt DELTA     enable online PIB adaptation at confidence 1-DELTA (per shard)\n\
  --queue LANES     admission bound in queued query lanes, per shard (default 1024)\n\
- --max-wait-us N   batch flush deadline in microseconds (default 500)";
+ --max-wait-us N   batch flush deadline in microseconds (default 500)\n\
+ --data-dir PATH   enable durability: recover from PATH at startup, journal\n\
+ \u{20}                 every KB delta and adopted strategy, serve `checkpoint`\n\
+ --fsync POLICY    WAL fsync policy with --data-dir: record, batch (default), off";
 
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7878".to_string();
@@ -57,6 +61,11 @@ fn main() -> ExitCode {
             "--max-wait-us" => {
                 value.parse().map(|v| cfg.max_wait = Duration::from_micros(v)).is_ok()
             }
+            "--data-dir" => {
+                cfg.data_dir = Some(std::path::PathBuf::from(value));
+                true
+            }
+            "--fsync" => value.parse().map(|v| cfg.fsync = v).is_ok(),
             _ => {
                 eprintln!("unknown flag {flag}\n{USAGE}");
                 return ExitCode::FAILURE;

@@ -64,21 +64,27 @@
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use qpl_core::{Pib, PibConfig};
+use qpl_core::{CandidateState, ClimbState, Pib, PibConfig, PibState};
 use qpl_datalog::parser::{parse_program, parse_query, parse_query_form};
 use qpl_datalog::{Atom, Database, Fact, Symbol, SymbolTable, Term};
 use qpl_engine::cache::{DependencyFootprint, RunCache};
 use qpl_engine::qp::{classify_context_into, BatchScratch, QueryAnswer, QueryProcessor};
 use qpl_graph::batch::{width_for_lanes, LANES, MAX_LANES};
 use qpl_graph::compile::{compile, CompileOptions, CompiledGraph};
+use qpl_graph::graph::ArcId;
 use qpl_graph::{InferenceGraph, Strategy};
-use qpl_obs::names::{cache as cache_names, serve as names};
+use qpl_obs::names::{cache as cache_names, serve as names, store as store_names};
 use qpl_obs::{JsonSnapshot, MemorySink, MetricsSink};
+use qpl_store::{
+    CandidateEntry, CheckpointInfo, ClimbEntry, FsyncPolicy, PibSnapshot, Record, Snapshot, Store,
+    StoreError, StrategyState,
+};
 use qpl_workload::generator::{random_layered_kb, KbParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -115,6 +121,17 @@ pub struct ServerConfig {
     /// Handler read timeout — the latency with which idle connections
     /// notice a shutdown.
     pub read_poll: Duration,
+    /// `Some(dir)` turns on durability: recovery from `dir` at startup
+    /// (snapshot load + WAL replay), journaling of every applied KB
+    /// delta and adopted strategy on shard 0, and the `checkpoint` wire
+    /// op. `None` serves purely in memory.
+    pub data_dir: Option<PathBuf>,
+    /// WAL fsync policy when durability is on. Under `EveryBatch` (the
+    /// default) acks are still only sent after the covering group
+    /// commit, so an acked update is never lost.
+    pub fsync: FsyncPolicy,
+    /// WAL segment rotation threshold in bytes.
+    pub segment_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -129,6 +146,9 @@ impl Default for ServerConfig {
             max_line_bytes: 64 * 1024,
             adapt_delta: None,
             read_poll: Duration::from_millis(25),
+            data_dir: None,
+            fsync: FsyncPolicy::EveryBatch,
+            segment_bytes: 8 << 20,
         }
     }
 }
@@ -221,6 +241,10 @@ struct ShardStats {
     executed_lanes: u64,
     /// Recent per-request service times, µs (unsorted ring contents).
     service_us: Vec<f64>,
+    /// This shard's adopted strategy fingerprint.
+    strategy_fp: u64,
+    /// Durability health, present only on the store-owning shard (0).
+    store: Option<wire::StoreStatsView>,
     sink: MemorySink,
 }
 
@@ -234,19 +258,37 @@ struct UpdateAck {
     deltas_applied: u64,
 }
 
+/// Why a control operation was refused.
+enum ControlError {
+    /// The request itself is malformed (unparsable fact, arity
+    /// mismatch) — a `bad_request` on the wire.
+    Invalid(String),
+    /// The durable store is absent or degraded — `store_unavailable`
+    /// on the wire. The server sheds the update but keeps serving
+    /// reads.
+    Store(String),
+}
+
 /// Work that bypasses admission (cheap, must stay responsive under
 /// load).
 enum Control {
     Stats {
         resp: mpsc::Sender<ShardStats>,
     },
-    /// A KB delta, broadcast to every shard. Each shard validates the
-    /// whole delta (parse + groundedness) before applying any of it, so
-    /// identical replicas reach identical verdicts and stay convergent.
+    /// A KB delta. Shard 0 validates, journals (when durable), and
+    /// applies it first; replicas 1..n see it only after shard 0
+    /// acked, so a store failure can never diverge the fleet. Each
+    /// shard validates the whole delta (parse + groundedness) before
+    /// applying any of it, so identical replicas reach identical
+    /// verdicts and stay convergent.
     Update {
         insert: Arc<Vec<String>>,
         retract: Arc<Vec<String>>,
-        resp: mpsc::Sender<Result<UpdateAck, String>>,
+        resp: mpsc::Sender<Result<UpdateAck, ControlError>>,
+    },
+    /// Snapshot + WAL truncation, served by the store-owning shard (0).
+    Checkpoint {
+        resp: mpsc::Sender<Result<CheckpointInfo, ControlError>>,
     },
 }
 
@@ -299,14 +341,209 @@ pub struct Server {
     executors: Vec<thread::JoinHandle<()>>,
 }
 
+/// Per-shard startup state recovered from the durable store. Every
+/// shard gets the restored learner and strategy (replicas start
+/// convergent); only shard 0 owns the store handle and journals.
+#[derive(Default)]
+struct ShardInit {
+    pib: Option<Pib>,
+    strategy: Option<Strategy>,
+    store: Option<Store>,
+    records_replayed: u64,
+    torn_tail: bool,
+}
+
+fn invalid_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Rebuilds a [`Strategy`] from journaled arc indices, checking both
+/// the arc bounds and that the rebuilt fingerprint matches the
+/// journaled one — a mismatch means the data dir was written against a
+/// different knowledge base than the one now being served.
+fn strategy_from_state(g: &InferenceGraph, state: &StrategyState) -> io::Result<Strategy> {
+    let arcs = state
+        .arcs
+        .iter()
+        .map(|&raw| {
+            if (raw as usize) < g.arc_count() {
+                Ok(ArcId(raw))
+            } else {
+                Err(invalid_data(format!(
+                    "recovered strategy arc {raw} out of range for a graph with {} arcs \
+                     (data dir from a different knowledge base?)",
+                    g.arc_count()
+                )))
+            }
+        })
+        .collect::<io::Result<Vec<_>>>()?;
+    let strategy = Strategy::from_arcs(g, arcs).map_err(|e| invalid_data(e.to_string()))?;
+    if strategy.fingerprint() != state.fingerprint {
+        return Err(invalid_data(format!(
+            "recovered strategy fingerprint {:016x} does not match the journaled {:016x} \
+             (data dir from a different knowledge base?)",
+            strategy.fingerprint(),
+            state.fingerprint
+        )));
+    }
+    Ok(strategy)
+}
+
+/// Maps the store's engine-free PIB mirror back to `qpl-core`'s state.
+fn pib_state_from_snapshot(p: &PibSnapshot) -> PibState {
+    PibState {
+        delta: p.delta,
+        test_every: p.test_every,
+        strategy_arcs: p.strategy_arcs.clone(),
+        samples_here: p.samples_here,
+        contexts_seen: p.contexts_seen,
+        tests_used: p.tests_used,
+        history: p
+            .history
+            .iter()
+            .map(|c| ClimbState {
+                r1: c.r1,
+                r2: c.r2,
+                samples: c.samples,
+                evidence: c.evidence,
+                test_index: c.test_index,
+            })
+            .collect(),
+        candidates: p
+            .candidates
+            .iter()
+            .map(|c| CandidateState { r1: c.r1, r2: c.r2, sum: c.sum, count: c.count })
+            .collect(),
+    }
+}
+
+/// Maps `qpl-core`'s exported PIB state to the store's mirror struct.
+fn pib_state_to_snapshot(s: &PibState) -> PibSnapshot {
+    PibSnapshot {
+        delta: s.delta,
+        test_every: s.test_every,
+        strategy_arcs: s.strategy_arcs.clone(),
+        samples_here: s.samples_here,
+        contexts_seen: s.contexts_seen,
+        tests_used: s.tests_used,
+        history: s
+            .history
+            .iter()
+            .map(|c| ClimbEntry {
+                r1: c.r1,
+                r2: c.r2,
+                samples: c.samples,
+                evidence: c.evidence,
+                test_index: c.test_index,
+            })
+            .collect(),
+        candidates: s
+            .candidates
+            .iter()
+            .map(|c| CandidateEntry { r1: c.r1, r2: c.r2, sum: c.sum, count: c.count })
+            .collect(),
+    }
+}
+
+/// Opens the store in `dir` and replays its contents into `engine`:
+/// snapshot facts rebuild the database (generation stamps realigned to
+/// the checkpointed values), WAL deltas re-apply in order, and the
+/// newest journaled strategy — snapshot or a later WAL record — wins.
+/// Returns the live store handle plus the restored learner and strategy
+/// for the shards, leaving `engine` in the exact state the never-killed
+/// process was in at its last durable point.
+fn recover(engine: &mut ServeEngine, dir: &Path, cfg: &ServerConfig) -> io::Result<ShardInit> {
+    let store_cfg =
+        qpl_store::StoreConfig { fsync: cfg.fsync, segment_bytes: cfg.segment_bytes.max(1) };
+    let (store, recovered) =
+        Store::open(dir, store_cfg).map_err(|e| invalid_data(e.to_string()))?;
+    let mut latest_strategy: Option<StrategyState> = None;
+    let mut pib_snap: Option<PibSnapshot> = None;
+    if let Some(snap) = &recovered.snapshot {
+        // The snapshot's fact dump replaces the seed KB wholesale: it
+        // *is* the seed plus every delta the checkpoint covered.
+        let mut db = Database::new();
+        for text in &snap.facts {
+            let fact = parse_ground_fact(text, &mut engine.table)
+                .map_err(|e| invalid_data(format!("snapshot fact {text:?}: {e}")))?;
+            db.insert(fact).map_err(|e| invalid_data(format!("snapshot fact {text:?}: {e}")))?;
+        }
+        let gens: Vec<(Symbol, u64)> =
+            snap.pred_gens.iter().map(|(p, g)| (engine.table.intern(p), *g)).collect();
+        db.restore_generations(snap.generation, gens);
+        engine.db = db;
+        latest_strategy.clone_from(&snap.strategy);
+        pib_snap.clone_from(&snap.pib);
+    }
+    for record in &recovered.records {
+        match record {
+            Record::Delta { insert, retract } => {
+                for text in insert {
+                    let fact = parse_ground_fact(text, &mut engine.table)
+                        .map_err(|e| invalid_data(format!("journaled insert {text:?}: {e}")))?;
+                    engine
+                        .db
+                        .insert(fact)
+                        .map_err(|e| invalid_data(format!("journaled insert {text:?}: {e}")))?;
+                }
+                for text in retract {
+                    let fact = parse_ground_fact(text, &mut engine.table)
+                        .map_err(|e| invalid_data(format!("journaled retract {text:?}: {e}")))?;
+                    engine
+                        .db
+                        .retract(fact)
+                        .map_err(|e| invalid_data(format!("journaled retract {text:?}: {e}")))?;
+                }
+            }
+            Record::Strategy { fingerprint, arcs } => {
+                latest_strategy =
+                    Some(StrategyState { fingerprint: *fingerprint, arcs: arcs.clone() });
+            }
+        }
+    }
+    let g = &engine.compiled.graph;
+    let strategy = latest_strategy.as_ref().map(|s| strategy_from_state(g, s)).transpose()?;
+    let pib = match (cfg.adapt_delta, &pib_snap) {
+        (Some(_), Some(p)) => {
+            let state = pib_state_from_snapshot(p);
+            let mut pib = Pib::restore(g, &state).map_err(|e| invalid_data(e.to_string()))?;
+            // A strategy journaled after the checkpoint supersedes the
+            // snapshot's learner position; adopting restarts the
+            // candidate neighbourhood exactly as the live climb did.
+            if let Some(s) = &strategy {
+                pib.adopt(g, s.clone());
+            }
+            Some(pib)
+        }
+        _ => None,
+    };
+    Ok(ShardInit {
+        pib,
+        strategy,
+        store: Some(store),
+        records_replayed: recovered.records_replayed(),
+        torn_tail: recovered.torn_tail,
+    })
+}
+
 impl Server {
     /// Binds, spawns the acceptor and one executor thread per shard
     /// (each owning its own [`ServeEngine`] replica), returns
-    /// immediately.
+    /// immediately. With [`ServerConfig::data_dir`] set, recovery runs
+    /// first — snapshot load plus ordered WAL replay — so every shard
+    /// replica starts from the durable state, and shard 0 takes
+    /// ownership of the store for journaling and checkpoints.
     ///
     /// # Errors
-    /// Bind or thread-spawn failures.
+    /// Bind or thread-spawn failures, or a data directory that cannot
+    /// be recovered (I/O failure, corruption past the repairable tail,
+    /// or state journaled against a different knowledge base).
     pub fn start(engine: ServeEngine, cfg: ServerConfig) -> io::Result<Server> {
+        let mut engine = engine;
+        let mut durable = match &cfg.data_dir {
+            Some(dir) => Some(recover(&mut engine, &dir.clone(), &cfg)?),
+            None => None,
+        };
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -340,10 +577,22 @@ impl Server {
         for (shard, engine) in engines.into_iter().rev().enumerate() {
             let shared = Arc::clone(&shared);
             let cfg = cfg.clone();
+            // Every shard starts from the recovered learner/strategy;
+            // the store handle itself goes to shard 0 alone.
+            let init = match &mut durable {
+                Some(d) => ShardInit {
+                    pib: d.pib.clone(),
+                    strategy: d.strategy.clone(),
+                    store: if shard == 0 { d.store.take() } else { None },
+                    records_replayed: d.records_replayed,
+                    torn_tail: d.torn_tail,
+                },
+                None => ShardInit::default(),
+            };
             executors.push(
                 thread::Builder::new()
                     .name(format!("qpl-serve-exec-{shard}"))
-                    .spawn(move || executor_loop(shard, engine, cfg, &shared))?,
+                    .spawn(move || executor_loop(shard, engine, init, cfg, &shared))?,
             );
         }
         let acceptor = {
@@ -395,11 +644,19 @@ impl Drop for Server {
     }
 }
 
+/// Locks a mutex, tolerating poison: a shard that panicked mid-update
+/// must not take the handler threads (or its peers) down with it — the
+/// state behind the lock is counters and queues, all safe to read after
+/// a writer died.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 fn initiate_shutdown(shared: &Shared) {
     shared.stop.store(true, Ordering::SeqCst);
     for sq in &shared.shards {
         {
-            let mut st = sq.state.lock().expect("state mutex");
+            let mut st = lock_unpoisoned(&sq.state);
             st.draining = true;
         }
         sq.cv.notify_all();
@@ -604,17 +861,49 @@ fn handle_line(line: &str, cfg: &ServerConfig, shared: &Shared) -> Reply {
         }
         Request::Stats => collect_stats(shared),
         Request::Update { insert, retract, id } => apply_update(insert, retract, id, shared),
+        Request::Checkpoint { id } => request_checkpoint(id, shared),
         Request::Query { q, id } => submit(vec![q], id, false, shared),
         Request::Batch { qs, id } => submit(qs, id, true, shared),
     }
 }
 
-/// Broadcasts a KB delta to every shard (the same fan-out shape as
-/// [`collect_stats`]) and merges the acknowledgements into one
-/// `updated` response. Shards apply deltas between planes; because each
-/// shard validates the full delta against its identical replica before
-/// applying, either every shard applies it or none does, and the
-/// per-shard `deltas_applied` counters stay equal.
+/// Renders a [`ControlError`] as the matching wire error line.
+fn control_error_line(e: &ControlError, id: Option<u64>) -> String {
+    match e {
+        ControlError::Invalid(detail) => wire::render_error("bad_request", detail, id),
+        ControlError::Store(detail) => wire::render_error("store_unavailable", detail, id),
+    }
+}
+
+/// Enqueues one update control on `sq` and returns the ack channel.
+fn offer_update(
+    sq: &ShardQueue,
+    insert: &Arc<Vec<String>>,
+    retract: &Arc<Vec<String>>,
+) -> mpsc::Receiver<Result<UpdateAck, ControlError>> {
+    let (tx, rx) = mpsc::channel();
+    {
+        let mut st = lock_unpoisoned(&sq.state);
+        st.control.push_back(Control::Update {
+            insert: Arc::clone(insert),
+            retract: Arc::clone(retract),
+            resp: tx,
+        });
+    }
+    sq.cv.notify_all();
+    rx
+}
+
+/// Applies a KB delta across the fleet, shard 0 first: shard 0
+/// validates the whole delta, journals it to the WAL (when durability
+/// is on — the ack is sent only after the covering group commit, so an
+/// acked update survives a kill), and applies it; only then is the
+/// delta broadcast to replicas 1..n. A validation or store failure on
+/// shard 0 therefore leaves every replica untouched — the fleet can
+/// never diverge on an error path. Shards apply deltas between planes;
+/// because each shard validates the full delta against its identical
+/// replica before applying, either every shard applies it or none
+/// does, and the per-shard `deltas_applied` counters stay equal.
 fn apply_update(
     insert: Vec<String>,
     retract: Vec<String>,
@@ -626,38 +915,59 @@ fn apply_update(
     }
     let insert = Arc::new(insert);
     let retract = Arc::new(retract);
-    let mut pending = Vec::with_capacity(shared.shards.len());
-    for sq in &shared.shards {
-        let (tx, rx) = mpsc::channel();
-        {
-            let mut st = sq.state.lock().expect("state mutex");
-            st.control.push_back(Control::Update {
-                insert: Arc::clone(&insert),
-                retract: Arc::clone(&retract),
-                resp: tx,
-            });
-        }
-        sq.cv.notify_all();
-        pending.push(rx);
+    let rx0 = offer_update(&shared.shards[0], &insert, &retract);
+    let Ok(ack0) = rx0.recv() else {
+        return Reply::Closed;
+    };
+    let ack0 = match ack0 {
+        Ok(a) => a,
+        Err(e) => return Reply::Line(control_error_line(&e, id)),
+    };
+    let mut deltas_applied = ack0.deltas_applied;
+    let mut pending = Vec::with_capacity(shared.shards.len().saturating_sub(1));
+    for sq in &shared.shards[1..] {
+        pending.push(offer_update(sq, &insert, &retract));
     }
-    let (mut inserted, mut retracted, mut deltas_applied) = (0u64, 0u64, 0u64);
     for rx in pending {
         let Ok(ack) = rx.recv() else {
             return Reply::Closed;
         };
         match ack {
-            Ok(a) => {
-                // Identical replicas change identically; report the
-                // first shard's fact counts and the max applied-delta
-                // counter (they agree when convergent).
-                inserted = a.inserted;
-                retracted = a.retracted;
-                deltas_applied = deltas_applied.max(a.deltas_applied);
-            }
-            Err(detail) => return Reply::Line(wire::render_error("bad_request", &detail, id)),
+            // Identical replicas change identically; report shard 0's
+            // fact counts and the max applied-delta counter (they
+            // agree when convergent).
+            Ok(a) => deltas_applied = deltas_applied.max(a.deltas_applied),
+            Err(e) => return Reply::Line(control_error_line(&e, id)),
         }
     }
-    Reply::Line(wire::render_updated(inserted, retracted, deltas_applied, id))
+    Reply::Line(wire::render_updated(ack0.inserted, ack0.retracted, deltas_applied, id))
+}
+
+/// Routes a `checkpoint` request to the store-owning shard (0) and
+/// renders its outcome.
+fn request_checkpoint(id: Option<u64>, shared: &Shared) -> Reply {
+    if shared.stop.load(Ordering::SeqCst) {
+        return Reply::Line(wire::render_error("shutting_down", "server is draining", id));
+    }
+    let (tx, rx) = mpsc::channel();
+    let sq = &shared.shards[0];
+    {
+        let mut st = lock_unpoisoned(&sq.state);
+        st.control.push_back(Control::Checkpoint { resp: tx });
+    }
+    sq.cv.notify_all();
+    let Ok(outcome) = rx.recv() else {
+        return Reply::Closed;
+    };
+    match outcome {
+        Ok(info) => Reply::Line(wire::render_checkpointed(
+            info.through_seq,
+            info.snapshot_bytes,
+            info.segments_removed,
+            id,
+        )),
+        Err(e) => Reply::Line(control_error_line(&e, id)),
+    }
 }
 
 /// Fans a stats control to every shard, merges the slices (counters
@@ -668,7 +978,7 @@ fn collect_stats(shared: &Shared) -> Reply {
     for sq in &shared.shards {
         let (tx, rx) = mpsc::channel();
         {
-            let mut st = sq.state.lock().expect("state mutex");
+            let mut st = lock_unpoisoned(&sq.state);
             st.control.push_back(Control::Stats { resp: tx });
         }
         sq.cv.notify_all();
@@ -681,10 +991,14 @@ fn collect_stats(shared: &Shared) -> Reply {
     let (mut errors, mut climbs, mut adoptions) = (0u64, 0u64, 0u64);
     let (mut plane_lanes, mut executed_lanes, mut deltas_applied) = (0u64, 0u64, 0u64);
     let mut width_planes = [0u64; 4];
+    let mut store_view = None;
     for (shard, rx) in pending.into_iter().enumerate() {
         let Ok(s) = rx.recv() else {
             return Reply::Closed;
         };
+        if s.store.is_some() {
+            store_view = s.store.clone();
+        }
         queue_lanes += s.queue_lanes;
         served += s.served;
         batches += s.batches;
@@ -713,6 +1027,7 @@ fn collect_stats(shared: &Shared) -> Reply {
             fill_ratio: fill_ratio(s.executed_lanes, s.plane_lanes),
             p50_us: percentile_sorted(&us, 0.50),
             p99_us: percentile_sorted(&us, 0.99),
+            strategy_fp: format!("{:016x}", s.strategy_fp),
         });
         all_us.extend_from_slice(&us);
     }
@@ -737,6 +1052,7 @@ fn collect_stats(shared: &Shared) -> Reply {
         p50_us: percentile_sorted(&all_us, 0.50),
         p99_us: percentile_sorted(&all_us, 0.99),
         shards: views,
+        store: store_view,
         metrics_line: JsonSnapshot::capture(&merged_sink).as_line(),
     };
     Reply::Line(wire::render_stats(&view))
@@ -772,7 +1088,7 @@ enum Admit {
 
 fn try_offer(shared: &Shared, shard: usize, job: Job) -> Admit {
     let sq = &shared.shards[shard];
-    let mut st = sq.state.lock().expect("state mutex");
+    let mut st = lock_unpoisoned(&sq.state);
     if st.draining {
         return Admit::Draining;
     }
@@ -880,6 +1196,15 @@ struct Executor<'g> {
     /// `run_cache.stats().invalidations` already emitted as the
     /// selective-invalidation counter.
     rc_invalidations_seen: u64,
+    /// The durable store; only shard 0 holds one. Updates journal here
+    /// before they apply, strategies journal on climb/adoption, and
+    /// `checkpoint` snapshots through it.
+    store: Option<Store>,
+    /// Set on the first store I/O failure: updates are shed with
+    /// `store_unavailable` from then on, reads keep serving.
+    store_degraded: bool,
+    /// WAL records replayed at startup (shard 0, surfaced in `stats`).
+    records_replayed: u64,
     /// KB deltas applied by this shard.
     deltas_applied: u64,
     /// Lanes actually executed in planes (fill numerator; cache-hit
@@ -909,12 +1234,31 @@ struct Executor<'g> {
     results: Vec<Vec<Option<LaneResult>>>,
 }
 
-fn executor_loop(shard: usize, engine: ServeEngine, cfg: ServerConfig, shared: &Shared) {
+fn executor_loop(
+    shard: usize,
+    engine: ServeEngine,
+    init: ShardInit,
+    cfg: ServerConfig,
+    shared: &Shared,
+) {
     let ServeEngine { table, compiled, db } = engine;
-    let qp = QueryProcessor::left_to_right(&compiled);
-    let pib = cfg
-        .adapt_delta
-        .map(|delta| Pib::new(&compiled.graph, qp.strategy().clone(), PibConfig::new(delta)));
+    let mut qp = QueryProcessor::left_to_right(&compiled);
+    // Recovery-aware learner startup: a restored learner resumes its
+    // Chernoff statistics exactly where the killed process stopped; a
+    // fresh learner under a recovered strategy starts its climb there.
+    let pib = match (cfg.adapt_delta, init.pib) {
+        (Some(_), Some(restored)) => Some(restored),
+        (Some(delta), None) => {
+            let initial = init.strategy.clone().unwrap_or_else(|| qp.strategy().clone());
+            Some(Pib::new(&compiled.graph, initial, PibConfig::new(delta)))
+        }
+        (None, _) => None,
+    };
+    if let Some(p) = &pib {
+        qp.set_strategy(p.strategy().clone());
+    } else if let Some(s) = init.strategy {
+        qp.set_strategy(s);
+    }
     let current_fp = qp.strategy().fingerprint();
     let mut ex = Executor {
         table,
@@ -927,6 +1271,9 @@ fn executor_loop(shard: usize, engine: ServeEngine, cfg: ServerConfig, shared: &
         run_cache: RunCache::new(),
         footprint: DependencyFootprint::of_compiled(&compiled),
         rc_invalidations_seen: 0,
+        store: init.store,
+        store_degraded: false,
+        records_replayed: init.records_replayed,
         deltas_applied: 0,
         executed_lanes: 0,
         sink: MemorySink::new(),
@@ -947,6 +1294,14 @@ fn executor_loop(shard: usize, engine: ServeEngine, cfg: ServerConfig, shared: &
         results: Vec::new(),
         compiled: &compiled,
     };
+    if ex.store.is_some() {
+        if ex.records_replayed > 0 {
+            ex.sink.counter(store_names::RECOVERY_REPLAYED, ex.records_replayed);
+        }
+        if init.torn_tail {
+            ex.sink.counter("store.recovery.torn_tail", 1);
+        }
+    }
     let sq = &shared.shards[shard];
     let mut jobs: Vec<(Job, Instant)> = Vec::new();
     let mut controls: Vec<Control> = Vec::new();
@@ -955,7 +1310,7 @@ fn executor_loop(shard: usize, engine: ServeEngine, cfg: ServerConfig, shared: &
         jobs.clear();
         let exit;
         let (queue_lanes, declined) = {
-            let mut st = sq.state.lock().expect("state mutex");
+            let mut st = lock_unpoisoned(&sq.state);
             loop {
                 while let Some(c) = st.control.pop_front() {
                     controls.push(c);
@@ -977,9 +1332,12 @@ fn executor_loop(shard: usize, engine: ServeEngine, cfg: ServerConfig, shared: &
                 st = match st.batcher.deadline(cfg.max_wait) {
                     Some(deadline) => {
                         let wait = deadline.saturating_duration_since(Instant::now());
-                        sq.cv.wait_timeout(st, wait).expect("state mutex").0
+                        sq.cv
+                            .wait_timeout(st, wait)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .0
                     }
-                    None => sq.cv.wait(st).expect("state mutex"),
+                    None => sq.cv.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner),
                 };
             }
         };
@@ -987,18 +1345,7 @@ fn executor_loop(shard: usize, engine: ServeEngine, cfg: ServerConfig, shared: &
             ex.sink.counter(names::SHED, declined - ex.declined_emitted);
             ex.declined_emitted = declined;
         }
-        for control in controls.drain(..) {
-            match control {
-                Control::Stats { resp } => {
-                    let _ = resp.send(ex.shard_stats(queue_lanes, declined));
-                }
-                Control::Update { insert, retract, resp } => {
-                    // Deltas apply between planes: every plane executes
-                    // against a single database state.
-                    let _ = resp.send(ex.apply_delta(&insert, &retract));
-                }
-            }
-        }
+        ex.process_controls(&mut controls, queue_lanes, declined);
         if !jobs.is_empty() {
             ex.adopt_published(shared);
             ex.process_plane(&mut jobs, shared);
@@ -1024,16 +1371,69 @@ fn parse_ground_fact(text: &str, table: &mut SymbolTable) -> Result<Fact, String
     Ok(Fact::new(atom.predicate, args))
 }
 
+/// One validated, journaled, not-yet-applied update plus its ack
+/// channel.
+struct StagedDelta {
+    insert: Vec<Fact>,
+    retract: Vec<Fact>,
+    resp: mpsc::Sender<Result<UpdateAck, ControlError>>,
+}
+
 impl Executor<'_> {
-    /// Validates and applies one KB delta against this shard's replica.
+    /// Serves one control batch. Updates are staged — validated,
+    /// journaled, but not applied — until the whole batch has been
+    /// walked, then one group commit covers every journaled record and
+    /// the staged deltas apply and ack in order. Journal-before-apply
+    /// means a commit failure leaves this replica exactly where its
+    /// peers are (nothing applied, nothing acked); commit-before-ack
+    /// means an acked update is on disk even under `EveryBatch` fsync.
+    fn process_controls(&mut self, controls: &mut Vec<Control>, queue_lanes: u64, declined: u64) {
+        let mut staged: Vec<StagedDelta> = Vec::new();
+        for control in controls.drain(..) {
+            match control {
+                Control::Stats { resp } => {
+                    let _ = resp.send(self.shard_stats(queue_lanes, declined));
+                }
+                Control::Update { insert, retract, resp } => {
+                    match self.stage_delta(&insert, &retract) {
+                        Ok((ins, ret)) => {
+                            staged.push(StagedDelta { insert: ins, retract: ret, resp });
+                        }
+                        Err(e) => {
+                            let _ = resp.send(Err(e));
+                        }
+                    }
+                }
+                Control::Checkpoint { resp } => {
+                    // Earlier updates in this batch must be covered by
+                    // the checkpoint: flush them first.
+                    self.flush_staged(&mut staged);
+                    let _ = resp.send(self.do_checkpoint());
+                }
+            }
+        }
+        self.flush_staged(&mut staged);
+    }
+
+    /// Validates one KB delta against this shard's replica and, on the
+    /// store-owning shard, journals it.
     ///
     /// Validation is all-or-nothing: every fact must parse, be ground,
     /// and agree on arity (with the stored relation and within the
-    /// delta) *before* anything is applied. Identical replicas
-    /// therefore reach identical verdicts — either every shard applies
-    /// the delta or every shard refuses it — which keeps the
-    /// shared-nothing fleet convergent.
-    fn apply_delta(&mut self, insert: &[String], retract: &[String]) -> Result<UpdateAck, String> {
+    /// delta) *before* anything is journaled or applied. Identical
+    /// replicas therefore reach identical verdicts — either every
+    /// shard applies the delta or every shard refuses it — which keeps
+    /// the shared-nothing fleet convergent.
+    fn stage_delta(
+        &mut self,
+        insert: &[String],
+        retract: &[String],
+    ) -> Result<(Vec<Fact>, Vec<Fact>), ControlError> {
+        if self.store_degraded {
+            return Err(ControlError::Store(
+                "store degraded by an earlier I/O failure; updates are shed".to_string(),
+            ));
+        }
         let mut arities: HashMap<Symbol, usize> = HashMap::new();
         let mut validate = |texts: &[String],
                             table: &mut SymbolTable,
@@ -1052,16 +1452,62 @@ impl Executor<'_> {
             }
             Ok(facts)
         };
-        let ins = validate(insert, &mut self.table, &self.db)?;
-        let ret = validate(retract, &mut self.table, &self.db)?;
+        let ins = validate(insert, &mut self.table, &self.db).map_err(ControlError::Invalid)?;
+        let ret = validate(retract, &mut self.table, &self.db).map_err(ControlError::Invalid)?;
+        if let Some(store) = &mut self.store {
+            let record = Record::Delta { insert: insert.to_vec(), retract: retract.to_vec() };
+            match store.append(&record) {
+                Ok(_) => self.sink.counter(store_names::WAL_APPENDS, 1),
+                Err(e) => {
+                    let detail = e.to_string();
+                    self.mark_degraded(&e);
+                    return Err(ControlError::Store(detail));
+                }
+            }
+        }
+        Ok((ins, ret))
+    }
+
+    /// Group-commits the WAL records behind `staged`, then applies and
+    /// acks each staged delta in order. On commit failure nothing
+    /// applies: every staged update is refused with `store_unavailable`
+    /// and the shard enters degraded mode.
+    fn flush_staged(&mut self, staged: &mut Vec<StagedDelta>) {
+        if staged.is_empty() {
+            return;
+        }
+        if let Some(store) = &mut self.store {
+            match store.commit() {
+                Ok(()) => self.sink.counter(store_names::WAL_COMMITS, 1),
+                Err(e) => {
+                    let detail = e.to_string();
+                    self.mark_degraded(&e);
+                    for s in staged.drain(..) {
+                        let _ = s.resp.send(Err(ControlError::Store(detail.clone())));
+                    }
+                    return;
+                }
+            }
+        }
+        for s in staged.drain(..) {
+            let ack = self.apply_validated(s.insert, s.retract);
+            let _ = s.resp.send(Ok(ack));
+        }
+    }
+
+    /// Applies one already-validated (and, where durable, committed)
+    /// delta. Deltas apply between planes: every plane executes
+    /// against a single database state.
+    fn apply_validated(&mut self, insert: Vec<Fact>, retract: Vec<Fact>) -> UpdateAck {
         let (mut inserted, mut retracted) = (0u64, 0u64);
-        for f in ins {
-            if self.db.insert(f).map_err(|e| e.to_string())?.changed {
+        for f in insert {
+            // Validation pinned the arity, so insert cannot fail.
+            if self.db.insert(f).map(|d| d.changed).unwrap_or(false) {
                 inserted += 1;
             }
         }
-        for f in ret {
-            if self.db.retract(f).map_err(|e| e.to_string())?.changed {
+        for f in retract {
+            if self.db.retract(f).map(|d| d.changed).unwrap_or(false) {
                 retracted += 1;
             }
         }
@@ -1073,7 +1519,89 @@ impl Executor<'_> {
         // when the delta touched a predicate this shard's compiled
         // graph actually retrieves.
         self.revalidate_run_cache();
-        Ok(UpdateAck { inserted, retracted, deltas_applied: self.deltas_applied })
+        UpdateAck { inserted, retracted, deltas_applied: self.deltas_applied }
+    }
+
+    /// Flips the shard into degraded mode: updates are shed with
+    /// `store_unavailable` from now on, reads keep serving from the
+    /// in-memory replica.
+    fn mark_degraded(&mut self, err: &StoreError) {
+        if !self.store_degraded {
+            self.store_degraded = true;
+            self.sink.counter(store_names::DEGRADED, 1);
+            eprintln!("qpl-serve: store degraded, shedding updates: {err}");
+        }
+    }
+
+    /// Journals the newly adopted strategy (climb or peer adoption) on
+    /// the store-owning shard, committed immediately — strategy changes
+    /// are rare and must survive a kill without waiting for the next
+    /// update batch.
+    fn journal_strategy(&mut self, fingerprint: u64) {
+        if self.store_degraded {
+            return;
+        }
+        let arcs: Vec<u32> = self.qp.strategy().arcs().iter().map(|a| a.0).collect();
+        let Some(store) = &mut self.store else {
+            return;
+        };
+        let result =
+            store.append(&Record::Strategy { fingerprint, arcs }).and_then(|_| store.commit());
+        match result {
+            Ok(()) => {
+                self.sink.counter(store_names::WAL_APPENDS, 1);
+                self.sink.counter(store_names::WAL_COMMITS, 1);
+            }
+            Err(e) => self.mark_degraded(&e),
+        }
+    }
+
+    /// Builds the full checkpoint snapshot of this shard's durable
+    /// state: the fact dump (sorted, re-parsable), generation stamps,
+    /// the adopted strategy, and the learner's exported statistics.
+    fn build_snapshot(&self) -> Snapshot {
+        let mut pred_gens: Vec<(String, u64)> = self
+            .db
+            .predicate_generations()
+            .map(|(p, g)| (self.table.name(p).to_string(), g))
+            .collect();
+        pred_gens.sort();
+        Snapshot {
+            facts: self.db.dump(&self.table),
+            generation: self.db.generation(),
+            pred_gens,
+            strategy: Some(StrategyState {
+                fingerprint: self.current_fp,
+                arcs: self.qp.strategy().arcs().iter().map(|a| a.0).collect(),
+            }),
+            pib: self.pib.as_ref().map(|p| pib_state_to_snapshot(&p.export_state())),
+        }
+    }
+
+    /// Writes a checkpoint through the store: atomic snapshot, then
+    /// truncation of the WAL it covers.
+    fn do_checkpoint(&mut self) -> Result<CheckpointInfo, ControlError> {
+        if self.store.is_none() {
+            return Err(ControlError::Store("server started without a data directory".to_string()));
+        }
+        if self.store_degraded {
+            return Err(ControlError::Store(
+                "store degraded by an earlier I/O failure".to_string(),
+            ));
+        }
+        let snapshot = self.build_snapshot();
+        let result = self.store.as_mut().expect("checked above").checkpoint(&snapshot);
+        match result {
+            Ok(info) => {
+                self.sink.counter(store_names::CHECKPOINTS, 1);
+                Ok(info)
+            }
+            Err(e) => {
+                let detail = e.to_string();
+                self.mark_degraded(&e);
+                Err(ControlError::Store(detail))
+            }
+        }
     }
 
     /// Revalidates the per-shard answer memo against the current
@@ -1103,7 +1631,7 @@ impl Executor<'_> {
         }
         self.board_seen = epoch;
         let published = {
-            let slot = shared.board.slot.lock().expect("board mutex");
+            let slot = lock_unpoisoned(&shared.board.slot);
             match slot.as_ref() {
                 Some((fp, strategy)) if *fp != self.current_fp => Some((*fp, strategy.clone())),
                 _ => None,
@@ -1115,6 +1643,9 @@ impl Executor<'_> {
             self.current_fp = fp;
             self.adoptions += 1;
             self.sink.counter(names::SHARD_ADOPTIONS, 1);
+            // The adopted fingerprint is durable state: a warm restart
+            // must come back serving the strategy the fleet agreed on.
+            self.journal_strategy(fp);
         }
     }
 
@@ -1225,11 +1756,12 @@ impl Executor<'_> {
                     self.sink.counter(names::CLIMBS, accepted - self.climbs);
                     self.climbs = accepted;
                     {
-                        let mut slot = shared.board.slot.lock().expect("board mutex");
+                        let mut slot = lock_unpoisoned(&shared.board.slot);
                         *slot = Some((fp, pib.strategy().clone()));
                     }
                     shared.board.epoch.fetch_add(1, Ordering::Release);
                     self.sink.counter(names::SHARD_PUBLISHED, 1);
+                    self.journal_strategy(fp);
                 }
             }
         }
@@ -1277,6 +1809,19 @@ impl Executor<'_> {
             deltas_applied: self.deltas_applied,
             executed_lanes: self.executed_lanes,
             service_us: self.ring.samples().to_vec(),
+            strategy_fp: self.current_fp,
+            store: self.store.as_ref().map(|store| {
+                let st = store.status();
+                wire::StoreStatsView {
+                    wal_bytes: st.wal_bytes,
+                    segments: st.segments,
+                    records_appended: st.records_appended,
+                    records_replayed: st.records_replayed,
+                    last_checkpoint_unix_secs: st.last_checkpoint_unix_secs,
+                    snapshot_bytes: st.snapshot_bytes,
+                    degraded: self.store_degraded,
+                }
+            }),
             sink: self.sink.clone(),
         }
     }

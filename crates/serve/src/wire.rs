@@ -10,14 +10,21 @@
 //! {"kind":"query","q":"instructor(russ)","id":7}
 //! {"kind":"batch","qs":["instructor(russ)","instructor(fred)"]}
 //! {"kind":"update","insert":["edge(a, b)"],"retract":["edge(b, c)"],"id":9}
+//! {"kind":"checkpoint","id":3}
 //! {"kind":"stats"}
 //! {"kind":"shutdown"}
 //! ```
 //!
 //! `update` (new in v2) carries ground facts in Datalog syntax;
 //! `insert` and `retract` may each be omitted, but not both. The delta
-//! is validated on every shard before any shard applies it, then
-//! broadcast so all shared-nothing replicas converge.
+//! is validated (and, when the server runs with a data directory,
+//! journaled to the write-ahead log) on shard 0 before any replica
+//! applies it, then broadcast so all shared-nothing replicas converge.
+//!
+//! `checkpoint` (durable servers only) asks shard 0 to write an atomic
+//! snapshot of its KB, learner statistics, and adopted strategy, then
+//! truncate the WAL the snapshot covers; servers started without a
+//! data directory refuse it with `store_unavailable`.
 //!
 //! Responses (server → client) always carry `"v":2` and a `kind`:
 //!
@@ -32,11 +39,20 @@
 //!   present fact or retracting an absent one is a no-op), and
 //!   `deltas_applied` is the per-shard applied-delta counter after this
 //!   update (equal across shards when replicas are convergent);
+//! * `checkpointed` — checkpoint acknowledgement: `through_seq` is the
+//!   highest WAL sequence the snapshot covers, `snapshot_bytes` its
+//!   size, `segments_removed` the WAL segments deleted by the
+//!   post-snapshot truncation;
 //! * `stats` — admission/batching aggregates plus the full
 //!   [`JsonSnapshot`](qpl_obs::JsonSnapshot) rendered single-line under
-//!   `metrics`;
+//!   `metrics`; durable servers add a `store` block (WAL bytes,
+//!   segment count, append/replay counters, last checkpoint) and every
+//!   shard reports its adopted strategy fingerprint as a hex string;
 //! * `error` — whole-request failure: `"error"` is one of
-//!   `"bad_request"`, `"overloaded"`, `"shutting_down"`;
+//!   `"bad_request"`, `"overloaded"`, `"shutting_down"`,
+//!   `"store_unavailable"` (durability requested but the store is
+//!   absent or degraded — a degraded server sheds updates but keeps
+//!   serving reads);
 //! * `bye` — shutdown acknowledgement, after which the server drains
 //!   and closes.
 //!
@@ -127,6 +143,14 @@ impl JsonValue {
     pub fn as_array(&self) -> Option<&[JsonValue]> {
         match self {
             JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The truth value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -366,6 +390,12 @@ pub enum Request {
         /// Client correlation id, echoed back.
         id: Option<u64>,
     },
+    /// Checkpoint request: snapshot shard 0's durable state and
+    /// truncate the covered WAL (durable servers only).
+    Checkpoint {
+        /// Client correlation id, echoed back.
+        id: Option<u64>,
+    },
     /// Metrics snapshot request.
     Stats,
     /// Graceful drain: stop admitting, finish the queue, exit.
@@ -411,6 +441,7 @@ pub fn parse_request(line: &str, max_batch: usize) -> Result<Request, String> {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
+        "checkpoint" => Ok(Request::Checkpoint { id }),
         "query" => {
             let q = v
                 .get("q")
@@ -476,6 +507,27 @@ pub enum LaneResult {
     },
 }
 
+/// The durability slice of the `stats` response (shard 0 owns the
+/// store, so these are shard-0 numbers).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StoreStatsView {
+    /// Live WAL bytes across all segments.
+    pub wal_bytes: u64,
+    /// Live WAL segment files.
+    pub segments: u64,
+    /// Records journaled since startup.
+    pub records_appended: u64,
+    /// Records replayed from the WAL during recovery at startup.
+    pub records_replayed: u64,
+    /// Unix seconds of the newest checkpoint (0 = never).
+    pub last_checkpoint_unix_secs: u64,
+    /// Size of the newest snapshot in bytes (0 = never).
+    pub snapshot_bytes: u64,
+    /// True once a store I/O failure put the server in degraded mode
+    /// (updates shed with `store_unavailable`, reads still served).
+    pub degraded: bool,
+}
+
 /// One executor shard's slice of the `stats` response.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardStatsView {
@@ -505,6 +557,10 @@ pub struct ShardStatsView {
     pub p50_us: f64,
     /// p99 request service time on this shard, microseconds.
     pub p99_us: f64,
+    /// Fingerprint of this shard's adopted strategy, rendered as a hex
+    /// string (u64 values are not exactly representable as JSON
+    /// numbers).
+    pub strategy_fp: String,
 }
 
 /// Aggregates surfaced by the `stats` response. Totals sum over every
@@ -544,6 +600,9 @@ pub struct StatsView {
     pub p99_us: f64,
     /// Per-shard breakdown, in shard order.
     pub shards: Vec<ShardStatsView>,
+    /// Durability health, present only when the server was started
+    /// with a data directory.
+    pub store: Option<StoreStatsView>,
     /// The full metrics snapshot, merged across shard sinks, rendered
     /// as one JSON line (embedded verbatim — it is already JSON).
     pub metrics_line: String,
@@ -644,6 +703,24 @@ pub fn render_updated(
     out
 }
 
+/// `checkpointed` response line: what the snapshot covers and what the
+/// truncation reclaimed.
+pub fn render_checkpointed(
+    through_seq: u64,
+    snapshot_bytes: u64,
+    segments_removed: u64,
+    id: Option<u64>,
+) -> String {
+    let mut out = String::with_capacity(96);
+    push_envelope(&mut out, "checkpointed", id);
+    let _ = write!(
+        out,
+        ",\"through_seq\":{through_seq},\"snapshot_bytes\":{snapshot_bytes},\
+         \"segments_removed\":{segments_removed}}}"
+    );
+    out
+}
+
 /// `answers` response line for a batch, one result per query in order.
 pub fn render_answers(results: &[LaneResult], id: Option<u64>) -> String {
     let mut out = String::with_capacity(64 + 64 * results.len());
@@ -686,7 +763,7 @@ pub fn render_stats(s: &StatsView) -> String {
             out,
             "{{\"shard\":{},\"queue_lanes\":{},\"served\":{},\"batches\":{},\"declined\":{},\
              \"errors\":{},\"climbs\":{},\"adoptions\":{},\"deltas_applied\":{},\"fill_ratio\":{},\
-             \"p50_us\":{},\"p99_us\":{}}}",
+             \"p50_us\":{},\"p99_us\":{},\"strategy_fp\":",
             sh.shard,
             sh.queue_lanes,
             sh.served,
@@ -700,8 +777,25 @@ pub fn render_stats(s: &StatsView) -> String {
             sh.p50_us,
             sh.p99_us
         );
+        push_json_str(&mut out, &sh.strategy_fp);
+        out.push('}');
     }
     out.push(']');
+    if let Some(st) = &s.store {
+        let _ = write!(
+            out,
+            ",\"store\":{{\"wal_bytes\":{},\"segments\":{},\"records_appended\":{},\
+             \"records_replayed\":{},\"last_checkpoint_unix_secs\":{},\"snapshot_bytes\":{},\
+             \"degraded\":{}}}",
+            st.wal_bytes,
+            st.segments,
+            st.records_appended,
+            st.records_replayed,
+            st.last_checkpoint_unix_secs,
+            st.snapshot_bytes,
+            st.degraded
+        );
+    }
     out.push_str(",\"metrics\":");
     out.push_str(&s.metrics_line);
     out.push('}');
@@ -772,6 +866,10 @@ mod tests {
         assert_eq!(parse_request(r#"{"kind":"ping"}"#, 64).unwrap(), Request::Ping);
         assert_eq!(parse_request(r#"{"kind":"stats"}"#, 64).unwrap(), Request::Stats);
         assert_eq!(parse_request(r#"{"kind":"shutdown"}"#, 64).unwrap(), Request::Shutdown);
+        assert_eq!(
+            parse_request(r#"{"kind":"checkpoint","id":3}"#, 64).unwrap(),
+            Request::Checkpoint { id: Some(3) }
+        );
         assert_eq!(
             parse_request(r#"{"kind":"query","q":"p(a)","id":7}"#, 64).unwrap(),
             Request::Query { q: "p(a)".to_string(), id: Some(7) }
@@ -847,6 +945,7 @@ mod tests {
             fill_ratio: 0.5,
             p50_us: 120.0,
             p99_us: 800.0,
+            strategy_fp: format!("{:016x}", 0xdead_beef_u64 + i),
         };
         StatsView {
             queue_lanes: 1,
@@ -863,6 +962,15 @@ mod tests {
             p50_us: 130.5,
             p99_us: 900.0,
             shards: vec![shard(0, 64), shard(1, 36)],
+            store: Some(StoreStatsView {
+                wal_bytes: 4096,
+                segments: 1,
+                records_appended: 12,
+                records_replayed: 3,
+                last_checkpoint_unix_secs: 1_700_000_000,
+                snapshot_bytes: 2048,
+                degraded: false,
+            }),
             metrics_line: "{\"schema_version\":1}".to_string(),
         }
     }
@@ -912,8 +1020,31 @@ mod tests {
                     "shard {i} missing {key}"
                 );
             }
+            let fp = sh.get("strategy_fp").and_then(JsonValue::as_str).expect("strategy_fp");
+            assert_eq!(fp.len(), 16, "strategy_fp is a zero-padded u64 hex string: {fp}");
         }
+        let store = v.get("store").expect("store block present for durable servers");
+        for key in [
+            "wal_bytes",
+            "segments",
+            "records_appended",
+            "records_replayed",
+            "last_checkpoint_unix_secs",
+            "snapshot_bytes",
+        ] {
+            assert!(store.get(key).and_then(JsonValue::as_f64).is_some(), "store missing {key}");
+        }
+        assert_eq!(store.get("degraded"), Some(&JsonValue::Bool(false)));
         assert!(v.get("metrics").is_some(), "merged metrics snapshot embedded");
+    }
+
+    #[test]
+    fn stats_omits_the_store_block_without_durability() {
+        let mut s = sample_stats();
+        s.store = None;
+        let line = render_stats(&s);
+        let v = JsonValue::parse(&line).unwrap();
+        assert!(v.get("store").is_none(), "non-durable servers have no store block");
     }
 
     #[test]
@@ -930,6 +1061,7 @@ mod tests {
             render_answer(&lanes[0], Some(9)),
             render_answers(&lanes, None),
             render_updated(2, 1, 7, Some(4)),
+            render_checkpointed(42, 2048, 3, Some(6)),
             render_stats(&sample_stats()),
         ] {
             let v = JsonValue::parse(&line).unwrap_or_else(|e| panic!("{e} in {line}"));

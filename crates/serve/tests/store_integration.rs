@@ -1,0 +1,344 @@
+//! End-to-end durability tests: real servers with a `--data-dir`,
+//! churned with live updates, checkpointed, killed, and restarted.
+//!
+//! The headline test spawns the actual `qpl_serve` binary, SIGKILLs it
+//! mid-flight (no drain, no destructors), restarts on the same data
+//! directory, and demands bit-identical answers and the same adopted
+//! strategy fingerprint as the process that never crashed.
+
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use qpl_serve::wire::JsonValue;
+use qpl_serve::{ServeEngine, Server, ServerConfig};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qpl-store-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn connect(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    (stream, reader)
+}
+
+fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> JsonValue {
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut resp = String::new();
+    reader.read_line(&mut resp).expect("read response");
+    JsonValue::parse(&resp).unwrap_or_else(|e| panic!("bad response to {line:?}: {e} ({resp:?})"))
+}
+
+/// Queries whose answers the restart must preserve: the Figure-1
+/// instructor pool plus the constants churned in by the test.
+const PROBES: [&str; 8] = [
+    "instructor(russ)",
+    "instructor(manolis)",
+    "instructor(fred)",
+    "instructor(alice)",
+    "instructor(bob)",
+    "instructor(eve)",
+    "instructor(ada)",
+    "instructor(zoe)",
+];
+
+fn probe_answers(s: &mut TcpStream, r: &mut BufReader<TcpStream>) -> Vec<(String, Option<String>)> {
+    PROBES
+        .iter()
+        .map(|q| {
+            let resp = roundtrip(s, r, &format!(r#"{{"kind":"query","q":"{q}"}}"#));
+            let result = resp.get("result").expect("answer has result");
+            (
+                result.get("answer").and_then(JsonValue::as_str).expect("answer kind").to_string(),
+                result.get("witness").and_then(JsonValue::as_str).map(str::to_string),
+            )
+        })
+        .collect()
+}
+
+fn shard0_strategy_fp(stats: &JsonValue) -> String {
+    stats
+        .get("shards")
+        .and_then(JsonValue::as_array)
+        .and_then(|a| a.first())
+        .and_then(|sh| sh.get("strategy_fp"))
+        .and_then(JsonValue::as_str)
+        .expect("shard 0 reports strategy_fp")
+        .to_string()
+}
+
+/// Spawns the real `qpl_serve` binary and parses its bound address off
+/// stdout. The child is SIGKILLed by the caller — no graceful path.
+/// The returned reader holds the child's stdout pipe open (dropping it
+/// would EPIPE the child's own banner prints).
+fn spawn_serve(
+    data_dir: &PathBuf,
+) -> (Child, std::net::SocketAddr, BufReader<std::process::ChildStdout>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_qpl_serve"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--shape",
+            "figure1",
+            "--shards",
+            "1",
+            "--adapt",
+            "0.2",
+            "--fsync",
+            "batch",
+            "--data-dir",
+        ])
+        .arg(data_dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn qpl_serve");
+    let stdout = child.stdout.take().expect("child stdout piped");
+    let mut lines = BufReader::new(stdout);
+    let mut banner = String::new();
+    lines.read_line(&mut banner).expect("read listening banner");
+    // "qpl-serve listening on 127.0.0.1:PORT (shape: ..., shards: N)"
+    let addr = banner
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable banner: {banner:?}"));
+    (child, addr, lines)
+}
+
+/// The satellite's headline: churn → checkpoint → churn → SIGKILL →
+/// restart on the same data dir → answers and the adopted strategy
+/// fingerprint are bit-identical to the killed process.
+#[test]
+fn kill_dash_nine_then_restart_preserves_answers_and_strategy() {
+    let dir = tmpdir("kill");
+
+    let (mut child, addr, _out) = spawn_serve(&dir);
+    let (mut s, mut r) = connect(addr);
+
+    // Churn before the checkpoint: new provable constants.
+    let upd = roundtrip(&mut s, &mut r, r#"{"kind":"update","insert":["prof(ada)"]}"#);
+    assert_eq!(upd.get("kind").and_then(JsonValue::as_str), Some("updated"), "{upd:?}");
+
+    // Drive the adaptive learner with full-pool batches so a climb (and
+    // its journaled fingerprint) can happen before the checkpoint.
+    let qs = PROBES.iter().map(|t| format!("\"{t}\"")).collect::<Vec<_>>().join(",");
+    let batch = format!(r#"{{"kind":"batch","qs":[{qs}]}}"#);
+    for i in 0..15 {
+        let resp = roundtrip(&mut s, &mut r, &batch);
+        assert_eq!(
+            resp.get("kind").and_then(JsonValue::as_str),
+            Some("answers"),
+            "iteration {i}: child status {:?}",
+            child.try_wait()
+        );
+    }
+
+    let ck = roundtrip(&mut s, &mut r, r#"{"kind":"checkpoint","id":9}"#);
+    assert_eq!(ck.get("kind").and_then(JsonValue::as_str), Some("checkpointed"), "{ck:?}");
+    assert_eq!(ck.get("id").and_then(JsonValue::as_f64), Some(9.0));
+    assert!(ck.get("through_seq").and_then(JsonValue::as_f64).unwrap_or(0.0) >= 1.0);
+    assert!(ck.get("snapshot_bytes").and_then(JsonValue::as_f64).unwrap_or(0.0) > 0.0);
+
+    // Churn *after* the checkpoint: these live only in the WAL, so the
+    // restart must replay them on top of the snapshot.
+    let upd = roundtrip(&mut s, &mut r, r#"{"kind":"update","insert":["prof(zoe)"]}"#);
+    assert_eq!(upd.get("kind").and_then(JsonValue::as_str), Some("updated"));
+    let upd = roundtrip(&mut s, &mut r, r#"{"kind":"update","retract":["prof(ada)"]}"#);
+    assert_eq!(upd.get("kind").and_then(JsonValue::as_str), Some("updated"));
+    for _ in 0..5 {
+        roundtrip(&mut s, &mut r, &batch);
+    }
+
+    let before = probe_answers(&mut s, &mut r);
+    assert_eq!(before[6].0, "no", "post-checkpoint retract of prof(ada) applied");
+    assert_eq!(before[7].0, "yes", "post-checkpoint insert of prof(zoe) applied");
+    let stats = roundtrip(&mut s, &mut r, r#"{"kind":"stats"}"#);
+    let fp_before = shard0_strategy_fp(&stats);
+    assert_eq!(fp_before.len(), 16, "fingerprint is 16 hex chars");
+
+    // Hard kill: SIGKILL, no drain, no flush, no destructors.
+    child.kill().expect("SIGKILL the server");
+    child.wait().expect("reap");
+    drop(s);
+
+    let (mut child2, addr2, _out2) = spawn_serve(&dir);
+    let (mut s2, mut r2) = connect(addr2);
+
+    // Stats first (queries could climb further): the recovered process
+    // adopted exactly the fingerprint the killed process was serving.
+    let stats2 = roundtrip(&mut s2, &mut r2, r#"{"kind":"stats"}"#);
+    assert_eq!(shard0_strategy_fp(&stats2), fp_before, "adopted strategy survives the kill");
+    let store = stats2.get("store").expect("durable server reports a store block");
+    assert!(
+        store.get("records_replayed").and_then(JsonValue::as_f64).unwrap_or(0.0) >= 2.0,
+        "the two post-checkpoint updates came back off the WAL: {store:?}"
+    );
+    assert_eq!(store.get("degraded").and_then(JsonValue::as_bool), Some(false));
+
+    let after = probe_answers(&mut s2, &mut r2);
+    assert_eq!(before, after, "every answer and witness is bit-identical after the crash");
+
+    child2.kill().expect("kill restarted server");
+    child2.wait().expect("reap");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// In-process warm restart with no checkpoint at all: recovery is pure
+/// WAL replay over the engine's built-in KB.
+#[test]
+fn wal_only_restart_replays_updates_onto_the_seed_kb() {
+    let dir = tmpdir("walonly");
+    let cfg = || ServerConfig { data_dir: Some(dir.clone()), ..ServerConfig::default() };
+
+    let server = Server::start(ServeEngine::figure1(), cfg()).expect("first start");
+    let (mut s, mut r) = connect(server.local_addr());
+    let upd = roundtrip(&mut s, &mut r, r#"{"kind":"update","insert":["prof(ada)"]}"#);
+    assert_eq!(upd.get("kind").and_then(JsonValue::as_str), Some("updated"));
+    drop(s);
+    server.shutdown();
+    server.join();
+
+    let server = Server::start(ServeEngine::figure1(), cfg()).expect("restart");
+    let (mut s, mut r) = connect(server.local_addr());
+    let q = roundtrip(&mut s, &mut r, r#"{"kind":"query","q":"instructor(ada)"}"#);
+    let result = q.get("result").unwrap();
+    assert_eq!(result.get("answer").and_then(JsonValue::as_str), Some("yes"));
+    assert_eq!(result.get("witness").and_then(JsonValue::as_str), Some("prof(ada)"));
+    let stats = roundtrip(&mut s, &mut r, r#"{"kind":"stats"}"#);
+    let store = stats.get("store").expect("store block");
+    assert_eq!(store.get("records_replayed").and_then(JsonValue::as_f64), Some(1.0));
+
+    server.shutdown();
+    server.join();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// `checkpoint` against a server with no `--data-dir` is a typed
+/// in-band refusal, not a panic or a hang.
+#[test]
+fn checkpoint_without_a_data_dir_is_refused_in_band() {
+    let server = Server::start(ServeEngine::figure1(), ServerConfig::default()).expect("starts");
+    let (mut s, mut r) = connect(server.local_addr());
+    let resp = roundtrip(&mut s, &mut r, r#"{"kind":"checkpoint","id":4}"#);
+    assert_eq!(resp.get("kind").and_then(JsonValue::as_str), Some("error"));
+    assert_eq!(resp.get("error").and_then(JsonValue::as_str), Some("store_unavailable"));
+    assert_eq!(resp.get("id").and_then(JsonValue::as_f64), Some(4.0));
+    // And stats carries no store block at all.
+    let stats = roundtrip(&mut s, &mut r, r#"{"kind":"stats"}"#);
+    assert!(stats.get("store").is_none(), "in-memory server must not report a store block");
+    server.shutdown();
+    server.join();
+}
+
+/// Disk death degrades gracefully: updates are shed with a typed error,
+/// reads keep serving, and `stats` flies the degraded flag.
+#[test]
+fn full_disk_sheds_updates_but_keeps_serving_reads() {
+    let dir = tmpdir("degraded");
+    // A 1-byte segment threshold forces a segment-file creation on
+    // every journaled record; deleting the directory under the server
+    // makes the next creation fail like a dead disk.
+    let server = Server::start(
+        ServeEngine::figure1(),
+        ServerConfig { data_dir: Some(dir.clone()), segment_bytes: 1, ..ServerConfig::default() },
+    )
+    .expect("server starts");
+    let (mut s, mut r) = connect(server.local_addr());
+
+    let ok = roundtrip(&mut s, &mut r, r#"{"kind":"update","insert":["prof(ada)"]}"#);
+    assert_eq!(ok.get("kind").and_then(JsonValue::as_str), Some("updated"));
+
+    fs::remove_dir_all(&dir).expect("yank the disk");
+
+    let dead = roundtrip(&mut s, &mut r, r#"{"kind":"update","insert":["prof(zoe)"]}"#);
+    assert_eq!(dead.get("kind").and_then(JsonValue::as_str), Some("error"), "{dead:?}");
+    assert_eq!(dead.get("error").and_then(JsonValue::as_str), Some("store_unavailable"));
+
+    // The shed update must not have applied anywhere.
+    let q = roundtrip(&mut s, &mut r, r#"{"kind":"query","q":"instructor(zoe)"}"#);
+    assert_eq!(
+        q.get("result").and_then(|res| res.get("answer")).and_then(JsonValue::as_str),
+        Some("no"),
+        "an unjournaled delta never applies"
+    );
+    // Reads keep working, including ones that predate the failure.
+    let q = roundtrip(&mut s, &mut r, r#"{"kind":"query","q":"instructor(ada)"}"#);
+    assert_eq!(
+        q.get("result").and_then(|res| res.get("answer")).and_then(JsonValue::as_str),
+        Some("yes")
+    );
+
+    // Checkpoints are refused while degraded; stats flies the flag.
+    let ck = roundtrip(&mut s, &mut r, r#"{"kind":"checkpoint"}"#);
+    assert_eq!(ck.get("error").and_then(JsonValue::as_str), Some("store_unavailable"));
+    let stats = roundtrip(&mut s, &mut r, r#"{"kind":"stats"}"#);
+    let store = stats.get("store").expect("store block");
+    assert_eq!(store.get("degraded").and_then(JsonValue::as_bool), Some(true));
+
+    server.shutdown();
+    server.join();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The `stats` store block schema, on a healthy durable server.
+#[test]
+fn stats_store_block_schema_and_strategy_fp() {
+    let dir = tmpdir("schema");
+    let server = Server::start(
+        ServeEngine::figure1(),
+        ServerConfig { data_dir: Some(dir.clone()), shards: 2, ..ServerConfig::default() },
+    )
+    .expect("server starts");
+    let (mut s, mut r) = connect(server.local_addr());
+
+    roundtrip(&mut s, &mut r, r#"{"kind":"update","insert":["prof(ada)"]}"#);
+    let ck = roundtrip(&mut s, &mut r, r#"{"kind":"checkpoint"}"#);
+    assert_eq!(ck.get("kind").and_then(JsonValue::as_str), Some("checkpointed"));
+
+    let stats = roundtrip(&mut s, &mut r, r#"{"kind":"stats"}"#);
+    let store = stats.get("store").expect("store block");
+    for key in [
+        "wal_bytes",
+        "segments",
+        "records_appended",
+        "records_replayed",
+        "last_checkpoint_unix_secs",
+        "snapshot_bytes",
+    ] {
+        assert!(store.get(key).and_then(JsonValue::as_f64).is_some(), "store missing {key}");
+    }
+    assert!(store.get("records_appended").and_then(JsonValue::as_f64).unwrap() >= 1.0);
+    assert!(store.get("last_checkpoint_unix_secs").and_then(JsonValue::as_f64).unwrap() > 0.0);
+    assert!(store.get("snapshot_bytes").and_then(JsonValue::as_f64).unwrap() > 0.0);
+    assert_eq!(store.get("degraded").and_then(JsonValue::as_bool), Some(false));
+    // Every shard reports a well-formed strategy fingerprint, and the
+    // replicas agree on it.
+    let shards = stats.get("shards").and_then(JsonValue::as_array).expect("shards");
+    let fps: Vec<&str> = shards
+        .iter()
+        .map(|sh| sh.get("strategy_fp").and_then(JsonValue::as_str).expect("strategy_fp"))
+        .collect();
+    for fp in &fps {
+        assert_eq!(fp.len(), 16, "fingerprint renders as 16 hex chars: {fp}");
+        assert!(fp.chars().all(|c| c.is_ascii_hexdigit()), "hex only: {fp}");
+    }
+    assert!(fps.windows(2).all(|w| w[0] == w[1]), "replicas agree on the strategy: {fps:?}");
+    // The metrics snapshot carries the store counters.
+    let counters = stats.get("metrics").and_then(|m| m.get("counters")).expect("counters");
+    assert!(counters.get("store.wal.appends").and_then(JsonValue::as_f64).unwrap_or(0.0) >= 1.0);
+    assert!(counters.get("store.checkpoints").and_then(JsonValue::as_f64).unwrap_or(0.0) >= 1.0);
+
+    server.shutdown();
+    server.join();
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -119,6 +119,27 @@ impl PairedDifference {
         Self { sum: 0.0, count: 0, range }
     }
 
+    /// Rebuilds an accumulator from persisted state — used by the
+    /// durability layer to restore Chernoff bookkeeping across a
+    /// restart. `sum` must be the exact bits of a previously exported
+    /// [`sum`](Self::sum) so thresholds reproduce bit-identically.
+    ///
+    /// # Panics
+    /// Panics if `range` is invalid (as [`new`](Self::new)), if `sum`
+    /// is non-finite, or if the pair is inconsistent (`count == 0`
+    /// with a nonzero sum, or `|sum|` exceeding `count · range`).
+    pub fn restore(range: f64, sum: f64, count: u64) -> Self {
+        let mut acc = Self::new(range);
+        assert!(sum.is_finite(), "restored sum must be finite");
+        assert!(
+            sum.abs() <= count as f64 * range + 1e-6,
+            "restored sum {sum} inconsistent with {count} samples of range {range}"
+        );
+        acc.sum = sum;
+        acc.count = count;
+        acc
+    }
+
     /// Adds one paired difference observation.
     ///
     /// # Panics
@@ -356,6 +377,25 @@ mod tests {
         let mut m = RangedMean::new(0.0, 1.0);
         m.record(1.0 + 1e-12);
         assert!(m.mean().unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn paired_difference_restore_reproduces_thresholds_bitwise() {
+        let mut live = PairedDifference::new(4.0);
+        for d in [0.5, -1.0, 2.0, 1.5, -0.25] {
+            live.record(d);
+        }
+        let restored = PairedDifference::restore(live.range(), live.sum(), live.count());
+        assert_eq!(restored.sum().to_bits(), live.sum().to_bits());
+        assert_eq!(restored.count(), live.count());
+        assert_eq!(restored.threshold(0.05).to_bits(), live.threshold(0.05).to_bits());
+        assert_eq!(restored.certifies_improvement(0.05), live.certifies_improvement(0.05));
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn paired_difference_restore_rejects_impossible_state() {
+        PairedDifference::restore(1.0, 50.0, 3);
     }
 
     #[test]

@@ -47,6 +47,18 @@ impl SequentialSchedule {
         Self { delta, tests_used: 0 }
     }
 
+    /// Rebuilds a schedule mid-stream from persisted state, so a
+    /// restarted learner keeps spending the *same* Theorem-1 error
+    /// budget instead of resetting `i` (which would over-spend δ).
+    ///
+    /// # Panics
+    /// Panics unless `δ ∈ (0, 1)`.
+    pub fn restore(delta: f64, tests_used: u64) -> Self {
+        let mut s = Self::new(delta);
+        s.tests_used = tests_used;
+        s
+    }
+
     /// Total error budget `δ`.
     pub fn delta(&self) -> f64 {
         self.delta
@@ -138,6 +150,15 @@ mod tests {
         }
         assert_eq!(a.tests_used(), b.tests_used());
         assert!((x - y).abs() < 1e-15);
+    }
+
+    #[test]
+    fn restore_continues_the_budget_stream() {
+        let mut live = SequentialSchedule::new(0.1);
+        live.advance(17);
+        let mut restored = SequentialSchedule::restore(live.delta(), live.tests_used());
+        assert_eq!(restored.tests_used(), live.tests_used());
+        assert_eq!(restored.advance(3).to_bits(), live.advance(3).to_bits());
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Byte-level encoding primitives shared by the WAL and the snapshot.
+//!
+//! Everything on disk is little-endian. Floats are stored as their IEEE
+//! bit patterns ([`f64::to_bits`]) so recovery reproduces accumulator
+//! state *bit-identically* — the Chernoff bookkeeping must not drift
+//! through a decimal round-trip. Strings are length-prefixed UTF-8.
+//! Decoding is bounds-checked and returns typed errors instead of
+//! panicking: the decoder's inputs are disk bytes that a crash may have
+//! torn anywhere.
+
+use std::fmt;
+
+/// A decode failure: the byte stream ended early or held an invalid
+/// value. For WAL frames this marks the end of the valid prefix; for
+/// snapshots it invalidates the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only byte encoder.
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Stores the IEEE-754 bit pattern; `Dec::take_f64` restores the
+    /// identical bits.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked cursor over a byte slice.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError(format!(
+                "need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn take_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn take_u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn take_u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    pub fn take_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    pub fn take_str(&mut self) -> Result<String, CodecError> {
+        let len = self.take_u32()? as usize;
+        // A corrupt length would otherwise request gigabytes; the bounds
+        // check in `take` rejects anything past the end of the buffer.
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CodecError(format!("invalid UTF-8 in string at offset {}", self.pos)))
+    }
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/`cksum -o 3` variant),
+/// table-driven. Guards every WAL frame and the snapshot payload.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let mut e = Enc::new();
+        e.put_u8(7);
+        e.put_u32(0xDEAD_BEEF);
+        e.put_u64(u64::MAX - 3);
+        e.put_f64(-0.1f64);
+        e.put_f64(f64::NAN);
+        e.put_str("edge(a, b)");
+        e.put_str("");
+        let bytes = e.into_bytes();
+
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.take_u8().unwrap(), 7);
+        assert_eq!(d.take_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.take_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(d.take_f64().unwrap().to_bits(), (-0.1f64).to_bits());
+        assert!(d.take_f64().unwrap().is_nan());
+        assert_eq!(d.take_str().unwrap(), "edge(a, b)");
+        assert_eq!(d.take_str().unwrap(), "");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn truncated_reads_error_instead_of_panicking() {
+        let mut e = Enc::new();
+        e.put_str("edge(a, b)");
+        let bytes = e.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut d = Dec::new(&bytes[..cut]);
+            assert!(d.take_str().is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn corrupt_length_prefix_is_rejected() {
+        let mut e = Enc::new();
+        e.put_u32(u32::MAX); // claims a 4 GiB string
+        let bytes = e.into_bytes();
+        assert!(Dec::new(&bytes).take_str().is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! Typed store errors. Disk failures must degrade a serving process
+//! gracefully (shed writes, keep reads) — so nothing in this crate
+//! panics on I/O; every fallible path funnels into [`StoreError`].
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Why a store operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The operating system refused an I/O operation (full disk,
+    /// missing directory, permission change under a live process, ...).
+    Io { op: &'static str, path: PathBuf, source: io::Error },
+    /// On-disk bytes passed framing checks but decoded to nonsense —
+    /// this is a bug or deliberate tampering, never a torn write
+    /// (torn writes are caught by CRC framing and dropped silently).
+    Corrupt { path: PathBuf, detail: String },
+}
+
+impl StoreError {
+    pub(crate) fn io(op: &'static str, path: &Path, source: io::Error) -> Self {
+        StoreError::Io { op, path: path.to_path_buf(), source }
+    }
+
+    pub(crate) fn corrupt(path: &Path, detail: impl Into<String>) -> Self {
+        StoreError::Corrupt { path: path.to_path_buf(), detail: detail.into() }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, path, source } => {
+                write!(f, "store i/o: {op} {}: {source}", path.display())
+            }
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "store corrupt: {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Corrupt { .. } => None,
+        }
+    }
+}

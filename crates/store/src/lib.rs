@@ -1,0 +1,36 @@
+//! qpl-store — durability for warm-restartable serving.
+//!
+//! The paper's central asset is *learned* state: PIB sample statistics
+//! and climbed strategies. This crate persists that state (plus the
+//! live KB it was learned against) so a serving process survives a
+//! kill -9 without relearning from zero:
+//!
+//! * [`wal`] — segmented append-only log with CRC-framed records and a
+//!   configurable [`FsyncPolicy`]; torn tails are detected, dropped,
+//!   and repaired on open (longest-valid-prefix recovery).
+//! * [`snapshot`] — atomic checkpoints of the full KB (facts +
+//!   per-predicate generation stamps), serialized PIB statistics, and
+//!   the adopted strategy; rename-into-place, never a torn hybrid.
+//! * [`Store`] — the facade: open → snapshot load → ordered WAL
+//!   replay; [`Store::checkpoint`] writes a snapshot then truncates
+//!   the WAL it covers.
+//!
+//! Deliberately std-only and engine-free: facts are display strings
+//! that round-trip through the serving parser, PIB state is a plain
+//! mirror struct ([`PibSnapshot`]) the serving layer maps to
+//! `qpl_core::PibState`. The on-disk format never learns about
+//! interning order or engine internals.
+
+mod codec;
+mod error;
+mod records;
+mod snapshot;
+mod store;
+mod wal;
+
+pub use codec::CodecError;
+pub use error::StoreError;
+pub use records::Record;
+pub use snapshot::{CandidateEntry, ClimbEntry, PibSnapshot, Snapshot, StrategyState};
+pub use store::{CheckpointInfo, Recovered, Store, StoreConfig, StoreStatus};
+pub use wal::{FsyncPolicy, MAX_PAYLOAD};

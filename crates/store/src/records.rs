@@ -1,0 +1,125 @@
+//! WAL record payloads.
+//!
+//! Facts travel as their display strings (`"edge(a, b)"`, zero-arity
+//! `"tick()"`), which round-trip through the same parser qpl-serve's
+//! wire `update` op uses — so replaying a delta record is *exactly*
+//! re-applying the original request, and the store never needs to know
+//! about symbol tables or interning order.
+
+use crate::codec::{CodecError, Dec, Enc};
+
+const TAG_DELTA: u8 = 1;
+const TAG_STRATEGY: u8 = 2;
+
+/// One journaled event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// A KB delta as applied by the serving layer: ground fact texts to
+    /// insert and retract, in request order.
+    Delta { insert: Vec<String>, retract: Vec<String> },
+    /// A strategy adoption: the fingerprint plus the arc order that
+    /// produced it, enough to rebuild the compiled program without
+    /// relearning.
+    Strategy { fingerprint: u64, arcs: Vec<u32> },
+}
+
+fn put_strings(e: &mut Enc, items: &[String]) {
+    e.put_u32(items.len() as u32);
+    for s in items {
+        e.put_str(s);
+    }
+}
+
+fn take_strings(d: &mut Dec<'_>) -> Result<Vec<String>, CodecError> {
+    let n = d.take_u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push(d.take_str()?);
+    }
+    Ok(out)
+}
+
+impl Record {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            Record::Delta { insert, retract } => {
+                e.put_u8(TAG_DELTA);
+                put_strings(&mut e, insert);
+                put_strings(&mut e, retract);
+            }
+            Record::Strategy { fingerprint, arcs } => {
+                e.put_u8(TAG_STRATEGY);
+                e.put_u64(*fingerprint);
+                e.put_u32(arcs.len() as u32);
+                for a in arcs {
+                    e.put_u32(*a);
+                }
+            }
+        }
+        e.into_bytes()
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<Record, CodecError> {
+        let mut d = Dec::new(bytes);
+        let rec = match d.take_u8()? {
+            TAG_DELTA => {
+                let insert = take_strings(&mut d)?;
+                let retract = take_strings(&mut d)?;
+                Record::Delta { insert, retract }
+            }
+            TAG_STRATEGY => {
+                let fingerprint = d.take_u64()?;
+                let n = d.take_u32()? as usize;
+                let mut arcs = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    arcs.push(d.take_u32()?);
+                }
+                Record::Strategy { fingerprint, arcs }
+            }
+            tag => return Err(CodecError(format!("unknown record tag {tag}"))),
+        };
+        if !d.is_empty() {
+            return Err(CodecError(format!("{} trailing bytes after record", d.remaining())));
+        }
+        Ok(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_round_trip() {
+        let samples = [
+            Record::Delta {
+                insert: vec!["edge(a, b)".into(), "tick()".into()],
+                retract: vec!["edge(b, c)".into()],
+            },
+            Record::Delta { insert: vec![], retract: vec![] },
+            Record::Strategy { fingerprint: u64::MAX - 17, arcs: vec![3, 0, 2, 1] },
+            Record::Strategy { fingerprint: 0, arcs: vec![] },
+        ];
+        for rec in samples {
+            assert_eq!(Record::decode(&rec.encode()).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = Record::Strategy { fingerprint: 9, arcs: vec![1] }.encode();
+        bytes.push(0);
+        assert!(Record::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn every_truncation_errors_cleanly() {
+        let bytes =
+            Record::Delta { insert: vec!["edge(a, b)".into()], retract: vec!["p()".into()] }
+                .encode();
+        for cut in 0..bytes.len() {
+            assert!(Record::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

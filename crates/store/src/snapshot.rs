@@ -1,0 +1,402 @@
+//! Checkpoint snapshots: the full KB, the learner's accumulated
+//! statistics, and the adopted strategy, written atomically.
+//!
+//! ```text
+//! snapshot.qpl := | magic QPLSNAP1 | version u32 | through_seq u64 |
+//!                 | payload_len u32 | crc32 u32 | payload … |
+//! ```
+//!
+//! `through_seq` is the highest WAL seq the snapshot covers; recovery
+//! skips replayed records at or below it, which closes the crash
+//! window between snapshot rename and WAL truncation (replaying a
+//! covered delta would be answer-correct — fact insert/retract is
+//! last-op-wins — but would drift the generation stamps away from the
+//! never-crashed process).
+//!
+//! Writes go to `snapshot.qpl.tmp`, fsync, rename into place, fsync
+//! the directory: a crash leaves either the old snapshot or the new
+//! one, never a torn hybrid. A leftover `.tmp` is ignored and removed
+//! at the next open.
+
+use crate::codec::{crc32, CodecError, Dec, Enc};
+use crate::error::StoreError;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const SNAPSHOT_MAGIC: &[u8; 8] = b"QPLSNAP1";
+const SNAPSHOT_VERSION: u32 = 1;
+const SNAPSHOT_FILE: &str = "snapshot.qpl";
+const SNAPSHOT_TMP: &str = "snapshot.qpl.tmp";
+
+/// The adopted strategy: fingerprint plus the arc order that rebuilds
+/// its compiled program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrategyState {
+    pub fingerprint: u64,
+    pub arcs: Vec<u32>,
+}
+
+/// One accepted climb from the learner's history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClimbEntry {
+    pub r1: u32,
+    pub r2: u32,
+    pub samples: u64,
+    pub evidence: f64,
+    pub test_index: u64,
+}
+
+/// One candidate transformation's paired-difference accumulator —
+/// the Chernoff state that makes a warm restart skip relearning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateEntry {
+    pub r1: u32,
+    pub r2: u32,
+    pub sum: f64,
+    pub count: u64,
+}
+
+/// Serialized PIB learner state (mirrors `qpl_core::PibState`; the
+/// serving layer maps between them so this crate stays engine-free).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PibSnapshot {
+    pub delta: f64,
+    pub test_every: u64,
+    pub strategy_arcs: Vec<u32>,
+    pub samples_here: u64,
+    pub contexts_seen: u64,
+    pub tests_used: u64,
+    pub history: Vec<ClimbEntry>,
+    pub candidates: Vec<CandidateEntry>,
+}
+
+/// A full checkpoint: everything a warm restart needs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Ground fact texts, as produced by the KB's sorted dump; they
+    /// re-parse through the same path as wire updates.
+    pub facts: Vec<String>,
+    /// KB generation counter at checkpoint time.
+    pub generation: u64,
+    /// Per-predicate generation stamps (predicate name, stamp).
+    pub pred_gens: Vec<(String, u64)>,
+    pub strategy: Option<StrategyState>,
+    pub pib: Option<PibSnapshot>,
+}
+
+impl Snapshot {
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.put_u32(self.facts.len() as u32);
+        for f in &self.facts {
+            e.put_str(f);
+        }
+        e.put_u64(self.generation);
+        e.put_u32(self.pred_gens.len() as u32);
+        for (pred, gen) in &self.pred_gens {
+            e.put_str(pred);
+            e.put_u64(*gen);
+        }
+        match &self.strategy {
+            None => e.put_u8(0),
+            Some(s) => {
+                e.put_u8(1);
+                e.put_u64(s.fingerprint);
+                e.put_u32(s.arcs.len() as u32);
+                for a in &s.arcs {
+                    e.put_u32(*a);
+                }
+            }
+        }
+        match &self.pib {
+            None => e.put_u8(0),
+            Some(p) => {
+                e.put_u8(1);
+                e.put_f64(p.delta);
+                e.put_u64(p.test_every);
+                e.put_u32(p.strategy_arcs.len() as u32);
+                for a in &p.strategy_arcs {
+                    e.put_u32(*a);
+                }
+                e.put_u64(p.samples_here);
+                e.put_u64(p.contexts_seen);
+                e.put_u64(p.tests_used);
+                e.put_u32(p.history.len() as u32);
+                for h in &p.history {
+                    e.put_u32(h.r1);
+                    e.put_u32(h.r2);
+                    e.put_u64(h.samples);
+                    e.put_f64(h.evidence);
+                    e.put_u64(h.test_index);
+                }
+                e.put_u32(p.candidates.len() as u32);
+                for c in &p.candidates {
+                    e.put_u32(c.r1);
+                    e.put_u32(c.r2);
+                    e.put_f64(c.sum);
+                    e.put_u64(c.count);
+                }
+            }
+        }
+        e.into_bytes()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Snapshot, CodecError> {
+        let mut d = Dec::new(bytes);
+        let n_facts = d.take_u32()? as usize;
+        let mut facts = Vec::with_capacity(n_facts.min(1 << 20));
+        for _ in 0..n_facts {
+            facts.push(d.take_str()?);
+        }
+        let generation = d.take_u64()?;
+        let n_preds = d.take_u32()? as usize;
+        let mut pred_gens = Vec::with_capacity(n_preds.min(1 << 16));
+        for _ in 0..n_preds {
+            let pred = d.take_str()?;
+            let gen = d.take_u64()?;
+            pred_gens.push((pred, gen));
+        }
+        let strategy = match d.take_u8()? {
+            0 => None,
+            1 => {
+                let fingerprint = d.take_u64()?;
+                let n = d.take_u32()? as usize;
+                let mut arcs = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    arcs.push(d.take_u32()?);
+                }
+                Some(StrategyState { fingerprint, arcs })
+            }
+            t => return Err(CodecError(format!("bad strategy tag {t}"))),
+        };
+        let pib = match d.take_u8()? {
+            0 => None,
+            1 => {
+                let delta = d.take_f64()?;
+                let test_every = d.take_u64()?;
+                let n = d.take_u32()? as usize;
+                let mut strategy_arcs = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    strategy_arcs.push(d.take_u32()?);
+                }
+                let samples_here = d.take_u64()?;
+                let contexts_seen = d.take_u64()?;
+                let tests_used = d.take_u64()?;
+                let n_hist = d.take_u32()? as usize;
+                let mut history = Vec::with_capacity(n_hist.min(1 << 16));
+                for _ in 0..n_hist {
+                    history.push(ClimbEntry {
+                        r1: d.take_u32()?,
+                        r2: d.take_u32()?,
+                        samples: d.take_u64()?,
+                        evidence: d.take_f64()?,
+                        test_index: d.take_u64()?,
+                    });
+                }
+                let n_cand = d.take_u32()? as usize;
+                let mut candidates = Vec::with_capacity(n_cand.min(1 << 16));
+                for _ in 0..n_cand {
+                    candidates.push(CandidateEntry {
+                        r1: d.take_u32()?,
+                        r2: d.take_u32()?,
+                        sum: d.take_f64()?,
+                        count: d.take_u64()?,
+                    });
+                }
+                Some(PibSnapshot {
+                    delta,
+                    test_every,
+                    strategy_arcs,
+                    samples_here,
+                    contexts_seen,
+                    tests_used,
+                    history,
+                    candidates,
+                })
+            }
+            t => return Err(CodecError(format!("bad pib tag {t}"))),
+        };
+        if !d.is_empty() {
+            return Err(CodecError(format!("{} trailing bytes after snapshot", d.remaining())));
+        }
+        Ok(Snapshot { facts, generation, pred_gens, strategy, pib })
+    }
+}
+
+fn dir_sync(dir: &Path) {
+    // Best effort, same rationale as the WAL's.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+pub(crate) fn snapshot_path(dir: &Path) -> PathBuf {
+    dir.join(SNAPSHOT_FILE)
+}
+
+/// Writes `snapshot` atomically; returns the file's byte size.
+pub(crate) fn write_atomic(
+    dir: &Path,
+    snapshot: &Snapshot,
+    through_seq: u64,
+) -> Result<u64, StoreError> {
+    let payload = snapshot.encode();
+    let mut bytes = Vec::with_capacity(28 + payload.len());
+    bytes.extend_from_slice(SNAPSHOT_MAGIC);
+    bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&through_seq.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+
+    let tmp = dir.join(SNAPSHOT_TMP);
+    let mut file = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(&tmp)
+        .map_err(|e| StoreError::io("create snapshot tmp", &tmp, e))?;
+    file.write_all(&bytes).map_err(|e| StoreError::io("write snapshot", &tmp, e))?;
+    file.sync_all().map_err(|e| StoreError::io("sync snapshot", &tmp, e))?;
+    drop(file);
+    let dest = snapshot_path(dir);
+    fs::rename(&tmp, &dest).map_err(|e| StoreError::io("rename snapshot", &dest, e))?;
+    dir_sync(dir);
+    Ok(bytes.len() as u64)
+}
+
+/// Loads the current snapshot, if any. A leftover tmp from a crashed
+/// checkpoint is removed. Returns `(snapshot, through_seq, file_bytes)`.
+pub(crate) fn load(dir: &Path) -> Result<Option<(Snapshot, u64, u64)>, StoreError> {
+    let tmp = dir.join(SNAPSHOT_TMP);
+    if tmp.exists() {
+        // The rename never happened; whatever is in the tmp is not a
+        // committed checkpoint.
+        let _ = fs::remove_file(&tmp);
+    }
+    let path = snapshot_path(dir);
+    let bytes = match fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(StoreError::io("read snapshot", &path, e)),
+    };
+    if bytes.len() < 28 || &bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(StoreError::corrupt(&path, "bad magic or short header"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != SNAPSHOT_VERSION {
+        return Err(StoreError::corrupt(&path, format!("unsupported version {version}")));
+    }
+    let through_seq = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let payload_len = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[24..28].try_into().expect("4 bytes"));
+    let payload = &bytes[28..];
+    if payload.len() != payload_len {
+        return Err(StoreError::corrupt(
+            &path,
+            format!("payload is {} bytes, header claims {payload_len}", payload.len()),
+        ));
+    }
+    if crc32(payload) != crc {
+        return Err(StoreError::corrupt(&path, "payload crc mismatch"));
+    }
+    let snapshot =
+        Snapshot::decode(payload).map_err(|e| StoreError::corrupt(&path, e.to_string()))?;
+    Ok(Some((snapshot, through_seq, bytes.len() as u64)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("qpl-snap-{tag}-{}", std::process::id()))
+            .join(format!("{:?}", std::thread::current().id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            facts: vec!["edge(a, b)".into(), "tick()".into()],
+            generation: 42,
+            pred_gens: vec![("edge".into(), 42), ("tick".into(), 7)],
+            strategy: Some(StrategyState {
+                fingerprint: 0xFEED_FACE_CAFE_BEEF,
+                arcs: vec![2, 0, 1],
+            }),
+            pib: Some(PibSnapshot {
+                delta: 0.1,
+                test_every: 32,
+                strategy_arcs: vec![2, 0, 1],
+                samples_here: 19,
+                contexts_seen: 4031,
+                tests_used: 3,
+                history: vec![ClimbEntry {
+                    r1: 0,
+                    r2: 1,
+                    samples: 640,
+                    evidence: 1.25,
+                    test_index: 2,
+                }],
+                candidates: vec![
+                    CandidateEntry { r1: 0, r2: 2, sum: -3.5, count: 19 },
+                    CandidateEntry { r1: 1, r2: 2, sum: 0.25, count: 19 },
+                ],
+            }),
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_identically() {
+        let dir = tmpdir("roundtrip");
+        let snap = sample();
+        let bytes = write_atomic(&dir, &snap, 99).unwrap();
+        let (loaded, through, size) = load(&dir).unwrap().unwrap();
+        assert_eq!(loaded, snap);
+        assert_eq!(through, 99);
+        assert_eq!(size, bytes);
+        // f64 fields came back with identical bits.
+        let pib = loaded.pib.unwrap();
+        assert_eq!(pib.candidates[0].sum.to_bits(), (-3.5f64).to_bits());
+        let _ = fs::remove_dir_all(dir.parent().unwrap());
+    }
+
+    #[test]
+    fn missing_snapshot_is_none_and_stale_tmp_is_swept() {
+        let dir = tmpdir("missing");
+        fs::write(dir.join(SNAPSHOT_TMP), b"half-written garbage").unwrap();
+        assert!(load(&dir).unwrap().is_none());
+        assert!(!dir.join(SNAPSHOT_TMP).exists());
+        let _ = fs::remove_dir_all(dir.parent().unwrap());
+    }
+
+    #[test]
+    fn rewrite_replaces_previous_snapshot() {
+        let dir = tmpdir("rewrite");
+        write_atomic(&dir, &sample(), 10).unwrap();
+        let mut newer = sample();
+        newer.generation = 100;
+        write_atomic(&dir, &newer, 20).unwrap();
+        let (loaded, through, _) = load(&dir).unwrap().unwrap();
+        assert_eq!(loaded.generation, 100);
+        assert_eq!(through, 20);
+        let _ = fs::remove_dir_all(dir.parent().unwrap());
+    }
+
+    #[test]
+    fn flipped_bit_is_detected_as_corrupt() {
+        let dir = tmpdir("flip");
+        write_atomic(&dir, &sample(), 5).unwrap();
+        let path = snapshot_path(&dir);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = 28 + (bytes.len() - 28) / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load(&dir), Err(StoreError::Corrupt { .. })));
+        let _ = fs::remove_dir_all(dir.parent().unwrap());
+    }
+}

@@ -1,0 +1,284 @@
+//! The [`Store`] facade: one directory holding a snapshot plus a
+//! segmented WAL, with a recovery-on-open contract.
+//!
+//! Open order: load the snapshot (if any), then replay the WAL and
+//! surface only records *after* the snapshot's `through_seq`. The
+//! caller applies the snapshot, then the records in order, and lands
+//! on the exact state of the never-crashed process.
+
+use crate::error::StoreError;
+use crate::records::Record;
+use crate::snapshot::{self, Snapshot};
+use crate::wal::{FsyncPolicy, Wal};
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Store tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    pub fsync: FsyncPolicy,
+    /// Segment rotation threshold in bytes.
+    pub segment_bytes: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig { fsync: FsyncPolicy::EveryBatch, segment_bytes: 8 << 20 }
+    }
+}
+
+/// What [`Store::open`] recovered from disk.
+#[derive(Debug, Default)]
+pub struct Recovered {
+    pub snapshot: Option<Snapshot>,
+    /// WAL records newer than the snapshot, in append order.
+    pub records: Vec<Record>,
+    /// True when a torn/corrupt WAL suffix was detected and repaired.
+    pub torn_tail: bool,
+}
+
+impl Recovered {
+    pub fn records_replayed(&self) -> u64 {
+        self.records.len() as u64
+    }
+}
+
+/// Result of a successful checkpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointInfo {
+    /// Highest WAL seq the snapshot covers.
+    pub through_seq: u64,
+    pub snapshot_bytes: u64,
+    /// WAL segments deleted by the post-snapshot truncation.
+    pub segments_removed: u64,
+    pub at_unix_secs: u64,
+}
+
+/// Point-in-time store health, surfaced through the `stats` wire op.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreStatus {
+    pub wal_bytes: u64,
+    pub segments: u64,
+    pub records_appended: u64,
+    pub records_replayed: u64,
+    /// Unix seconds of the newest snapshot (0 = never checkpointed).
+    pub last_checkpoint_unix_secs: u64,
+    pub snapshot_bytes: u64,
+}
+
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    wal: Wal,
+    records_replayed: u64,
+    records_appended: u64,
+    snapshot_bytes: u64,
+    last_checkpoint_unix_secs: u64,
+}
+
+fn unix_secs(t: SystemTime) -> u64 {
+    t.duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+}
+
+impl Store {
+    /// Opens (creating if needed) the store in `dir` and recovers its
+    /// contents: snapshot load, WAL replay/repair, covered-record
+    /// filtering.
+    pub fn open(dir: &Path, config: StoreConfig) -> Result<(Store, Recovered), StoreError> {
+        std::fs::create_dir_all(dir).map_err(|e| StoreError::io("create data dir", dir, e))?;
+        let loaded = snapshot::load(dir)?;
+        let (snapshot, through_seq, snapshot_bytes) = match loaded {
+            Some((s, t, b)) => (Some(s), t, b),
+            None => (None, 0, 0),
+        };
+        let (wal, replay) = Wal::open(dir, config.fsync, config.segment_bytes, through_seq + 1)?;
+        let mut records = Vec::new();
+        for (seq, payload) in replay.frames {
+            if seq <= through_seq {
+                continue; // covered by the snapshot
+            }
+            let rec = Record::decode(&payload).map_err(|e| {
+                // The frame passed its CRC, so an undecodable payload is
+                // a format bug or tampering, not a torn write.
+                StoreError::corrupt(dir, format!("record seq {seq}: {e}"))
+            })?;
+            records.push(rec);
+        }
+        let last_checkpoint_unix_secs = if snapshot.is_some() {
+            std::fs::metadata(snapshot::snapshot_path(dir))
+                .and_then(|m| m.modified())
+                .map(unix_secs)
+                .unwrap_or(0)
+        } else {
+            0
+        };
+        let store = Store {
+            dir: dir.to_path_buf(),
+            records_replayed: records.len() as u64,
+            records_appended: 0,
+            snapshot_bytes,
+            last_checkpoint_unix_secs,
+            wal,
+        };
+        let recovered = Recovered { snapshot, records, torn_tail: replay.torn_tail };
+        Ok((store, recovered))
+    }
+
+    /// Journals one record; durability per the configured fsync policy
+    /// (under `EveryBatch`, call [`commit`](Self::commit) before
+    /// acking). Returns the record's WAL seq.
+    pub fn append(&mut self, record: &Record) -> Result<u64, StoreError> {
+        let seq = self.wal.append(&record.encode())?;
+        self.records_appended += 1;
+        Ok(seq)
+    }
+
+    /// Group-commit barrier for everything appended since the last one.
+    pub fn commit(&mut self) -> Result<(), StoreError> {
+        self.wal.commit()
+    }
+
+    /// Writes `snapshot` atomically, then truncates the WAL it covers.
+    pub fn checkpoint(&mut self, snapshot: &Snapshot) -> Result<CheckpointInfo, StoreError> {
+        // Make sure everything the snapshot claims to cover is on disk
+        // before the covering segments become eligible for deletion.
+        self.wal.commit()?;
+        let through_seq = self.wal.next_seq() - 1;
+        let snapshot_bytes = snapshot::write_atomic(&self.dir, snapshot, through_seq)?;
+        let segments_removed = self.wal.truncate_all()?;
+        let at_unix_secs = unix_secs(SystemTime::now());
+        self.snapshot_bytes = snapshot_bytes;
+        self.last_checkpoint_unix_secs = at_unix_secs;
+        Ok(CheckpointInfo { through_seq, snapshot_bytes, segments_removed, at_unix_secs })
+    }
+
+    pub fn status(&self) -> StoreStatus {
+        StoreStatus {
+            wal_bytes: self.wal.wal_bytes(),
+            segments: self.wal.segments(),
+            records_appended: self.records_appended,
+            records_replayed: self.records_replayed,
+            last_checkpoint_unix_secs: self.last_checkpoint_unix_secs,
+            snapshot_bytes: self.snapshot_bytes,
+        }
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::StrategyState;
+    use std::fs;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("qpl-store-{tag}-{}", std::process::id()))
+            .join(format!("{:?}", std::thread::current().id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn delta(i: u32) -> Record {
+        Record::Delta { insert: vec![format!("edge(n{i}, n{})", i + 1)], retract: vec![] }
+    }
+
+    #[test]
+    fn journal_then_reopen_replays_everything() {
+        let dir = tmpdir("journal");
+        let (mut store, rec) = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert!(rec.snapshot.is_none());
+        assert!(rec.records.is_empty());
+        for i in 0..5 {
+            store.append(&delta(i)).unwrap();
+        }
+        store.append(&Record::Strategy { fingerprint: 77, arcs: vec![1, 0] }).unwrap();
+        store.commit().unwrap();
+        drop(store);
+        let (store, rec) = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(rec.records_replayed(), 6);
+        assert_eq!(rec.records[0], delta(0));
+        assert_eq!(rec.records[5], Record::Strategy { fingerprint: 77, arcs: vec![1, 0] });
+        assert_eq!(store.status().records_replayed, 6);
+        let _ = fs::remove_dir_all(dir.parent().unwrap());
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_covers_replay() {
+        let dir = tmpdir("checkpoint");
+        let (mut store, _) = Store::open(&dir, StoreConfig::default()).unwrap();
+        for i in 0..4 {
+            store.append(&delta(i)).unwrap();
+        }
+        let snap = Snapshot {
+            facts: vec!["edge(n0, n1)".into()],
+            generation: 4,
+            pred_gens: vec![("edge".into(), 4)],
+            strategy: Some(StrategyState { fingerprint: 9, arcs: vec![0] }),
+            pib: None,
+        };
+        let info = store.checkpoint(&snap).unwrap();
+        assert_eq!(info.through_seq, 4);
+        assert!(info.snapshot_bytes > 0);
+        // Post-checkpoint records are the only ones replayed.
+        store.append(&delta(100)).unwrap();
+        store.commit().unwrap();
+        drop(store);
+        let (store, rec) = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(rec.snapshot.as_ref().unwrap().generation, 4);
+        assert_eq!(rec.records, vec![delta(100)]);
+        let status = store.status();
+        assert!(status.last_checkpoint_unix_secs > 0);
+        assert!(status.snapshot_bytes > 0);
+        let _ = fs::remove_dir_all(dir.parent().unwrap());
+    }
+
+    #[test]
+    fn checkpoint_then_clean_reopen_replays_nothing() {
+        let dir = tmpdir("clean");
+        let (mut store, _) = Store::open(&dir, StoreConfig::default()).unwrap();
+        for i in 0..3 {
+            store.append(&delta(i)).unwrap();
+        }
+        store.checkpoint(&Snapshot::default()).unwrap();
+        drop(store);
+        let (_, rec) = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert!(rec.snapshot.is_some());
+        assert!(rec.records.is_empty(), "all records were covered: {:?}", rec.records);
+        let _ = fs::remove_dir_all(dir.parent().unwrap());
+    }
+
+    #[test]
+    fn disk_failure_surfaces_as_typed_io_error_not_panic() {
+        let dir = tmpdir("diskfail");
+        // A 1-byte segment threshold forces a rotation (and thus a file
+        // creation) on every append; deleting the directory under the
+        // store makes that creation fail like a dead disk would.
+        let cfg = StoreConfig { fsync: FsyncPolicy::EveryBatch, segment_bytes: 1 };
+        let (mut store, _) = Store::open(&dir, cfg).unwrap();
+        store.append(&delta(0)).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+        let err = store.append(&delta(1)).unwrap_err();
+        assert!(matches!(err, StoreError::Io { .. }), "got {err}");
+        assert!(!err.to_string().is_empty());
+        let _ = fs::remove_dir_all(dir.parent().unwrap());
+    }
+
+    #[test]
+    fn seqs_keep_increasing_across_checkpoint_and_reopen() {
+        let dir = tmpdir("seqs");
+        let (mut store, _) = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(store.append(&delta(0)).unwrap(), 1);
+        assert_eq!(store.append(&delta(1)).unwrap(), 2);
+        store.checkpoint(&Snapshot::default()).unwrap();
+        assert_eq!(store.append(&delta(2)).unwrap(), 3);
+        store.commit().unwrap();
+        drop(store);
+        let (mut store, _) = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(store.append(&delta(3)).unwrap(), 4);
+        let _ = fs::remove_dir_all(dir.parent().unwrap());
+    }
+}

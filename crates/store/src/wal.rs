@@ -1,0 +1,495 @@
+//! Segmented append-only write-ahead log.
+//!
+//! On disk a WAL is a directory of segment files named
+//! `wal-<base_seq>.seg` (base_seq zero-padded so lexicographic order is
+//! replay order). Each segment is:
+//!
+//! ```text
+//! +----------------+-----------------+------- ... -------+
+//! | magic QPLWAL1\n | base_seq (u64)  | frame | frame | … |
+//! +----------------+-----------------+------- ... -------+
+//!
+//! frame := | payload_len u32 | seq u64 | crc32 u32 | payload … |
+//!          crc32 is over seq‖payload, so a frame torn anywhere —
+//!          including a stale length prefix pointing into garbage —
+//!          fails verification.
+//! ```
+//!
+//! Sequence numbers are global, strictly increasing by one, and never
+//! reset (checkpoint truncation starts a fresh segment at the next
+//! seq). Replay stops at the first invalid frame — short header, bogus
+//! length, CRC mismatch, or seq discontinuity — and *repairs* the log
+//! by truncating the torn segment to its valid prefix and deleting any
+//! later segments, so a recovered process appends from a clean tail.
+
+use crate::codec::crc32;
+use crate::error::StoreError;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+pub(crate) const SEGMENT_MAGIC: &[u8; 8] = b"QPLWAL1\n";
+const SEGMENT_HEADER: u64 = 16;
+const FRAME_HEADER: usize = 16;
+/// A single record larger than this is rejected at append time and
+/// treated as corruption at replay time (a torn length prefix could
+/// otherwise claim gigabytes).
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// When appends are forced to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync after every appended record. Slowest, loses nothing.
+    EveryRecord,
+    /// fsync once per [`Wal::commit`] barrier (qpl-serve calls it once
+    /// per control batch — group commit across a plane). A crash loses
+    /// at most the records acked since... nothing: acks are sent after
+    /// the commit barrier, so acked records are never lost.
+    EveryBatch,
+    /// Never fsync; the OS flushes when it pleases. Fastest, loses the
+    /// page-cache tail on power failure (not on process crash).
+    Off,
+}
+
+impl std::str::FromStr for FsyncPolicy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "record" => Ok(FsyncPolicy::EveryRecord),
+            "batch" => Ok(FsyncPolicy::EveryBatch),
+            "off" => Ok(FsyncPolicy::Off),
+            other => Err(format!("unknown fsync policy {other:?} (record|batch|off)")),
+        }
+    }
+}
+
+/// Everything replay recovered from disk, in append order.
+pub(crate) struct WalReplay {
+    /// `(seq, payload)` for every frame on the longest valid prefix.
+    pub frames: Vec<(u64, Vec<u8>)>,
+    /// True when an invalid suffix (torn tail, corrupt byte, lost
+    /// segment) was detected and repaired away.
+    pub torn_tail: bool,
+}
+
+#[derive(Debug)]
+pub(crate) struct Wal {
+    dir: PathBuf,
+    policy: FsyncPolicy,
+    segment_bytes: u64,
+    /// Paths of live segments, oldest first; the last one is open.
+    seg_paths: Vec<PathBuf>,
+    file: File,
+    seg_len: u64,
+    /// Total bytes across the sealed (non-open) segments.
+    sealed_bytes: u64,
+    next_seq: u64,
+    dirty: bool,
+}
+
+fn segment_path(dir: &Path, base_seq: u64) -> PathBuf {
+    dir.join(format!("wal-{base_seq:020}.seg"))
+}
+
+fn dir_sync(dir: &Path) {
+    // Directory fsync makes renames/creates durable on Linux; other
+    // platforms (or exotic filesystems) may refuse — best effort only,
+    // the data files themselves are always synced per policy.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+fn create_segment(dir: &Path, base_seq: u64) -> Result<(File, PathBuf), StoreError> {
+    let path = segment_path(dir, base_seq);
+    let mut file = OpenOptions::new()
+        .create_new(true)
+        .write(true)
+        .open(&path)
+        .map_err(|e| StoreError::io("create segment", &path, e))?;
+    let mut header = [0u8; SEGMENT_HEADER as usize];
+    header[..8].copy_from_slice(SEGMENT_MAGIC);
+    header[8..].copy_from_slice(&base_seq.to_le_bytes());
+    file.write_all(&header).map_err(|e| StoreError::io("write segment header", &path, e))?;
+    dir_sync(dir);
+    Ok((file, path))
+}
+
+/// Scans one segment's bytes. Returns the valid frames, the byte length
+/// of the valid prefix, and whether the segment was clean end to end.
+/// `expect_seq` is the seq the first frame must carry.
+fn scan_segment(bytes: &[u8], expect_seq: u64) -> (Vec<(u64, Vec<u8>)>, u64, bool) {
+    let mut frames = Vec::new();
+    let mut offset = SEGMENT_HEADER as usize;
+    let mut seq = expect_seq;
+    while offset < bytes.len() {
+        let rest = &bytes[offset..];
+        if rest.len() < FRAME_HEADER {
+            return (frames, offset as u64, false); // torn frame header
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        if len > MAX_PAYLOAD {
+            return (frames, offset as u64, false); // corrupt length
+        }
+        let frame_seq = u64::from_le_bytes([
+            rest[4], rest[5], rest[6], rest[7], rest[8], rest[9], rest[10], rest[11],
+        ]);
+        let crc = u32::from_le_bytes([rest[12], rest[13], rest[14], rest[15]]);
+        if rest.len() < FRAME_HEADER + len {
+            return (frames, offset as u64, false); // torn payload
+        }
+        let payload = &rest[FRAME_HEADER..FRAME_HEADER + len];
+        let mut check = frame_seq.to_le_bytes().to_vec();
+        check.extend_from_slice(payload);
+        if crc32(&check) != crc || frame_seq != seq {
+            return (frames, offset as u64, false); // corrupt or out of order
+        }
+        frames.push((frame_seq, payload.to_vec()));
+        seq += 1;
+        offset += FRAME_HEADER + len;
+    }
+    (frames, offset as u64, true)
+}
+
+impl Wal {
+    /// Opens (or creates) the log in `dir`, replaying and repairing as
+    /// described in the module docs. `min_next_seq` is the first seq
+    /// not covered by a snapshot (`through_seq + 1`): if the surviving
+    /// frames end below it — e.g. a crash landed between snapshot
+    /// rename and WAL truncation — the covered segments are discarded
+    /// and the log restarts there.
+    pub fn open(
+        dir: &Path,
+        policy: FsyncPolicy,
+        segment_bytes: u64,
+        min_next_seq: u64,
+    ) -> Result<(Self, WalReplay), StoreError> {
+        let mut entries: Vec<(u64, PathBuf)> = Vec::new();
+        let listing = fs::read_dir(dir).map_err(|e| StoreError::io("list wal dir", dir, e))?;
+        for entry in listing {
+            let entry = entry.map_err(|e| StoreError::io("list wal dir", dir, e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(base) = name
+                .strip_prefix("wal-")
+                .and_then(|s| s.strip_suffix(".seg"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                entries.push((base, entry.path()));
+            }
+        }
+        entries.sort();
+
+        let mut frames = Vec::new();
+        let mut torn_tail = false;
+        // Segments that survive repair: (path, base_seq, byte length).
+        let mut kept: Vec<(PathBuf, u64)> = Vec::new();
+        let mut expect: Option<u64> = None;
+        for (base, path) in entries {
+            if torn_tail {
+                // Everything past the first tear is unreachable state.
+                fs::remove_file(&path).map_err(|e| StoreError::io("remove segment", &path, e))?;
+                continue;
+            }
+            let bytes = fs::read(&path).map_err(|e| StoreError::io("read segment", &path, e))?;
+            let header_ok = bytes.len() >= SEGMENT_HEADER as usize
+                && &bytes[..8] == SEGMENT_MAGIC
+                && u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) == base
+                && expect.unwrap_or(base) == base;
+            if !header_ok {
+                torn_tail = true;
+                fs::remove_file(&path).map_err(|e| StoreError::io("remove segment", &path, e))?;
+                continue;
+            }
+            let (seg_frames, valid_len, clean) = scan_segment(&bytes, base);
+            expect = Some(base + seg_frames.len() as u64);
+            frames.extend(seg_frames);
+            if !clean {
+                torn_tail = true;
+                let f = OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .map_err(|e| StoreError::io("open segment for repair", &path, e))?;
+                f.set_len(valid_len).map_err(|e| StoreError::io("truncate segment", &path, e))?;
+                f.sync_all().map_err(|e| StoreError::io("sync repaired segment", &path, e))?;
+                kept.push((path, valid_len));
+            } else {
+                kept.push((path, valid_len));
+            }
+        }
+        if torn_tail {
+            dir_sync(dir);
+        }
+
+        let recovered_next = expect.unwrap_or(min_next_seq);
+        if recovered_next < min_next_seq {
+            // Everything on disk predates the snapshot; drop it and
+            // restart the log where the snapshot's coverage ends.
+            for (path, _) in kept.drain(..) {
+                fs::remove_file(&path).map_err(|e| StoreError::io("remove segment", &path, e))?;
+            }
+            frames.clear();
+            dir_sync(dir);
+        }
+        let next_seq = recovered_next.max(min_next_seq);
+
+        let (file, seg_paths, seg_len, sealed_bytes) = if let Some((last, last_len)) = kept.pop() {
+            let file = OpenOptions::new()
+                .append(true)
+                .open(&last)
+                .map_err(|e| StoreError::io("open segment for append", &last, e))?;
+            let sealed: u64 = kept.iter().map(|(_, len)| len).sum();
+            let mut paths: Vec<PathBuf> = kept.into_iter().map(|(p, _)| p).collect();
+            paths.push(last);
+            (file, paths, last_len, sealed)
+        } else {
+            let (file, path) = create_segment(dir, next_seq)?;
+            (file, vec![path], SEGMENT_HEADER, 0)
+        };
+
+        let wal = Wal {
+            dir: dir.to_path_buf(),
+            policy,
+            segment_bytes,
+            seg_paths,
+            file,
+            seg_len,
+            sealed_bytes,
+            next_seq,
+            dirty: false,
+        };
+        Ok((wal, WalReplay { frames, torn_tail }))
+    }
+
+    fn current_path(&self) -> &Path {
+        self.seg_paths.last().expect("wal always has an open segment")
+    }
+
+    fn rotate(&mut self) -> Result<(), StoreError> {
+        if self.policy != FsyncPolicy::Off {
+            let path = self.current_path().to_path_buf();
+            self.file.sync_data().map_err(|e| StoreError::io("sync segment", &path, e))?;
+        }
+        self.dirty = false;
+        let (file, path) = create_segment(&self.dir, self.next_seq)?;
+        self.sealed_bytes += self.seg_len;
+        self.seg_len = SEGMENT_HEADER;
+        self.file = file;
+        self.seg_paths.push(path);
+        Ok(())
+    }
+
+    /// Appends one record, rotating segments as needed; returns the
+    /// record's sequence number. With `FsyncPolicy::EveryRecord` the
+    /// record is stable when this returns; otherwise stability waits
+    /// for [`commit`](Self::commit) (or the OS, under `Off`).
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, StoreError> {
+        if payload.len() > MAX_PAYLOAD {
+            return Err(StoreError::corrupt(
+                self.current_path(),
+                format!("record of {} bytes exceeds MAX_PAYLOAD", payload.len()),
+            ));
+        }
+        let frame_len = FRAME_HEADER as u64 + payload.len() as u64;
+        if self.seg_len > SEGMENT_HEADER && self.seg_len + frame_len > self.segment_bytes {
+            self.rotate()?;
+        }
+        let seq = self.next_seq;
+        let mut check = seq.to_le_bytes().to_vec();
+        check.extend_from_slice(payload);
+        let crc = crc32(&check);
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&seq.to_le_bytes());
+        frame.extend_from_slice(&crc.to_le_bytes());
+        frame.extend_from_slice(payload);
+        let path = self.current_path().to_path_buf();
+        self.file.write_all(&frame).map_err(|e| StoreError::io("append record", &path, e))?;
+        self.seg_len += frame_len;
+        self.next_seq += 1;
+        self.dirty = true;
+        if self.policy == FsyncPolicy::EveryRecord {
+            self.file.sync_data().map_err(|e| StoreError::io("sync record", &path, e))?;
+            self.dirty = false;
+        }
+        Ok(seq)
+    }
+
+    /// Group-commit barrier: forces everything appended since the last
+    /// barrier to stable storage (no-op under `Off`, or when clean).
+    pub fn commit(&mut self) -> Result<(), StoreError> {
+        if self.dirty && self.policy != FsyncPolicy::Off {
+            let path = self.current_path().to_path_buf();
+            self.file.sync_data().map_err(|e| StoreError::io("sync batch", &path, e))?;
+        }
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Drops every segment (their records are covered by a snapshot)
+    /// and starts a fresh one at the current seq. Deletion is
+    /// oldest-first so a crash mid-truncation leaves a contiguous
+    /// suffix that the next open still replays correctly.
+    pub fn truncate_all(&mut self) -> Result<u64, StoreError> {
+        let removed = self.seg_paths.len() as u64;
+        for path in std::mem::take(&mut self.seg_paths) {
+            fs::remove_file(&path).map_err(|e| StoreError::io("remove segment", &path, e))?;
+        }
+        let (file, path) = create_segment(&self.dir, self.next_seq)?;
+        self.file = file;
+        self.seg_paths = vec![path];
+        self.seg_len = SEGMENT_HEADER;
+        self.sealed_bytes = 0;
+        self.dirty = false;
+        Ok(removed)
+    }
+
+    pub fn wal_bytes(&self) -> u64 {
+        self.sealed_bytes + self.seg_len
+    }
+
+    pub fn segments(&self) -> u64 {
+        self.seg_paths.len() as u64
+    }
+
+    /// Seq the next appended record will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("qpl-wal-{tag}-{}", std::process::id()))
+            .join(format!("{:?}", std::thread::current().id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_reopen_replays_in_order() {
+        let dir = tmpdir("basic");
+        let (mut wal, replay) = Wal::open(&dir, FsyncPolicy::EveryBatch, 1 << 20, 1).unwrap();
+        assert!(replay.frames.is_empty());
+        for i in 0..10u8 {
+            wal.append(&[i, i, i]).unwrap();
+        }
+        wal.commit().unwrap();
+        drop(wal);
+        let (_, replay) = Wal::open(&dir, FsyncPolicy::EveryBatch, 1 << 20, 1).unwrap();
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.frames.len(), 10);
+        for (i, (seq, payload)) in replay.frames.iter().enumerate() {
+            assert_eq!(*seq, 1 + i as u64);
+            assert_eq!(payload, &vec![i as u8; 3]);
+        }
+        let _ = fs::remove_dir_all(dir.parent().unwrap());
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_replays_across_them() {
+        let dir = tmpdir("rotate");
+        // Tiny segments force a rotation every append.
+        let (mut wal, _) = Wal::open(&dir, FsyncPolicy::Off, 24, 1).unwrap();
+        for i in 0..5u8 {
+            wal.append(&[i; 8]).unwrap();
+        }
+        assert!(wal.segments() >= 4, "tiny segment_bytes should rotate, got {}", wal.segments());
+        drop(wal);
+        let (wal, replay) = Wal::open(&dir, FsyncPolicy::Off, 24, 1).unwrap();
+        assert_eq!(replay.frames.len(), 5);
+        assert_eq!(wal.next_seq(), 6);
+        let _ = fs::remove_dir_all(dir.parent().unwrap());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_repaired() {
+        let dir = tmpdir("torn");
+        let (mut wal, _) = Wal::open(&dir, FsyncPolicy::EveryBatch, 1 << 20, 1).unwrap();
+        for i in 0..4u8 {
+            wal.append(&[i; 16]).unwrap();
+        }
+        wal.commit().unwrap();
+        drop(wal);
+        let seg = segment_path(&dir, 1);
+        let len = fs::metadata(&seg).unwrap().len();
+        // Tear the last record in half.
+        let f = OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(len - 10).unwrap();
+        drop(f);
+        let (wal, replay) = Wal::open(&dir, FsyncPolicy::EveryBatch, 1 << 20, 1).unwrap();
+        assert!(replay.torn_tail);
+        assert_eq!(replay.frames.len(), 3, "longest valid prefix is the first three");
+        assert_eq!(wal.next_seq(), 4, "append resumes after the last valid record");
+        drop(wal);
+        // The repair truncated the file: a further reopen is clean.
+        let (_, replay) = Wal::open(&dir, FsyncPolicy::EveryBatch, 1 << 20, 1).unwrap();
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.frames.len(), 3);
+        let _ = fs::remove_dir_all(dir.parent().unwrap());
+    }
+
+    #[test]
+    fn corrupt_byte_invalidates_the_suffix_only() {
+        let dir = tmpdir("corrupt");
+        let (mut wal, _) = Wal::open(&dir, FsyncPolicy::EveryBatch, 1 << 20, 1).unwrap();
+        for i in 0..4u8 {
+            wal.append(&[i; 16]).unwrap();
+        }
+        wal.commit().unwrap();
+        drop(wal);
+        let seg = segment_path(&dir, 1);
+        let mut bytes = fs::read(&seg).unwrap();
+        // Flip a payload byte inside the second record.
+        let off = 16 + 32 + 16 + 5;
+        bytes[off] ^= 0xFF;
+        fs::write(&seg, &bytes).unwrap();
+        let (_, replay) = Wal::open(&dir, FsyncPolicy::EveryBatch, 1 << 20, 1).unwrap();
+        assert!(replay.torn_tail);
+        assert_eq!(replay.frames.len(), 1, "only the record before the corruption survives");
+        let _ = fs::remove_dir_all(dir.parent().unwrap());
+    }
+
+    #[test]
+    fn truncate_all_resets_bytes_but_not_seqs() {
+        let dir = tmpdir("truncate");
+        let (mut wal, _) = Wal::open(&dir, FsyncPolicy::EveryBatch, 1 << 20, 1).unwrap();
+        for i in 0..6u8 {
+            wal.append(&[i]).unwrap();
+        }
+        wal.commit().unwrap();
+        let next = wal.next_seq();
+        wal.truncate_all().unwrap();
+        assert_eq!(wal.segments(), 1);
+        assert_eq!(wal.next_seq(), next, "seqs keep counting across truncation");
+        let seq = wal.append(b"after").unwrap();
+        assert_eq!(seq, next);
+        wal.commit().unwrap();
+        drop(wal);
+        let (_, replay) = Wal::open(&dir, FsyncPolicy::EveryBatch, 1 << 20, 1).unwrap();
+        assert_eq!(replay.frames.len(), 1);
+        assert_eq!(replay.frames[0].0, next);
+        let _ = fs::remove_dir_all(dir.parent().unwrap());
+    }
+
+    #[test]
+    fn snapshot_covered_segments_are_discarded_on_open() {
+        let dir = tmpdir("covered");
+        let (mut wal, _) = Wal::open(&dir, FsyncPolicy::EveryBatch, 1 << 20, 1).unwrap();
+        for i in 0..3u8 {
+            wal.append(&[i]).unwrap();
+        }
+        wal.commit().unwrap();
+        drop(wal);
+        // A snapshot covering through seq 10 supersedes everything here.
+        let (wal, replay) = Wal::open(&dir, FsyncPolicy::EveryBatch, 1 << 20, 11).unwrap();
+        assert!(replay.frames.is_empty());
+        assert_eq!(wal.next_seq(), 11);
+        let _ = fs::remove_dir_all(dir.parent().unwrap());
+    }
+}

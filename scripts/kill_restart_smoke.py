@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Kill-restart smoke for the qpl-store durability path.
+
+Lifecycle: start qpl-serve with --data-dir, churn updates, checkpoint,
+SIGKILL, restart on the same directory, then assert
+
+  * the store block reports a recovery (snapshot present, not degraded),
+  * the adopted strategy fingerprint is bit-identical to pre-kill,
+  * probe answers and witnesses are bit-identical to pre-kill,
+  * the recovered server still clears a sustained-qps floor (default
+    10k) on pipelined 64-query batches.
+
+Usage: kill_restart_smoke.py <path-to-qpl_serve> [--assert-qps N]
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+PROBES = [f"instructor({w})" for w in
+          ("russ", "manolis", "fred", "ada", "bob", "eve", "zoe", "kim")]
+
+
+def start(binary, data_dir):
+    proc = subprocess.Popen(
+        [binary, "--addr", "127.0.0.1:0", "--shape", "figure1",
+         "--shards", "2", "--adapt", "0.2", "--fsync", "batch",
+         "--data-dir", data_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    banner = proc.stdout.readline()
+    marker = "listening on "
+    assert marker in banner, f"unexpected banner: {banner!r}"
+    addr = banner.split(marker)[1].split()[0]
+    host, port = addr.rsplit(":", 1)
+    # Leave proc.stdout open: closing it would EPIPE the server's own
+    # later prints.
+    return proc, (host, int(port))
+
+
+def rpc(f, req):
+    f.write(json.dumps(req) + "\n")
+    f.flush()
+    line = f.readline()
+    assert line, f"connection closed on {req}"
+    resp = json.loads(line)
+    assert resp.get("kind") != "error", f"{req} -> {resp}"
+    return resp
+
+
+def connect(addr):
+    s = socket.create_connection(addr, timeout=10)
+    return s, s.makefile("rw")
+
+
+def probe_answers(f):
+    resp = rpc(f, {"kind": "batch", "qs": PROBES})
+    return [(r.get("answer"), r.get("witness")) for r in resp["results"]]
+
+
+def shard0_fp(stats):
+    return stats["shards"][0]["strategy_fp"]
+
+
+def measure_qps(addr, rounds, floor):
+    qs = PROBES * 8  # 64 lanes
+    req = (json.dumps({"kind": "batch", "qs": qs}) + "\n").encode()
+    s, f = connect(addr)
+    t0 = time.monotonic()
+    s.sendall(req * rounds)
+    for _ in range(rounds):
+        line = f.readline()
+        resp = json.loads(line)
+        assert resp["kind"] == "answers" and len(resp["results"]) == 64, resp
+    secs = time.monotonic() - t0
+    s.close()
+    qps = rounds * 64 / secs
+    print(f"recovered server: {rounds * 64} queries in {secs:.3f}s = {qps:,.0f} qps")
+    assert qps >= floor, f"qps {qps:,.0f} below the {floor:,} floor"
+
+
+def main():
+    binary = sys.argv[1]
+    floor = 10_000
+    if "--assert-qps" in sys.argv:
+        floor = int(sys.argv[sys.argv.index("--assert-qps") + 1])
+    data_dir = tempfile.mkdtemp(prefix="qpl-kill-restart-")
+
+    proc, addr = start(binary, data_dir)
+    try:
+        s, f = connect(addr)
+        rpc(f, {"kind": "update", "insert": ["prof(ada)", "grad(bob)"]})
+        # Enough adaptive traffic for the learner to move, then a
+        # checkpoint followed by more journaled churn so recovery
+        # exercises both the snapshot and the WAL tail.
+        for _ in range(20):
+            rpc(f, {"kind": "batch", "qs": PROBES})
+        ck = rpc(f, {"kind": "checkpoint"})
+        assert ck["kind"] == "checkpointed" and ck["through_seq"] >= 1, ck
+        rpc(f, {"kind": "update", "insert": ["grad(zoe)"], "retract": ["grad(bob)"]})
+        for _ in range(5):
+            rpc(f, {"kind": "batch", "qs": PROBES})
+        before = probe_answers(f)
+        fp_before = shard0_fp(rpc(f, {"kind": "stats"}))
+        s.close()
+    finally:
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait()
+
+    proc, addr = start(binary, data_dir)
+    try:
+        s, f = connect(addr)
+        stats = rpc(f, {"kind": "stats"})
+        store = stats["store"]
+        for key in ("wal_bytes", "segments", "records_appended",
+                    "records_replayed", "last_checkpoint_unix_secs",
+                    "snapshot_bytes"):
+            assert isinstance(store[key], int), (key, store)
+        assert store["degraded"] is False, store
+        assert store["records_replayed"] >= 1, store
+        assert shard0_fp(stats) == fp_before, \
+            f"strategy fp changed: {shard0_fp(stats)} != {fp_before}"
+        after = probe_answers(f)
+        assert after == before, f"answers diverged:\n{before}\n{after}"
+        s.close()
+        print("kill-restart: answers and strategy fingerprint bit-identical")
+        measure_qps(addr, rounds=100, floor=floor)
+        s, f = connect(addr)
+        rpc(f, {"kind": "shutdown"})
+        s.close()
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    print("kill-restart smoke OK")
+
+
+if __name__ == "__main__":
+    main()
